@@ -1,0 +1,159 @@
+//! Criterion benchmarks for the solver stack, one group per paper
+//! figure/experiment (timing complements the CSV regeneration binaries,
+//! which report the plotted quantities).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use placement::instance::PpmInstance;
+use placement::passive::{
+    flow_greedy_ppm, greedy_adaptive, greedy_static, solve_ppm_exact, ExactOptions,
+};
+use placement::sampling::{solve_ppme, PpmeOptions, SamplingProblem};
+use popgen::{PopSpec, TrafficSpec};
+
+fn instance_10(seed: u64) -> (popgen::Pop, PpmInstance) {
+    let pop = PopSpec::paper_10().build();
+    let ts = TrafficSpec::default().generate(&pop, seed);
+    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+    (pop, inst)
+}
+
+/// Figure 7 timing: PPM solvers on the 10-router POP at k = 0.9.
+fn bench_fig7_passive(c: &mut Criterion) {
+    let (_pop, inst) = instance_10(1);
+    let mut g = c.benchmark_group("fig7_passive_10");
+    g.bench_function("greedy_static", |b| {
+        b.iter(|| greedy_static(&inst, 0.9).unwrap().device_count())
+    });
+    g.bench_function("greedy_adaptive", |b| {
+        b.iter(|| greedy_adaptive(&inst, 0.9).unwrap().device_count())
+    });
+    g.bench_function("flow_greedy", |b| {
+        b.iter(|| flow_greedy_ppm(&inst, 0.9).unwrap().device_count())
+    });
+    g.sample_size(10);
+    g.bench_function("ilp_exact", |b| {
+        b.iter(|| solve_ppm_exact(&inst, 0.9, &ExactOptions::default()).unwrap().device_count())
+    });
+    g.finish();
+}
+
+/// Figure 8 timing: the heavy 15-router instance — greedy and the LP
+/// relaxation (the full MIP is exercised by the fig8 binary).
+fn bench_fig8_scale(c: &mut Criterion) {
+    let pop = PopSpec::paper_15().build();
+    let ts = TrafficSpec::default().generate(&pop, 1);
+    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+    let mut g = c.benchmark_group("fig8_passive_15");
+    g.sample_size(10);
+    g.bench_function("greedy_static_1980_traffics", |b| {
+        b.iter(|| greedy_static(&inst, 0.9).unwrap().device_count())
+    });
+    g.bench_function("mecf_bb_exact_k80", |b| {
+        // The flow-bound branch-and-bound proves k = 80% on this instance
+        // in about a second; the generic LP 2 simplex would need ~90 s per
+        // relaxation at this scale (see EXPERIMENTS.md).
+        let opts = ExactOptions {
+            max_nodes: 100_000,
+            time_limit: Some(std::time::Duration::from_secs(30)),
+            ..Default::default()
+        };
+        b.iter(|| {
+            placement::passive::solve_ppm_mecf_bb(&inst, 0.8, &opts).unwrap().device_count()
+        })
+    });
+    g.finish();
+}
+
+/// Figures 9–11 timing: probe computation + the three placements.
+fn bench_active(c: &mut Criterion) {
+    use placement::active::*;
+    let mut g = c.benchmark_group("fig9_11_active");
+    for (name, spec) in [("15_routers", PopSpec::paper_15()), ("29_routers", PopSpec::paper_29())]
+    {
+        let pop = spec.build();
+        let (graph, _) = pop.router_subgraph();
+        let candidates: Vec<_> = graph.nodes().collect();
+        g.bench_function(format!("compute_probes_{name}"), |b| {
+            b.iter(|| compute_probes(&graph, &candidates).len())
+        });
+        let probes = compute_probes(&graph, &candidates);
+        g.bench_function(format!("thiran_{name}"), |b| {
+            b.iter(|| place_beacons_thiran(&probes, &candidates).len())
+        });
+        g.bench_function(format!("greedy_{name}"), |b| {
+            b.iter(|| place_beacons_greedy(&probes, &candidates).len())
+        });
+        g.bench_function(format!("ilp_{name}"), |b| {
+            b.iter(|| place_beacons_ilp(&graph, &probes, &candidates).len())
+        });
+    }
+    g.finish();
+}
+
+/// Section 5 timing: the PPME MILP and the PPME* LP re-optimization.
+fn bench_sampling(c: &mut Criterion) {
+    let pop = PopSpec::small().build();
+    let multi = TrafficSpec::default().generate_multi(&pop, 2, 2);
+    let (ci, ce) = SamplingProblem::uniform_costs(pop.graph.edge_count());
+    let prob = SamplingProblem::from_multi(&pop.graph, &multi, 0.1, 0.8, ci, ce);
+    let mut g = c.benchmark_group("sec5_sampling");
+    g.sample_size(10);
+    g.bench_function("ppme_milp", |b| {
+        b.iter(|| solve_ppme(&prob, &PpmeOptions::default()).unwrap().total_cost())
+    });
+    let sol = solve_ppme(&prob, &PpmeOptions::default()).unwrap();
+    g.bench_function("ppme_star_lp_reoptimize", |b| {
+        b.iter(|| {
+            placement::dynamic::reoptimize_rates(&prob, &sol.installed).unwrap().exploit_cost
+        })
+    });
+    g.bench_function("ppme_star_flow_reoptimize", |b| {
+        b.iter(|| {
+            placement::dynamic::reoptimize_rates_flow(&prob, &sol.installed)
+                .unwrap()
+                .exploit_cost
+        })
+    });
+    g.finish();
+}
+
+/// Substrate timing: simplex, min-cost flow, shortest paths.
+fn bench_substrates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    // Simplex on the LP2 relaxation of the 10-router instance.
+    let (_pop, inst) = instance_10(3);
+    let merged = inst.merged();
+    let (model, _) = placement::passive::build_lp2(&merged, 0.95);
+    g.bench_function("simplex_lp2_10router", |b| {
+        b.iter_batched(|| model.clone(), |m| m.solve_lp().unwrap().objective, BatchSize::SmallInput)
+    });
+    // Min-cost flow on the MECF graph.
+    let mon = inst.to_monitoring();
+    g.bench_function("mecf_flow_greedy", |b| {
+        b.iter(|| mcmf::mecf::flow_greedy(&mon, 0.9).unwrap().routed)
+    });
+    // Dijkstra trees over the 15-router POP.
+    let pop15 = PopSpec::paper_15().build();
+    g.bench_function("dijkstra_tree_15router", |b| {
+        b.iter(|| {
+            let t = netgraph::dijkstra::shortest_path_tree(
+                &pop15.graph,
+                netgraph::NodeId(0),
+            )
+            .unwrap();
+            t.distance(netgraph::NodeId(5))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7_passive,
+    bench_fig8_scale,
+    bench_active,
+    bench_sampling,
+    bench_substrates
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Figure 10: beacon placement on the 29-router POP.
+//!
+//! Same protocol as Figure 9; the paper reports the beacon count reduced
+//! by 33% (ILP vs Thiran \[15\]) and the greedy within 2 beacons of the ILP.
+
+fn main() {
+    let args = popmon_bench::parse_args(20);
+    popmon_bench::active_experiment(popgen::PopSpec::paper_29(), &args);
+}

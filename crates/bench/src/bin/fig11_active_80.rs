@@ -1,0 +1,11 @@
+//! Figure 11: beacon placement on the 80-router POP.
+//!
+//! Same protocol as Figure 9; the paper reports a 33% reduction (ILP vs
+//! Thiran \[15\]), with the greedy about 7 beacons above the ILP at
+//! `|V_B| = 80`. Default 5 seeds (80 sizes × 3 strategies adds up);
+//! pass `--seeds 20` to match the paper.
+
+fn main() {
+    let args = popmon_bench::parse_args(5);
+    popmon_bench::active_experiment(popgen::PopSpec::paper_80(), &args);
+}

@@ -1,0 +1,182 @@
+//! `popmon-cli` — plan a monitoring deployment from a topology file.
+//!
+//! The operator-facing entry point: feed it a topology + traffic document
+//! in the `popgen::fileio` text format (convertible from Rocketfuel-style
+//! data) and get device placements back as CSV.
+//!
+//! ```text
+//! popmon_cli passive  <file> [k]          # tap placement (default k = 0.95)
+//! popmon_cli sampling <file> [k] [h]      # PPME(h, k) with unit costs
+//! popmon_cli active   <file>              # beacon placement on the routers
+//! popmon_cli generate [routers]           # emit a generated POP document
+//! ```
+
+use std::process::ExitCode;
+
+use placement::active::{
+    assign_probes_greedy, compute_probes, place_beacons_greedy, place_beacons_ilp,
+    place_beacons_thiran,
+};
+use placement::instance::PpmInstance;
+use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
+use placement::sampling::{solve_ppme, SamplingProblem};
+use popgen::{fileio, Pop, PopSpec, TrafficSet, TrafficSpec};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().collect();
+    let usage = || {
+        eprintln!(
+            "usage: popmon_cli <passive|sampling|active> <topology-file> [args] \
+             | popmon_cli generate [routers]"
+        );
+        ExitCode::from(2)
+    };
+    let Some(cmd) = argv.get(1) else { return usage() };
+
+    match cmd.as_str() {
+        "generate" => {
+            let routers: usize = argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let spec = match routers {
+                0..=7 => PopSpec::small(),
+                8..=12 => PopSpec::paper_10(),
+                13..=20 => PopSpec::paper_15(),
+                21..=50 => PopSpec::paper_29(),
+                51..=100 => PopSpec::paper_80(),
+                _ => PopSpec::large_150(),
+            };
+            let pop = spec.build();
+            let ts = TrafficSpec::default().generate(&pop, 42);
+            print!("{}", fileio::serialize(&pop, &ts));
+            ExitCode::SUCCESS
+        }
+        "passive" | "sampling" | "active" => {
+            let Some(path) = argv.get(2) else { return usage() };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (pop, ts) = match fileio::parse(&text) {
+                Ok(x) => x,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd.as_str() {
+                "passive" => passive(&pop, &ts, parse_f64(&argv, 3, 0.95)),
+                "sampling" => {
+                    sampling(&pop, &ts, parse_f64(&argv, 3, 0.9), parse_f64(&argv, 4, 0.0))
+                }
+                _ => active(&pop),
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn parse_f64(argv: &[String], idx: usize, default: f64) -> f64 {
+    argv.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn passive(pop: &Pop, ts: &TrafficSet, k: f64) -> ExitCode {
+    let inst = PpmInstance::from_traffic(&pop.graph, ts);
+    eprintln!(
+        "# passive placement: {} links, {} traffics, k = {k}",
+        inst.num_edges,
+        inst.traffics.len()
+    );
+    let Some(greedy) = greedy_static(&inst, k) else {
+        eprintln!("error: target unreachable (uncoverable traffic exceeds 1 - k)");
+        return ExitCode::FAILURE;
+    };
+    let opts = ExactOptions {
+        max_nodes: 1_000_000,
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        ..Default::default()
+    };
+    let exact = solve_ppm_mecf_bb(&inst, k, &opts).expect("greedy succeeded, so must B&B");
+    eprintln!(
+        "# greedy: {} devices; exact: {} devices{}",
+        greedy.device_count(),
+        exact.device_count(),
+        if exact.proven_optimal { " (proven optimal)" } else { " (best found)" }
+    );
+    println!("link_u,link_v");
+    for &e in &exact.edges {
+        let (u, v) = pop.graph.endpoints(netgraph::EdgeId(e as u32));
+        println!("{},{}", pop.graph.label(u), pop.graph.label(v));
+    }
+    ExitCode::SUCCESS
+}
+
+fn sampling(pop: &Pop, ts: &TrafficSet, k: f64, h: f64) -> ExitCode {
+    let ne = pop.graph.edge_count();
+    let (ci, ce) = SamplingProblem::uniform_costs(ne);
+    let prob = SamplingProblem::from_traffic_set(&pop.graph, ts, h, k, ci, ce);
+    let opts = ExactOptions {
+        max_nodes: 200_000,
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        rel_gap: 0.02,
+        ..Default::default()
+    };
+    let Some(sol) = solve_ppme(&prob, &opts) else {
+        eprintln!("error: PPME(h = {h}, k = {k}) is infeasible on this input");
+        return ExitCode::FAILURE;
+    };
+    if let Err(e) = prob.check_solution(&sol.installed, &sol.rates, 1e-5) {
+        eprintln!("internal error: produced an invalid plan: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "# PPME(h = {h}, k = {k}): {} devices, setup {:.2}, exploitation {:.2}{}",
+        sol.device_count(),
+        sol.setup_cost,
+        sol.exploit_cost,
+        if sol.proven_optimal { "" } else { " (within 2% of optimal)" }
+    );
+    println!("link_u,link_v,sampling_rate_percent");
+    for e in 0..ne {
+        if sol.installed[e] {
+            let (u, v) = pop.graph.endpoints(netgraph::EdgeId(e as u32));
+            println!(
+                "{},{},{:.1}",
+                pop.graph.label(u),
+                pop.graph.label(v),
+                100.0 * sol.rates[e]
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn active(pop: &Pop) -> ExitCode {
+    let (graph, _) = pop.router_subgraph();
+    let candidates: Vec<_> = graph.nodes().collect();
+    let probes = compute_probes(&graph, &candidates);
+    eprintln!(
+        "# active monitoring: {} routers, {} probes cover {}/{} router links",
+        graph.node_count(),
+        probes.len(),
+        probes.covered.iter().filter(|&&c| c).count(),
+        graph.edge_count()
+    );
+    let thiran = place_beacons_thiran(&probes, &candidates);
+    let greedy = place_beacons_greedy(&probes, &candidates);
+    let ilp = place_beacons_ilp(&graph, &probes, &candidates);
+    eprintln!(
+        "# beacons: Thiran[15] {}, greedy {}, ILP {}{}",
+        thiran.len(),
+        greedy.len(),
+        ilp.len(),
+        if ilp.proven_optimal { " (proven optimal)" } else { "" }
+    );
+    let assignment = assign_probes_greedy(&probes, &ilp);
+    println!("beacon,probes_emitted");
+    for (b, load) in ilp.beacons.iter().zip(&assignment.load) {
+        println!("{},{load}", graph.label(*b));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,146 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary prints CSV to stdout (one row per x-axis point, matching
+//! the corresponding paper figure) and accepts:
+//!
+//! * `--seeds N` — number of seeded runs to average (the paper averages
+//!   20; defaults here are smaller so a full regeneration terminates in
+//!   minutes — see `EXPERIMENTS.md`);
+//! * `--scale S` — optional instance-size multiplier where meaningful.
+
+use std::time::Instant;
+
+/// Parsed command-line arguments common to all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Number of seeds to average over.
+    pub seeds: u64,
+    /// Free-form scale knob (binaries document their own use).
+    pub scale: f64,
+}
+
+/// Parses `--seeds N` / `--scale S` from `std::env::args`, with the given
+/// default seed count.
+pub fn parse_args(default_seeds: u64) -> Args {
+    let mut args = Args { seeds: default_seeds, scale: 1.0 };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                args.seeds = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seeds needs a positive integer"));
+            }
+            "--scale" => {
+                i += 1;
+                args.scale = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--scale needs a number"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: <bin> [--seeds N] [--scale S]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Runs `f` and returns `(result, seconds)` — used to report solve times.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Shared driver for the active-monitoring figures (9, 10, 11): for every
+/// candidate-set size `|V_B|` from 2 to the router count, draw seeded
+/// random router subsets, compute Φ, and place beacons with all three
+/// strategies. Prints one CSV row per `|V_B|`.
+pub fn active_experiment(spec: popgen::PopSpec, args: &Args) {
+    use placement::active::{
+        compute_probes, place_beacons_greedy, place_beacons_ilp, place_beacons_thiran,
+    };
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    let pop = spec.build();
+    let (graph, _) = pop.router_subgraph();
+    let routers: Vec<netgraph::NodeId> = graph.nodes().collect();
+    let n = routers.len();
+
+    println!("vb_size,thiran,greedy,ilp,probes");
+    for size in 2..=n {
+        let mut thiran_counts = Vec::new();
+        let mut greedy_counts = Vec::new();
+        let mut ilp_counts = Vec::new();
+        let mut probe_counts = Vec::new();
+        for seed in 0..args.seeds {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 10_007 + size as u64);
+            let mut pool = routers.clone();
+            pool.shuffle(&mut rng);
+            let candidates = &pool[..size];
+            let probes = compute_probes(&graph, candidates);
+            probe_counts.push(probes.len() as f64);
+            let t = place_beacons_thiran(&probes, candidates);
+            let g = place_beacons_greedy(&probes, candidates);
+            let i = place_beacons_ilp(&graph, &probes, candidates);
+            debug_assert!(t.covers(&probes) && g.covers(&probes) && i.covers(&probes));
+            thiran_counts.push(t.len() as f64);
+            greedy_counts.push(g.len() as f64);
+            ilp_counts.push(i.len() as f64);
+        }
+        println!(
+            "{size},{:.2},{:.2},{:.2},{:.1}",
+            mean(&thiran_counts),
+            mean(&greedy_counts),
+            mean(&ilp_counts),
+            mean(&probe_counts),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timed_returns_result() {
+        let (v, secs) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,453 @@
+//! Branch-and-bound driver on top of the simplex, enforcing integrality.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::model::{Model, Sense};
+use crate::presolve;
+use crate::{Result, SolveStatus, Solution, SolverError, INT_TOL};
+
+/// Tuning knobs for [`Model::solve_mip_with`].
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub max_nodes: usize,
+    /// Optional wall-clock limit.
+    pub time_limit: Option<Duration>,
+    /// Relative optimality gap at which the search stops early.
+    pub rel_gap: f64,
+    /// Declares the objective integral over feasible integer solutions,
+    /// allowing bounds to be rounded up (`ceil`) for stronger pruning.
+    /// `None` auto-detects: true when every variable with a nonzero cost is
+    /// integer with an integral cost coefficient.
+    pub integral_objective: Option<bool>,
+    /// Run the presolve reductions before the search (default true).
+    pub presolve: bool,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        Self {
+            max_nodes: 200_000,
+            time_limit: None,
+            rel_gap: 1e-9,
+            integral_objective: None,
+            presolve: true,
+        }
+    }
+}
+
+/// One open node: a set of bound changes relative to the root model.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Lower bound (minimization) inherited from the parent LP.
+    bound: f64,
+    depth: usize,
+    /// Insertion sequence; later insertions win ties so the up-branch
+    /// (pushed last) is plunged first — in covering problems the `x = 1`
+    /// side reaches feasible incumbents sooner.
+    seq: usize,
+    /// `(var index, lo, hi)` overrides.
+    changes: Vec<(usize, f64, f64)>,
+}
+
+/// Best-first ordering with depth then recency tie-breaking (deeper and
+/// fresher first → plunging).
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.depth == other.depth && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest bound on top.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+fn auto_integral_objective(model: &Model) -> bool {
+    model.vars.iter().all(|v| {
+        v.cost == 0.0 || (v.integer && v.cost.fract() == 0.0)
+    })
+}
+
+/// Entry point used by [`Model::solve_mip`].
+pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
+    // Work on a minimization copy to keep bound logic single-signed.
+    let maximize = matches!(model.sense, Sense::Maximize);
+    let mut work = model.clone();
+    if maximize {
+        work.sense = Sense::Minimize;
+        for v in &mut work.vars {
+            v.cost = -v.cost;
+        }
+    }
+
+    // Presolve (kept optional for debugging and for the tests that compare
+    // with/without reductions).
+    let pre = if opts.presolve {
+        presolve::presolve(&work)?
+    } else {
+        presolve::identity(&work)
+    };
+    let root_model = pre.model.clone();
+
+    let int_vars: Vec<usize> =
+        root_model.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| i).collect();
+
+    let integral_obj =
+        opts.integral_objective.unwrap_or_else(|| auto_integral_objective(&root_model));
+    let strengthen = |b: f64| if integral_obj { (b - 1e-6).ceil() } else { b };
+
+    let finish = |values_reduced: Vec<f64>,
+                  status: SolveStatus,
+                  gap: f64,
+                  iterations: usize,
+                  nodes: usize|
+     -> Solution {
+        let values = pre.expand(&values_reduced);
+        let objective = model.objective_value(&values);
+        Solution { values, objective, status, gap, iterations, nodes }
+    };
+
+    // Initial incumbent from the user-supplied warm start, when feasible.
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // (min-sense obj, reduced values)
+    if let Some(init) = &model.initial {
+        if model.check_feasible(init, crate::FEAS_TOL).is_ok() {
+            let obj = work.objective_value(init);
+            incumbent = Some((obj, pre.reduce(init)));
+        }
+    }
+
+    let start = Instant::now();
+    let mut iterations = 0usize;
+    let mut nodes_explored = 0usize;
+    let mut open = BinaryHeap::new();
+    let mut seq = 0usize;
+    open.push(Node { bound: f64::NEG_INFINITY, depth: 0, seq, changes: Vec::new() });
+
+    let mut node_model = root_model.clone();
+    let mut proven = true;
+
+    while let Some(node) = open.pop() {
+        // Global pruning against the incumbent.
+        if let Some((best, _)) = &incumbent {
+            if node.bound >= *best - 1e-9 {
+                continue;
+            }
+            let denom = best.abs().max(1.0);
+            if (best - node.bound.max(f64::MIN)) / denom <= opts.rel_gap {
+                continue;
+            }
+        }
+        if nodes_explored >= opts.max_nodes
+            || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
+        {
+            proven = false;
+            break;
+        }
+        nodes_explored += 1;
+
+        // Apply this node's bound changes.
+        for &(j, lo, hi) in &node.changes {
+            node_model.vars[j].lo = lo;
+            node_model.vars[j].hi = hi;
+        }
+
+        let lp = node_model.solve_lp();
+
+        let result = match lp {
+            Ok(sol) => Some(sol),
+            Err(SolverError::Infeasible) => None,
+            Err(e) => {
+                // Restore bounds before propagating unexpected errors.
+                restore(&mut node_model, &root_model, &node.changes);
+                return Err(e);
+            }
+        };
+
+        if let Some(sol) = result {
+            iterations += sol.iterations;
+            let bound = strengthen(sol.objective);
+            let prune = incumbent.as_ref().is_some_and(|(best, _)| bound >= *best - 1e-9);
+            if !prune {
+                // Fractionality check over integer variables.
+                let mut branch_var: Option<(usize, f64)> = None; // (var, frac distance)
+                for &j in &int_vars {
+                    let x = sol.values[j];
+                    let frac = (x - x.round()).abs();
+                    if frac > INT_TOL {
+                        let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
+                        if branch_var.map_or(true, |(_, d)| dist < d) {
+                            branch_var = Some((j, dist));
+                        }
+                    }
+                }
+
+                match branch_var {
+                    None => {
+                        // Integral LP optimum: new incumbent.
+                        let obj = node_model.objective_value(&sol.values);
+                        if incumbent.as_ref().map_or(true, |(best, _)| obj < *best - 1e-9) {
+                            incumbent = Some((obj, sol.values.clone()));
+                        }
+                    }
+                    Some((j, _)) => {
+                        // Try a cheap rounding heuristic for an incumbent.
+                        if let Some(rounded) = round_heuristic(&node_model, &sol.values, &int_vars)
+                        {
+                            let obj = node_model.objective_value(&rounded);
+                            if incumbent.as_ref().map_or(true, |(best, _)| obj < *best - 1e-9) {
+                                incumbent = Some((obj, rounded));
+                            }
+                        }
+                        let x = sol.values[j];
+                        let (lo, hi) = (node_model.vars[j].lo, node_model.vars[j].hi);
+                        let mut down = node.changes.clone();
+                        down.push((j, lo, x.floor()));
+                        let mut up = node.changes.clone();
+                        up.push((j, x.ceil(), hi));
+                        seq += 1;
+                        open.push(Node { bound, depth: node.depth + 1, seq, changes: down });
+                        seq += 1;
+                        open.push(Node { bound, depth: node.depth + 1, seq, changes: up });
+                    }
+                }
+            }
+        }
+
+        restore(&mut node_model, &root_model, &node.changes);
+    }
+
+    let best_open_bound =
+        open.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
+
+    match incumbent {
+        Some((obj, values)) => {
+            let gap = if proven && open.is_empty() {
+                0.0
+            } else {
+                let denom = obj.abs().max(1.0);
+                ((obj - best_open_bound.min(obj)) / denom).max(0.0)
+            };
+            let status = if proven && (open.is_empty() || gap <= opts.rel_gap) {
+                SolveStatus::Optimal
+            } else if gap <= opts.rel_gap {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::Feasible
+            };
+            let gap = if status == SolveStatus::Optimal { 0.0 } else { gap };
+            Ok(finish(values, status, gap, iterations, nodes_explored))
+        }
+        None => {
+            if proven {
+                Err(SolverError::Infeasible)
+            } else {
+                Err(SolverError::NodeLimitNoSolution { nodes: nodes_explored })
+            }
+        }
+    }
+}
+
+fn restore(node_model: &mut Model, root: &Model, changes: &[(usize, f64, f64)]) {
+    for &(j, _, _) in changes {
+        node_model.vars[j].lo = root.vars[j].lo;
+        node_model.vars[j].hi = root.vars[j].hi;
+    }
+}
+
+/// Rounds the integer variables of an LP solution and accepts the result
+/// when it is feasible for `model`. Tries nearest-integer rounding first,
+/// then ceiling — the latter almost always lands feasible on the covering
+/// programs of the placement crate (`Σ x ≥ …` rows only grow).
+fn round_heuristic(model: &Model, values: &[f64], int_vars: &[usize]) -> Option<Vec<f64>> {
+    let snap = |f: fn(f64) -> f64| {
+        let mut rounded = values.to_vec();
+        for &j in int_vars {
+            let v = &model.vars[j];
+            rounded[j] = f(rounded[j]).clamp(v.lo, v.hi);
+        }
+        model.check_feasible(&rounded, crate::FEAS_TOL).ok().map(|_| rounded)
+    };
+    snap(f64::round).or_else(|| snap(|x| (x - crate::INT_TOL).ceil()))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, MipOptions, Model, Sense, SolveStatus, SolverError, VarKind};
+
+    #[test]
+    fn knapsack_small() {
+        // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6, binary -> a + c (17)
+        // vs b + c (20, weight 6 ok) -> optimum 20.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", VarKind::Binary, 0.0, 1.0, 10.0);
+        let b = m.add_var("b", VarKind::Binary, 0.0, 1.0, 13.0);
+        let c = m.add_var("c", VarKind::Binary, 0.0, 1.0, 7.0);
+        m.add_constr(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+        let s = m.solve_mip().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 20.0).abs() < 1e-6, "obj = {}", s.objective);
+        assert!(s.is_one(b, 1e-6) && s.is_one(c, 1e-6));
+    }
+
+    #[test]
+    fn set_cover_triangle_needs_two() {
+        // LP relaxation gives 1.5; the MIP must find 2.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", VarKind::Binary, 0.0, 1.0, 1.0);
+        let b = m.add_var("b", VarKind::Binary, 0.0, 1.0, 1.0);
+        let c = m.add_var("c", VarKind::Binary, 0.0, 1.0, 1.0);
+        m.add_constr(vec![(a, 1.0), (c, 1.0)], Cmp::Ge, 1.0);
+        m.add_constr(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 1.0);
+        m.add_constr(vec![(b, 1.0), (c, 1.0)], Cmp::Ge, 1.0);
+        let s = m.solve_mip().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min 2x + y, x integer in [0,10], y continuous >= 0,
+        // x + y >= 3.5  -> x = 0, y = 3.5? cost 3.5. x=1,y=2.5 -> 4.5. So 3.5.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, 2.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.5);
+        let s = m.solve_mip().unwrap();
+        assert!((s.objective - 3.5).abs() < 1e-6);
+        assert!(s.value(x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x, 2x <= 5, x integer -> 2 (LP gives 2.5).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, 1.0);
+        m.add_constr(vec![(x, 2.0)], Cmp::Le, 5.0);
+        let s = m.solve_mip().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_mip() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Binary, 0.0, 1.0, 1.0);
+        let y = m.add_var("y", VarKind::Binary, 0.0, 1.0, 1.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
+        assert_eq!(m.solve_mip().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn pure_lp_passthrough() {
+        // No integer variables: solve_mip must behave like solve_lp.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0, 1.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Ge, 2.5);
+        let s = m.solve_mip().unwrap();
+        assert!((s.objective - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> =
+            (0..6).map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0)).collect();
+        // Each consecutive pair must have one selected.
+        for w in vars.windows(2) {
+            m.add_constr(vec![(w[0], 1.0), (w[1], 1.0)], Cmp::Ge, 1.0);
+        }
+        m.set_initial_solution(vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let s = m.solve_mip().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        // Optimal vertex cover of a path of 6 nodes (5 edges) costs 2? No:
+        // pairs (0,1),(1,2),(2,3),(3,4),(4,5): picking x1, x3 covers the
+        // first four; (4,5) needs x4 or x5 -> 3 total.
+        assert!((s.objective - 3.0).abs() < 1e-6, "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn node_limit_reports_feasible_with_gap() {
+        // An equipartition-flavoured instance that needs some branching.
+        let weights = [31.0, 27.0, 23.0, 19.0, 17.0, 13.0, 11.0, 7.0, 5.0, 3.0];
+        let total: f64 = weights.iter().sum();
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, w))
+            .collect();
+        let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+        m.add_constr(terms, Cmp::Le, total / 2.0 - 0.5);
+        let opts = MipOptions { max_nodes: 1, ..Default::default() };
+        match m.solve_mip_with(&opts) {
+            Ok(s) => {
+                // Root produced an incumbent via rounding; gap may be positive.
+                assert!(s.objective <= total / 2.0);
+            }
+            Err(SolverError::NodeLimitNoSolution { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        // With a generous budget it must prove optimality.
+        let s = m.solve_mip().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - 77.0).abs() < 1e-6, "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn fixed_binaries_respected_incremental_style() {
+        // Paper's incremental deployment: pre-install x0 and ask for the
+        // best completion.
+        let mut m = Model::new(Sense::Minimize);
+        let x0 = m.add_var("x0", VarKind::Binary, 0.0, 1.0, 1.0);
+        let x1 = m.add_var("x1", VarKind::Binary, 0.0, 1.0, 1.0);
+        let x2 = m.add_var("x2", VarKind::Binary, 0.0, 1.0, 1.0);
+        m.add_constr(vec![(x1, 1.0), (x2, 1.0)], Cmp::Ge, 1.0);
+        m.fix_var(x0, 1.0);
+        let s = m.solve_mip().unwrap();
+        assert!(s.is_one(x0, 1e-9));
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // x + y = 7, x - y = 1 over integers -> x=4, y=3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 100.0, 1.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 100.0, 1.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 7.0);
+        m.add_constr(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = m.solve_mip().unwrap();
+        assert!((s.value(x) - 4.0).abs() < 1e-6);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn presolve_toggle_agrees() {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> =
+            (0..8).map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0)).collect();
+        for i in 0..8usize {
+            let terms =
+                vec![(vars[i], 1.0), (vars[(i + 2) % 8], 1.0), (vars[(i + 5) % 8], 1.0)];
+            m.add_constr(terms, Cmp::Ge, 1.0);
+        }
+        let with = m.solve_mip_with(&MipOptions { presolve: true, ..Default::default() }).unwrap();
+        let without =
+            m.solve_mip_with(&MipOptions { presolve: false, ..Default::default() }).unwrap();
+        assert!((with.objective - without.objective).abs() < 1e-6);
+    }
+}

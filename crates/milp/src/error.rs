@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors reported by model construction and the solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// A variable id did not belong to the model it was used with.
+    InvalidVar {
+        /// The offending variable index.
+        var: usize,
+        /// Number of variables in the model.
+        var_count: usize,
+    },
+    /// A variable was declared with `lo > hi` or non-finite/NaN data.
+    InvalidBounds {
+        /// Variable name.
+        name: String,
+        /// Declared lower bound.
+        lo: f64,
+        /// Declared upper bound.
+        hi: f64,
+    },
+    /// A coefficient or right-hand side was NaN or infinite.
+    InvalidCoefficient {
+        /// Human-readable location of the coefficient.
+        context: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The simplex exceeded its iteration budget (numerical trouble or a
+    /// genuinely enormous instance).
+    IterationLimit {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// Branch-and-bound stopped at a limit without proving optimality and
+    /// without any incumbent. (When an incumbent exists the solver returns
+    /// it with [`crate::SolveStatus::Feasible`] instead.)
+    NodeLimitNoSolution {
+        /// Nodes explored before giving up.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::InvalidVar { var, var_count } => {
+                write!(f, "variable index {var} out of range (model has {var_count} variables)")
+            }
+            SolverError::InvalidBounds { name, lo, hi } => {
+                write!(f, "invalid bounds [{lo}, {hi}] on variable {name}")
+            }
+            SolverError::InvalidCoefficient { context, value } => {
+                write!(f, "invalid coefficient {value} in {context}")
+            }
+            SolverError::Infeasible => write!(f, "problem is infeasible"),
+            SolverError::Unbounded => write!(f, "objective is unbounded"),
+            SolverError::IterationLimit { iterations } => {
+                write!(f, "simplex iteration limit reached after {iterations} iterations")
+            }
+            SolverError::NodeLimitNoSolution { nodes } => {
+                write!(f, "node limit reached after {nodes} nodes with no feasible solution found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}

@@ -1,0 +1,66 @@
+//! A small, self-contained LP / mixed-integer-linear-programming solver.
+//!
+//! The CoNEXT 2005 paper solves its 0–1 programs with CPLEX ("To solve this
+//! 0−1 MIP problem we use CPLEX solver", Section 4.4). No ILP solver is
+//! available offline, so this crate implements the required machinery from
+//! scratch:
+//!
+//! * [`Model`] — a builder for linear programs with per-variable bounds and
+//!   integrality marks, linear constraints (`≤`, `=`, `≥`) and a
+//!   minimization or maximization objective;
+//! * a **bounded-variable revised primal simplex** with a dense explicit
+//!   basis inverse, Dantzig pricing with a Bland anti-cycling fallback and
+//!   an artificial-variable phase 1 ([`Model::solve_lp`]);
+//! * a **branch-and-bound** driver for the integer variables with
+//!   most-fractional branching, best-bound node selection with depth-first
+//!   plunging, optional integral-objective bound strengthening, a rounding
+//!   incumbent heuristic, and node/time limits ([`Model::solve_mip`]);
+//! * a light **presolve** (fixed-variable substitution, empty/redundant row
+//!   elimination), applied inside [`Model::solve_mip`].
+//!
+//! The solver targets the instance sizes of the paper (tens of binaries,
+//! up to a few thousand continuous variables) and favours clarity and
+//! robustness over raw speed: everything is dense `f64` with explicit
+//! tolerances, there is no `unsafe`, and every routine is unit-tested
+//! against brute force on small instances.
+//!
+//! # Example
+//!
+//! ```
+//! use milp::{Model, Sense, Cmp, VarKind};
+//!
+//! // min x + y  s.t.  x + 2y >= 3,  3x + y >= 4,  x,y >= 0
+//! let mut m = Model::new(Sense::Minimize);
+//! let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+//! let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+//! m.add_constr(vec![(x, 1.0), (y, 2.0)], milp::Cmp::Ge, 3.0);
+//! m.add_constr(vec![(x, 3.0), (y, 1.0)], milp::Cmp::Ge, 4.0);
+//! let sol = m.solve_lp().unwrap();
+//! assert!((sol.objective - 2.0).abs() < 1e-6); // x = 1, y = 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod error;
+mod model;
+mod presolve;
+mod simplex;
+mod solution;
+
+pub use branch_bound::MipOptions;
+pub use error::SolverError;
+pub use model::{Cmp, ConstrId, Model, Sense, VarId, VarKind};
+pub use solution::{SolveStatus, Solution};
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, SolverError>;
+
+/// Feasibility tolerance: a constraint is satisfied when violated by less
+/// than this amount.
+pub const FEAS_TOL: f64 = 1e-7;
+
+/// Integrality tolerance: a value within this distance of an integer is
+/// considered integral by the branch-and-bound.
+pub const INT_TOL: f64 = 1e-6;

@@ -1,0 +1,370 @@
+use crate::branch_bound::{self, MipOptions};
+use crate::{simplex, Result, Solution, SolverError};
+
+/// Identifier of a decision variable in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+/// Identifier of a linear constraint in a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstrId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index of this variable, usable with [`Solution::values`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ConstrId {
+    /// Dense index of this constraint.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+/// Continuity class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds (branch-and-bound enforces this).
+    Integer,
+    /// Shorthand for an integer variable with bounds `[0, 1]` — the `x_e`
+    /// and `y_i` placement variables of the paper.
+    Binary,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lo: f64,
+    pub hi: f64,
+    pub cost: f64,
+    pub integer: bool,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Sparse row: (variable index, coefficient), deduplicated and sorted.
+    pub terms: Vec<(u32, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A linear program / mixed-integer linear program under construction.
+///
+/// Variables and constraints are added incrementally; [`Model::solve_lp`]
+/// solves the continuous relaxation (ignoring integrality marks) and
+/// [`Model::solve_mip`] enforces integrality with branch-and-bound.
+#[derive(Debug, Clone)]
+pub struct Model {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constrs: Vec<Constraint>,
+    /// Optional warm-start solution (values for all variables) used as the
+    /// initial incumbent by branch-and-bound.
+    pub(crate) initial: Option<Vec<f64>>,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Self { sense, vars: Vec::new(), constrs: Vec::new(), initial: None }
+    }
+
+    /// Adds a variable and returns its id.
+    ///
+    /// `lo`/`hi` may be infinite for one-sided bounds. [`VarKind::Binary`]
+    /// forces bounds `[0, 1]` regardless of the arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN data or `lo > hi`; use [`Model::try_add_var`] for a
+    /// fallible variant.
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lo: f64, hi: f64, cost: f64) -> VarId {
+        self.try_add_var(name, kind, lo, hi, cost).expect("invalid variable")
+    }
+
+    /// Fallible variant of [`Model::add_var`].
+    pub fn try_add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lo: f64,
+        hi: f64,
+        cost: f64,
+    ) -> Result<VarId> {
+        let name = name.into();
+        let (lo, hi) = match kind {
+            VarKind::Binary => (0.0, 1.0),
+            _ => (lo, hi),
+        };
+        if lo.is_nan() || hi.is_nan() || lo > hi || lo == f64::INFINITY || hi == f64::NEG_INFINITY {
+            return Err(SolverError::InvalidBounds { name, lo, hi });
+        }
+        if !cost.is_finite() {
+            return Err(SolverError::InvalidCoefficient {
+                context: format!("objective coefficient of {name}"),
+                value: cost,
+            });
+        }
+        let integer = !matches!(kind, VarKind::Continuous);
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable { name, lo, hi, cost, integer });
+        Ok(id)
+    }
+
+    /// Adds the linear constraint `Σ coeff·var  cmp  rhs` and returns its id.
+    ///
+    /// Repeated variables in `terms` are summed. Zero coefficients are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown variables or non-finite data; use
+    /// [`Model::try_add_constr`] for a fallible variant.
+    pub fn add_constr(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) -> ConstrId {
+        self.try_add_constr(terms, cmp, rhs).expect("invalid constraint")
+    }
+
+    /// Fallible variant of [`Model::add_constr`].
+    pub fn try_add_constr(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) -> Result<ConstrId> {
+        let row_idx = self.constrs.len();
+        if !rhs.is_finite() {
+            return Err(SolverError::InvalidCoefficient {
+                context: format!("rhs of constraint {row_idx}"),
+                value: rhs,
+            });
+        }
+        let mut dense: Vec<(u32, f64)> = Vec::with_capacity(terms.len());
+        for (v, a) in terms {
+            if v.index() >= self.vars.len() {
+                return Err(SolverError::InvalidVar { var: v.index(), var_count: self.vars.len() });
+            }
+            if !a.is_finite() {
+                return Err(SolverError::InvalidCoefficient {
+                    context: format!("constraint {row_idx}, variable {}", self.vars[v.index()].name),
+                    value: a,
+                });
+            }
+            dense.push((v.0, a));
+        }
+        dense.sort_by_key(|&(v, _)| v);
+        // Merge duplicates, drop exact zeros.
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(dense.len());
+        for (v, a) in dense {
+            match merged.last_mut() {
+                Some((lv, la)) if *lv == v => *la += a,
+                _ => merged.push((v, a)),
+            }
+        }
+        merged.retain(|&(_, a)| a != 0.0);
+        let id = ConstrId(row_idx as u32);
+        self.constrs.push(Constraint { terms: merged, cmp, rhs });
+        Ok(id)
+    }
+
+    /// Overwrites the objective coefficient of `v`.
+    pub fn set_cost(&mut self, v: VarId, cost: f64) {
+        self.vars[v.index()].cost = cost;
+    }
+
+    /// Tightens/overwrites the bounds of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is NaN.
+    pub fn set_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        assert!(!lo.is_nan() && !hi.is_nan() && lo <= hi, "invalid bounds [{lo}, {hi}]");
+        let var = &mut self.vars[v.index()];
+        var.lo = lo;
+        var.hi = hi;
+    }
+
+    /// Fixes `v` to `value` (used for the incremental-deployment variant of
+    /// the paper, where already-installed devices have `x_e = 1`).
+    pub fn fix_var(&mut self, v: VarId, value: f64) {
+        self.set_bounds(v, value, value);
+    }
+
+    /// Supplies a warm-start solution used as the initial incumbent by
+    /// [`Model::solve_mip`] (it is validated for feasibility first, and
+    /// ignored when infeasible).
+    pub fn set_initial_solution(&mut self, values: Vec<f64>) {
+        self.initial = Some(values);
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constr_count(&self) -> usize {
+        self.constrs.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// The [`VarId`] at dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn var(&self, i: usize) -> VarId {
+        assert!(i < self.vars.len(), "variable index {i} out of range");
+        VarId(i as u32)
+    }
+
+    /// Ids of all integer/binary variables.
+    pub fn integer_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.integer)
+            .map(|(i, _)| VarId(i as u32))
+            .collect()
+    }
+
+    /// Evaluates the objective of an assignment (in the model's sense).
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.vars.iter().zip(values).map(|(v, &x)| v.cost * x).sum()
+    }
+
+    /// Checks an assignment against bounds and constraints with tolerance
+    /// `tol`; returns a description of the first violation found.
+    pub fn check_feasible(&self, values: &[f64], tol: f64) -> std::result::Result<(), String> {
+        if values.len() != self.vars.len() {
+            return Err(format!("expected {} values, got {}", self.vars.len(), values.len()));
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < v.lo - tol || x > v.hi + tol {
+                return Err(format!("variable {} = {x} outside [{}, {}]", v.name, v.lo, v.hi));
+            }
+            if v.integer && (x - x.round()).abs() > crate::INT_TOL {
+                return Err(format!("variable {} = {x} not integral", v.name));
+            }
+        }
+        for (r, c) in self.constrs.iter().enumerate() {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v as usize]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+            };
+            if !ok {
+                return Err(format!("constraint {r}: lhs = {lhs} vs rhs = {}", c.rhs));
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the continuous relaxation (integrality marks ignored).
+    pub fn solve_lp(&self) -> Result<Solution> {
+        simplex::solve(self)
+    }
+
+    /// Solves the mixed-integer program with default options.
+    pub fn solve_mip(&self) -> Result<Solution> {
+        branch_bound::solve(self, &MipOptions::default())
+    }
+
+    /// Solves the mixed-integer program with explicit options.
+    pub fn solve_mip_with(&self, opts: &MipOptions) -> Result<Solution> {
+        branch_bound::solve(self, opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_kind_forces_unit_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Binary, -5.0, 5.0, 1.0);
+        assert_eq!(m.vars[x.index()].lo, 0.0);
+        assert_eq!(m.vars[x.index()].hi, 1.0);
+        assert!(m.vars[x.index()].integer);
+    }
+
+    #[test]
+    fn duplicate_terms_are_merged() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
+        let c = m.add_constr(vec![(x, 1.0), (x, 2.0), (x, -3.0)], Cmp::Le, 1.0);
+        assert!(m.constrs[c.index()].terms.is_empty()); // 1 + 2 - 3 = 0 dropped
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        let mut m = Model::new(Sense::Minimize);
+        assert!(m.try_add_var("x", VarKind::Continuous, 2.0, 1.0, 0.0).is_err());
+        assert!(m.try_add_var("x", VarKind::Continuous, f64::NAN, 1.0, 0.0).is_err());
+        assert!(m
+            .try_add_var("x", VarKind::Continuous, f64::INFINITY, f64::INFINITY, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_var_in_constraint() {
+        let mut m = Model::new(Sense::Minimize);
+        let _x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
+        let ghost = VarId(9);
+        assert!(m.try_add_constr(vec![(ghost, 1.0)], Cmp::Le, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_nan_coefficient() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
+        assert!(m.try_add_constr(vec![(x, f64::NAN)], Cmp::Le, 1.0).is_err());
+        assert!(m.try_add_constr(vec![(x, 1.0)], Cmp::Le, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn feasibility_checker_reports_violations() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Binary, 0.0, 1.0, 1.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Ge, 1.0);
+        assert!(m.check_feasible(&[1.0], 1e-9).is_ok());
+        assert!(m.check_feasible(&[0.0], 1e-9).is_err()); // constraint violated
+        assert!(m.check_feasible(&[0.5], 1e-9).is_err()); // not integral
+        assert!(m.check_feasible(&[2.0], 1e-9).is_err()); // out of bounds
+        assert!(m.check_feasible(&[], 1e-9).is_err()); // wrong arity
+    }
+
+    #[test]
+    fn objective_value_respects_costs() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 2.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 1.0, -1.0);
+        let _ = (x, y);
+        assert_eq!(m.objective_value(&[1.0, 1.0]), 1.0);
+    }
+}

@@ -1,0 +1,856 @@
+//! Bounded-variable revised primal simplex with a dense explicit basis
+//! inverse.
+//!
+//! Design notes:
+//!
+//! * Internally everything is a **minimization**; maximization models have
+//!   their costs negated on entry and objective negated on exit.
+//! * Every constraint row receives one slack variable turning it into an
+//!   equality (`Le` → slack in `[0, ∞)`, `Ge` → slack in `(-∞, 0]`,
+//!   `Eq` → slack fixed at `0`), so the basis always has full size `m`.
+//! * Variables live between bounds `[lo, hi]` (possibly infinite on either
+//!   side); nonbasic variables rest at a finite bound, or at zero when free.
+//!   This avoids materializing the `x ≤ 1` rows of the paper's 0–1 programs,
+//!   which keeps the tableau at "number of traffics" rows rather than
+//!   "traffics + links" (crucial for the 15-router POP with 1980 traffics).
+//! * Phase 1 adds artificial columns only on rows whose slack cannot absorb
+//!   the initial residual; in the paper's programs that is typically the
+//!   single coverage row, so phase 1 is short.
+//! * Pricing is Dantzig (most negative reduced cost) with an automatic
+//!   switch to Bland's rule after a long non-improving streak, which
+//!   guarantees termination on degenerate instances.
+//! * The basis inverse is refactorized periodically (Gauss-Jordan with
+//!   partial pivoting) to bound error accumulation from eta updates.
+
+use crate::model::{Cmp, Model};
+use crate::{Result, SolveStatus, Solution, SolverError, FEAS_TOL};
+
+/// Reduced-cost tolerance for optimality.
+const COST_TOL: f64 = 1e-9;
+/// Minimum pivot magnitude accepted in the ratio test.
+const PIVOT_TOL: f64 = 1e-9;
+/// Iterations without objective improvement before switching to Bland.
+const DEGEN_SWITCH: usize = 100_000;
+/// Eta updates between basis refactorizations.
+const REFRESH_EVERY: usize = 1000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VState {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free variable (both bounds infinite) resting at value 0.
+    FreeAtZero,
+}
+
+/// Dense-working-state LP solver over the standard form described in the
+/// module docs.
+struct Tableau {
+    m: usize,
+    /// Total columns: structurals + slacks + artificials.
+    ncols: usize,
+    /// Sparse columns: (row, coefficient).
+    cols: Vec<Vec<(u32, f64)>>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    /// Right-hand side per row (after slack normalization).
+    rhs: Vec<f64>,
+    state: Vec<VState>,
+    /// Basic column per row.
+    basic: Vec<u32>,
+    /// Value of the basic variable of each row.
+    xb: Vec<f64>,
+    /// Column-major dense basis inverse: entry (r, c) at `binv[c * m + r]`.
+    binv: Vec<f64>,
+    iterations: usize,
+    etas_since_refresh: usize,
+}
+
+impl Tableau {
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VState::AtLower => self.lo[j],
+            VState::AtUpper => self.hi[j],
+            VState::FreeAtZero => 0.0,
+            VState::Basic => unreachable!("basic variable has no resting value"),
+        }
+    }
+
+    /// Recomputes basic values from scratch: `x_B = B^{-1}(rhs - A_N x_N)`.
+    fn recompute_basics(&mut self) {
+        let m = self.m;
+        let mut r = self.rhs.clone();
+        for j in 0..self.ncols {
+            if self.state[j] == VState::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for &(row, a) in &self.cols[j] {
+                    r[row as usize] -= a * v;
+                }
+            }
+        }
+        let mut xb = vec![0.0; m];
+        for c in 0..m {
+            let col = &self.binv[c * m..(c + 1) * m];
+            let rc = r[c];
+            if rc != 0.0 {
+                for i in 0..m {
+                    xb[i] += col[i] * rc;
+                }
+            }
+        }
+        self.xb = xb;
+    }
+
+    /// Rebuilds the dense basis inverse from the current basic set using
+    /// Gauss-Jordan elimination with partial pivoting.
+    fn refactorize(&mut self) -> Result<()> {
+        let m = self.m;
+        // Build B column-major, augmented with identity (also column-major).
+        let mut b = vec![0.0; m * m];
+        for (r, &col) in self.basic.iter().enumerate() {
+            let _ = r;
+            let _ = col;
+        }
+        for (pos, &colid) in self.basic.iter().enumerate() {
+            for &(row, a) in &self.cols[colid as usize] {
+                b[pos * m + row as usize] = a;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        // Gauss-Jordan on rows, operating across both matrices.
+        for piv in 0..m {
+            // Partial pivoting: find the largest |entry| in column piv.
+            let (mut best_r, mut best_v) = (piv, 0.0f64);
+            for r in piv..m {
+                let v = b[piv * m + r].abs();
+                if v > best_v {
+                    best_v = v;
+                    best_r = r;
+                }
+            }
+            if best_v < 1e-12 {
+                // Singular basis: numerical breakdown.
+                return Err(SolverError::IterationLimit { iterations: self.iterations });
+            }
+            if best_r != piv {
+                for c in 0..m {
+                    b.swap(c * m + piv, c * m + best_r);
+                    inv.swap(c * m + piv, c * m + best_r);
+                }
+            }
+            let d = b[piv * m + piv];
+            for c in 0..m {
+                b[c * m + piv] /= d;
+                inv[c * m + piv] /= d;
+            }
+            for r in 0..m {
+                if r == piv {
+                    continue;
+                }
+                let f = b[piv * m + r];
+                if f == 0.0 {
+                    continue;
+                }
+                for c in 0..m {
+                    b[c * m + r] -= f * b[c * m + piv];
+                    inv[c * m + r] -= f * inv[c * m + piv];
+                }
+            }
+        }
+        self.binv = inv;
+        self.etas_since_refresh = 0;
+        self.recompute_basics();
+        Ok(())
+    }
+
+    /// `w = B^{-1} A_j` for a sparse column `j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        let mut w = vec![0.0; m];
+        for &(row, a) in &self.cols[j] {
+            let col = &self.binv[row as usize * m..(row as usize + 1) * m];
+            for i in 0..m {
+                w[i] += a * col[i];
+            }
+        }
+        w
+    }
+
+    /// `y = c_B' B^{-1}` for the given full cost vector.
+    fn btran_duals(&self, cost: &[f64]) -> Vec<f64> {
+        let m = self.m;
+        let cb: Vec<f64> = self.basic.iter().map(|&c| cost[c as usize]).collect();
+        let mut y = vec![0.0; m];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let col = &self.binv[i * m..(i + 1) * m];
+            let mut acc = 0.0;
+            for r in 0..m {
+                acc += cb[r] * col[r];
+            }
+            *yi = acc;
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for &(row, a) in &self.cols[j] {
+            d -= y[row as usize] * a;
+        }
+        d
+    }
+
+    fn objective(&self, cost: &[f64]) -> f64 {
+        let mut z = 0.0;
+        for j in 0..self.ncols {
+            let v = if self.state[j] == VState::Basic { continue } else { self.nonbasic_value(j) };
+            z += cost[j] * v;
+        }
+        for (r, &c) in self.basic.iter().enumerate() {
+            z += cost[c as usize] * self.xb[r];
+        }
+        z
+    }
+
+    /// Runs primal simplex iterations with the given costs until optimal.
+    /// Returns `Err(Unbounded)` when a ray is found.
+    fn optimize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
+        let m = self.m;
+        let mut best_obj = f64::INFINITY;
+        let mut non_improving = 0usize;
+
+        loop {
+            if self.iterations >= iter_limit {
+                return Err(SolverError::IterationLimit { iterations: self.iterations });
+            }
+            self.iterations += 1;
+            if self.etas_since_refresh >= REFRESH_EVERY {
+                self.refactorize()?;
+            }
+
+            let y = self.btran_duals(cost);
+            let use_bland = non_improving >= DEGEN_SWITCH;
+
+            // Pricing: pick the entering column.
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, d, score)
+            for j in 0..self.ncols {
+                let st = self.state[j];
+                if st == VState::Basic {
+                    continue;
+                }
+                // Fixed variables can never move.
+                if self.lo[j] == self.hi[j] {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost, &y);
+                let eligible = match st {
+                    VState::AtLower => d < -COST_TOL,
+                    VState::AtUpper => d > COST_TOL,
+                    VState::FreeAtZero => d.abs() > COST_TOL,
+                    VState::Basic => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                if use_bland {
+                    entering = Some((j, d, 0.0));
+                    break;
+                }
+                let score = d.abs();
+                if entering.map_or(true, |(_, _, s)| score > s) {
+                    entering = Some((j, d, score));
+                }
+            }
+
+            let Some((j, dj, _)) = entering else {
+                return Ok(()); // optimal
+            };
+
+            // Direction of movement of the entering variable.
+            let sigma = match self.state[j] {
+                VState::AtLower => 1.0,
+                VState::AtUpper => -1.0,
+                VState::FreeAtZero => {
+                    if dj < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                VState::Basic => unreachable!(),
+            };
+
+            let w = self.ftran(j);
+
+            // Ratio test, two passes (Harris-flavoured for stability).
+            // x_B(t) = x_B - sigma * t * w; the entering moves by sigma * t
+            // from its resting value, up to its opposite bound.
+            //
+            // Pass 1 finds the tightest step t_max; pass 2 picks, among the
+            // rows blocking within a small tolerance of t_max, the one with
+            // the largest |pivot| — accepting a microscopic pivot here is
+            // what corrupts the basis inverse on the ~1000-row instances of
+            // the paper's Figure 8.
+            let own_range = self.hi[j] - self.lo[j]; // may be +inf
+            let mut t_max = if own_range.is_finite() { own_range } else { f64::INFINITY };
+            let row_limit = |t: &mut f64, r: usize, rate: f64, xb: f64| -> Option<(f64, bool)> {
+                let bcol = self.basic[r] as usize;
+                if rate > PIVOT_TOL {
+                    let lob = self.lo[bcol];
+                    if lob.is_finite() {
+                        let tr = ((xb - lob) / rate).max(0.0);
+                        if tr < *t {
+                            *t = tr;
+                        }
+                        return Some((tr, false));
+                    }
+                } else if rate < -PIVOT_TOL {
+                    let hib = self.hi[bcol];
+                    if hib.is_finite() {
+                        let tr = ((hib - xb) / (-rate)).max(0.0);
+                        if tr < *t {
+                            *t = tr;
+                        }
+                        return Some((tr, true));
+                    }
+                }
+                None
+            };
+            // Pass 1: tightest step.
+            for r in 0..m {
+                let rate = sigma * w[r];
+                let _ = row_limit(&mut t_max, r, rate, self.xb[r]);
+            }
+            // Pass 2: best pivot among rows blocking near t_max.
+            let tie = 1e-9 + 1e-7 * t_max.abs().min(1.0);
+            let mut leave: Option<(usize, bool, f64)> = None; // (row, hits_upper, |pivot|)
+            if t_max.is_finite() && t_max < own_range - 1e-12 {
+                for r in 0..m {
+                    let rate = sigma * w[r];
+                    let mut dummy = f64::INFINITY;
+                    if let Some((tr, hits_upper)) = row_limit(&mut dummy, r, rate, self.xb[r]) {
+                        if tr <= t_max + tie {
+                            let mag = w[r].abs();
+                            if leave.map_or(true, |(_, _, m0)| mag > m0) {
+                                leave = Some((r, hits_upper, mag));
+                            }
+                        }
+                    }
+                }
+            }
+            let leave = leave.map(|(r, h, _)| (r, h));
+
+            if t_max.is_infinite() {
+                return Err(SolverError::Unbounded);
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: the entering variable runs to its other
+                    // bound without any basic variable blocking.
+                    for r in 0..m {
+                        self.xb[r] -= sigma * t_max * w[r];
+                    }
+                    self.state[j] = match self.state[j] {
+                        VState::AtLower => VState::AtUpper,
+                        VState::AtUpper => VState::AtLower,
+                        s => s, // free vars have infinite range; unreachable
+                    };
+                }
+                Some((r, hits_upper)) => {
+                    let leaving = self.basic[r] as usize;
+                    let enter_val = match self.state[j] {
+                        VState::AtLower => self.lo[j] + sigma * t_max,
+                        VState::AtUpper => self.hi[j] + sigma * t_max,
+                        VState::FreeAtZero => sigma * t_max,
+                        VState::Basic => unreachable!(),
+                    };
+                    for i in 0..m {
+                        if i != r {
+                            self.xb[i] -= sigma * t_max * w[i];
+                        }
+                    }
+                    self.xb[r] = enter_val;
+                    self.state[leaving] =
+                        if hits_upper { VState::AtUpper } else { VState::AtLower };
+                    self.state[j] = VState::Basic;
+                    self.basic[r] = j as u32;
+                    self.update_binv(r, &w)?;
+                }
+            }
+
+            // Degeneracy bookkeeping for the Bland switch.
+            let z = self.objective(cost);
+            if z < best_obj - 1e-10 {
+                best_obj = z;
+                non_improving = 0;
+            } else {
+                non_improving += 1;
+            }
+        }
+    }
+
+    /// Applies the eta update for a pivot on row `r` with FTRAN column `w`.
+    fn update_binv(&mut self, r: usize, w: &[f64]) -> Result<()> {
+        let m = self.m;
+        let pivot = w[r];
+        if pivot.abs() < PIVOT_TOL {
+            // Numerically dangerous pivot slipped through: refactorize.
+            return self.refactorize();
+        }
+        for c in 0..m {
+            let col = &mut self.binv[c * m..(c + 1) * m];
+            let pr = col[r];
+            if pr == 0.0 {
+                continue;
+            }
+            let f = pr / pivot;
+            for i in 0..m {
+                if i != r {
+                    col[i] -= w[i] * f;
+                }
+            }
+            col[r] = f;
+        }
+        self.etas_since_refresh += 1;
+        Ok(())
+    }
+}
+
+/// Builds the standard form for `model`, choosing initial nonbasic values
+/// and installing artificials where needed; returns the tableau plus the
+/// set of artificial columns.
+fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
+    let n = model.vars.len();
+    let m = model.constrs.len();
+    let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
+    let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
+    let mut rhs = vec![0.0; m];
+
+    for (r, c) in model.constrs.iter().enumerate() {
+        rhs[r] = c.rhs;
+        for &(v, a) in &c.terms {
+            cols[v as usize].push((r as u32, a));
+        }
+    }
+
+    // Slacks.
+    for (r, c) in model.constrs.iter().enumerate() {
+        cols.push(vec![(r as u32, 1.0)]);
+        match c.cmp {
+            Cmp::Le => {
+                lo.push(0.0);
+                hi.push(f64::INFINITY);
+            }
+            Cmp::Ge => {
+                lo.push(f64::NEG_INFINITY);
+                hi.push(0.0);
+            }
+            Cmp::Eq => {
+                lo.push(0.0);
+                hi.push(0.0);
+            }
+        }
+    }
+
+    // Initial nonbasic states for structurals: rest at the finite bound
+    // closest to zero, or free-at-zero.
+    let mut state = Vec::with_capacity(n + m);
+    for j in 0..n {
+        let s = if lo[j].is_finite() && hi[j].is_finite() {
+            if hi[j].abs() < lo[j].abs() { VState::AtUpper } else { VState::AtLower }
+        } else if lo[j].is_finite() {
+            VState::AtLower
+        } else if hi[j].is_finite() {
+            VState::AtUpper
+        } else {
+            VState::FreeAtZero
+        };
+        state.push(s);
+    }
+
+    // Row residuals with structurals at their resting values.
+    let mut act = vec![0.0; m];
+    for j in 0..n {
+        let v = match state[j] {
+            VState::AtLower => lo[j],
+            VState::AtUpper => hi[j],
+            _ => 0.0,
+        };
+        if v != 0.0 {
+            for &(row, a) in &cols[j] {
+                act[row as usize] += a * v;
+            }
+        }
+    }
+
+    let mut basic = vec![0u32; m];
+    let mut xb = vec![0.0; m];
+    // Rows that cannot start with a feasible basic slack: (row, residual).
+    let mut needs_artificial: Vec<(usize, f64)> = Vec::new();
+
+    // First assign the slack state of every row (slack columns are
+    // n..n+m, so their states must come before any artificial state).
+    for r in 0..m {
+        let slack = n + r;
+        let need = rhs[r] - act[r]; // desired slack value
+        if need >= lo[slack] - FEAS_TOL && need <= hi[slack] + FEAS_TOL {
+            // Slack absorbs the residual: make it basic.
+            basic[r] = slack as u32;
+            xb[r] = need.clamp(lo[slack], hi[slack]);
+            state.push(VState::Basic);
+        } else {
+            // Slack rests at its nearest bound; an artificial will absorb
+            // the remaining residual with a positive value.
+            let srest = if need < lo[slack] { lo[slack] } else { hi[slack] };
+            state.push(if srest == lo[slack] { VState::AtLower } else { VState::AtUpper });
+            needs_artificial.push((r, need - srest));
+        }
+    }
+
+    // Then append the artificial columns (indices n+m..).
+    let mut artificials = Vec::new();
+    for (r, resid) in needs_artificial {
+        let a_col = cols.len();
+        cols.push(vec![(r as u32, resid.signum())]);
+        lo.push(0.0);
+        hi.push(f64::INFINITY);
+        state.push(VState::Basic);
+        basic[r] = a_col as u32;
+        xb[r] = resid.abs();
+        artificials.push(a_col);
+    }
+
+    let ncols = cols.len();
+    let mut binv = vec![0.0; m * m];
+    for r in 0..m {
+        // B is diagonal: +1 for slacks, ±1 for artificials.
+        let c = basic[r] as usize;
+        let d = cols[c][0].1;
+        binv[r * m + r] = 1.0 / d;
+    }
+
+    Ok((
+        Tableau {
+            m,
+            ncols,
+            cols,
+            lo,
+            hi,
+            rhs,
+            state,
+            basic,
+            xb,
+            binv,
+            iterations: 0,
+            etas_since_refresh: 0,
+        },
+        artificials,
+    ))
+}
+
+/// Solves the continuous relaxation of `model`.
+pub(crate) fn solve(model: &Model) -> Result<Solution> {
+    // Degenerate case: no constraints — every variable sits at its best bound.
+    if model.constrs.is_empty() {
+        let minimize = matches!(model.sense, crate::Sense::Minimize);
+        let mut values = Vec::with_capacity(model.vars.len());
+        for v in &model.vars {
+            let c = if minimize { v.cost } else { -v.cost };
+            let x = if c > 0.0 {
+                if v.lo.is_finite() { v.lo } else { return Err(SolverError::Unbounded) }
+            } else if c < 0.0 {
+                if v.hi.is_finite() { v.hi } else { return Err(SolverError::Unbounded) }
+            } else if v.lo.is_finite() {
+                v.lo
+            } else if v.hi.is_finite() {
+                v.hi
+            } else {
+                0.0
+            };
+            values.push(x);
+        }
+        let objective = model.objective_value(&values);
+        return Ok(Solution {
+            values,
+            objective,
+            status: SolveStatus::Optimal,
+            gap: 0.0,
+            iterations: 0,
+            nodes: 1,
+        });
+    }
+
+    let (mut t, artificials) = build(model)?;
+    let n = model.vars.len();
+    let iter_limit = 200 * (t.m + t.ncols) + 20_000;
+
+    // Phase 1: minimize the artificial sum when any artificial is present.
+    if !artificials.is_empty() {
+        let mut c1 = vec![0.0; t.ncols];
+        for &a in &artificials {
+            c1[a] = 1.0;
+        }
+        t.optimize(&c1, iter_limit)?;
+        let infeas = t.objective(&c1);
+        if infeas > 1e-6 {
+            return Err(SolverError::Infeasible);
+        }
+        // Freeze artificials at zero for phase 2.
+        for &a in &artificials {
+            t.lo[a] = 0.0;
+            t.hi[a] = 0.0;
+            if t.state[a] != VState::Basic {
+                t.state[a] = VState::AtLower;
+            }
+        }
+        // Clamp any residual basic artificial values.
+        for r in 0..t.m {
+            if artificials.contains(&(t.basic[r] as usize)) {
+                t.xb[r] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2.
+    let minimize = matches!(model.sense, crate::Sense::Minimize);
+    let mut c2 = vec![0.0; t.ncols];
+    for (j, v) in model.vars.iter().enumerate() {
+        c2[j] = if minimize { v.cost } else { -v.cost };
+    }
+    t.optimize(&c2, iter_limit)?;
+
+    // Extract structural values.
+    let mut values = vec![0.0; n];
+    for j in 0..n {
+        values[j] = match t.state[j] {
+            VState::Basic => 0.0, // filled below
+            _ => t.nonbasic_value(j),
+        };
+    }
+    for (r, &c) in t.basic.iter().enumerate() {
+        if (c as usize) < n {
+            values[c as usize] = t.xb[r];
+        }
+    }
+    // Snap almost-at-bound values for cleanliness.
+    for (j, v) in values.iter_mut().enumerate() {
+        let (l, h) = (model.vars[j].lo, model.vars[j].hi);
+        if l.is_finite() && (*v - l).abs() < 1e-9 {
+            *v = l;
+        }
+        if h.is_finite() && (*v - h).abs() < 1e-9 {
+            *v = h;
+        }
+    }
+
+    let objective = model.objective_value(&values);
+    Ok(Solution {
+        values,
+        objective,
+        status: SolveStatus::Optimal,
+        gap: 0.0,
+        iterations: t.iterations,
+        nodes: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Cmp, Model, Sense, SolverError, VarKind};
+
+    fn var(m: &mut Model, name: &str, lo: f64, hi: f64, cost: f64) -> crate::VarId {
+        m.add_var(name, VarKind::Continuous, lo, hi, cost)
+    }
+
+    #[test]
+    fn textbook_minimization() {
+        // min x + y s.t. x + 2y >= 3, 3x + y >= 4 -> (1, 1), obj 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, f64::INFINITY, 1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 1.0);
+        m.add_constr(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 3.0);
+        m.add_constr(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6, "obj = {}", s.objective);
+        assert!((s.value(x) - 1.0).abs() < 1e-6);
+        assert!((s.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> obj 36 at (2, 6).
+        let mut m = Model::new(Sense::Maximize);
+        let x = var(&mut m, "x", 0.0, f64::INFINITY, 3.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 5.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constr(vec![(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constr(vec![(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-6);
+        assert!((s.value(x) - 2.0).abs() < 1e-6);
+        assert!((s.value(y) - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 10, x - y = 2 -> x = 6, y = 4, obj 14.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, f64::INFINITY, 1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 2.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Eq, 10.0);
+        m.add_constr(vec![(x, 1.0), (y, -1.0)], Cmp::Eq, 2.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.value(x) - 6.0).abs() < 1e-6);
+        assert!((s.value(y) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn upper_bounds_without_rows() {
+        // max x + y with x, y in [0, 1] and x + y <= 1.5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = var(&mut m, "x", 0.0, 1.0, 1.0);
+        let y = var(&mut m, "y", 0.0, 1.0, 1.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Le, 1.5);
+        let s = m.solve_lp().unwrap();
+        assert!((s.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, 1.0, 1.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Ge, 2.0);
+        assert_eq!(m.solve_lp().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = var(&mut m, "x", 0.0, f64::INFINITY, 1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 0.0);
+        m.add_constr(vec![(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        assert_eq!(m.solve_lp().unwrap_err(), SolverError::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x with x in [-5, 5], x >= -3 -> x = -3.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", -5.0, 5.0, 1.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Ge, -3.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.value(x) + 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variables() {
+        // min x + y, x free, y >= 0, x + y >= 4, x <= 1 (via row) -> x=1,y=3? cost 4.
+        // Actually optimum: x as large as allowed (1), y = 3 -> obj 4; or x
+        // smaller makes y bigger, same cost. Unique optimum when cost y = 2.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 2.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Le, 1.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.objective - 7.0).abs() < 1e-6, "obj = {}", s.objective);
+        assert!((s.value(x) - 1.0).abs() < 1e-6);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variables_are_respected() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 2.0, 2.0, 1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 1.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 5.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-9);
+        assert!((s.value(y) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_constraints_picks_best_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = var(&mut m, "x", 0.0, 7.0, 2.0);
+        let y = var(&mut m, "y", -1.0, 3.0, -1.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.value(x) - 7.0).abs() < 1e-9);
+        assert!((s.value(y) + 1.0).abs() < 1e-9);
+        assert!((s.objective - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_constraints_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        var(&mut m, "x", 0.0, f64::INFINITY, 1.0);
+        assert_eq!(m.solve_lp().unwrap_err(), SolverError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Highly degenerate: many redundant constraints through the origin.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, f64::INFINITY, -1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, -1.0);
+        for i in 1..=8 {
+            m.add_constr(vec![(x, i as f64), (y, 1.0)], Cmp::Le, i as f64);
+        }
+        let s = m.solve_lp().unwrap();
+        // max x + y s.t. ix + y <= i: optimum x=1,y=0 -> -1? Check x=0,y=1
+        // also satisfies all (y <= i). obj -1 either way... actually
+        // x=6/7,y=6/7 satisfies x+y<=1? row i=1: x+y<=1. So optimum -1.
+        assert!((s.objective + 1.0).abs() < 1e-6, "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn lp_relaxation_of_cover() {
+        // Fractional set cover: 3 elements, sets {1,2}, {2,3}, {1,3};
+        // LP optimum is x = 1/2 each, objective 1.5.
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", VarKind::Binary, 0.0, 1.0, 1.0);
+        let b = m.add_var("b", VarKind::Binary, 0.0, 1.0, 1.0);
+        let c = m.add_var("c", VarKind::Binary, 0.0, 1.0, 1.0);
+        m.add_constr(vec![(a, 1.0), (c, 1.0)], Cmp::Ge, 1.0);
+        m.add_constr(vec![(a, 1.0), (b, 1.0)], Cmp::Ge, 1.0);
+        m.add_constr(vec![(b, 1.0), (c, 1.0)], Cmp::Ge, 1.0);
+        let s = m.solve_lp().unwrap();
+        assert!((s.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_random_lp_is_feasible_and_bounded() {
+        // A covering LP with 40 vars and 25 rows; verifies the solution via
+        // the model's own feasibility checker.
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> =
+            (0..40).map(|i| m.add_var(format!("x{i}"), VarKind::Continuous, 0.0, 1.0, 1.0 + (i % 3) as f64)).collect();
+        for r in 0..25usize {
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i + r) % 4 == 0 || (i * 7 + r * 3) % 5 == 0)
+                .map(|(i, &v)| (v, 1.0 + ((i + r) % 2) as f64))
+                .collect();
+            m.add_constr(terms, Cmp::Ge, 2.0);
+        }
+        let s = m.solve_lp().unwrap();
+        m.check_feasible(
+            &s.values
+                .iter()
+                .map(|&v| v) // continuous: integrality not enforced
+                .collect::<Vec<_>>(),
+            1e-6,
+        )
+        .unwrap();
+        assert!(s.objective > 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Graphviz (DOT) export, used by the figure-regeneration binaries to
+//! visualize POP topologies and per-edge traffic load (paper Figure 6).
+
+use crate::{EdgeId, Graph};
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Graph name in the `graph <name> { ... }` header.
+    pub name: String,
+    /// Optional per-edge pen width (e.g. proportional to traffic load,
+    /// as in the paper's Figure 6). Missing entries default to 1.0.
+    pub edge_width: Vec<(EdgeId, f64)>,
+    /// Optional per-edge textual label (e.g. the load value).
+    pub edge_label: Vec<(EdgeId, String)>,
+    /// Edge ids to highlight (drawn in red) — e.g. selected monitor links.
+    pub highlight: Vec<EdgeId>,
+}
+
+/// Renders `graph` as an undirected Graphviz document.
+pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
+    let name = if opts.name.is_empty() { "pop" } else { &opts.name };
+    let mut out = String::new();
+    out.push_str(&format!("graph {name} {{\n"));
+    out.push_str("  node [shape=circle, fontsize=10];\n");
+    for v in graph.nodes() {
+        out.push_str(&format!("  {} [label=\"{}\"];\n", v.index(), graph.label(v)));
+    }
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        let mut attrs: Vec<String> = Vec::new();
+        if let Some(&(_, w)) = opts.edge_width.iter().find(|&&(id, _)| id == e) {
+            attrs.push(format!("penwidth={w:.2}"));
+        }
+        if let Some((_, label)) = opts.edge_label.iter().find(|(id, _)| *id == e) {
+            attrs.push(format!("label=\"{label}\""));
+        }
+        if opts.highlight.contains(&e) {
+            attrs.push("color=red".to_string());
+        }
+        if attrs.is_empty() {
+            out.push_str(&format!("  {} -- {};\n", u.index(), v.index()));
+        } else {
+            out.push_str(&format!("  {} -- {} [{}];\n", u.index(), v.index(), attrs.join(", ")));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("bb0");
+        let c = b.add_node("acc0");
+        let e = b.add_edge(a, c, 1.0);
+        let g = b.build();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                name: "test".into(),
+                edge_width: vec![(e, 3.0)],
+                edge_label: vec![(e, "42%".into())],
+                highlight: vec![e],
+            },
+        );
+        assert!(dot.starts_with("graph test {"));
+        assert!(dot.contains("0 [label=\"bb0\"]"));
+        assert!(dot.contains("0 -- 1 [penwidth=3.00, label=\"42%\", color=red];"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn default_options_render_bare_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("b");
+        b.add_edge(a, c, 1.0);
+        let g = b.build();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("graph pop {"));
+        assert!(dot.contains("0 -- 1;"));
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph it was used with.
+    InvalidNode {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// An edge index was out of range for the graph it was used with.
+    InvalidEdge {
+        /// The offending edge index.
+        edge: usize,
+        /// Number of edges in the graph.
+        edge_count: usize,
+    },
+    /// A self-loop was requested; links connect distinct routers.
+    SelfLoop {
+        /// The node on which the self-loop was attempted.
+        node: usize,
+    },
+    /// A non-finite or negative routing weight was supplied.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A path was requested between nodes that are not connected.
+    Unreachable {
+        /// Source node index.
+        source: usize,
+        /// Target node index.
+        target: usize,
+    },
+    /// A path failed structural validation (edges do not chain, endpoints
+    /// mismatch, or a node repeats in a supposedly simple path).
+    MalformedPath(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode { node, node_count } => {
+                write!(f, "node index {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::InvalidEdge { edge, edge_count } => {
+                write!(f, "edge index {edge} out of range (graph has {edge_count} edges)")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node}: links must connect distinct routers")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "invalid routing weight {weight}: must be finite and non-negative")
+            }
+            GraphError::Unreachable { source, target } => {
+                write!(f, "no path from node {source} to node {target}")
+            }
+            GraphError::MalformedPath(msg) => write!(f, "malformed path: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

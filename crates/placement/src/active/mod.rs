@@ -1,0 +1,18 @@
+//! Active monitoring (paper Section 6): probe computation and beacon
+//! placement.
+//!
+//! The network is the undirected router graph `G = (V, E)` with a set of
+//! candidate beacon locations `V_B ⊆ V`. Following \[15\] (Nguyen & Thiran,
+//! PAM 2004), monitoring proceeds in two phases: first compute an optimal
+//! set of probes Φ (paths whose traversal covers the links to supervise),
+//! then place the fewest beacons able to send every probe. The paper's
+//! contribution is the *placement* phase: a `0–1` ILP and a degree greedy,
+//! both beating the arbitrary-choice heuristic of \[15\].
+
+mod assignment;
+mod beacons;
+mod probes;
+
+pub use assignment::{assign_probes_greedy, assign_probes_ilp, ProbeAssignment};
+pub use beacons::{place_beacons_greedy, place_beacons_ilp, place_beacons_thiran, BeaconPlacement};
+pub use probes::{compute_probes, Probe, ProbeSet};

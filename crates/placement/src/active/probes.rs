@@ -1,0 +1,200 @@
+//! Probe-set computation — a reconstruction of the polynomial algorithm of
+//! \[15\] (Nguyen & Thiran, *Active Measurement for Multiple Link Failures
+//! Diagnosis in IP Networks*, PAM 2004).
+//!
+//! The paper treats that algorithm as a black box: *"Assume that Φ is the
+//! optimal set of probes obtained with the algorithm of \[15\]. Each probe
+//! ϕ ∈ Φ is identified by its two extremities ϕ_u and ϕ_v."* What the
+//! placement phase needs from Φ is (a) probe endpoints lie in the candidate
+//! set `V_B`, and (b) the probes collectively cover the links under
+//! supervision. We reconstruct Φ accordingly: candidate probes are the
+//! shortest routed paths between pairs of candidate beacons, and a
+//! polynomial greedy cover selects a small probe set covering every
+//! coverable link. All three placement strategies consume the *same* Φ,
+//! exactly as in the paper's Figures 9–11. (Documented as a substitution
+//! in `DESIGN.md`.)
+
+use netgraph::{dijkstra, EdgeId, Graph, NodeId};
+
+use crate::setcover::{greedy_partial_cover, SetCoverInstance};
+
+/// A probe: an undirected measurement path identified by its extremities
+/// (`(u, v)` equals `(v, u)`, normalized to `u < v`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Probe {
+    /// One extremity (`ϕ_u`), the smaller node id.
+    pub u: NodeId,
+    /// The other extremity (`ϕ_v`).
+    pub v: NodeId,
+    /// Links traversed by the probe's path.
+    pub edges: Vec<EdgeId>,
+}
+
+/// The probe set Φ plus coverage bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ProbeSet {
+    /// Selected probes.
+    pub probes: Vec<Probe>,
+    /// Links covered by Φ (mask over edge ids).
+    pub covered: Vec<bool>,
+    /// Links that *no* candidate-pair path traverses — uncoverable with
+    /// this `V_B` (e.g. links hanging off non-candidate degree-1 nodes).
+    pub uncoverable: Vec<EdgeId>,
+}
+
+impl ProbeSet {
+    /// Number of probes in Φ.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// `true` when Φ is empty (fewer than two candidates, say).
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+}
+
+/// Computes the probe set Φ for candidate beacons `candidates`.
+///
+/// Candidate probes are shortest paths between every unordered candidate
+/// pair (deterministic tie-breaking); the greedy set cover then picks a
+/// minimal subset covering every coverable link.
+///
+/// # Panics
+///
+/// Panics on out-of-range candidate nodes or duplicates.
+pub fn compute_probes(graph: &Graph, candidates: &[NodeId]) -> ProbeSet {
+    for &c in candidates {
+        graph.check_node(c).expect("candidate out of range");
+    }
+    let mut sorted = candidates.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), candidates.len(), "duplicate candidate beacons");
+
+    // All candidate-pair shortest paths.
+    let mut pool: Vec<Probe> = Vec::new();
+    for (i, &u) in sorted.iter().enumerate() {
+        let tree = match dijkstra::shortest_path_tree(graph, u) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        for &v in &sorted[i + 1..] {
+            if let Ok(path) = tree.path_to(graph, v) {
+                if !path.is_empty() {
+                    pool.push(Probe { u, v, edges: path.edges().to_vec() });
+                }
+            }
+        }
+    }
+
+    // Greedy cover over links: elements = edges, sets = probes.
+    let sets: Vec<Vec<usize>> =
+        pool.iter().map(|p| p.edges.iter().map(|e| e.index()).collect()).collect();
+    let inst = SetCoverInstance::unweighted(graph.edge_count(), sets);
+    let coverable = inst.max_coverable_weight();
+    let cover = greedy_partial_cover(&inst, coverable)
+        .expect("covering the coverable weight is always feasible");
+
+    let probes: Vec<Probe> = cover.selection.iter().map(|&i| pool[i].clone()).collect();
+    let mut covered = vec![false; graph.edge_count()];
+    for p in &probes {
+        for &e in &p.edges {
+            covered[e.index()] = true;
+        }
+    }
+    // Uncoverable = edges no pooled probe traverses.
+    let mut touchable = vec![false; graph.edge_count()];
+    for p in &pool {
+        for &e in &p.edges {
+            touchable[e.index()] = true;
+        }
+    }
+    let uncoverable: Vec<EdgeId> = graph.edges().filter(|e| !touchable[e.index()]).collect();
+
+    ProbeSet { probes, covered, uncoverable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::GraphBuilder;
+    use popgen::PopSpec;
+
+    fn path_graph(n: usize) -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes("r", n);
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1], 1.0);
+        }
+        (b.build(), nodes)
+    }
+
+    #[test]
+    fn end_to_end_probe_covers_a_path_graph() {
+        let (g, nodes) = path_graph(5);
+        let ps = compute_probes(&g, &[nodes[0], nodes[4]]);
+        assert_eq!(ps.len(), 1, "one end-to-end probe suffices");
+        assert!(ps.covered.iter().all(|&c| c));
+        assert!(ps.uncoverable.is_empty());
+    }
+
+    #[test]
+    fn middle_candidates_leave_stubs_uncovered() {
+        let (g, nodes) = path_graph(5);
+        // Candidates 1 and 3: links 0-1 and 3-4 cannot be probed.
+        let ps = compute_probes(&g, &[nodes[1], nodes[3]]);
+        assert_eq!(ps.uncoverable.len(), 2);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn fewer_than_two_candidates_yields_empty_phi() {
+        let (g, nodes) = path_graph(3);
+        assert!(compute_probes(&g, &[]).is_empty());
+        assert!(compute_probes(&g, &[nodes[1]]).is_empty());
+    }
+
+    #[test]
+    fn probe_endpoints_are_candidates_and_normalized() {
+        let pop = PopSpec::paper_15().build();
+        let (g, _) = pop.router_subgraph();
+        let candidates: Vec<NodeId> = g.nodes().take(8).collect();
+        let ps = compute_probes(&g, &candidates);
+        for p in &ps.probes {
+            assert!(p.u < p.v, "normalized endpoints");
+            assert!(candidates.contains(&p.u));
+            assert!(candidates.contains(&p.v));
+            assert!(!p.edges.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_routers_as_candidates_cover_everything() {
+        let pop = PopSpec::paper_10().build();
+        let (g, _) = pop.router_subgraph();
+        let candidates: Vec<NodeId> = g.nodes().collect();
+        let ps = compute_probes(&g, &candidates);
+        assert!(ps.uncoverable.is_empty(), "full candidate set covers all router links");
+        assert!(ps.covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn probe_set_grows_with_candidates() {
+        let pop = PopSpec::paper_15().build();
+        let (g, _) = pop.router_subgraph();
+        let all: Vec<NodeId> = g.nodes().collect();
+        let small = compute_probes(&g, &all[..4]);
+        let large = compute_probes(&g, &all[..12]);
+        let covered_small = small.covered.iter().filter(|&&c| c).count();
+        let covered_large = large.covered.iter().filter(|&&c| c).count();
+        assert!(covered_large >= covered_small);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate candidate")]
+    fn duplicate_candidates_rejected() {
+        let (g, nodes) = path_graph(3);
+        compute_probes(&g, &[nodes[0], nodes[0]]);
+    }
+}

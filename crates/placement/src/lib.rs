@@ -1,0 +1,47 @@
+//! Monitor-placement algorithms from *Optimal Positioning of Active and
+//! Passive Monitoring Devices* (Chaudet, Fleury, Guérin Lassous, Rivano,
+//! Voge — CoNEXT 2005).
+//!
+//! This crate is the paper's contribution proper, built on the substrates
+//! of the workspace (`netgraph`, `milp`, `mcmf`, `popgen`):
+//!
+//! * [`instance`] — the combinatorial monitoring instance (`PPM(k)`,
+//!   Section 4.1) and its preprocessing (identical-support merging);
+//! * [`setcover`] — the Minimum (Partial) Set Cover kernel with the greedy
+//!   algorithm and its Slavík approximation bound (Section 4.2);
+//! * [`reduction`] — both directions of Theorem 1 (`MSC ≡ PPM(1)`),
+//!   constructing actual graphs and traffic sets;
+//! * [`passive`] — `PPM(k)` solvers: the paper's decreasing-load greedy,
+//!   the adaptive (set-cover) greedy, the flow greedy on the MECF
+//!   relaxation, the exact LP 2 MIP, the LP 1 arc-path MIP for
+//!   cross-validation, brute force for tests, and the incremental /
+//!   budget-constrained variants (Sections 4.3–4.4);
+//! * [`sampling`] — `PPME(h, k)` with setup and exploitation costs and
+//!   multi-routed traffics (Section 5, Linear Program 3);
+//! * [`dynamic`] — `PPME*(x, h, k)` re-optimization (LP and min-cost-flow
+//!   forms) plus the threshold controller of Section 5.4;
+//! * [`active`] — probe-set computation and beacon placement: the baseline
+//!   of Nguyen–Thiran \[15\], the improved greedy, and the exact ILP
+//!   (Section 6);
+//! * [`cascade`] — Section 7's first future-work item: the refined
+//!   independent-sampling model where rates on a path combine as
+//!   `1 − Π(1 − r_e)` instead of adding;
+//! * [`campaign`] — Section 7's third future-work item: measurement
+//!   campaigns that re-route traffic over alternative paths to maximize
+//!   the monitored ratio for a fixed deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod campaign;
+pub mod cascade;
+pub mod dynamic;
+pub mod instance;
+pub mod passive;
+pub mod reduction;
+pub mod sampling;
+pub mod setcover;
+
+pub use instance::PpmInstance;
+pub use passive::PpmSolution;

@@ -1,0 +1,161 @@
+//! The greedy heuristics for `PPM(k)`.
+//!
+//! Three variants, all from the paper:
+//!
+//! * [`greedy_static`] — "the greedy approach that selects links in
+//!   decreasing weight order" (Section 4.4): sort edges by initial load
+//!   once, add until the target is met. This is the baseline plotted in
+//!   Figures 7 and 8.
+//! * [`greedy_adaptive`] — the set-cover greedy ("always choose the edge
+//!   which permits to monitor the larger volume of traffic not monitored
+//!   yet", Section 4.3), which carries the Slavík guarantee.
+//! * [`flow_greedy_ppm`] — the min-cost-flow computation on the MECF
+//!   linear relaxation with `1/load(e)` arc costs, which the paper shows
+//!   formalizes the greedy family (Section 4.3 "Heuristics").
+
+use crate::instance::PpmInstance;
+use crate::passive::PpmSolution;
+use crate::reduction::ppm_to_msc;
+use crate::setcover::greedy_partial_cover;
+
+/// Static decreasing-load greedy. Returns `None` when even all edges
+/// cannot reach the target (uncoverable traffic).
+pub fn greedy_static(inst: &PpmInstance, k: f64) -> Option<PpmSolution> {
+    check_k(k);
+    let total = inst.total_volume();
+    let target = k * total;
+    let loads = inst.edge_loads();
+    let mut order: Vec<usize> = (0..inst.num_edges).collect();
+    // Decreasing load; ties on the smaller edge index for determinism.
+    order.sort_by(|&a, &b| {
+        loads[b].partial_cmp(&loads[a]).expect("finite loads").then(a.cmp(&b))
+    });
+
+    let mut covered = vec![false; inst.traffics.len()];
+    let mut covered_w = 0.0f64;
+    let mut picked = Vec::new();
+    let tol = 1e-9 * total.max(1.0);
+    for e in order {
+        if covered_w + tol >= target {
+            break;
+        }
+        if loads[e] <= 0.0 {
+            break; // only empty edges remain
+        }
+        picked.push(e);
+        for (t, (v, support)) in inst.traffics.iter().enumerate() {
+            if !covered[t] && support.contains(&e) {
+                covered[t] = true;
+                covered_w += v;
+            }
+        }
+    }
+    if covered_w + tol < target {
+        return None;
+    }
+    Some(PpmSolution::from_edges(inst, picked, false))
+}
+
+/// Adaptive (set-cover) greedy: repeatedly pick the edge covering the most
+/// uncovered volume.
+pub fn greedy_adaptive(inst: &PpmInstance, k: f64) -> Option<PpmSolution> {
+    check_k(k);
+    let msc = ppm_to_msc(inst);
+    let target = k * inst.total_volume();
+    let g = greedy_partial_cover(&msc, target)?;
+    Some(PpmSolution::from_edges(inst, g.selection, false))
+}
+
+/// Flow greedy on the MECF relaxation (cost `1/load(e)` per monitored
+/// unit).
+pub fn flow_greedy_ppm(inst: &PpmInstance, k: f64) -> Option<PpmSolution> {
+    check_k(k);
+    let mon = inst.to_monitoring();
+    let r = mcmf::mecf::flow_greedy(&mon, k)?;
+    let edges: Vec<usize> =
+        r.selected.iter().enumerate().filter(|(_, &s)| s).map(|(e, _)| e).collect();
+    Some(PpmSolution::from_edges(inst, edges, false))
+}
+
+fn check_k(k: f64) {
+    assert!(
+        k.is_finite() && (0.0..=1.0 + 1e-12).contains(&k),
+        "monitoring fraction k must lie in [0, 1], got {k}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixture_figure3;
+
+    #[test]
+    fn figure3_static_greedy_needs_three() {
+        // The paper's counter-example: greedy takes the load-4 link first,
+        // then needs two more; the optimum is the two load-3 links.
+        let inst = fixture_figure3();
+        let g = greedy_static(&inst, 1.0).unwrap();
+        assert_eq!(g.device_count(), 3, "greedy is baited into 3 devices");
+        assert!(g.coverage >= 6.0 - 1e-9);
+        assert!(!g.proven_optimal);
+    }
+
+    #[test]
+    fn figure3_adaptive_also_baited() {
+        // The adaptive greedy also starts with the load-4 link here.
+        let inst = fixture_figure3();
+        let g = greedy_adaptive(&inst, 1.0).unwrap();
+        assert_eq!(g.device_count(), 3);
+    }
+
+    #[test]
+    fn partial_target_needs_fewer() {
+        let inst = fixture_figure3();
+        // 4/6 of the volume: the single heavy link suffices.
+        let g = greedy_static(&inst, 4.0 / 6.0).unwrap();
+        assert_eq!(g.device_count(), 1);
+        assert_eq!(g.edges, vec![0]);
+        let a = greedy_adaptive(&inst, 4.0 / 6.0).unwrap();
+        assert_eq!(a.device_count(), 1);
+    }
+
+    #[test]
+    fn flow_greedy_feasible() {
+        let inst = fixture_figure3();
+        for k in [0.5, 0.8, 1.0] {
+            let f = flow_greedy_ppm(&inst, k).unwrap();
+            assert!(inst.is_feasible(&f.edges, k), "flow greedy feasible at k={k}");
+        }
+    }
+
+    #[test]
+    fn zero_k_selects_nothing() {
+        let inst = fixture_figure3();
+        assert_eq!(greedy_static(&inst, 0.0).unwrap().device_count(), 0);
+        assert_eq!(greedy_adaptive(&inst, 0.0).unwrap().device_count(), 0);
+    }
+
+    #[test]
+    fn uncoverable_target_is_none() {
+        let inst = crate::instance::PpmInstance::new(
+            2,
+            vec![(1.0, vec![0]), (1.0, vec![])], // second traffic uncoverable
+        );
+        assert!(greedy_static(&inst, 1.0).is_none());
+        assert!(greedy_adaptive(&inst, 1.0).is_none());
+        assert!(greedy_static(&inst, 0.5).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn rejects_bad_k() {
+        greedy_static(&fixture_figure3(), 1.5);
+    }
+
+    #[test]
+    fn coverage_fraction_reported() {
+        let inst = fixture_figure3();
+        let g = greedy_static(&inst, 4.0 / 6.0).unwrap();
+        assert!((g.coverage_fraction() - 4.0 / 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,250 @@
+//! Theorem 1: the Passive Monitoring problem for `k = 1` is equivalent to
+//! Minimum Set Cover — both reduction directions, constructed explicitly.
+//!
+//! These constructions matter beyond the proof: `msc_to_ppm` generates
+//! structured hard instances for the solvers (the NP-hardness gadget), and
+//! `ppm_to_msc` is how the placement code hands `PPM(1)` to the set-cover
+//! kernel. Property tests round-trip optima through both directions.
+
+use netgraph::{Graph, GraphBuilder, NodeId, Path};
+
+use crate::instance::PpmInstance;
+use crate::setcover::SetCoverInstance;
+
+/// Output of the MSC → PPM(1) construction.
+#[derive(Debug)]
+pub struct MscToPpm {
+    /// The gadget graph (2·|C| vertices as in the proof).
+    pub graph: Graph,
+    /// One unit-volume traffic per MSC element, routed through the edges of
+    /// the sets containing it.
+    pub instance: PpmInstance,
+    /// `set_edge[i]` is the index of the edge `e_i` standing for set `c_i`.
+    pub set_edge: Vec<usize>,
+    /// The actual traffic paths (for inspection/validation).
+    pub paths: Vec<Path>,
+}
+
+/// Builds the monitoring instance of Theorem 1 from an MSC instance.
+///
+/// Construction (paper Section 4.2): one edge `e_i` per set `c_i`; whenever
+/// `c_i ∩ c_j ≠ ∅` two *linking* edges `e_{ij}`, `e_{ji}` complete a cycle
+/// through `e_i` and `e_j`; each element `u` becomes a traffic whose path
+/// visits `e_j` for every set `c_j ∋ u`, chained through linking edges.
+///
+/// # Panics
+///
+/// Panics when an element belongs to no set (its traffic would have an
+/// empty path, and the MSC instance itself has no cover).
+pub fn msc_to_ppm(msc: &SetCoverInstance) -> MscToPpm {
+    let m = msc.sets.len();
+    let mut b = GraphBuilder::new();
+
+    // Edge e_i spans a dedicated vertex pair (a_i, z_i): 2|C| vertices.
+    let mut a = Vec::with_capacity(m);
+    let mut z = Vec::with_capacity(m);
+    for i in 0..m {
+        a.push(b.add_node(format!("a{i}")));
+        z.push(b.add_node(format!("z{i}")));
+    }
+    let set_edge: Vec<usize> =
+        (0..m).map(|i| b.add_edge(a[i], z[i], 1.0).index()).collect();
+
+    // Linking edges for every intersecting pair: e_ij joins z_i to a_j and
+    // e_ji joins z_j to a_i, so e_i, e_ij, e_j, e_ji form a cycle.
+    // link[(i, j)] = edge z_i - a_j.
+    let mut link = std::collections::HashMap::new();
+    for i in 0..m {
+        for j in i + 1..m {
+            let intersects = msc.sets[i].iter().any(|e| msc.sets[j].contains(e));
+            if intersects {
+                let eij = b.add_edge(z[i], a[j], 1.0).index();
+                let eji = b.add_edge(z[j], a[i], 1.0).index();
+                link.insert((i, j), eij);
+                link.insert((j, i), eji);
+            }
+        }
+    }
+
+    let graph = b.build();
+
+    // One traffic per element: chain through the sets containing it, in
+    // index order, using linking edges between consecutive sets.
+    let mut traffics = Vec::with_capacity(msc.weights.len());
+    let mut paths = Vec::with_capacity(msc.weights.len());
+    for (u, &w) in msc.weights.iter().enumerate() {
+        let containing: Vec<usize> =
+            (0..m).filter(|&i| msc.sets[i].contains(&u)).collect();
+        assert!(
+            !containing.is_empty(),
+            "element {u} belongs to no set; the MSC instance has no cover"
+        );
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut support = Vec::new();
+        for (pos, &i) in containing.iter().enumerate() {
+            if pos == 0 {
+                nodes.push(a[i]);
+            }
+            nodes.push(z[i]);
+            support.push(set_edge[i]);
+            if let Some(&next) = containing.get(pos + 1) {
+                let eij = link[&(i, next)];
+                nodes.push(a[next]);
+                support.push(eij);
+            }
+        }
+        let path = Path::from_nodes(&graph, nodes).expect("construction yields valid paths");
+        debug_assert_eq!(
+            path.edges().iter().map(|e| e.index()).collect::<Vec<_>>(),
+            support
+        );
+        paths.push(path);
+        traffics.push((if w > 0.0 { w } else { 1.0 }, support));
+    }
+
+    let instance = PpmInstance::new(graph.edge_count(), traffics);
+    MscToPpm { graph, instance, set_edge, paths }
+}
+
+/// Interprets a `PPM(1)` solution of the gadget as an MSC solution, using
+/// the replacement argument of the proof: a selected linking edge `e_{ij}`
+/// is replaced by `e_i` (either endpoint set works).
+pub fn ppm_solution_to_msc(gadget: &MscToPpm, selected_edges: &[usize]) -> Vec<usize> {
+    let m = gadget.set_edge.len();
+    let mut chosen = vec![false; m];
+    for &e in selected_edges {
+        if let Some(i) = gadget.set_edge.iter().position(|&se| se == e) {
+            chosen[i] = true;
+        } else {
+            // Linking edge: find a traffic using it and take the preceding
+            // set edge on that path (the proof's replacement step).
+            'outer: for (_, support) in &gadget.instance.traffics {
+                if let Some(pos) = support.iter().position(|&se| se == e) {
+                    // Supports alternate set-edge / link-edge, starting with
+                    // a set edge, so a neighbor is always a set edge.
+                    let neighbor = if pos > 0 { support[pos - 1] } else { support[pos + 1] };
+                    let i = gadget
+                        .set_edge
+                        .iter()
+                        .position(|&se| se == neighbor)
+                        .expect("neighbor of a link edge is a set edge");
+                    chosen[i] = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    (0..m).filter(|&i| chosen[i]).collect()
+}
+
+/// The reverse direction of Theorem 1: any monitoring instance becomes an
+/// MSC instance with `S = D` (elements = traffics) and one candidate set
+/// per edge (`π_e` = traffics crossing `e`).
+pub fn ppm_to_msc(inst: &PpmInstance) -> SetCoverInstance {
+    let mut sets = vec![Vec::new(); inst.num_edges];
+    for (t, (_, support)) in inst.traffics.iter().enumerate() {
+        for &e in support {
+            sets[e].push(t);
+        }
+    }
+    let weights = inst.traffics.iter().map(|&(v, _)| v).collect();
+    SetCoverInstance::new(weights, sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setcover::{brute_force_cover, greedy_set_cover};
+
+    fn triangle_msc() -> SetCoverInstance {
+        SetCoverInstance::unweighted(3, vec![vec![0, 1], vec![1, 2], vec![0, 2]])
+    }
+
+    #[test]
+    fn gadget_has_expected_shape() {
+        let msc = triangle_msc();
+        let g = msc_to_ppm(&msc);
+        // 3 sets -> 6 vertices; all pairs intersect -> 3 set edges + 6 links.
+        assert_eq!(g.graph.node_count(), 6);
+        assert_eq!(g.graph.edge_count(), 3 + 6);
+        assert_eq!(g.instance.traffics.len(), 3);
+        for p in &g.paths {
+            assert!(p.is_simple());
+        }
+    }
+
+    #[test]
+    fn traffic_supports_match_membership() {
+        let msc = triangle_msc();
+        let g = msc_to_ppm(&msc);
+        // Element 0 is in sets 0 and 2: its support contains e_0 and e_2.
+        let support = &g.instance.traffics[0].1;
+        assert!(support.contains(&g.set_edge[0]));
+        assert!(support.contains(&g.set_edge[2]));
+        assert!(!support.contains(&g.set_edge[1]));
+    }
+
+    #[test]
+    fn optima_transfer_between_problems() {
+        let msc = triangle_msc();
+        let g = msc_to_ppm(&msc);
+        // Optimal MSC = 2. Selecting those two set edges covers all
+        // traffics, so PPM(1) optimum <= 2 — and cannot be 1 because no
+        // single edge covers all three traffics.
+        let opt_msc = brute_force_cover(&msc, 3.0).unwrap();
+        assert_eq!(opt_msc.len(), 2);
+        let chosen: Vec<usize> = opt_msc.iter().map(|&i| g.set_edge[i]).collect();
+        assert!(g.instance.is_feasible(&chosen, 1.0));
+        for e in 0..g.instance.num_edges {
+            assert!(!g.instance.is_feasible(&[e], 1.0), "no single edge covers all");
+        }
+    }
+
+    #[test]
+    fn link_edge_selection_maps_back() {
+        let msc = triangle_msc();
+        let g = msc_to_ppm(&msc);
+        // Pick a linking edge (any non-set edge) and a set edge; mapping
+        // back must produce a valid set selection of size <= 2.
+        let link_edge = (0..g.instance.num_edges)
+            .find(|e| !g.set_edge.contains(e))
+            .expect("links exist");
+        let back = ppm_solution_to_msc(&g, &[link_edge, g.set_edge[1]]);
+        assert!(!back.is_empty() && back.len() <= 2);
+        for &s in &back {
+            assert!(s < msc.sets.len());
+        }
+    }
+
+    #[test]
+    fn reverse_reduction_preserves_greedy_cover() {
+        let inst = crate::instance::fixture_figure3();
+        let msc = ppm_to_msc(&inst);
+        assert_eq!(msc.sets.len(), inst.num_edges);
+        assert_eq!(msc.total_weight(), inst.total_volume());
+        let g = greedy_set_cover(&msc).unwrap();
+        // The greedy MSC solution is a feasible PPM(1) solution.
+        assert!(inst.is_feasible(&g.selection, 1.0));
+    }
+
+    #[test]
+    fn disjoint_sets_have_no_links() {
+        let msc = SetCoverInstance::unweighted(2, vec![vec![0], vec![1]]);
+        let g = msc_to_ppm(&msc);
+        assert_eq!(g.graph.edge_count(), 2); // set edges only
+    }
+
+    #[test]
+    #[should_panic(expected = "belongs to no set")]
+    fn uncoverable_element_panics() {
+        let msc = SetCoverInstance::unweighted(2, vec![vec![0]]);
+        msc_to_ppm(&msc);
+    }
+
+    #[test]
+    fn weighted_elements_carry_volumes() {
+        let msc = SetCoverInstance::new(vec![5.0, 2.0], vec![vec![0, 1]]);
+        let g = msc_to_ppm(&msc);
+        assert_eq!(g.instance.total_volume(), 7.0);
+    }
+}

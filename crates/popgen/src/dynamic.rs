@@ -1,0 +1,159 @@
+//! Evolving traffic (paper Section 5.4).
+//!
+//! *"These techniques capture static network state while the real traffic
+//! inside a POP evolves. A drastic change in the traffic throughput may
+//! invalidate all previous optimizations."* The process below perturbs a
+//! traffic matrix step by step: every volume takes a multiplicative random
+//! step (a geometric random walk, clamped to a floor), and occasionally a
+//! *shift event* re-boosts a fresh pair while deflating an old one —
+//! modelling the drastic changes that force the controller to re-optimize.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::traffic::TrafficSet;
+
+/// Parameters of the traffic evolution process.
+#[derive(Debug, Clone)]
+pub struct DynamicSpec {
+    /// Per-step multiplicative jitter: volumes are scaled by a uniform
+    /// factor in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Probability of a drastic shift event at each step.
+    pub shift_probability: f64,
+    /// Boost applied to the promoted traffic during a shift event.
+    pub shift_boost: f64,
+    /// Minimum volume floor (volumes never decay below this).
+    pub floor: f64,
+}
+
+impl Default for DynamicSpec {
+    fn default() -> Self {
+        Self { jitter: 0.1, shift_probability: 0.15, shift_boost: 20.0, floor: 0.1 }
+    }
+}
+
+/// A stateful traffic process producing successive [`TrafficSet`] snapshots.
+///
+/// Paths are fixed (routing does not change); only volumes evolve, exactly
+/// the setting of `PPME*(x, h, k)` where installed devices cannot move but
+/// sampling rates adapt.
+#[derive(Debug, Clone)]
+pub struct TrafficProcess {
+    current: TrafficSet,
+    spec: DynamicSpec,
+    rng: StdRng,
+    steps: usize,
+}
+
+impl TrafficProcess {
+    /// Starts a process from an initial matrix.
+    pub fn new(initial: TrafficSet, spec: DynamicSpec, seed: u64) -> Self {
+        Self { current: initial, spec, rng: StdRng::seed_from_u64(seed), steps: 0 }
+    }
+
+    /// The current snapshot.
+    pub fn current(&self) -> &TrafficSet {
+        &self.current
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Advances the process one step and returns the new snapshot.
+    pub fn step(&mut self) -> &TrafficSet {
+        self.steps += 1;
+        let n = self.current.traffics.len();
+        for t in &mut self.current.traffics {
+            let f = self.rng.gen_range(1.0 - self.spec.jitter..=1.0 + self.spec.jitter);
+            t.volume = (t.volume * f).max(self.spec.floor);
+        }
+        if n >= 2 && self.rng.gen_bool(self.spec.shift_probability.clamp(0.0, 1.0)) {
+            // Drastic shift: promote one traffic, deflate another.
+            let up = self.rng.gen_range(0..n);
+            let down = self.rng.gen_range(0..n);
+            self.current.traffics[up].volume *= self.spec.shift_boost;
+            self.current.traffics[down].volume =
+                (self.current.traffics[down].volume / self.spec.shift_boost)
+                    .max(self.spec.floor);
+        }
+        &self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PopSpec;
+    use crate::traffic::TrafficSpec;
+
+    fn start() -> TrafficSet {
+        let pop = PopSpec::paper_10().build();
+        TrafficSpec::default().generate(&pop, 1)
+    }
+
+    #[test]
+    fn volumes_stay_positive() {
+        let mut p = TrafficProcess::new(start(), DynamicSpec::default(), 3);
+        for _ in 0..50 {
+            p.step();
+        }
+        assert!(p.current().traffics.iter().all(|t| t.volume >= 0.1));
+        assert_eq!(p.steps(), 50);
+    }
+
+    #[test]
+    fn paths_never_change() {
+        let initial = start();
+        let edges_before: Vec<_> =
+            initial.traffics.iter().map(|t| t.path.edges().to_vec()).collect();
+        let mut p = TrafficProcess::new(initial, DynamicSpec::default(), 3);
+        for _ in 0..20 {
+            p.step();
+        }
+        for (t, before) in p.current().traffics.iter().zip(edges_before) {
+            assert_eq!(t.path.edges(), &before[..]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = TrafficProcess::new(start(), DynamicSpec::default(), 9);
+        let mut b = TrafficProcess::new(start(), DynamicSpec::default(), 9);
+        for _ in 0..10 {
+            a.step();
+            b.step();
+        }
+        assert_eq!(a.current().total_volume(), b.current().total_volume());
+    }
+
+    #[test]
+    fn shifts_eventually_move_mass() {
+        let spec = DynamicSpec { shift_probability: 1.0, ..Default::default() };
+        let initial = start();
+        let before = initial.total_volume();
+        let mut p = TrafficProcess::new(initial, spec, 5);
+        for _ in 0..30 {
+            p.step();
+        }
+        let after = p.current().total_volume();
+        assert!((after - before).abs() > before * 0.05, "mass should have shifted");
+    }
+
+    #[test]
+    fn zero_jitter_no_shift_is_stationary_modulo_floor() {
+        let spec = DynamicSpec {
+            jitter: 0.0,
+            shift_probability: 0.0,
+            shift_boost: 1.0,
+            floor: 0.0,
+        };
+        let initial = start();
+        let before = initial.total_volume();
+        let mut p = TrafficProcess::new(initial, spec, 5);
+        p.step();
+        assert!((p.current().total_volume() - before).abs() < 1e-9);
+    }
+}

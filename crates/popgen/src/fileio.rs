@@ -1,0 +1,278 @@
+//! A small line-based text format for topologies and traffic matrices.
+//!
+//! This is the substitution hook for real measured data: topologies
+//! inferred by Rocketfuel (or any other tool) can be converted to this
+//! format and fed to the placement algorithms in place of the generator.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! node <label> <backbone|access|customer|peer>
+//! edge <label-u> <label-v> <weight>
+//! traffic <label-src> <label-dst> <volume>
+//! ```
+//!
+//! Nodes must be declared before edges referencing them; traffics are
+//! routed on shortest paths at load time (the format carries demands, not
+//! routes, mirroring what Rocketfuel + a traffic matrix would provide).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use netgraph::{dijkstra, GraphBuilder, NodeId};
+
+use crate::topology::{NodeRole, Pop};
+use crate::traffic::{Traffic, TrafficSet};
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses a document into a [`Pop`] and its [`TrafficSet`].
+pub fn parse(text: &str) -> Result<(Pop, TrafficSet), ParseError> {
+    let mut builder = GraphBuilder::new();
+    let mut roles: Vec<NodeRole> = Vec::new();
+    let mut by_label: HashMap<String, NodeId> = HashMap::new();
+    let mut demands: Vec<(NodeId, NodeId, f64)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "node" => {
+                if fields.len() != 3 {
+                    return Err(err(lineno, "expected: node <label> <role>"));
+                }
+                let role = match fields[2] {
+                    "backbone" => NodeRole::Backbone,
+                    "access" => NodeRole::Access,
+                    "customer" => NodeRole::Customer,
+                    "peer" => NodeRole::Peer,
+                    other => return Err(err(lineno, format!("unknown role {other:?}"))),
+                };
+                if by_label.contains_key(fields[1]) {
+                    return Err(err(lineno, format!("duplicate node {:?}", fields[1])));
+                }
+                let id = builder.add_node(fields[1]);
+                by_label.insert(fields[1].to_string(), id);
+                roles.push(role);
+            }
+            "edge" => {
+                if fields.len() != 4 {
+                    return Err(err(lineno, "expected: edge <u> <v> <weight>"));
+                }
+                let u = *by_label
+                    .get(fields[1])
+                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", fields[1])))?;
+                let v = *by_label
+                    .get(fields[2])
+                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", fields[2])))?;
+                let w: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad weight {:?}", fields[3])))?;
+                builder
+                    .try_add_edge(u, v, w)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+            "traffic" => {
+                if fields.len() != 4 {
+                    return Err(err(lineno, "expected: traffic <src> <dst> <volume>"));
+                }
+                let s = *by_label
+                    .get(fields[1])
+                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", fields[1])))?;
+                let d = *by_label
+                    .get(fields[2])
+                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", fields[2])))?;
+                let v: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad volume {:?}", fields[3])))?;
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(err(lineno, format!("volume must be finite and >= 0, got {v}")));
+                }
+                if s == d {
+                    return Err(err(lineno, "traffic source equals destination"));
+                }
+                demands.push((s, d, v));
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    let graph = builder.build();
+    let mut backbone = Vec::new();
+    let mut access = Vec::new();
+    let mut endpoints = Vec::new();
+    for n in graph.nodes() {
+        match roles[n.index()] {
+            NodeRole::Backbone => backbone.push(n),
+            NodeRole::Access => access.push(n),
+            NodeRole::Customer | NodeRole::Peer => endpoints.push(n),
+        }
+    }
+    let pop = Pop { graph, roles, backbone, access, endpoints };
+
+    // Route demands on shortest paths; group by source for efficiency.
+    let mut traffics = Vec::with_capacity(demands.len());
+    let mut trees: HashMap<NodeId, netgraph::dijkstra::ShortestPathTree> = HashMap::new();
+    for (s, d, v) in demands {
+        let tree = match trees.get(&s) {
+            Some(t) => t,
+            None => {
+                let t = dijkstra::shortest_path_tree(&pop.graph, s)
+                    .expect("source validated at parse time");
+                trees.entry(s).or_insert(t)
+            }
+        };
+        let path = tree
+            .path_to(&pop.graph, d)
+            .map_err(|e| err(0, format!("unroutable traffic: {e}")))?;
+        traffics.push(Traffic { src: s, dst: d, volume: v, path });
+    }
+
+    Ok((pop, TrafficSet { traffics }))
+}
+
+/// Serializes a [`Pop`] and its demands back to the text format
+/// (inverse of [`parse`] up to comments and ordering).
+pub fn serialize(pop: &Pop, traffic: &TrafficSet) -> String {
+    let mut out = String::from("# popmon topology v1\n");
+    for n in pop.graph.nodes() {
+        let role = match pop.role(n) {
+            NodeRole::Backbone => "backbone",
+            NodeRole::Access => "access",
+            NodeRole::Customer => "customer",
+            NodeRole::Peer => "peer",
+        };
+        out.push_str(&format!("node {} {}\n", pop.graph.label(n), role));
+    }
+    for e in pop.graph.edges() {
+        let (u, v) = pop.graph.endpoints(e);
+        out.push_str(&format!(
+            "edge {} {} {}\n",
+            pop.graph.label(u),
+            pop.graph.label(v),
+            pop.graph.weight(e)
+        ));
+    }
+    for t in &traffic.traffics {
+        out.push_str(&format!(
+            "traffic {} {} {}\n",
+            pop.graph.label(t.src),
+            pop.graph.label(t.dst),
+            t.volume
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PopSpec;
+    use crate::traffic::TrafficSpec;
+
+    const SAMPLE: &str = "\
+# tiny POP
+node bb0 backbone
+node bb1 backbone
+node ac0 access
+node c0 customer
+node p0 peer
+
+edge bb0 bb1 1.0
+edge ac0 bb0 1.0
+edge ac0 bb1 1.0
+edge c0 ac0 1.0
+edge p0 bb1 1.0
+
+traffic c0 p0 4.5
+traffic p0 c0 2.0
+";
+
+    #[test]
+    fn parses_sample() {
+        let (pop, ts) = parse(SAMPLE).unwrap();
+        assert_eq!(pop.graph.node_count(), 5);
+        assert_eq!(pop.graph.edge_count(), 5);
+        assert_eq!(pop.backbone.len(), 2);
+        assert_eq!(pop.access.len(), 1);
+        assert_eq!(pop.endpoints.len(), 2);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.total_volume(), 6.5);
+        // c0 -> p0 routes c0-ac0-{bb0,bb1}-p0: 3 hops via bb1.
+        assert_eq!(ts.traffics[0].path.len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_through_serialize() {
+        let pop = PopSpec::paper_10().build();
+        let ts = TrafficSpec::default().generate(&pop, 4);
+        let text = serialize(&pop, &ts);
+        let (pop2, ts2) = parse(&text).unwrap();
+        assert_eq!(pop2.graph.node_count(), pop.graph.node_count());
+        assert_eq!(pop2.graph.edge_count(), pop.graph.edge_count());
+        assert_eq!(ts2.len(), ts.len());
+        assert!((ts2.total_volume() - ts.total_volume()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn error_on_unknown_node() {
+        let e = parse("edge a b 1.0").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unknown node"));
+    }
+
+    #[test]
+    fn error_on_bad_role() {
+        let e = parse("node x wizard").unwrap_err();
+        assert!(e.message.contains("unknown role"));
+    }
+
+    #[test]
+    fn error_on_duplicate_node() {
+        let e = parse("node x access\nnode x access").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn error_on_self_traffic() {
+        let text = "node a customer\nnode b access\nedge a b 1\ntraffic a a 1.0";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("source equals destination"));
+    }
+
+    #[test]
+    fn error_on_bad_numbers() {
+        assert!(parse("node a access\nnode b access\nedge a b nope").is_err());
+        let text = "node a customer\nnode b customer\nedge a b 1\ntraffic a b -3";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let (pop, ts) = parse("# nothing\n\n   \nnode a backbone\n").unwrap();
+        assert_eq!(pop.graph.node_count(), 1);
+        assert!(ts.is_empty());
+    }
+}

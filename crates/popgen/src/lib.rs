@@ -1,0 +1,35 @@
+//! POP topology and traffic generation for the CoNEXT 2005 reproduction.
+//!
+//! The paper evaluates on POP topologies "inferred by the Rocketfuel tool"
+//! with randomly generated, deliberately non-uniform traffic matrices
+//! (Section 4.4). Rocketfuel data is not available offline, so this crate
+//! provides the documented substitution (see `DESIGN.md`): a parametric
+//! generator reproducing the two-level POP structure of the paper's
+//! Section 2 — backbone routers in a ring with chords, access routers
+//! single- or dual-homed onto the backbone, and virtual customer/peer
+//! endpoint nodes that source and sink the traffic ("the generated network
+//! includes some virtual nodes that represent sources and targets of the
+//! traffic and that are not considered as routers in the POP").
+//!
+//! * [`PopSpec`] / [`Pop`] — topology generation, with presets matching the
+//!   paper's instances: [`PopSpec::paper_10`] (10 routers, 27 links, 132
+//!   traffics), [`PopSpec::paper_15`] (15 routers, 71 links, 1980
+//!   traffics), [`PopSpec::paper_29`] and [`PopSpec::paper_80`] for the
+//!   active-monitoring figures;
+//! * [`traffic`] — single-path traffic matrices with preferred high-volume
+//!   pairs, and the multi-routed traffics of Section 5;
+//! * [`dynamic`] — the evolving-traffic process driving the Section 5.4
+//!   threshold controller experiments;
+//! * [`fileio`] — a small text format so externally measured topologies
+//!   (e.g. real Rocketfuel maps) can be substituted for the generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod fileio;
+pub mod topology;
+pub mod traffic;
+
+pub use topology::{NodeRole, Pop, PopSpec};
+pub use traffic::{MultiTraffic, Traffic, TrafficSet, TrafficSpec};

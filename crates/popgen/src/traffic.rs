@@ -1,0 +1,265 @@
+//! Traffic-matrix generation with the paper's non-uniform structure.
+//!
+//! Section 4.4: *"Since we do not have real available data of traffic
+//! matrix issued from the considered POP topologies, we randomly generate
+//! several traffic matrices. [...] In order not to generate uniform traffic
+//! distribution between all access routers and backbone routers, we
+//! randomly pick some preferred pairs of high traffic."* This module
+//! reproduces that: every ordered endpoint pair carries a base volume, and
+//! a seeded choice of preferred pairs is boosted by a large factor.
+//!
+//! Routing is shortest-path from entry to exit (following \[15\], as the
+//! paper does), with deterministic tie-breaking; the reverse direction is
+//! routed independently, so paths are not assumed symmetric (the paper
+//! explicitly drops that assumption of \[1\]).
+
+use netgraph::{dijkstra, ksp, Graph, NodeId, Path};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::topology::Pop;
+
+/// A single-path traffic: the aggregation of the IP flows entering at
+/// `src` and leaving at `dst`, routed on `path` with bandwidth `volume`.
+#[derive(Debug, Clone)]
+pub struct Traffic {
+    /// Entry endpoint.
+    pub src: NodeId,
+    /// Exit endpoint.
+    pub dst: NodeId,
+    /// Bandwidth `v_t`.
+    pub volume: f64,
+    /// The routed path `p_t`.
+    pub path: Path,
+}
+
+/// A multi-routed traffic (Section 5): several weighted routes between the
+/// same endpoint pair, as produced by ECMP-style load balancing.
+#[derive(Debug, Clone)]
+pub struct MultiTraffic {
+    /// Entry endpoint.
+    pub src: NodeId,
+    /// Exit endpoint.
+    pub dst: NodeId,
+    /// Total bandwidth of the traffic.
+    pub volume: f64,
+    /// `(route, volume share)` — shares sum to 1.
+    pub routes: Vec<(Path, f64)>,
+}
+
+/// Parameters of the traffic generator.
+#[derive(Debug, Clone)]
+pub struct TrafficSpec {
+    /// Base volume range (uniform).
+    pub base_range: (f64, f64),
+    /// Number of preferred high-traffic ordered pairs.
+    pub preferred_pairs: usize,
+    /// Multiplier range (uniform) applied to preferred pairs.
+    pub boost_range: (f64, f64),
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        Self { base_range: (1.0, 5.0), preferred_pairs: 6, boost_range: (10.0, 30.0) }
+    }
+}
+
+/// A set of routed traffics over a graph.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficSet {
+    /// The traffics, in deterministic (src, dst) order.
+    pub traffics: Vec<Traffic>,
+}
+
+impl TrafficSet {
+    /// Total bandwidth `V = Σ v_t`.
+    pub fn total_volume(&self) -> f64 {
+        self.traffics.iter().map(|t| t.volume).sum()
+    }
+
+    /// Load per edge: sum of the volumes of the traffics crossing it.
+    pub fn edge_loads(&self, graph: &Graph) -> Vec<f64> {
+        let mut load = vec![0.0; graph.edge_count()];
+        for t in &self.traffics {
+            for &e in t.path.edges() {
+                load[e.index()] += t.volume;
+            }
+        }
+        load
+    }
+
+    /// Number of traffics.
+    pub fn len(&self) -> usize {
+        self.traffics.len()
+    }
+
+    /// `true` when no traffic is present.
+    pub fn is_empty(&self) -> bool {
+        self.traffics.is_empty()
+    }
+}
+
+impl TrafficSpec {
+    /// Generates the all-ordered-pairs traffic matrix over the endpoints of
+    /// `pop`, shortest-path routed, with seeded preferred-pair boosting.
+    pub fn generate(&self, pop: &Pop, seed: u64) -> TrafficSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let eps = &pop.endpoints;
+        let n = eps.len();
+
+        // Volumes first (so path computation order cannot disturb the RNG
+        // stream): base volumes for every ordered pair.
+        let mut volume = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    volume[i][j] = rng.gen_range(self.base_range.0..=self.base_range.1);
+                }
+            }
+        }
+        // Preferred pairs: a seeded pick of ordered pairs boosted hard.
+        let mut boosted = 0usize;
+        let mut guard = 0usize;
+        while boosted < self.preferred_pairs && n >= 2 && guard < 100 * self.preferred_pairs + 100
+        {
+            guard += 1;
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if i == j {
+                continue;
+            }
+            let boost = rng.gen_range(self.boost_range.0..=self.boost_range.1);
+            volume[i][j] *= boost;
+            boosted += 1;
+        }
+
+        // Shortest-path routing, one tree per source endpoint.
+        let mut traffics = Vec::with_capacity(n * n.saturating_sub(1));
+        for (i, &s) in eps.iter().enumerate() {
+            let tree = dijkstra::shortest_path_tree(&pop.graph, s).expect("valid source");
+            for (j, &d) in eps.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let path = tree.path_to(&pop.graph, d).expect("connected POP");
+                traffics.push(Traffic { src: s, dst: d, volume: volume[i][j], path });
+            }
+        }
+        TrafficSet { traffics }
+    }
+
+    /// Generates multi-routed traffics (Section 5): up to `max_routes`
+    /// shortest loopless routes per pair, with geometrically decaying
+    /// shares renormalized to 1.
+    pub fn generate_multi(&self, pop: &Pop, seed: u64, max_routes: usize) -> Vec<MultiTraffic> {
+        assert!(max_routes >= 1, "need at least one route per traffic");
+        let single = self.generate(pop, seed);
+        single
+            .traffics
+            .into_iter()
+            .map(|t| {
+                let paths = ksp::k_shortest_paths(&pop.graph, t.src, t.dst, max_routes)
+                    .expect("valid endpoints");
+                // Shares 1, 1/2, 1/4, ... renormalized.
+                let raw: Vec<f64> = (0..paths.len()).map(|i| 0.5f64.powi(i as i32)).collect();
+                let norm: f64 = raw.iter().sum();
+                let routes =
+                    paths.into_iter().zip(raw).map(|(p, w)| (p, w / norm)).collect::<Vec<_>>();
+                MultiTraffic { src: t.src, dst: t.dst, volume: t.volume, routes }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PopSpec;
+
+    #[test]
+    fn all_ordered_pairs_present() {
+        let pop = PopSpec::paper_10().build();
+        let ts = TrafficSpec::default().generate(&pop, 7);
+        assert_eq!(ts.len(), 132);
+        assert!(ts.traffics.iter().all(|t| t.src != t.dst));
+        assert!(ts.traffics.iter().all(|t| t.volume > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pop = PopSpec::paper_10().build();
+        let a = TrafficSpec::default().generate(&pop, 42);
+        let b = TrafficSpec::default().generate(&pop, 42);
+        assert_eq!(a.total_volume(), b.total_volume());
+        for (x, y) in a.traffics.iter().zip(&b.traffics) {
+            assert_eq!(x.volume, y.volume);
+            assert_eq!(x.path.edges(), y.path.edges());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pop = PopSpec::paper_10().build();
+        let a = TrafficSpec::default().generate(&pop, 1);
+        let b = TrafficSpec::default().generate(&pop, 2);
+        assert_ne!(a.total_volume(), b.total_volume());
+    }
+
+    #[test]
+    fn paths_connect_their_endpoints() {
+        let pop = PopSpec::paper_10().build();
+        let ts = TrafficSpec::default().generate(&pop, 3);
+        for t in &ts.traffics {
+            assert_eq!(t.path.source(), t.src);
+            assert_eq!(t.path.target(), t.dst);
+            assert!(t.path.is_simple());
+        }
+    }
+
+    #[test]
+    fn preferred_pairs_skew_the_distribution() {
+        let pop = PopSpec::paper_10().build();
+        let uniform = TrafficSpec { preferred_pairs: 0, ..Default::default() };
+        let skewed = TrafficSpec { preferred_pairs: 8, ..Default::default() };
+        let u = uniform.generate(&pop, 5);
+        let s = skewed.generate(&pop, 5);
+        let max_u = u.traffics.iter().map(|t| t.volume).fold(0.0, f64::max);
+        let max_s = s.traffics.iter().map(|t| t.volume).fold(0.0, f64::max);
+        // A boosted pair must dominate anything the uniform draw produced.
+        assert!(max_s > max_u * 2.0, "max_s = {max_s}, max_u = {max_u}");
+    }
+
+    #[test]
+    fn edge_loads_sum_matches_path_lengths() {
+        let pop = PopSpec::paper_10().build();
+        let ts = TrafficSpec::default().generate(&pop, 11);
+        let loads = ts.edge_loads(&pop.graph);
+        let total_load: f64 = loads.iter().sum();
+        let expected: f64 =
+            ts.traffics.iter().map(|t| t.volume * t.path.len() as f64).sum();
+        assert!((total_load - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_routes_shares_sum_to_one() {
+        let pop = PopSpec::paper_15().build();
+        let multi = TrafficSpec::default().generate_multi(&pop, 9, 3);
+        assert_eq!(multi.len(), 1980);
+        for mt in multi.iter().take(50) {
+            let sum: f64 = mt.routes.iter().map(|&(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(!mt.routes.is_empty() && mt.routes.len() <= 3);
+            for (p, _) in &mt.routes {
+                assert_eq!(p.source(), mt.src);
+                assert_eq!(p.target(), mt.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_traffic_set_basics() {
+        let ts = TrafficSet::default();
+        assert!(ts.is_empty());
+        assert_eq!(ts.total_volume(), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Active monitoring (paper Section 6): compute the probe set Φ for a set
+//! of candidate beacons and compare the three placement strategies.
+//!
+//! Run with: `cargo run --release --example active_probing`
+
+use popmon::placement::active::{
+    compute_probes, place_beacons_greedy, place_beacons_ilp, place_beacons_thiran,
+};
+use popmon::popgen::PopSpec;
+
+fn main() {
+    let pop = PopSpec::paper_15().build();
+    // Probes travel between routers only: strip the virtual endpoints.
+    let (graph, _) = pop.router_subgraph();
+    println!(
+        "router graph: {} routers, {} links",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // Candidate beacons V_B: every router may host a beacon.
+    let candidates: Vec<_> = graph.nodes().collect();
+    let probes = compute_probes(&graph, &candidates);
+    println!(
+        "probe set Phi: {} probes covering {}/{} links",
+        probes.len(),
+        probes.covered.iter().filter(|&&c| c).count(),
+        graph.edge_count()
+    );
+
+    let thiran = place_beacons_thiran(&probes, &candidates);
+    let greedy = place_beacons_greedy(&probes, &candidates);
+    let ilp = place_beacons_ilp(&graph, &probes, &candidates);
+    assert!(thiran.covers(&probes) && greedy.covers(&probes) && ilp.covers(&probes));
+
+    println!("\nbeacons placed ({} candidates):", candidates.len());
+    println!("  Thiran [15] (arbitrary pick): {}", thiran.len());
+    println!("  improved greedy:              {}", greedy.len());
+    println!(
+        "  exact ILP:                    {}{}",
+        ilp.len(),
+        if ilp.proven_optimal { " (proven optimal)" } else { "" }
+    );
+    println!(
+        "\nILP reduction over Thiran: {:.0}% (paper reports up to 50% on this POP)",
+        100.0 * (thiran.len() as f64 - ilp.len() as f64) / thiran.len() as f64
+    );
+    print!("ILP beacons at:");
+    for b in &ilp.beacons {
+        print!(" {}", graph.label(*b));
+    }
+    println!();
+
+    assert!(ilp.len() <= greedy.len() && greedy.len() <= thiran.len());
+}

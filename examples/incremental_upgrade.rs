@@ -1,0 +1,54 @@
+//! Incremental deployment (paper Sections 1 and 4.3): an operator already
+//! runs a monitoring deployment and wants to (a) know what a coverage
+//! upgrade costs when installed taps cannot move, and (b) estimate the
+//! gain of buying a few more devices before committing budget.
+//!
+//! Run with: `cargo run --release --example incremental_upgrade`
+
+use popmon::placement::instance::PpmInstance;
+use popmon::placement::passive::{
+    expected_gain, solve_budget, solve_incremental, solve_ppm_exact, ExactOptions,
+};
+use popmon::popgen::{PopSpec, TrafficSpec};
+
+fn main() {
+    let pop = PopSpec::paper_10().build();
+    let ts = TrafficSpec::default().generate(&pop, 123);
+    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+    let opts = ExactOptions::default();
+
+    // Year one: the operator deployed an optimal k = 0.8 architecture.
+    let base = solve_ppm_exact(&inst, 0.8, &opts).expect("feasible");
+    println!(
+        "installed base: {} devices covering {:.1}% of the traffic",
+        base.device_count(),
+        100.0 * base.coverage_fraction()
+    );
+
+    // Year two: upgrade targets, devices cannot move.
+    println!("\nupgrade cost (installed devices are pinned):");
+    println!("  target | total devices | from-scratch optimum | pin penalty");
+    for k_pct in [90, 95, 100] {
+        let k = k_pct as f64 / 100.0;
+        let inc = solve_incremental(&inst, k, &base.edges, &opts).expect("feasible");
+        let scratch = solve_ppm_exact(&inst, k, &opts).expect("feasible");
+        println!(
+            "    {k_pct}%  |      {:>2}       |          {:>2}          |     {}",
+            inc.device_count(),
+            scratch.device_count(),
+            inc.device_count() - scratch.device_count()
+        );
+    }
+
+    // Procurement: what does each extra device buy?
+    println!("\nexpected gain of buying devices (placed optimally on the base):");
+    for extra in 1..=4usize {
+        let gain = expected_gain(&inst, &base.edges, extra, &opts);
+        let after = solve_budget(&inst, extra, &base.edges, &opts);
+        println!(
+            "  +{extra} device(s): +{:.1} volume -> {:.1}% coverage",
+            gain,
+            100.0 * after.coverage_fraction()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Cross-crate integration tests for active monitoring: router subgraphs,
+//! probe computation, and the three beacon-placement strategies across the
+//! paper's POP sizes.
+
+use popmon::netgraph::NodeId;
+use popmon::placement::active::{
+    compute_probes, place_beacons_greedy, place_beacons_ilp, place_beacons_thiran,
+};
+use popmon::popgen::PopSpec;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+#[test]
+fn figures_ordering_holds_on_all_pop_sizes() {
+    for spec in [PopSpec::paper_15(), PopSpec::paper_29()] {
+        let pop = spec.build();
+        let (g, _) = pop.router_subgraph();
+        let routers: Vec<NodeId> = g.nodes().collect();
+        for size in [4, routers.len() / 2, routers.len()] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(size as u64);
+            let mut pool = routers.clone();
+            pool.shuffle(&mut rng);
+            let candidates = &pool[..size];
+            let probes = compute_probes(&g, candidates);
+            let t = place_beacons_thiran(&probes, candidates);
+            let gr = place_beacons_greedy(&probes, candidates);
+            let i = place_beacons_ilp(&g, &probes, candidates);
+            assert!(t.covers(&probes) && gr.covers(&probes) && i.covers(&probes));
+            assert!(i.len() <= gr.len(), "{} routers, |V_B|={size}", routers.len());
+            assert!(i.len() <= t.len());
+            assert!(i.proven_optimal);
+        }
+    }
+}
+
+#[test]
+fn ilp_improves_on_thiran_with_full_candidates() {
+    // The paper's headline for Figures 9-11: with |V_B| = n the ILP beats
+    // the arbitrary-pick baseline substantially.
+    let pop = PopSpec::paper_15().build();
+    let (g, _) = pop.router_subgraph();
+    let candidates: Vec<NodeId> = g.nodes().collect();
+    let probes = compute_probes(&g, &candidates);
+    let t = place_beacons_thiran(&probes, &candidates);
+    let i = place_beacons_ilp(&g, &probes, &candidates);
+    assert!(
+        i.len() < t.len(),
+        "ILP ({}) must strictly beat Thiran ({}) at full candidate set",
+        i.len(),
+        t.len()
+    );
+}
+
+#[test]
+fn probe_coverage_is_monotone_in_candidates() {
+    let pop = PopSpec::paper_29().build();
+    let (g, _) = pop.router_subgraph();
+    let routers: Vec<NodeId> = g.nodes().collect();
+    let mut covered_last = 0usize;
+    for size in [2, 6, 12, 20, routers.len()] {
+        let probes = compute_probes(&g, &routers[..size]);
+        let covered = probes.covered.iter().filter(|&&c| c).count();
+        assert!(
+            covered >= covered_last,
+            "prefix candidate sets must cover monotonically more links"
+        );
+        covered_last = covered;
+    }
+}
+
+#[test]
+fn beacons_only_on_candidates_even_when_suboptimal() {
+    let pop = PopSpec::paper_15().build();
+    let (g, _) = pop.router_subgraph();
+    let routers: Vec<NodeId> = g.nodes().collect();
+    let candidates = &routers[3..9];
+    let probes = compute_probes(&g, candidates);
+    for placement in [
+        place_beacons_thiran(&probes, candidates),
+        place_beacons_greedy(&probes, candidates),
+        place_beacons_ilp(&g, &probes, candidates),
+    ] {
+        for b in &placement.beacons {
+            assert!(candidates.contains(b), "beacon {b} not in V_B");
+        }
+    }
+}
+
+#[test]
+fn endpoint_links_are_uncoverable_by_router_probes() {
+    // Probes run between routers; on the full POP graph (with virtual
+    // endpoints) the endpoint links can never be covered when candidates
+    // are routers only.
+    let pop = PopSpec::paper_10().build();
+    let routers = pop.routers();
+    let probes = compute_probes(&pop.graph, &routers);
+    assert_eq!(
+        probes.uncoverable.len(),
+        pop.endpoints.len(),
+        "each endpoint hangs off one uncoverable link"
+    );
+}
