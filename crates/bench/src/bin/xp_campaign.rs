@@ -6,54 +6,23 @@
 //! unconstrained campaign would use) and report the coverage recaptured by
 //! the greedy and exact campaign solvers with 3 candidate routes per
 //! traffic.
+//!
+//! The sweep runs through the scenario engine: budget × seed cases fan out
+//! across `POPMON_THREADS` workers (all cores by default), the per-seed
+//! deployment is memoized across budget points, and the report is
+//! byte-identical to a serial run (`tests/engine_parity.rs`).
 
-use milp::MipOptions;
-use placement::campaign::{campaign_exact, campaign_greedy, CampaignProblem};
-use placement::instance::PpmInstance;
-use placement::passive::{solve_ppm_exact, ExactOptions};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(5);
     let pop = PopSpec::paper_10().build();
-
-    println!("budget_percent,coverage_before,greedy_after,exact_after,greedy_stretch");
-    for budget_pct in [0, 10, 25, 50, 100] {
-        let (mut before_v, mut greedy_v, mut exact_v, mut stretch_v) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for seed in 0..args.seeds {
-            let ts = TrafficSpec::default().generate(&pop, seed);
-            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-            let placed = solve_ppm_exact(&inst, 0.8, &ExactOptions::default()).unwrap();
-            let mut installed = vec![false; pop.graph.edge_count()];
-            for &e in &placed.edges {
-                installed[e] = true;
-            }
-            // Reference: the unconstrained campaign's stretch use.
-            let free =
-                CampaignProblem::new(&pop.graph, &ts, installed.clone(), 3, f64::INFINITY);
-            let unconstrained = campaign_greedy(&free);
-            let budget = if budget_pct == 100 {
-                f64::INFINITY
-            } else {
-                unconstrained.total_stretch * budget_pct as f64 / 100.0
-            };
-            let prob = CampaignProblem::new(&pop.graph, &ts, installed, 3, budget);
-            let total = prob.total_volume();
-            let before = prob.evaluate(&vec![0; prob.traffics.len()]).0;
-            let g = campaign_greedy(&prob);
-            let e = campaign_exact(&prob, &MipOptions::default());
-            before_v.push(100.0 * before / total);
-            greedy_v.push(100.0 * g.monitored / total);
-            exact_v.push(100.0 * e.monitored / total);
-            stretch_v.push(g.total_stretch);
-        }
-        println!(
-            "{budget_pct},{:.1},{:.1},{:.1},{:.1}",
-            popmon_bench::mean(&before_v),
-            popmon_bench::mean(&greedy_v),
-            popmon_bench::mean(&exact_v),
-            popmon_bench::mean(&stretch_v),
-        );
-    }
+    let budgets = [0u32, 10, 25, 50, 100];
+    popmon_bench::scenarios::campaign_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &budgets,
+        args.seeds,
+    )
+    .print();
 }

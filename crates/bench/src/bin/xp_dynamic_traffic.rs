@@ -7,63 +7,39 @@
 //! (`PPME*(x, h, k)`, a pure LP) whenever coverage drops below the
 //! tolerance threshold `T`.
 //!
-//! Output: one row per step — coverage before/after, whether the
-//! controller acted, and the exploitation cost of the rates in force.
-//! A summary line on stderr reports the re-optimization count and the
-//! mean LP time (the paper's point: adapting rates is cheap; moving
-//! devices is not).
+//! One trajectory runs per seed in `0..--seeds` (default 1); trajectories
+//! fan out across the scenario engine's worker pool and traces are printed
+//! seed-major. Output: one row per step — seed, coverage before/after,
+//! whether the controller acted, and the exploitation cost of the rates in
+//! force. A summary line on stderr reports the re-optimization count and
+//! wall time (the paper's point: adapting rates is cheap; moving devices
+//! is not).
 
-use placement::dynamic::{run_controller, ControllerSpec};
-use placement::instance::PpmInstance;
-use placement::passive::{solve_ppm_exact, ExactOptions};
-use popgen::dynamic::{DynamicSpec, TrafficProcess};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(1);
     let steps = (60.0 * args.scale) as usize;
     let pop = PopSpec::paper_10().build();
-    let ts = TrafficSpec::default().generate(&pop, args.seeds);
-    let ne = pop.graph.edge_count();
 
-    // Fixed deployment from the initial matrix.
-    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-    let placed = solve_ppm_exact(&inst, 0.95, &ExactOptions::default()).expect("feasible");
-    let mut installed = vec![false; ne];
-    for &e in &placed.edges {
-        installed[e] = true;
-    }
-    eprintln!("# installed {} devices for k = 0.95", placed.device_count());
-
-    let spec = ControllerSpec { k: 0.9, h: 0.0, threshold: 0.85 };
-    let drift = DynamicSpec { shift_probability: 0.25, ..Default::default() };
-    let mut process = TrafficProcess::new(ts, drift, args.seeds.wrapping_mul(31) + 1);
-    let ((), secs) = popmon_bench::timed(|| {
-        let trace = run_controller(
-            &mut process,
-            &pop.graph,
-            &installed,
-            &spec,
-            vec![1.0; ne],
-            vec![0.5; ne],
+    let ((report, outcomes), secs) = popmon_bench::timed(|| {
+        popmon_bench::scenarios::dynamic_traffic_report(
+            &engine::Engine::from_env(),
+            &pop,
+            args.seeds,
             steps,
-        );
-        println!("step,coverage_before,reoptimized,coverage_after,exploit_cost");
-        for s in &trace.steps {
-            println!(
-                "{},{:.4},{},{:.4},{:.3}",
-                s.step,
-                s.coverage_before,
-                s.reoptimized as u8,
-                s.coverage_after,
-                s.exploit_cost
-            );
-        }
-        eprintln!(
-            "# reoptimizations: {} / {} steps",
-            trace.reoptimizations,
-            trace.steps.len()
-        );
+        )
     });
-    eprintln!("# wall time: {secs:.2}s ({:.1} ms/step)", 1000.0 * secs / steps.max(1) as f64);
+    report.print();
+    for (seed, o) in outcomes.iter().enumerate() {
+        eprintln!(
+            "# seed {seed}: installed {} devices for k = 0.95; reoptimizations: {} / {} steps",
+            o.devices, o.reoptimizations, o.steps
+        );
+    }
+    let total_steps: usize = outcomes.iter().map(|o| o.steps).sum();
+    eprintln!(
+        "# wall time: {secs:.2}s ({:.1} ms/step)",
+        1000.0 * secs / total_steps.max(1) as f64
+    );
 }

@@ -5,13 +5,14 @@
 //! sizes and wall-clock costs: passive placement (greedy + MECF
 //! branch-and-bound at k = 0.9) and active monitoring (probes + all three
 //! placements with the full router set as candidates).
+//!
+//! The solver stages are independent, so they fan out across the scenario
+//! engine's worker pool (`POPMON_THREADS` workers, all cores by default):
+//! passive greedy, the exact branch-and-bound, and the active stages run
+//! concurrently, with the probe set Φ shared through the engine memo.
+//! Row order is fixed regardless of completion order.
 
-use placement::active::{
-    assign_probes_ilp, compute_probes, place_beacons_greedy, place_beacons_ilp,
-    place_beacons_thiran,
-};
-use placement::instance::PpmInstance;
-use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
+use placement::passive::ExactOptions;
 use popgen::{PopSpec, TrafficSpec};
 
 fn main() {
@@ -22,37 +23,22 @@ fn main() {
     println!("routers,{},0", pop.router_count());
     println!("links,{},0", pop.graph.edge_count());
 
-    // Passive at k = 0.9.
     let (ts, t_gen) = popmon_bench::timed(|| TrafficSpec::default().generate(&pop, 0));
     println!("traffics,{},{t_gen:.2}", ts.len());
-    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-    let (g, t_g) = popmon_bench::timed(|| greedy_static(&inst, 0.9).expect("feasible"));
-    println!("passive_greedy_devices,{},{t_g:.2}", g.device_count());
+
     let opts = ExactOptions {
         max_nodes: 2_000_000,
         time_limit: Some(std::time::Duration::from_secs(120)),
         ..Default::default()
     };
-    let (s, t_s) =
-        popmon_bench::timed(|| solve_ppm_mecf_bb(&inst, 0.9, &opts).expect("feasible"));
-    assert!(inst.is_feasible(&s.edges, 0.9));
-    println!(
-        "passive_exact_devices,{} (proven {}),{t_s:.2}",
-        s.device_count(),
-        s.proven_optimal
+    let report = popmon_bench::scenarios::pipeline_stage_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &ts,
+        0.9,
+        &opts,
     );
-
-    // Active with the full router candidate set.
-    let (graph, _) = pop.router_subgraph();
-    let candidates: Vec<_> = graph.nodes().collect();
-    let (probes, t_p) = popmon_bench::timed(|| compute_probes(&graph, &candidates));
-    println!("probes,{},{t_p:.2}", probes.len());
-    let (thiran, t_t) = popmon_bench::timed(|| place_beacons_thiran(&probes, &candidates));
-    println!("beacons_thiran,{},{t_t:.2}", thiran.len());
-    let (greedy, t_gr) = popmon_bench::timed(|| place_beacons_greedy(&probes, &candidates));
-    println!("beacons_greedy,{},{t_gr:.2}", greedy.len());
-    let (ilp, t_i) = popmon_bench::timed(|| place_beacons_ilp(&graph, &probes, &candidates));
-    println!("beacons_ilp,{} (proven {}),{t_i:.2}", ilp.len(), ilp.proven_optimal);
-    let (assign, t_a) = popmon_bench::timed(|| assign_probes_ilp(&probes, &ilp));
-    println!("probe_makespan,{},{t_a:.2}", assign.max_load);
+    for row in &report.rows {
+        println!("{row}");
+    }
 }

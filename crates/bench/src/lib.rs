@@ -10,6 +10,8 @@
 
 use std::time::Instant;
 
+pub mod scenarios;
+
 /// Parsed command-line arguments common to all experiment binaries.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -81,48 +83,13 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Shared driver for the active-monitoring figures (9, 10, 11): for every
 /// candidate-set size `|V_B|` from 2 to the router count, draw seeded
 /// random router subsets, compute Φ, and place beacons with all three
-/// strategies. Prints one CSV row per `|V_B|`.
+/// strategies. Runs through the scenario engine (`POPMON_THREADS` workers
+/// or all cores) and prints one CSV row per `|V_B|`; the report is
+/// byte-identical to a serial run.
 pub fn active_experiment(spec: popgen::PopSpec, args: &Args) {
-    use placement::active::{
-        compute_probes, place_beacons_greedy, place_beacons_ilp, place_beacons_thiran,
-    };
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-
     let pop = spec.build();
     let (graph, _) = pop.router_subgraph();
-    let routers: Vec<netgraph::NodeId> = graph.nodes().collect();
-    let n = routers.len();
-
-    println!("vb_size,thiran,greedy,ilp,probes");
-    for size in 2..=n {
-        let mut thiran_counts = Vec::new();
-        let mut greedy_counts = Vec::new();
-        let mut ilp_counts = Vec::new();
-        let mut probe_counts = Vec::new();
-        for seed in 0..args.seeds {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 10_007 + size as u64);
-            let mut pool = routers.clone();
-            pool.shuffle(&mut rng);
-            let candidates = &pool[..size];
-            let probes = compute_probes(&graph, candidates);
-            probe_counts.push(probes.len() as f64);
-            let t = place_beacons_thiran(&probes, candidates);
-            let g = place_beacons_greedy(&probes, candidates);
-            let i = place_beacons_ilp(&graph, &probes, candidates);
-            debug_assert!(t.covers(&probes) && g.covers(&probes) && i.covers(&probes));
-            thiran_counts.push(t.len() as f64);
-            greedy_counts.push(g.len() as f64);
-            ilp_counts.push(i.len() as f64);
-        }
-        println!(
-            "{size},{:.2},{:.2},{:.2},{:.1}",
-            mean(&thiran_counts),
-            mean(&greedy_counts),
-            mean(&ilp_counts),
-            mean(&probe_counts),
-        );
-    }
+    scenarios::active_report(&engine::Engine::from_env(), &graph, args.seeds).print();
 }
 
 #[cfg(test)]

@@ -1,0 +1,67 @@
+//! Parity regression: the engine-backed experiment sweeps must produce
+//! **byte-identical** reports whether they run serially or across a worker
+//! pool. This is the determinism contract every future perf PR has to
+//! keep.
+
+use engine::Engine;
+use popgen::PopSpec;
+use popmon_bench::scenarios;
+
+#[test]
+fn campaign_sweep_parallel_matches_serial() {
+    // The small preset keeps the exact campaign MIP cheap; the 10-router
+    // sweep is the binary's job, not the regression suite's.
+    let pop = PopSpec::small().build();
+    let budgets = [0u32, 50, 100];
+    let serial = scenarios::campaign_report(&Engine::serial(), &pop, &budgets, 2);
+    let parallel = scenarios::campaign_report(&Engine::with_threads(4), &pop, &budgets, 2);
+    assert!(Engine::with_threads(4).threads() >= 2);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    // Sanity: one row per budget point, header intact.
+    assert_eq!(serial.rows.len(), budgets.len());
+    assert!(serial.header.starts_with("budget_percent,"));
+}
+
+#[test]
+fn dynamic_traffic_parallel_matches_serial() {
+    let pop = PopSpec::paper_10().build();
+    let (serial, s_out) = scenarios::dynamic_traffic_report(&Engine::serial(), &pop, 3, 8);
+    let (parallel, p_out) =
+        scenarios::dynamic_traffic_report(&Engine::with_threads(3), &pop, 3, 8);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.rows.len(), 3 * 8, "3 seeds x 8 steps, seed-major");
+    for (a, b) in s_out.iter().zip(&p_out) {
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.reoptimizations, b.reoptimizations);
+    }
+}
+
+#[test]
+fn active_sweep_parallel_matches_serial() {
+    let pop = PopSpec::small().build();
+    let (graph, _) = pop.router_subgraph();
+    let serial = scenarios::active_report(&Engine::serial(), &graph, 2);
+    let parallel = scenarios::active_report(&Engine::with_threads(4), &graph, 2);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.rows.len(), graph.node_count() - 1, "|V_B| sweeps 2..=n");
+}
+
+#[test]
+fn pipeline_stages_parallel_match_serial_values() {
+    use popgen::TrafficSpec;
+    let pop = PopSpec::paper_10().build();
+    let ts = TrafficSpec::default().generate(&pop, 0);
+    let opts = placement::passive::ExactOptions::default();
+    let strip_seconds = |csv: String| -> Vec<String> {
+        // Timing columns legitimately differ run to run; compare the
+        // metric/value columns only.
+        csv.lines()
+            .map(|l| l.rsplit_once(',').map(|(head, _)| head.to_string()).unwrap_or_default())
+            .collect()
+    };
+    let serial =
+        scenarios::pipeline_stage_report(&Engine::serial(), &pop, &ts, 0.9, &opts).to_csv();
+    let parallel =
+        scenarios::pipeline_stage_report(&Engine::with_threads(4), &pop, &ts, 0.9, &opts).to_csv();
+    assert_eq!(strip_seconds(serial), strip_seconds(parallel));
+}

@@ -1,0 +1,274 @@
+//! # engine — parallel scenario engine
+//!
+//! Runs experiment sweeps (`ScenarioSpec`) across a pool of worker threads
+//! and aggregates per-case results into a deterministic [`ScenarioReport`].
+//!
+//! ## Model
+//!
+//! A scenario is a grid of **cases**: every *point* of the sweep's x-axis
+//! crossed with every *seed*. Cases are independent by contract — the case
+//! closure receives a [`Case`] (point, indices, seed, and a shared
+//! [`memo::Memo`]) and must derive everything it needs from those, never
+//! from mutable shared state. Under that contract the engine guarantees:
+//!
+//! * **determinism** — results are collected into slots indexed by case
+//!   number and aggregated in slot order, so a run with `N` worker threads
+//!   produces *byte-identical* reports to the serial run (pinned by this
+//!   crate's unit tests and by `crates/bench/tests/engine_parity.rs`);
+//! * **work conservation** — workers pull the next unclaimed case from a
+//!   shared atomic cursor, so uneven case costs (e.g. an exact solver next
+//!   to a greedy one) still load-balance.
+//!
+//! ## Memoization
+//!
+//! Cases frequently share expensive sub-computations: the same seeded
+//! deployment solved once per sweep point, the same probe set reused by
+//! three placement strategies, the same shortest-path tree queried per
+//! traffic. [`memo::Memo`] is a typed, thread-safe cache keyed by
+//! `(domain, u64)`; the first computation wins and everyone else gets the
+//! shared `Arc`. Builders must be deterministic — the cache trades *time*,
+//! never *values*, so memoized and unmemoized runs stay byte-identical.
+//!
+//! See `DESIGN.md` (workspace root) for the threading model rationale.
+
+#![forbid(unsafe_code)]
+
+pub mod memo;
+pub mod report;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use memo::Memo;
+pub use report::ScenarioReport;
+
+/// A sweep description: named x-axis points crossed with seeds.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec<P> {
+    /// Scenario name (used as the report name).
+    pub name: String,
+    /// X-axis points, in output order.
+    pub points: Vec<P>,
+    /// Seeds `0..seeds_per_point` run for every point.
+    pub seeds_per_point: u64,
+}
+
+impl<P> ScenarioSpec<P> {
+    pub fn new(name: impl Into<String>, points: Vec<P>) -> Self {
+        ScenarioSpec { name: name.into(), points, seeds_per_point: 1 }
+    }
+
+    pub fn with_seeds(mut self, seeds: u64) -> Self {
+        self.seeds_per_point = seeds.max(1);
+        self
+    }
+
+    /// Total number of cases in the grid.
+    pub fn case_count(&self) -> usize {
+        self.points.len() * self.seeds_per_point as usize
+    }
+}
+
+/// One unit of work handed to the case closure.
+pub struct Case<'a, P> {
+    /// The sweep point this case belongs to.
+    pub point: &'a P,
+    /// Index of `point` within `ScenarioSpec::points`.
+    pub point_index: usize,
+    /// Seed in `0..seeds_per_point`.
+    pub seed: u64,
+    /// Cache shared by every case of this `run`.
+    pub memo: &'a Memo,
+}
+
+/// The scenario engine: a worker-pool executor for [`ScenarioSpec`]s.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// Single-threaded reference engine (the determinism baseline).
+    pub fn serial() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// Engine with exactly `n` worker threads (clamped to at least 1).
+    pub fn with_threads(n: usize) -> Self {
+        Engine { threads: n.max(1) }
+    }
+
+    /// Thread count from `POPMON_THREADS`, else the machine's available
+    /// parallelism, else 1.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("POPMON_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            });
+        Engine::with_threads(threads)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every case of the grid and returns the results grouped by
+    /// point (outer vec in point order, inner vec in seed order).
+    ///
+    /// The case closure must be deterministic in `(point, seed)`; see the
+    /// crate docs for the full independence contract.
+    pub fn run_cases<P, R, F>(&self, spec: &ScenarioSpec<P>, case: F) -> Vec<Vec<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(Case<'_, P>) -> R + Sync,
+    {
+        let seeds = spec.seeds_per_point.max(1);
+        let total = spec.points.len() * seeds as usize;
+        let memo = Memo::new();
+
+        let run_one = |i: usize| {
+            let point_index = i / seeds as usize;
+            let seed = (i % seeds as usize) as u64;
+            case(Case { point: &spec.points[point_index], point_index, seed, memo: &memo })
+        };
+
+        let mut slots: Vec<Option<R>> = if self.threads <= 1 || total <= 1 {
+            (0..total).map(|i| Some(run_one(i))).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let results = Mutex::new((0..total).map(|_| None).collect::<Vec<Option<R>>>());
+            let workers = self.threads.min(total);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let r = run_one(i);
+                        results.lock().expect("result store poisoned")[i] = Some(r);
+                    });
+                }
+            });
+            results.into_inner().expect("result store poisoned")
+        };
+
+        let mut grouped = Vec::with_capacity(spec.points.len());
+        for p in 0..spec.points.len() {
+            let row: Vec<R> = slots[p * seeds as usize..(p + 1) * seeds as usize]
+                .iter_mut()
+                .map(|s| s.take().expect("worker pool left a case unfilled"))
+                .collect();
+            grouped.push(row);
+        }
+        grouped
+    }
+
+    /// Runs the grid and renders one CSV row per point via `row`.
+    ///
+    /// `row` receives the point and its seed-ordered case results; the
+    /// returned [`ScenarioReport`] is byte-identical for any thread count.
+    pub fn run_report<P, R, F, G>(
+        &self,
+        spec: &ScenarioSpec<P>,
+        header: impl Into<String>,
+        case: F,
+        row: G,
+    ) -> ScenarioReport
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(Case<'_, P>) -> R + Sync,
+        G: Fn(&P, &[R]) -> String,
+    {
+        let grouped = self.run_cases(spec, case);
+        let rows = spec
+            .points
+            .iter()
+            .zip(&grouped)
+            .map(|(p, results)| row(p, results))
+            .collect();
+        ScenarioReport { name: spec.name.clone(), header: header.into(), rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_order() {
+        let spec = ScenarioSpec::new("shape", vec![10usize, 20, 30]).with_seeds(4);
+        assert_eq!(spec.case_count(), 12);
+        let grouped = Engine::serial().run_cases(&spec, |c| (*c.point, c.seed));
+        assert_eq!(grouped.len(), 3);
+        for (pi, row) in grouped.iter().enumerate() {
+            assert_eq!(row.len(), 4);
+            for (s, &(p, seed)) in row.iter().enumerate() {
+                assert_eq!(p, spec.points[pi]);
+                assert_eq!(seed, s as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let spec = ScenarioSpec::new("parity", (0..17u64).collect()).with_seeds(5);
+        let case = |c: Case<'_, u64>| {
+            // Arbitrary deterministic arithmetic with some work imbalance.
+            let mut acc = c.point.wrapping_mul(0x9E37_79B9).wrapping_add(c.seed);
+            for _ in 0..(c.point % 7) * 1000 {
+                acc = acc.rotate_left(7) ^ 0xDEAD_BEEF;
+            }
+            acc
+        };
+        let serial = Engine::serial().run_cases(&spec, case);
+        let parallel = Engine::with_threads(4).run_cases(&spec, case);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let spec = ScenarioSpec::new("report", vec![1.0f64, 2.0, 4.0]).with_seeds(3);
+        let mk = |e: Engine| {
+            e.run_report(
+                &spec,
+                "x,sum",
+                |c| c.point * (c.seed as f64 + 1.0),
+                |p, rs| format!("{p},{}", rs.iter().sum::<f64>()),
+            )
+        };
+        let a = mk(Engine::serial());
+        let b = mk(Engine::with_threads(3));
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.rows.len(), 3);
+    }
+
+    #[test]
+    fn from_env_is_positive() {
+        assert!(Engine::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn memo_shared_across_cases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let spec = ScenarioSpec::new("memo", vec![0usize; 1]).with_seeds(64);
+        let grouped = Engine::with_threads(4).run_cases(&spec, |c| {
+            let v = c.memo.get_or_compute("answer", 0, || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                42usize
+            });
+            *v
+        });
+        assert!(grouped[0].iter().all(|&v| v == 42));
+        // At least one build, and every case observed the same value. The
+        // build count can transiently exceed 1 under contention, but the
+        // stored value is always the first insert.
+        assert!(builds.load(Ordering::Relaxed) >= 1);
+    }
+}

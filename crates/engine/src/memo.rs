@@ -1,0 +1,125 @@
+//! Typed, thread-safe memoization shared by every case of a scenario run.
+//!
+//! Experiment cases routinely repeat expensive, *deterministic*
+//! sub-computations: solving the seeded deployment reused by every sweep
+//! point, computing the probe set Φ that three beacon strategies then
+//! consume, or building a shortest-path tree queried per traffic. `Memo`
+//! caches those behind a `(domain, key)` pair so concurrent workers share
+//! one `Arc`'d result.
+//!
+//! ## Contract
+//!
+//! * The builder closure must be **deterministic** — under contention two
+//!   workers may both run it, the first insert wins, and both receive the
+//!   stored value. Determinism makes that race unobservable, which is what
+//!   keeps memoized parallel runs byte-identical to serial ones.
+//! * A `(domain, key)` pair must always be used with the **same type** `T`;
+//!   mixing types for one pair panics (it is a programming error, not a
+//!   recoverable condition).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Key: a static domain label plus a caller-chosen 64-bit key (typically a
+/// seed or an instance fingerprint).
+type Key = (&'static str, u64);
+
+/// Thread-safe cache of `Arc<T>` values keyed by `(domain, u64)`.
+#[derive(Default)]
+pub struct Memo {
+    slots: Mutex<HashMap<Key, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Memo {
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Returns the cached value for `(domain, key)`, computing it with
+    /// `build` on first use. `build` runs outside the lock, so a slow
+    /// build never blocks unrelated lookups.
+    pub fn get_or_compute<T, F>(&self, domain: &'static str, key: u64, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        if let Some(hit) = self.get::<T>(domain, key) {
+            return hit;
+        }
+        let candidate: Arc<dyn Any + Send + Sync> = Arc::new(build());
+        let stored = {
+            let mut slots = self.slots.lock().expect("memo poisoned");
+            slots.entry((domain, key)).or_insert_with(|| candidate).clone()
+        };
+        stored
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("memo domain {domain:?} used with two different types"))
+    }
+
+    /// Non-computing lookup.
+    pub fn get<T: Send + Sync + 'static>(&self, domain: &'static str, key: u64) -> Option<Arc<T>> {
+        let slots = self.slots.lock().expect("memo poisoned");
+        slots.get(&(domain, key)).map(|v| {
+            v.clone()
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("memo domain {domain:?} used with two different types"))
+        })
+    }
+
+    /// Number of cached entries (all domains).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("memo poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Memo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo").field("entries", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_once_then_hits() {
+        let memo = Memo::new();
+        let mut builds = 0;
+        let a = memo.get_or_compute("tree", 7, || {
+            builds += 1;
+            vec![1, 2, 3]
+        });
+        let b = memo.get_or_compute("tree", 7, || {
+            builds += 1;
+            vec![9, 9, 9]
+        });
+        assert_eq!(builds, 1);
+        assert_eq!(*a, vec![1, 2, 3]);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn domains_and_keys_are_independent() {
+        let memo = Memo::new();
+        memo.get_or_compute("a", 0, || 1usize);
+        memo.get_or_compute("a", 1, || 2usize);
+        memo.get_or_compute("b", 0, || 3usize);
+        assert_eq!(memo.len(), 3);
+        assert_eq!(*memo.get::<usize>("a", 1).unwrap(), 2);
+        assert!(memo.get::<usize>("a", 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "two different types")]
+    fn type_confusion_panics() {
+        let memo = Memo::new();
+        memo.get_or_compute("x", 0, || 1usize);
+        let _ = memo.get_or_compute("x", 0, || 1.0f64);
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic scenario output: a CSV header plus one row per sweep
+//! point, rendered identically regardless of how many workers produced the
+//! underlying cases.
+
+/// Aggregated output of one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Scenario name (from `ScenarioSpec::name`).
+    pub name: String,
+    /// CSV header line (no trailing newline).
+    pub header: String,
+    /// One CSV row per sweep point, in point order.
+    pub rows: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Full CSV: header, rows, trailing newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(
+            self.header.len() + 1 + self.rows.iter().map(|r| r.len() + 1).sum::<usize>(),
+        );
+        out.push_str(&self.header);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the CSV to stdout (the figure binaries' contract).
+    pub fn print(&self) {
+        print!("{}", self.to_csv());
+    }
+}
+
+impl std::fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_layout() {
+        let r = ScenarioReport {
+            name: "t".into(),
+            header: "x,y".into(),
+            rows: vec!["1,2".into(), "3,4".into()],
+        };
+        assert_eq!(r.to_csv(), "x,y\n1,2\n3,4\n");
+        assert_eq!(format!("{r}"), r.to_csv());
+    }
+}

@@ -190,7 +190,7 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                     let frac = (x - x.round()).abs();
                     if frac > INT_TOL {
                         let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
-                        if branch_var.map_or(true, |(_, d)| dist < d) {
+                        if branch_var.is_none_or(|(_, d)| dist < d) {
                             branch_var = Some((j, dist));
                         }
                     }
@@ -200,7 +200,7 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                     None => {
                         // Integral LP optimum: new incumbent.
                         let obj = node_model.objective_value(&sol.values);
-                        if incumbent.as_ref().map_or(true, |(best, _)| obj < *best - 1e-9) {
+                        if incumbent.as_ref().is_none_or(|(best, _)| obj < *best - 1e-9) {
                             incumbent = Some((obj, sol.values.clone()));
                         }
                     }
@@ -209,7 +209,7 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                         if let Some(rounded) = round_heuristic(&node_model, &sol.values, &int_vars)
                         {
                             let obj = node_model.objective_value(&rounded);
-                            if incumbent.as_ref().map_or(true, |(best, _)| obj < *best - 1e-9) {
+                            if incumbent.as_ref().is_none_or(|(best, _)| obj < *best - 1e-9) {
                                 incumbent = Some((obj, rounded));
                             }
                         }
@@ -242,9 +242,7 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                 let denom = obj.abs().max(1.0);
                 ((obj - best_open_bound.min(obj)) / denom).max(0.0)
             };
-            let status = if proven && (open.is_empty() || gap <= opts.rel_gap) {
-                SolveStatus::Optimal
-            } else if gap <= opts.rel_gap {
+            let status = if gap <= opts.rel_gap || (proven && open.is_empty()) {
                 SolveStatus::Optimal
             } else {
                 SolveStatus::Feasible

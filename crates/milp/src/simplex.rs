@@ -263,7 +263,7 @@ impl Tableau {
                     break;
                 }
                 let score = d.abs();
-                if entering.map_or(true, |(_, _, s)| score > s) {
+                if entering.is_none_or(|(_, _, s)| score > s) {
                     entering = Some((j, d, score));
                 }
             }
@@ -337,7 +337,7 @@ impl Tableau {
                     if let Some((tr, hits_upper)) = row_limit(&mut dummy, r, rate, self.xb[r]) {
                         if tr <= t_max + tie {
                             let mag = w[r].abs();
-                            if leave.map_or(true, |(_, _, m0)| mag > m0) {
+                            if leave.is_none_or(|(_, _, m0)| mag > m0) {
                                 leave = Some((r, hits_upper, mag));
                             }
                         }
@@ -843,14 +843,8 @@ mod tests {
             m.add_constr(terms, Cmp::Ge, 2.0);
         }
         let s = m.solve_lp().unwrap();
-        m.check_feasible(
-            &s.values
-                .iter()
-                .map(|&v| v) // continuous: integrality not enforced
-                .collect::<Vec<_>>(),
-            1e-6,
-        )
-        .unwrap();
+        // Continuous model: integrality not enforced, values pass as-is.
+        m.check_feasible(&s.values, 1e-6).unwrap();
         assert!(s.objective > 0.0);
     }
 }

@@ -136,7 +136,7 @@ pub fn shortest_path_tree_avoiding(
             // Deterministic tie-break: keep the predecessor with the
             // lexicographically smallest (node, edge) pair.
             let tie = (nd - cur).abs() <= TIE_EPS
-                && pred[v.index()].map_or(false, |(pe, pu)| (u, e) < (pu, pe));
+                && pred[v.index()].is_some_and(|(pe, pu)| (u, e) < (pu, pe));
             if better || tie {
                 dist[v.index()] = nd.min(cur);
                 pred[v.index()] = Some((e, u));

@@ -158,15 +158,18 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
 /// node instead of a full flow solve. (The equivalence is unit-tested
 /// against [`mcmf::mincost::min_cost_flow`] below.)
 ///
-/// Returns the fractional device bound over free edges, a
-/// `(carries flow, flow amount)` pair per free edge, and the routed
-/// volume; `None` when the target cannot be routed.
+/// Result of [`flow_bound`]: the fractional device bound over free edges,
+/// a `(carries flow, flow amount)` pair per free edge, and the routed
+/// volume.
+type FlowBound = (f64, Vec<(bool, f64)>, f64);
+
+/// Returns the flow bound triple; `None` when the target cannot be routed.
 fn flow_bound(
     mon: &MonitoringInstance,
     loads: &[f64],
     state: &[EdgeState],
     target: f64,
-) -> Option<(f64, Vec<(bool, f64)>, f64)> {
+) -> Option<FlowBound> {
     let ne = mon.num_edges;
     if target <= 1e-12 {
         return Some((0.0, vec![(false, 0.0); ne], 0.0));

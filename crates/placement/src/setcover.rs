@@ -109,7 +109,7 @@ pub fn greedy_partial_cover(inst: &SetCoverInstance, target: f64) -> Option<Gree
             }
             let gain: f64 =
                 s.iter().filter(|&&e| !covered[e]).map(|&e| inst.weights[e]).sum();
-            if gain > tol && best.map_or(true, |(_, g)| gain > g + tol) {
+            if gain > tol && best.is_none_or(|(_, g)| gain > g + tol) {
                 best = Some((i, gain));
             }
         }

@@ -1,0 +1,98 @@
+//! Property tests for passive placement: the greedy and exact solvers
+//! must *agree* on small random instances — same feasibility verdict,
+//! exact never beaten, greedy sandwiched by the Slavík bound, and the two
+//! exact solvers (LP 2 branch & bound vs. the MECF flow-bound branch &
+//! bound) returning the same optimum. Runs alongside the substrate suites
+//! (`netgraph/tests/proptest_paths.rs`, `mcmf/tests/proptest_flow.rs`).
+
+use placement::instance::PpmInstance;
+use placement::passive::{
+    brute_force_ppm, greedy_adaptive, greedy_static, solve_ppm_exact, solve_ppm_mecf_bb,
+    ExactOptions,
+};
+use placement::setcover::slavik_bound;
+use proptest::prelude::*;
+
+/// Strategy: a random small PPM instance (≤ 8 edges, ≤ 10 traffics, every
+/// traffic crossing 1–3 edges).
+fn ppm_instances() -> impl Strategy<Value = PpmInstance> {
+    (2usize..=8).prop_flat_map(|ne| {
+        let traffic = (1.0f64..10.0, proptest::collection::vec(0..ne, 1..=3));
+        proptest::collection::vec(traffic, 1..=10)
+            .prop_map(move |ts| PpmInstance::new(ne, ts))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Greedy and exact agree on feasibility, and when both find a
+    /// solution the exact count is a true lower bound with greedy inside
+    /// the Slavík approximation envelope.
+    #[test]
+    fn greedy_and_exact_agree(inst in ppm_instances(), k_pct in 10u32..=100) {
+        let k = k_pct as f64 / 100.0;
+        let exact = solve_ppm_exact(&inst, k, &ExactOptions::default());
+        let greedy = greedy_adaptive(&inst, k);
+        match (exact, greedy) {
+            (Some(e), Some(g)) => {
+                prop_assert!(inst.is_feasible(&e.edges, k));
+                prop_assert!(inst.is_feasible(&g.edges, k));
+                prop_assert!(
+                    e.device_count() <= g.device_count(),
+                    "exact {} must not exceed greedy {}",
+                    e.device_count(), g.device_count()
+                );
+                let bound = slavik_bound(inst.traffics.len()).max(1.0);
+                prop_assert!(
+                    g.device_count() as f64 <= bound * e.device_count() as f64 + 1e-9,
+                    "greedy {} vs exact {} breaks the Slavik bound {}",
+                    g.device_count(), e.device_count(), bound
+                );
+            }
+            (None, None) => {} // both consider the target unreachable
+            (e, g) => prop_assert!(
+                false,
+                "feasibility disagreement: exact {:?} vs greedy {:?}",
+                e.map(|s| s.edges), g.map(|s| s.edges)
+            ),
+        }
+    }
+
+    /// The static greedy variant is also feasible whenever it answers,
+    /// and never beats the exact optimum.
+    #[test]
+    fn greedy_static_is_sound(inst in ppm_instances(), k_pct in 10u32..=100) {
+        let k = k_pct as f64 / 100.0;
+        if let Some(g) = greedy_static(&inst, k) {
+            prop_assert!(inst.is_feasible(&g.edges, k));
+            let e = solve_ppm_exact(&inst, k, &ExactOptions::default())
+                .expect("greedy's witness proves feasibility");
+            prop_assert!(e.device_count() <= g.device_count());
+        }
+    }
+
+    /// Both exact solvers and the brute-force oracle agree on the
+    /// optimal device count.
+    #[test]
+    fn exact_solvers_agree_with_brute_force(inst in ppm_instances(), k_pct in 10u32..=100) {
+        let k = k_pct as f64 / 100.0;
+        let opts = ExactOptions::default();
+        let lp2 = solve_ppm_exact(&inst, k, &opts);
+        let mecf = solve_ppm_mecf_bb(&inst, k, &opts);
+        let brute = brute_force_ppm(&inst, k);
+        match (lp2, mecf, brute) {
+            (Some(a), Some(b), Some(c)) => {
+                prop_assert!(a.proven_optimal && b.proven_optimal);
+                prop_assert_eq!(a.device_count(), c.device_count());
+                prop_assert_eq!(b.device_count(), c.device_count());
+            }
+            (None, None, None) => {}
+            (a, b, c) => prop_assert!(
+                false,
+                "solver feasibility disagreement: lp2 {:?} mecf {:?} brute {:?}",
+                a.map(|s| s.edges), b.map(|s| s.edges), c.map(|s| s.edges)
+            ),
+        }
+    }
+}

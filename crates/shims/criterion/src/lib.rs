@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`) with a
+//! deliberately simple measurement loop: each benchmark runs a warmup
+//! iteration plus a small fixed number of timed iterations and prints the
+//! mean wall-clock time per iteration. No statistics, HTML reports, or
+//! outlier analysis — just enough to keep `cargo bench` useful offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batches are sized in `iter_batched` (accepted, ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness handle, one per `criterion_group!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.effective_samples(), _parent: self }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let samples = self.effective_samples();
+        run_one(&id.into(), samples, &mut f);
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, samples: usize, f: &mut impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters: samples.max(1) as u64, total: Duration::ZERO, timed_iters: 0 };
+    f(&mut b);
+    if b.timed_iters > 0 {
+        let per_iter = b.total.as_secs_f64() / b.timed_iters as f64;
+        println!("bench {id:<50} {:>12.3} µs/iter ({} iters)", per_iter * 1e6, b.timed_iters);
+    } else {
+        println!("bench {id:<50} (no measurement)");
+    }
+}
+
+/// Passed to each benchmark closure; accumulates timed iterations.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        black_box(routine()); // warmup, untimed
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup())); // warmup, untimed
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.timed_iters += 1;
+        }
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — a function running each target
+/// against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 1 warmup + 3 timed.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_runs_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| setups += 1, |_| (), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(setups, 3);
+    }
+}

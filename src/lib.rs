@@ -12,13 +12,17 @@
 //! * [`mcmf`] — min-cost flow / max flow and the MECF auxiliary graph;
 //! * [`popgen`] — POP topology and traffic-matrix generators;
 //! * [`placement`] — the paper's contribution: PPM(k), PPME(h,k),
-//!   PPME*(x,h,k) and active beacon placement.
+//!   PPME*(x,h,k) and active beacon placement;
+//! * [`engine`] — the parallel scenario engine driving experiment sweeps
+//!   across a worker pool with deterministic reports.
 //!
-//! See `examples/quickstart.rs` for a end-to-end tour and `DESIGN.md` for
-//! the experiment index.
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
+//! the crate graph, the experiment index, and the engine's threading
+//! model.
 
 #![forbid(unsafe_code)]
 
+pub use engine;
 pub use mcmf;
 pub use milp;
 pub use netgraph;

@@ -14,7 +14,7 @@ use popmon::placement::passive::{
 };
 use popmon::placement::reduction::{msc_to_ppm, ppm_solution_to_msc, ppm_to_msc};
 use popmon::placement::setcover::{
-    brute_force_cover, greedy_set_cover, slavik_bound, SetCoverInstance,
+    brute_force_cover, slavik_bound, SetCoverInstance,
 };
 
 /// Strategy: a random small PPM instance (≤ 8 edges, ≤ 10 traffics, every
