@@ -1,0 +1,106 @@
+//! Criterion groups for the hot paths the perf subsystem tracks: graph
+//! substrate at the 80/150-router scale, simplex pivoting, the MECF
+//! branch-and-bound, greedy set-cover, and the end-to-end figure-8
+//! pipeline. `bench_report` runs the same code paths on a fixed grid and
+//! records the numbers to `BENCH_popmon.json`; these benches are the
+//! interactive view (`cargo bench -p popmon-bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use netgraph::NodeId;
+use placement::instance::PpmInstance;
+use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
+use popgen::{PopSpec, TrafficSpec};
+
+/// Dijkstra trees and Yen k-SP on the large presets (figures 9-11 and the
+/// section-7 scale experiment live on these graphs).
+fn bench_graph_substrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_large");
+    let (g150, _) = PopSpec::large_150().build().router_subgraph();
+    g.bench_function("dijkstra_tree_150", |b| {
+        let mut src = 0u32;
+        b.iter(|| {
+            let t = netgraph::dijkstra::shortest_path_tree(&g150, NodeId(src)).unwrap();
+            src = (src + 1) % g150.node_count() as u32;
+            t.distance(NodeId(1))
+        })
+    });
+    let (g80, _) = PopSpec::paper_80().build().router_subgraph();
+    let routers: Vec<NodeId> = g80.nodes().collect();
+    g.bench_function("ksp4_80", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = routers[(i * 7 + 1) % routers.len()];
+            let t = routers[(i * 13 + 5) % routers.len()];
+            i += 1;
+            if s == t {
+                0
+            } else {
+                netgraph::ksp::k_shortest_paths(&g80, s, t, 4).unwrap().len()
+            }
+        })
+    });
+    g.finish();
+}
+
+/// Simplex pivoting on LP2 relaxations (the pricing loop is the hot path
+/// the candidate-list optimization targets).
+fn bench_simplex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex_pivoting");
+    let pop10 = PopSpec::paper_10().build();
+    let ts = TrafficSpec::default().generate(&pop10, 3);
+    let merged = PpmInstance::from_traffic(&pop10.graph, &ts).merged();
+    let (lp2, _) = placement::passive::build_lp2(&merged, 0.95);
+    g.bench_function("lp2_relaxation_10router", |b| {
+        b.iter(|| lp2.solve_lp().unwrap().iterations)
+    });
+    let pop15 = PopSpec::paper_15().build();
+    let ts15 = TrafficSpec::default().generate(&pop15, 1);
+    let merged15 = PpmInstance::from_traffic(&pop15.graph, &ts15).merged();
+    let (lp2_15, _) = placement::passive::build_lp2(&merged15, 0.9);
+    g.sample_size(2);
+    g.bench_function("lp2_relaxation_15router", |b| {
+        b.iter(|| lp2_15.solve_lp().unwrap().iterations)
+    });
+    g.finish();
+}
+
+/// The figure-8 exact solver and its greedy warm-start at full instance
+/// size (15 routers, 1980 traffics).
+fn bench_fig8_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_pipeline");
+    let pop = PopSpec::paper_15().build();
+    g.sample_size(5);
+    g.bench_function("end_to_end_k75_seed0", |b| {
+        b.iter(|| {
+            let ts = TrafficSpec::default().generate(&pop, 0);
+            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+            let greedy = greedy_static(&inst, 0.75).unwrap().device_count();
+            let opts = ExactOptions {
+                max_nodes: 50_000,
+                time_limit: Some(std::time::Duration::from_secs(120)),
+                ..Default::default()
+            };
+            let exact = solve_ppm_mecf_bb(&inst, 0.75, &opts).unwrap().device_count();
+            (greedy, exact)
+        })
+    });
+    let ts = TrafficSpec::default().generate(&pop, 0);
+    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+    g.bench_function("greedy_setcover_k90", |b| {
+        b.iter(|| greedy_static(&inst, 0.9).unwrap().device_count())
+    });
+    g.sample_size(3);
+    g.bench_function("mecf_bb_k80", |b| {
+        let opts = ExactOptions {
+            max_nodes: 100_000,
+            time_limit: Some(std::time::Duration::from_secs(60)),
+            ..Default::default()
+        };
+        b.iter(|| solve_ppm_mecf_bb(&inst, 0.8, &opts).unwrap().device_count())
+    });
+    g.finish();
+}
+
+criterion_group!(hotpaths, bench_graph_substrate, bench_simplex, bench_fig8_pipeline);
+criterion_main!(hotpaths);

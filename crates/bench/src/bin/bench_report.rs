@@ -1,0 +1,242 @@
+//! `bench_report` — runs the fixed hot-path grid and emits
+//! `BENCH_popmon.json` (schema in DESIGN.md).
+//!
+//! Usage: `bench_report [--smoke] [--out PATH]`
+//!
+//! * `--smoke` — the CI-sized grid (fewer iterations, bounded solves);
+//!   without it every stage runs more iterations for tighter means.
+//! * `--out PATH` — where to write the JSON (default `BENCH_popmon.json`
+//!   in the current directory).
+//!
+//! Stage names are stable across PRs: the JSON trajectory joins on them,
+//! and `perf::BASELINE` freezes the pre-PR-2 numbers so the report can
+//! prove (or disprove) claimed speedups. Engine-backed sweep stages run
+//! **serially** so wall-clock numbers measure the algorithms, not the
+//! machine's core count; a separate `*_par4` stage measures scaling.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use engine::Engine;
+use netgraph::NodeId;
+use placement::instance::PpmInstance;
+use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
+use popgen::{PopSpec, TrafficSpec};
+use popmon_bench::perf::{run_stage, BenchReport, StageResult};
+
+fn usage(exit_code: i32) -> ! {
+    eprintln!("usage: bench_report [--smoke] [--out PATH]");
+    std::process::exit(exit_code);
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_popmon.json");
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(p) => out = p.clone(),
+                    None => {
+                        eprintln!("error: --out needs a path");
+                        usage(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(0),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage(2);
+            }
+        }
+        i += 1;
+    }
+
+    let iters: u64 = if smoke { 2 } else { 5 };
+    // Sub-millisecond substrate stages get more iterations so the rate
+    // (cases/s) is stable; speedups are computed on rates, so iteration
+    // counts are free to differ from the baseline capture.
+    let fast_iters: u64 = if smoke { 20 } else { 50 };
+    let mut stages: Vec<StageResult> = Vec::new();
+    let push = |stages: &mut Vec<StageResult>, s: StageResult| {
+        println!(
+            "stage {:<28} {:>10.3} s  {:>12.1} cases/s  ({})",
+            s.name,
+            s.wall_s,
+            s.cases_per_s(),
+            s.note
+        );
+        stages.push(s);
+    };
+
+    // --- substrate: Dijkstra trees on the 150-router preset -------------
+    let pop150 = PopSpec::large_150().build();
+    let (g150, _) = pop150.router_subgraph();
+    let sources: Vec<NodeId> = g150.nodes().take(if smoke { 16 } else { 64 }).collect();
+    push(
+        &mut stages,
+        run_stage("dijkstra_trees_150", "cases = shortest-path trees", fast_iters, || {
+            let mut reached = 0u64;
+            for &s in &sources {
+                let t = netgraph::dijkstra::shortest_path_tree(&g150, s).expect("connected");
+                reached += g150.nodes().filter(|&v| t.distance(v).is_some()).count() as u64;
+            }
+            std::hint::black_box(reached);
+            sources.len() as u64
+        }),
+    );
+
+    // --- substrate: Yen k-shortest-paths on the 80-router preset --------
+    let pop80 = PopSpec::paper_80().build();
+    let (g80, _) = pop80.router_subgraph();
+    let routers80: Vec<NodeId> = g80.nodes().collect();
+    let pairs: Vec<(NodeId, NodeId)> = (0..if smoke { 8 } else { 24 })
+        .map(|i| {
+            (routers80[(i * 7 + 1) % routers80.len()], routers80[(i * 13 + 5) % routers80.len()])
+        })
+        .filter(|(a, b)| a != b)
+        .collect();
+    push(
+        &mut stages,
+        run_stage("ksp4_pairs_80", "cases = (source,target) pairs, k = 4", fast_iters, || {
+            let mut total_paths = 0u64;
+            for &(s, t) in &pairs {
+                total_paths +=
+                    netgraph::ksp::k_shortest_paths(&g80, s, t, 4).expect("valid pair").len()
+                        as u64;
+            }
+            std::hint::black_box(total_paths);
+            pairs.len() as u64
+        }),
+    );
+
+    // --- simplex: the LP2 relaxation of the 10-router instance ----------
+    let pop10 = PopSpec::paper_10().build();
+    let ts10 = TrafficSpec::default().generate(&pop10, 3);
+    let inst10 = PpmInstance::from_traffic(&pop10.graph, &ts10);
+    let merged10 = inst10.merged();
+    let (lp2, _) = placement::passive::build_lp2(&merged10, 0.95);
+    push(
+        &mut stages,
+        run_stage("simplex_lp2_10router", "cases = LP solves", iters * 5, || {
+            let s = lp2.solve_lp().expect("LP2 relaxation solves");
+            std::hint::black_box((s.objective, s.iterations));
+            1
+        }),
+    );
+
+    // --- simplex at fig8 scale: LP2 on the merged 15-router instance ----
+    let pop15 = PopSpec::paper_15().build();
+    let ts15 = TrafficSpec::default().generate(&pop15, 1);
+    let inst15 = PpmInstance::from_traffic(&pop15.graph, &ts15);
+    let merged15 = inst15.merged();
+    let (lp2_15, _) = placement::passive::build_lp2(&merged15, 0.9);
+    push(
+        &mut stages,
+        run_stage("simplex_lp2_15router", "cases = LP solves", 1, || {
+            let s = lp2_15.solve_lp().expect("LP2 relaxation solves");
+            std::hint::black_box((s.objective, s.iterations));
+            1
+        }),
+    );
+
+    // --- greedy set-cover on the 1980-traffic instance ------------------
+    push(
+        &mut stages,
+        run_stage("greedy_static_15router", "cases = greedy solves (1980 traffics)", fast_iters, || {
+            let g = greedy_static(&inst15, 0.9).expect("coverable");
+            std::hint::black_box(g.device_count());
+            1
+        }),
+    );
+
+    // --- MECF branch-and-bound on the fig8 instance ---------------------
+    push(
+        &mut stages,
+        run_stage("mecf_bb_15router_k80", "cases = exact solves", 1, || {
+            let opts = ExactOptions {
+                max_nodes: 100_000,
+                time_limit: Some(std::time::Duration::from_secs(60)),
+                ..Default::default()
+            };
+            let s = solve_ppm_mecf_bb(&inst15, 0.8, &opts).expect("feasible");
+            std::hint::black_box(s.device_count());
+            1
+        }),
+    );
+
+    // --- end-to-end fig7 sweep (6 k-points x 2 seeds, greedy + ILP) -----
+    // Engine-backed with the per-seed instance memoized; serial so the
+    // number measures the algorithms (the baseline entry is the pre-PR
+    // serial loop over the identical grid).
+    let fig7_ks = [75u32, 80, 85, 90, 95, 100];
+    let fig7_seeds = 2u64;
+    let fig7_cells = fig7_ks.len() as u64 * fig7_seeds;
+    push(
+        &mut stages,
+        run_stage("fig7_sweep", "cases = (k,seed) grid cells", 1, || {
+            let r = popmon_bench::scenarios::fig7_report(
+                &Engine::serial(),
+                &pop10,
+                &fig7_ks,
+                fig7_seeds,
+            );
+            std::hint::black_box(r.rows.len());
+            fig7_cells
+        }),
+    );
+
+    // The same sweep across 4 workers: the scaling view (no baseline
+    // entry — the pre-PR sweep could not run parallel at all).
+    push(
+        &mut stages,
+        run_stage("fig7_sweep_par4", "cases = (k,seed) grid cells, 4 workers", 1, || {
+            let r = popmon_bench::scenarios::fig7_report(
+                &Engine::with_threads(4),
+                &pop10,
+                &fig7_ks,
+                fig7_seeds,
+            );
+            std::hint::black_box(r.rows.len());
+            fig7_cells
+        }),
+    );
+
+    // --- end-to-end fig8 single point (traffic gen through exact) -------
+    push(
+        &mut stages,
+        run_stage("fig8_point_k75", "cases = end-to-end pipeline runs", 1, || {
+            let opts = ExactOptions {
+                max_nodes: 50_000,
+                time_limit: Some(std::time::Duration::from_secs(120)),
+                ..Default::default()
+            };
+            let r = popmon_bench::scenarios::fig8_report(
+                &Engine::serial(),
+                &pop15,
+                &[75],
+                1,
+                &opts,
+            );
+            std::hint::black_box(r.rows.len());
+            1
+        }),
+    );
+
+    let report = BenchReport {
+        mode: if smoke { "smoke" } else { "full" },
+        threads: Engine::from_env().threads(),
+        generated_unix: SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        stages,
+    };
+    let json = report.to_json();
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("total {:.3} s -> {out}", report.total_wall_s());
+}
+

@@ -8,41 +8,23 @@
 //! Expected shape (paper): the ILP curve is near-linear up to 95% and
 //! jumps hard at 100% ("we need twice more devices to monitor extra 5%");
 //! the greedy uses about twice as many devices.
+//!
+//! The sweep runs through the scenario engine: k × seed cases fan out
+//! across `POPMON_THREADS` workers (all cores by default), the per-seed
+//! instance is memoized across k-points, and every column except the
+//! trailing `ilp_time_s` wall-clock is byte-identical to a serial run
+//! (`tests/engine_parity.rs`).
 
-use placement::instance::PpmInstance;
-use placement::passive::{greedy_static, solve_ppm_exact, ExactOptions};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(10);
-    let spec = PopSpec::paper_10();
-    let pop = spec.build();
-
-    println!("k_percent,greedy_devices,ilp_devices,greedy_stddev,ilp_stddev,ilp_time_s");
-    for k_pct in [75, 80, 85, 90, 95, 100] {
-        let k = k_pct as f64 / 100.0;
-        let mut greedy_counts = Vec::new();
-        let mut ilp_counts = Vec::new();
-        let mut ilp_times = Vec::new();
-        for seed in 0..args.seeds {
-            let ts = TrafficSpec::default().generate(&pop, seed);
-            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-            let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
-            greedy_counts.push(g.device_count() as f64);
-            let (ilp, secs) = popmon_bench::timed(|| {
-                solve_ppm_exact(&inst, k, &ExactOptions::default()).expect("feasible")
-            });
-            assert!(inst.is_feasible(&ilp.edges, k));
-            ilp_counts.push(ilp.device_count() as f64);
-            ilp_times.push(secs);
-        }
-        println!(
-            "{k_pct},{:.2},{:.2},{:.2},{:.2},{:.3}",
-            popmon_bench::mean(&greedy_counts),
-            popmon_bench::mean(&ilp_counts),
-            popmon_bench::stddev(&greedy_counts),
-            popmon_bench::stddev(&ilp_counts),
-            popmon_bench::mean(&ilp_times),
-        );
-    }
+    let pop = PopSpec::paper_10().build();
+    popmon_bench::scenarios::fig7_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &[75, 80, 85, 90, 95, 100],
+        args.seeds,
+    )
+    .print();
 }

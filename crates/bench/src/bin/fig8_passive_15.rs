@@ -14,45 +14,28 @@
 //! Expected shape (paper): three regimes — linear 75–85%, steeper 85–95%,
 //! then a sharp jump at 100%; devices range from ~16 to ~41 and the
 //! greedy/exact gap is smaller than on the 10-router POP.
+//!
+//! The sweep runs through the scenario engine (`POPMON_THREADS` workers,
+//! all cores by default); every column except the trailing `exact_time_s`
+//! wall-clock is byte-identical to a serial run.
 
-use placement::instance::PpmInstance;
-use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
-use popgen::{PopSpec, TrafficSpec};
+use placement::passive::ExactOptions;
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(3);
     let pop = PopSpec::paper_15().build();
-
-    println!("k_percent,greedy_devices,exact_devices,proven_fraction,exact_time_s");
-    for k_pct in [75, 80, 85, 90, 95, 100] {
-        let k = k_pct as f64 / 100.0;
-        let mut greedy_counts = Vec::new();
-        let mut exact_counts = Vec::new();
-        let mut times = Vec::new();
-        let mut proven = 0usize;
-        for seed in 0..args.seeds {
-            let ts = TrafficSpec::default().generate(&pop, seed);
-            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-            let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
-            greedy_counts.push(g.device_count() as f64);
-            let opts = ExactOptions {
-                max_nodes: 50_000,
-                time_limit: Some(std::time::Duration::from_secs(120)),
-                ..Default::default()
-            };
-            let (s, secs) =
-                popmon_bench::timed(|| solve_ppm_mecf_bb(&inst, k, &opts).expect("feasible"));
-            assert!(inst.is_feasible(&s.edges, k));
-            exact_counts.push(s.device_count() as f64);
-            times.push(secs);
-            proven += s.proven_optimal as usize;
-        }
-        println!(
-            "{k_pct},{:.2},{:.2},{:.2},{:.1}",
-            popmon_bench::mean(&greedy_counts),
-            popmon_bench::mean(&exact_counts),
-            proven as f64 / args.seeds.max(1) as f64,
-            popmon_bench::mean(&times),
-        );
-    }
+    let opts = ExactOptions {
+        max_nodes: 50_000,
+        time_limit: Some(std::time::Duration::from_secs(120)),
+        ..Default::default()
+    };
+    popmon_bench::scenarios::fig8_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &[75, 80, 85, 90, 95, 100],
+        args.seeds,
+        &opts,
+    )
+    .print();
 }

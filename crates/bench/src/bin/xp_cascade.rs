@@ -5,40 +5,26 @@
 //! (`1 − Π(1−r)` < `Σ r`). This experiment compares, across `k`, the
 //! optimal additive-model cost against the independent-sampling solver of
 //! `placement::cascade`, reporting the overhead the refined model reveals.
+//!
+//! The sweep runs through the scenario engine (`POPMON_THREADS` workers,
+//! all cores by default) with the per-seed multi-routed traffic memoized
+//! across k-points; the CSV is byte-identical to a serial run. The
+//! crafted-overlap demonstration below it is deterministic and unswept.
 
 use placement::cascade::{independent_monitored, solve_ppme_cascade};
 use placement::sampling::{solve_ppme, PpmeOptions, SamplingPath, SamplingProblem};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(3);
     let pop = PopSpec::small().build();
-
-    println!("k_percent,additive_cost,cascade_cost,overhead_percent,additive_true_coverage");
-    for k_pct in [40, 50, 60, 70, 80, 90] {
-        let k = k_pct as f64 / 100.0;
-        let (mut add_c, mut cas_c, mut true_cov) = (Vec::new(), Vec::new(), Vec::new());
-        for seed in 0..args.seeds {
-            let multi = TrafficSpec::default().generate_multi(&pop, seed, 2);
-            let (ci, ce) = SamplingProblem::uniform_costs(pop.graph.edge_count());
-            let prob = SamplingProblem::from_multi(&pop.graph, &multi, 0.0, k, ci, ce);
-            let additive = solve_ppme(&prob, &PpmeOptions::default()).expect("feasible");
-            let cascade = solve_ppme_cascade(&prob, &PpmeOptions::default()).expect("feasible");
-            add_c.push(additive.total_cost());
-            cas_c.push(cascade.total_cost());
-            // How much does the additive solution ACTUALLY cover when
-            // devices cannot coordinate? (The optimism Section 5.2 warns
-            // about.)
-            let actual = independent_monitored(&prob, &additive.rates);
-            true_cov.push(100.0 * actual / prob.total_volume());
-        }
-        let (a, c) = (popmon_bench::mean(&add_c), popmon_bench::mean(&cas_c));
-        println!(
-            "{k_pct},{a:.2},{c:.2},{:.1},{:.1}",
-            100.0 * (c - a) / a.max(1e-9),
-            popmon_bench::mean(&true_cov),
-        );
-    }
+    popmon_bench::scenarios::cascade_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &[40, 50, 60, 70, 80, 90],
+        args.seeds,
+    )
+    .print();
 
     // Crafted overlap demonstration: two links, three paths. Per-traffic
     // floors force BOTH devices to high rates (h = 0.7 on the single-link

@@ -6,51 +6,20 @@
 //! needs when the installed devices cannot move, versus a from-scratch
 //! optimal deployment; (b) report the coverage gain of buying 1..5 extra
 //! devices placed optimally on top of the base.
+//!
+//! Both sections run through the scenario engine (`POPMON_THREADS`
+//! workers, all cores by default); the per-seed `PPM(0.8)` base solve is
+//! memoized across every point of a section (the serial loops re-solved
+//! it per point). The CSV is byte-identical to a serial run.
 
-use placement::instance::PpmInstance;
-use placement::passive::{
-    expected_gain, solve_budget, solve_incremental, solve_ppm_exact, ExactOptions,
-};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(5);
     let pop = PopSpec::paper_10().build();
-    let opts = ExactOptions::default();
-
-    println!("section,x,incremental_total,scratch_total,penalty");
-    for k_pct in [85, 90, 95, 100] {
-        let k = k_pct as f64 / 100.0;
-        let (mut inc_counts, mut scratch_counts) = (Vec::new(), Vec::new());
-        for seed in 0..args.seeds {
-            let ts = TrafficSpec::default().generate(&pop, seed);
-            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-            let base = solve_ppm_exact(&inst, 0.8, &opts).expect("feasible");
-            let inc = solve_incremental(&inst, k, &base.edges, &opts).expect("feasible");
-            let scratch = solve_ppm_exact(&inst, k, &opts).expect("feasible");
-            assert!(inst.is_feasible(&inc.edges, k));
-            inc_counts.push(inc.device_count() as f64);
-            scratch_counts.push(scratch.device_count() as f64);
-        }
-        let (i, s) = (popmon_bench::mean(&inc_counts), popmon_bench::mean(&scratch_counts));
-        println!("upgrade_to_k,{k_pct},{i:.2},{s:.2},{:.2}", i - s);
-    }
-
-    println!("section,x,coverage_gain,coverage_after_percent,unused");
-    for extra in 1..=5usize {
-        let (mut gains, mut after) = (Vec::new(), Vec::new());
-        for seed in 0..args.seeds {
-            let ts = TrafficSpec::default().generate(&pop, seed);
-            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-            let base = solve_ppm_exact(&inst, 0.8, &opts).expect("feasible");
-            gains.push(expected_gain(&inst, &base.edges, extra, &opts));
-            let b = solve_budget(&inst, extra, &base.edges, &opts);
-            after.push(100.0 * b.coverage_fraction());
-        }
-        println!(
-            "buy_devices,{extra},{:.2},{:.2},0",
-            popmon_bench::mean(&gains),
-            popmon_bench::mean(&after),
-        );
-    }
+    let engine = engine::Engine::from_env();
+    popmon_bench::scenarios::incremental_report(&engine, &pop, &[85, 90, 95, 100], args.seeds)
+        .print();
+    popmon_bench::scenarios::budget_gain_report(&engine, &pop, &[1, 2, 3, 4, 5], args.seeds)
+        .print();
 }

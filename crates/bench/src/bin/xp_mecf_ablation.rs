@@ -5,47 +5,21 @@
 //! POP across `k`, the four solvers the framework provides:
 //! static decreasing-load greedy, adaptive (set-cover) greedy, the MECF
 //! flow greedy, and the exact ILP — device counts averaged over seeds.
+//!
+//! The sweep runs through the scenario engine (`POPMON_THREADS` workers,
+//! all cores by default) with the per-seed instance memoized across
+//! k-points; the CSV is byte-identical to a serial run.
 
-use placement::instance::PpmInstance;
-use placement::passive::{
-    flow_greedy_ppm, greedy_adaptive, greedy_static, solve_ppm_exact, solve_ppm_mecf_bb,
-    ExactOptions,
-};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(10);
     let pop = PopSpec::paper_10().build();
-
-    println!("k_percent,static_greedy,adaptive_greedy,flow_greedy,ilp,mecf_bb");
-    for k_pct in [60, 70, 75, 80, 85, 90, 95, 100] {
-        let k = k_pct as f64 / 100.0;
-        let (mut st, mut ad, mut fl, mut il, mut bb) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for seed in 0..args.seeds {
-            let ts = TrafficSpec::default().generate(&pop, seed);
-            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-            st.push(greedy_static(&inst, k).expect("feasible").device_count() as f64);
-            ad.push(greedy_adaptive(&inst, k).expect("feasible").device_count() as f64);
-            fl.push(flow_greedy_ppm(&inst, k).expect("feasible").device_count() as f64);
-            il.push(
-                solve_ppm_exact(&inst, k, &ExactOptions::default())
-                    .expect("feasible")
-                    .device_count() as f64,
-            );
-            bb.push(
-                solve_ppm_mecf_bb(&inst, k, &ExactOptions::default())
-                    .expect("feasible")
-                    .device_count() as f64,
-            );
-        }
-        println!(
-            "{k_pct},{:.2},{:.2},{:.2},{:.2},{:.2}",
-            popmon_bench::mean(&st),
-            popmon_bench::mean(&ad),
-            popmon_bench::mean(&fl),
-            popmon_bench::mean(&il),
-            popmon_bench::mean(&bb),
-        );
-    }
+    popmon_bench::scenarios::mecf_ablation_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &[60, 70, 75, 80, 85, 90, 95, 100],
+        args.seeds,
+    )
+    .print();
 }

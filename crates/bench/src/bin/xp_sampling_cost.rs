@@ -8,52 +8,37 @@
 //! EXPERIMENTS.md): the setup cost
 //! is a staircase (devices are discrete) while the exploitation cost grows
 //! smoothly with `k`, and a per-traffic floor `h` raises the baseline.
+//!
+//! The (h, k) grid runs through the scenario engine (`POPMON_THREADS`
+//! workers, all cores by default) with the per-seed multi-routed traffic
+//! memoized across all grid points; the CSV is byte-identical to a
+//! serial run.
 
-use placement::sampling::{solve_ppme, PpmeOptions, SamplingProblem};
-use popgen::{PopSpec, TrafficSpec};
+use placement::sampling::PpmeOptions;
+use popgen::PopSpec;
 
 fn main() {
     let args = popmon_bench::parse_args(3);
     let pop = PopSpec::small().build();
-
-    println!("k_percent,h_percent,devices,setup_cost,exploit_cost,total_cost");
+    let mut points: Vec<(u32, u32)> = Vec::new();
     for &h_pct in &[0u32, 20] {
         for k_pct in [40, 50, 60, 70, 80, 90, 95] {
-            if h_pct > k_pct {
-                continue;
+            if h_pct <= k_pct {
+                points.push((h_pct, k_pct));
             }
-            let (mut devices, mut setup, mut exploit, mut total) =
-                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            for seed in 0..args.seeds {
-                let multi = TrafficSpec::default().generate_multi(&pop, seed, 2);
-                let (ci, ce) = SamplingProblem::uniform_costs(pop.graph.edge_count());
-                let prob = SamplingProblem::from_multi(
-                    &pop.graph,
-                    &multi,
-                    h_pct as f64 / 100.0,
-                    k_pct as f64 / 100.0,
-                    ci,
-                    ce,
-                );
-                let opts = PpmeOptions {
-                    rel_gap: 0.02,
-                    time_limit: Some(std::time::Duration::from_secs(60)),
-                    ..Default::default()
-                };
-                let s = solve_ppme(&prob, &opts).expect("feasible");
-                prob.check_solution(&s.installed, &s.rates, 1e-5).expect("valid solution");
-                devices.push(s.device_count() as f64);
-                setup.push(s.setup_cost);
-                exploit.push(s.exploit_cost);
-                total.push(s.total_cost());
-            }
-            println!(
-                "{k_pct},{h_pct},{:.2},{:.2},{:.2},{:.2}",
-                popmon_bench::mean(&devices),
-                popmon_bench::mean(&setup),
-                popmon_bench::mean(&exploit),
-                popmon_bench::mean(&total),
-            );
         }
     }
+    let opts = PpmeOptions {
+        rel_gap: 0.02,
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        ..Default::default()
+    };
+    popmon_bench::scenarios::sampling_cost_report(
+        &engine::Engine::from_env(),
+        &pop,
+        &points,
+        args.seeds,
+        &opts,
+    )
+    .print();
 }

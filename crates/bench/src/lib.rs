@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+pub mod perf;
 pub mod scenarios;
 
 /// Parsed command-line arguments common to all experiment binaries.
@@ -21,37 +22,65 @@ pub struct Args {
     pub scale: f64,
 }
 
-/// Parses `--seeds N` / `--scale S` from `std::env::args`, with the given
-/// default seed count.
-pub fn parse_args(default_seeds: u64) -> Args {
+/// Parses the argument list (without the program name) against the common
+/// experiment flag set. Returns a descriptive error for unknown flags and
+/// malformed or out-of-range values — experiments must never silently run
+/// with a mistyped grid.
+pub fn parse_args_from(argv: &[String], default_seeds: u64) -> Result<Args, String> {
     let mut args = Args { seeds: default_seeds, scale: 1.0 };
-    let argv: Vec<String> = std::env::args().collect();
-    let mut i = 1;
+    let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--seeds" => {
                 i += 1;
-                args.seeds = argv
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--seeds needs a positive integer"));
+                let raw = argv.get(i).ok_or("--seeds needs a value")?;
+                args.seeds = raw
+                    .parse()
+                    .map_err(|_| format!("--seeds needs a positive integer, got {raw:?}"))?;
+                if args.seeds == 0 {
+                    return Err("--seeds must be at least 1".into());
+                }
             }
             "--scale" => {
                 i += 1;
-                args.scale = argv
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| panic!("--scale needs a number"));
+                let raw = argv.get(i).ok_or("--scale needs a value")?;
+                args.scale = raw
+                    .parse()
+                    .map_err(|_| format!("--scale needs a number, got {raw:?}"))?;
+                if !args.scale.is_finite() || args.scale <= 0.0 {
+                    return Err(format!(
+                        "--scale must be a finite positive number, got {raw:?}"
+                    ));
+                }
             }
-            "--help" | "-h" => {
-                eprintln!("usage: <bin> [--seeds N] [--scale S]");
-                std::process::exit(0);
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (expected --seeds N or --scale S)"
+                ))
             }
-            other => panic!("unknown argument {other:?} (try --help)"),
         }
         i += 1;
     }
-    args
+    Ok(args)
+}
+
+/// Parses `--seeds N` / `--scale S` from `std::env::args`, with the given
+/// default seed count. Prints a usage line and exits non-zero on any
+/// unknown flag or malformed value (see [`parse_args_from`]).
+pub fn parse_args(default_seeds: u64) -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: <bin> [--seeds N] [--scale S]");
+        std::process::exit(0);
+    }
+    match parse_args_from(&argv, default_seeds) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: <bin> [--seeds N] [--scale S]");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Mean of a slice (0 for empty input).
@@ -80,6 +109,19 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (r, t0.elapsed().as_secs_f64())
 }
 
+/// Drops the trailing CSV column of every line — the wall-clock column of
+/// the timed reports (`fig7`/`fig8`/`xp_scale_150`), which is the one
+/// column excluded from the byte-identity and golden contracts. Golden
+/// and parity tests share this so the exclusion rule has a single home.
+/// A line without a comma is kept whole, so malformed rows still surface
+/// as differences instead of collapsing to empty strings.
+pub fn strip_last_column<'a>(lines: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    lines
+        .into_iter()
+        .map(|l| l.rsplit_once(',').map_or_else(|| l.to_string(), |(head, _)| head.to_string()))
+        .collect()
+}
+
 /// Shared driver for the active-monitoring figures (9, 10, 11): for every
 /// candidate-set size `|V_B|` from 2 to the router count, draw seeded
 /// random router subsets, compute Φ, and place beacons with all three
@@ -89,7 +131,8 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 pub fn active_experiment(spec: popgen::PopSpec, args: &Args) {
     let pop = spec.build();
     let (graph, _) = pop.router_subgraph();
-    scenarios::active_report(&engine::Engine::from_env(), &graph, args.seeds).print();
+    let sizes: Vec<usize> = (2..=graph.node_count()).collect();
+    scenarios::active_report(&engine::Engine::from_env(), &graph, &sizes, args.seeds).print();
 }
 
 #[cfg(test)]
@@ -109,5 +152,52 @@ mod tests {
         let (v, secs) = timed(|| 42);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_defaults_and_valid_values() {
+        let a = parse_args_from(&[], 7).unwrap();
+        assert_eq!(a.seeds, 7);
+        assert_eq!(a.scale, 1.0);
+        let a = parse_args_from(&argv(&["--seeds", "20", "--scale", "2.5"]), 7).unwrap();
+        assert_eq!(a.seeds, 20);
+        assert_eq!(a.scale, 2.5);
+        // Later occurrences win, as in the serial binaries.
+        let a = parse_args_from(&argv(&["--seeds", "3", "--seeds", "9"]), 7).unwrap();
+        assert_eq!(a.seeds, 9);
+    }
+
+    #[test]
+    fn parse_args_rejects_unknown_flags() {
+        let e = parse_args_from(&argv(&["--sedes", "3"]), 1).unwrap_err();
+        assert!(e.contains("unknown argument"), "{e}");
+        let e = parse_args_from(&argv(&["extra"]), 1).unwrap_err();
+        assert!(e.contains("unknown argument"), "{e}");
+    }
+
+    #[test]
+    fn parse_args_rejects_malformed_seeds() {
+        for bad in ["abc", "-3", "1.5", ""] {
+            let e = parse_args_from(&argv(&["--seeds", bad]), 1).unwrap_err();
+            assert!(e.contains("--seeds"), "seeds {bad:?}: {e}");
+        }
+        let e = parse_args_from(&argv(&["--seeds", "0"]), 1).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse_args_from(&argv(&["--seeds"]), 1).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn parse_args_rejects_malformed_scale() {
+        for bad in ["abc", "NaN", "inf", "0", "-1", ""] {
+            let e = parse_args_from(&argv(&["--scale", bad]), 1).unwrap_err();
+            assert!(e.contains("--scale"), "scale {bad:?}: {e}");
+        }
+        let e = parse_args_from(&argv(&["--scale"]), 1).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
     }
 }

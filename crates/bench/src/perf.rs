@@ -1,0 +1,198 @@
+//! Measured-performance subsystem: machine-readable benchmark reports.
+//!
+//! The `bench_report` binary runs a fixed grid of named stages (the
+//! workspace's hot paths) and serializes the measurements to
+//! `BENCH_popmon.json` so performance is a *tracked* quantity: every PR
+//! that claims a speedup re-runs the grid and the JSON trajectory shows
+//! whether the claim held. See `DESIGN.md` ("The perf subsystem") for the
+//! schema and the measurement protocol.
+//!
+//! The [`BASELINE`] table freezes the numbers measured at the pre-PR-2
+//! commit (`ffa26e6`, serial sweeps, Dantzig full-scan simplex pricing) on
+//! the reference container; [`BenchReport::to_json`] computes
+//! `speedup_vs_baseline` for every stage that already existed then.
+
+use std::time::Instant;
+
+/// One measured stage of the benchmark grid.
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Stage name (stable across PRs — the JSON trajectory joins on it).
+    pub name: &'static str,
+    /// Total wall-clock seconds across all iterations.
+    pub wall_s: f64,
+    /// Timed iterations of the whole stage.
+    pub iters: u64,
+    /// Logical cases processed across all iterations (what a "case" is —
+    /// pivots, trees, sweeps — is stage-specific and recorded in `note`).
+    pub cases: u64,
+    /// Human description of the case unit.
+    pub note: &'static str,
+}
+
+impl StageResult {
+    /// Cases per wall-clock second (0 when nothing was timed).
+    pub fn cases_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cases as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `body` `iters` times, counting the logical cases it reports.
+pub fn run_stage(
+    name: &'static str,
+    note: &'static str,
+    iters: u64,
+    mut body: impl FnMut() -> u64,
+) -> StageResult {
+    let mut cases = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..iters.max(1) {
+        cases += body();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    StageResult { name, wall_s, iters: iters.max(1), cases, note }
+}
+
+/// Pre-PR-2 reference measurements: `(stage, wall_s, cases_per_s)`.
+///
+/// Captured with `bench_report --smoke` built at the baseline commit
+/// (serial sweep loops, full-scan Dantzig pricing, O(m²) BTRAN per
+/// simplex iteration) on the reference container. `wall_s` is the
+/// stage's total smoke wall-clock as captured; speedups are computed on
+/// the `cases_per_s` *rate*, which stays comparable when a later PR
+/// changes a stage's iteration count. Stages added after the baseline
+/// have no entry and get `null` in `speedup_vs_baseline`.
+pub const BASELINE: &[(&str, f64, f64)] = &[
+    ("dijkstra_trees_150", 0.000254, 125_880.178),
+    ("ksp4_pairs_80", 0.000914, 17_512.981),
+    // cases = LP solves (4 solves in 3.708 ms).
+    ("simplex_lp2_10router", 0.003708, 1_078.75),
+    // cases = LP solves (one 110-second solve, 15_633 Dantzig pivots).
+    ("simplex_lp2_15router", 110.040943, 0.009088),
+    ("greedy_static_15router", 0.000281, 7_115.134),
+    ("mecf_bb_15router_k80", 0.848164, 1.179),
+    ("fig7_sweep", 0.814868, 14.726),
+    ("fig8_point_k75", 0.370821, 2.697),
+];
+
+/// A full benchmark run, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `"smoke"` (CI-sized grid) or `"full"`.
+    pub mode: &'static str,
+    /// Worker threads the engine-backed stages were allowed to use.
+    pub threads: usize,
+    /// Seconds since the Unix epoch when the run finished.
+    pub generated_unix: u64,
+    pub stages: Vec<StageResult>,
+}
+
+impl BenchReport {
+    /// Total wall-clock seconds across stages.
+    pub fn total_wall_s(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_s).sum()
+    }
+
+    /// Serializes the report to the `BENCH_popmon.json` schema
+    /// (documented in DESIGN.md). Stage names are static identifiers, so
+    /// no JSON string escaping is required.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"popmon-bench/1\",\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"generated_unix\": {},\n", self.generated_unix));
+        out.push_str(&format!("  \"total_wall_s\": {:.6},\n", self.total_wall_s()));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"iters\": {}, \"cases\": {}, \
+                 \"cases_per_s\": {:.3}, \"note\": \"{}\"}}{}\n",
+                s.name,
+                s.wall_s,
+                s.iters,
+                s.cases,
+                s.cases_per_s(),
+                s.note,
+                if i + 1 < self.stages.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"baseline\": {\n");
+        out.push_str("    \"captured_at\": \"pre-PR2 commit ffa26e6 (serial sweeps, full-scan Dantzig pricing)\",\n");
+        out.push_str("    \"stages\": {\n");
+        for (i, (name, wall_s, cps)) in BASELINE.iter().enumerate() {
+            out.push_str(&format!(
+                "      \"{name}\": {{\"wall_s\": {wall_s:.6}, \"cases_per_s\": {cps:.3}}}{}\n",
+                if i + 1 < BASELINE.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    }\n");
+        out.push_str("  },\n");
+        out.push_str("  \"speedup_vs_baseline\": {\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            // Rate-based: cases/s is invariant to iteration-count changes
+            // (the baseline and today's grid process identical case units).
+            let speedup = BASELINE
+                .iter()
+                .find(|(n, _, _)| *n == s.name)
+                .filter(|(_, _, cps)| *cps > 0.0)
+                .map(|(_, _, cps)| s.cases_per_s() / cps);
+            match speedup {
+                Some(x) => out.push_str(&format!("    \"{}\": {:.3}", s.name, x)),
+                None => out.push_str(&format!("    \"{}\": null", s.name)),
+            }
+            out.push_str(if i + 1 < self.stages.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_rates() {
+        let s = StageResult { name: "x", wall_s: 2.0, iters: 4, cases: 10, note: "" };
+        assert!((s.cases_per_s() - 5.0).abs() < 1e-12);
+        let z = StageResult { name: "x", wall_s: 0.0, iters: 1, cases: 10, note: "" };
+        assert_eq!(z.cases_per_s(), 0.0);
+    }
+
+    #[test]
+    fn run_stage_accumulates_cases() {
+        let s = run_stage("s", "n", 3, || 7);
+        assert_eq!(s.iters, 3);
+        assert_eq!(s.cases, 21);
+        assert!(s.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let r = BenchReport {
+            mode: "smoke",
+            threads: 2,
+            generated_unix: 1_753_000_000,
+            stages: vec![
+                StageResult { name: "a", wall_s: 1.0, iters: 1, cases: 5, note: "cases" },
+                StageResult { name: "b", wall_s: 0.5, iters: 2, cases: 4, note: "cases" },
+            ],
+        };
+        let j = r.to_json();
+        // Structural smoke checks: balanced braces/brackets, key fields.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"schema\": \"popmon-bench/1\""));
+        assert!(j.contains("\"total_wall_s\": 1.500000"));
+        assert!(j.contains("\"name\": \"a\""));
+        assert!(j.contains("\"speedup_vs_baseline\""));
+    }
+}

@@ -20,13 +20,341 @@ use placement::active::{
     place_beacons_thiran, ProbeSet,
 };
 use placement::campaign::{campaign_exact, campaign_greedy, CampaignProblem};
+use placement::cascade::{independent_monitored, solve_ppme_cascade};
 use placement::dynamic::{run_controller, ControllerSpec};
 use placement::instance::PpmInstance;
-use placement::passive::{greedy_static, solve_ppm_exact, solve_ppm_mecf_bb, ExactOptions};
+use placement::passive::{
+    expected_gain, flow_greedy_ppm, greedy_adaptive, greedy_static, solve_budget,
+    solve_incremental, solve_ppm_exact, solve_ppm_mecf_bb, ExactOptions,
+};
+use placement::sampling::{solve_ppme, PpmeOptions, SamplingProblem};
 use popgen::dynamic::{DynamicSpec, TrafficProcess};
-use popgen::{Pop, TrafficSet, TrafficSpec};
+use popgen::{MultiTraffic, Pop, TrafficSet, TrafficSpec};
 
-use crate::{mean, timed};
+use crate::{mean, stddev, timed};
+
+/// The seed-keyed `PPM` instance every passive sweep starts from: the
+/// seeded traffic matrix run through [`PpmInstance::from_traffic`]. The
+/// instance construction (one shortest path per traffic pair) is shared
+/// by every k-point of a sweep, so it goes through the run's memo.
+fn ppm_instance_of(
+    memo: &engine::Memo,
+    domain: &'static str,
+    pop: &Pop,
+    seed: u64,
+) -> std::sync::Arc<PpmInstance> {
+    memo.get_or_compute(domain, seed, || {
+        let ts = TrafficSpec::default().generate(pop, seed);
+        PpmInstance::from_traffic(&pop.graph, &ts)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// fig7: passive devices vs. k on the 10-router POP (greedy vs. exact ILP)
+// ---------------------------------------------------------------------------
+
+/// The figure-7 sweep: for each coverage target `k` (percent), the
+/// decreasing-load greedy and the exact ILP device counts averaged over
+/// seeds, plus the mean exact solve time. The per-seed instance is built
+/// once and shared by every k-point through the memo.
+///
+/// The trailing `ilp_time_s` column is a wall-clock measurement and is
+/// the one column that legitimately varies run to run; parity tests
+/// compare everything before it.
+pub fn fig7_report(engine: &Engine, pop: &Pop, k_percents: &[u32], seeds: u64) -> ScenarioReport {
+    let spec = ScenarioSpec::new("fig7_passive_10", k_percents.to_vec()).with_seeds(seeds);
+    engine.run_report(
+        &spec,
+        "k_percent,greedy_devices,ilp_devices,greedy_stddev,ilp_stddev,ilp_time_s",
+        |c: Case<'_, u32>| {
+            let inst = ppm_instance_of(c.memo, "fig7_inst", pop, c.seed);
+            let k = *c.point as f64 / 100.0;
+            let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
+            let (ilp, secs) = timed(|| {
+                solve_ppm_exact(&inst, k, &ExactOptions::default()).expect("feasible")
+            });
+            assert!(inst.is_feasible(&ilp.edges, k));
+            (g.device_count() as f64, ilp.device_count() as f64, secs)
+        },
+        |k_pct, rs| {
+            let greedy: Vec<f64> = rs.iter().map(|r| r.0).collect();
+            let ilp: Vec<f64> = rs.iter().map(|r| r.1).collect();
+            let times: Vec<f64> = rs.iter().map(|r| r.2).collect();
+            format!(
+                "{k_pct},{:.2},{:.2},{:.2},{:.2},{:.3}",
+                mean(&greedy),
+                mean(&ilp),
+                stddev(&greedy),
+                stddev(&ilp),
+                mean(&times),
+            )
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// fig8: passive devices vs. k on the 15-router POP (greedy vs. MECF B&B)
+// ---------------------------------------------------------------------------
+
+/// The figure-8 sweep: greedy vs. the MECF branch-and-bound on the
+/// 15-router POP, averaged over seeds, with the fraction of seeded solves
+/// that closed the search. `opts` bounds each exact solve (the binary
+/// passes the paper protocol's two-minute budget).
+///
+/// As in [`fig7_report`], the trailing `exact_time_s` column is
+/// wall-clock; parity tests strip it.
+pub fn fig8_report(
+    engine: &Engine,
+    pop: &Pop,
+    k_percents: &[u32],
+    seeds: u64,
+    opts: &ExactOptions,
+) -> ScenarioReport {
+    let spec = ScenarioSpec::new("fig8_passive_15", k_percents.to_vec()).with_seeds(seeds);
+    engine.run_report(
+        &spec,
+        "k_percent,greedy_devices,exact_devices,proven_fraction,exact_time_s",
+        |c: Case<'_, u32>| {
+            let inst = ppm_instance_of(c.memo, "fig8_inst", pop, c.seed);
+            let k = *c.point as f64 / 100.0;
+            let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
+            let (s, secs) = timed(|| solve_ppm_mecf_bb(&inst, k, opts).expect("feasible"));
+            assert!(inst.is_feasible(&s.edges, k));
+            (g.device_count() as f64, s.device_count() as f64, s.proven_optimal, secs)
+        },
+        |k_pct, rs| {
+            let greedy: Vec<f64> = rs.iter().map(|r| r.0).collect();
+            let exact: Vec<f64> = rs.iter().map(|r| r.1).collect();
+            let proven = rs.iter().filter(|r| r.2).count();
+            let times: Vec<f64> = rs.iter().map(|r| r.3).collect();
+            format!(
+                "{k_pct},{:.2},{:.2},{:.2},{:.1}",
+                mean(&greedy),
+                mean(&exact),
+                proven as f64 / rs.len().max(1) as f64,
+                mean(&times),
+            )
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// xp_mecf_ablation: the greedy family vs. the exact solvers across k
+// ---------------------------------------------------------------------------
+
+/// The section-4.3 ablation: static/adaptive/flow greedies against the
+/// exact ILP and the MECF branch-and-bound on one POP, device counts
+/// averaged over seeds. Fully deterministic (no timing columns).
+pub fn mecf_ablation_report(
+    engine: &Engine,
+    pop: &Pop,
+    k_percents: &[u32],
+    seeds: u64,
+) -> ScenarioReport {
+    let spec = ScenarioSpec::new("xp_mecf_ablation", k_percents.to_vec()).with_seeds(seeds);
+    engine.run_report(
+        &spec,
+        "k_percent,static_greedy,adaptive_greedy,flow_greedy,ilp,mecf_bb",
+        |c: Case<'_, u32>| {
+            let inst = ppm_instance_of(c.memo, "ablation_inst", pop, c.seed);
+            let k = *c.point as f64 / 100.0;
+            let opts = ExactOptions::default();
+            [
+                greedy_static(&inst, k).expect("feasible").device_count() as f64,
+                greedy_adaptive(&inst, k).expect("feasible").device_count() as f64,
+                flow_greedy_ppm(&inst, k).expect("feasible").device_count() as f64,
+                solve_ppm_exact(&inst, k, &opts).expect("feasible").device_count() as f64,
+                solve_ppm_mecf_bb(&inst, k, &opts).expect("feasible").device_count() as f64,
+            ]
+        },
+        |k_pct, rs| {
+            let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>());
+            format!(
+                "{k_pct},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                col(0),
+                col(1),
+                col(2),
+                col(3),
+                col(4),
+            )
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// xp_cascade: additive vs. independent-sampling (cascade) cost across k
+// ---------------------------------------------------------------------------
+
+/// The seed-keyed multi-routed traffic set shared by every k-point of the
+/// sampling sweeps (2 routes per pair, the section-5 setting).
+fn multi_traffic_of(
+    memo: &engine::Memo,
+    domain: &'static str,
+    pop: &Pop,
+    seed: u64,
+) -> std::sync::Arc<Vec<MultiTraffic>> {
+    memo.get_or_compute(domain, seed, || TrafficSpec::default().generate_multi(pop, seed, 2))
+}
+
+/// The section-7 cascade sweep: for each coverage target `k`, the additive
+/// (packet-marking) optimum against the independent-sampling cascade
+/// solver, plus the *actual* coverage the additive solution achieves when
+/// devices cannot coordinate. Averaged over seeds.
+pub fn cascade_report(engine: &Engine, pop: &Pop, k_percents: &[u32], seeds: u64) -> ScenarioReport {
+    let spec = ScenarioSpec::new("xp_cascade", k_percents.to_vec()).with_seeds(seeds);
+    engine.run_report(
+        &spec,
+        "k_percent,additive_cost,cascade_cost,overhead_percent,additive_true_coverage",
+        |c: Case<'_, u32>| {
+            let multi = multi_traffic_of(c.memo, "cascade_multi", pop, c.seed);
+            let k = *c.point as f64 / 100.0;
+            let (ci, ce) = SamplingProblem::uniform_costs(pop.graph.edge_count());
+            let prob = SamplingProblem::from_multi(&pop.graph, &multi, 0.0, k, ci, ce);
+            let additive = solve_ppme(&prob, &PpmeOptions::default()).expect("feasible");
+            let cascade = solve_ppme_cascade(&prob, &PpmeOptions::default()).expect("feasible");
+            let actual = independent_monitored(&prob, &additive.rates);
+            (
+                additive.total_cost(),
+                cascade.total_cost(),
+                100.0 * actual / prob.total_volume(),
+            )
+        },
+        |k_pct, rs| {
+            let a = mean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
+            let c = mean(&rs.iter().map(|r| r.1).collect::<Vec<_>>());
+            let cov = mean(&rs.iter().map(|r| r.2).collect::<Vec<_>>());
+            format!("{k_pct},{a:.2},{c:.2},{:.1},{cov:.1}", 100.0 * (c - a) / a.max(1e-9))
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// xp_sampling_cost: PPME(h,k) setup/exploitation cost structure
+// ---------------------------------------------------------------------------
+
+/// The section-5 cost sweep: for each `(h, k)` percent pair, the PPME
+/// fixed-charge MILP's device count and cost split, averaged over seeds.
+/// Callers pass pre-filtered pairs (`h ≤ k`); the multi-routed traffic
+/// set is memoized per seed across all pairs.
+pub fn sampling_cost_report(
+    engine: &Engine,
+    pop: &Pop,
+    hk_percents: &[(u32, u32)],
+    seeds: u64,
+    opts: &PpmeOptions,
+) -> ScenarioReport {
+    let spec = ScenarioSpec::new("xp_sampling_cost", hk_percents.to_vec()).with_seeds(seeds);
+    engine.run_report(
+        &spec,
+        "k_percent,h_percent,devices,setup_cost,exploit_cost,total_cost",
+        |c: Case<'_, (u32, u32)>| {
+            let (h_pct, k_pct) = *c.point;
+            let multi = multi_traffic_of(c.memo, "sampling_multi", pop, c.seed);
+            let (ci, ce) = SamplingProblem::uniform_costs(pop.graph.edge_count());
+            let prob = SamplingProblem::from_multi(
+                &pop.graph,
+                &multi,
+                h_pct as f64 / 100.0,
+                k_pct as f64 / 100.0,
+                ci,
+                ce,
+            );
+            let s = solve_ppme(&prob, opts).expect("feasible");
+            prob.check_solution(&s.installed, &s.rates, 1e-5).expect("valid solution");
+            [s.device_count() as f64, s.setup_cost, s.exploit_cost, s.total_cost()]
+        },
+        |(h_pct, k_pct), rs| {
+            let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>());
+            format!("{k_pct},{h_pct},{:.2},{:.2},{:.2},{:.2}", col(0), col(1), col(2), col(3))
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// xp_incremental: frozen-device upgrades and the gain of buying devices
+// ---------------------------------------------------------------------------
+
+/// Per-seed state shared by both incremental sections: the instance and
+/// the exact `PPM(0.8)` base deployment the upgrades start from.
+struct IncrementalSeedSetup {
+    inst: PpmInstance,
+    base_edges: Vec<usize>,
+}
+
+fn incremental_seed_setup(
+    memo: &engine::Memo,
+    pop: &Pop,
+    seed: u64,
+) -> std::sync::Arc<IncrementalSeedSetup> {
+    memo.get_or_compute("incremental_base", seed, || {
+        let ts = TrafficSpec::default().generate(pop, seed);
+        let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+        let base = solve_ppm_exact(&inst, 0.8, &ExactOptions::default())
+            .expect("PPM(0.8) is feasible on this POP");
+        IncrementalSeedSetup { inst, base_edges: base.edges }
+    })
+}
+
+/// Section-1/4.3 upgrades: additional devices needed to reach each higher
+/// `k` when the `PPM(0.8)` base cannot move, against a from-scratch
+/// deployment. The base solve is memoized per seed (the serial loops
+/// re-solved it for every k-point).
+pub fn incremental_report(
+    engine: &Engine,
+    pop: &Pop,
+    k_percents: &[u32],
+    seeds: u64,
+) -> ScenarioReport {
+    let spec = ScenarioSpec::new("xp_incremental", k_percents.to_vec()).with_seeds(seeds);
+    let opts = ExactOptions::default();
+    engine.run_report(
+        &spec,
+        "section,x,incremental_total,scratch_total,penalty",
+        |c: Case<'_, u32>| {
+            let setup = incremental_seed_setup(c.memo, pop, c.seed);
+            let k = *c.point as f64 / 100.0;
+            let inc = solve_incremental(&setup.inst, k, &setup.base_edges, &opts)
+                .expect("feasible");
+            let scratch = solve_ppm_exact(&setup.inst, k, &opts).expect("feasible");
+            assert!(setup.inst.is_feasible(&inc.edges, k));
+            (inc.device_count() as f64, scratch.device_count() as f64)
+        },
+        |k_pct, rs| {
+            let i = mean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
+            let s = mean(&rs.iter().map(|r| r.1).collect::<Vec<_>>());
+            format!("upgrade_to_k,{k_pct},{i:.2},{s:.2},{:.2}", i - s)
+        },
+    )
+}
+
+/// Section-1/4.3 expected gain: coverage bought by adding 1..n optimally
+/// placed devices on top of the `PPM(0.8)` base (memoized per seed, as in
+/// [`incremental_report`]).
+pub fn budget_gain_report(
+    engine: &Engine,
+    pop: &Pop,
+    extras: &[u32],
+    seeds: u64,
+) -> ScenarioReport {
+    let spec = ScenarioSpec::new("xp_incremental_gain", extras.to_vec()).with_seeds(seeds);
+    let opts = ExactOptions::default();
+    engine.run_report(
+        &spec,
+        "section,x,coverage_gain,coverage_after_percent,unused",
+        |c: Case<'_, u32>| {
+            let setup = incremental_seed_setup(c.memo, pop, c.seed);
+            let extra = *c.point as usize;
+            let gain = expected_gain(&setup.inst, &setup.base_edges, extra, &opts);
+            let b = solve_budget(&setup.inst, extra, &setup.base_edges, &opts);
+            (gain, 100.0 * b.coverage_fraction())
+        },
+        |extra, rs| {
+            let gain = mean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
+            let after = mean(&rs.iter().map(|r| r.1).collect::<Vec<_>>());
+            format!("buy_devices,{extra},{gain:.2},{after:.2},0")
+        },
+    )
+}
 
 // ---------------------------------------------------------------------------
 // xp_campaign: re-route traffic under a stretch budget for a fixed deployment
@@ -302,17 +630,23 @@ pub struct ActiveCounts {
     pub probes: f64,
 }
 
-/// The figures 9/10/11 sweep: for every candidate-set size `|V_B|`, seeded
-/// random router subsets, probe computation, and the three beacon
-/// placements, averaged over seeds. One CSV row per `|V_B|`.
-pub fn active_report(engine: &Engine, graph: &Graph, seeds: u64) -> ScenarioReport {
+/// The figures 9/10/11 sweep: for every candidate-set size `|V_B|` in
+/// `sizes`, seeded random router subsets, probe computation, and the
+/// three beacon placements, averaged over seeds. One CSV row per `|V_B|`.
+/// The binaries sweep `2..=n`; golden and parity tests pass subsets (a
+/// case depends only on its own `(size, seed)`, so subset rows are
+/// byte-identical to the full sweep's).
+pub fn active_report(
+    engine: &Engine,
+    graph: &Graph,
+    sizes: &[usize],
+    seeds: u64,
+) -> ScenarioReport {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
 
     let routers: Vec<netgraph::NodeId> = graph.nodes().collect();
-    let n = routers.len();
-    let spec = ScenarioSpec::new("active_experiment", (2..=n).collect::<Vec<usize>>())
-        .with_seeds(seeds);
+    let spec = ScenarioSpec::new("active_experiment", sizes.to_vec()).with_seeds(seeds);
     engine.run_report(
         &spec,
         "vb_size,thiran,greedy,ilp,probes",

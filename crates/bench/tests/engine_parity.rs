@@ -40,10 +40,133 @@ fn dynamic_traffic_parallel_matches_serial() {
 fn active_sweep_parallel_matches_serial() {
     let pop = PopSpec::small().build();
     let (graph, _) = pop.router_subgraph();
-    let serial = scenarios::active_report(&Engine::serial(), &graph, 2);
-    let parallel = scenarios::active_report(&Engine::with_threads(4), &graph, 2);
+    let sizes: Vec<usize> = (2..=graph.node_count()).collect();
+    let serial = scenarios::active_report(&Engine::serial(), &graph, &sizes, 2);
+    let parallel = scenarios::active_report(&Engine::with_threads(4), &graph, &sizes, 2);
     assert_eq!(serial.to_csv(), parallel.to_csv());
     assert_eq!(serial.rows.len(), graph.node_count() - 1, "|V_B| sweeps 2..=n");
+}
+
+/// Strips the wall-clock column (see `popmon_bench::strip_last_column`).
+fn strip_last_column(csv: String) -> Vec<String> {
+    popmon_bench::strip_last_column(csv.lines())
+}
+
+#[test]
+fn fig7_sweep_parallel_matches_serial() {
+    let pop = PopSpec::paper_10().build();
+    let serial = scenarios::fig7_report(&Engine::serial(), &pop, &[80, 90], 2);
+    let parallel = scenarios::fig7_report(&Engine::with_threads(4), &pop, &[80, 90], 2);
+    assert_eq!(
+        strip_last_column(serial.to_csv()),
+        strip_last_column(parallel.to_csv()),
+        "fig7 must be thread-count invariant (modulo the wall-clock column)"
+    );
+    assert_eq!(serial.rows.len(), 2);
+}
+
+#[test]
+fn fig8_sweep_parallel_matches_serial() {
+    let pop = PopSpec::paper_15().build();
+    // k = 75% closes in well under a second; the heavier points belong to
+    // the binary.
+    let opts = placement::passive::ExactOptions {
+        max_nodes: 50_000,
+        time_limit: Some(std::time::Duration::from_secs(120)),
+        ..Default::default()
+    };
+    let serial = scenarios::fig8_report(&Engine::serial(), &pop, &[75], 1, &opts);
+    let parallel = scenarios::fig8_report(&Engine::with_threads(4), &pop, &[75], 1, &opts);
+    assert_eq!(
+        strip_last_column(serial.to_csv()),
+        strip_last_column(parallel.to_csv()),
+        "fig8 must be thread-count invariant (modulo the wall-clock column)"
+    );
+}
+
+#[test]
+fn mecf_ablation_parallel_matches_serial() {
+    let pop = PopSpec::paper_10().build();
+    let serial = scenarios::mecf_ablation_report(&Engine::serial(), &pop, &[75, 90], 2);
+    let parallel = scenarios::mecf_ablation_report(&Engine::with_threads(4), &pop, &[75, 90], 2);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn cascade_parallel_matches_serial() {
+    let pop = PopSpec::small().build();
+    let serial = scenarios::cascade_report(&Engine::serial(), &pop, &[50, 80], 2);
+    let parallel = scenarios::cascade_report(&Engine::with_threads(4), &pop, &[50, 80], 2);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn sampling_cost_parallel_matches_serial() {
+    let pop = PopSpec::small().build();
+    let points = [(0u32, 50u32), (20, 60)];
+    let opts = placement::sampling::PpmeOptions {
+        rel_gap: 0.02,
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        ..Default::default()
+    };
+    let serial = scenarios::sampling_cost_report(&Engine::serial(), &pop, &points, 2, &opts);
+    let parallel =
+        scenarios::sampling_cost_report(&Engine::with_threads(4), &pop, &points, 2, &opts);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn incremental_sweeps_parallel_match_serial() {
+    let pop = PopSpec::paper_10().build();
+    let serial = scenarios::incremental_report(&Engine::serial(), &pop, &[90, 100], 2);
+    let parallel = scenarios::incremental_report(&Engine::with_threads(4), &pop, &[90, 100], 2);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    let serial = scenarios::budget_gain_report(&Engine::serial(), &pop, &[1, 3], 2);
+    let parallel = scenarios::budget_gain_report(&Engine::with_threads(4), &pop, &[1, 3], 2);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+/// `engine::Memo` under contention: many threads racing the same key must
+/// all observe the *same* stored value (first insert wins), no matter how
+/// many builders actually ran.
+#[test]
+fn memo_racing_threads_observe_one_value() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    for round in 0..8u64 {
+        let memo = engine::Memo::new();
+        let builds = AtomicUsize::new(0);
+        let n = 16;
+        let barrier = Barrier::new(n);
+        let observed: Vec<Arc<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|tid| {
+                    let (memo, builds, barrier) = (&memo, &builds, &barrier);
+                    scope.spawn(move || {
+                        // Line every thread up so the builders genuinely race.
+                        barrier.wait();
+                        memo.get_or_compute("raced", round, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            // Thread-dependent candidate values: if any
+                            // loser's value ever leaked, the assertion
+                            // below would catch it.
+                            round * 1000 + tid as u64
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+        });
+
+        let first = &observed[0];
+        for v in &observed {
+            assert_eq!(**v, **first, "all racers must observe the stored value");
+            assert!(Arc::ptr_eq(v, first), "all racers must share one Arc");
+        }
+        assert!(builds.load(Ordering::Relaxed) >= 1);
+        assert_eq!(memo.len(), 1, "one entry regardless of how many builders raced");
+    }
 }
 
 #[test]
@@ -52,16 +175,11 @@ fn pipeline_stages_parallel_match_serial_values() {
     let pop = PopSpec::paper_10().build();
     let ts = TrafficSpec::default().generate(&pop, 0);
     let opts = placement::passive::ExactOptions::default();
-    let strip_seconds = |csv: String| -> Vec<String> {
-        // Timing columns legitimately differ run to run; compare the
-        // metric/value columns only.
-        csv.lines()
-            .map(|l| l.rsplit_once(',').map(|(head, _)| head.to_string()).unwrap_or_default())
-            .collect()
-    };
     let serial =
         scenarios::pipeline_stage_report(&Engine::serial(), &pop, &ts, 0.9, &opts).to_csv();
     let parallel =
         scenarios::pipeline_stage_report(&Engine::with_threads(4), &pop, &ts, 0.9, &opts).to_csv();
-    assert_eq!(strip_seconds(serial), strip_seconds(parallel));
+    // Timing columns legitimately differ run to run; compare the
+    // metric/value columns only.
+    assert_eq!(strip_last_column(serial), strip_last_column(parallel));
 }

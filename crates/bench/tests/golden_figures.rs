@@ -12,9 +12,17 @@
 //! `cargo run --release -p popmon-bench --bin fig7_passive_10 -- --seeds 1`
 //! (and fig8), and say so in the changelog.
 
+use engine::Engine;
 use placement::instance::PpmInstance;
 use placement::passive::{greedy_static, solve_ppm_exact, solve_ppm_mecf_bb, ExactOptions};
+use placement::sampling::PpmeOptions;
 use popgen::{PopSpec, TrafficSpec};
+use popmon_bench::scenarios;
+
+/// Strips the wall-clock column (see `popmon_bench::strip_last_column`).
+fn strip_last_column(rows: &[String]) -> Vec<String> {
+    popmon_bench::strip_last_column(rows.iter().map(|r| r.as_str()))
+}
 
 /// Figure 7 (10-router POP, 27 links, 132 traffics), seed 0: greedy and
 /// exact ILP device counts over the paper's k sweep.
@@ -76,6 +84,200 @@ fn fig8_passive_15_golden_seed0() {
     assert_eq!(s.device_count(), 9, "fig8 exact device count moved at k = 75%");
     assert!(s.proven_optimal, "fig8 exact k = 75% must close within the node budget");
     assert!(inst.is_feasible(&s.edges, 0.75));
+}
+
+/// Figure 7 at the report level: the full engine-backed sweep, seed 0,
+/// every column except the trailing wall-clock. Complements the
+/// solver-level pins above by also freezing the CSV rendering.
+#[test]
+fn fig7_report_golden_seed0() {
+    let pop = PopSpec::paper_10().build();
+    let r = scenarios::fig7_report(&Engine::serial(), &pop, &[75, 80, 85, 90, 95, 100], 1);
+    assert_eq!(
+        strip_last_column(&r.rows),
+        [
+            "75,8.00,4.00,0.00,0.00",
+            "80,8.00,5.00,0.00,0.00",
+            "85,10.00,5.00,0.00,0.00",
+            "90,13.00,6.00,0.00,0.00",
+            "95,15.00,7.00,0.00,0.00",
+            "100,18.00,11.00,0.00,0.00",
+        ],
+        "fig7 seed-0 report rows moved"
+    );
+}
+
+/// Figure 8 at the report level, seed 0, on the two k-points the MECF
+/// branch-and-bound closes quickly (the slower unproven points belong to
+/// the binary, not the regression suite).
+#[test]
+fn fig8_report_golden_seed0() {
+    let pop = PopSpec::paper_15().build();
+    let opts = ExactOptions {
+        max_nodes: 50_000,
+        time_limit: Some(std::time::Duration::from_secs(120)),
+        ..Default::default()
+    };
+    let r = scenarios::fig8_report(&Engine::serial(), &pop, &[75, 80], 1, &opts);
+    assert_eq!(
+        strip_last_column(&r.rows),
+        ["75,13.00,9.00,1.00", "80,14.00,10.00,1.00"],
+        "fig8 seed-0 report rows moved"
+    );
+}
+
+/// Figure 9 (15-router POP), seed 0: the full `|V_B|` sweep — Thiran,
+/// greedy, and ILP beacon counts plus the probe-set size per point.
+#[test]
+fn fig9_active_15_golden_seed0() {
+    let pop = PopSpec::paper_15().build();
+    let (graph, _) = pop.router_subgraph();
+    let sizes: Vec<usize> = (2..=graph.node_count()).collect();
+    let r = scenarios::active_report(&Engine::serial(), &graph, &sizes, 1);
+    assert_eq!(
+        r.rows,
+        [
+            "2,1.00,1.00,1.00,1.0",
+            "3,2.00,2.00,2.00,3.0",
+            "4,2.00,2.00,2.00,2.0",
+            "5,4.00,2.00,2.00,4.0",
+            "6,4.00,3.00,3.00,6.0",
+            "7,4.00,3.00,3.00,6.0",
+            "8,4.00,3.00,3.00,7.0",
+            "9,6.00,5.00,4.00,8.0",
+            "10,6.00,4.00,4.00,9.0",
+            "11,6.00,5.00,5.00,10.0",
+            "12,7.00,6.00,6.00,11.0",
+            "13,10.00,6.00,6.00,13.0",
+            "14,10.00,7.00,7.00,12.0",
+            "15,10.00,8.00,7.00,13.0",
+        ],
+        "fig9 seed-0 beacon counts moved"
+    );
+}
+
+/// Figures 10 and 11 (29- and 80-router POPs), seed 0: representative
+/// `|V_B|` points of each sweep (a case depends only on its own
+/// `(size, seed)`, so these rows are byte-identical to the full sweep's).
+#[test]
+fn fig10_fig11_active_golden_seed0() {
+    let (g29, _) = PopSpec::paper_29().build().router_subgraph();
+    let r29 = scenarios::active_report(&Engine::serial(), &g29, &[10, 20, 29], 1);
+    assert_eq!(
+        r29.rows,
+        ["10,6.00,5.00,5.00,11.0", "20,10.00,8.00,7.00,13.0", "29,16.00,11.00,11.00,19.0"],
+        "fig10 seed-0 beacon counts moved"
+    );
+
+    let (g80, _) = PopSpec::paper_80().build().router_subgraph();
+    let r80 = scenarios::active_report(&Engine::serial(), &g80, &[10, 40, 80], 1);
+    assert_eq!(
+        r80.rows,
+        ["10,4.00,4.00,4.00,10.0", "40,19.00,18.00,16.00,26.0", "80,39.00,33.00,33.00,53.0"],
+        "fig11 seed-0 beacon counts moved"
+    );
+}
+
+/// The MECF ablation (section 4.3), seed 0: all five solvers across the
+/// full k sweep on the 10-router POP.
+#[test]
+fn mecf_ablation_golden_seed0() {
+    let pop = PopSpec::paper_10().build();
+    let r = scenarios::mecf_ablation_report(
+        &Engine::serial(),
+        &pop,
+        &[60, 70, 75, 80, 85, 90, 95, 100],
+        1,
+    );
+    assert_eq!(
+        r.rows,
+        [
+            "60,4.00,3.00,4.00,3.00,3.00",
+            "70,7.00,4.00,7.00,4.00,4.00",
+            "75,8.00,4.00,8.00,4.00,4.00",
+            "80,8.00,5.00,8.00,5.00,5.00",
+            "85,10.00,5.00,9.00,5.00,5.00",
+            "90,13.00,6.00,10.00,6.00,6.00",
+            "95,15.00,7.00,12.00,7.00,7.00",
+            "100,18.00,11.00,14.00,11.00,11.00",
+        ],
+        "mecf ablation seed-0 device counts moved"
+    );
+}
+
+/// The cascade experiment (section 7 extension), seed 0: additive vs.
+/// independent-sampling costs across k on the small POP.
+#[test]
+fn cascade_golden_seed0() {
+    let pop = PopSpec::small().build();
+    let r = scenarios::cascade_report(&Engine::serial(), &pop, &[40, 50, 60, 70, 80, 90], 1);
+    assert_eq!(
+        r.rows,
+        [
+            "40,1.21,1.21,0.0,40.0",
+            "50,1.27,1.27,0.0,50.0",
+            "60,1.32,1.32,0.0,60.0",
+            "70,1.37,1.37,0.0,70.0",
+            "80,1.42,1.42,0.0,80.0",
+            "90,1.48,1.48,0.0,90.0",
+        ],
+        "cascade seed-0 costs moved"
+    );
+}
+
+/// The PPME(h,k) cost sweep (section 5 extension), seed 0: device counts
+/// and the setup/exploit cost split over the (h, k) grid.
+#[test]
+fn sampling_cost_golden_seed0() {
+    let pop = PopSpec::small().build();
+    let points: Vec<(u32, u32)> = [(0u32, 40u32), (0, 60), (0, 80), (0, 95), (20, 40), (20, 80)]
+        .to_vec();
+    let opts = PpmeOptions {
+        rel_gap: 0.02,
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        ..Default::default()
+    };
+    let r = scenarios::sampling_cost_report(&Engine::serial(), &pop, &points, 1, &opts);
+    assert_eq!(
+        r.rows,
+        [
+            "40,0,1.00,1.00,0.21,1.21",
+            "60,0,1.00,1.00,0.32,1.32",
+            "80,0,1.00,1.00,0.42,1.42",
+            "95,0,2.00,2.00,0.63,2.63",
+            "40,20,5.00,5.00,0.50,5.50",
+            "80,20,5.00,5.00,0.71,5.71",
+        ],
+        "sampling-cost seed-0 rows moved"
+    );
+}
+
+/// The incremental-deployment experiment, seed 0: frozen-device upgrade
+/// totals and the buy-devices coverage gains.
+#[test]
+fn incremental_golden_seed0() {
+    let pop = PopSpec::paper_10().build();
+    let up = scenarios::incremental_report(&Engine::serial(), &pop, &[85, 90, 95, 100], 1);
+    assert_eq!(
+        up.rows,
+        [
+            "upgrade_to_k,85,5.00,5.00,0.00",
+            "upgrade_to_k,90,6.00,6.00,0.00",
+            "upgrade_to_k,95,7.00,7.00,0.00",
+            "upgrade_to_k,100,11.00,11.00,0.00",
+        ],
+        "incremental seed-0 upgrade rows moved"
+    );
+    let gain = scenarios::budget_gain_report(&Engine::serial(), &pop, &[1, 3, 5], 1);
+    assert_eq!(
+        gain.rows,
+        [
+            "buy_devices,1,39.07,91.60,0",
+            "buy_devices,3,75.33,97.13,0",
+            "buy_devices,5,89.45,99.28,0",
+        ],
+        "incremental seed-0 gain rows moved"
+    );
 }
 
 /// The traffic generator itself is part of the figures' determinism

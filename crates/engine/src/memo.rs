@@ -19,16 +19,39 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
 
 /// Key: a static domain label plus a caller-chosen 64-bit key (typically a
 /// seed or an instance fingerprint).
 type Key = (&'static str, u64);
 
+/// Number of independently locked shards. A worker pool has at most a few
+/// dozen threads, so 16 shards keep lock contention negligible without
+/// bloating the (per-run, short-lived) structure.
+const SHARDS: usize = 16;
+
+type Shard = Mutex<HashMap<Key, Arc<dyn Any + Send + Sync>>>;
+
 /// Thread-safe cache of `Arc<T>` values keyed by `(domain, u64)`.
-#[derive(Default)]
+///
+/// Internally sharded by key hash so concurrent workers hitting different
+/// keys (the common case: one entry per seed) never serialize on a single
+/// lock.
 pub struct Memo {
-    slots: Mutex<HashMap<Key, Arc<dyn Any + Send + Sync>>>,
+    shards: [Shard; SHARDS],
+}
+
+impl Default for Memo {
+    fn default() -> Self {
+        Memo { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+}
+
+fn shard_index(domain: &'static str, key: u64) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (domain, key).hash(&mut h);
+    (h.finish() % SHARDS as u64) as usize
 }
 
 impl Memo {
@@ -49,7 +72,8 @@ impl Memo {
         }
         let candidate: Arc<dyn Any + Send + Sync> = Arc::new(build());
         let stored = {
-            let mut slots = self.slots.lock().expect("memo poisoned");
+            let mut slots =
+                self.shards[shard_index(domain, key)].lock().expect("memo poisoned");
             slots.entry((domain, key)).or_insert_with(|| candidate).clone()
         };
         stored
@@ -59,7 +83,7 @@ impl Memo {
 
     /// Non-computing lookup.
     pub fn get<T: Send + Sync + 'static>(&self, domain: &'static str, key: u64) -> Option<Arc<T>> {
-        let slots = self.slots.lock().expect("memo poisoned");
+        let slots = self.shards[shard_index(domain, key)].lock().expect("memo poisoned");
         slots.get(&(domain, key)).map(|v| {
             v.clone()
                 .downcast::<T>()
@@ -69,7 +93,7 @@ impl Memo {
 
     /// Number of cached entries (all domains).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("memo poisoned").len()
+        self.shards.iter().map(|s| s.lock().expect("memo poisoned").len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -1,0 +1,154 @@
+//! Property tests for min-cost flow against a brute-force oracle.
+//!
+//! Networks are kept tiny with *integer* capacities and costs so the
+//! oracle can enumerate every integral flow vector exactly: min-cost flow
+//! on integral data has an integral optimum, so the enumeration is a true
+//! optimum, not a bound. Checked invariants:
+//!
+//! * **routed amount** — the solver routes `min(demand, max-flow)`, where
+//!   max-flow is the oracle's best feasible value;
+//! * **cost optimality** — when the demand is met, the solver's cost
+//!   equals the enumerated minimum over all feasible integral flows of
+//!   that value;
+//! * **flow conservation** — every intermediate node balances, and the
+//!   network's own accounting (`flow_cost`) agrees with the reported cost.
+
+use mcmf::mincost::min_cost_flow;
+use mcmf::{FlowNetwork, NodeRef};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct IntNet {
+    nodes: usize,
+    /// `(from, to, cap, cost)` with `cap ∈ 1..=2`, `cost ∈ 0..=4`.
+    arcs: Vec<(usize, usize, u32, u32)>,
+}
+
+fn int_networks() -> impl Strategy<Value = IntNet> {
+    (3usize..=5).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, 1u32..=2, 0u32..=4), 2..=8).prop_map(move |arcs| {
+            IntNet { nodes: n, arcs: arcs.into_iter().filter(|&(u, v, _, _)| u != v).collect() }
+        })
+    })
+}
+
+fn build(rn: &IntNet) -> FlowNetwork {
+    let mut net = FlowNetwork::new(rn.nodes);
+    for &(u, v, cap, cost) in &rn.arcs {
+        net.add_arc(NodeRef(u as u32), NodeRef(v as u32), cap as f64, cost as f64);
+    }
+    net
+}
+
+/// Exhaustive oracle: enumerates every integral flow vector
+/// (`f[a] ∈ 0..=cap(a)`), keeping, per feasible flow value, the minimum
+/// cost. Returns `(max_value, min_cost_at_value)` where the map is indexed
+/// by value (`0..=max_value`).
+fn brute_force(rn: &IntNet, s: usize, t: usize) -> (u32, Vec<u32>) {
+    let arcs = &rn.arcs;
+    let mut best: Vec<Option<u32>> = vec![None; 1];
+    let mut f = vec![0u32; arcs.len()];
+    loop {
+        // Evaluate the current vector.
+        let mut net_out = vec![0i64; rn.nodes];
+        let mut cost = 0u64;
+        for (i, &(u, v, _, c)) in arcs.iter().enumerate() {
+            net_out[u] += f[i] as i64;
+            net_out[v] -= f[i] as i64;
+            cost += (f[i] * c) as u64;
+        }
+        let conserved = (0..rn.nodes)
+            .all(|n| n == s || n == t || net_out[n] == 0);
+        if conserved && net_out[s] >= 0 && net_out[s] == -net_out[t] {
+            let value = net_out[s] as usize;
+            if best.len() <= value {
+                best.resize(value + 1, None);
+            }
+            let cost = cost as u32;
+            if best[value].is_none_or(|c| cost < c) {
+                best[value] = Some(cost);
+            }
+        }
+        // Odometer increment over 0..=cap per arc.
+        let mut i = 0;
+        loop {
+            if i == arcs.len() {
+                let max_value = best.len() as u32 - 1;
+                let costs = best.iter().map(|c| c.expect("every value below max is feasible")).collect();
+                return (max_value, costs);
+            }
+            if f[i] < arcs[i].2 {
+                f[i] += 1;
+                break;
+            }
+            f[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn mincost_matches_brute_force_oracle(rn in int_networks(), demand in 1u32..=3) {
+        let s = 0usize;
+        let t = rn.nodes - 1;
+        let (max_value, min_costs) = brute_force(&rn, s, t);
+        let mut net = build(&rn);
+        let r = min_cost_flow(&mut net, NodeRef(s as u32), NodeRef(t as u32), demand as f64);
+
+        // Routed amount: min(demand, max-flow), and integral on this data.
+        let want_flow = demand.min(max_value);
+        prop_assert!(
+            (r.flow - want_flow as f64).abs() < 1e-6,
+            "routed {} but oracle says min(demand {demand}, max {max_value})",
+            r.flow
+        );
+
+        // Cost optimality at the routed value.
+        let want_cost = min_costs[want_flow as usize];
+        prop_assert!(
+            (r.cost - want_cost as f64).abs() < 1e-6,
+            "cost {} vs oracle optimum {want_cost} at value {want_flow}",
+            r.cost
+        );
+    }
+
+    #[test]
+    fn mincost_conserves_flow_and_accounting(rn in int_networks(), demand in 1u32..=3) {
+        let s = NodeRef(0);
+        let t = NodeRef(rn.nodes as u32 - 1);
+        let mut net = build(&rn);
+        let r = min_cost_flow(&mut net, s, t, demand as f64);
+        // Conservation at every intermediate node; source/sink balance.
+        let net_flow = net.check_conservation(s, t).unwrap();
+        prop_assert!((net_flow - r.flow).abs() < 1e-6);
+        // The network's arc-level accounting agrees with the result.
+        prop_assert!((net.flow_cost() - r.cost).abs() < 1e-6);
+        // No arc exceeds its capacity.
+        for i in 0..net.arc_count() {
+            let a = mcmf::ArcId(i as u32);
+            prop_assert!(net.flow(a) <= net.arc_capacity(a) + 1e-9);
+            prop_assert!(net.flow(a) >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn mincost_cost_is_monotone_in_value(rn in int_networks()) {
+        // Successively larger demands can never get cheaper (costs are
+        // non-negative), and the oracle's per-value optima agree.
+        let s = NodeRef(0);
+        let t = NodeRef(rn.nodes as u32 - 1);
+        let (max_value, min_costs) = brute_force(&rn, 0, rn.nodes - 1);
+        let mut prev_cost = 0.0f64;
+        for d in 1..=max_value.min(3) {
+            let mut net = build(&rn);
+            let r = min_cost_flow(&mut net, s, t, d as f64);
+            prop_assert!((r.flow - d as f64).abs() < 1e-6);
+            prop_assert!((r.cost - min_costs[d as usize] as f64).abs() < 1e-6);
+            prop_assert!(r.cost >= prev_cost - 1e-9, "cost must be monotone in routed value");
+            prev_cost = r.cost;
+        }
+    }
+}

@@ -16,9 +16,13 @@
 //! * Phase 1 adds artificial columns only on rows whose slack cannot absorb
 //!   the initial residual; in the paper's programs that is typically the
 //!   single coverage row, so phase 1 is short.
-//! * Pricing is Dantzig (most negative reduced cost) with an automatic
-//!   switch to Bland's rule after a long non-improving streak, which
-//!   guarantees termination on degenerate instances.
+//! * Pricing is candidate-list (partial) pricing: a full Dantzig scan
+//!   refills a list of the most attractive columns, minor iterations
+//!   price only that list, and the duals are updated incrementally per
+//!   pivot (one row of the basis inverse) instead of a full O(m²) BTRAN.
+//!   Optimality is only declared after a full scan under exact duals. A
+//!   long non-improving streak switches to Bland's rule (on exact
+//!   duals), which guarantees termination on degenerate instances.
 //! * The basis inverse is refactorized periodically (Gauss-Jordan with
 //!   partial pivoting) to bound error accumulation from eta updates.
 
@@ -183,19 +187,43 @@ impl Tableau {
     }
 
     /// `y = c_B' B^{-1}` for the given full cost vector.
+    ///
+    /// Exploits the sparsity of `c_B`: in the paper's programs only the
+    /// `x_e` device columns carry cost, so most basic columns (slacks and
+    /// `δ_t`s) contribute nothing and are skipped. This makes the exact
+    /// dual recomputation O(m · nnz(c_B)) instead of O(m²).
     fn btran_duals(&self, cost: &[f64]) -> Vec<f64> {
         let m = self.m;
-        let cb: Vec<f64> = self.basic.iter().map(|&c| cost[c as usize]).collect();
+        let nz: Vec<(usize, f64)> = self
+            .basic
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &c)| {
+                let cb = cost[c as usize];
+                if cb != 0.0 {
+                    Some((r, cb))
+                } else {
+                    None
+                }
+            })
+            .collect();
         let mut y = vec![0.0; m];
         for (i, yi) in y.iter_mut().enumerate() {
             let col = &self.binv[i * m..(i + 1) * m];
             let mut acc = 0.0;
-            for r in 0..m {
-                acc += cb[r] * col[r];
+            for &(r, cb) in &nz {
+                acc += cb * col[r];
             }
             *yi = acc;
         }
         y
+    }
+
+    /// Row `r` of the basis inverse (`e_r' B^{-1}`), used by the
+    /// incremental dual update.
+    fn binv_row(&self, r: usize) -> Vec<f64> {
+        let m = self.m;
+        (0..m).map(|c| self.binv[c * m + r]).collect()
     }
 
     fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
@@ -218,12 +246,90 @@ impl Tableau {
         z
     }
 
+    /// Is nonbasic column `j` an attractive entering candidate at reduced
+    /// cost `d`?
+    fn eligible(&self, j: usize, d: f64) -> bool {
+        match self.state[j] {
+            VState::AtLower => d < -COST_TOL,
+            VState::AtUpper => d > COST_TOL,
+            VState::FreeAtZero => d.abs() > COST_TOL,
+            VState::Basic => false,
+        }
+    }
+
+    /// Full pricing pass: returns the Dantzig entering column (most
+    /// attractive reduced cost) and refills `candidates` with the best
+    /// eligible columns for the following minor iterations.
+    fn price_full(
+        &self,
+        cost: &[f64],
+        y: &[f64],
+        candidates: &mut Vec<u32>,
+    ) -> Option<(usize, f64)> {
+        candidates.clear();
+        // (score, col, d) of every eligible column.
+        let mut eligible: Vec<(f64, u32, f64)> = Vec::new();
+        for j in 0..self.ncols {
+            if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
+                continue;
+            }
+            let d = self.reduced_cost(j, cost, y);
+            if self.eligible(j, d) {
+                eligible.push((d.abs(), j as u32, d));
+            }
+        }
+        if eligible.is_empty() {
+            return None;
+        }
+        // Candidate list: the most attractive columns, sized so minor
+        // iterations stay cheap but a refill is rare.
+        let k = (self.ncols / 20).clamp(10, 100);
+        eligible.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        eligible.truncate(k);
+        candidates.extend(eligible.iter().map(|&(_, j, _)| j));
+        let (_, j, d) = eligible[0];
+        Some((j as usize, d))
+    }
+
+    /// Minor pricing pass: best eligible column among `candidates` only,
+    /// re-pricing them under the current duals.
+    fn price_candidates(&self, cost: &[f64], y: &[f64], candidates: &[u32]) -> Option<(usize, f64)> {
+        let mut best: Option<(f64, usize, f64)> = None;
+        for &j32 in candidates {
+            let j = j32 as usize;
+            if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
+                continue;
+            }
+            let d = self.reduced_cost(j, cost, y);
+            if self.eligible(j, d) && best.is_none_or(|(s, _, _)| d.abs() > s) {
+                best = Some((d.abs(), j, d));
+            }
+        }
+        best.map(|(_, j, d)| (j, d))
+    }
+
     /// Runs primal simplex iterations with the given costs until optimal.
     /// Returns `Err(Unbounded)` when a ray is found.
+    ///
+    /// Pricing is candidate-list (partial) pricing over incrementally
+    /// updated duals: a full scan refills the list of the most attractive
+    /// columns, minor iterations price only that list, and the duals are
+    /// updated per pivot from one row of the basis inverse instead of a
+    /// full O(m²) BTRAN. Optimality is only ever declared after a full
+    /// scan under freshly recomputed exact duals, so the incremental
+    /// drift can cost extra iterations but never a wrong answer. After a
+    /// long non-improving streak the loop falls back to Bland's rule on
+    /// exact duals, which guarantees termination on degenerate instances.
     fn optimize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
         let m = self.m;
         let mut best_obj = f64::INFINITY;
         let mut non_improving = 0usize;
+        let mut y = self.btran_duals(cost);
+        // Duals drift as incremental updates accumulate; `y_exact` tracks
+        // whether `y` was recomputed from the basis inverse since the
+        // last pivot.
+        let mut y_exact = true;
+        let mut candidates: Vec<u32> = Vec::new();
 
         loop {
             if self.iterations >= iter_limit {
@@ -232,43 +338,50 @@ impl Tableau {
             self.iterations += 1;
             if self.etas_since_refresh >= REFRESH_EVERY {
                 self.refactorize()?;
+                y = self.btran_duals(cost);
+                y_exact = true;
+                candidates.clear();
             }
 
-            let y = self.btran_duals(cost);
             let use_bland = non_improving >= DEGEN_SWITCH;
 
             // Pricing: pick the entering column.
-            let mut entering: Option<(usize, f64, f64)> = None; // (col, d, score)
-            for j in 0..self.ncols {
-                let st = self.state[j];
-                if st == VState::Basic {
-                    continue;
+            let entering: Option<(usize, f64)> = if use_bland {
+                // Bland's rule: lowest-index eligible column under exact
+                // duals (anti-cycling needs correct signs).
+                if !y_exact {
+                    y = self.btran_duals(cost);
+                    y_exact = true;
                 }
-                // Fixed variables can never move.
-                if self.lo[j] == self.hi[j] {
-                    continue;
+                let mut found = None;
+                for j in 0..self.ncols {
+                    if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
+                        continue;
+                    }
+                    let d = self.reduced_cost(j, cost, &y);
+                    if self.eligible(j, d) {
+                        found = Some((j, d));
+                        break;
+                    }
                 }
-                let d = self.reduced_cost(j, cost, &y);
-                let eligible = match st {
-                    VState::AtLower => d < -COST_TOL,
-                    VState::AtUpper => d > COST_TOL,
-                    VState::FreeAtZero => d.abs() > COST_TOL,
-                    VState::Basic => false,
-                };
-                if !eligible {
-                    continue;
+                found
+            } else {
+                match self.price_candidates(cost, &y, &candidates) {
+                    Some(e) => Some(e),
+                    None => {
+                        // Candidate list exhausted: refresh the duals if
+                        // they drifted, then do a full pricing pass.
+                        if !y_exact {
+                            y = self.btran_duals(cost);
+                            y_exact = true;
+                        }
+                        self.price_full(cost, &y, &mut candidates)
+                    }
                 }
-                if use_bland {
-                    entering = Some((j, d, 0.0));
-                    break;
-                }
-                let score = d.abs();
-                if entering.is_none_or(|(_, _, s)| score > s) {
-                    entering = Some((j, d, score));
-                }
-            }
+            };
 
-            let Some((j, dj, _)) = entering else {
+            let Some((j, dj)) = entering else {
+                debug_assert!(y_exact, "optimality must be certified with exact duals");
                 return Ok(()); // optimal
             };
 
@@ -381,7 +494,24 @@ impl Tableau {
                         if hits_upper { VState::AtUpper } else { VState::AtLower };
                     self.state[j] = VState::Basic;
                     self.basic[r] = j as u32;
+                    // Incremental dual update: y' = y + (d_j / w_r) e_r'B⁻¹,
+                    // with ρ = row r of the *pre-pivot* inverse.
+                    let theta = dj / w[r];
+                    let rho = self.binv_row(r);
                     self.update_binv(r, &w)?;
+                    if self.etas_since_refresh == 0 {
+                        // `update_binv` rejected a dangerous pivot and
+                        // refactorized instead; the incremental formula no
+                        // longer applies to the rebuilt inverse.
+                        y = self.btran_duals(cost);
+                        y_exact = true;
+                        candidates.clear();
+                    } else {
+                        for (yi, &rc) in y.iter_mut().zip(&rho) {
+                            *yi += theta * rc;
+                        }
+                        y_exact = false;
+                    }
                 }
             }
 

@@ -101,6 +101,35 @@ pub fn shortest_path_tree_avoiding(
     forbidden_nodes: &[NodeId],
     forbidden_edges: &[EdgeId],
 ) -> Result<ShortestPathTree> {
+    tree_avoiding_until(graph, source, None, forbidden_nodes, forbidden_edges)
+}
+
+/// Single-pair variant of [`shortest_path_tree_avoiding`]: stops as soon
+/// as `target` is settled instead of exploring the whole graph. Once a
+/// node is popped its distance and predecessor are final and can never be
+/// revised (not even by the tie-break rule), so the returned path is
+/// byte-identical to the full tree's — this only saves the work past the
+/// target. Yen's spur computations (one per path node per iteration) are
+/// the main beneficiary.
+pub fn shortest_path_avoiding(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    forbidden_nodes: &[NodeId],
+    forbidden_edges: &[EdgeId],
+) -> Result<Path> {
+    graph.check_node(target)?;
+    tree_avoiding_until(graph, source, Some(target), forbidden_nodes, forbidden_edges)?
+        .path_to(graph, target)
+}
+
+fn tree_avoiding_until(
+    graph: &Graph,
+    source: NodeId,
+    stop_at: Option<NodeId>,
+    forbidden_nodes: &[NodeId],
+    forbidden_edges: &[EdgeId],
+) -> Result<ShortestPathTree> {
     graph.check_node(source)?;
     let n = graph.node_count();
     let mut node_blocked = vec![false; n];
@@ -126,6 +155,9 @@ pub fn shortest_path_tree_avoiding(
             continue;
         }
         done[u.index()] = true;
+        if stop_at == Some(u) {
+            break;
+        }
         for &(e, v) in graph.neighbors(u) {
             if edge_blocked[e.index()] || node_blocked[v.index()] || done[v.index()] {
                 continue;

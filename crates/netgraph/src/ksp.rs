@@ -7,7 +7,7 @@
 //! in increasing cost order, with the same deterministic tie-breaking as
 //! [`crate::dijkstra`].
 
-use crate::dijkstra::{shortest_path_tree_avoiding, ShortestPathTree};
+use crate::dijkstra::shortest_path_avoiding;
 use crate::{Graph, GraphError, NodeId, Path, Result};
 
 /// Returns up to `k` cheapest loopless paths from `source` to `target`,
@@ -23,9 +23,7 @@ pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize)
         return Ok(Vec::new());
     }
 
-    let first = match shortest_path_tree_avoiding(graph, source, &[], &[])
-        .and_then(|t: ShortestPathTree| t.path_to(graph, target))
-    {
+    let first = match shortest_path_avoiding(graph, source, target, &[], &[]) {
         Ok(p) => p,
         Err(GraphError::Unreachable { .. }) => return Ok(Vec::new()),
         Err(e) => return Err(e),
@@ -60,12 +58,14 @@ pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize)
             let banned_nodes: Vec<NodeId> =
                 root_nodes[..i].iter().copied().filter(|&v| v != spur).collect();
 
-            let tree = shortest_path_tree_avoiding(graph, spur, &banned_nodes, &banned_edges)?;
-            let spur_path = match tree.path_to(graph, target) {
-                Ok(p) => p,
-                Err(GraphError::Unreachable { .. }) => continue,
-                Err(e) => return Err(e),
-            };
+            // Early-terminating single-pair Dijkstra: identical path to
+            // the full spur tree's, without exploring past the target.
+            let spur_path =
+                match shortest_path_avoiding(graph, spur, target, &banned_nodes, &banned_edges) {
+                    Ok(p) => p,
+                    Err(GraphError::Unreachable { .. }) => continue,
+                    Err(e) => return Err(e),
+                };
 
             let root = Path::new(graph, root_nodes.to_vec(), root_edges.to_vec())?;
             let total = root.concat(graph, &spur_path)?;
