@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use netgraph::NodeId;
 use placement::instance::PpmInstance;
 use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::{FamilySpec, GravitySpec, PopSpec, TrafficSpec};
 
 /// Dijkstra trees and Yen k-SP on the large presets (figures 9-11 and the
 /// section-7 scale experiment live on these graphs).
@@ -102,5 +102,42 @@ fn bench_fig8_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(hotpaths, bench_graph_substrate, bench_simplex, bench_fig8_pipeline);
+/// The instance-space generators (`popgen::families`): per-family
+/// generation cost at the 80-router scale, plus gravity traffic and the
+/// end-to-end placement pipeline on a generated 30-router Waxman instance
+/// (the `xp_topology_families` hot path).
+fn bench_families(c: &mut Criterion) {
+    let mut g = c.benchmark_group("instance_space");
+    for (name, spec) in [
+        ("waxman_80_generate", FamilySpec::waxman(80, 30)),
+        ("ba_80_generate", FamilySpec::barabasi_albert(80, 30)),
+        ("hier_80_generate", FamilySpec::hier_isp(80, 30)),
+    ] {
+        g.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                spec.build(seed).unwrap().graph.edge_count()
+            })
+        });
+    }
+    let waxman30 = FamilySpec::waxman(30, 15).build(0).unwrap();
+    g.bench_function("gravity_traffic_waxman30", |b| {
+        b.iter(|| GravitySpec::default().generate(&waxman30, 0).total_volume())
+    });
+    g.sample_size(5);
+    g.bench_function("family_pipeline_waxman30_k90", |b| {
+        let opts = popmon_bench::scenarios::family_exact_options();
+        b.iter(|| {
+            let ts = GravitySpec::default().generate(&waxman30, 0);
+            let inst = PpmInstance::from_traffic(&waxman30.graph, &ts);
+            let greedy = greedy_static(&inst, 0.9).unwrap().device_count();
+            let exact = solve_ppm_mecf_bb(&inst, 0.9, &opts).unwrap().device_count();
+            (greedy, exact)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(hotpaths, bench_graph_substrate, bench_simplex, bench_fig8_pipeline, bench_families);
 criterion_main!(hotpaths);

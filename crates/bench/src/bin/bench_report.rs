@@ -20,8 +20,9 @@ use engine::Engine;
 use netgraph::NodeId;
 use placement::instance::PpmInstance;
 use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
-use popgen::{PopSpec, TrafficSpec};
+use popgen::{FamilySpec, GravitySpec, PopSpec, TrafficSpec};
 use popmon_bench::perf::{run_stage, BenchReport, StageResult};
+use popmon_bench::scenarios::FamilyPoint;
 
 fn usage(exit_code: i32) -> ! {
     eprintln!("usage: bench_report [--smoke] [--out PATH]");
@@ -223,6 +224,55 @@ fn main() {
             );
             std::hint::black_box(r.rows.len());
             1
+        }),
+    );
+
+    // --- instance-space generator: all three families at the 80-router
+    // scale (generation only; placement cost is the next stage) ---------
+    let family_specs: Vec<FamilySpec> = [
+        FamilySpec::waxman(80, 30),
+        FamilySpec::barabasi_albert(80, 30),
+        FamilySpec::hier_isp(80, 30),
+    ]
+    .to_vec();
+    let gen_seeds: u64 = if smoke { 4 } else { 16 };
+    push(
+        &mut stages,
+        run_stage("family_generate_80", "cases = generated instances (3 families)", fast_iters, || {
+            let mut links = 0u64;
+            for spec in &family_specs {
+                for seed in 0..gen_seeds {
+                    let pop = spec.build(seed).expect("valid spec");
+                    links += pop.graph.edge_count() as u64;
+                    std::hint::black_box(&pop);
+                }
+            }
+            std::hint::black_box(links);
+            family_specs.len() as u64 * gen_seeds
+        }),
+    );
+
+    // --- instance-space placement: generator + gravity traffic + greedy
+    // + node-bounded exact on one 30-router point per family ------------
+    let family_points = [
+        FamilyPoint { family: "waxman", routers: 30, density_pct: 70 },
+        FamilyPoint { family: "ba", routers: 30, density_pct: 70 },
+        FamilyPoint { family: "hier", routers: 30, density_pct: 70 },
+    ];
+    push(
+        &mut stages,
+        run_stage("family_placement_30", "cases = end-to-end family solves", iters, || {
+            let opts = popmon_bench::scenarios::family_exact_options();
+            for p in &family_points {
+                let spec = popmon_bench::scenarios::family_spec(p);
+                let pop = spec.build(0).expect("valid spec");
+                let ts = GravitySpec::default().generate(&pop, 0);
+                let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+                let g = greedy_static(&inst, 0.9).expect("coverable");
+                let e = solve_ppm_mecf_bb(&inst, 0.9, &opts).expect("feasible");
+                std::hint::black_box((g.device_count(), e.device_count()));
+            }
+            family_points.len() as u64
         }),
     );
 

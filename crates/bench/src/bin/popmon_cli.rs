@@ -8,8 +8,14 @@
 //! popmon_cli passive  <file> [k]          # tap placement (default k = 0.95)
 //! popmon_cli sampling <file> [k] [h]      # PPME(h, k) with unit costs
 //! popmon_cli active   <file>              # beacon placement on the routers
-//! popmon_cli generate [routers]           # emit a generated POP document
+//! popmon_cli generate [routers]           # emit a preset POP document
+//! popmon_cli family   <spec> [seed]       # emit a random-family document
+//! popmon_cli inspect  <file>              # summarize a topology document
 //! ```
+//!
+//! `family` takes a `popgen::families::FamilySpec` line, e.g.
+//! `"waxman routers=30 endpoints=15 density=0.6"` — see `popgen::families`
+//! for the full key set per family.
 
 use std::process::ExitCode;
 
@@ -26,14 +32,43 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().collect();
     let usage = || {
         eprintln!(
-            "usage: popmon_cli <passive|sampling|active> <topology-file> [args] \
-             | popmon_cli generate [routers]"
+            "usage: popmon_cli <passive|sampling|active|inspect> <topology-file> [args] \
+             | popmon_cli generate [routers] | popmon_cli family <spec> [seed]"
         );
         ExitCode::from(2)
     };
     let Some(cmd) = argv.get(1) else { return usage() };
 
     match cmd.as_str() {
+        "family" => {
+            let Some(spec_line) = argv.get(2) else { return usage() };
+            let spec: popgen::FamilySpec = match spec_line.parse() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    eprintln!("example: popmon_cli family \"waxman routers=30 endpoints=15 density=0.6\" 7");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let seed: u64 = match argv.get(3).map(|s| s.parse()) {
+                None => 0,
+                Some(Ok(s)) => s,
+                Some(Err(_)) => {
+                    eprintln!("error: seed must be a non-negative integer");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match popgen::families::emit_document(&spec, seed) {
+                Ok(doc) => {
+                    print!("{doc}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         "generate" => {
             let routers: usize = argv.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
             let spec = match routers {
@@ -49,7 +84,7 @@ fn main() -> ExitCode {
             print!("{}", fileio::serialize(&pop, &ts));
             ExitCode::SUCCESS
         }
-        "passive" | "sampling" | "active" => {
+        "passive" | "sampling" | "active" | "inspect" => {
             let Some(path) = argv.get(2) else { return usage() };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
@@ -70,6 +105,7 @@ fn main() -> ExitCode {
                 "sampling" => {
                     sampling(&pop, &ts, parse_f64(&argv, 3, 0.9), parse_f64(&argv, 4, 0.0))
                 }
+                "inspect" => inspect(&pop, &ts),
                 _ => active(&pop),
             }
         }
@@ -149,6 +185,41 @@ fn sampling(pop: &Pop, ts: &TrafficSet, k: f64, h: f64) -> ExitCode {
             );
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Summarizes a topology document: tier sizes, link stats, traffic mass,
+/// and how hard the monitoring problem it encodes is (load concentration,
+/// uncoverable share). CSV `metric,value` rows for scripting.
+fn inspect(pop: &Pop, ts: &TrafficSet) -> ExitCode {
+    let g = &pop.graph;
+    let inst = PpmInstance::from_traffic(g, ts);
+    let router_degrees: Vec<usize> = pop
+        .backbone
+        .iter()
+        .chain(pop.access.iter())
+        .map(|&r| g.degree(r))
+        .collect();
+    let max_deg = router_degrees.iter().copied().max().unwrap_or(0);
+    let mean_deg = if router_degrees.is_empty() {
+        0.0
+    } else {
+        router_degrees.iter().sum::<usize>() as f64 / router_degrees.len() as f64
+    };
+    let loads = inst.edge_loads();
+    let total = inst.total_volume();
+    let top_load = loads.iter().cloned().fold(0.0, f64::max);
+    println!("metric,value");
+    println!("backbone_routers,{}", pop.backbone.len());
+    println!("access_routers,{}", pop.access.len());
+    println!("endpoints,{}", pop.endpoints.len());
+    println!("links,{}", g.edge_count());
+    println!("router_degree_mean,{mean_deg:.2}");
+    println!("router_degree_max,{max_deg}");
+    println!("traffics,{}", ts.len());
+    println!("total_volume,{total:.3}");
+    println!("top_link_load_fraction,{:.4}", if total > 0.0 { top_load / total } else { 0.0 });
+    println!("max_coverage_fraction,{:.4}", inst.max_coverage_fraction());
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,43 @@
+//! Instance-space sweep: passive devices and active beacons across the
+//! random topology families (`popgen::families`) — Waxman geometric,
+//! Barabási–Albert preferential attachment, and the hierarchical
+//! backbone/access ISP model — crossed with instance size and density.
+//!
+//! Where the `fig*` binaries re-answer the paper's questions on its five
+//! hand-built POPs, this sweep asks them over an unbounded seeded instance
+//! space: how do greedy/exact tap counts and the beacon budget move with
+//! topology *shape*, not just size?
+//!
+//! `--scale S` multiplies the instance sizes; `--seeds N` averages seeded
+//! instances per point. Runs through the scenario engine (`POPMON_THREADS`
+//! workers, all cores by default); every column is deterministic, so the
+//! CSV is byte-identical for any thread count (`tests/engine_parity.rs`,
+//! with seed-0 rows pinned in `tests/golden_figures.rs`).
+
+use popmon_bench::scenarios::{self, FamilyPoint};
+
+fn main() {
+    let args = popmon_bench::parse_args(3);
+    let sizes: Vec<usize> = [12usize, 20, 30]
+        .iter()
+        .map(|&s| (((s as f64) * args.scale).round() as usize).max(6))
+        .collect();
+    let densities = [40u32, 70, 100];
+    let mut points = Vec::new();
+    for family in ["waxman", "ba", "hier"] {
+        for &routers in &sizes {
+            for &density_pct in &densities {
+                points.push(FamilyPoint { family, routers, density_pct });
+            }
+        }
+    }
+    let opts = scenarios::family_exact_options();
+    scenarios::topology_families_report(
+        &engine::Engine::from_env(),
+        &points,
+        args.seeds,
+        0.9,
+        &opts,
+    )
+    .print();
+}

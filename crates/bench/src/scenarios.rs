@@ -29,7 +29,7 @@ use placement::passive::{
 };
 use placement::sampling::{solve_ppme, PpmeOptions, SamplingProblem};
 use popgen::dynamic::{DynamicSpec, TrafficProcess};
-use popgen::{MultiTraffic, Pop, TrafficSet, TrafficSpec};
+use popgen::{FamilySpec, GravitySpec, MultiTraffic, Pop, TrafficSet, TrafficSpec};
 
 use crate::{mean, stddev, timed};
 
@@ -613,6 +613,101 @@ pub fn pipeline_stage_report(
             }
         },
         |_, rs| rs[0].clone(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// xp_topology_families: devices and beacons across the open instance space
+// ---------------------------------------------------------------------------
+
+/// One point of the topology-family sweep: a family name crossed with an
+/// instance size and a density setting (percent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilyPoint {
+    /// Family name (`"waxman"`, `"ba"`, `"hier"`).
+    pub family: &'static str,
+    /// Router count of the generated instances.
+    pub routers: usize,
+    /// Density knob in percent (maps to `FamilySpec::density`).
+    pub density_pct: u32,
+}
+
+/// The validated spec for a sweep point: the family's canonical shape with
+/// the point's size and density, and `routers/2` traffic endpoints so the
+/// traffic matrix scales quadratically but stays solvable.
+pub fn family_spec(point: &FamilyPoint) -> FamilySpec {
+    let endpoints = (point.routers / 2).max(2);
+    let mut spec = FamilySpec::canonical(point.family, point.routers, endpoints)
+        .unwrap_or_else(|| panic!("unknown family {:?}", point.family));
+    spec.density = point.density_pct as f64 / 100.0;
+    spec.validate().expect("sweep points map to valid specs");
+    spec
+}
+
+/// The exact-solver budget every topology-family consumer shares (the
+/// sweep binary, the golden/parity tests, the bench stages): node-bounded
+/// and never wall-clock-bounded, so family reports stay deterministic and
+/// the regression tests can never drift from the shipped sweep's options.
+pub fn family_exact_options() -> ExactOptions {
+    ExactOptions { max_nodes: 20_000, time_limit: None, ..Default::default() }
+}
+
+/// The topology-family sweep: for every `family × size × density` point,
+/// seeded random instances with gravity traffic, solved by the passive
+/// greedy, the exact MECF branch-and-bound, and the active greedy beacon
+/// placement; links, device counts, and beacon counts averaged over seeds.
+///
+/// Fully deterministic (the exact solver must be bounded by `max_nodes`,
+/// not wall-clock — callers pass `time_limit: None` so reports stay
+/// byte-identical across runs and thread counts).
+pub fn topology_families_report(
+    engine: &Engine,
+    points: &[FamilyPoint],
+    seeds: u64,
+    k: f64,
+    opts: &ExactOptions,
+) -> ScenarioReport {
+    assert!(opts.time_limit.is_none(), "wall-clock bounds would break report determinism");
+    let spec = ScenarioSpec::new("xp_topology_families", points.to_vec()).with_seeds(seeds);
+    engine.run_report(
+        &spec,
+        "family,routers,density_pct,links,greedy_devices,exact_devices,beacons_greedy",
+        |c: Case<'_, FamilyPoint>| {
+            let fam = family_spec(c.point);
+            // Waxman draws positions and the spanning tree before any
+            // density-dependent sampling, so its density sweeps compare
+            // paired instances at a given (size, seed).
+            let pop = fam.build(c.seed).expect("validated spec");
+            let ts = GravitySpec::default().generate(&pop, c.seed);
+            let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+            let g = greedy_static(&inst, k).expect("family flows all cross >= 1 link");
+            let e = solve_ppm_mecf_bb(&inst, k, opts).expect("feasible");
+            assert!(inst.is_feasible(&g.edges, k) && inst.is_feasible(&e.edges, k));
+            let (rgraph, _) = pop.router_subgraph();
+            let candidates: Vec<netgraph::NodeId> = rgraph.nodes().collect();
+            let probes = compute_probes(&rgraph, &candidates);
+            let b = place_beacons_greedy(&probes, &candidates);
+            debug_assert!(b.covers(&probes));
+            [
+                pop.graph.edge_count() as f64,
+                g.device_count() as f64,
+                e.device_count() as f64,
+                b.len() as f64,
+            ]
+        },
+        |p, rs| {
+            let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>());
+            format!(
+                "{},{},{},{:.1},{:.2},{:.2},{:.2}",
+                p.family,
+                p.routers,
+                p.density_pct,
+                col(0),
+                col(1),
+                col(2),
+                col(3),
+            )
+        },
     )
 }
 

@@ -170,6 +170,27 @@ fn memo_racing_threads_observe_one_value() {
 }
 
 #[test]
+fn topology_families_parallel_matches_serial() {
+    use popmon_bench::scenarios::FamilyPoint;
+    // One point per family plus a second density so cross-point memo/RNG
+    // interference would surface; every column is deterministic (the
+    // exact solver is node-bounded, never wall-clock-bounded).
+    let mut points = Vec::new();
+    for family in ["waxman", "ba", "hier"] {
+        for density_pct in [60u32, 100] {
+            points.push(FamilyPoint { family, routers: 10, density_pct });
+        }
+    }
+    let opts = scenarios::family_exact_options();
+    let serial = scenarios::topology_families_report(&Engine::serial(), &points, 2, 0.9, &opts);
+    let parallel =
+        scenarios::topology_families_report(&Engine::with_threads(4), &points, 2, 0.9, &opts);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.rows.len(), points.len());
+    assert!(serial.header.starts_with("family,"));
+}
+
+#[test]
 fn pipeline_stages_parallel_match_serial_values() {
     use popgen::TrafficSpec;
     let pop = PopSpec::paper_10().build();

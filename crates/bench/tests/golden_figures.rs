@@ -280,6 +280,34 @@ fn incremental_golden_seed0() {
     );
 }
 
+/// The instance-space sweep (`xp_topology_families`), seed 0: one small
+/// instance per family. These rows freeze the *generators* (Waxman /
+/// Barabási–Albert / hierarchical ISP edge sampling and the gravity
+/// traffic model) on top of the solvers: a moved row means family
+/// generation or solver semantics changed and must be re-derived
+/// deliberately (`cargo run --release -p popmon-bench --bin
+/// xp_topology_families -- --seeds 1`).
+#[test]
+fn topology_families_golden_seed0() {
+    use popmon_bench::scenarios::FamilyPoint;
+    let points = [
+        FamilyPoint { family: "waxman", routers: 10, density_pct: 60 },
+        FamilyPoint { family: "ba", routers: 10, density_pct: 60 },
+        FamilyPoint { family: "hier", routers: 10, density_pct: 60 },
+    ];
+    let opts = scenarios::family_exact_options();
+    let r = scenarios::topology_families_report(&Engine::serial(), &points, 1, 0.9, &opts);
+    assert_eq!(
+        r.rows,
+        [
+            "waxman,10,60,19.0,3.00,3.00,4.00",
+            "ba,10,60,20.0,3.00,3.00,5.00",
+            "hier,10,60,22.0,3.00,3.00,6.00",
+        ],
+        "family sweep seed-0 rows moved"
+    );
+}
+
 /// The traffic generator itself is part of the figures' determinism
 /// contract: same seed, same matrix; different seeds, different matrices.
 #[test]

@@ -11,6 +11,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::families::{check_min, check_range, SpecError};
 use crate::traffic::TrafficSet;
 
 /// Parameters of the traffic evolution process.
@@ -33,6 +34,25 @@ impl Default for DynamicSpec {
     }
 }
 
+impl DynamicSpec {
+    /// Validates every parameter, rejecting NaN / out-of-range values
+    /// (`shift_probability ∉ [0, 1]`, negative jitter, boost below 1, …)
+    /// with a typed [`SpecError`] instead of silently producing a
+    /// degenerate process.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if !self.jitter.is_finite() || self.jitter < 0.0 || self.jitter >= 1.0 {
+            return Err(SpecError::new(
+                "jitter",
+                format!("must be in [0, 1) (volumes stay positive), got {}", self.jitter),
+            ));
+        }
+        check_range("shift_probability", self.shift_probability, 0.0, 1.0)?;
+        check_min("shift_boost", self.shift_boost, 1.0)?;
+        check_min("floor", self.floor, 0.0)?;
+        Ok(())
+    }
+}
+
 /// A stateful traffic process producing successive [`TrafficSet`] snapshots.
 ///
 /// Paths are fixed (routing does not change); only volumes evolve, exactly
@@ -48,8 +68,20 @@ pub struct TrafficProcess {
 
 impl TrafficProcess {
     /// Starts a process from an initial matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid (see [`DynamicSpec::validate`]);
+    /// use [`TrafficProcess::try_new`] to surface the typed error.
     pub fn new(initial: TrafficSet, spec: DynamicSpec, seed: u64) -> Self {
-        Self { current: initial, spec, rng: StdRng::seed_from_u64(seed), steps: 0 }
+        Self::try_new(initial, spec, seed).unwrap_or_else(|e| panic!("invalid DynamicSpec: {e}"))
+    }
+
+    /// Fallible variant of [`TrafficProcess::new`]: validates the spec and
+    /// returns the typed [`SpecError`] instead of panicking.
+    pub fn try_new(initial: TrafficSet, spec: DynamicSpec, seed: u64) -> Result<Self, SpecError> {
+        spec.validate()?;
+        Ok(Self { current: initial, spec, rng: StdRng::seed_from_u64(seed), steps: 0 })
     }
 
     /// The current snapshot.
@@ -140,6 +172,40 @@ mod tests {
         }
         let after = p.current().total_volume();
         assert!((after - before).abs() > before * 0.05, "mass should have shifted");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(DynamicSpec::default().validate().is_ok());
+        let bad = DynamicSpec { shift_probability: 1.5, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "shift_probability");
+        let bad = DynamicSpec { shift_probability: f64::NAN, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "shift_probability");
+        let bad = DynamicSpec { jitter: -0.1, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "jitter");
+        let bad = DynamicSpec { jitter: 1.0, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "jitter");
+        let bad = DynamicSpec { shift_boost: 0.5, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "shift_boost");
+        let bad = DynamicSpec { floor: f64::NEG_INFINITY, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "floor");
+
+        assert!(TrafficProcess::try_new(
+            start(),
+            DynamicSpec { shift_probability: 2.0, ..Default::default() },
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid DynamicSpec")]
+    fn new_panics_on_invalid_spec() {
+        TrafficProcess::new(
+            start(),
+            DynamicSpec { shift_probability: f64::NAN, ..Default::default() },
+            1,
+        );
     }
 
     #[test]

@@ -16,8 +16,14 @@
 //!   traffics), [`PopSpec::paper_15`] (15 routers, 71 links, 1980
 //!   traffics), [`PopSpec::paper_29`] and [`PopSpec::paper_80`] for the
 //!   active-monitoring figures;
+//! * [`families`] — the open instance space: seeded, parameterized random
+//!   topology families (Waxman geometric, Barabási–Albert preferential
+//!   attachment, hierarchical backbone/access ISP) behind a validated
+//!   [`FamilySpec`], for differential testing and sweeps far beyond the
+//!   paper's five presets;
 //! * [`traffic`] — single-path traffic matrices with preferred high-volume
-//!   pairs, and the multi-routed traffics of Section 5;
+//!   pairs, the gravity-model generator for random families
+//!   ([`GravitySpec`]), and the multi-routed traffics of Section 5;
 //! * [`dynamic`] — the evolving-traffic process driving the Section 5.4
 //!   threshold controller experiments;
 //! * [`fileio`] — a small text format so externally measured topologies
@@ -27,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod dynamic;
+pub mod families;
 pub mod fileio;
 pub mod topology;
 pub mod traffic;
 
+pub use families::{FamilyKind, FamilySpec, SpecError};
 pub use topology::{NodeRole, Pop, PopSpec};
-pub use traffic::{MultiTraffic, Traffic, TrafficSet, TrafficSpec};
+pub use traffic::{GravitySpec, MultiTraffic, Traffic, TrafficSet, TrafficSpec};

@@ -17,6 +17,7 @@ use netgraph::{dijkstra, ksp, Graph, NodeId, Path};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::families::{check_positive, check_positive_finite, SpecError};
 use crate::topology::Pop;
 
 /// A single-path traffic: the aggregation of the IP flows entering at
@@ -171,6 +172,107 @@ impl TrafficSpec {
     }
 }
 
+/// Parameters of the gravity-model traffic generator used with the random
+/// topology families ([`crate::families`]).
+///
+/// Each endpoint draws a seeded *mass* (its aggregate demand); the volume
+/// of the ordered pair `(i, j)` is proportional to `m_i^skew · m_j^skew`,
+/// normalized so all pairs sum to `total_volume`. This is the classic
+/// gravity traffic-matrix model — structurally non-uniform like the
+/// paper's preferred-pair boosting, but with the skew concentrated on
+/// heavy *endpoints* rather than heavy pairs.
+#[derive(Debug, Clone)]
+pub struct GravitySpec {
+    /// Total bandwidth `V = Σ v_t` of the generated matrix (> 0).
+    pub total_volume: f64,
+    /// Uniform range the per-endpoint masses are drawn from
+    /// (`0 < lo ≤ hi`).
+    pub mass_range: (f64, f64),
+    /// Exponent applied to the masses, `∈ (0, 16]`: 1 is the plain
+    /// gravity model, larger values concentrate volume on the heavy
+    /// endpoints (the cap keeps `mass^skew` far from overflow).
+    pub skew: f64,
+}
+
+impl Default for GravitySpec {
+    fn default() -> Self {
+        Self { total_volume: 1000.0, mass_range: (1.0, 10.0), skew: 1.0 }
+    }
+}
+
+impl GravitySpec {
+    /// Validates every parameter, rejecting NaN / out-of-range values with
+    /// a typed [`SpecError`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        check_positive_finite("total_volume", self.total_volume)?;
+        check_positive_finite("mass_range", self.mass_range.0)?;
+        check_positive_finite("mass_range", self.mass_range.1)?;
+        if self.mass_range.1 < self.mass_range.0 {
+            return Err(SpecError {
+                field: "mass_range",
+                message: format!(
+                    "upper bound {} below lower bound {}",
+                    self.mass_range.1, self.mass_range.0
+                ),
+            });
+        }
+        check_positive("skew", self.skew, 16.0)?;
+        Ok(())
+    }
+
+    /// Generates the gravity traffic matrix over the endpoints of `pop`,
+    /// shortest-path routed like [`TrafficSpec::generate`]. Pure in
+    /// `(self, pop, seed)`: masses are drawn in endpoint order before any
+    /// path computation, so routing can never disturb the RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec is invalid (see [`GravitySpec::validate`];
+    /// library callers that cannot guarantee validity should validate
+    /// first and surface the typed error).
+    pub fn generate(&self, pop: &Pop, seed: u64) -> TrafficSet {
+        if let Err(e) = self.validate() {
+            panic!("invalid GravitySpec: {e}");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let eps = &pop.endpoints;
+        let n = eps.len();
+
+        let masses: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(self.mass_range.0..=self.mass_range.1).powf(self.skew))
+            .collect();
+        // Off-diagonal mass-product normalizer, accumulated in the same
+        // i-major order the emission loop uses so volumes are exactly the
+        // per-pair products scaled by their sum.
+        let mut norm = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    norm += masses[i] * masses[j];
+                }
+            }
+        }
+
+        let mut traffics = Vec::with_capacity(n * n.saturating_sub(1));
+        for (i, &s) in eps.iter().enumerate() {
+            let tree = dijkstra::shortest_path_tree(&pop.graph, s).expect("valid source");
+            for (j, &d) in eps.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let path = tree.path_to(&pop.graph, d).expect("connected instance");
+                let volume = if norm > 0.0 {
+                    self.total_volume * (masses[i] * masses[j]) / norm
+                } else {
+                    0.0
+                };
+                traffics.push(Traffic { src: s, dst: d, volume, path });
+            }
+        }
+        TrafficSet { traffics }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +363,50 @@ mod tests {
         let ts = TrafficSet::default();
         assert!(ts.is_empty());
         assert_eq!(ts.total_volume(), 0.0);
+    }
+
+    #[test]
+    fn gravity_matrix_sums_to_total_and_is_deterministic() {
+        let pop = PopSpec::paper_10().build();
+        let spec = GravitySpec::default();
+        let a = spec.generate(&pop, 5);
+        assert_eq!(a.len(), 132, "all ordered endpoint pairs");
+        assert!((a.total_volume() - spec.total_volume).abs() < 1e-6);
+        assert!(a.traffics.iter().all(|t| t.volume > 0.0 && t.src != t.dst));
+        for t in &a.traffics {
+            assert_eq!(t.path.source(), t.src);
+            assert_eq!(t.path.target(), t.dst);
+        }
+        let b = spec.generate(&pop, 5);
+        let volumes = |ts: &TrafficSet| -> Vec<u64> {
+            ts.traffics.iter().map(|t| t.volume.to_bits()).collect()
+        };
+        assert_eq!(volumes(&a), volumes(&b), "same seed, same matrix");
+        assert_ne!(volumes(&a), volumes(&spec.generate(&pop, 6)), "seeds differ");
+    }
+
+    #[test]
+    fn gravity_skew_concentrates_volume() {
+        let pop = PopSpec::paper_10().build();
+        let flat = GravitySpec { skew: 1.0, ..Default::default() }.generate(&pop, 2);
+        let skewed = GravitySpec { skew: 3.0, ..Default::default() }.generate(&pop, 2);
+        let max = |ts: &TrafficSet| ts.traffics.iter().map(|t| t.volume).fold(0.0, f64::max);
+        assert!(max(&skewed) > max(&flat), "higher skew must sharpen the heaviest pair");
+    }
+
+    #[test]
+    fn gravity_validation_rejects_bad_parameters() {
+        let ok = GravitySpec::default();
+        assert!(ok.validate().is_ok());
+        let bad = GravitySpec { total_volume: f64::NAN, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "total_volume");
+        let bad = GravitySpec { total_volume: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = GravitySpec { mass_range: (0.0, 1.0), ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "mass_range");
+        let bad = GravitySpec { mass_range: (5.0, 1.0), ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "mass_range");
+        let bad = GravitySpec { skew: -1.0, ..Default::default() };
+        assert_eq!(bad.validate().unwrap_err().field, "skew");
     }
 }
