@@ -36,7 +36,9 @@ fn bench_graph_substrate(c: &mut Criterion) {
             if s == t {
                 0
             } else {
-                netgraph::ksp::k_shortest_paths(&g80, s, t, 4).unwrap().len()
+                netgraph::ksp::k_shortest_paths(&g80, s, t, 4)
+                    .unwrap()
+                    .len()
             }
         })
     });
@@ -81,7 +83,9 @@ fn bench_fig8_pipeline(c: &mut Criterion) {
                 time_limit: Some(std::time::Duration::from_secs(120)),
                 ..Default::default()
             };
-            let exact = solve_ppm_mecf_bb(&inst, 0.75, &opts).unwrap().device_count();
+            let exact = solve_ppm_mecf_bb(&inst, 0.75, &opts)
+                .unwrap()
+                .device_count();
             (greedy, exact)
         })
     });
@@ -139,5 +143,79 @@ fn bench_families(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(hotpaths, bench_graph_substrate, bench_simplex, bench_fig8_pipeline, bench_families);
+/// The warm-start layer: LP re-optimization from a prior basis along a
+/// coverage-target chain (vs. the cold solve above), the warm-chained
+/// exact k-grid of fig7, and delta-aware k-SP re-routing under link
+/// failures (vs. routing every pair from scratch).
+fn bench_warm_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warm_start");
+    let pop10 = PopSpec::paper_10().build();
+    let ts = TrafficSpec::default().generate(&pop10, 3);
+    let inst = PpmInstance::from_traffic(&pop10.graph, &ts);
+    let merged = inst.merged();
+    let total = inst.total_volume();
+
+    let (mut lp2, _) = placement::passive::build_lp2(&merged, 0.75);
+    let target_row = lp2.constr(lp2.constr_count() - 1);
+    g.bench_function("lp2_rhs_chain_warm_10router", |b| {
+        b.iter(|| {
+            let mut basis = None;
+            let mut iters = 0usize;
+            for k in [0.75, 0.8, 0.85, 0.9, 0.95, 1.0] {
+                lp2.set_rhs(target_row, k * total);
+                let (s, next) = lp2.solve_lp_warm(basis.as_ref()).unwrap();
+                iters += s.iterations;
+                basis = next;
+            }
+            iters
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("fig7_exact_kgrid_chained", |b| {
+        let opts = ExactOptions::default();
+        b.iter(|| {
+            let mut chain = placement::delta::DeltaInstance::from_instance(&inst);
+            let mut devices = 0usize;
+            for k in [0.75, 0.8, 0.85, 0.9, 0.95, 1.0] {
+                devices += chain.solve_exact(k, &opts).unwrap().device_count();
+            }
+            devices
+        })
+    });
+
+    let (g80, _) = PopSpec::paper_80().build().router_subgraph();
+    let routers: Vec<NodeId> = g80.nodes().collect();
+    let pairs: Vec<(NodeId, NodeId)> = (0..24)
+        .map(|i| {
+            (
+                routers[(i * 7 + 1) % routers.len()],
+                routers[(i * 13 + 5) % routers.len()],
+            )
+        })
+        .filter(|(a, b)| a != b)
+        .collect();
+    let plan = netgraph::delta::RoutePlan::compute(&g80, &pairs, 4, &[]).unwrap();
+    let fail = netgraph::EdgeId(plan.routes(0)[0].edges()[0].0);
+    g.bench_function("ksp4_80_reroute_delta", |b| {
+        b.iter(|| plan.reroute_avoiding(&g80, &[fail]).unwrap().1)
+    });
+    g.bench_function("ksp4_80_reroute_scratch", |b| {
+        b.iter(|| {
+            netgraph::delta::RoutePlan::compute(&g80, &pairs, 4, &[fail])
+                .unwrap()
+                .pairs()
+                .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hotpaths,
+    bench_graph_substrate,
+    bench_simplex,
+    bench_fig8_pipeline,
+    bench_families,
+    bench_warm_start
+);
 criterion_main!(hotpaths);

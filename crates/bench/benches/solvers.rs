@@ -33,7 +33,11 @@ fn bench_fig7_passive(c: &mut Criterion) {
     });
     g.sample_size(10);
     g.bench_function("ilp_exact", |b| {
-        b.iter(|| solve_ppm_exact(&inst, 0.9, &ExactOptions::default()).unwrap().device_count())
+        b.iter(|| {
+            solve_ppm_exact(&inst, 0.9, &ExactOptions::default())
+                .unwrap()
+                .device_count()
+        })
     });
     g.finish();
 }
@@ -59,7 +63,9 @@ fn bench_fig8_scale(c: &mut Criterion) {
             ..Default::default()
         };
         b.iter(|| {
-            placement::passive::solve_ppm_mecf_bb(&inst, 0.8, &opts).unwrap().device_count()
+            placement::passive::solve_ppm_mecf_bb(&inst, 0.8, &opts)
+                .unwrap()
+                .device_count()
         })
     });
     g.finish();
@@ -69,8 +75,10 @@ fn bench_fig8_scale(c: &mut Criterion) {
 fn bench_active(c: &mut Criterion) {
     use placement::active::*;
     let mut g = c.benchmark_group("fig9_11_active");
-    for (name, spec) in [("15_routers", PopSpec::paper_15()), ("29_routers", PopSpec::paper_29())]
-    {
+    for (name, spec) in [
+        ("15_routers", PopSpec::paper_15()),
+        ("29_routers", PopSpec::paper_29()),
+    ] {
         let pop = spec.build();
         let (graph, _) = pop.router_subgraph();
         let candidates: Vec<_> = graph.nodes().collect();
@@ -100,12 +108,18 @@ fn bench_sampling(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec5_sampling");
     g.sample_size(10);
     g.bench_function("ppme_milp", |b| {
-        b.iter(|| solve_ppme(&prob, &PpmeOptions::default()).unwrap().total_cost())
+        b.iter(|| {
+            solve_ppme(&prob, &PpmeOptions::default())
+                .unwrap()
+                .total_cost()
+        })
     });
     let sol = solve_ppme(&prob, &PpmeOptions::default()).unwrap();
     g.bench_function("ppme_star_lp_reoptimize", |b| {
         b.iter(|| {
-            placement::dynamic::reoptimize_rates(&prob, &sol.installed).unwrap().exploit_cost
+            placement::dynamic::reoptimize_rates(&prob, &sol.installed)
+                .unwrap()
+                .exploit_cost
         })
     });
     g.bench_function("ppme_star_flow_reoptimize", |b| {
@@ -126,7 +140,11 @@ fn bench_substrates(c: &mut Criterion) {
     let merged = inst.merged();
     let (model, _) = placement::passive::build_lp2(&merged, 0.95);
     g.bench_function("simplex_lp2_10router", |b| {
-        b.iter_batched(|| model.clone(), |m| m.solve_lp().unwrap().objective, BatchSize::SmallInput)
+        b.iter_batched(
+            || model.clone(),
+            |m| m.solve_lp().unwrap().objective,
+            BatchSize::SmallInput,
+        )
     });
     // Min-cost flow on the MECF graph.
     let mon = inst.to_monitoring();
@@ -137,11 +155,8 @@ fn bench_substrates(c: &mut Criterion) {
     let pop15 = PopSpec::paper_15().build();
     g.bench_function("dijkstra_tree_15router", |b| {
         b.iter(|| {
-            let t = netgraph::dijkstra::shortest_path_tree(
-                &pop15.graph,
-                netgraph::NodeId(0),
-            )
-            .unwrap();
+            let t =
+                netgraph::dijkstra::shortest_path_tree(&pop15.graph, netgraph::NodeId(0)).unwrap();
             t.distance(netgraph::NodeId(5))
         })
     });

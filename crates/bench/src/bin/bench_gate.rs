@@ -1,0 +1,89 @@
+//! `bench_gate` — the CI perf-trajectory gate.
+//!
+//! Usage: `bench_gate --committed PATH --fresh PATH [--threshold PCT]`
+//!
+//! Compares a freshly measured `BENCH_popmon.json` against the committed
+//! one (see `popmon_bench::gate`): for every stable stage present in both
+//! reports, the fresh `cases_per_s` must not fall more than the threshold
+//! (default 25%) below the committed rate. Exit codes: 0 clean, 1 on any
+//! regression (one line each), 2 on usage or unreadable/malformed input
+//! (one-line error — CI logs stay readable).
+
+use popmon_bench::gate::{compare_reports, parse_stage_rates, STABLE_STAGES};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_gate --committed PATH --fresh PATH [--threshold PCT]");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut committed: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut threshold = 25.0f64;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--committed" => {
+                i += 1;
+                committed = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--fresh" => {
+                i += 1;
+                fresh = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--threshold" => {
+                i += 1;
+                let raw = argv.get(i).cloned().unwrap_or_else(|| usage());
+                threshold = match raw.parse() {
+                    Ok(t) if (0.0..100.0).contains(&t) => t,
+                    _ => fail(&format!(
+                        "--threshold needs a percent in [0, 100), got {raw:?}"
+                    )),
+                };
+            }
+            "--help" | "-h" => usage(),
+            other => fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let (Some(committed_path), Some(fresh_path)) = (committed, fresh) else {
+        usage()
+    };
+
+    let read = |path: &str| -> Vec<(String, f64)> {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        parse_stage_rates(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")))
+    };
+    let committed_rates = read(&committed_path);
+    let fresh_rates = read(&fresh_path);
+
+    let mut gated = 0usize;
+    for stage in STABLE_STAGES {
+        let old = committed_rates.iter().find(|(n, _)| n == stage);
+        let new = fresh_rates.iter().find(|(n, _)| n == stage);
+        if let (Some((_, old)), Some((_, new))) = (old, new) {
+            gated += 1;
+            println!("gate {stage}: committed {old:.3} fresh {new:.3} cases/s");
+        }
+    }
+    if gated == 0 {
+        fail("no stable stage is present in both reports — nothing to gate");
+    }
+
+    let regressions = compare_reports(&committed_rates, &fresh_rates, threshold);
+    if regressions.is_empty() {
+        println!("bench gate passed: {gated} stable stages within {threshold}%");
+    } else {
+        for r in &regressions {
+            eprintln!("bench gate: {r}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -79,15 +79,20 @@ fn main() {
     let sources: Vec<NodeId> = g150.nodes().take(if smoke { 16 } else { 64 }).collect();
     push(
         &mut stages,
-        run_stage("dijkstra_trees_150", "cases = shortest-path trees", fast_iters, || {
-            let mut reached = 0u64;
-            for &s in &sources {
-                let t = netgraph::dijkstra::shortest_path_tree(&g150, s).expect("connected");
-                reached += g150.nodes().filter(|&v| t.distance(v).is_some()).count() as u64;
-            }
-            std::hint::black_box(reached);
-            sources.len() as u64
-        }),
+        run_stage(
+            "dijkstra_trees_150",
+            "cases = shortest-path trees",
+            fast_iters,
+            || {
+                let mut reached = 0u64;
+                for &s in &sources {
+                    let t = netgraph::dijkstra::shortest_path_tree(&g150, s).expect("connected");
+                    reached += g150.nodes().filter(|&v| t.distance(v).is_some()).count() as u64;
+                }
+                std::hint::black_box(reached);
+                sources.len() as u64
+            },
+        ),
     );
 
     // --- substrate: Yen k-shortest-paths on the 80-router preset --------
@@ -96,22 +101,30 @@ fn main() {
     let routers80: Vec<NodeId> = g80.nodes().collect();
     let pairs: Vec<(NodeId, NodeId)> = (0..if smoke { 8 } else { 24 })
         .map(|i| {
-            (routers80[(i * 7 + 1) % routers80.len()], routers80[(i * 13 + 5) % routers80.len()])
+            (
+                routers80[(i * 7 + 1) % routers80.len()],
+                routers80[(i * 13 + 5) % routers80.len()],
+            )
         })
         .filter(|(a, b)| a != b)
         .collect();
     push(
         &mut stages,
-        run_stage("ksp4_pairs_80", "cases = (source,target) pairs, k = 4", fast_iters, || {
-            let mut total_paths = 0u64;
-            for &(s, t) in &pairs {
-                total_paths +=
-                    netgraph::ksp::k_shortest_paths(&g80, s, t, 4).expect("valid pair").len()
-                        as u64;
-            }
-            std::hint::black_box(total_paths);
-            pairs.len() as u64
-        }),
+        run_stage(
+            "ksp4_pairs_80",
+            "cases = (source,target) pairs, k = 4",
+            fast_iters,
+            || {
+                let mut total_paths = 0u64;
+                for &(s, t) in &pairs {
+                    total_paths += netgraph::ksp::k_shortest_paths(&g80, s, t, 4)
+                        .expect("valid pair")
+                        .len() as u64;
+                }
+                std::hint::black_box(total_paths);
+                pairs.len() as u64
+            },
+        ),
     );
 
     // --- simplex: the LP2 relaxation of the 10-router instance ----------
@@ -122,11 +135,16 @@ fn main() {
     let (lp2, _) = placement::passive::build_lp2(&merged10, 0.95);
     push(
         &mut stages,
-        run_stage("simplex_lp2_10router", "cases = LP solves", iters * 5, || {
-            let s = lp2.solve_lp().expect("LP2 relaxation solves");
-            std::hint::black_box((s.objective, s.iterations));
-            1
-        }),
+        run_stage(
+            "simplex_lp2_10router",
+            "cases = LP solves",
+            iters * 5,
+            || {
+                let s = lp2.solve_lp().expect("LP2 relaxation solves");
+                std::hint::black_box((s.objective, s.iterations));
+                1
+            },
+        ),
     );
 
     // --- simplex at fig8 scale: LP2 on the merged 15-router instance ----
@@ -147,11 +165,16 @@ fn main() {
     // --- greedy set-cover on the 1980-traffic instance ------------------
     push(
         &mut stages,
-        run_stage("greedy_static_15router", "cases = greedy solves (1980 traffics)", fast_iters, || {
-            let g = greedy_static(&inst15, 0.9).expect("coverable");
-            std::hint::black_box(g.device_count());
-            1
-        }),
+        run_stage(
+            "greedy_static_15router",
+            "cases = greedy solves (1980 traffics)",
+            fast_iters,
+            || {
+                let g = greedy_static(&inst15, 0.9).expect("coverable");
+                std::hint::black_box(g.device_count());
+                1
+            },
+        ),
     );
 
     // --- MECF branch-and-bound on the fig8 instance ---------------------
@@ -194,37 +217,73 @@ fn main() {
     // entry — the pre-PR sweep could not run parallel at all).
     push(
         &mut stages,
-        run_stage("fig7_sweep_par4", "cases = (k,seed) grid cells, 4 workers", 1, || {
-            let r = popmon_bench::scenarios::fig7_report(
-                &Engine::with_threads(4),
-                &pop10,
-                &fig7_ks,
-                fig7_seeds,
-            );
-            std::hint::black_box(r.rows.len());
-            fig7_cells
-        }),
+        run_stage(
+            "fig7_sweep_par4",
+            "cases = (k,seed) grid cells, 4 workers",
+            1,
+            || {
+                let r = popmon_bench::scenarios::fig7_report(
+                    &Engine::with_threads(4),
+                    &pop10,
+                    &fig7_ks,
+                    fig7_seeds,
+                );
+                std::hint::black_box(r.rows.len());
+                fig7_cells
+            },
+        ),
+    );
+
+    // --- end-to-end xp_incremental sweep (warm-start chain showcase) ----
+    // The 4-point upgrade grid x 2 seeds, serial: per seed, a frozen
+    // PPM(0.8) base (memoized), then the incremental and from-scratch
+    // exact solves ride one warm-started model each across the k grid.
+    let inc_ks = [85u32, 90, 95, 100];
+    let inc_seeds = 2u64;
+    let inc_cells = inc_ks.len() as u64 * inc_seeds;
+    push(
+        &mut stages,
+        run_stage(
+            "xp_incremental_sweep",
+            "cases = (k,seed) grid cells",
+            1,
+            || {
+                let r = popmon_bench::scenarios::incremental_report(
+                    &Engine::serial(),
+                    &pop10,
+                    &inc_ks,
+                    inc_seeds,
+                );
+                std::hint::black_box(r.rows.len());
+                inc_cells
+            },
+        ),
     );
 
     // --- end-to-end fig8 single point (traffic gen through exact) -------
     push(
         &mut stages,
-        run_stage("fig8_point_k75", "cases = end-to-end pipeline runs", 1, || {
-            let opts = ExactOptions {
-                max_nodes: 50_000,
-                time_limit: Some(std::time::Duration::from_secs(120)),
-                ..Default::default()
-            };
-            let r = popmon_bench::scenarios::fig8_report(
-                &Engine::serial(),
-                &pop15,
-                &[75],
-                1,
-                &opts,
-            );
-            std::hint::black_box(r.rows.len());
-            1
-        }),
+        run_stage(
+            "fig8_point_k75",
+            "cases = end-to-end pipeline runs",
+            1,
+            || {
+                let opts = ExactOptions {
+                    max_nodes: 50_000,
+                    time_limit: Some(std::time::Duration::from_secs(120)),
+                    ..Default::default()
+                };
+                let r = popmon_bench::scenarios::fig8_report(
+                    &Engine::serial(),
+                    &pop15,
+                    &[75],
+                    1,
+                    &opts,
+                );
+                std::hint::black_box(r.rows.len());
+                1
+            },
+        ),
     );
 
     // --- instance-space generator: all three families at the 80-router
@@ -238,42 +297,64 @@ fn main() {
     let gen_seeds: u64 = if smoke { 4 } else { 16 };
     push(
         &mut stages,
-        run_stage("family_generate_80", "cases = generated instances (3 families)", fast_iters, || {
-            let mut links = 0u64;
-            for spec in &family_specs {
-                for seed in 0..gen_seeds {
-                    let pop = spec.build(seed).expect("valid spec");
-                    links += pop.graph.edge_count() as u64;
-                    std::hint::black_box(&pop);
+        run_stage(
+            "family_generate_80",
+            "cases = generated instances (3 families)",
+            fast_iters,
+            || {
+                let mut links = 0u64;
+                for spec in &family_specs {
+                    for seed in 0..gen_seeds {
+                        let pop = spec.build(seed).expect("valid spec");
+                        links += pop.graph.edge_count() as u64;
+                        std::hint::black_box(&pop);
+                    }
                 }
-            }
-            std::hint::black_box(links);
-            family_specs.len() as u64 * gen_seeds
-        }),
+                std::hint::black_box(links);
+                family_specs.len() as u64 * gen_seeds
+            },
+        ),
     );
 
     // --- instance-space placement: generator + gravity traffic + greedy
     // + node-bounded exact on one 30-router point per family ------------
     let family_points = [
-        FamilyPoint { family: "waxman", routers: 30, density_pct: 70 },
-        FamilyPoint { family: "ba", routers: 30, density_pct: 70 },
-        FamilyPoint { family: "hier", routers: 30, density_pct: 70 },
+        FamilyPoint {
+            family: "waxman",
+            routers: 30,
+            density_pct: 70,
+        },
+        FamilyPoint {
+            family: "ba",
+            routers: 30,
+            density_pct: 70,
+        },
+        FamilyPoint {
+            family: "hier",
+            routers: 30,
+            density_pct: 70,
+        },
     ];
     push(
         &mut stages,
-        run_stage("family_placement_30", "cases = end-to-end family solves", iters, || {
-            let opts = popmon_bench::scenarios::family_exact_options();
-            for p in &family_points {
-                let spec = popmon_bench::scenarios::family_spec(p);
-                let pop = spec.build(0).expect("valid spec");
-                let ts = GravitySpec::default().generate(&pop, 0);
-                let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-                let g = greedy_static(&inst, 0.9).expect("coverable");
-                let e = solve_ppm_mecf_bb(&inst, 0.9, &opts).expect("feasible");
-                std::hint::black_box((g.device_count(), e.device_count()));
-            }
-            family_points.len() as u64
-        }),
+        run_stage(
+            "family_placement_30",
+            "cases = end-to-end family solves",
+            iters,
+            || {
+                let opts = popmon_bench::scenarios::family_exact_options();
+                for p in &family_points {
+                    let spec = popmon_bench::scenarios::family_spec(p);
+                    let pop = spec.build(0).expect("valid spec");
+                    let ts = GravitySpec::default().generate(&pop, 0);
+                    let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+                    let g = greedy_static(&inst, 0.9).expect("coverable");
+                    let e = solve_ppm_mecf_bb(&inst, 0.9, &opts).expect("feasible");
+                    std::hint::black_box((g.device_count(), e.device_count()));
+                }
+                family_points.len() as u64
+            },
+        ),
     );
 
     let report = BenchReport {
@@ -286,7 +367,9 @@ fn main() {
         stages,
     };
     let json = report.to_json();
-    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
     println!("total {:.3} s -> {out}", report.total_wall_s());
 }
-

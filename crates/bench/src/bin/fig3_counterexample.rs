@@ -15,7 +15,12 @@ use placement::passive::{
 fn main() {
     let inst = PpmInstance::new(
         5,
-        vec![(2.0, vec![0, 1]), (2.0, vec![0, 2]), (1.0, vec![1, 3]), (1.0, vec![2, 4])],
+        vec![
+            (2.0, vec![0, 1]),
+            (2.0, vec![0, 2]),
+            (1.0, vec![1, 3]),
+            (1.0, vec![2, 4]),
+        ],
     );
 
     println!("algorithm,devices,edges,coverage");
@@ -34,11 +39,29 @@ fn main() {
         adaptive.coverage
     );
     let ilp = solve_ppm_exact(&inst, 1.0, &ExactOptions::default()).expect("feasible");
-    println!("ilp,{},{:?},{}", ilp.device_count(), ilp.edges, ilp.coverage);
+    println!(
+        "ilp,{},{:?},{}",
+        ilp.device_count(),
+        ilp.edges,
+        ilp.coverage
+    );
     let brute = brute_force_ppm(&inst, 1.0).expect("feasible");
-    println!("brute_force,{},{:?},{}", brute.device_count(), brute.edges, brute.coverage);
+    println!(
+        "brute_force,{},{:?},{}",
+        brute.device_count(),
+        brute.edges,
+        brute.coverage
+    );
 
-    assert_eq!(greedy.device_count(), 3, "paper: greedy gives three measurement points");
-    assert_eq!(ilp.device_count(), 2, "paper: an optimal solution is two measurement points");
+    assert_eq!(
+        greedy.device_count(),
+        3,
+        "paper: greedy gives three measurement points"
+    );
+    assert_eq!(
+        ilp.device_count(),
+        2,
+        "paper: an optimal solution is two measurement points"
+    );
     eprintln!("figure 3 reproduced: greedy = 3 devices, optimal = 2 devices");
 }

@@ -30,12 +30,12 @@ fn main() {
         time_limit: Some(std::time::Duration::from_secs(120)),
         ..Default::default()
     };
-    popmon_bench::scenarios::fig8_report(
+    let r = popmon_bench::scenarios::fig8_report(
         &engine::Engine::from_env(),
         &pop,
         &[75, 80, 85, 90, 95, 100],
         args.seeds,
         &opts,
-    )
-    .print();
+    );
+    popmon_bench::emit_reports(&[&r], args.out.as_deref());
 }

@@ -37,11 +37,15 @@ fn main() -> ExitCode {
         );
         ExitCode::from(2)
     };
-    let Some(cmd) = argv.get(1) else { return usage() };
+    let Some(cmd) = argv.get(1) else {
+        return usage();
+    };
 
     match cmd.as_str() {
         "family" => {
-            let Some(spec_line) = argv.get(2) else { return usage() };
+            let Some(spec_line) = argv.get(2) else {
+                return usage();
+            };
             let spec: popgen::FamilySpec = match spec_line.parse() {
                 Ok(s) => s,
                 Err(e) => {
@@ -85,7 +89,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "passive" | "sampling" | "active" | "inspect" => {
-            let Some(path) = argv.get(2) else { return usage() };
+            let Some(path) = argv.get(2) else {
+                return usage();
+            };
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => {
@@ -102,9 +108,12 @@ fn main() -> ExitCode {
             };
             match cmd.as_str() {
                 "passive" => passive(&pop, &ts, parse_f64(&argv, 3, 0.95)),
-                "sampling" => {
-                    sampling(&pop, &ts, parse_f64(&argv, 3, 0.9), parse_f64(&argv, 4, 0.0))
-                }
+                "sampling" => sampling(
+                    &pop,
+                    &ts,
+                    parse_f64(&argv, 3, 0.9),
+                    parse_f64(&argv, 4, 0.0),
+                ),
                 "inspect" => inspect(&pop, &ts),
                 _ => active(&pop),
             }
@@ -114,7 +123,9 @@ fn main() -> ExitCode {
 }
 
 fn parse_f64(argv: &[String], idx: usize, default: f64) -> f64 {
-    argv.get(idx).and_then(|s| s.parse().ok()).unwrap_or(default)
+    argv.get(idx)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
 }
 
 fn passive(pop: &Pop, ts: &TrafficSet, k: f64) -> ExitCode {
@@ -138,7 +149,11 @@ fn passive(pop: &Pop, ts: &TrafficSet, k: f64) -> ExitCode {
         "# greedy: {} devices; exact: {} devices{}",
         greedy.device_count(),
         exact.device_count(),
-        if exact.proven_optimal { " (proven optimal)" } else { " (best found)" }
+        if exact.proven_optimal {
+            " (proven optimal)"
+        } else {
+            " (best found)"
+        }
     );
     println!("link_u,link_v");
     for &e in &exact.edges {
@@ -171,7 +186,11 @@ fn sampling(pop: &Pop, ts: &TrafficSet, k: f64, h: f64) -> ExitCode {
         sol.device_count(),
         sol.setup_cost,
         sol.exploit_cost,
-        if sol.proven_optimal { "" } else { " (within 2% of optimal)" }
+        if sol.proven_optimal {
+            ""
+        } else {
+            " (within 2% of optimal)"
+        }
     );
     println!("link_u,link_v,sampling_rate_percent");
     for e in 0..ne {
@@ -218,7 +237,10 @@ fn inspect(pop: &Pop, ts: &TrafficSet) -> ExitCode {
     println!("router_degree_max,{max_deg}");
     println!("traffics,{}", ts.len());
     println!("total_volume,{total:.3}");
-    println!("top_link_load_fraction,{:.4}", if total > 0.0 { top_load / total } else { 0.0 });
+    println!(
+        "top_link_load_fraction,{:.4}",
+        if total > 0.0 { top_load / total } else { 0.0 }
+    );
     println!("max_coverage_fraction,{:.4}", inst.max_coverage_fraction());
     ExitCode::SUCCESS
 }
@@ -242,7 +264,11 @@ fn active(pop: &Pop) -> ExitCode {
         thiran.len(),
         greedy.len(),
         ilp.len(),
-        if ilp.proven_optimal { " (proven optimal)" } else { "" }
+        if ilp.proven_optimal {
+            " (proven optimal)"
+        } else {
+            ""
+        }
     );
     let assignment = assign_probes_greedy(&probes, &ilp);
     println!("beacon,probes_emitted");

@@ -18,11 +18,11 @@ fn main() {
     let args = popmon_bench::parse_args(5);
     let pop = PopSpec::paper_10().build();
     let budgets = [0u32, 10, 25, 50, 100];
-    popmon_bench::scenarios::campaign_report(
+    let r = popmon_bench::scenarios::campaign_report(
         &engine::Engine::from_env(),
         &pop,
         &budgets,
         args.seeds,
-    )
-    .print();
+    );
+    popmon_bench::emit_reports(&[&r], args.out.as_deref());
 }

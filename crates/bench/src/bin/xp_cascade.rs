@@ -18,13 +18,13 @@ use popgen::PopSpec;
 fn main() {
     let args = popmon_bench::parse_args(3);
     let pop = PopSpec::small().build();
-    popmon_bench::scenarios::cascade_report(
+    let r = popmon_bench::scenarios::cascade_report(
         &engine::Engine::from_env(),
         &pop,
         &[40, 50, 60, 70, 80, 90],
         args.seeds,
-    )
-    .print();
+    );
+    popmon_bench::emit_reports(&[&r], args.out.as_deref());
 
     // Crafted overlap demonstration: two links, three paths. Per-traffic
     // floors force BOTH devices to high rates (h = 0.7 on the single-link
@@ -37,9 +37,21 @@ fn main() {
     let prob = SamplingProblem {
         num_edges: 2,
         paths: vec![
-            SamplingPath { edges: vec![0, 1], volume: 10.0, traffic: 0 },
-            SamplingPath { edges: vec![0], volume: 10.0, traffic: 1 },
-            SamplingPath { edges: vec![1], volume: 10.0, traffic: 2 },
+            SamplingPath {
+                edges: vec![0, 1],
+                volume: 10.0,
+                traffic: 0,
+            },
+            SamplingPath {
+                edges: vec![0],
+                volume: 10.0,
+                traffic: 1,
+            },
+            SamplingPath {
+                edges: vec![1],
+                volume: 10.0,
+                traffic: 2,
+            },
         ],
         num_traffics: 3,
         h: vec![0.7; 3],

@@ -30,7 +30,7 @@ fn main() {
             steps,
         )
     });
-    report.print();
+    popmon_bench::emit_reports(&[&report], args.out.as_deref());
     for (seed, o) in outcomes.iter().enumerate() {
         eprintln!(
             "# seed {seed}: installed {} devices for k = 0.95; reoptimizations: {} / {} steps",

@@ -18,8 +18,9 @@ fn main() {
     let args = popmon_bench::parse_args(5);
     let pop = PopSpec::paper_10().build();
     let engine = engine::Engine::from_env();
-    popmon_bench::scenarios::incremental_report(&engine, &pop, &[85, 90, 95, 100], args.seeds)
-        .print();
-    popmon_bench::scenarios::budget_gain_report(&engine, &pop, &[1, 2, 3, 4, 5], args.seeds)
-        .print();
+    let up =
+        popmon_bench::scenarios::incremental_report(&engine, &pop, &[85, 90, 95, 100], args.seeds);
+    let gain =
+        popmon_bench::scenarios::budget_gain_report(&engine, &pop, &[1, 2, 3, 4, 5], args.seeds);
+    popmon_bench::emit_reports(&[&up, &gain], args.out.as_deref());
 }

@@ -15,11 +15,11 @@ use popgen::PopSpec;
 fn main() {
     let args = popmon_bench::parse_args(10);
     let pop = PopSpec::paper_10().build();
-    popmon_bench::scenarios::mecf_ablation_report(
+    let r = popmon_bench::scenarios::mecf_ablation_report(
         &engine::Engine::from_env(),
         &pop,
         &[60, 70, 75, 80, 85, 90, 95, 100],
         args.seeds,
-    )
-    .print();
+    );
+    popmon_bench::emit_reports(&[&r], args.out.as_deref());
 }

@@ -33,12 +33,12 @@ fn main() {
         time_limit: Some(std::time::Duration::from_secs(60)),
         ..Default::default()
     };
-    popmon_bench::scenarios::sampling_cost_report(
+    let r = popmon_bench::scenarios::sampling_cost_report(
         &engine::Engine::from_env(),
         &pop,
         &points,
         args.seeds,
         &opts,
-    )
-    .print();
+    );
+    popmon_bench::emit_reports(&[&r], args.out.as_deref());
 }

@@ -16,15 +16,16 @@ use placement::passive::ExactOptions;
 use popgen::{PopSpec, TrafficSpec};
 
 fn main() {
-    let _ = popmon_bench::parse_args(1);
+    let args = popmon_bench::parse_args(1);
     let spec = PopSpec::large_150();
     let pop = spec.build();
-    println!("metric,value,seconds");
-    println!("routers,{},0", pop.router_count());
-    println!("links,{},0", pop.graph.edge_count());
+    let mut out = String::new();
+    out.push_str("metric,value,seconds\n");
+    out.push_str(&format!("routers,{},0\n", pop.router_count()));
+    out.push_str(&format!("links,{},0\n", pop.graph.edge_count()));
 
     let (ts, t_gen) = popmon_bench::timed(|| TrafficSpec::default().generate(&pop, 0));
-    println!("traffics,{},{t_gen:.2}", ts.len());
+    out.push_str(&format!("traffics,{},{t_gen:.2}\n", ts.len()));
 
     let opts = ExactOptions {
         max_nodes: 2_000_000,
@@ -39,6 +40,8 @@ fn main() {
         &opts,
     );
     for row in &report.rows {
-        println!("{row}");
+        out.push_str(row);
+        out.push('\n');
     }
+    popmon_bench::emit_text(&out, args.out.as_deref());
 }

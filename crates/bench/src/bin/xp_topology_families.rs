@@ -27,17 +27,21 @@ fn main() {
     for family in ["waxman", "ba", "hier"] {
         for &routers in &sizes {
             for &density_pct in &densities {
-                points.push(FamilyPoint { family, routers, density_pct });
+                points.push(FamilyPoint {
+                    family,
+                    routers,
+                    density_pct,
+                });
             }
         }
     }
     let opts = scenarios::family_exact_options();
-    scenarios::topology_families_report(
+    let r = scenarios::topology_families_report(
         &engine::Engine::from_env(),
         &points,
         args.seeds,
         0.9,
         &opts,
-    )
-    .print();
+    );
+    popmon_bench::emit_reports(&[&r], args.out.as_deref());
 }

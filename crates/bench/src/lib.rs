@@ -6,10 +6,13 @@
 //! * `--seeds N` — number of seeded runs to average (the paper averages
 //!   20; defaults here are smaller so a full regeneration terminates in
 //!   minutes — see `EXPERIMENTS.md`);
-//! * `--scale S` — optional instance-size multiplier where meaningful.
+//! * `--scale S` — optional instance-size multiplier where meaningful;
+//! * `--out PATH` — write the CSV to a file instead of stdout (an
+//!   unwritable path is a one-line error and exit code 1, not a panic).
 
 use std::time::Instant;
 
+pub mod gate;
 pub mod perf;
 pub mod scenarios;
 
@@ -20,6 +23,8 @@ pub struct Args {
     pub seeds: u64,
     /// Free-form scale knob (binaries document their own use).
     pub scale: f64,
+    /// Write the CSV to this path instead of stdout.
+    pub out: Option<String>,
 }
 
 /// Parses the argument list (without the program name) against the common
@@ -27,10 +32,22 @@ pub struct Args {
 /// malformed or out-of-range values — experiments must never silently run
 /// with a mistyped grid.
 pub fn parse_args_from(argv: &[String], default_seeds: u64) -> Result<Args, String> {
-    let mut args = Args { seeds: default_seeds, scale: 1.0 };
+    let mut args = Args {
+        seeds: default_seeds,
+        scale: 1.0,
+        out: None,
+    };
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--out" => {
+                i += 1;
+                let raw = argv.get(i).ok_or("--out needs a path")?;
+                if raw.is_empty() {
+                    return Err("--out needs a non-empty path".into());
+                }
+                args.out = Some(raw.clone());
+            }
             "--seeds" => {
                 i += 1;
                 let raw = argv.get(i).ok_or("--seeds needs a value")?;
@@ -55,7 +72,7 @@ pub fn parse_args_from(argv: &[String], default_seeds: u64) -> Result<Args, Stri
             }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?} (expected --seeds N or --scale S)"
+                    "unknown argument {other:?} (expected --seeds N, --scale S, or --out PATH)"
                 ))
             }
         }
@@ -70,17 +87,40 @@ pub fn parse_args_from(argv: &[String], default_seeds: u64) -> Result<Args, Stri
 pub fn parse_args(default_seeds: u64) -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: <bin> [--seeds N] [--scale S]");
+        eprintln!("usage: <bin> [--seeds N] [--scale S] [--out PATH]");
         std::process::exit(0);
     }
     match parse_args_from(&argv, default_seeds) {
         Ok(args) => args,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: <bin> [--seeds N] [--scale S]");
+            eprintln!("usage: <bin> [--seeds N] [--scale S] [--out PATH]");
             std::process::exit(2);
         }
     }
+}
+
+/// Emits experiment output: to stdout when `out` is `None`, else to the
+/// given path in one write. On an unwritable path the process exits with
+/// code 1 and a one-line error — never a panic/backtrace, so CI logs stay
+/// readable.
+pub fn emit_text(text: &str, out: Option<&str>) {
+    match out {
+        None => print!("{text}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// [`emit_text`] for one or more scenario reports (concatenated CSVs, in
+/// order — the multi-section binaries emit all sections to one target).
+pub fn emit_reports(reports: &[&engine::ScenarioReport], out: Option<&str>) {
+    let text: String = reports.iter().map(|r| r.to_csv()).collect();
+    emit_text(&text, out);
 }
 
 /// Mean of a slice (0 for empty input).
@@ -118,7 +158,10 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 pub fn strip_last_column<'a>(lines: impl IntoIterator<Item = &'a str>) -> Vec<String> {
     lines
         .into_iter()
-        .map(|l| l.rsplit_once(',').map_or_else(|| l.to_string(), |(head, _)| head.to_string()))
+        .map(|l| {
+            l.rsplit_once(',')
+                .map_or_else(|| l.to_string(), |(head, _)| head.to_string())
+        })
         .collect()
 }
 
@@ -132,7 +175,8 @@ pub fn active_experiment(spec: popgen::PopSpec, args: &Args) {
     let pop = spec.build();
     let (graph, _) = pop.router_subgraph();
     let sizes: Vec<usize> = (2..=graph.node_count()).collect();
-    scenarios::active_report(&engine::Engine::from_env(), &graph, &sizes, args.seeds).print();
+    let report = scenarios::active_report(&engine::Engine::from_env(), &graph, &sizes, args.seeds);
+    emit_reports(&[&report], args.out.as_deref());
 }
 
 #[cfg(test)]
@@ -189,6 +233,17 @@ mod tests {
         assert!(e.contains("at least 1"), "{e}");
         let e = parse_args_from(&argv(&["--seeds"]), 1).unwrap_err();
         assert!(e.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn parse_args_accepts_out_path() {
+        let a = parse_args_from(&argv(&["--out", "results.csv"]), 1).unwrap();
+        assert_eq!(a.out.as_deref(), Some("results.csv"));
+        assert!(parse_args_from(&[], 1).unwrap().out.is_none());
+        let e = parse_args_from(&argv(&["--out"]), 1).unwrap_err();
+        assert!(e.contains("needs a path"), "{e}");
+        let e = parse_args_from(&argv(&["--out", ""]), 1).unwrap_err();
+        assert!(e.contains("non-empty"), "{e}");
     }
 
     #[test]

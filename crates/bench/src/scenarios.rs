@@ -12,7 +12,7 @@
 //! whole budget sweep reuses, or the probe set Φ consumed by three beacon
 //! placements — go through the run's [`engine::Memo`], keyed by seed.
 
-use engine::{Case, Engine, ScenarioReport, ScenarioSpec};
+use engine::{Case, ChainCase, Engine, ScenarioReport, ScenarioSpec};
 use milp::MipOptions;
 use netgraph::Graph;
 use placement::active::{
@@ -21,11 +21,12 @@ use placement::active::{
 };
 use placement::campaign::{campaign_exact, campaign_greedy, CampaignProblem};
 use placement::cascade::{independent_monitored, solve_ppme_cascade};
+use placement::delta::DeltaInstance;
 use placement::dynamic::{run_controller, ControllerSpec};
 use placement::instance::PpmInstance;
 use placement::passive::{
-    expected_gain, flow_greedy_ppm, greedy_adaptive, greedy_static, solve_budget,
-    solve_incremental, solve_ppm_exact, solve_ppm_mecf_bb, ExactOptions,
+    flow_greedy_ppm, greedy_adaptive, greedy_static, solve_ppm_exact, solve_ppm_mecf_bb,
+    ExactOptions,
 };
 use placement::sampling::{solve_ppme, PpmeOptions, SamplingProblem};
 use popgen::dynamic::{DynamicSpec, TrafficProcess};
@@ -58,23 +59,37 @@ fn ppm_instance_of(
 /// seeds, plus the mean exact solve time. The per-seed instance is built
 /// once and shared by every k-point through the memo.
 ///
+/// Runs as per-seed **warm-start chains**: one [`DeltaInstance`] walks
+/// the k grid, each exact solve re-targeting the coverage row and reusing
+/// the previous point's LP basis. Chains live inside one worker and are
+/// keyed by seed, so the CSV stays byte-identical at any thread count
+/// (proven counts are unique — the chain reuses bases, not answers).
+///
 /// The trailing `ilp_time_s` column is a wall-clock measurement and is
 /// the one column that legitimately varies run to run; parity tests
 /// compare everything before it.
 pub fn fig7_report(engine: &Engine, pop: &Pop, k_percents: &[u32], seeds: u64) -> ScenarioReport {
     let spec = ScenarioSpec::new("fig7_passive_10", k_percents.to_vec()).with_seeds(seeds);
-    engine.run_report(
+    engine.run_chain_report(
         &spec,
         "k_percent,greedy_devices,ilp_devices,greedy_stddev,ilp_stddev,ilp_time_s",
-        |c: Case<'_, u32>| {
+        |c: ChainCase<'_, u32>| {
             let inst = ppm_instance_of(c.memo, "fig7_inst", pop, c.seed);
-            let k = *c.point as f64 / 100.0;
-            let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
-            let (ilp, secs) = timed(|| {
-                solve_ppm_exact(&inst, k, &ExactOptions::default()).expect("feasible")
-            });
-            assert!(inst.is_feasible(&ilp.edges, k));
-            (g.device_count() as f64, ilp.device_count() as f64, secs)
+            let mut chain = DeltaInstance::from_instance(&inst);
+            c.points
+                .iter()
+                .map(|&k_pct| {
+                    let k = k_pct as f64 / 100.0;
+                    let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
+                    let (ilp, secs) = timed(|| {
+                        chain
+                            .solve_exact(k, &ExactOptions::default())
+                            .expect("feasible")
+                    });
+                    assert!(inst.is_feasible(&ilp.edges, k));
+                    (g.device_count() as f64, ilp.device_count() as f64, secs)
+                })
+                .collect()
         },
         |k_pct, rs| {
             let greedy: Vec<f64> = rs.iter().map(|r| r.0).collect();
@@ -120,7 +135,12 @@ pub fn fig8_report(
             let g = greedy_static(&inst, k).expect("all traffic coverable on this POP");
             let (s, secs) = timed(|| solve_ppm_mecf_bb(&inst, k, opts).expect("feasible"));
             assert!(inst.is_feasible(&s.edges, k));
-            (g.device_count() as f64, s.device_count() as f64, s.proven_optimal, secs)
+            (
+                g.device_count() as f64,
+                s.device_count() as f64,
+                s.proven_optimal,
+                secs,
+            )
         },
         |k_pct, rs| {
             let greedy: Vec<f64> = rs.iter().map(|r| r.0).collect();
@@ -145,6 +165,9 @@ pub fn fig8_report(
 /// The section-4.3 ablation: static/adaptive/flow greedies against the
 /// exact ILP and the MECF branch-and-bound on one POP, device counts
 /// averaged over seeds. Fully deterministic (no timing columns).
+///
+/// The ILP column rides a per-seed warm-start chain across the k grid
+/// (as in [`fig7_report`]); the other solvers are per-point.
 pub fn mecf_ablation_report(
     engine: &Engine,
     pop: &Pop,
@@ -152,20 +175,31 @@ pub fn mecf_ablation_report(
     seeds: u64,
 ) -> ScenarioReport {
     let spec = ScenarioSpec::new("xp_mecf_ablation", k_percents.to_vec()).with_seeds(seeds);
-    engine.run_report(
+    engine.run_chain_report(
         &spec,
         "k_percent,static_greedy,adaptive_greedy,flow_greedy,ilp,mecf_bb",
-        |c: Case<'_, u32>| {
+        |c: ChainCase<'_, u32>| {
             let inst = ppm_instance_of(c.memo, "ablation_inst", pop, c.seed);
-            let k = *c.point as f64 / 100.0;
             let opts = ExactOptions::default();
-            [
-                greedy_static(&inst, k).expect("feasible").device_count() as f64,
-                greedy_adaptive(&inst, k).expect("feasible").device_count() as f64,
-                flow_greedy_ppm(&inst, k).expect("feasible").device_count() as f64,
-                solve_ppm_exact(&inst, k, &opts).expect("feasible").device_count() as f64,
-                solve_ppm_mecf_bb(&inst, k, &opts).expect("feasible").device_count() as f64,
-            ]
+            let mut chain = DeltaInstance::from_instance(&inst);
+            c.points
+                .iter()
+                .map(|&k_pct| {
+                    let k = k_pct as f64 / 100.0;
+                    [
+                        greedy_static(&inst, k).expect("feasible").device_count() as f64,
+                        greedy_adaptive(&inst, k).expect("feasible").device_count() as f64,
+                        flow_greedy_ppm(&inst, k).expect("feasible").device_count() as f64,
+                        chain
+                            .solve_exact(k, &opts)
+                            .expect("feasible")
+                            .device_count() as f64,
+                        solve_ppm_mecf_bb(&inst, k, &opts)
+                            .expect("feasible")
+                            .device_count() as f64,
+                    ]
+                })
+                .collect()
         },
         |k_pct, rs| {
             let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>());
@@ -193,14 +227,21 @@ fn multi_traffic_of(
     pop: &Pop,
     seed: u64,
 ) -> std::sync::Arc<Vec<MultiTraffic>> {
-    memo.get_or_compute(domain, seed, || TrafficSpec::default().generate_multi(pop, seed, 2))
+    memo.get_or_compute(domain, seed, || {
+        TrafficSpec::default().generate_multi(pop, seed, 2)
+    })
 }
 
 /// The section-7 cascade sweep: for each coverage target `k`, the additive
 /// (packet-marking) optimum against the independent-sampling cascade
 /// solver, plus the *actual* coverage the additive solution achieves when
 /// devices cannot coordinate. Averaged over seeds.
-pub fn cascade_report(engine: &Engine, pop: &Pop, k_percents: &[u32], seeds: u64) -> ScenarioReport {
+pub fn cascade_report(
+    engine: &Engine,
+    pop: &Pop,
+    k_percents: &[u32],
+    seeds: u64,
+) -> ScenarioReport {
     let spec = ScenarioSpec::new("xp_cascade", k_percents.to_vec()).with_seeds(seeds);
     engine.run_report(
         &spec,
@@ -223,7 +264,10 @@ pub fn cascade_report(engine: &Engine, pop: &Pop, k_percents: &[u32], seeds: u64
             let a = mean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
             let c = mean(&rs.iter().map(|r| r.1).collect::<Vec<_>>());
             let cov = mean(&rs.iter().map(|r| r.2).collect::<Vec<_>>());
-            format!("{k_pct},{a:.2},{c:.2},{:.1},{cov:.1}", 100.0 * (c - a) / a.max(1e-9))
+            format!(
+                "{k_pct},{a:.2},{c:.2},{:.1},{cov:.1}",
+                100.0 * (c - a) / a.max(1e-9)
+            )
         },
     )
 }
@@ -260,12 +304,24 @@ pub fn sampling_cost_report(
                 ce,
             );
             let s = solve_ppme(&prob, opts).expect("feasible");
-            prob.check_solution(&s.installed, &s.rates, 1e-5).expect("valid solution");
-            [s.device_count() as f64, s.setup_cost, s.exploit_cost, s.total_cost()]
+            prob.check_solution(&s.installed, &s.rates, 1e-5)
+                .expect("valid solution");
+            [
+                s.device_count() as f64,
+                s.setup_cost,
+                s.exploit_cost,
+                s.total_cost(),
+            ]
         },
         |(h_pct, k_pct), rs| {
             let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>());
-            format!("{k_pct},{h_pct},{:.2},{:.2},{:.2},{:.2}", col(0), col(1), col(2), col(3))
+            format!(
+                "{k_pct},{h_pct},{:.2},{:.2},{:.2},{:.2}",
+                col(0),
+                col(1),
+                col(2),
+                col(3)
+            )
         },
     )
 }
@@ -291,7 +347,10 @@ fn incremental_seed_setup(
         let inst = PpmInstance::from_traffic(&pop.graph, &ts);
         let base = solve_ppm_exact(&inst, 0.8, &ExactOptions::default())
             .expect("PPM(0.8) is feasible on this POP");
-        IncrementalSeedSetup { inst, base_edges: base.edges }
+        IncrementalSeedSetup {
+            inst,
+            base_edges: base.edges,
+        }
     })
 }
 
@@ -299,6 +358,11 @@ fn incremental_seed_setup(
 /// `k` when the `PPM(0.8)` base cannot move, against a from-scratch
 /// deployment. The base solve is memoized per seed (the serial loops
 /// re-solved it for every k-point).
+///
+/// Both columns ride per-seed warm-start chains: one [`DeltaInstance`]
+/// with the frozen base installed (the incremental totals) and one plain
+/// (the from-scratch totals), each walking the k grid on a single model
+/// whose coverage row is re-targeted point to point.
 pub fn incremental_report(
     engine: &Engine,
     pop: &Pop,
@@ -307,17 +371,24 @@ pub fn incremental_report(
 ) -> ScenarioReport {
     let spec = ScenarioSpec::new("xp_incremental", k_percents.to_vec()).with_seeds(seeds);
     let opts = ExactOptions::default();
-    engine.run_report(
+    engine.run_chain_report(
         &spec,
         "section,x,incremental_total,scratch_total,penalty",
-        |c: Case<'_, u32>| {
+        |c: ChainCase<'_, u32>| {
             let setup = incremental_seed_setup(c.memo, pop, c.seed);
-            let k = *c.point as f64 / 100.0;
-            let inc = solve_incremental(&setup.inst, k, &setup.base_edges, &opts)
-                .expect("feasible");
-            let scratch = solve_ppm_exact(&setup.inst, k, &opts).expect("feasible");
-            assert!(setup.inst.is_feasible(&inc.edges, k));
-            (inc.device_count() as f64, scratch.device_count() as f64)
+            let mut inc_chain = DeltaInstance::from_instance(&setup.inst);
+            inc_chain.set_installed(&setup.base_edges);
+            let mut scratch_chain = DeltaInstance::from_instance(&setup.inst);
+            c.points
+                .iter()
+                .map(|&k_pct| {
+                    let k = k_pct as f64 / 100.0;
+                    let inc = inc_chain.solve_exact(k, &opts).expect("feasible");
+                    let scratch = scratch_chain.solve_exact(k, &opts).expect("feasible");
+                    assert!(setup.inst.is_feasible(&inc.edges, k));
+                    (inc.device_count() as f64, scratch.device_count() as f64)
+                })
+                .collect()
         },
         |k_pct, rs| {
             let i = mean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
@@ -329,7 +400,8 @@ pub fn incremental_report(
 
 /// Section-1/4.3 expected gain: coverage bought by adding 1..n optimally
 /// placed devices on top of the `PPM(0.8)` base (memoized per seed, as in
-/// [`incremental_report`]).
+/// [`incremental_report`]). The budget MIP rides a per-seed warm-start
+/// chain over the extras grid (only the budget row's RHS moves).
 pub fn budget_gain_report(
     engine: &Engine,
     pop: &Pop,
@@ -338,15 +410,22 @@ pub fn budget_gain_report(
 ) -> ScenarioReport {
     let spec = ScenarioSpec::new("xp_incremental_gain", extras.to_vec()).with_seeds(seeds);
     let opts = ExactOptions::default();
-    engine.run_report(
+    engine.run_chain_report(
         &spec,
         "section,x,coverage_gain,coverage_after_percent,unused",
-        |c: Case<'_, u32>| {
+        |c: ChainCase<'_, u32>| {
             let setup = incremental_seed_setup(c.memo, pop, c.seed);
-            let extra = *c.point as usize;
-            let gain = expected_gain(&setup.inst, &setup.base_edges, extra, &opts);
-            let b = solve_budget(&setup.inst, extra, &setup.base_edges, &opts);
-            (gain, 100.0 * b.coverage_fraction())
+            let before = setup.inst.coverage(&setup.base_edges);
+            let mut chain = DeltaInstance::from_instance(&setup.inst);
+            chain.set_installed(&setup.base_edges);
+            c.points
+                .iter()
+                .map(|&extra| {
+                    let b = chain.solve_budget(extra as usize, &opts);
+                    let gain = (b.coverage - before).max(0.0);
+                    (gain, 100.0 * b.coverage_fraction())
+                })
+                .collect()
         },
         |extra, rs| {
             let gain = mean(&rs.iter().map(|r| r.0).collect::<Vec<_>>());
@@ -380,7 +459,11 @@ fn campaign_seed_setup(pop: &Pop, seed: u64) -> CampaignSeedSetup {
     }
     let free = CampaignProblem::new(&pop.graph, &ts, installed.clone(), 3, f64::INFINITY);
     let free_stretch = campaign_greedy(&free).total_stretch;
-    CampaignSeedSetup { ts, installed, free_stretch }
+    CampaignSeedSetup {
+        ts,
+        installed,
+        free_stretch,
+    }
 }
 
 /// The measurement-campaign sweep (section 7 extension): for each stretch
@@ -393,14 +476,14 @@ pub fn campaign_report(
     budget_percents: &[u32],
     seeds: u64,
 ) -> ScenarioReport {
-    let spec =
-        ScenarioSpec::new("xp_campaign", budget_percents.to_vec()).with_seeds(seeds);
+    let spec = ScenarioSpec::new("xp_campaign", budget_percents.to_vec()).with_seeds(seeds);
     engine.run_report(
         &spec,
         "budget_percent,coverage_before,greedy_after,exact_after,greedy_stretch",
         |c: Case<'_, u32>| {
-            let setup =
-                c.memo.get_or_compute("campaign_seed", c.seed, || campaign_seed_setup(pop, c.seed));
+            let setup = c
+                .memo
+                .get_or_compute("campaign_seed", c.seed, || campaign_seed_setup(pop, c.seed));
             let budget_pct = *c.point;
             let budget = if budget_pct == 100 {
                 f64::INFINITY
@@ -422,7 +505,13 @@ pub fn campaign_report(
         },
         |budget_pct, rs| {
             let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>());
-            format!("{budget_pct},{:.1},{:.1},{:.1},{:.1}", col(0), col(1), col(2), col(3))
+            format!(
+                "{budget_pct},{:.1},{:.1},{:.1},{:.1}",
+                col(0),
+                col(1),
+                col(2),
+                col(3)
+            )
         },
     )
 }
@@ -455,7 +544,10 @@ pub fn dynamic_traffic_report(
     seeds: u64,
     steps: usize,
 ) -> (ScenarioReport, Vec<DynamicOutcome>) {
-    let spec = ScenarioSpec::new("xp_dynamic_traffic", (0..seeds.max(1)).collect::<Vec<u64>>());
+    let spec = ScenarioSpec::new(
+        "xp_dynamic_traffic",
+        (0..seeds.max(1)).collect::<Vec<u64>>(),
+    );
     let ne = pop.graph.edge_count();
     let grouped = engine.run_cases(&spec, |c: Case<'_, u64>| {
         let seed = *c.point;
@@ -467,8 +559,15 @@ pub fn dynamic_traffic_report(
         for &e in &placed.edges {
             installed[e] = true;
         }
-        let ctrl = ControllerSpec { k: 0.9, h: 0.0, threshold: 0.85 };
-        let drift = DynamicSpec { shift_probability: 0.25, ..Default::default() };
+        let ctrl = ControllerSpec {
+            k: 0.9,
+            h: 0.0,
+            threshold: 0.85,
+        };
+        let drift = DynamicSpec {
+            shift_probability: 0.25,
+            ..Default::default()
+        };
         let mut process = TrafficProcess::new(ts, drift, seed.wrapping_mul(31) + 1);
         let trace = run_controller(
             &mut process,
@@ -485,7 +584,11 @@ pub fn dynamic_traffic_report(
             .map(|s| {
                 format!(
                     "{seed},{},{:.4},{},{:.4},{:.3}",
-                    s.step, s.coverage_before, s.reoptimized as u8, s.coverage_after, s.exploit_cost
+                    s.step,
+                    s.coverage_before,
+                    s.reoptimized as u8,
+                    s.coverage_after,
+                    s.exploit_cost
                 )
             })
             .collect();
@@ -498,7 +601,10 @@ pub fn dynamic_traffic_report(
     });
 
     let outcomes: Vec<DynamicOutcome> = grouped.into_iter().map(|mut g| g.remove(0)).collect();
-    let rows = outcomes.iter().flat_map(|o| o.rows.iter().cloned()).collect();
+    let rows = outcomes
+        .iter()
+        .flat_map(|o| o.rows.iter().cloned())
+        .collect();
     let report = ScenarioReport {
         name: spec.name.clone(),
         header: "seed,step,coverage_before,reoptimized,coverage_after,exploit_cost".into(),
@@ -546,12 +652,14 @@ pub fn pipeline_stage_report(
     let (rgraph, _) = pop.router_subgraph();
     let candidates: Vec<netgraph::NodeId> = rgraph.nodes().collect();
     let probes_of = |c: &Case<'_, PipelineStage>| {
-        c.memo.get_or_compute("probes", 0, || compute_probes(&rgraph, &candidates))
+        c.memo
+            .get_or_compute("probes", 0, || compute_probes(&rgraph, &candidates))
     };
     let ilp_of = |c: &Case<'_, PipelineStage>| {
         let probes = probes_of(c);
-        c.memo
-            .get_or_compute("beacons_ilp", 0, || place_beacons_ilp(&rgraph, &probes, &candidates))
+        c.memo.get_or_compute("beacons_ilp", 0, || {
+            place_beacons_ilp(&rgraph, &probes, &candidates)
+        })
     };
 
     let spec = ScenarioSpec::new(
@@ -577,7 +685,11 @@ pub fn pipeline_stage_report(
             PassiveExact => {
                 let (s, t) = timed(|| solve_ppm_mecf_bb(&inst, k, opts).expect("feasible"));
                 assert!(inst.is_feasible(&s.edges, k));
-                format!("passive_exact_devices,{} (proven {}),{t:.2}", s.device_count(), s.proven_optimal)
+                format!(
+                    "passive_exact_devices,{} (proven {}),{t:.2}",
+                    s.device_count(),
+                    s.proven_optimal
+                )
             }
             Probes => {
                 // Time the computation itself (not a memo lookup a racing
@@ -599,11 +711,16 @@ pub fn pipeline_stage_report(
             }
             BeaconsIlp => {
                 let probes = probes_of(&c);
-                let (ilp, t) =
-                    timed(|| c.memo.get_or_compute("beacons_ilp", 0, || {
+                let (ilp, t) = timed(|| {
+                    c.memo.get_or_compute("beacons_ilp", 0, || {
                         place_beacons_ilp(&rgraph, &probes, &candidates)
-                    }));
-                format!("beacons_ilp,{} (proven {}),{t:.2}", ilp.len(), ilp.proven_optimal)
+                    })
+                });
+                format!(
+                    "beacons_ilp,{} (proven {}),{t:.2}",
+                    ilp.len(),
+                    ilp.proven_optimal
+                )
             }
             ProbeMakespan => {
                 let probes = probes_of(&c);
@@ -649,7 +766,11 @@ pub fn family_spec(point: &FamilyPoint) -> FamilySpec {
 /// and never wall-clock-bounded, so family reports stay deterministic and
 /// the regression tests can never drift from the shipped sweep's options.
 pub fn family_exact_options() -> ExactOptions {
-    ExactOptions { max_nodes: 20_000, time_limit: None, ..Default::default() }
+    ExactOptions {
+        max_nodes: 20_000,
+        time_limit: None,
+        ..Default::default()
+    }
 }
 
 /// The topology-family sweep: for every `family × size × density` point,
@@ -667,7 +788,10 @@ pub fn topology_families_report(
     k: f64,
     opts: &ExactOptions,
 ) -> ScenarioReport {
-    assert!(opts.time_limit.is_none(), "wall-clock bounds would break report determinism");
+    assert!(
+        opts.time_limit.is_none(),
+        "wall-clock bounds would break report determinism"
+    );
     let spec = ScenarioSpec::new("xp_topology_families", points.to_vec()).with_seeds(seeds);
     engine.run_report(
         &spec,

@@ -26,8 +26,7 @@ fn campaign_sweep_parallel_matches_serial() {
 fn dynamic_traffic_parallel_matches_serial() {
     let pop = PopSpec::paper_10().build();
     let (serial, s_out) = scenarios::dynamic_traffic_report(&Engine::serial(), &pop, 3, 8);
-    let (parallel, p_out) =
-        scenarios::dynamic_traffic_report(&Engine::with_threads(3), &pop, 3, 8);
+    let (parallel, p_out) = scenarios::dynamic_traffic_report(&Engine::with_threads(3), &pop, 3, 8);
     assert_eq!(serial.to_csv(), parallel.to_csv());
     assert_eq!(serial.rows.len(), 3 * 8, "3 seeds x 8 steps, seed-major");
     for (a, b) in s_out.iter().zip(&p_out) {
@@ -44,7 +43,11 @@ fn active_sweep_parallel_matches_serial() {
     let serial = scenarios::active_report(&Engine::serial(), &graph, &sizes, 2);
     let parallel = scenarios::active_report(&Engine::with_threads(4), &graph, &sizes, 2);
     assert_eq!(serial.to_csv(), parallel.to_csv());
-    assert_eq!(serial.rows.len(), graph.node_count() - 1, "|V_B| sweeps 2..=n");
+    assert_eq!(
+        serial.rows.len(),
+        graph.node_count() - 1,
+        "|V_B| sweeps 2..=n"
+    );
 }
 
 /// Strips the wall-clock column (see `popmon_bench::strip_last_column`).
@@ -156,7 +159,10 @@ fn memo_racing_threads_observe_one_value() {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
         });
 
         let first = &observed[0];
@@ -165,7 +171,11 @@ fn memo_racing_threads_observe_one_value() {
             assert!(Arc::ptr_eq(v, first), "all racers must share one Arc");
         }
         assert!(builds.load(Ordering::Relaxed) >= 1);
-        assert_eq!(memo.len(), 1, "one entry regardless of how many builders raced");
+        assert_eq!(
+            memo.len(),
+            1,
+            "one entry regardless of how many builders raced"
+        );
     }
 }
 
@@ -178,7 +188,11 @@ fn topology_families_parallel_matches_serial() {
     let mut points = Vec::new();
     for family in ["waxman", "ba", "hier"] {
         for density_pct in [60u32, 100] {
-            points.push(FamilyPoint { family, routers: 10, density_pct });
+            points.push(FamilyPoint {
+                family,
+                routers: 10,
+                density_pct,
+            });
         }
     }
     let opts = scenarios::family_exact_options();

@@ -34,7 +34,14 @@ fn fig7_passive_10_golden_seed0() {
     assert_eq!(ts.len(), 132, "paper_10 traffic matrix has 132 traffics");
 
     let inst = PpmInstance::from_traffic(&pop.graph, &ts);
-    let golden = [(75, 8, 4), (80, 8, 5), (85, 10, 5), (90, 13, 6), (95, 15, 7), (100, 18, 11)];
+    let golden = [
+        (75, 8, 4),
+        (80, 8, 5),
+        (85, 10, 5),
+        (90, 13, 6),
+        (95, 15, 7),
+        (100, 18, 11),
+    ];
     for (k_pct, greedy_want, ilp_want) in golden {
         let k = k_pct as f64 / 100.0;
         let g = greedy_static(&inst, k).expect("coverable");
@@ -51,7 +58,10 @@ fn fig7_passive_10_golden_seed0() {
             "fig7 exact device count moved at k = {k_pct}%"
         );
         assert!(inst.is_feasible(&ilp.edges, k));
-        assert!(ilp.proven_optimal, "fig7 exact solve must close at k = {k_pct}%");
+        assert!(
+            ilp.proven_optimal,
+            "fig7 exact solve must close at k = {k_pct}%"
+        );
     }
 }
 
@@ -71,7 +81,11 @@ fn fig8_passive_15_golden_seed0() {
     for (k_pct, want) in golden_greedy {
         let k = k_pct as f64 / 100.0;
         let g = greedy_static(&inst, k).expect("coverable");
-        assert_eq!(g.device_count(), want, "fig8 greedy device count moved at k = {k_pct}%");
+        assert_eq!(
+            g.device_count(),
+            want,
+            "fig8 greedy device count moved at k = {k_pct}%"
+        );
         assert!(inst.is_feasible(&g.edges, k));
     }
 
@@ -81,8 +95,15 @@ fn fig8_passive_15_golden_seed0() {
         ..Default::default()
     };
     let s = solve_ppm_mecf_bb(&inst, 0.75, &opts).expect("feasible");
-    assert_eq!(s.device_count(), 9, "fig8 exact device count moved at k = 75%");
-    assert!(s.proven_optimal, "fig8 exact k = 75% must close within the node budget");
+    assert_eq!(
+        s.device_count(),
+        9,
+        "fig8 exact device count moved at k = 75%"
+    );
+    assert!(
+        s.proven_optimal,
+        "fig8 exact k = 75% must close within the node budget"
+    );
     assert!(inst.is_feasible(&s.edges, 0.75));
 }
 
@@ -165,7 +186,11 @@ fn fig10_fig11_active_golden_seed0() {
     let r29 = scenarios::active_report(&Engine::serial(), &g29, &[10, 20, 29], 1);
     assert_eq!(
         r29.rows,
-        ["10,6.00,5.00,5.00,11.0", "20,10.00,8.00,7.00,13.0", "29,16.00,11.00,11.00,19.0"],
+        [
+            "10,6.00,5.00,5.00,11.0",
+            "20,10.00,8.00,7.00,13.0",
+            "29,16.00,11.00,11.00,19.0"
+        ],
         "fig10 seed-0 beacon counts moved"
     );
 
@@ -173,7 +198,11 @@ fn fig10_fig11_active_golden_seed0() {
     let r80 = scenarios::active_report(&Engine::serial(), &g80, &[10, 40, 80], 1);
     assert_eq!(
         r80.rows,
-        ["10,4.00,4.00,4.00,10.0", "40,19.00,18.00,16.00,26.0", "80,39.00,33.00,33.00,53.0"],
+        [
+            "10,4.00,4.00,4.00,10.0",
+            "40,19.00,18.00,16.00,26.0",
+            "80,39.00,33.00,33.00,53.0"
+        ],
         "fig11 seed-0 beacon counts moved"
     );
 }
@@ -230,8 +259,8 @@ fn cascade_golden_seed0() {
 #[test]
 fn sampling_cost_golden_seed0() {
     let pop = PopSpec::small().build();
-    let points: Vec<(u32, u32)> = [(0u32, 40u32), (0, 60), (0, 80), (0, 95), (20, 40), (20, 80)]
-        .to_vec();
+    let points: Vec<(u32, u32)> =
+        [(0u32, 40u32), (0, 60), (0, 80), (0, 95), (20, 40), (20, 80)].to_vec();
     let opts = PpmeOptions {
         rel_gap: 0.02,
         time_limit: Some(std::time::Duration::from_secs(60)),
@@ -291,9 +320,21 @@ fn incremental_golden_seed0() {
 fn topology_families_golden_seed0() {
     use popmon_bench::scenarios::FamilyPoint;
     let points = [
-        FamilyPoint { family: "waxman", routers: 10, density_pct: 60 },
-        FamilyPoint { family: "ba", routers: 10, density_pct: 60 },
-        FamilyPoint { family: "hier", routers: 10, density_pct: 60 },
+        FamilyPoint {
+            family: "waxman",
+            routers: 10,
+            density_pct: 60,
+        },
+        FamilyPoint {
+            family: "ba",
+            routers: 10,
+            density_pct: 60,
+        },
+        FamilyPoint {
+            family: "hier",
+            routers: 10,
+            density_pct: 60,
+        },
     ];
     let opts = scenarios::family_exact_options();
     let r = scenarios::topology_families_report(&Engine::serial(), &points, 1, 0.9, &opts);
@@ -319,6 +360,10 @@ fn traffic_generation_is_deterministic() {
     let volumes = |ts: &popgen::TrafficSet| -> Vec<u64> {
         ts.traffics.iter().map(|t| t.volume.to_bits()).collect()
     };
-    assert_eq!(volumes(&a), volumes(&b), "same seed must reproduce the same matrix");
+    assert_eq!(
+        volumes(&a),
+        volumes(&b),
+        "same seed must reproduce the same matrix"
+    );
     assert_ne!(volumes(&a), volumes(&c), "different seeds must differ");
 }

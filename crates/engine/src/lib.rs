@@ -55,7 +55,11 @@ pub struct ScenarioSpec<P> {
 
 impl<P> ScenarioSpec<P> {
     pub fn new(name: impl Into<String>, points: Vec<P>) -> Self {
-        ScenarioSpec { name: name.into(), points, seeds_per_point: 1 }
+        ScenarioSpec {
+            name: name.into(),
+            points,
+            seeds_per_point: 1,
+        }
     }
 
     pub fn with_seeds(mut self, seeds: u64) -> Self {
@@ -78,6 +82,25 @@ pub struct Case<'a, P> {
     /// Seed in `0..seeds_per_point`.
     pub seed: u64,
     /// Cache shared by every case of this `run`.
+    pub memo: &'a Memo,
+}
+
+/// One *chain* of work handed to the chain closure: every point of the
+/// sweep for a single seed, to be processed in order by one worker.
+///
+/// Chains exist for warm-started solvers: successive sweep points are
+/// near-identical programs, so a chain closure can carry solver state
+/// (an LP basis, a route cache) from point to point. Because a chain is
+/// confined to one worker and is keyed by seed alone, the engine's
+/// determinism contract is unchanged — results land in the same
+/// `[point][seed]` slots as an unchained run, and the memo keying by seed
+/// is untouched.
+pub struct ChainCase<'a, P> {
+    /// All sweep points, in `ScenarioSpec::points` order.
+    pub points: &'a [P],
+    /// Seed in `0..seeds_per_point`.
+    pub seed: u64,
+    /// Cache shared by every chain of this `run`.
     pub memo: &'a Memo,
 }
 
@@ -106,7 +129,9 @@ impl Engine {
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n > 0)
             .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
             });
         Engine::with_threads(threads)
     }
@@ -133,7 +158,12 @@ impl Engine {
         let run_one = |i: usize| {
             let point_index = i / seeds as usize;
             let seed = (i % seeds as usize) as u64;
-            case(Case { point: &spec.points[point_index], point_index, seed, memo: &memo })
+            case(Case {
+                point: &spec.points[point_index],
+                point_index,
+                seed,
+                memo: &memo,
+            })
         };
 
         let mut slots: Vec<Option<R>> = if self.threads <= 1 || total <= 1 {
@@ -168,6 +198,116 @@ impl Engine {
         grouped
     }
 
+    /// Runs the grid as per-seed *chains*: one work unit per seed, whose
+    /// closure visits every point in order and returns one result per
+    /// point. Returns results grouped by point (outer vec in point order,
+    /// inner vec in seed order) — the same shape as
+    /// [`Engine::run_cases`], so aggregation code is interchangeable.
+    ///
+    /// The chain closure must be deterministic in `seed` and must return
+    /// exactly `points.len()` results; carrying solver state across the
+    /// points of one chain is the intended use (see [`ChainCase`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a chain returns the wrong number of results.
+    pub fn run_seed_chains<P, R, F>(&self, spec: &ScenarioSpec<P>, chain: F) -> Vec<Vec<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(ChainCase<'_, P>) -> Vec<R> + Sync,
+    {
+        let seeds = spec.seeds_per_point.max(1) as usize;
+        let memo = Memo::new();
+
+        let run_one = |seed: usize| {
+            let out = chain(ChainCase {
+                points: &spec.points,
+                seed: seed as u64,
+                memo: &memo,
+            });
+            assert_eq!(
+                out.len(),
+                spec.points.len(),
+                "chain for seed {seed} returned {} results for {} points",
+                out.len(),
+                spec.points.len()
+            );
+            out
+        };
+
+        let mut per_seed: Vec<Option<Vec<R>>> = if self.threads <= 1 || seeds <= 1 {
+            (0..seeds).map(|s| Some(run_one(s))).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let results = Mutex::new((0..seeds).map(|_| None).collect::<Vec<Option<Vec<R>>>>());
+            let workers = self.threads.min(seeds);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let s = cursor.fetch_add(1, Ordering::Relaxed);
+                        if s >= seeds {
+                            break;
+                        }
+                        let r = run_one(s);
+                        results.lock().expect("result store poisoned")[s] = Some(r);
+                    });
+                }
+            });
+            results.into_inner().expect("result store poisoned")
+        };
+
+        // Transpose seed-major chains into the point-major grouping.
+        let mut chains: Vec<std::vec::IntoIter<R>> = per_seed
+            .iter_mut()
+            .map(|s| {
+                s.take()
+                    .expect("worker pool left a chain unfilled")
+                    .into_iter()
+            })
+            .collect();
+        let mut grouped = Vec::with_capacity(spec.points.len());
+        for _ in 0..spec.points.len() {
+            grouped.push(
+                chains
+                    .iter_mut()
+                    .map(|it| it.next().expect("length checked above"))
+                    .collect(),
+            );
+        }
+        grouped
+    }
+
+    /// [`Engine::run_seed_chains`] + per-point CSV rendering: the chained
+    /// counterpart of [`Engine::run_report`], producing byte-identical
+    /// reports for any thread count.
+    pub fn run_chain_report<P, R, F, G>(
+        &self,
+        spec: &ScenarioSpec<P>,
+        header: impl Into<String>,
+        chain: F,
+        row: G,
+    ) -> ScenarioReport
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(ChainCase<'_, P>) -> Vec<R> + Sync,
+        G: Fn(&P, &[R]) -> String,
+    {
+        let grouped = self.run_seed_chains(spec, chain);
+        let rows = spec
+            .points
+            .iter()
+            .zip(&grouped)
+            .map(|(p, results)| row(p, results))
+            .collect();
+        ScenarioReport {
+            name: spec.name.clone(),
+            header: header.into(),
+            rows,
+        }
+    }
+
     /// Runs the grid and renders one CSV row per point via `row`.
     ///
     /// `row` receives the point and its seed-ordered case results; the
@@ -192,7 +332,11 @@ impl Engine {
             .zip(&grouped)
             .map(|(p, results)| row(p, results))
             .collect();
-        ScenarioReport { name: spec.name.clone(), header: header.into(), rows }
+        ScenarioReport {
+            name: spec.name.clone(),
+            header: header.into(),
+            rows,
+        }
     }
 }
 
@@ -251,6 +395,54 @@ mod tests {
     #[test]
     fn from_env_is_positive() {
         assert!(Engine::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn chained_matches_unchained_and_is_thread_invariant() {
+        let spec = ScenarioSpec::new("chain", (0..9u64).collect()).with_seeds(4);
+        let case = |p: u64, seed: u64| p.wrapping_mul(31).wrapping_add(seed * 7);
+        let unchained = Engine::serial().run_cases(&spec, |c| case(*c.point, c.seed));
+        let chain = |c: ChainCase<'_, u64>| -> Vec<u64> {
+            // Stateful chain: an accumulator threads through the points,
+            // but each emitted result depends only on (point, seed).
+            let mut acc = 0u64;
+            c.points
+                .iter()
+                .map(|&p| {
+                    acc = acc.wrapping_add(1);
+                    case(p, c.seed)
+                })
+                .collect()
+        };
+        let serial = Engine::serial().run_seed_chains(&spec, chain);
+        let parallel = Engine::with_threads(4).run_seed_chains(&spec, chain);
+        assert_eq!(serial, unchained);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "returned 1 results for 3 points")]
+    fn chain_length_mismatch_panics() {
+        let spec = ScenarioSpec::new("bad", vec![1u32, 2, 3]);
+        let _ = Engine::serial().run_seed_chains(&spec, |_c| vec![0u32]);
+    }
+
+    #[test]
+    fn chain_report_matches_case_report() {
+        let spec = ScenarioSpec::new("report", vec![1.0f64, 2.0, 4.0]).with_seeds(3);
+        let a = Engine::serial().run_report(
+            &spec,
+            "x,sum",
+            |c| c.point * (c.seed as f64 + 1.0),
+            |p, rs| format!("{p},{}", rs.iter().sum::<f64>()),
+        );
+        let b = Engine::with_threads(3).run_chain_report(
+            &spec,
+            "x,sum",
+            |c: ChainCase<'_, f64>| c.points.iter().map(|p| p * (c.seed as f64 + 1.0)).collect(),
+            |p, rs| format!("{p},{}", rs.iter().sum::<f64>()),
+        );
+        assert_eq!(a.to_csv(), b.to_csv());
     }
 
     #[test]

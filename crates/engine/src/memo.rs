@@ -44,7 +44,9 @@ pub struct Memo {
 
 impl Default for Memo {
     fn default() -> Self {
-        Memo { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+        Memo {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
     }
 }
 
@@ -72,9 +74,13 @@ impl Memo {
         }
         let candidate: Arc<dyn Any + Send + Sync> = Arc::new(build());
         let stored = {
-            let mut slots =
-                self.shards[shard_index(domain, key)].lock().expect("memo poisoned");
-            slots.entry((domain, key)).or_insert_with(|| candidate).clone()
+            let mut slots = self.shards[shard_index(domain, key)]
+                .lock()
+                .expect("memo poisoned");
+            slots
+                .entry((domain, key))
+                .or_insert_with(|| candidate)
+                .clone()
         };
         stored
             .downcast::<T>()
@@ -83,7 +89,9 @@ impl Memo {
 
     /// Non-computing lookup.
     pub fn get<T: Send + Sync + 'static>(&self, domain: &'static str, key: u64) -> Option<Arc<T>> {
-        let slots = self.shards[shard_index(domain, key)].lock().expect("memo poisoned");
+        let slots = self.shards[shard_index(domain, key)]
+            .lock()
+            .expect("memo poisoned");
         slots.get(&(domain, key)).map(|v| {
             v.clone()
                 .downcast::<T>()
@@ -93,7 +101,10 @@ impl Memo {
 
     /// Number of cached entries (all domains).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("memo poisoned").len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo poisoned").len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -103,7 +114,9 @@ impl Memo {
 
 impl std::fmt::Debug for Memo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Memo").field("entries", &self.len()).finish()
+        f.debug_struct("Memo")
+            .field("entries", &self.len())
+            .finish()
     }
 }
 

@@ -84,7 +84,11 @@ pub struct MecfGraph {
 /// Builds the auxiliary graph with the given per-unit cost on each
 /// `(S, w_e)` arc (zero cost everywhere else, per the paper).
 pub fn build_mecf(inst: &MonitoringInstance, edge_cost: &[f64]) -> MecfGraph {
-    assert_eq!(edge_cost.len(), inst.num_edges, "one cost per edge required");
+    assert_eq!(
+        edge_cost.len(),
+        inst.num_edges,
+        "one cost per edge required"
+    );
     let ne = inst.num_edges;
     let nt = inst.traffics.len();
     // Layout: 0 = S, 1 = T, 2..2+ne = w_e, 2+ne.. = w_t.
@@ -94,8 +98,9 @@ pub fn build_mecf(inst: &MonitoringInstance, edge_cost: &[f64]) -> MecfGraph {
     let we = |e: usize| NodeRef((2 + e) as u32);
     let wt = |t: usize| NodeRef((2 + ne + t) as u32);
 
-    let edge_arcs: Vec<ArcId> =
-        (0..ne).map(|e| net.add_arc(source, we(e), f64::INFINITY, edge_cost[e])).collect();
+    let edge_arcs: Vec<ArcId> = (0..ne)
+        .map(|e| net.add_arc(source, we(e), f64::INFINITY, edge_cost[e]))
+        .collect();
     let mut traffic_arcs = Vec::with_capacity(nt);
     for (t, (v, edges)) in inst.traffics.iter().enumerate() {
         for &e in edges {
@@ -105,7 +110,13 @@ pub fn build_mecf(inst: &MonitoringInstance, edge_cost: &[f64]) -> MecfGraph {
         traffic_arcs.push(net.add_arc(wt(t), sink, *v, 0.0));
     }
 
-    MecfGraph { net, source, sink, edge_arcs, traffic_arcs }
+    MecfGraph {
+        net,
+        source,
+        sink,
+        edge_arcs,
+        traffic_arcs,
+    }
 }
 
 /// Result of the flow-based greedy heuristic.
@@ -126,7 +137,10 @@ pub struct FlowGreedyResult {
 /// Returns `None` when even monitoring *all* edges cannot reach the target
 /// (i.e. `k > 1` after rounding, or zero-volume instances).
 pub fn flow_greedy(inst: &MonitoringInstance, k: f64) -> Option<FlowGreedyResult> {
-    assert!((0.0..=1.0 + 1e-12).contains(&k), "k must lie in (0, 1], got {k}");
+    assert!(
+        (0.0..=1.0 + 1e-12).contains(&k),
+        "k must lie in (0, 1], got {k}"
+    );
     let total = inst.total_volume();
     let demand = k * total;
     if demand <= FLOW_EPS {
@@ -140,18 +154,27 @@ pub fn flow_greedy(inst: &MonitoringInstance, k: f64) -> Option<FlowGreedyResult
     let loads = inst.edge_loads();
     // Cost 1/load: heavily loaded links are cheap per monitored unit.
     // Unused links get an effectively prohibitive (but finite) cost.
-    let costs: Vec<f64> =
-        loads.iter().map(|&l| if l > FLOW_EPS { 1.0 / l } else { 1e12 }).collect();
+    let costs: Vec<f64> = loads
+        .iter()
+        .map(|&l| if l > FLOW_EPS { 1.0 / l } else { 1e12 })
+        .collect();
     let mut g = build_mecf(inst, &costs);
     let res = min_cost_flow(&mut g.net, g.source, g.sink, demand);
     if res.flow + FLOW_EPS < demand {
         return None; // target unreachable even with all devices
     }
 
-    let selected: Vec<bool> =
-        g.edge_arcs.iter().map(|&a| g.net.flow(a) > FLOW_EPS).collect();
+    let selected: Vec<bool> = g
+        .edge_arcs
+        .iter()
+        .map(|&a| g.net.flow(a) > FLOW_EPS)
+        .collect();
     let coverage = inst.coverage_of(&selected);
-    Some(FlowGreedyResult { selected, routed: res.flow, coverage })
+    Some(FlowGreedyResult {
+        selected,
+        routed: res.flow,
+        coverage,
+    })
 }
 
 #[cfg(test)]
@@ -234,7 +257,10 @@ mod tests {
 
     #[test]
     fn empty_instance() {
-        let inst = MonitoringInstance { num_edges: 3, traffics: vec![] };
+        let inst = MonitoringInstance {
+            num_edges: 3,
+            traffics: vec![],
+        };
         let r = flow_greedy(&inst, 1.0).unwrap();
         assert_eq!(r.routed, 0.0);
     }
@@ -242,8 +268,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_bad_edge_reference() {
-        let inst =
-            MonitoringInstance { num_edges: 1, traffics: vec![(1.0, vec![3])] };
+        let inst = MonitoringInstance {
+            num_edges: 1,
+            traffics: vec![(1.0, vec![3])],
+        };
         build_mecf(&inst, &[1.0]);
     }
 }

@@ -38,14 +38,20 @@ pub fn min_cost_flow(
     sink: NodeRef,
     demand: f64,
 ) -> FlowResult {
-    assert!(!demand.is_nan() && demand >= 0.0, "demand must be non-negative");
+    assert!(
+        !demand.is_nan() && demand >= 0.0,
+        "demand must be non-negative"
+    );
     assert!(source.index() < net.node_count(), "source out of range");
     assert!(sink.index() < net.node_count(), "sink out of range");
     let n = net.node_count();
     let mut routed = 0.0f64;
     let mut cost = 0.0f64;
     if demand <= FLOW_EPS || source == sink {
-        return FlowResult { flow: 0.0, cost: 0.0 };
+        return FlowResult {
+            flow: 0.0,
+            cost: 0.0,
+        };
     }
 
     // Initial potentials via Bellman–Ford over residual arcs (handles
@@ -76,7 +82,9 @@ pub fn min_cost_flow(
     impl Eq for Entry {}
     impl Ord for Entry {
         fn cmp(&self, o: &Self) -> Ordering {
-            o.d.partial_cmp(&self.d).unwrap_or(Ordering::Equal).then_with(|| o.u.cmp(&self.u))
+            o.d.partial_cmp(&self.d)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| o.u.cmp(&self.u))
         }
     }
     impl PartialOrd for Entry {
@@ -92,7 +100,10 @@ pub fn min_cost_flow(
         let mut done = vec![false; n];
         dist[source.index()] = 0.0;
         let mut heap = BinaryHeap::new();
-        heap.push(Entry { d: 0.0, u: source.0 });
+        heap.push(Entry {
+            d: 0.0,
+            u: source.0,
+        });
         while let Some(Entry { d, u }) = heap.pop() {
             if done[u as usize] {
                 continue;
@@ -190,7 +201,13 @@ mod tests {
         let mut net = FlowNetwork::new(2);
         net.add_arc(n(0), n(1), 2.0, 1.0);
         let r = min_cost_flow(&mut net, n(0), n(1), 0.0);
-        assert_eq!(r, FlowResult { flow: 0.0, cost: 0.0 });
+        assert_eq!(
+            r,
+            FlowResult {
+                flow: 0.0,
+                cost: 0.0
+            }
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `nodes` isolated nodes.
     pub fn new(nodes: usize) -> Self {
-        Self { arcs: Vec::new(), adj: vec![Vec::new(); nodes], orig_cap: Vec::new() }
+        Self {
+            arcs: Vec::new(),
+            adj: vec![Vec::new(); nodes],
+            orig_cap: Vec::new(),
+        }
     }
 
     /// Adds one more node, returning its reference.
@@ -79,11 +83,22 @@ impl FlowNetwork {
     pub fn add_arc(&mut self, from: NodeRef, to: NodeRef, cap: f64, cost: f64) -> ArcId {
         assert!(from.index() < self.adj.len(), "from node out of range");
         assert!(to.index() < self.adj.len(), "to node out of range");
-        assert!(!cap.is_nan() && cap >= 0.0, "capacity must be non-negative, got {cap}");
+        assert!(
+            !cap.is_nan() && cap >= 0.0,
+            "capacity must be non-negative, got {cap}"
+        );
         assert!(cost.is_finite(), "cost must be finite, got {cost}");
         let fwd = self.arcs.len() as u32;
-        self.arcs.push(RawArc { to: to.0, cap, cost });
-        self.arcs.push(RawArc { to: from.0, cap: 0.0, cost: -cost });
+        self.arcs.push(RawArc {
+            to: to.0,
+            cap,
+            cost,
+        });
+        self.arcs.push(RawArc {
+            to: from.0,
+            cap: 0.0,
+            cost: -cost,
+        });
         self.adj[from.index()].push(fwd);
         self.adj[to.index()].push(fwd + 1);
         self.orig_cap.push(cap);
@@ -130,7 +145,9 @@ impl FlowNetwork {
 
     /// Total cost of the current flow: `Σ flow(a) · cost(a)`.
     pub fn flow_cost(&self) -> f64 {
-        (0..self.arc_count()).map(|i| self.flow(ArcId(i as u32)) * self.arcs[2 * i].cost).sum()
+        (0..self.arc_count())
+            .map(|i| self.flow(ArcId(i as u32)) * self.arcs[2 * i].cost)
+            .sum()
     }
 
     /// Checks flow conservation at every node except `source` and `sink`;

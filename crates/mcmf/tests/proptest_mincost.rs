@@ -27,7 +27,10 @@ struct IntNet {
 fn int_networks() -> impl Strategy<Value = IntNet> {
     (3usize..=5).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n, 1u32..=2, 0u32..=4), 2..=8).prop_map(move |arcs| {
-            IntNet { nodes: n, arcs: arcs.into_iter().filter(|&(u, v, _, _)| u != v).collect() }
+            IntNet {
+                nodes: n,
+                arcs: arcs.into_iter().filter(|&(u, v, _, _)| u != v).collect(),
+            }
         })
     })
 }
@@ -35,7 +38,12 @@ fn int_networks() -> impl Strategy<Value = IntNet> {
 fn build(rn: &IntNet) -> FlowNetwork {
     let mut net = FlowNetwork::new(rn.nodes);
     for &(u, v, cap, cost) in &rn.arcs {
-        net.add_arc(NodeRef(u as u32), NodeRef(v as u32), cap as f64, cost as f64);
+        net.add_arc(
+            NodeRef(u as u32),
+            NodeRef(v as u32),
+            cap as f64,
+            cost as f64,
+        );
     }
     net
 }
@@ -57,8 +65,7 @@ fn brute_force(rn: &IntNet, s: usize, t: usize) -> (u32, Vec<u32>) {
             net_out[v] -= f[i] as i64;
             cost += (f[i] * c) as u64;
         }
-        let conserved = (0..rn.nodes)
-            .all(|n| n == s || n == t || net_out[n] == 0);
+        let conserved = (0..rn.nodes).all(|n| n == s || n == t || net_out[n] == 0);
         if conserved && net_out[s] >= 0 && net_out[s] == -net_out[t] {
             let value = net_out[s] as usize;
             if best.len() <= value {
@@ -74,7 +81,10 @@ fn brute_force(rn: &IntNet, s: usize, t: usize) -> (u32, Vec<u32>) {
         loop {
             if i == arcs.len() {
                 let max_value = best.len() as u32 - 1;
-                let costs = best.iter().map(|c| c.expect("every value below max is feasible")).collect();
+                let costs = best
+                    .iter()
+                    .map(|c| c.expect("every value below max is feasible"))
+                    .collect();
                 return (max_value, costs);
             }
             if f[i] < arcs[i].2 {

@@ -2,11 +2,13 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, Sense};
 use crate::presolve;
-use crate::{Result, SolveStatus, Solution, SolverError, INT_TOL};
+use crate::simplex::LpWarmStart;
+use crate::{Result, Solution, SolveStatus, SolverError, INT_TOL};
 
 /// Tuning knobs for [`Model::solve_mip_with`].
 #[derive(Debug, Clone)]
@@ -24,6 +26,15 @@ pub struct MipOptions {
     pub integral_objective: Option<bool>,
     /// Run the presolve reductions before the search (default true).
     pub presolve: bool,
+    /// Reuse each node's LP basis to warm-start its children (dual simplex
+    /// on the one changed bound instead of a cold two-phase solve).
+    ///
+    /// Off by default: basis reuse can land node LPs on *different optimal
+    /// vertices* than cold solves, which changes branching order — for
+    /// searches stopped early (node limits, loose `rel_gap`) the reported
+    /// incumbent may then legitimately differ between the two settings.
+    /// Proven-optimal runs return the same objective either way.
+    pub warm_basis: bool,
 }
 
 impl Default for MipOptions {
@@ -34,8 +45,22 @@ impl Default for MipOptions {
             rel_gap: 1e-9,
             integral_objective: None,
             presolve: true,
+            warm_basis: false,
         }
     }
+}
+
+/// Cross-solve warm-start state returned by [`Model::solve_mip_warm`]: the
+/// optimal basis of the root relaxation (over the *presolved* model),
+/// reusable as the root start of the next solve in a perturbation chain.
+/// Reuse is guarded by [`LpWarmStart`]'s shape *and* coefficient
+/// fingerprint check — presolve may fix different variables (and thus
+/// emit structurally different reduced models) at different chain points,
+/// and such a stale basis is silently ignored in favor of a cold root
+/// solve rather than trusted.
+#[derive(Debug, Clone)]
+pub struct MipWarmStart {
+    root: LpWarmStart,
 }
 
 /// One open node: a set of bound changes relative to the root model.
@@ -50,6 +75,8 @@ struct Node {
     seq: usize,
     /// `(var index, lo, hi)` overrides.
     changes: Vec<(usize, f64, f64)>,
+    /// Parent's LP basis (shared by both children) when basis reuse is on.
+    basis: Option<Arc<LpWarmStart>>,
 }
 
 /// Best-first ordering with depth then recency tie-breaking (deeper and
@@ -78,13 +105,21 @@ impl PartialOrd for Node {
 }
 
 fn auto_integral_objective(model: &Model) -> bool {
-    model.vars.iter().all(|v| {
-        v.cost == 0.0 || (v.integer && v.cost.fract() == 0.0)
-    })
+    model
+        .vars
+        .iter()
+        .all(|v| v.cost == 0.0 || (v.integer && v.cost.fract() == 0.0))
 }
 
-/// Entry point used by [`Model::solve_mip`].
-pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
+/// Entry point used by [`Model::solve_mip`] and friends. `warm` seeds the
+/// root LP basis from a previous solve of a perturbed sibling model; the
+/// returned [`MipWarmStart`] carries this solve's root basis onward (or
+/// `None` when the root LP never produced a reusable basis).
+pub(crate) fn solve(
+    model: &Model,
+    opts: &MipOptions,
+    warm: Option<&MipWarmStart>,
+) -> Result<(Solution, Option<MipWarmStart>)> {
     // Work on a minimization copy to keep bound logic single-signed.
     let maximize = matches!(model.sense, Sense::Maximize);
     let mut work = model.clone();
@@ -104,11 +139,17 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
     };
     let root_model = pre.model.clone();
 
-    let int_vars: Vec<usize> =
-        root_model.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| i).collect();
+    let int_vars: Vec<usize> = root_model
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.integer)
+        .map(|(i, _)| i)
+        .collect();
 
-    let integral_obj =
-        opts.integral_objective.unwrap_or_else(|| auto_integral_objective(&root_model));
+    let integral_obj = opts
+        .integral_objective
+        .unwrap_or_else(|| auto_integral_objective(&root_model));
     let strengthen = |b: f64| if integral_obj { (b - 1e-6).ceil() } else { b };
 
     let finish = |values_reduced: Vec<f64>,
@@ -119,7 +160,14 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
      -> Solution {
         let values = pre.expand(&values_reduced);
         let objective = model.objective_value(&values);
-        Solution { values, objective, status, gap, iterations, nodes }
+        Solution {
+            values,
+            objective,
+            status,
+            gap,
+            iterations,
+            nodes,
+        }
     };
 
     // Initial incumbent from the user-supplied warm start, when feasible.
@@ -136,10 +184,17 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
     let mut nodes_explored = 0usize;
     let mut open = BinaryHeap::new();
     let mut seq = 0usize;
-    open.push(Node { bound: f64::NEG_INFINITY, depth: 0, seq, changes: Vec::new() });
+    open.push(Node {
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        seq,
+        changes: Vec::new(),
+        basis: warm.map(|w| Arc::new(w.root.clone())),
+    });
 
     let mut node_model = root_model.clone();
     let mut proven = true;
+    let mut root_basis_out: Option<MipWarmStart> = None;
 
     while let Some(node) = open.pop() {
         // Global pruning against the incumbent.
@@ -152,8 +207,7 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                 continue;
             }
         }
-        if nodes_explored >= opts.max_nodes
-            || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
+        if nodes_explored >= opts.max_nodes || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
         {
             proven = false;
             break;
@@ -166,10 +220,22 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
             node_model.vars[j].hi = hi;
         }
 
-        let lp = node_model.solve_lp();
+        // The root always routes through the warm-capable path so chains
+        // can seed it and its basis can seed the next chain link; interior
+        // nodes reuse the parent basis only when `warm_basis` is on.
+        let lp = if opts.warm_basis || node.depth == 0 {
+            node_model.solve_lp_warm(node.basis.as_deref())
+        } else {
+            node_model.solve_lp().map(|s| (s, None))
+        };
 
         let result = match lp {
-            Ok(sol) => Some(sol),
+            Ok((sol, basis)) => {
+                if node.depth == 0 {
+                    root_basis_out = basis.clone().map(|root| MipWarmStart { root });
+                }
+                Some((sol, basis))
+            }
             Err(SolverError::Infeasible) => None,
             Err(e) => {
                 // Restore bounds before propagating unexpected errors.
@@ -178,10 +244,12 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
             }
         };
 
-        if let Some(sol) = result {
+        if let Some((sol, lp_basis)) = result {
             iterations += sol.iterations;
             let bound = strengthen(sol.objective);
-            let prune = incumbent.as_ref().is_some_and(|(best, _)| bound >= *best - 1e-9);
+            let prune = incumbent
+                .as_ref()
+                .is_some_and(|(best, _)| bound >= *best - 1e-9);
             if !prune {
                 // Fractionality check over integer variables.
                 let mut branch_var: Option<(usize, f64)> = None; // (var, frac distance)
@@ -200,7 +268,10 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                     None => {
                         // Integral LP optimum: new incumbent.
                         let obj = node_model.objective_value(&sol.values);
-                        if incumbent.as_ref().is_none_or(|(best, _)| obj < *best - 1e-9) {
+                        if incumbent
+                            .as_ref()
+                            .is_none_or(|(best, _)| obj < *best - 1e-9)
+                        {
                             incumbent = Some((obj, sol.values.clone()));
                         }
                     }
@@ -209,7 +280,10 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                         if let Some(rounded) = round_heuristic(&node_model, &sol.values, &int_vars)
                         {
                             let obj = node_model.objective_value(&rounded);
-                            if incumbent.as_ref().is_none_or(|(best, _)| obj < *best - 1e-9) {
+                            if incumbent
+                                .as_ref()
+                                .is_none_or(|(best, _)| obj < *best - 1e-9)
+                            {
                                 incumbent = Some((obj, rounded));
                             }
                         }
@@ -219,10 +293,27 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
                         down.push((j, lo, x.floor()));
                         let mut up = node.changes.clone();
                         up.push((j, x.ceil(), hi));
+                        let child_basis = if opts.warm_basis {
+                            lp_basis.map(Arc::new)
+                        } else {
+                            None
+                        };
                         seq += 1;
-                        open.push(Node { bound, depth: node.depth + 1, seq, changes: down });
+                        open.push(Node {
+                            bound,
+                            depth: node.depth + 1,
+                            seq,
+                            changes: down,
+                            basis: child_basis.clone(),
+                        });
                         seq += 1;
-                        open.push(Node { bound, depth: node.depth + 1, seq, changes: up });
+                        open.push(Node {
+                            bound,
+                            depth: node.depth + 1,
+                            seq,
+                            changes: up,
+                            basis: child_basis,
+                        });
                     }
                 }
             }
@@ -231,8 +322,7 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
         restore(&mut node_model, &root_model, &node.changes);
     }
 
-    let best_open_bound =
-        open.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
+    let best_open_bound = open.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
 
     match incumbent {
         Some((obj, values)) => {
@@ -247,14 +337,23 @@ pub(crate) fn solve(model: &Model, opts: &MipOptions) -> Result<Solution> {
             } else {
                 SolveStatus::Feasible
             };
-            let gap = if status == SolveStatus::Optimal { 0.0 } else { gap };
-            Ok(finish(values, status, gap, iterations, nodes_explored))
+            let gap = if status == SolveStatus::Optimal {
+                0.0
+            } else {
+                gap
+            };
+            Ok((
+                finish(values, status, gap, iterations, nodes_explored),
+                root_basis_out,
+            ))
         }
         None => {
             if proven {
                 Err(SolverError::Infeasible)
             } else {
-                Err(SolverError::NodeLimitNoSolution { nodes: nodes_explored })
+                Err(SolverError::NodeLimitNoSolution {
+                    nodes: nodes_explored,
+                })
             }
         }
     }
@@ -278,7 +377,10 @@ fn round_heuristic(model: &Model, values: &[f64], int_vars: &[usize]) -> Option<
             let v = &model.vars[j];
             rounded[j] = f(rounded[j]).clamp(v.lo, v.hi);
         }
-        model.check_feasible(&rounded, crate::FEAS_TOL).ok().map(|_| rounded)
+        model
+            .check_feasible(&rounded, crate::FEAS_TOL)
+            .ok()
+            .map(|_| rounded)
     };
     snap(f64::round).or_else(|| snap(|x| (x - crate::INT_TOL).ceil()))
 }
@@ -362,8 +464,9 @@ mod tests {
     #[test]
     fn warm_start_is_used() {
         let mut m = Model::new(Sense::Minimize);
-        let vars: Vec<_> =
-            (0..6).map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0)).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0))
+            .collect();
         // Each consecutive pair must have one selected.
         for w in vars.windows(2) {
             m.add_constr(vec![(w[0], 1.0), (w[1], 1.0)], Cmp::Ge, 1.0);
@@ -390,7 +493,10 @@ mod tests {
             .collect();
         let terms: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
         m.add_constr(terms, Cmp::Le, total / 2.0 - 0.5);
-        let opts = MipOptions { max_nodes: 1, ..Default::default() };
+        let opts = MipOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
         match m.solve_mip_with(&opts) {
             Ok(s) => {
                 // Root produced an incumbent via rounding; gap may be positive.
@@ -436,16 +542,29 @@ mod tests {
     #[test]
     fn presolve_toggle_agrees() {
         let mut m = Model::new(Sense::Minimize);
-        let vars: Vec<_> =
-            (0..8).map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0))
+            .collect();
         for i in 0..8usize {
-            let terms =
-                vec![(vars[i], 1.0), (vars[(i + 2) % 8], 1.0), (vars[(i + 5) % 8], 1.0)];
+            let terms = vec![
+                (vars[i], 1.0),
+                (vars[(i + 2) % 8], 1.0),
+                (vars[(i + 5) % 8], 1.0),
+            ];
             m.add_constr(terms, Cmp::Ge, 1.0);
         }
-        let with = m.solve_mip_with(&MipOptions { presolve: true, ..Default::default() }).unwrap();
-        let without =
-            m.solve_mip_with(&MipOptions { presolve: false, ..Default::default() }).unwrap();
+        let with = m
+            .solve_mip_with(&MipOptions {
+                presolve: true,
+                ..Default::default()
+            })
+            .unwrap();
+        let without = m
+            .solve_mip_with(&MipOptions {
+                presolve: false,
+                ..Default::default()
+            })
+            .unwrap();
         assert!((with.objective - without.objective).abs() < 1e-6);
     }
 }

@@ -49,7 +49,10 @@ impl fmt::Display for SolverError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolverError::InvalidVar { var, var_count } => {
-                write!(f, "variable index {var} out of range (model has {var_count} variables)")
+                write!(
+                    f,
+                    "variable index {var} out of range (model has {var_count} variables)"
+                )
             }
             SolverError::InvalidBounds { name, lo, hi } => {
                 write!(f, "invalid bounds [{lo}, {hi}] on variable {name}")
@@ -60,10 +63,16 @@ impl fmt::Display for SolverError {
             SolverError::Infeasible => write!(f, "problem is infeasible"),
             SolverError::Unbounded => write!(f, "objective is unbounded"),
             SolverError::IterationLimit { iterations } => {
-                write!(f, "simplex iteration limit reached after {iterations} iterations")
+                write!(
+                    f,
+                    "simplex iteration limit reached after {iterations} iterations"
+                )
             }
             SolverError::NodeLimitNoSolution { nodes } => {
-                write!(f, "node limit reached after {nodes} nodes with no feasible solution found")
+                write!(
+                    f,
+                    "node limit reached after {nodes} nodes with no feasible solution found"
+                )
             }
         }
     }

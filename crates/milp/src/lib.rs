@@ -49,10 +49,11 @@ mod presolve;
 mod simplex;
 mod solution;
 
-pub use branch_bound::MipOptions;
+pub use branch_bound::{MipOptions, MipWarmStart};
 pub use error::SolverError;
 pub use model::{Cmp, ConstrId, Model, Sense, VarId, VarKind};
-pub use solution::{SolveStatus, Solution};
+pub use simplex::LpWarmStart;
+pub use solution::{Solution, SolveStatus};
 
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, SolverError>;

@@ -1,4 +1,5 @@
-use crate::branch_bound::{self, MipOptions};
+use crate::branch_bound::{self, MipOptions, MipWarmStart};
+use crate::simplex::LpWarmStart;
 use crate::{simplex, Result, Solution, SolverError};
 
 /// Identifier of a decision variable in a [`Model`].
@@ -90,7 +91,12 @@ pub struct Model {
 impl Model {
     /// Creates an empty model with the given optimization sense.
     pub fn new(sense: Sense) -> Self {
-        Self { sense, vars: Vec::new(), constrs: Vec::new(), initial: None }
+        Self {
+            sense,
+            vars: Vec::new(),
+            constrs: Vec::new(),
+            initial: None,
+        }
     }
 
     /// Adds a variable and returns its id.
@@ -102,8 +108,16 @@ impl Model {
     ///
     /// Panics on NaN data or `lo > hi`; use [`Model::try_add_var`] for a
     /// fallible variant.
-    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lo: f64, hi: f64, cost: f64) -> VarId {
-        self.try_add_var(name, kind, lo, hi, cost).expect("invalid variable")
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lo: f64,
+        hi: f64,
+        cost: f64,
+    ) -> VarId {
+        self.try_add_var(name, kind, lo, hi, cost)
+            .expect("invalid variable")
     }
 
     /// Fallible variant of [`Model::add_var`].
@@ -131,7 +145,13 @@ impl Model {
         }
         let integer = !matches!(kind, VarKind::Continuous);
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(Variable { name, lo, hi, cost, integer });
+        self.vars.push(Variable {
+            name,
+            lo,
+            hi,
+            cost,
+            integer,
+        });
         Ok(id)
     }
 
@@ -145,11 +165,17 @@ impl Model {
     /// Panics on unknown variables or non-finite data; use
     /// [`Model::try_add_constr`] for a fallible variant.
     pub fn add_constr(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) -> ConstrId {
-        self.try_add_constr(terms, cmp, rhs).expect("invalid constraint")
+        self.try_add_constr(terms, cmp, rhs)
+            .expect("invalid constraint")
     }
 
     /// Fallible variant of [`Model::add_constr`].
-    pub fn try_add_constr(&mut self, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) -> Result<ConstrId> {
+    pub fn try_add_constr(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    ) -> Result<ConstrId> {
         let row_idx = self.constrs.len();
         if !rhs.is_finite() {
             return Err(SolverError::InvalidCoefficient {
@@ -160,11 +186,17 @@ impl Model {
         let mut dense: Vec<(u32, f64)> = Vec::with_capacity(terms.len());
         for (v, a) in terms {
             if v.index() >= self.vars.len() {
-                return Err(SolverError::InvalidVar { var: v.index(), var_count: self.vars.len() });
+                return Err(SolverError::InvalidVar {
+                    var: v.index(),
+                    var_count: self.vars.len(),
+                });
             }
             if !a.is_finite() {
                 return Err(SolverError::InvalidCoefficient {
-                    context: format!("constraint {row_idx}, variable {}", self.vars[v.index()].name),
+                    context: format!(
+                        "constraint {row_idx}, variable {}",
+                        self.vars[v.index()].name
+                    ),
                     value: a,
                 });
             }
@@ -181,7 +213,11 @@ impl Model {
         }
         merged.retain(|&(_, a)| a != 0.0);
         let id = ConstrId(row_idx as u32);
-        self.constrs.push(Constraint { terms: merged, cmp, rhs });
+        self.constrs.push(Constraint {
+            terms: merged,
+            cmp,
+            rhs,
+        });
         Ok(id)
     }
 
@@ -196,7 +232,10 @@ impl Model {
     ///
     /// Panics if `lo > hi` or either bound is NaN.
     pub fn set_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
-        assert!(!lo.is_nan() && !hi.is_nan() && lo <= hi, "invalid bounds [{lo}, {hi}]");
+        assert!(
+            !lo.is_nan() && !hi.is_nan() && lo <= hi,
+            "invalid bounds [{lo}, {hi}]"
+        );
         let var = &mut self.vars[v.index()];
         var.lo = lo;
         var.hi = hi;
@@ -206,6 +245,18 @@ impl Model {
     /// the paper, where already-installed devices have `x_e = 1`).
     pub fn fix_var(&mut self, v: VarId, value: f64) {
         self.set_bounds(v, value, value);
+    }
+
+    /// Overwrites the right-hand side of constraint `c` — the perturbation
+    /// behind warm-started sweep chains (e.g. the coverage target of the
+    /// paper's `PPM(k)` program moving along a `k` grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rhs` is not finite.
+    pub fn set_rhs(&mut self, c: ConstrId, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite, got {rhs}");
+        self.constrs[c.index()].rhs = rhs;
     }
 
     /// Supplies a warm-start solution used as the initial incumbent by
@@ -240,6 +291,16 @@ impl Model {
         VarId(i as u32)
     }
 
+    /// The [`ConstrId`] at dense index `i` (insertion order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn constr(&self, i: usize) -> ConstrId {
+        assert!(i < self.constrs.len(), "constraint index {i} out of range");
+        ConstrId(i as u32)
+    }
+
     /// Ids of all integer/binary variables.
     pub fn integer_vars(&self) -> Vec<VarId> {
         self.vars
@@ -259,12 +320,19 @@ impl Model {
     /// `tol`; returns a description of the first violation found.
     pub fn check_feasible(&self, values: &[f64], tol: f64) -> std::result::Result<(), String> {
         if values.len() != self.vars.len() {
-            return Err(format!("expected {} values, got {}", self.vars.len(), values.len()));
+            return Err(format!(
+                "expected {} values, got {}",
+                self.vars.len(),
+                values.len()
+            ));
         }
         for (i, v) in self.vars.iter().enumerate() {
             let x = values[i];
             if x < v.lo - tol || x > v.hi + tol {
-                return Err(format!("variable {} = {x} outside [{}, {}]", v.name, v.lo, v.hi));
+                return Err(format!(
+                    "variable {} = {x} outside [{}, {}]",
+                    v.name, v.lo, v.hi
+                ));
             }
             if v.integer && (x - x.round()).abs() > crate::INT_TOL {
                 return Err(format!("variable {} = {x} not integral", v.name));
@@ -289,14 +357,48 @@ impl Model {
         simplex::solve(self)
     }
 
+    /// Solves the continuous relaxation, optionally warm-starting from the
+    /// basis of a previous solve of the *same-structured* model (see
+    /// [`LpWarmStart`] for the contract), and returns the solution plus a
+    /// basis snapshot for the next re-solve.
+    ///
+    /// With `None` (or a shape-incompatible snapshot) this is a cold
+    /// [`Model::solve_lp`] that additionally captures the basis. After
+    /// bound or right-hand-side perturbations the warm path re-optimizes
+    /// with the dual simplex — typically a handful of pivots instead of a
+    /// full two-phase solve.
+    pub fn solve_lp_warm(
+        &self,
+        warm: Option<&LpWarmStart>,
+    ) -> Result<(Solution, Option<LpWarmStart>)> {
+        simplex::solve_warm(self, warm)
+    }
+
     /// Solves the mixed-integer program with default options.
     pub fn solve_mip(&self) -> Result<Solution> {
-        branch_bound::solve(self, &MipOptions::default())
+        branch_bound::solve(self, &MipOptions::default(), None).map(|(s, _)| s)
     }
 
     /// Solves the mixed-integer program with explicit options.
     pub fn solve_mip_with(&self, opts: &MipOptions) -> Result<Solution> {
-        branch_bound::solve(self, opts)
+        branch_bound::solve(self, opts, None).map(|(s, _)| s)
+    }
+
+    /// Solves the mixed-integer program, warm-starting the root LP from a
+    /// previous [`Model::solve_mip_warm`] of a perturbed sibling model and
+    /// returning the root basis for the next link of the chain.
+    ///
+    /// This is the cross-sweep-point reuse layer: a `k`-grid of `PPM(k)`
+    /// programs differs only in one right-hand side, so each point's root
+    /// relaxation starts from the previous point's optimal basis. Within a
+    /// single call, enable [`MipOptions::warm_basis`] to also reuse parent
+    /// bases across branch-and-bound nodes.
+    pub fn solve_mip_warm(
+        &self,
+        opts: &MipOptions,
+        warm: Option<&MipWarmStart>,
+    ) -> Result<(Solution, Option<MipWarmStart>)> {
+        branch_bound::solve(self, opts, warm)
     }
 }
 
@@ -324,8 +426,12 @@ mod tests {
     #[test]
     fn rejects_bad_bounds() {
         let mut m = Model::new(Sense::Minimize);
-        assert!(m.try_add_var("x", VarKind::Continuous, 2.0, 1.0, 0.0).is_err());
-        assert!(m.try_add_var("x", VarKind::Continuous, f64::NAN, 1.0, 0.0).is_err());
+        assert!(m
+            .try_add_var("x", VarKind::Continuous, 2.0, 1.0, 0.0)
+            .is_err());
+        assert!(m
+            .try_add_var("x", VarKind::Continuous, f64::NAN, 1.0, 0.0)
+            .is_err());
         assert!(m
             .try_add_var("x", VarKind::Continuous, f64::INFINITY, f64::INFINITY, 0.0)
             .is_err());
@@ -344,7 +450,9 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
         assert!(m.try_add_constr(vec![(x, f64::NAN)], Cmp::Le, 1.0).is_err());
-        assert!(m.try_add_constr(vec![(x, 1.0)], Cmp::Le, f64::INFINITY).is_err());
+        assert!(m
+            .try_add_constr(vec![(x, 1.0)], Cmp::Le, f64::INFINITY)
+            .is_err());
     }
 
     #[test]

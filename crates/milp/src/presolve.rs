@@ -46,7 +46,11 @@ impl Presolved {
 
     /// Projects original-space values down to the reduced space.
     pub fn reduce(&self, full: &[f64]) -> Vec<f64> {
-        let kept = self.map.iter().filter(|m| matches!(m, VarMap::Kept(_))).count();
+        let kept = self
+            .map
+            .iter()
+            .filter(|m| matches!(m, VarMap::Kept(_)))
+            .count();
         let mut out = vec![0.0; kept];
         for (i, m) in self.map.iter().enumerate() {
             if let VarMap::Kept(j) = *m {
@@ -116,8 +120,11 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
             if !live_rows[r] {
                 continue;
             }
-            let (terms, cmp, rhs) =
-                (m.constrs[r].terms.clone(), m.constrs[r].cmp, m.constrs[r].rhs);
+            let (terms, cmp, rhs) = (
+                m.constrs[r].terms.clone(),
+                m.constrs[r].cmp,
+                m.constrs[r].rhs,
+            );
 
             if terms.is_empty() {
                 let ok = match cmp {
@@ -141,13 +148,21 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
                 let bound = rhs / a;
                 match (cmp, a > 0.0) {
                     (Cmp::Le, true) | (Cmp::Ge, false) => {
-                        let b = if var.integer { (bound + crate::INT_TOL).floor() } else { bound };
+                        let b = if var.integer {
+                            (bound + crate::INT_TOL).floor()
+                        } else {
+                            bound
+                        };
                         if b < var.hi {
                             var.hi = b;
                         }
                     }
                     (Cmp::Ge, true) | (Cmp::Le, false) => {
-                        let b = if var.integer { (bound - crate::INT_TOL).ceil() } else { bound };
+                        let b = if var.integer {
+                            (bound - crate::INT_TOL).ceil()
+                        } else {
+                            bound
+                        };
                         if b > var.lo {
                             var.lo = b;
                         }
@@ -242,7 +257,10 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
         reduced.add_constr(terms, c.cmp, c.rhs);
     }
 
-    Ok(Presolved { model: reduced, map })
+    Ok(Presolved {
+        model: reduced,
+        map,
+    })
 }
 
 #[cfg(test)]

@@ -27,7 +27,62 @@
 //!   partial pivoting) to bound error accumulation from eta updates.
 
 use crate::model::{Cmp, Model};
-use crate::{Result, SolveStatus, Solution, SolverError, FEAS_TOL};
+use crate::{Result, Solution, SolveStatus, SolverError, FEAS_TOL};
+
+/// A reusable simplex basis snapshot: the optimal basis of a previous
+/// [`Model::solve_lp`]-family call, fed back through
+/// [`Model::solve_lp_warm`] to re-optimize after a *perturbation* of the
+/// same model (changed variable bounds, right-hand sides, or objective
+/// coefficients).
+///
+/// The snapshot is tied to the model's **structure**: the constraint
+/// matrix coefficients and the variable/constraint counts must be
+/// unchanged between capture and reuse (bounds, RHS, and costs are free to
+/// move — that is the point). A fingerprint of the coefficient matrix is
+/// checked on reuse, so a snapshot from a structurally different model is
+/// silently ignored (cold solve) rather than producing garbage arithmetic
+/// on a stale basis inverse.
+#[derive(Debug, Clone)]
+pub struct LpWarmStart {
+    /// Structural variable count of the originating model.
+    n: usize,
+    /// Constraint count of the originating model.
+    m: usize,
+    /// Hash of the originating model's constraint coefficients
+    /// ([`structure_fingerprint`]).
+    fingerprint: u64,
+    /// Variable states over structurals + slacks (artificials excluded).
+    state: Vec<VState>,
+    /// Basic column per row.
+    basic: Vec<u32>,
+    /// Dense basis inverse (column-major, `m × m`).
+    binv: Vec<f64>,
+    /// Eta updates accumulated since the last refactorization, carried so
+    /// long warm-start chains still refactorize periodically.
+    etas: usize,
+}
+
+/// FNV-1a over the constraint matrix structure: rows in order, each term's
+/// variable index and coefficient bits. Bounds, costs, and right-hand
+/// sides are deliberately excluded — perturbing them is what warm starts
+/// are *for*; changing a coefficient invalidates the stored basis inverse.
+fn structure_fingerprint(model: &Model) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for c in &model.constrs {
+        eat(c.terms.len() as u64);
+        for &(v, a) in &c.terms {
+            eat(v as u64);
+            eat(a.to_bits());
+        }
+    }
+    h
+}
 
 /// Reduced-cost tolerance for optimality.
 const COST_TOL: f64 = 1e-9;
@@ -140,7 +195,9 @@ impl Tableau {
             }
             if best_v < 1e-12 {
                 // Singular basis: numerical breakdown.
-                return Err(SolverError::IterationLimit { iterations: self.iterations });
+                return Err(SolverError::IterationLimit {
+                    iterations: self.iterations,
+                });
             }
             if best_r != piv {
                 for c in 0..m {
@@ -237,7 +294,11 @@ impl Tableau {
     fn objective(&self, cost: &[f64]) -> f64 {
         let mut z = 0.0;
         for j in 0..self.ncols {
-            let v = if self.state[j] == VState::Basic { continue } else { self.nonbasic_value(j) };
+            let v = if self.state[j] == VState::Basic {
+                continue;
+            } else {
+                self.nonbasic_value(j)
+            };
             z += cost[j] * v;
         }
         for (r, &c) in self.basic.iter().enumerate() {
@@ -284,7 +345,8 @@ impl Tableau {
         // Candidate list: the most attractive columns, sized so minor
         // iterations stay cheap but a refill is rare.
         let k = (self.ncols / 20).clamp(10, 100);
-        eligible.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        eligible
+            .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         eligible.truncate(k);
         candidates.extend(eligible.iter().map(|&(_, j, _)| j));
         let (_, j, d) = eligible[0];
@@ -293,7 +355,12 @@ impl Tableau {
 
     /// Minor pricing pass: best eligible column among `candidates` only,
     /// re-pricing them under the current duals.
-    fn price_candidates(&self, cost: &[f64], y: &[f64], candidates: &[u32]) -> Option<(usize, f64)> {
+    fn price_candidates(
+        &self,
+        cost: &[f64],
+        y: &[f64],
+        candidates: &[u32],
+    ) -> Option<(usize, f64)> {
         let mut best: Option<(f64, usize, f64)> = None;
         for &j32 in candidates {
             let j = j32 as usize;
@@ -333,7 +400,9 @@ impl Tableau {
 
         loop {
             if self.iterations >= iter_limit {
-                return Err(SolverError::IterationLimit { iterations: self.iterations });
+                return Err(SolverError::IterationLimit {
+                    iterations: self.iterations,
+                });
             }
             self.iterations += 1;
             if self.etas_since_refresh >= REFRESH_EVERY {
@@ -411,7 +480,11 @@ impl Tableau {
             // what corrupts the basis inverse on the ~1000-row instances of
             // the paper's Figure 8.
             let own_range = self.hi[j] - self.lo[j]; // may be +inf
-            let mut t_max = if own_range.is_finite() { own_range } else { f64::INFINITY };
+            let mut t_max = if own_range.is_finite() {
+                own_range
+            } else {
+                f64::INFINITY
+            };
             let row_limit = |t: &mut f64, r: usize, rate: f64, xb: f64| -> Option<(f64, bool)> {
                 let bcol = self.basic[r] as usize;
                 if rate > PIVOT_TOL {
@@ -490,8 +563,11 @@ impl Tableau {
                         }
                     }
                     self.xb[r] = enter_val;
-                    self.state[leaving] =
-                        if hits_upper { VState::AtUpper } else { VState::AtLower };
+                    self.state[leaving] = if hits_upper {
+                        VState::AtUpper
+                    } else {
+                        VState::AtLower
+                    };
                     self.state[j] = VState::Basic;
                     self.basic[r] = j as u32;
                     // Incremental dual update: y' = y + (d_j / w_r) e_r'B⁻¹,
@@ -523,6 +599,178 @@ impl Tableau {
             } else {
                 non_improving += 1;
             }
+        }
+    }
+
+    /// Snapshots the current basis for warm-starting a perturbed re-solve.
+    /// Returns `None` when an artificial column is still basic (rare:
+    /// degenerate phase-1 leftovers) — such a basis is not expressible over
+    /// structurals + slacks alone.
+    fn capture(&self, n: usize, fingerprint: u64) -> Option<LpWarmStart> {
+        let nm = n + self.m;
+        if self.basic.iter().any(|&c| (c as usize) >= nm) {
+            return None;
+        }
+        Some(LpWarmStart {
+            n,
+            m: self.m,
+            fingerprint,
+            state: self.state[..nm].to_vec(),
+            basic: self.basic.clone(),
+            binv: self.binv.clone(),
+            etas: self.etas_since_refresh,
+        })
+    }
+
+    /// Dual simplex: starting from a dual-feasible basis whose basic
+    /// values may violate their bounds (the state right after a bound or
+    /// RHS perturbation), pivots until primal feasibility is restored.
+    ///
+    /// Uses the bounded-variable dual ratio test with bound flips. The
+    /// duals are recomputed exactly every iteration (cheap: `c_B` is
+    /// sparse in the paper's programs, see [`Tableau::btran_duals`]).
+    /// Returns `Err(Infeasible)` when a violated row admits no entering
+    /// column — the standard dual-simplex infeasibility certificate.
+    fn dual_reoptimize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
+        let m = self.m;
+        // A healthy warm start repairs feasibility in a handful of pivots
+        // (the perturbation touched one bound or one right-hand side), so
+        // the dual phase gets a budget proportional to the basis size, far
+        // below the global limit: a degenerate stall is cheaper to abandon
+        // to the cold fallback than to grind through.
+        let budget = iter_limit.min(self.iterations + 4 * m + 100);
+        loop {
+            if self.iterations >= budget {
+                return Err(SolverError::IterationLimit {
+                    iterations: self.iterations,
+                });
+            }
+            self.iterations += 1;
+            if self.etas_since_refresh >= REFRESH_EVERY {
+                self.refactorize()?;
+            }
+
+            // Leaving row: the basic variable with the largest bound
+            // violation; `below` records which bound it will exit at.
+            let mut leave: Option<(usize, f64, bool)> = None;
+            for r in 0..m {
+                let j = self.basic[r] as usize;
+                if self.xb[r] < self.lo[j] - FEAS_TOL {
+                    let v = self.lo[j] - self.xb[r];
+                    if leave.is_none_or(|(_, bv, _)| v > bv) {
+                        leave = Some((r, v, true));
+                    }
+                } else if self.xb[r] > self.hi[j] + FEAS_TOL {
+                    let v = self.xb[r] - self.hi[j];
+                    if leave.is_none_or(|(_, bv, _)| v > bv) {
+                        leave = Some((r, v, false));
+                    }
+                }
+            }
+            let Some((r, _, below)) = leave else {
+                return Ok(()); // primal feasible
+            };
+
+            let rho = self.binv_row(r);
+            let y = self.btran_duals(cost);
+
+            // Entering column: bounded dual ratio test. The leaving basic
+            // moves toward its violated bound; xb[r] changes by
+            // `-alpha_rj · Δx_j`, so eligibility is a sign condition on
+            // `alpha_rj` and the entering variable's resting state.
+            let mut best: Option<(f64, f64, usize)> = None; // (ratio, |alpha|, col)
+            for j in 0..self.ncols {
+                if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(row, a) in &self.cols[j] {
+                    alpha += rho[row as usize] * a;
+                }
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                // Required movement direction of the entering variable.
+                let dx_sign = if below {
+                    -alpha.signum()
+                } else {
+                    alpha.signum()
+                };
+                let ok = match self.state[j] {
+                    VState::AtLower => dx_sign > 0.0,
+                    VState::AtUpper => dx_sign < 0.0,
+                    VState::FreeAtZero => true,
+                    VState::Basic => unreachable!(),
+                };
+                if !ok {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost, &y);
+                let ratio = d.abs() / alpha.abs();
+                let better = match best {
+                    None => true,
+                    Some((br, ba, _)) => {
+                        ratio < br - 1e-12 || ((ratio - br).abs() <= 1e-12 && alpha.abs() > ba)
+                    }
+                };
+                if better {
+                    best = Some((ratio, alpha.abs(), j));
+                }
+            }
+            let Some((_, _, j)) = best else {
+                // No direction can push the violated basic toward its
+                // bound: the perturbed LP is infeasible.
+                return Err(SolverError::Infeasible);
+            };
+
+            let w = self.ftran(j);
+            let wr = w[r];
+            if wr.abs() < PIVOT_TOL {
+                // The FTRAN disagrees with the row estimate — numerically
+                // dangerous; rebuild the inverse and retry the iteration.
+                self.refactorize()?;
+                continue;
+            }
+            let leaving = self.basic[r] as usize;
+            let target = if below {
+                self.lo[leaving]
+            } else {
+                self.hi[leaving]
+            };
+            let dx = (self.xb[r] - target) / wr;
+
+            // Bound flip: the entering variable would overshoot its own
+            // opposite bound before the leaving one reaches `target`. Move
+            // it bound-to-bound and pick a new pivot for this row.
+            let range = self.hi[j] - self.lo[j];
+            if range.is_finite() && dx.abs() > range + 1e-12 {
+                let step = range.copysign(dx);
+                for i in 0..m {
+                    self.xb[i] -= w[i] * step;
+                }
+                self.state[j] = match self.state[j] {
+                    VState::AtLower => VState::AtUpper,
+                    VState::AtUpper => VState::AtLower,
+                    s => s,
+                };
+                continue;
+            }
+
+            let enter_val = self.nonbasic_value(j) + dx;
+            for i in 0..m {
+                if i != r {
+                    self.xb[i] -= w[i] * dx;
+                }
+            }
+            self.xb[r] = enter_val;
+            self.state[leaving] = if below {
+                VState::AtLower
+            } else {
+                VState::AtUpper
+            };
+            self.state[j] = VState::Basic;
+            self.basic[r] = j as u32;
+            self.update_binv(r, &w)?;
         }
     }
 
@@ -595,7 +843,11 @@ fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
     let mut state = Vec::with_capacity(n + m);
     for j in 0..n {
         let s = if lo[j].is_finite() && hi[j].is_finite() {
-            if hi[j].abs() < lo[j].abs() { VState::AtUpper } else { VState::AtLower }
+            if hi[j].abs() < lo[j].abs() {
+                VState::AtUpper
+            } else {
+                VState::AtLower
+            }
         } else if lo[j].is_finite() {
             VState::AtLower
         } else if hi[j].is_finite() {
@@ -639,8 +891,16 @@ fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
         } else {
             // Slack rests at its nearest bound; an artificial will absorb
             // the remaining residual with a positive value.
-            let srest = if need < lo[slack] { lo[slack] } else { hi[slack] };
-            state.push(if srest == lo[slack] { VState::AtLower } else { VState::AtUpper });
+            let srest = if need < lo[slack] {
+                lo[slack]
+            } else {
+                hi[slack]
+            };
+            state.push(if srest == lo[slack] {
+                VState::AtLower
+            } else {
+                VState::AtUpper
+            });
             needs_artificial.push((r, need - srest));
         }
     }
@@ -686,40 +946,185 @@ fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
     ))
 }
 
-/// Solves the continuous relaxation of `model`.
-pub(crate) fn solve(model: &Model) -> Result<Solution> {
-    // Degenerate case: no constraints — every variable sits at its best bound.
-    if model.constrs.is_empty() {
-        let minimize = matches!(model.sense, crate::Sense::Minimize);
-        let mut values = Vec::with_capacity(model.vars.len());
-        for v in &model.vars {
-            let c = if minimize { v.cost } else { -v.cost };
-            let x = if c > 0.0 {
-                if v.lo.is_finite() { v.lo } else { return Err(SolverError::Unbounded) }
-            } else if c < 0.0 {
-                if v.hi.is_finite() { v.hi } else { return Err(SolverError::Unbounded) }
-            } else if v.lo.is_finite() {
-                v.lo
-            } else if v.hi.is_finite() {
-                v.hi
-            } else {
-                0.0
-            };
-            values.push(x);
+/// Rebuilds a [`Tableau`] around a warm-start basis: the standard-form
+/// columns are reconstructed from the (possibly perturbed) model, the
+/// basis and its inverse come from the snapshot, and no artificials are
+/// installed — any primal infeasibility is left for the dual simplex.
+/// Returns `None` when the snapshot's shape does not match the model.
+fn build_from_warm(model: &Model, w: &LpWarmStart, fingerprint: u64) -> Option<Tableau> {
+    let n = model.vars.len();
+    let m = model.constrs.len();
+    if w.n != n || w.m != m || w.state.len() != n + m || w.fingerprint != fingerprint {
+        return None;
+    }
+    let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
+    let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
+    let mut rhs = vec![0.0; m];
+    for (r, c) in model.constrs.iter().enumerate() {
+        rhs[r] = c.rhs;
+        for &(v, a) in &c.terms {
+            cols[v as usize].push((r as u32, a));
         }
-        let objective = model.objective_value(&values);
-        return Ok(Solution {
-            values,
-            objective,
-            status: SolveStatus::Optimal,
-            gap: 0.0,
-            iterations: 0,
-            nodes: 1,
-        });
+    }
+    for (r, c) in model.constrs.iter().enumerate() {
+        cols.push(vec![(r as u32, 1.0)]);
+        match c.cmp {
+            Cmp::Le => {
+                lo.push(0.0);
+                hi.push(f64::INFINITY);
+            }
+            Cmp::Ge => {
+                lo.push(f64::NEG_INFINITY);
+                hi.push(0.0);
+            }
+            Cmp::Eq => {
+                lo.push(0.0);
+                hi.push(0.0);
+            }
+        }
     }
 
-    let (mut t, artificials) = build(model)?;
+    // Repair nonbasic resting states against the (possibly moved) bounds:
+    // a variable parked at a bound that no longer exists must rest
+    // somewhere expressible.
+    let mut state = w.state.clone();
+    for j in 0..n + m {
+        if state[j] == VState::Basic {
+            continue;
+        }
+        state[j] = match state[j] {
+            VState::AtLower if lo[j].is_finite() => VState::AtLower,
+            VState::AtUpper if hi[j].is_finite() => VState::AtUpper,
+            _ => {
+                if lo[j].is_finite() {
+                    VState::AtLower
+                } else if hi[j].is_finite() {
+                    VState::AtUpper
+                } else {
+                    VState::FreeAtZero
+                }
+            }
+        };
+    }
+
+    let mut t = Tableau {
+        m,
+        ncols: n + m,
+        cols,
+        lo,
+        hi,
+        rhs,
+        state,
+        basic: w.basic.clone(),
+        xb: vec![0.0; m],
+        binv: w.binv.clone(),
+        iterations: 0,
+        etas_since_refresh: w.etas,
+    };
+    t.recompute_basics();
+    Some(t)
+}
+
+/// Extracts the structural solution from an optimal tableau.
+fn extract(model: &Model, t: &Tableau) -> Solution {
     let n = model.vars.len();
+    let mut values = vec![0.0; n];
+    for j in 0..n {
+        values[j] = match t.state[j] {
+            VState::Basic => 0.0, // filled below
+            _ => t.nonbasic_value(j),
+        };
+    }
+    for (r, &c) in t.basic.iter().enumerate() {
+        if (c as usize) < n {
+            values[c as usize] = t.xb[r];
+        }
+    }
+    // Snap almost-at-bound values for cleanliness.
+    for (j, v) in values.iter_mut().enumerate() {
+        let (l, h) = (model.vars[j].lo, model.vars[j].hi);
+        if l.is_finite() && (*v - l).abs() < 1e-9 {
+            *v = l;
+        }
+        if h.is_finite() && (*v - h).abs() < 1e-9 {
+            *v = h;
+        }
+    }
+    let objective = model.objective_value(&values);
+    Solution {
+        values,
+        objective,
+        status: SolveStatus::Optimal,
+        gap: 0.0,
+        iterations: t.iterations,
+        nodes: 1,
+    }
+}
+
+/// Phase-2 cost vector of `model` over `ncols` tableau columns.
+fn phase2_costs(model: &Model, ncols: usize) -> Vec<f64> {
+    let minimize = matches!(model.sense, crate::Sense::Minimize);
+    let mut c2 = vec![0.0; ncols];
+    for (j, v) in model.vars.iter().enumerate() {
+        c2[j] = if minimize { v.cost } else { -v.cost };
+    }
+    c2
+}
+
+/// Solves the continuous relaxation of `model`, optionally warm-starting
+/// from a prior basis; returns the solution plus a basis snapshot for the
+/// next link of the chain.
+///
+/// The warm path installs the snapshot, runs the **dual simplex** to
+/// repair primal feasibility under the perturbed bounds / right-hand
+/// sides, then the primal simplex to certify optimality (and absorb any
+/// objective perturbation). Numerical trouble on the warm path falls back
+/// to the cold two-phase solve, so a stale-but-same-shape basis can cost
+/// time, never correctness — `Infeasible`/`Unbounded` are only returned
+/// off certified pivots.
+pub(crate) fn solve_warm(
+    model: &Model,
+    warm: Option<&LpWarmStart>,
+) -> Result<(Solution, Option<LpWarmStart>)> {
+    if model.constrs.is_empty() {
+        return solve(model).map(|s| (s, None));
+    }
+    let n = model.vars.len();
+    let fingerprint = structure_fingerprint(model);
+    if let Some(w) = warm {
+        if let Some(mut t) = build_from_warm(model, w, fingerprint) {
+            let iter_limit = 200 * (t.m + t.ncols) + 20_000;
+            let c2 = phase2_costs(model, t.ncols);
+            let attempt = (|| -> Result<()> {
+                if t.etas_since_refresh >= REFRESH_EVERY {
+                    t.refactorize()?;
+                }
+                t.dual_reoptimize(&c2, iter_limit)?;
+                t.optimize(&c2, iter_limit)
+            })();
+            match attempt {
+                Ok(()) => {
+                    let basis = t.capture(n, fingerprint);
+                    return Ok((extract(model, &t), basis));
+                }
+                // Certified outcomes are final; anything else (iteration
+                // limit, singular basis) retries cold below.
+                Err(SolverError::Infeasible) => return Err(SolverError::Infeasible),
+                Err(SolverError::Unbounded) => return Err(SolverError::Unbounded),
+                Err(_) => {}
+            }
+        }
+    }
+    let t = solve_cold(model)?;
+    let basis = t.capture(n, fingerprint);
+    Ok((extract(model, &t), basis))
+}
+
+/// The cold two-phase solve: build with artificials, phase 1 when needed,
+/// phase 2 to optimality. Returns the final tableau.
+fn solve_cold(model: &Model) -> Result<Tableau> {
+    let (mut t, artificials) = build(model)?;
     let iter_limit = 200 * (t.m + t.ncols) + 20_000;
 
     // Phase 1: minimize the artificial sum when any artificial is present.
@@ -750,46 +1155,53 @@ pub(crate) fn solve(model: &Model) -> Result<Solution> {
     }
 
     // Phase 2.
-    let minimize = matches!(model.sense, crate::Sense::Minimize);
-    let mut c2 = vec![0.0; t.ncols];
-    for (j, v) in model.vars.iter().enumerate() {
-        c2[j] = if minimize { v.cost } else { -v.cost };
-    }
+    let c2 = phase2_costs(model, t.ncols);
     t.optimize(&c2, iter_limit)?;
+    Ok(t)
+}
 
-    // Extract structural values.
-    let mut values = vec![0.0; n];
-    for j in 0..n {
-        values[j] = match t.state[j] {
-            VState::Basic => 0.0, // filled below
-            _ => t.nonbasic_value(j),
-        };
-    }
-    for (r, &c) in t.basic.iter().enumerate() {
-        if (c as usize) < n {
-            values[c as usize] = t.xb[r];
+/// Solves the continuous relaxation of `model`.
+pub(crate) fn solve(model: &Model) -> Result<Solution> {
+    // Degenerate case: no constraints — every variable sits at its best bound.
+    if model.constrs.is_empty() {
+        let minimize = matches!(model.sense, crate::Sense::Minimize);
+        let mut values = Vec::with_capacity(model.vars.len());
+        for v in &model.vars {
+            let c = if minimize { v.cost } else { -v.cost };
+            let x = if c > 0.0 {
+                if v.lo.is_finite() {
+                    v.lo
+                } else {
+                    return Err(SolverError::Unbounded);
+                }
+            } else if c < 0.0 {
+                if v.hi.is_finite() {
+                    v.hi
+                } else {
+                    return Err(SolverError::Unbounded);
+                }
+            } else if v.lo.is_finite() {
+                v.lo
+            } else if v.hi.is_finite() {
+                v.hi
+            } else {
+                0.0
+            };
+            values.push(x);
         }
-    }
-    // Snap almost-at-bound values for cleanliness.
-    for (j, v) in values.iter_mut().enumerate() {
-        let (l, h) = (model.vars[j].lo, model.vars[j].hi);
-        if l.is_finite() && (*v - l).abs() < 1e-9 {
-            *v = l;
-        }
-        if h.is_finite() && (*v - h).abs() < 1e-9 {
-            *v = h;
-        }
+        let objective = model.objective_value(&values);
+        return Ok(Solution {
+            values,
+            objective,
+            status: SolveStatus::Optimal,
+            gap: 0.0,
+            iterations: 0,
+            nodes: 1,
+        });
     }
 
-    let objective = model.objective_value(&values);
-    Ok(Solution {
-        values,
-        objective,
-        status: SolveStatus::Optimal,
-        gap: 0.0,
-        iterations: t.iterations,
-        nodes: 1,
-    })
+    let t = solve_cold(model)?;
+    Ok(extract(model, &t))
 }
 
 #[cfg(test)]
@@ -961,8 +1373,17 @@ mod tests {
         // A covering LP with 40 vars and 25 rows; verifies the solution via
         // the model's own feasibility checker.
         let mut m = Model::new(Sense::Minimize);
-        let vars: Vec<_> =
-            (0..40).map(|i| m.add_var(format!("x{i}"), VarKind::Continuous, 0.0, 1.0, 1.0 + (i % 3) as f64)).collect();
+        let vars: Vec<_> = (0..40)
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarKind::Continuous,
+                    0.0,
+                    1.0,
+                    1.0 + (i % 3) as f64,
+                )
+            })
+            .collect();
         for r in 0..25usize {
             let terms: Vec<_> = vars
                 .iter()

@@ -1,0 +1,177 @@
+//! Property tests for the warm-start layer: re-optimizing a perturbed
+//! model from the previous optimal basis must agree with a cold solve.
+//!
+//! Models are random bounded LPs (finite box bounds, so `Unbounded` is
+//! impossible and every disagreement is a real bug). A *chain* of random
+//! perturbations — right-hand sides, variable bounds, objective
+//! coefficients — is applied one link at a time; after every link the
+//! warm-started solve (basis carried along the chain) is compared against
+//! a from-scratch solve:
+//!
+//! * both must agree on feasibility, and
+//! * on feasible links the objectives must match within tolerance (the
+//!   optimal *vertex* may legitimately differ).
+//!
+//! A second property runs the same contract through the MIP layer:
+//! `solve_mip_warm` with node-level basis reuse against a cold
+//! `solve_mip`, over covering programs whose coverage target drifts.
+
+use milp::{Cmp, LpWarmStart, MipOptions, Model, Sense, SolverError, VarKind};
+use proptest::prelude::*;
+
+/// One chain link, decoded from a generated tuple: `kind % 3` selects
+/// rhs / bounds / cost, the remaining fields are reused per kind.
+#[derive(Debug, Clone, Copy)]
+struct Perturbation {
+    kind: u32,
+    slot: usize,
+    a: f64,
+    b: f64,
+}
+
+fn apply(model: &mut Model, p: &Perturbation, nvars: usize, nrows: usize) {
+    match p.kind % 3 {
+        0 => {
+            // Overwrite a row's right-hand side (scaled into a range that
+            // crosses feasible and infeasible territory).
+            let id = model.constr(p.slot % nrows);
+            model.set_rhs(id, p.a * 3.0 - 6.0);
+        }
+        1 => {
+            // Move the variable's box to [lo, lo + width].
+            let v = model.var(p.slot % nvars);
+            let lo = p.a.min(3.0);
+            model.set_bounds(v, lo, lo + p.b.max(0.25));
+        }
+        _ => {
+            let v = model.var(p.slot % nvars);
+            model.set_cost(v, p.a * 2.0 - 4.0);
+        }
+    }
+}
+
+/// A generated row: sparse terms, a comparison selector, and a rhs.
+type RawRow = (Vec<(usize, i32)>, u32, f64);
+
+/// Builds the random LP: box-bounded vars, small integer coefficients.
+fn build(vars: &[(f64, f64)], rows: &[RawRow]) -> Model {
+    let mut m = Model::new(Sense::Minimize);
+    let ids: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &(hi, cost))| m.add_var(format!("x{i}"), VarKind::Continuous, 0.0, hi, cost))
+        .collect();
+    for (terms, cmp, rhs) in rows {
+        let cmp = match cmp % 3 {
+            0 => Cmp::Le,
+            1 => Cmp::Ge,
+            _ => Cmp::Eq,
+        };
+        let terms: Vec<_> = terms
+            .iter()
+            .map(|&(v, a)| (ids[v % ids.len()], a as f64))
+            .collect();
+        m.add_constr(terms, cmp, *rhs);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Warm-started LP re-optimization along a random perturbation chain
+    /// agrees with cold solves on feasibility and objective.
+    #[test]
+    fn warm_lp_chain_matches_cold(
+        vars in proptest::collection::vec((1.0f64..=8.0, -4.0f64..=4.0), 2..=5),
+        rows in proptest::collection::vec(
+            (
+                proptest::collection::vec((0usize..8, -3i32..=3), 1..=4),
+                0u32..3,
+                -6.0f64..=12.0,
+            ),
+            1..=4,
+        ),
+        links in proptest::collection::vec((0u32..3, 0usize..8, 0.0f64..=4.0, 0.0f64..=4.0), 1..=6),
+    ) {
+        let mut model = build(&vars, &rows);
+        let nvars = vars.len();
+        let nrows = rows.len();
+        let mut basis: Option<LpWarmStart> = None;
+
+        // Seed the chain (cold solve through the warm API must agree with
+        // the plain LP entry point).
+        match model.solve_lp_warm(None) {
+            Ok((s, b)) => {
+                basis = b;
+                let cold = model.solve_lp().unwrap();
+                prop_assert!((s.objective - cold.objective).abs() < 1e-6);
+            }
+            Err(SolverError::Infeasible) => {}
+            Err(e) => panic!("unexpected error on the seed solve: {e}"),
+        }
+
+        for link in &links {
+            let p = Perturbation { kind: link.0, slot: link.1, a: link.2, b: link.3 };
+            apply(&mut model, &p, nvars, nrows);
+            let warm = model.solve_lp_warm(basis.as_ref());
+            let cold = model.solve_lp();
+            match (warm, cold) {
+                (Ok((w, b)), Ok(c)) => {
+                    prop_assert!(
+                        (w.objective - c.objective).abs() < 1e-6 * (1.0 + c.objective.abs()),
+                        "warm {} vs cold {} after {:?}",
+                        w.objective,
+                        c.objective,
+                        p
+                    );
+                    basis = b;
+                }
+                (Err(SolverError::Infeasible), Err(SolverError::Infeasible)) => {}
+                (w, c) => panic!("warm {w:?} disagrees with cold {c:?} after {p:?}"),
+            }
+        }
+    }
+
+    /// MIP chains: a binary covering program whose coverage right-hand
+    /// side drifts along the chain. Warm roots + node basis reuse must
+    /// reproduce the cold proven optimum at every link.
+    #[test]
+    fn warm_mip_chain_matches_cold(
+        nvars in 3usize..=6,
+        supports in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 1..=3), 2..=5),
+        targets in proptest::collection::vec(0.5f64..=3.0, 1..=4),
+    ) {
+        let mut m = Model::new(Sense::Minimize);
+        let ids: Vec<_> = (0..nvars)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0 + (i % 3) as f64))
+            .collect();
+        let mut row_ids = Vec::new();
+        for s in &supports {
+            let terms: Vec<_> = s.iter().map(|&v| (ids[v % nvars], 1.0)).collect();
+            row_ids.push(m.add_constr(terms, Cmp::Ge, 1.0));
+        }
+        let warm_opts = MipOptions { warm_basis: true, ..Default::default() };
+        let mut warm_state: Option<milp::MipWarmStart> = None;
+        for (i, &t) in targets.iter().enumerate() {
+            let row = row_ids[i % row_ids.len()];
+            m.set_rhs(row, t.round());
+            let warm = m.solve_mip_warm(&warm_opts, warm_state.as_ref());
+            let cold = m.solve_mip();
+            match (warm, cold) {
+                (Ok((w, state)), Ok(c)) => {
+                    prop_assert!(
+                        (w.objective - c.objective).abs() < 1e-6,
+                        "warm {} vs cold {} at target {t}",
+                        w.objective,
+                        c.objective
+                    );
+                    warm_state = state;
+                }
+                (Err(SolverError::Infeasible), Err(SolverError::Infeasible)) => {}
+                (w, c) => panic!("warm {w:?} disagrees with cold {c:?} at target {t}"),
+            }
+        }
+    }
+}

@@ -21,7 +21,8 @@ fn solve_assignment(costs: &[Vec<f64>]) -> (f64, f64) {
     }
     let sol = m.solve_mip().expect("assignment always feasible");
     assert_eq!(sol.status, SolveStatus::Optimal);
-    m.check_feasible(&sol.values, 1e-6).expect("solution must validate");
+    m.check_feasible(&sol.values, 1e-6)
+        .expect("solution must validate");
 
     // Brute force over permutations.
     let mut perm: Vec<usize> = (0..n).collect();
@@ -52,7 +53,11 @@ fn assignment_matches_brute_force() {
     // Deterministic pseudo-random 6x6 matrix.
     let n = 6;
     let costs: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| ((i * 7 + j * 13) % 17) as f64 + 1.0).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| ((i * 7 + j * 13) % 17) as f64 + 1.0)
+                .collect()
+        })
         .collect();
     let (mip, brute) = solve_assignment(&costs);
     assert!((mip - brute).abs() < 1e-6, "mip {mip} vs brute {brute}");
@@ -61,8 +66,9 @@ fn assignment_matches_brute_force() {
 #[test]
 fn assignment_with_ties() {
     let n = 5;
-    let costs: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| ((i + j) % 3) as f64).collect()).collect();
+    let costs: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| ((i + j) % 3) as f64).collect())
+        .collect();
     let (mip, brute) = solve_assignment(&costs);
     assert!((mip - brute).abs() < 1e-6);
 }
@@ -102,7 +108,11 @@ fn transportation_lp_is_integral_and_optimal() {
     m.check_feasible(&sol.values, 1e-6).unwrap();
     // Hand-computed optimum: send s0 -> d1 20 (cost 6); s1 -> d0 10 (9),
     // s1 -> d1 5 (12), s1 -> d2 15 (13) = 120 + 90 + 60 + 195 = 465.
-    assert!((sol.objective - 465.0).abs() < 1e-6, "obj = {}", sol.objective);
+    assert!(
+        (sol.objective - 465.0).abs() < 1e-6,
+        "obj = {}",
+        sol.objective
+    );
     // Integral by unimodularity.
     for v in &sol.values {
         assert!((v - v.round()).abs() < 1e-6);
@@ -125,7 +135,11 @@ fn monotone_chain_with_budget() {
     m.add_constr(all, Cmp::Le, 5.0);
     let sol = m.solve_mip().unwrap();
     // Monotone + budget 5 -> take the first five: 12+11+10+9+8 = 50.
-    assert!((sol.objective - 50.0).abs() < 1e-6, "obj = {}", sol.objective);
+    assert!(
+        (sol.objective - 50.0).abs() < 1e-6,
+        "obj = {}",
+        sol.objective
+    );
     for (i, &y) in ys.iter().enumerate() {
         let expect = if i < 5 { 1.0 } else { 0.0 };
         assert!((sol.value(y) - expect).abs() < 1e-6, "y{i}");
@@ -172,7 +186,12 @@ fn knapsack_01_matches_dp() {
             dp[c] = dp[c].max(dp[c - w] + values[i]);
         }
     }
-    assert!((sol.objective - dp[cap]).abs() < 1e-6, "mip {} vs dp {}", sol.objective, dp[cap]);
+    assert!(
+        (sol.objective - dp[cap]).abs() < 1e-6,
+        "mip {} vs dp {}",
+        sol.objective,
+        dp[cap]
+    );
 }
 
 /// Infeasible system detected through either presolve or phase 1.
@@ -203,5 +222,9 @@ fn degenerate_pyramid() {
         m.add_constr(vec![(x, 1.0), (y, 1.0), (z, af)], Cmp::Le, af + 2.0);
     }
     let sol = m.solve_lp().unwrap();
-    assert!((sol.objective - 3.0).abs() < 1e-6, "obj = {}", sol.objective);
+    assert!(
+        (sol.objective - 3.0).abs() < 1e-6,
+        "obj = {}",
+        sol.objective
+    );
 }

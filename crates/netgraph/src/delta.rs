@@ -1,0 +1,243 @@
+//! Delta-aware re-routing: reuse cached routes across link perturbations.
+//!
+//! Sweeps that perturb a topology point by point (link failures, density
+//! toggles) re-solve near-identical routing problems at every step. The
+//! key observation makes most of that work skippable: **banning edges is a
+//! degrading change** — a path that avoids every banned edge keeps its
+//! cost, and removing *other* candidate paths can never promote a
+//! worse path above it. Hence a pair's cached k-shortest-path set stays
+//! optimal whenever none of its paths crosses a newly banned edge, and
+//! only the crossing pairs need a re-run of Yen's algorithm (against the
+//! same graph with a longer ban list — see
+//! [`crate::ksp::k_shortest_paths_avoiding`]).
+//!
+//! Un-banning is an *improving* change, for which the skip argument does
+//! not hold; [`RoutePlan::reroute_avoiding`] detects that case and falls
+//! back to a full recompute, so the plan is always exact, never heuristic.
+
+use crate::ksp::k_shortest_paths_avoiding;
+use crate::{EdgeId, Graph, NodeId, Path, Result};
+
+/// A routed set of node pairs with the ban list it was computed under,
+/// supporting delta-aware re-routing as the ban list grows.
+#[derive(Debug, Clone)]
+pub struct RoutePlan {
+    /// Requested routes per pair.
+    k: usize,
+    /// The routed `(source, target)` pairs, in caller order.
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Up to `k` loopless paths per pair (possibly empty when a pair is
+    /// disconnected under the bans), aligned with `pairs`.
+    routes: Vec<Vec<Path>>,
+    /// The banned edges this plan was computed under, sorted.
+    banned: Vec<EdgeId>,
+}
+
+impl RoutePlan {
+    /// Routes every pair from scratch: `k` shortest loopless paths
+    /// avoiding `banned` edges. Errors only on invalid node ids.
+    pub fn compute(
+        graph: &Graph,
+        pairs: &[(NodeId, NodeId)],
+        k: usize,
+        banned: &[EdgeId],
+    ) -> Result<RoutePlan> {
+        let mut banned = banned.to_vec();
+        banned.sort_unstable();
+        banned.dedup();
+        let routes = pairs
+            .iter()
+            .map(|&(s, t)| k_shortest_paths_avoiding(graph, s, t, k, &banned))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(RoutePlan {
+            k,
+            pairs: pairs.to_vec(),
+            routes,
+            banned,
+        })
+    }
+
+    /// The routed pairs, in the order given to [`RoutePlan::compute`].
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// The routes of pair `i` (empty when disconnected under the bans).
+    pub fn routes(&self, i: usize) -> &[Path] {
+        &self.routes[i]
+    }
+
+    /// The ban list this plan is exact for (sorted, deduplicated).
+    pub fn banned(&self) -> &[EdgeId] {
+        &self.banned
+    }
+
+    /// Re-routes under a new ban list, reusing every cached pair the delta
+    /// provably cannot affect. Returns the new plan and the number of
+    /// pairs that were actually re-routed.
+    ///
+    /// When `banned` is a superset of the current bans (links only fail),
+    /// a pair is re-run only if one of its cached paths crosses a newly
+    /// banned edge — or if it was disconnected, since new bans cannot
+    /// reconnect it the cached empty answer is also reused. When bans are
+    /// *lifted* (improving change), every pair is recomputed.
+    pub fn reroute_avoiding(&self, graph: &Graph, banned: &[EdgeId]) -> Result<(RoutePlan, usize)> {
+        let mut new_banned = banned.to_vec();
+        new_banned.sort_unstable();
+        new_banned.dedup();
+        let grows = self
+            .banned
+            .iter()
+            .all(|e| new_banned.binary_search(e).is_ok());
+        if !grows {
+            let plan = RoutePlan::compute(graph, &self.pairs, self.k, &new_banned)?;
+            let n = plan.pairs.len();
+            return Ok((plan, n));
+        }
+        let fresh: Vec<EdgeId> = new_banned
+            .iter()
+            .copied()
+            .filter(|e| self.banned.binary_search(e).is_err())
+            .collect();
+
+        let mut routes = Vec::with_capacity(self.pairs.len());
+        let mut recomputed = 0usize;
+        for (i, &(s, t)) in self.pairs.iter().enumerate() {
+            let cached = &self.routes[i];
+            let crossing = cached
+                .iter()
+                .any(|p| p.edges().iter().any(|e| fresh.binary_search(e).is_ok()));
+            if crossing {
+                recomputed += 1;
+                routes.push(k_shortest_paths_avoiding(graph, s, t, self.k, &new_banned)?);
+            } else {
+                routes.push(cached.clone());
+            }
+        }
+        Ok((
+            RoutePlan {
+                k: self.k,
+                pairs: self.pairs.clone(),
+                routes,
+                banned: new_banned,
+            },
+            recomputed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// A 3x3 grid with unit weights: rich in alternative paths.
+    fn grid() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let n = b.add_nodes("g", 9);
+        let at = |r: usize, c: usize| n[3 * r + c];
+        for r in 0..3 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    b.add_edge(at(r, c), at(r, c + 1), 1.0);
+                }
+                if r + 1 < 3 {
+                    b.add_edge(at(r, c), at(r + 1, c), 1.0);
+                }
+            }
+        }
+        (b.build(), n)
+    }
+
+    fn all_pairs(n: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+        let mut pairs = Vec::new();
+        for (i, &a) in n.iter().enumerate() {
+            for &b in &n[i + 1..] {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    /// Canonical comparison form: per pair, the (cost, node-id sequence)
+    /// of each route.
+    fn shape(g: &Graph, plan: &RoutePlan) -> Vec<Vec<(u64, Vec<u32>)>> {
+        (0..plan.pairs().len())
+            .map(|i| {
+                plan.routes(i)
+                    .iter()
+                    .map(|p| (p.cost(g).to_bits(), p.nodes().iter().map(|v| v.0).collect()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_matches_full_recompute_as_bans_grow() {
+        let (g, n) = grid();
+        let pairs = all_pairs(&n);
+        let plan = RoutePlan::compute(&g, &pairs, 3, &[]).unwrap();
+        // Grow the ban list edge by edge; the delta plan must equal the
+        // from-scratch plan at every step.
+        let mut bans: Vec<EdgeId> = Vec::new();
+        let mut current = plan;
+        for e in [0u32, 5, 7] {
+            bans.push(EdgeId(e));
+            let (delta, recomputed) = current.reroute_avoiding(&g, &bans).unwrap();
+            let fresh = RoutePlan::compute(&g, &pairs, 3, &bans).unwrap();
+            assert_eq!(shape(&g, &delta), shape(&g, &fresh), "bans = {bans:?}");
+            assert!(
+                recomputed < pairs.len(),
+                "some pair must be reusable on the grid"
+            );
+            current = delta;
+        }
+    }
+
+    #[test]
+    fn lifting_a_ban_recomputes_everything_and_stays_exact() {
+        let (g, n) = grid();
+        let pairs = all_pairs(&n);
+        let banned = [EdgeId(0), EdgeId(3)];
+        let plan = RoutePlan::compute(&g, &pairs, 2, &banned).unwrap();
+        let (lifted, recomputed) = plan.reroute_avoiding(&g, &[EdgeId(3)]).unwrap();
+        assert_eq!(
+            recomputed,
+            pairs.len(),
+            "improving change must recompute all pairs"
+        );
+        let fresh = RoutePlan::compute(&g, &pairs, 2, &[EdgeId(3)]).unwrap();
+        assert_eq!(shape(&g, &lifted), shape(&g, &fresh));
+    }
+
+    #[test]
+    fn disconnection_is_cached_and_correct() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_nodes("r", 3);
+        b.add_edge(n[0], n[1], 1.0); // edge 0: the only bridge to n[1]
+        b.add_edge(n[0], n[2], 1.0);
+        let g = b.build();
+        let pairs = vec![(n[0], n[1]), (n[0], n[2])];
+        let plan = RoutePlan::compute(&g, &pairs, 2, &[EdgeId(0)]).unwrap();
+        assert!(
+            plan.routes(0).is_empty(),
+            "banned bridge disconnects the pair"
+        );
+        assert_eq!(plan.routes(1).len(), 1);
+        // A further unrelated ban must not resurrect the dead pair.
+        let (next, recomputed) = plan.reroute_avoiding(&g, &[EdgeId(0), EdgeId(1)]).unwrap();
+        assert!(next.routes(0).is_empty());
+        assert!(next.routes(1).is_empty());
+        assert_eq!(recomputed, 1, "only the pair crossing edge 1 re-routes");
+    }
+
+    #[test]
+    fn avoiding_variant_agrees_with_plain_yen_on_no_bans() {
+        let (g, n) = grid();
+        for &(s, t) in &all_pairs(&n)[..8] {
+            let a = crate::ksp::k_shortest_paths(&g, s, t, 4).unwrap();
+            let b = crate::ksp::k_shortest_paths_avoiding(&g, s, t, 4, &[]).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

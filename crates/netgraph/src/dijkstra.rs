@@ -119,8 +119,14 @@ pub fn shortest_path_avoiding(
     forbidden_edges: &[EdgeId],
 ) -> Result<Path> {
     graph.check_node(target)?;
-    tree_avoiding_until(graph, source, Some(target), forbidden_nodes, forbidden_edges)?
-        .path_to(graph, target)
+    tree_avoiding_until(
+        graph,
+        source,
+        Some(target),
+        forbidden_nodes,
+        forbidden_edges,
+    )?
+    .path_to(graph, target)
 }
 
 fn tree_avoiding_until(
@@ -148,7 +154,10 @@ fn tree_avoiding_until(
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if done[u.index()] {
@@ -172,7 +181,10 @@ fn tree_avoiding_until(
             if better || tie {
                 dist[v.index()] = nd.min(cur);
                 pred[v.index()] = Some((e, u));
-                heap.push(HeapEntry { dist: dist[v.index()], node: v });
+                heap.push(HeapEntry {
+                    dist: dist[v.index()],
+                    node: v,
+                });
             }
         }
     }
@@ -239,7 +251,10 @@ mod tests {
         let g = b.build();
         assert!(matches!(
             shortest_path(&g, a, c),
-            Err(GraphError::Unreachable { source: 0, target: 1 })
+            Err(GraphError::Unreachable {
+                source: 0,
+                target: 1
+            })
         ));
         assert!(distance(&g, a, c).is_err());
     }

@@ -19,12 +19,20 @@ pub struct DotOptions {
 
 /// Renders `graph` as an undirected Graphviz document.
 pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
-    let name = if opts.name.is_empty() { "pop" } else { &opts.name };
+    let name = if opts.name.is_empty() {
+        "pop"
+    } else {
+        &opts.name
+    };
     let mut out = String::new();
     out.push_str(&format!("graph {name} {{\n"));
     out.push_str("  node [shape=circle, fontsize=10];\n");
     for v in graph.nodes() {
-        out.push_str(&format!("  {} [label=\"{}\"];\n", v.index(), graph.label(v)));
+        out.push_str(&format!(
+            "  {} [label=\"{}\"];\n",
+            v.index(),
+            graph.label(v)
+        ));
     }
     for e in graph.edges() {
         let (u, v) = graph.endpoints(e);
@@ -41,7 +49,12 @@ pub fn to_dot(graph: &Graph, opts: &DotOptions) -> String {
         if attrs.is_empty() {
             out.push_str(&format!("  {} -- {};\n", u.index(), v.index()));
         } else {
-            out.push_str(&format!("  {} -- {} [{}];\n", u.index(), v.index(), attrs.join(", ")));
+            out.push_str(&format!(
+                "  {} -- {} [{}];\n",
+                u.index(),
+                v.index(),
+                attrs.join(", ")
+            ));
         }
     }
     out.push_str("}\n");

@@ -43,16 +43,28 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidNode { node, node_count } => {
-                write!(f, "node index {node} out of range (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node index {node} out of range (graph has {node_count} nodes)"
+                )
             }
             GraphError::InvalidEdge { edge, edge_count } => {
-                write!(f, "edge index {edge} out of range (graph has {edge_count} edges)")
+                write!(
+                    f,
+                    "edge index {edge} out of range (graph has {edge_count} edges)"
+                )
             }
             GraphError::SelfLoop { node } => {
-                write!(f, "self-loop on node {node}: links must connect distinct routers")
+                write!(
+                    f,
+                    "self-loop on node {node}: links must connect distinct routers"
+                )
             }
             GraphError::InvalidWeight { weight } => {
-                write!(f, "invalid routing weight {weight}: must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid routing weight {weight}: must be finite and non-negative"
+                )
             }
             GraphError::Unreachable { source, target } => {
                 write!(f, "no path from node {source} to node {target}")

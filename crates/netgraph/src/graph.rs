@@ -80,7 +80,9 @@ impl GraphBuilder {
 
     /// Adds `count` nodes labelled `"{prefix}{i}"` and returns their ids.
     pub fn add_nodes(&mut self, prefix: &str, count: usize) -> Vec<NodeId> {
-        (0..count).map(|i| self.add_node(format!("{prefix}{i}"))).collect()
+        (0..count)
+            .map(|i| self.add_node(format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds an undirected edge between `u` and `v` with the given routing
@@ -99,7 +101,10 @@ impl GraphBuilder {
         let n = self.labels.len();
         for node in [u, v] {
             if node.index() >= n {
-                return Err(GraphError::InvalidNode { node: node.index(), node_count: n });
+                return Err(GraphError::InvalidNode {
+                    node: node.index(),
+                    node_count: n,
+                });
             }
         }
         if u == v {
@@ -138,7 +143,11 @@ impl GraphBuilder {
         for adj in &mut adjacency {
             adj.sort_by_key(|&(e, v)| (v, e));
         }
-        Graph { labels: self.labels, edges: self.edges, adjacency }
+        Graph {
+            labels: self.labels,
+            edges: self.edges,
+            adjacency,
+        }
     }
 }
 
@@ -242,7 +251,10 @@ impl Graph {
         if node.index() < self.node_count() {
             Ok(())
         } else {
-            Err(GraphError::InvalidNode { node: node.index(), node_count: self.node_count() })
+            Err(GraphError::InvalidNode {
+                node: node.index(),
+                node_count: self.node_count(),
+            })
         }
     }
 
@@ -251,7 +263,10 @@ impl Graph {
         if edge.index() < self.edge_count() {
             Ok(())
         } else {
-            Err(GraphError::InvalidEdge { edge: edge.index(), edge_count: self.edge_count() })
+            Err(GraphError::InvalidEdge {
+                edge: edge.index(),
+                edge_count: self.edge_count(),
+            })
         }
     }
 
@@ -310,7 +325,10 @@ mod tests {
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new();
         let a = b.add_node("a");
-        assert_eq!(b.try_add_edge(a, a, 1.0), Err(GraphError::SelfLoop { node: 0 }));
+        assert_eq!(
+            b.try_add_edge(a, a, 1.0),
+            Err(GraphError::SelfLoop { node: 0 })
+        );
     }
 
     #[test]

@@ -16,14 +16,35 @@ use crate::{Graph, GraphError, NodeId, Path, Result};
 /// Returns an empty vector when `k == 0`, and fewer than `k` paths when the
 /// graph does not contain that many simple paths. Errors only on invalid
 /// node ids; an unreachable pair yields `Ok(vec![])`.
-pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize) -> Result<Vec<Path>> {
+pub fn k_shortest_paths(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+) -> Result<Vec<Path>> {
+    k_shortest_paths_avoiding(graph, source, target, k, &[])
+}
+
+/// [`k_shortest_paths`] over the subgraph with `banned_edges` removed: the
+/// `k` cheapest loopless paths that traverse none of the banned edges.
+///
+/// This is the delta-routing primitive (see [`crate::delta`]): a sweep
+/// that fails links re-solves each affected pair against the same graph
+/// with a longer ban list, without rebuilding the graph.
+pub fn k_shortest_paths_avoiding(
+    graph: &Graph,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    banned_edges: &[crate::EdgeId],
+) -> Result<Vec<Path>> {
     graph.check_node(source)?;
     graph.check_node(target)?;
     if k == 0 {
         return Ok(Vec::new());
     }
 
-    let first = match shortest_path_avoiding(graph, source, target, &[], &[]) {
+    let first = match shortest_path_avoiding(graph, source, target, &[], banned_edges) {
         Ok(p) => p,
         Err(GraphError::Unreachable { .. }) => return Ok(Vec::new()),
         Err(e) => return Err(e),
@@ -44,24 +65,27 @@ pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize)
             let root_edges = &last.edges()[..i];
 
             // Edges leaving the spur node along any accepted path sharing
-            // this root must be removed.
-            let mut banned_edges = Vec::new();
+            // this root must be removed, on top of the caller's bans.
+            let mut spur_banned = banned_edges.to_vec();
             for p in &accepted {
                 if p.nodes().len() > i && p.nodes()[..=i] == *root_nodes {
                     if let Some(&e) = p.edges().get(i) {
-                        banned_edges.push(e);
+                        spur_banned.push(e);
                     }
                 }
             }
             // Nodes of the root (except the spur itself) must not be
             // re-entered, keeping spur paths loopless.
-            let banned_nodes: Vec<NodeId> =
-                root_nodes[..i].iter().copied().filter(|&v| v != spur).collect();
+            let banned_nodes: Vec<NodeId> = root_nodes[..i]
+                .iter()
+                .copied()
+                .filter(|&v| v != spur)
+                .collect();
 
             // Early-terminating single-pair Dijkstra: identical path to
             // the full spur tree's, without exploring past the target.
             let spur_path =
-                match shortest_path_avoiding(graph, spur, target, &banned_nodes, &banned_edges) {
+                match shortest_path_avoiding(graph, spur, target, &banned_nodes, &spur_banned) {
                     Ok(p) => p,
                     Err(GraphError::Unreachable { .. }) => continue,
                     Err(e) => return Err(e),
@@ -69,10 +93,7 @@ pub fn k_shortest_paths(graph: &Graph, source: NodeId, target: NodeId, k: usize)
 
             let root = Path::new(graph, root_nodes.to_vec(), root_edges.to_vec())?;
             let total = root.concat(graph, &spur_path)?;
-            if total.is_simple()
-                && !accepted.contains(&total)
-                && !candidates.contains(&total)
-            {
+            if total.is_simple() && !accepted.contains(&total) && !candidates.contains(&total) {
                 candidates.push(total);
             }
         }

@@ -14,6 +14,8 @@
 //!   deterministic tie-breaking (so that experiments are reproducible);
 //! * [`ksp`] — Yen's algorithm for the k shortest loopless paths, used for
 //!   the multi-routed traffics of the paper's Section 5;
+//! * [`delta`] — delta-aware re-routing: cached route plans that re-run
+//!   Yen only for the pairs a link perturbation can actually affect;
 //! * [`bfs`] — unweighted traversal and connectivity checks;
 //! * [`dot`] — Graphviz export used by the figure-regeneration binaries.
 //!
@@ -39,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod delta;
 pub mod dijkstra;
 pub mod dot;
 mod error;

@@ -48,7 +48,10 @@ impl Path {
     /// Builds a single-node path (zero edges).
     pub fn trivial(graph: &Graph, node: NodeId) -> Result<Self> {
         graph.check_node(node)?;
-        Ok(Self { nodes: vec![node], edges: Vec::new() })
+        Ok(Self {
+            nodes: vec![node],
+            edges: Vec::new(),
+        })
     }
 
     /// Builds a path from a node sequence alone, resolving each hop to the

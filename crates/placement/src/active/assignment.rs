@@ -43,7 +43,11 @@ impl ProbeAssignment {
             load[idx] += 1;
         }
         let max_load = load.iter().copied().max().unwrap_or(0);
-        Self { emitter, load, max_load }
+        Self {
+            emitter,
+            load,
+            max_load,
+        }
     }
 
     /// Total messages (= number of probes).
@@ -82,14 +86,21 @@ pub fn assign_probes_greedy(probes: &ProbeSet, placement: &BeaconPlacement) -> P
     for i in free {
         let p = &probes.probes[i];
         let (lu, lv) = (load[&p.u], load[&p.v]);
-        let pick = if lu < lv || (lu == lv && p.u < p.v) { p.u } else { p.v };
+        let pick = if lu < lv || (lu == lv && p.u < p.v) {
+            p.u
+        } else {
+            p.v
+        };
         emitter[i] = Some(pick);
         *load.get_mut(&pick).expect("beacon exists") += 1;
     }
 
     ProbeAssignment::from_emitters(
         placement,
-        emitter.into_iter().map(|e| e.expect("assigned above")).collect(),
+        emitter
+            .into_iter()
+            .map(|e| e.expect("assigned above"))
+            .collect(),
     )
 }
 
@@ -191,9 +202,10 @@ mod tests {
     fn ilp_makespan_never_worse_than_greedy() {
         let (g, candidates) = setting();
         let probes = compute_probes(&g, &candidates);
-        for placement in
-            [place_beacons_greedy(&probes, &candidates), place_beacons_ilp(&g, &probes, &candidates)]
-        {
+        for placement in [
+            place_beacons_greedy(&probes, &candidates),
+            place_beacons_ilp(&g, &probes, &candidates),
+        ] {
             let greedy = assign_probes_greedy(&probes, &placement);
             let ilp = assign_probes_ilp(&probes, &placement);
             assert!(
@@ -230,7 +242,10 @@ mod tests {
     fn uncovered_probe_panics() {
         let (g, candidates) = setting();
         let probes = compute_probes(&g, &candidates);
-        let empty = BeaconPlacement { beacons: vec![], proven_optimal: false };
+        let empty = BeaconPlacement {
+            beacons: vec![],
+            proven_optimal: false,
+        };
         assign_probes_greedy(&probes, &empty);
     }
 }

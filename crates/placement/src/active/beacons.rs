@@ -37,7 +37,10 @@ impl BeaconPlacement {
     fn new(mut beacons: Vec<NodeId>, proven: bool) -> Self {
         beacons.sort_unstable();
         beacons.dedup();
-        Self { beacons, proven_optimal: proven }
+        Self {
+            beacons,
+            proven_optimal: proven,
+        }
     }
 
     /// Number of beacons placed.
@@ -125,12 +128,23 @@ pub fn place_beacons_ilp(
     }
     // y_u + y_v ≥ 1 per probe.
     for p in &probes.probes {
-        m.add_constr(vec![(ys[p.u.index()], 1.0), (ys[p.v.index()], 1.0)], Cmp::Ge, 1.0);
+        m.add_constr(
+            vec![(ys[p.u.index()], 1.0), (ys[p.v.index()], 1.0)],
+            Cmp::Ge,
+            1.0,
+        );
     }
-    let opts = MipOptions { integral_objective: Some(true), ..Default::default() };
-    let sol = m.solve_mip_with(&opts).expect("vertex cover over probe endpoints is feasible");
-    let beacons: Vec<NodeId> =
-        graph.nodes().filter(|v| sol.is_one(ys[v.index()], 1e-4)).collect();
+    let opts = MipOptions {
+        integral_objective: Some(true),
+        ..Default::default()
+    };
+    let sol = m
+        .solve_mip_with(&opts)
+        .expect("vertex cover over probe endpoints is feasible");
+    let beacons: Vec<NodeId> = graph
+        .nodes()
+        .filter(|v| sol.is_one(ys[v.index()], 1e-4))
+        .collect();
     BeaconPlacement::new(beacons, sol.status == SolveStatus::Optimal)
 }
 

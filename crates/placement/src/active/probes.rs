@@ -70,7 +70,11 @@ pub fn compute_probes(graph: &Graph, candidates: &[NodeId]) -> ProbeSet {
     let mut sorted = candidates.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    assert_eq!(sorted.len(), candidates.len(), "duplicate candidate beacons");
+    assert_eq!(
+        sorted.len(),
+        candidates.len(),
+        "duplicate candidate beacons"
+    );
 
     // All candidate-pair shortest paths.
     let mut pool: Vec<Probe> = Vec::new();
@@ -82,15 +86,21 @@ pub fn compute_probes(graph: &Graph, candidates: &[NodeId]) -> ProbeSet {
         for &v in &sorted[i + 1..] {
             if let Ok(path) = tree.path_to(graph, v) {
                 if !path.is_empty() {
-                    pool.push(Probe { u, v, edges: path.edges().to_vec() });
+                    pool.push(Probe {
+                        u,
+                        v,
+                        edges: path.edges().to_vec(),
+                    });
                 }
             }
         }
     }
 
     // Greedy cover over links: elements = edges, sets = probes.
-    let sets: Vec<Vec<usize>> =
-        pool.iter().map(|p| p.edges.iter().map(|e| e.index()).collect()).collect();
+    let sets: Vec<Vec<usize>> = pool
+        .iter()
+        .map(|p| p.edges.iter().map(|e| e.index()).collect())
+        .collect();
     let inst = SetCoverInstance::unweighted(graph.edge_count(), sets);
     let coverable = inst.max_coverable_weight();
     let cover = greedy_partial_cover(&inst, coverable)
@@ -112,7 +122,11 @@ pub fn compute_probes(graph: &Graph, candidates: &[NodeId]) -> ProbeSet {
     }
     let uncoverable: Vec<EdgeId> = graph.edges().filter(|e| !touchable[e.index()]).collect();
 
-    ProbeSet { probes, covered, uncoverable }
+    ProbeSet {
+        probes,
+        covered,
+        uncoverable,
+    }
 }
 
 #[cfg(test)]
@@ -175,7 +189,10 @@ mod tests {
         let (g, _) = pop.router_subgraph();
         let candidates: Vec<NodeId> = g.nodes().collect();
         let ps = compute_probes(&g, &candidates);
-        assert!(ps.uncoverable.is_empty(), "full candidate set covers all router links");
+        assert!(
+            ps.uncoverable.is_empty(),
+            "full candidate set covers all router links"
+        );
         assert!(ps.covered.iter().all(|&c| c));
     }
 

@@ -21,7 +21,7 @@
 //!   the global stretch budget (knapsack-coupled, solved by `milp`).
 
 use milp::{Cmp, MipOptions, Model, Sense, SolveStatus, VarId, VarKind};
-use netgraph::{Graph, ksp, NodeId};
+use netgraph::{ksp, Graph, NodeId};
 use popgen::TrafficSet;
 
 /// One traffic of the campaign problem with its candidate routes.
@@ -66,8 +66,8 @@ impl CampaignProblem {
             .traffics
             .iter()
             .map(|t| {
-                let paths = ksp::k_shortest_paths(graph, t.src, t.dst, k_routes)
-                    .expect("valid endpoints");
+                let paths =
+                    ksp::k_shortest_paths(graph, t.src, t.dst, k_routes).expect("valid endpoints");
                 let routes = paths
                     .into_iter()
                     .map(|p| {
@@ -75,15 +75,27 @@ impl CampaignProblem {
                         (p.edges().iter().map(|e| e.index()).collect(), cost)
                     })
                     .collect();
-                CampaignTraffic { src: t.src, dst: t.dst, volume: t.volume, routes }
+                CampaignTraffic {
+                    src: t.src,
+                    dst: t.dst,
+                    volume: t.volume,
+                    routes,
+                }
             })
             .collect();
-        Self { installed, traffics, max_total_stretch }
+        Self {
+            installed,
+            traffics,
+            max_total_stretch,
+        }
     }
 
     /// `true` when route `r` of traffic `t` crosses an installed monitor.
     pub fn route_monitored(&self, t: usize, r: usize) -> bool {
-        self.traffics[t].routes[r].0.iter().any(|&e| self.installed[e])
+        self.traffics[t].routes[r]
+            .0
+            .iter()
+            .any(|&e| self.installed[e])
     }
 
     /// Volume-weighted stretch of assigning route `r` to traffic `t`.
@@ -94,11 +106,18 @@ impl CampaignProblem {
 
     /// Monitored volume and total stretch of a route assignment.
     pub fn evaluate(&self, assignment: &[usize]) -> (f64, f64) {
-        assert_eq!(assignment.len(), self.traffics.len(), "one route per traffic");
+        assert_eq!(
+            assignment.len(),
+            self.traffics.len(),
+            "one route per traffic"
+        );
         let mut monitored = 0.0;
         let mut stretch = 0.0;
         for (t, &r) in assignment.iter().enumerate() {
-            assert!(r < self.traffics[t].routes.len(), "route index out of range");
+            assert!(
+                r < self.traffics[t].routes.len(),
+                "route index out of range"
+            );
             if self.route_monitored(t, r) {
                 monitored += self.traffics[t].volume;
             }
@@ -151,7 +170,9 @@ pub fn campaign_greedy(prob: &CampaignProblem) -> CampaignSolution {
     }
     // Cheapest stretch per monitored volume first.
     moves.sort_by(|a, b| {
-        (a.0 / a.1.max(1e-12)).partial_cmp(&(b.0 / b.1.max(1e-12))).expect("finite")
+        (a.0 / a.1.max(1e-12))
+            .partial_cmp(&(b.0 / b.1.max(1e-12)))
+            .expect("finite")
     });
     let mut budget = prob.max_total_stretch;
     for (s, _, t, r) in moves {
@@ -179,7 +200,11 @@ pub fn campaign_exact(prob: &CampaignProblem, opts: &MipOptions) -> CampaignSolu
     for (t, tr) in prob.traffics.iter().enumerate() {
         let mut row = Vec::with_capacity(tr.routes.len());
         for r in 0..tr.routes.len() {
-            let gain = if prob.route_monitored(t, r) { tr.volume } else { 0.0 };
+            let gain = if prob.route_monitored(t, r) {
+                tr.volume
+            } else {
+                0.0
+            };
             let y = m.add_var(format!("y_t{t}_r{r}"), VarKind::Binary, 0.0, 1.0, gain);
             let s = prob.stretch(t, r);
             if s > 0.0 {
@@ -194,7 +219,9 @@ pub fn campaign_exact(prob: &CampaignProblem, opts: &MipOptions) -> CampaignSolu
     if prob.max_total_stretch.is_finite() {
         m.add_constr(budget_terms, Cmp::Le, prob.max_total_stretch);
     }
-    let sol = m.solve_mip_with(opts).expect("choosing route 0 everywhere is feasible");
+    let sol = m
+        .solve_mip_with(opts)
+        .expect("choosing route 0 everywhere is feasible");
     let assignment: Vec<usize> = vars
         .iter()
         .map(|row| {
@@ -270,7 +297,10 @@ mod tests {
         let e = campaign_exact(&prob, &MipOptions::default());
         assert!(g.total_stretch <= budget + 1e-9);
         assert!(e.total_stretch <= budget + 1e-9);
-        assert!(e.monitored + 1e-6 >= g.monitored, "exact dominates the heuristic");
+        assert!(
+            e.monitored + 1e-6 >= g.monitored,
+            "exact dominates the heuristic"
+        );
     }
 
     #[test]
@@ -291,7 +321,10 @@ mod tests {
         let installed = vec![true; pop.graph.edge_count()];
         let prob = CampaignProblem::new(&pop.graph, &ts, installed, 2, f64::INFINITY);
         let g = campaign_greedy(&prob);
-        assert!(g.assignment.iter().all(|&r| r == 0), "everything already monitored");
+        assert!(
+            g.assignment.iter().all(|&r| r == 0),
+            "everything already monitored"
+        );
         assert!((g.monitored - prob.total_volume()).abs() < 1e-9);
     }
 

@@ -31,13 +31,19 @@ use crate::sampling::{PpmeOptions, PpmeSolution, SamplingProblem};
 /// Exact monitored ratio of one path under independent sampling:
 /// `1 − Π_{e ∈ p}(1 − r_e)`.
 pub fn independent_ratio(edges: &[usize], rates: &[f64]) -> f64 {
-    let miss: f64 = edges.iter().map(|&e| (1.0 - rates[e]).clamp(0.0, 1.0)).product();
+    let miss: f64 = edges
+        .iter()
+        .map(|&e| (1.0 - rates[e]).clamp(0.0, 1.0))
+        .product();
     1.0 - miss
 }
 
 /// Total monitored volume under independent sampling.
 pub fn independent_monitored(prob: &SamplingProblem, rates: &[f64]) -> f64 {
-    prob.paths.iter().map(|p| p.volume * independent_ratio(&p.edges, rates)).sum()
+    prob.paths
+        .iter()
+        .map(|p| p.volume * independent_ratio(&p.edges, rates))
+        .sum()
 }
 
 /// Validates `(installed, rates)` under the independent-sampling semantics
@@ -115,10 +121,7 @@ impl CascadeSolution {
 /// when post-validation under the true semantics fails (which the safe
 /// inflation prevents in all but degenerate edge cases — the validator
 /// result is checked before returning).
-pub fn solve_ppme_cascade(
-    prob: &SamplingProblem,
-    opts: &PpmeOptions,
-) -> Option<CascadeSolution> {
+pub fn solve_ppme_cascade(prob: &SamplingProblem, opts: &PpmeOptions) -> Option<CascadeSolution> {
     // Fast path: when the additive optimum's rates do not overlap on any
     // path, the two semantics coincide and the additive solution is
     // already valid (and optimal — independent coverage never exceeds
@@ -182,7 +185,11 @@ pub fn solve_ppme_cascade(
         return None; // degenerate: inflation hit the k = 1 cap and failed
     }
 
-    let exploit_cost = rates.iter().zip(&prob.exploit_cost).map(|(r, c)| r * c).sum();
+    let exploit_cost = rates
+        .iter()
+        .zip(&prob.exploit_cost)
+        .map(|(r, c)| r * c)
+        .sum();
     let monitored_independent = independent_monitored(prob, &rates);
     let monitored_additive = prob.total_monitored(&rates);
     Some(CascadeSolution {
@@ -203,10 +210,26 @@ mod tests {
         SamplingProblem {
             num_edges: 5,
             paths: vec![
-                SamplingPath { edges: vec![0, 1], volume: 2.0, traffic: 0 },
-                SamplingPath { edges: vec![0, 2], volume: 2.0, traffic: 1 },
-                SamplingPath { edges: vec![1, 3], volume: 1.0, traffic: 2 },
-                SamplingPath { edges: vec![2, 4], volume: 1.0, traffic: 3 },
+                SamplingPath {
+                    edges: vec![0, 1],
+                    volume: 2.0,
+                    traffic: 0,
+                },
+                SamplingPath {
+                    edges: vec![0, 2],
+                    volume: 2.0,
+                    traffic: 1,
+                },
+                SamplingPath {
+                    edges: vec![1, 3],
+                    volume: 1.0,
+                    traffic: 2,
+                },
+                SamplingPath {
+                    edges: vec![2, 4],
+                    volume: 1.0,
+                    traffic: 3,
+                },
             ],
             num_traffics: 4,
             h: vec![0.0; 4],

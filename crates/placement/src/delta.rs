@@ -1,0 +1,554 @@
+//! Delta-aware instances: sweep grids as chains of perturbations.
+//!
+//! Every sweep of the experiment suite re-solves near-identical `PPM`
+//! programs: the coverage target `k` walks a grid over one traffic
+//! matrix, a budget grows device by device, a link fails and everything
+//! else stays put. [`DeltaInstance`] represents that directly — one
+//! mutable instance plus a chain of deltas — instead of a fresh
+//! [`PpmInstance`] per grid point, and threads two kinds of reuse through
+//! the solves:
+//!
+//! * **warm-started exact solves** — the LP 2 / budget MIPs are built
+//!   once per instance structure; successive grid points only move a
+//!   right-hand side ([`milp::Model::set_rhs`]) and re-optimize from the
+//!   previous point's root basis with the dual simplex
+//!   ([`milp::Model::solve_mip_warm`]), with branch-and-bound nodes
+//!   reusing their parent's basis;
+//! * **delta-aware re-routing** — in routed mode, failing a link re-runs
+//!   Yen/Dijkstra only for the traffics whose path actually crossed it
+//!   ([`netgraph::delta::RoutePlan`]).
+//!
+//! Results are *identical* to the one-shot solvers — the chains reuse
+//! bases, never answers: a proven-optimal device count is the unique
+//! optimum either way (pinned by `tests/delta_chain.rs` against
+//! [`solve_ppm_exact`]/[`solve_incremental`]/[`solve_budget`] on the
+//! seed-0 sweeps).
+
+use milp::{MipOptions, MipWarmStart, Model, SolveStatus, VarId};
+use netgraph::delta::RoutePlan;
+use netgraph::{EdgeId, Graph, NodeId};
+use popgen::TrafficSet;
+
+use crate::instance::PpmInstance;
+use crate::passive::{
+    build_budget_model, build_lp2_target, install_greedy_incumbent, BudgetSolution, ExactOptions,
+    PpmSolution,
+};
+
+/// Routed backing for link toggles: the graph and the delta-aware route
+/// plan under the current failures (the failure set itself lives in
+/// `DeltaInstance::disabled`; the plan records it as its ban list).
+#[derive(Debug, Clone)]
+struct Routing {
+    graph: Graph,
+    plan: RoutePlan,
+}
+
+/// A cached exact model: rebuilt when the instance structure changes,
+/// re-targeted and warm-started along a grid otherwise.
+#[derive(Debug)]
+struct ModelCache {
+    merged: PpmInstance,
+    model: Model,
+    xs: Vec<VarId>,
+    warm: Option<MipWarmStart>,
+}
+
+/// A `PPM` instance under a chain of deltas (see the module docs).
+///
+/// Structural mutations (flows added/removed, demands scaled, links
+/// toggled) invalidate the cached models; coverage-target and budget
+/// moves ride the warm-start chain.
+#[derive(Debug, Default)]
+pub struct DeltaInstance {
+    num_edges: usize,
+    /// `(volume, sorted support)` per traffic — the *original* (unmerged)
+    /// instance the solvers' coverage semantics are defined on.
+    traffics: Vec<(f64, Vec<usize>)>,
+    /// Pre-installed devices (`x_e` fixed to 1 at zero cost — the paper's
+    /// incremental-deployment setting).
+    installed: Vec<usize>,
+    /// Links that cannot host a device (`x_e` fixed to 0).
+    disabled: Vec<usize>,
+    routing: Option<Routing>,
+    exact_cache: Option<ModelCache>,
+    budget_cache: Option<ModelCache>,
+}
+
+impl DeltaInstance {
+    /// Starts a chain from an existing instance (no routed backing: link
+    /// failures only disable device placement, they cannot re-route).
+    pub fn from_instance(inst: &PpmInstance) -> Self {
+        DeltaInstance {
+            num_edges: inst.num_edges,
+            traffics: inst.traffics.clone(),
+            ..Default::default()
+        }
+    }
+
+    /// Starts a *routed* chain: volumes and endpoints come from `ts`, and
+    /// every traffic is (re-)routed on `graph` by this instance — along
+    /// the crate's deterministic shortest paths, delta-aware under link
+    /// failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ts` references nodes outside `graph`.
+    pub fn from_traffic(graph: &Graph, ts: &TrafficSet) -> Self {
+        let pairs: Vec<(NodeId, NodeId)> = ts.traffics.iter().map(|t| (t.src, t.dst)).collect();
+        let plan = RoutePlan::compute(graph, &pairs, 1, &[]).expect("traffic endpoints in graph");
+        let traffics = ts
+            .traffics
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.volume, support_of(&plan, i)))
+            .collect();
+        DeltaInstance {
+            num_edges: graph.edge_count(),
+            traffics,
+            routing: Some(Routing {
+                graph: graph.clone(),
+                plan,
+            }),
+            ..Default::default()
+        }
+    }
+
+    /// Materializes the current instance (the exact state the chained
+    /// solves are answering for).
+    pub fn instance(&self) -> PpmInstance {
+        PpmInstance::new(self.num_edges, self.traffics.clone())
+    }
+
+    /// Number of traffics currently in the instance.
+    pub fn traffic_count(&self) -> usize {
+        self.traffics.len()
+    }
+
+    /// Adds a flow and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative/NaN volume or an out-of-range support edge.
+    pub fn add_flow(&mut self, volume: f64, support: Vec<usize>) -> usize {
+        assert!(
+            volume.is_finite() && volume >= 0.0,
+            "volume must be finite and >= 0"
+        );
+        let mut support = support;
+        support.sort_unstable();
+        support.dedup();
+        if let Some(&max) = support.last() {
+            assert!(
+                max < self.num_edges,
+                "support references edge {max} >= {}",
+                self.num_edges
+            );
+        }
+        self.invalidate();
+        self.traffics.push((volume, support));
+        self.traffics.len() - 1
+    }
+
+    /// Removes flow `t` (indices above `t` shift down, as in `Vec::remove`).
+    pub fn remove_flow(&mut self, t: usize) {
+        self.invalidate();
+        self.traffics.remove(t);
+    }
+
+    /// Scales the demand of flow `t` by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scaled volume is negative or not finite.
+    pub fn scale_demand(&mut self, t: usize, factor: f64) {
+        let v = self.traffics[t].0 * factor;
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "scaled volume must be finite and >= 0, got {v}"
+        );
+        self.invalidate();
+        self.traffics[t].0 = v;
+    }
+
+    /// Replaces the pre-installed device set (edges fixed to 1 at zero
+    /// cost — [`solve_incremental`]'s sunk-cost semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge.
+    pub fn set_installed(&mut self, installed: &[usize]) {
+        for &e in installed {
+            assert!(e < self.num_edges, "installed edge {e} out of range");
+        }
+        self.invalidate();
+        self.installed = installed.to_vec();
+        self.installed.sort_unstable();
+        self.installed.dedup();
+    }
+
+    /// Fails link `e`: no device may sit on it — even a pre-installed one
+    /// (failure beats installation in both [`DeltaInstance::solve_exact`]
+    /// and [`DeltaInstance::solve_budget`]) — and, in routed mode, every
+    /// traffic whose path crossed it is re-routed around it (traffics
+    /// disconnected by the failure keep their volume with an empty
+    /// support, i.e. become uncoverable). Returns how many traffics were
+    /// actually re-routed — the delta-aware savings are `traffic_count()`
+    /// minus that.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range edge.
+    pub fn fail_link(&mut self, e: usize) -> usize {
+        assert!(e < self.num_edges, "link {e} out of range");
+        self.invalidate();
+        if !self.disabled.contains(&e) {
+            self.disabled.push(e);
+            self.disabled.sort_unstable();
+        }
+        self.reroute()
+    }
+
+    /// Restores a previously failed link (an *improving* change: in
+    /// routed mode every traffic is re-routed from scratch). Returns the
+    /// number of re-routed traffics.
+    pub fn restore_link(&mut self, e: usize) -> usize {
+        self.invalidate();
+        self.disabled.retain(|&d| d != e);
+        self.reroute()
+    }
+
+    /// Re-routes against the current failure set; no-op without routing.
+    fn reroute(&mut self) -> usize {
+        let Some(routing) = self.routing.as_mut() else {
+            return 0;
+        };
+        let banned: Vec<EdgeId> = self.disabled.iter().map(|&e| EdgeId(e as u32)).collect();
+        let (plan, recomputed) = routing
+            .plan
+            .reroute_avoiding(&routing.graph, &banned)
+            .expect("pairs stay valid");
+        routing.plan = plan;
+        for (i, t) in self.traffics.iter_mut().enumerate() {
+            t.1 = support_of(&routing.plan, i);
+        }
+        recomputed
+    }
+
+    fn invalidate(&mut self) {
+        self.exact_cache = None;
+        self.budget_cache = None;
+    }
+
+    /// Exact minimum-device `PPM(k)` on the current state, warm-started
+    /// from the previous solve of this chain. Identical results to
+    /// [`solve_ppm_exact`] (no installed devices) / [`solve_incremental`]
+    /// (with them); `None` when the target is unreachable.
+    pub fn solve_exact(&mut self, k: f64, opts: &ExactOptions) -> Option<PpmSolution> {
+        assert!(
+            k.is_finite() && (0.0..=1.0 + 1e-12).contains(&k),
+            "monitoring fraction k must lie in [0, 1], got {k}"
+        );
+        let inst = self.instance();
+        let target = k * inst.total_volume();
+        if target > inst.max_coverage_fraction() * inst.total_volume() + 1e-9 {
+            return None;
+        }
+        if self.exact_cache.is_none() {
+            let merged = inst.merged();
+            let (mut model, xs) = build_lp2_target(&merged, 0.0);
+            for &e in &self.installed {
+                model.fix_var(xs[e], 1.0);
+                model.set_cost(xs[e], 0.0);
+            }
+            for &e in &self.disabled {
+                model.fix_var(xs[e], 0.0);
+            }
+            self.exact_cache = Some(ModelCache {
+                merged,
+                model,
+                xs,
+                warm: None,
+            });
+        }
+        let plain = self.installed.is_empty() && self.disabled.is_empty();
+        let cache = self.exact_cache.as_mut().expect("built above");
+        let target_row = cache.model.constr(cache.model.constr_count() - 1);
+        cache.model.set_rhs(target_row, target);
+        if plain && opts.warm_start {
+            install_greedy_incumbent(&mut cache.model, &cache.xs, &inst, &cache.merged, k);
+        }
+        // Mirror the one-shot solvers' options exactly (solve_ppm_exact
+        // forwards rel_gap, solve_incremental keeps the default) so chain
+        // results are comparable point for point.
+        let mip_opts = MipOptions {
+            max_nodes: opts.max_nodes,
+            time_limit: opts.time_limit,
+            rel_gap: if plain {
+                opts.rel_gap
+            } else {
+                MipOptions::default().rel_gap
+            },
+            integral_objective: Some(true),
+            warm_basis: true,
+            ..Default::default()
+        };
+        let (sol, warm) = match cache.model.solve_mip_warm(&mip_opts, cache.warm.as_ref()) {
+            Ok(out) => out,
+            Err(milp::SolverError::Infeasible) => return None,
+            Err(e) => panic!("MIP solver failed unexpectedly: {e}"),
+        };
+        if warm.is_some() {
+            cache.warm = warm;
+        }
+        let edges: Vec<usize> = (0..self.num_edges)
+            .filter(|&e| sol.is_one(cache.xs[e], 1e-4))
+            .collect();
+        Some(PpmSolution::from_edges(
+            &inst,
+            edges,
+            sol.status == SolveStatus::Optimal,
+        ))
+    }
+
+    /// Maximum-coverage placement of at most `budget` new devices on top
+    /// of the installed set, warm-started along the chain. Identical
+    /// results to [`solve_budget`].
+    pub fn solve_budget(&mut self, budget: usize, opts: &ExactOptions) -> BudgetSolution {
+        let inst = self.instance();
+        if self.budget_cache.is_none() {
+            let merged = inst.merged();
+            let (mut model, xs) = build_budget_model(&merged, &self.installed);
+            // Failure beats installation: a device on a failed link is
+            // dead, so x_e drops to 0 even when e is in the installed set
+            // (matching solve_exact's precedence).
+            for &e in &self.disabled {
+                model.fix_var(xs[e], 0.0);
+            }
+            self.budget_cache = Some(ModelCache {
+                merged,
+                model,
+                xs,
+                warm: None,
+            });
+        }
+        let cache = self.budget_cache.as_mut().expect("built above");
+        let budget_row = cache.model.constr(cache.model.constr_count() - 1);
+        cache.model.set_rhs(budget_row, budget as f64);
+        let mip_opts = MipOptions {
+            max_nodes: opts.max_nodes,
+            time_limit: opts.time_limit,
+            warm_basis: true,
+            ..Default::default()
+        };
+        let (sol, warm) = cache
+            .model
+            .solve_mip_warm(&mip_opts, cache.warm.as_ref())
+            .expect("budget problem is always feasible");
+        if warm.is_some() {
+            cache.warm = warm;
+        }
+        let edges: Vec<usize> = (0..self.num_edges)
+            .filter(|&e| sol.is_one(cache.xs[e], 1e-4))
+            .collect();
+        let coverage = inst.coverage(&edges);
+        BudgetSolution {
+            edges,
+            coverage,
+            total_volume: inst.total_volume(),
+            proven_optimal: sol.status == SolveStatus::Optimal,
+        }
+    }
+
+    /// Coverage gain (absolute volume) of buying `extra` devices on top
+    /// of the installed base — [`crate::passive::expected_gain`], chained.
+    pub fn expected_gain(&mut self, extra: usize, opts: &ExactOptions) -> f64 {
+        let before = self.instance().coverage(&self.installed);
+        let after = self.solve_budget(extra, opts).coverage;
+        (after - before).max(0.0)
+    }
+}
+
+/// The sorted support of pair `i` under `plan` (empty when disconnected).
+fn support_of(plan: &RoutePlan, i: usize) -> Vec<usize> {
+    match plan.routes(i).first() {
+        Some(p) => {
+            let mut s: Vec<usize> = p.edges().iter().map(|e| e.index()).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        }
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::fixture_figure3;
+    use crate::passive::{solve_budget, solve_incremental, solve_ppm_exact};
+
+    #[test]
+    fn chain_matches_one_shot_on_figure3() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        for k in [0.5, 0.75, 0.9, 1.0] {
+            let chained = delta.solve_exact(k, &opts).unwrap();
+            let fresh = solve_ppm_exact(&inst, k, &opts).unwrap();
+            assert_eq!(chained.device_count(), fresh.device_count(), "k = {k}");
+            assert!(inst.is_feasible(&chained.edges, k));
+            assert!(chained.proven_optimal);
+        }
+    }
+
+    #[test]
+    fn chain_matches_incremental_with_installed_base() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        delta.set_installed(&[0]);
+        let opts = ExactOptions::default();
+        for k in [0.75, 1.0] {
+            let chained = delta.solve_exact(k, &opts).unwrap();
+            let fresh = solve_incremental(&inst, k, &[0], &opts).unwrap();
+            assert_eq!(chained.device_count(), fresh.device_count(), "k = {k}");
+            assert!(chained.edges.contains(&0), "installed device must stay");
+        }
+    }
+
+    #[test]
+    fn budget_chain_matches_one_shot() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        for b in 0..=3 {
+            let chained = delta.solve_budget(b, &opts);
+            let fresh = solve_budget(&inst, b, &[], &opts);
+            assert!(
+                (chained.coverage - fresh.coverage).abs() < 1e-9,
+                "budget = {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn structural_deltas_invalidate_and_stay_exact() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        let _ = delta.solve_exact(1.0, &opts).unwrap();
+
+        // Scale one demand, add a flow, remove a flow — after each delta
+        // the chained answer must equal the one-shot answer on the
+        // materialized instance.
+        delta.scale_demand(0, 3.0);
+        let t = delta.add_flow(2.5, vec![3, 4]);
+        let a = delta.solve_exact(0.9, &opts).unwrap();
+        let fresh = solve_ppm_exact(&delta.instance(), 0.9, &opts).unwrap();
+        assert_eq!(a.device_count(), fresh.device_count());
+
+        delta.remove_flow(t);
+        let b = delta.solve_exact(0.9, &opts).unwrap();
+        let fresh = solve_ppm_exact(&delta.instance(), 0.9, &opts).unwrap();
+        assert_eq!(b.device_count(), fresh.device_count());
+    }
+
+    #[test]
+    fn disabled_link_is_never_selected() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        let free = delta.solve_exact(1.0, &opts).unwrap();
+        assert_eq!(free.edges, vec![1, 2]);
+        // Unrouted mode: failing link 1 only forbids the device there.
+        delta.fail_link(1);
+        let constrained = delta.solve_exact(1.0, &opts).unwrap();
+        assert!(!constrained.edges.contains(&1));
+        assert!(delta.instance().is_feasible(&constrained.edges, 1.0));
+        assert!(constrained.device_count() >= free.device_count());
+    }
+
+    #[test]
+    fn failing_an_installed_link_kills_its_device_in_both_solvers() {
+        let inst = fixture_figure3();
+        let opts = ExactOptions::default();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        delta.set_installed(&[1]);
+        delta.fail_link(1);
+        // Exact: the dead device is gone and the cover must rebuild
+        // around it.
+        let exact = delta.solve_exact(1.0, &opts).unwrap();
+        assert!(
+            !exact.edges.contains(&1),
+            "failed link must not host a device"
+        );
+        assert!(inst.is_feasible(&exact.edges, 1.0));
+        // Budget: same precedence — with budget 0 nothing can be placed
+        // and the dead installed device contributes no coverage.
+        let b = delta.solve_budget(0, &opts);
+        assert!(
+            b.edges.is_empty(),
+            "dead installed device must not count, got {:?}",
+            b.edges
+        );
+        assert_eq!(b.coverage, 0.0);
+    }
+
+    #[test]
+    fn routed_mode_reroutes_only_crossing_traffics() {
+        use popgen::{PopSpec, TrafficSpec};
+
+        let pop = PopSpec::paper_10().build();
+        let ts = TrafficSpec::default().generate(&pop, 0);
+        let mut delta = DeltaInstance::from_traffic(&pop.graph, &ts);
+
+        // Unfailed routed supports must match the generator's own routing.
+        let fresh = PpmInstance::from_traffic(&pop.graph, &ts);
+        let routed = delta.instance();
+        assert_eq!(routed.num_edges, fresh.num_edges);
+        for (a, b) in routed.traffics.iter().zip(&fresh.traffics) {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1, b.1, "deterministic tie-breaking must agree");
+        }
+
+        // Fail the most loaded link: only its crossing traffics re-route.
+        let loads = fresh.edge_loads();
+        let heavy = (0..loads.len())
+            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+            .unwrap();
+        let crossing = fresh
+            .traffics
+            .iter()
+            .filter(|(_, s)| s.contains(&heavy))
+            .count();
+        let recomputed = delta.fail_link(heavy);
+        assert_eq!(
+            recomputed, crossing,
+            "exactly the crossing traffics re-route"
+        );
+        let after = delta.instance();
+        assert!(after.traffics.iter().all(|(_, s)| !s.contains(&heavy)));
+
+        // And the graph-level ground truth: every re-routed support is the
+        // shortest path avoiding the failed link.
+        let banned = [netgraph::EdgeId(heavy as u32)];
+        for (i, t) in ts.traffics.iter().enumerate() {
+            let want: Vec<usize> = match netgraph::dijkstra::shortest_path_avoiding(
+                &pop.graph,
+                t.src,
+                t.dst,
+                &[],
+                &banned,
+            ) {
+                Ok(p) => {
+                    let mut s: Vec<usize> = p.edges().iter().map(|e| e.index()).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                }
+                Err(_) => Vec::new(),
+            };
+            assert_eq!(after.traffics[i].1, want, "traffic {i}");
+        }
+    }
+}

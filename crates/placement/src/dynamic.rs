@@ -14,8 +14,8 @@
 //! 3. Goto 1.
 //! ```
 
-use milp::{Cmp, Model, Sense, SolverError, VarId, VarKind};
 use mcmf::mecf::MonitoringInstance;
+use milp::{Cmp, Model, Sense, SolverError, VarId, VarKind};
 use popgen::dynamic::TrafficProcess;
 
 use crate::sampling::SamplingProblem;
@@ -41,7 +41,13 @@ pub fn reoptimize_rates(prob: &SamplingProblem, installed: &[bool]) -> Option<Ra
     let rs: Vec<VarId> = (0..prob.num_edges)
         .map(|e| {
             let hi = if installed[e] { 1.0 } else { 0.0 };
-            m.add_var(format!("r_e{e}"), VarKind::Continuous, 0.0, hi, prob.exploit_cost[e])
+            m.add_var(
+                format!("r_e{e}"),
+                VarKind::Continuous,
+                0.0,
+                hi,
+                prob.exploit_cost[e],
+            )
         })
         .collect();
     let ds: Vec<VarId> = (0..prob.paths.len())
@@ -66,8 +72,12 @@ pub fn reoptimize_rates(prob: &SamplingProblem, installed: &[bool]) -> Option<Ra
             .collect();
         m.add_constr(terms, Cmp::Ge, prob.h[t] * vt);
     }
-    let terms: Vec<(VarId, f64)> =
-        prob.paths.iter().enumerate().map(|(i, p)| (ds[i], p.volume)).collect();
+    let terms: Vec<(VarId, f64)> = prob
+        .paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ds[i], p.volume))
+        .collect();
     m.add_constr(terms, Cmp::Ge, prob.k * prob.total_volume());
 
     let sol = match m.solve_lp() {
@@ -76,9 +86,17 @@ pub fn reoptimize_rates(prob: &SamplingProblem, installed: &[bool]) -> Option<Ra
         Err(e) => panic!("LP solver failed unexpectedly: {e}"),
     };
     let rates: Vec<f64> = rs.iter().map(|&r| sol.value(r).clamp(0.0, 1.0)).collect();
-    let exploit_cost = rates.iter().zip(&prob.exploit_cost).map(|(r, c)| r * c).sum();
+    let exploit_cost = rates
+        .iter()
+        .zip(&prob.exploit_cost)
+        .map(|(r, c)| r * c)
+        .sum();
     let monitored = prob.total_monitored(&rates);
-    Some(RatesSolution { rates, exploit_cost, monitored })
+    Some(RatesSolution {
+        rates,
+        exploit_cost,
+        monitored,
+    })
 }
 
 /// Fast min-cost-flow relaxation of `PPME*` for single-path traffics under
@@ -92,10 +110,7 @@ pub fn reoptimize_rates(prob: &SamplingProblem, installed: &[bool]) -> Option<Ra
 /// rate); the derived rates `r_e = flow_e / load(e)` are a fast warm
 /// estimate, not guaranteed to meet per-traffic floors. Returns `None`
 /// when the installed links cannot carry `k·V`.
-pub fn reoptimize_rates_flow(
-    prob: &SamplingProblem,
-    installed: &[bool],
-) -> Option<RatesSolution> {
+pub fn reoptimize_rates_flow(prob: &SamplingProblem, installed: &[bool]) -> Option<RatesSolution> {
     assert_eq!(installed.len(), prob.num_edges, "one flag per link");
     // Build a monitoring instance over installed links only (uninstalled
     // links get pruned from supports; traffics with no installed link keep
@@ -104,13 +119,29 @@ pub fn reoptimize_rates_flow(
         .paths
         .iter()
         .map(|p| {
-            (p.volume, p.edges.iter().copied().filter(|&e| installed[e]).collect::<Vec<_>>())
+            (
+                p.volume,
+                p.edges
+                    .iter()
+                    .copied()
+                    .filter(|&e| installed[e])
+                    .collect::<Vec<_>>(),
+            )
         })
         .collect();
-    let inst = MonitoringInstance { num_edges: prob.num_edges, traffics };
+    let inst = MonitoringInstance {
+        num_edges: prob.num_edges,
+        traffics,
+    };
     let loads = inst.edge_loads();
     let costs: Vec<f64> = (0..prob.num_edges)
-        .map(|e| if loads[e] > 1e-12 { prob.exploit_cost[e] / loads[e] } else { 1e12 })
+        .map(|e| {
+            if loads[e] > 1e-12 {
+                prob.exploit_cost[e] / loads[e]
+            } else {
+                1e12
+            }
+        })
         .collect();
     let mut g = mcmf::mecf::build_mecf(&inst, &costs);
     let demand = prob.k * prob.total_volume();
@@ -130,9 +161,17 @@ pub fn reoptimize_rates_flow(
             }
         })
         .collect();
-    let exploit_cost = rates.iter().zip(&prob.exploit_cost).map(|(r, c)| r * c).sum();
+    let exploit_cost = rates
+        .iter()
+        .zip(&prob.exploit_cost)
+        .map(|(r, c)| r * c)
+        .sum();
     let monitored = prob.total_monitored(&rates);
-    Some(RatesSolution { rates, exploit_cost, monitored })
+    Some(RatesSolution {
+        rates,
+        exploit_cost,
+        monitored,
+    })
 }
 
 /// Configuration of the Section 5.4 threshold controller.
@@ -209,12 +248,19 @@ pub fn run_controller(
         .expect("initial PPME*(x, h, k) must be feasible for the installed set")
         .rates;
 
-    let mut trace = ControllerTrace { steps: Vec::with_capacity(steps), reoptimizations: 0 };
+    let mut trace = ControllerTrace {
+        steps: Vec::with_capacity(steps),
+        reoptimizations: 0,
+    };
     for _ in 0..steps {
         process.step();
         let prob = build(process.current());
         let total = prob.total_volume();
-        let before = if total > 0.0 { prob.total_monitored(&rates) / total } else { 1.0 };
+        let before = if total > 0.0 {
+            prob.total_monitored(&rates) / total
+        } else {
+            1.0
+        };
         let mut reoptimized = false;
         if before < spec.threshold {
             if let Some(r) = reoptimize_rates(&prob, installed) {
@@ -226,8 +272,16 @@ pub fn run_controller(
             // devices can see) keep the old rates: the operator would be
             // alerted; the trace shows coverage staying low.
         }
-        let after = if total > 0.0 { prob.total_monitored(&rates) / total } else { 1.0 };
-        let cost = rates.iter().zip(&prob.exploit_cost).map(|(r, c)| r * c).sum();
+        let after = if total > 0.0 {
+            prob.total_monitored(&rates) / total
+        } else {
+            1.0
+        };
+        let cost = rates
+            .iter()
+            .zip(&prob.exploit_cost)
+            .map(|(r, c)| r * c)
+            .sum();
         trace.steps.push(ControllerStep {
             step: process.steps(),
             coverage_before: before,
@@ -250,10 +304,26 @@ mod tests {
         SamplingProblem {
             num_edges: 5,
             paths: vec![
-                SamplingPath { edges: vec![0, 1], volume: 2.0, traffic: 0 },
-                SamplingPath { edges: vec![0, 2], volume: 2.0, traffic: 1 },
-                SamplingPath { edges: vec![1, 3], volume: 1.0, traffic: 2 },
-                SamplingPath { edges: vec![2, 4], volume: 1.0, traffic: 3 },
+                SamplingPath {
+                    edges: vec![0, 1],
+                    volume: 2.0,
+                    traffic: 0,
+                },
+                SamplingPath {
+                    edges: vec![0, 2],
+                    volume: 2.0,
+                    traffic: 1,
+                },
+                SamplingPath {
+                    edges: vec![1, 3],
+                    volume: 1.0,
+                    traffic: 2,
+                },
+                SamplingPath {
+                    edges: vec![2, 4],
+                    volume: 1.0,
+                    traffic: 3,
+                },
             ],
             num_traffics: 4,
             h: vec![0.0; 4],
@@ -321,14 +391,17 @@ mod tests {
 
         // Install devices from an exact PPM solve at k = 0.95.
         let inst = crate::instance::PpmInstance::from_traffic(&pop.graph, &ts);
-        let sol =
-            crate::passive::solve_ppm_exact(&inst, 0.95, &Default::default()).unwrap();
+        let sol = crate::passive::solve_ppm_exact(&inst, 0.95, &Default::default()).unwrap();
         let mut installed = vec![false; ne];
         for &e in &sol.edges {
             installed[e] = true;
         }
 
-        let spec = ControllerSpec { k: 0.9, h: 0.0, threshold: 0.85 };
+        let spec = ControllerSpec {
+            k: 0.9,
+            h: 0.0,
+            threshold: 0.85,
+        };
         let mut process = TrafficProcess::new(ts, DynamicSpec::default(), 11);
         let trace = run_controller(
             &mut process,
@@ -360,8 +433,15 @@ mod tests {
         let ts = TrafficSpec::default().generate(&pop, 3);
         let ne = pop.graph.edge_count();
         let installed = vec![true; ne]; // full deployment: always feasible
-        let spec = ControllerSpec { k: 0.95, h: 0.0, threshold: 0.93 };
-        let drift = DynamicSpec { shift_probability: 0.5, ..Default::default() };
+        let spec = ControllerSpec {
+            k: 0.95,
+            h: 0.0,
+            threshold: 0.93,
+        };
+        let drift = DynamicSpec {
+            shift_probability: 0.5,
+            ..Default::default()
+        };
         let mut process = TrafficProcess::new(ts, drift, 7);
         let trace = run_controller(
             &mut process,
@@ -372,7 +452,10 @@ mod tests {
             vec![0.5; ne],
             40,
         );
-        assert!(trace.reoptimizations > 0, "drift must trigger re-optimizations");
+        assert!(
+            trace.reoptimizations > 0,
+            "drift must trigger re-optimizations"
+        );
         // After every re-optimization coverage is restored to >= k.
         for s in trace.steps.iter().filter(|s| s.reoptimized) {
             assert!(s.coverage_after + 1e-6 >= spec.k);
@@ -386,7 +469,11 @@ mod tests {
         let ts = TrafficSpec::default().generate(&pop, 3);
         let ne = pop.graph.edge_count();
         let mut process = TrafficProcess::new(ts, DynamicSpec::default(), 1);
-        let spec = ControllerSpec { k: 0.9, h: 0.0, threshold: 0.9 };
+        let spec = ControllerSpec {
+            k: 0.9,
+            h: 0.0,
+            threshold: 0.9,
+        };
         run_controller(
             &mut process,
             &pop.graph,

@@ -36,15 +36,24 @@ impl PpmInstance {
     pub fn new(num_edges: usize, traffics: Vec<(f64, Vec<usize>)>) -> Self {
         let mut cleaned = Vec::with_capacity(traffics.len());
         for (v, mut support) in traffics {
-            assert!(v.is_finite() && v >= 0.0, "volume must be finite and >= 0, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "volume must be finite and >= 0, got {v}"
+            );
             support.sort_unstable();
             support.dedup();
             if let Some(&max) = support.last() {
-                assert!(max < num_edges, "support references edge {max} >= {num_edges}");
+                assert!(
+                    max < num_edges,
+                    "support references edge {max} >= {num_edges}"
+                );
             }
             cleaned.push((v, support));
         }
-        Self { num_edges, traffics: cleaned }
+        Self {
+            num_edges,
+            traffics: cleaned,
+        }
     }
 
     /// Builds the instance from a routed traffic matrix (the normal path in
@@ -54,7 +63,10 @@ impl PpmInstance {
             .traffics
             .iter()
             .map(|t| {
-                (t.volume, t.path.edges().iter().map(|e| e.index()).collect::<Vec<_>>())
+                (
+                    t.volume,
+                    t.path.edges().iter().map(|e| e.index()).collect::<Vec<_>>(),
+                )
             })
             .collect();
         Self::new(graph.edge_count(), traffics)
@@ -125,7 +137,10 @@ impl PpmInstance {
                 _ => merged.push((v, support)),
             }
         }
-        PpmInstance { num_edges: self.num_edges, traffics: merged }
+        PpmInstance {
+            num_edges: self.num_edges,
+            traffics: merged,
+        }
     }
 
     /// Volume of traffics whose support is empty (entry = exit router, or
@@ -150,12 +165,19 @@ impl PpmInstance {
 
     /// Adapter to the index-based instance used by the flow crate.
     pub fn to_monitoring(&self) -> MonitoringInstance {
-        MonitoringInstance { num_edges: self.num_edges, traffics: self.traffics.clone() }
+        MonitoringInstance {
+            num_edges: self.num_edges,
+            traffics: self.traffics.clone(),
+        }
     }
 
     /// Supports as `EdgeId`s for interop with `netgraph`-typed callers.
     pub fn support_edges(&self, traffic: usize) -> Vec<EdgeId> {
-        self.traffics[traffic].1.iter().map(|&e| EdgeId(e as u32)).collect()
+        self.traffics[traffic]
+            .1
+            .iter()
+            .map(|&e| EdgeId(e as u32))
+            .collect()
     }
 }
 
@@ -165,7 +187,12 @@ impl PpmInstance {
 pub(crate) fn fixture_figure3() -> PpmInstance {
     PpmInstance::new(
         5,
-        vec![(2.0, vec![0, 1]), (2.0, vec![0, 2]), (1.0, vec![1, 3]), (1.0, vec![2, 4])],
+        vec![
+            (2.0, vec![0, 1]),
+            (2.0, vec![0, 2]),
+            (1.0, vec![1, 3]),
+            (1.0, vec![2, 4]),
+        ],
     )
 }
 
@@ -203,8 +230,8 @@ mod tests {
                 (1.0, vec![0, 1]),
                 (2.0, vec![1, 0]), // same support, different order
                 (3.0, vec![2]),
-                (0.0, vec![0]),  // zero volume dropped
-                (4.0, vec![]),   // empty support dropped
+                (0.0, vec![0]), // zero volume dropped
+                (4.0, vec![]),  // empty support dropped
             ],
         );
         let m = inst.merged();
@@ -220,7 +247,10 @@ mod tests {
         let ts = TrafficSpec::default().generate(&pop, 3);
         let inst = PpmInstance::from_traffic(&pop.graph, &ts);
         let merged = inst.merged();
-        assert!(merged.traffics.len() < inst.traffics.len(), "merging should shrink");
+        assert!(
+            merged.traffics.len() < inst.traffics.len(),
+            "merging should shrink"
+        );
         for sel in [vec![0], vec![1, 5], vec![0, 3, 7, 20]] {
             assert!((inst.coverage(&sel) - merged.coverage(&sel)).abs() < 1e-6);
         }

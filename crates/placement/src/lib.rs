@@ -28,7 +28,10 @@
 //!   `1 − Π(1 − r_e)` instead of adding;
 //! * [`campaign`] — Section 7's third future-work item: measurement
 //!   campaigns that re-route traffic over alternative paths to maximize
-//!   the monitored ratio for a fixed deployment.
+//!   the monitored ratio for a fixed deployment;
+//! * [`delta`] — sweep grids as chains of deltas: one mutable instance
+//!   whose exact solves are warm-started point to point (LP basis reuse)
+//!   and whose link failures re-route only the crossing traffics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@
 pub mod active;
 pub mod campaign;
 pub mod cascade;
+pub mod delta;
 pub mod dynamic;
 pub mod instance;
 pub mod passive;
@@ -43,5 +47,6 @@ pub mod reduction;
 pub mod sampling;
 pub mod setcover;
 
+pub use delta::DeltaInstance;
 pub use instance::PpmInstance;
 pub use passive::PpmSolution;

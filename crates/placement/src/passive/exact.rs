@@ -34,7 +34,12 @@ pub struct ExactOptions {
 
 impl Default for ExactOptions {
     fn default() -> Self {
-        Self { max_nodes: 50_000, time_limit: None, warm_start: true, rel_gap: 1e-9 }
+        Self {
+            max_nodes: 50_000,
+            time_limit: None,
+            warm_start: true,
+            rel_gap: 1e-9,
+        }
     }
 }
 
@@ -165,28 +170,7 @@ fn solve_with(
     };
 
     if opts.warm_start {
-        // Seed with the better of the two greedy solutions on the original
-        // instance (which carries the correct target semantics).
-        let warm = match (greedy_static(inst, k), greedy_adaptive(inst, k)) {
-            (Some(a), Some(b)) => Some(if a.device_count() <= b.device_count() { a } else { b }),
-            (a, b) => a.or(b),
-        };
-        if let Some(w) = warm {
-            let mut values = vec![0.0; model.var_count()];
-            for &e in &w.edges {
-                values[xs[e].index()] = 1.0;
-            }
-            // Set δ_t consistently: for LP2 the δs are the covered
-            // indicator; for LP1 (flow variables) skip the warm start.
-            let mut var = inst_delta_offset(&model, &xs);
-            if let Some(delta_start) = var.take() {
-                for (t, (_, support)) in merged.traffics.iter().enumerate() {
-                    let covered = support.iter().any(|&e| w.edges.contains(&e));
-                    values[delta_start + t] = if covered { 1.0 } else { 0.0 };
-                }
-                model.set_initial_solution(values);
-            }
-        }
+        install_greedy_incumbent(&mut model, &xs, inst, &merged, k);
     }
 
     let mip_opts = MipOptions {
@@ -195,6 +179,8 @@ fn solve_with(
         rel_gap: opts.rel_gap,
         // Device count is integral: round LP bounds up.
         integral_objective: Some(true),
+        // Node LPs differ from their parent by one bound: reuse the basis.
+        warm_basis: true,
         ..Default::default()
     };
     let sol = match model.solve_mip_with(&mip_opts) {
@@ -202,7 +188,9 @@ fn solve_with(
         Err(milp::SolverError::Infeasible) => return None,
         Err(e) => panic!("MIP solver failed unexpectedly: {e}"),
     };
-    let edges: Vec<usize> = (0..merged.num_edges).filter(|&e| sol.is_one(xs[e], 1e-4)).collect();
+    let edges: Vec<usize> = (0..merged.num_edges)
+        .filter(|&e| sol.is_one(xs[e], 1e-4))
+        .collect();
     let proven = sol.status == SolveStatus::Optimal;
     let solution = PpmSolution::from_edges(inst, edges, proven);
     debug_assert!(
@@ -214,6 +202,42 @@ fn solve_with(
     Some(solution)
 }
 
+/// Seeds `model` with the better of the two greedy solutions on the
+/// original instance (which carries the correct target semantics) as the
+/// branch-and-bound's initial incumbent. Shared by the one-shot exact
+/// solver and the warm-started sweep chains of [`crate::delta`].
+pub(crate) fn install_greedy_incumbent(
+    model: &mut Model,
+    xs: &[VarId],
+    inst: &PpmInstance,
+    merged: &PpmInstance,
+    k: f64,
+) {
+    let warm = match (greedy_static(inst, k), greedy_adaptive(inst, k)) {
+        (Some(a), Some(b)) => Some(if a.device_count() <= b.device_count() {
+            a
+        } else {
+            b
+        }),
+        (a, b) => a.or(b),
+    };
+    if let Some(w) = warm {
+        let mut values = vec![0.0; model.var_count()];
+        for &e in &w.edges {
+            values[xs[e].index()] = 1.0;
+        }
+        // Set δ_t consistently: for LP2 the δs are the covered
+        // indicator; for LP1 (flow variables) skip the warm start.
+        let mut var = inst_delta_offset(model, xs);
+        if let Some(delta_start) = var.take() {
+            for (t, (_, support)) in merged.traffics.iter().enumerate() {
+                let covered = support.iter().any(|&e| w.edges.contains(&e));
+                values[delta_start + t] = if covered { 1.0 } else { 0.0 };
+            }
+            model.set_initial_solution(values);
+        }
+    }
+}
 
 /// For LP2-shaped models the δ variables start right after the x block;
 /// detect that by name so the warm start can fill them. Returns `None` for
@@ -237,7 +261,11 @@ mod tests {
     fn figure3_optimum_is_two() {
         let inst = fixture_figure3();
         let s = solve_ppm_exact(&inst, 1.0, &ExactOptions::default()).unwrap();
-        assert_eq!(s.device_count(), 2, "optimal solution uses the two load-3 links");
+        assert_eq!(
+            s.device_count(),
+            2,
+            "optimal solution uses the two load-3 links"
+        );
         assert_eq!(s.edges, vec![1, 2]);
         assert!(s.proven_optimal);
     }
@@ -313,7 +341,10 @@ mod tests {
     #[test]
     fn no_warm_start_still_optimal() {
         let inst = fixture_figure3();
-        let opts = ExactOptions { warm_start: false, ..Default::default() };
+        let opts = ExactOptions {
+            warm_start: false,
+            ..Default::default()
+        };
         let s = solve_ppm_exact(&inst, 1.0, &opts).unwrap();
         assert_eq!(s.device_count(), 2);
     }

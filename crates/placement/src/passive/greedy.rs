@@ -28,7 +28,10 @@ pub fn greedy_static(inst: &PpmInstance, k: f64) -> Option<PpmSolution> {
     let mut order: Vec<usize> = (0..inst.num_edges).collect();
     // Decreasing load; ties on the smaller edge index for determinism.
     order.sort_by(|&a, &b| {
-        loads[b].partial_cmp(&loads[a]).expect("finite loads").then(a.cmp(&b))
+        loads[b]
+            .partial_cmp(&loads[a])
+            .expect("finite loads")
+            .then(a.cmp(&b))
     });
 
     let mut covered = vec![false; inst.traffics.len()];
@@ -72,8 +75,13 @@ pub fn flow_greedy_ppm(inst: &PpmInstance, k: f64) -> Option<PpmSolution> {
     check_k(k);
     let mon = inst.to_monitoring();
     let r = mcmf::mecf::flow_greedy(&mon, k)?;
-    let edges: Vec<usize> =
-        r.selected.iter().enumerate().filter(|(_, &s)| s).map(|(e, _)| e).collect();
+    let edges: Vec<usize> = r
+        .selected
+        .iter()
+        .enumerate()
+        .filter(|(_, &s)| s)
+        .map(|(e, _)| e)
+        .collect();
     Some(PpmSolution::from_edges(inst, edges, false))
 }
 
@@ -124,7 +132,10 @@ mod tests {
         let inst = fixture_figure3();
         for k in [0.5, 0.8, 1.0] {
             let f = flow_greedy_ppm(&inst, k).unwrap();
-            assert!(inst.is_feasible(&f.edges, k), "flow greedy feasible at k={k}");
+            assert!(
+                inst.is_feasible(&f.edges, k),
+                "flow greedy feasible at k={k}"
+            );
         }
     }
 

@@ -53,9 +53,11 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
     // Initial incumbent from the greedy pair.
     let mut incumbent: Option<Vec<usize>> = match (greedy_static(inst, k), greedy_adaptive(inst, k))
     {
-        (Some(a), Some(b)) => {
-            Some(if a.device_count() <= b.device_count() { a.edges } else { b.edges })
-        }
+        (Some(a), Some(b)) => Some(if a.device_count() <= b.device_count() {
+            a.edges
+        } else {
+            b.edges
+        }),
         (a, b) => a.or(b).map(|s| s.edges),
     };
 
@@ -64,15 +66,16 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
         state: Vec<EdgeState>,
         installed: usize,
     }
-    let mut stack = vec![Frame { state: vec![EdgeState::Free; ne], installed: 0 }];
+    let mut stack = vec![Frame {
+        state: vec![EdgeState::Free; ne],
+        installed: 0,
+    }];
     let mut nodes = 0usize;
     let mut proven = true;
     let start = std::time::Instant::now();
 
     while let Some(frame) = stack.pop() {
-        if nodes >= opts.max_nodes
-            || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
-        {
+        if nodes >= opts.max_nodes || opts.time_limit.is_some_and(|l| start.elapsed() >= l) {
             proven = false;
             break;
         }
@@ -84,8 +87,7 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
         }
 
         // Flow bound for this node.
-        let Some((bound_frac, flow_edges, routed)) =
-            flow_bound(&mon, &loads, &frame.state, target)
+        let Some((bound_frac, flow_edges, routed)) = flow_bound(&mon, &loads, &frame.state, target)
         else {
             continue; // target unreachable under these fixings
         };
@@ -137,10 +139,16 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
         // plunging toward covers) is explored first.
         let mut down = frame.state.clone();
         down[e] = EdgeState::Forbidden;
-        stack.push(Frame { state: down, installed: frame.installed });
+        stack.push(Frame {
+            state: down,
+            installed: frame.installed,
+        });
         let mut up = frame.state;
         up[e] = EdgeState::Installed;
-        stack.push(Frame { state: up, installed: frame.installed + 1 });
+        stack.push(Frame {
+            state: up,
+            installed: frame.installed + 1,
+        });
     }
 
     incumbent.map(|edges| PpmSolution::from_edges(inst, edges, proven))
@@ -195,8 +203,7 @@ fn flow_bound(
             let better = match best {
                 None => true,
                 Some((bc, be)) => {
-                    cost < bc - 1e-15
-                        || ((cost - bc).abs() <= 1e-15 && loads[e] > loads[be])
+                    cost < bc - 1e-15 || ((cost - bc).abs() <= 1e-15 && loads[e] > loads[be])
                 }
             };
             if better {
@@ -239,18 +246,29 @@ fn prune_redundant(inst: &PpmInstance, cover: &mut Vec<usize>, target: f64) {
     let loads = inst.edge_loads();
     let mut order: Vec<usize> = (0..cover.len()).collect();
     order.sort_by(|&i, &j| {
-        loads[cover[i]].partial_cmp(&loads[cover[j]]).expect("finite")
+        loads[cover[i]]
+            .partial_cmp(&loads[cover[j]])
+            .expect("finite")
     });
     let mut keep: Vec<bool> = vec![true; cover.len()];
     for &i in &order {
         keep[i] = false;
-        let candidate: Vec<usize> =
-            cover.iter().enumerate().filter(|&(j, _)| keep[j]).map(|(_, &e)| e).collect();
+        let candidate: Vec<usize> = cover
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| keep[j])
+            .map(|(_, &e)| e)
+            .collect();
         if inst.coverage(&candidate) + 1e-9 < target {
             keep[i] = true;
         }
     }
-    *cover = cover.iter().enumerate().filter(|&(j, _)| keep[j]).map(|(_, &e)| e).collect();
+    *cover = cover
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| keep[j])
+        .map(|(_, &e)| e)
+        .collect();
 }
 
 #[cfg(test)]
@@ -352,7 +370,10 @@ mod tests {
         let pop = popgen::PopSpec::paper_10().build();
         let ts = popgen::TrafficSpec::default().generate(&pop, 2);
         let inst = crate::instance::PpmInstance::from_traffic(&pop.graph, &ts);
-        let opts = ExactOptions { max_nodes: 1, ..Default::default() };
+        let opts = ExactOptions {
+            max_nodes: 1,
+            ..Default::default()
+        };
         let s = solve_ppm_mecf_bb(&inst, 0.9, &opts).unwrap();
         assert!(inst.is_feasible(&s.edges, 0.9));
         // With a single node the search cannot be complete unless the

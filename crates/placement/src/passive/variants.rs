@@ -62,6 +62,7 @@ pub fn solve_incremental(
         max_nodes: opts.max_nodes,
         time_limit: opts.time_limit,
         integral_objective: Some(true),
+        warm_basis: true,
         ..Default::default()
     };
     let sol = match model.solve_mip_with(&mip_opts) {
@@ -69,19 +70,23 @@ pub fn solve_incremental(
         Err(milp::SolverError::Infeasible) => return None,
         Err(e) => panic!("MIP solver failed unexpectedly: {e}"),
     };
-    let edges: Vec<usize> = (0..merged.num_edges).filter(|&e| sol.is_one(xs[e], 1e-4)).collect();
-    Some(PpmSolution::from_edges(inst, edges, sol.status == SolveStatus::Optimal))
+    let edges: Vec<usize> = (0..merged.num_edges)
+        .filter(|&e| sol.is_one(xs[e], 1e-4))
+        .collect();
+    Some(PpmSolution::from_edges(
+        inst,
+        edges,
+        sol.status == SolveStatus::Optimal,
+    ))
 }
 
-/// Maximum-coverage placement of at most `budget` new devices on top of
-/// `installed` ones (pass `&[]` for a fresh deployment).
-pub fn solve_budget(
-    inst: &PpmInstance,
-    budget: usize,
-    installed: &[usize],
-    opts: &ExactOptions,
-) -> BudgetSolution {
-    let merged = inst.merged();
+/// Builds the maximum-coverage (budget) MIP over a merged instance:
+/// maximize `Σ δ_t v_t` with `δ_t ≤ Σ_{e∈p_t} x_e` and a device budget
+/// row over the non-installed edges. The budget row is the **last**
+/// constraint with a placeholder RHS of 0 — callers set the actual budget
+/// with [`Model::set_rhs`], which is what lets the warm-started chains of
+/// [`crate::delta`] walk a budget grid on one model.
+pub(crate) fn build_budget_model(merged: &PpmInstance, installed: &[usize]) -> (Model, Vec<VarId>) {
     let mut model = Model::new(Sense::Maximize);
     let xs: Vec<VarId> = (0..merged.num_edges)
         .map(|e| model.add_var(format!("x_e{e}"), VarKind::Binary, 0.0, 1.0, 0.0))
@@ -101,15 +106,35 @@ pub fn solve_budget(
         terms.push((d, -1.0));
         model.add_constr(terms, Cmp::Ge, 0.0);
     }
-    model.add_constr(budget_terms, Cmp::Le, budget as f64);
+    model.add_constr(budget_terms, Cmp::Le, 0.0);
+    (model, xs)
+}
+
+/// Maximum-coverage placement of at most `budget` new devices on top of
+/// `installed` ones (pass `&[]` for a fresh deployment).
+pub fn solve_budget(
+    inst: &PpmInstance,
+    budget: usize,
+    installed: &[usize],
+    opts: &ExactOptions,
+) -> BudgetSolution {
+    let merged = inst.merged();
+    let (mut model, xs) = build_budget_model(&merged, installed);
+    let budget_row = model.constr(model.constr_count() - 1);
+    model.set_rhs(budget_row, budget as f64);
 
     let mip_opts = MipOptions {
         max_nodes: opts.max_nodes,
         time_limit: opts.time_limit,
+        warm_basis: true,
         ..Default::default()
     };
-    let sol = model.solve_mip_with(&mip_opts).expect("budget problem is always feasible");
-    let edges: Vec<usize> = (0..merged.num_edges).filter(|&e| sol.is_one(xs[e], 1e-4)).collect();
+    let sol = model
+        .solve_mip_with(&mip_opts)
+        .expect("budget problem is always feasible");
+    let edges: Vec<usize> = (0..merged.num_edges)
+        .filter(|&e| sol.is_one(xs[e], 1e-4))
+        .collect();
     let coverage = inst.coverage(&edges);
     BudgetSolution {
         edges,
@@ -145,7 +170,11 @@ mod tests {
         // 2 more (links 3/4 or 1/2 pick up the weight-1 traffics).
         let s = solve_incremental(&inst, 1.0, &[0], &ExactOptions::default()).unwrap();
         assert!(s.edges.contains(&0), "installed device must stay");
-        assert_eq!(s.device_count(), 3, "two new devices on top of the installed one");
+        assert_eq!(
+            s.device_count(),
+            3,
+            "two new devices on top of the installed one"
+        );
         assert!(inst.is_feasible(&s.edges, 1.0));
     }
 
@@ -170,7 +199,10 @@ mod tests {
         let inst = fixture_figure3();
         let s = solve_budget(&inst, 1, &[], &ExactOptions::default());
         assert_eq!(s.edges.len(), 1);
-        assert_eq!(s.coverage, 4.0, "best single edge covers the two weight-2 traffics");
+        assert_eq!(
+            s.coverage, 4.0,
+            "best single edge covers the two weight-2 traffics"
+        );
     }
 
     #[test]

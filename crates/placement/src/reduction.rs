@@ -47,8 +47,9 @@ pub fn msc_to_ppm(msc: &SetCoverInstance) -> MscToPpm {
         a.push(b.add_node(format!("a{i}")));
         z.push(b.add_node(format!("z{i}")));
     }
-    let set_edge: Vec<usize> =
-        (0..m).map(|i| b.add_edge(a[i], z[i], 1.0).index()).collect();
+    let set_edge: Vec<usize> = (0..m)
+        .map(|i| b.add_edge(a[i], z[i], 1.0).index())
+        .collect();
 
     // Linking edges for every intersecting pair: e_ij joins z_i to a_j and
     // e_ji joins z_j to a_i, so e_i, e_ij, e_j, e_ji form a cycle.
@@ -73,8 +74,7 @@ pub fn msc_to_ppm(msc: &SetCoverInstance) -> MscToPpm {
     let mut traffics = Vec::with_capacity(msc.weights.len());
     let mut paths = Vec::with_capacity(msc.weights.len());
     for (u, &w) in msc.weights.iter().enumerate() {
-        let containing: Vec<usize> =
-            (0..m).filter(|&i| msc.sets[i].contains(&u)).collect();
+        let containing: Vec<usize> = (0..m).filter(|&i| msc.sets[i].contains(&u)).collect();
         assert!(
             !containing.is_empty(),
             "element {u} belongs to no set; the MSC instance has no cover"
@@ -103,7 +103,12 @@ pub fn msc_to_ppm(msc: &SetCoverInstance) -> MscToPpm {
     }
 
     let instance = PpmInstance::new(graph.edge_count(), traffics);
-    MscToPpm { graph, instance, set_edge, paths }
+    MscToPpm {
+        graph,
+        instance,
+        set_edge,
+        paths,
+    }
 }
 
 /// Interprets a `PPM(1)` solution of the gadget as an MSC solution, using
@@ -122,7 +127,11 @@ pub fn ppm_solution_to_msc(gadget: &MscToPpm, selected_edges: &[usize]) -> Vec<u
                 if let Some(pos) = support.iter().position(|&se| se == e) {
                     // Supports alternate set-edge / link-edge, starting with
                     // a set edge, so a neighbor is always a set edge.
-                    let neighbor = if pos > 0 { support[pos - 1] } else { support[pos + 1] };
+                    let neighbor = if pos > 0 {
+                        support[pos - 1]
+                    } else {
+                        support[pos + 1]
+                    };
                     let i = gadget
                         .set_edge
                         .iter()
@@ -196,7 +205,10 @@ mod tests {
         let chosen: Vec<usize> = opt_msc.iter().map(|&i| g.set_edge[i]).collect();
         assert!(g.instance.is_feasible(&chosen, 1.0));
         for e in 0..g.instance.num_edges {
-            assert!(!g.instance.is_feasible(&[e], 1.0), "no single edge covers all");
+            assert!(
+                !g.instance.is_feasible(&[e], 1.0),
+                "no single edge covers all"
+            );
         }
     }
 

@@ -75,8 +75,16 @@ impl SamplingProblem {
         assert!((0.0..=1.0).contains(&k), "k must lie in [0, 1], got {k}");
         assert!((0.0..=1.0).contains(&h), "h must lie in [0, 1], got {h}");
         assert!(h <= k + 1e-12, "h_t must not exceed k (paper Section 5)");
-        assert_eq!(setup_cost.len(), graph.edge_count(), "one setup cost per link");
-        assert_eq!(exploit_cost.len(), graph.edge_count(), "one exploitation cost per link");
+        assert_eq!(
+            setup_cost.len(),
+            graph.edge_count(),
+            "one setup cost per link"
+        );
+        assert_eq!(
+            exploit_cost.len(),
+            graph.edge_count(),
+            "one exploitation cost per link"
+        );
         let mut paths = Vec::new();
         for (t, mt) in traffics.iter().enumerate() {
             for (path, share) in &mt.routes {
@@ -145,7 +153,11 @@ impl SamplingProblem {
 
     /// Volume of one traffic (over its paths).
     pub fn traffic_volume(&self, t: usize) -> f64 {
-        self.paths.iter().filter(|p| p.traffic == t).map(|p| p.volume).sum()
+        self.paths
+            .iter()
+            .filter(|p| p.traffic == t)
+            .map(|p| p.volume)
+            .sum()
     }
 
     /// Monitored volume of every path under sampling rates `r`
@@ -195,13 +207,19 @@ impl SamplingProblem {
                 .map(|(_, m)| m)
                 .sum();
             if mt + tol * vt.max(1.0) < self.h[t] * vt {
-                return Err(format!("traffic {t} monitored {mt} < h·v = {}", self.h[t] * vt));
+                return Err(format!(
+                    "traffic {t} monitored {mt} < h·v = {}",
+                    self.h[t] * vt
+                ));
             }
         }
         let total = self.total_volume();
         let covered: f64 = mon.iter().sum();
         if covered + tol * total.max(1.0) < self.k * total {
-            return Err(format!("global coverage {covered} < k·V = {}", self.k * total));
+            return Err(format!(
+                "global coverage {covered} < k·V = {}",
+                self.k * total
+            ));
         }
         Ok(())
     }
@@ -241,11 +259,25 @@ impl PpmeSolution {
 pub fn build_lp3(prob: &SamplingProblem) -> (Model, Vec<VarId>, Vec<VarId>, Vec<VarId>) {
     let mut m = Model::new(Sense::Minimize);
     let xs: Vec<VarId> = (0..prob.num_edges)
-        .map(|e| m.add_var(format!("x_e{e}"), VarKind::Binary, 0.0, 1.0, prob.setup_cost[e]))
+        .map(|e| {
+            m.add_var(
+                format!("x_e{e}"),
+                VarKind::Binary,
+                0.0,
+                1.0,
+                prob.setup_cost[e],
+            )
+        })
         .collect();
     let rs: Vec<VarId> = (0..prob.num_edges)
         .map(|e| {
-            m.add_var(format!("r_e{e}"), VarKind::Continuous, 0.0, 1.0, prob.exploit_cost[e])
+            m.add_var(
+                format!("r_e{e}"),
+                VarKind::Continuous,
+                0.0,
+                1.0,
+                prob.exploit_cost[e],
+            )
         })
         .collect();
     let ds: Vec<VarId> = (0..prob.paths.len())
@@ -278,8 +310,12 @@ pub fn build_lp3(prob: &SamplingProblem) -> (Model, Vec<VarId>, Vec<VarId>, Vec<
         m.add_constr(terms, Cmp::Ge, prob.h[t] * vt);
     }
     // Global coverage.
-    let terms: Vec<(VarId, f64)> =
-        prob.paths.iter().enumerate().map(|(i, p)| (ds[i], p.volume)).collect();
+    let terms: Vec<(VarId, f64)> = prob
+        .paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (ds[i], p.volume))
+        .collect();
     m.add_constr(terms, Cmp::Ge, prob.k * prob.total_volume());
 
     (m, xs, rs, ds)
@@ -329,7 +365,11 @@ pub fn solve_ppme(prob: &SamplingProblem, opts: &PpmeOptions) -> Option<PpmeSolu
         .filter(|(i, _)| **i)
         .map(|(_, c)| c)
         .sum();
-    let exploit_cost: f64 = rates.iter().zip(&prob.exploit_cost).map(|(r, c)| r * c).sum();
+    let exploit_cost: f64 = rates
+        .iter()
+        .zip(&prob.exploit_cost)
+        .map(|(r, c)| r * c)
+        .sum();
     Some(PpmeSolution {
         installed,
         rates,
@@ -348,7 +388,10 @@ pub fn solve_ppme(prob: &SamplingProblem, opts: &PpmeOptions) -> Option<PpmeSolu
 fn full_cover_incumbent(prob: &SamplingProblem, opts: &PpmeOptions) -> Option<Vec<f64>> {
     let inst = crate::instance::PpmInstance::new(
         prob.num_edges,
-        prob.paths.iter().map(|p| (p.volume, p.edges.clone())).collect(),
+        prob.paths
+            .iter()
+            .map(|p| (p.volume, p.edges.clone()))
+            .collect(),
     );
     // Keep the inner PPM solve cheap: it only seeds the incumbent.
     let inner = crate::passive::ExactOptions {
@@ -381,10 +424,26 @@ mod tests {
         SamplingProblem {
             num_edges: 5,
             paths: vec![
-                SamplingPath { edges: vec![0, 1], volume: 2.0, traffic: 0 },
-                SamplingPath { edges: vec![0, 2], volume: 2.0, traffic: 1 },
-                SamplingPath { edges: vec![1, 3], volume: 1.0, traffic: 2 },
-                SamplingPath { edges: vec![2, 4], volume: 1.0, traffic: 3 },
+                SamplingPath {
+                    edges: vec![0, 1],
+                    volume: 2.0,
+                    traffic: 0,
+                },
+                SamplingPath {
+                    edges: vec![0, 2],
+                    volume: 2.0,
+                    traffic: 1,
+                },
+                SamplingPath {
+                    edges: vec![1, 3],
+                    volume: 1.0,
+                    traffic: 2,
+                },
+                SamplingPath {
+                    edges: vec![2, 4],
+                    volume: 1.0,
+                    traffic: 3,
+                },
             ],
             num_traffics: 4,
             h: vec![h; 4],
@@ -402,7 +461,11 @@ mod tests {
         assert!(s.proven_optimal);
         // Full coverage needs rates summing to >= 1 on every path; two
         // devices at rate 1 on links 1 and 2 do it: cost 2 + 1.0.
-        assert!((s.total_cost() - 3.0).abs() < 1e-5, "cost = {}", s.total_cost());
+        assert!(
+            (s.total_cost() - 3.0).abs() < 1e-5,
+            "cost = {}",
+            s.total_cost()
+        );
     }
 
     #[test]
@@ -412,7 +475,9 @@ mod tests {
         let full = solve_ppme(&prob_full, &PpmeOptions::default()).unwrap();
         let part = solve_ppme(&prob_part, &PpmeOptions::default()).unwrap();
         assert!(part.total_cost() < full.total_cost());
-        prob_part.check_solution(&part.installed, &part.rates, 1e-6).unwrap();
+        prob_part
+            .check_solution(&part.installed, &part.rates, 1e-6)
+            .unwrap();
     }
 
     #[test]
@@ -422,7 +487,11 @@ mod tests {
         let prob = small_problem(0.0, 0.5);
         let s = solve_ppme(&prob, &PpmeOptions::default()).unwrap();
         let frac = s.rates.iter().any(|&r| r > 1e-6 && r < 1.0 - 1e-6);
-        assert!(frac, "expected a fractional sampling rate, got {:?}", s.rates);
+        assert!(
+            frac,
+            "expected a fractional sampling rate, got {:?}",
+            s.rates
+        );
     }
 
     #[test]
@@ -462,7 +531,10 @@ mod tests {
         let multi = TrafficSpec::default().generate_multi(&pop, 5, 2);
         let (ci, ce) = SamplingProblem::uniform_costs(pop.graph.edge_count());
         let prob = SamplingProblem::from_multi(&pop.graph, &multi, 0.1, 0.6, ci, ce);
-        assert!(prob.paths.len() > prob.num_traffics, "multi-routing adds paths");
+        assert!(
+            prob.paths.len() > prob.num_traffics,
+            "multi-routing adds paths"
+        );
         let s = solve_ppme(&prob, &PpmeOptions::default()).unwrap();
         prob.check_solution(&s.installed, &s.rates, 1e-5).unwrap();
     }

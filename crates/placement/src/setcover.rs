@@ -38,7 +38,10 @@ impl SetCoverInstance {
             }
             cleaned.push(s);
         }
-        Self { weights, sets: cleaned }
+        Self {
+            weights,
+            sets: cleaned,
+        }
     }
 
     /// Unweighted instance (all element weights 1).
@@ -59,7 +62,12 @@ impl SetCoverInstance {
                 covered[e] = true;
             }
         }
-        covered.iter().zip(&self.weights).filter(|(c, _)| **c).map(|(_, w)| w).sum()
+        covered
+            .iter()
+            .zip(&self.weights)
+            .filter(|(c, _)| **c)
+            .map(|(_, w)| w)
+            .sum()
     }
 
     /// The maximum weight any selection can cover (elements in no set are
@@ -71,7 +79,12 @@ impl SetCoverInstance {
                 coverable[e] = true;
             }
         }
-        coverable.iter().zip(&self.weights).filter(|(c, _)| **c).map(|(_, w)| w).sum()
+        coverable
+            .iter()
+            .zip(&self.weights)
+            .filter(|(c, _)| **c)
+            .map(|(_, w)| w)
+            .sum()
     }
 }
 
@@ -107,8 +120,11 @@ pub fn greedy_partial_cover(inst: &SetCoverInstance, target: f64) -> Option<Gree
             if used[i] {
                 continue;
             }
-            let gain: f64 =
-                s.iter().filter(|&&e| !covered[e]).map(|&e| inst.weights[e]).sum();
+            let gain: f64 = s
+                .iter()
+                .filter(|&&e| !covered[e])
+                .map(|&e| inst.weights[e])
+                .sum();
             if gain > tol && best.is_none_or(|(_, g)| gain > g + tol) {
                 best = Some((i, gain));
             }
@@ -122,7 +138,10 @@ pub fn greedy_partial_cover(inst: &SetCoverInstance, target: f64) -> Option<Gree
         }
     }
 
-    Some(GreedyCover { selection, covered: covered_w })
+    Some(GreedyCover {
+        selection,
+        covered: covered_w,
+    })
 }
 
 /// Full-cover convenience wrapper (`MSC`): greedy until everything
@@ -208,10 +227,7 @@ mod tests {
 
     #[test]
     fn weighted_greedy_prefers_heavy_elements() {
-        let inst = SetCoverInstance::new(
-            vec![10.0, 1.0, 1.0],
-            vec![vec![0], vec![1, 2]],
-        );
+        let inst = SetCoverInstance::new(vec![10.0, 1.0, 1.0], vec![vec![0], vec![1, 2]]);
         let g = greedy_partial_cover(&inst, 10.0).unwrap();
         assert_eq!(g.selection, vec![0]);
     }
@@ -249,7 +265,11 @@ mod tests {
         let g = greedy_set_cover(&inst).unwrap();
         let b = brute_force_cover(&inst, 6.0).unwrap();
         assert_eq!(b.len(), 2);
-        assert!(g.selection.len() >= 3, "greedy should be baited: {:?}", g.selection);
+        assert!(
+            g.selection.len() >= 3,
+            "greedy should be baited: {:?}",
+            g.selection
+        );
         // ... but within the Slavík bound.
         assert!((g.selection.len() as f64) <= slavik_bound(6) * b.len() as f64);
     }

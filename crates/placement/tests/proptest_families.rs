@@ -14,14 +14,19 @@ use proptest::prelude::*;
 /// Strategy: a seeded random family instance, small enough that the exact
 /// ILP stays cheap across 256 cases.
 fn family_instances() -> impl Strategy<Value = (FamilySpec, u64)> {
-    (0usize..3, 6usize..=12, 3usize..=6, 0.25f64..=1.0, 0u64..1000).prop_map(
-        |(fam, routers, endpoints, density, seed)| {
+    (
+        0usize..3,
+        6usize..=12,
+        3usize..=6,
+        0.25f64..=1.0,
+        0u64..1000,
+    )
+        .prop_map(|(fam, routers, endpoints, density, seed)| {
             let name = ["waxman", "ba", "hier"][fam];
             let mut spec = FamilySpec::canonical(name, routers, endpoints).expect("known family");
             spec.density = density;
             (spec, seed)
-        },
-    )
+        })
 }
 
 fn build(spec: &FamilySpec, seed: u64) -> (Pop, TrafficSet, PpmInstance) {
@@ -43,7 +48,10 @@ fn covered_volume_from_paths(ts: &TrafficSet, tapped: &[usize]) -> f64 {
     ts.traffics
         .iter()
         .filter(|t| {
-            t.path.edges().iter().any(|e| is_tapped.get(e.index()).copied().unwrap_or(false))
+            t.path
+                .edges()
+                .iter()
+                .any(|e| is_tapped.get(e.index()).copied().unwrap_or(false))
         })
         .map(|t| t.volume)
         .sum()

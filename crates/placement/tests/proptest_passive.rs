@@ -18,8 +18,7 @@ use proptest::prelude::*;
 fn ppm_instances() -> impl Strategy<Value = PpmInstance> {
     (2usize..=8).prop_flat_map(|ne| {
         let traffic = (1.0f64..10.0, proptest::collection::vec(0..ne, 1..=3));
-        proptest::collection::vec(traffic, 1..=10)
-            .prop_map(move |ts| PpmInstance::new(ne, ts))
+        proptest::collection::vec(traffic, 1..=10).prop_map(move |ts| PpmInstance::new(ne, ts))
     })
 }
 

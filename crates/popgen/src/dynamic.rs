@@ -30,7 +30,12 @@ pub struct DynamicSpec {
 
 impl Default for DynamicSpec {
     fn default() -> Self {
-        Self { jitter: 0.1, shift_probability: 0.15, shift_boost: 20.0, floor: 0.1 }
+        Self {
+            jitter: 0.1,
+            shift_probability: 0.15,
+            shift_boost: 20.0,
+            floor: 0.1,
+        }
     }
 }
 
@@ -43,7 +48,10 @@ impl DynamicSpec {
         if !self.jitter.is_finite() || self.jitter < 0.0 || self.jitter >= 1.0 {
             return Err(SpecError::new(
                 "jitter",
-                format!("must be in [0, 1) (volumes stay positive), got {}", self.jitter),
+                format!(
+                    "must be in [0, 1) (volumes stay positive), got {}",
+                    self.jitter
+                ),
             ));
         }
         check_range("shift_probability", self.shift_probability, 0.0, 1.0)?;
@@ -81,7 +89,12 @@ impl TrafficProcess {
     /// returns the typed [`SpecError`] instead of panicking.
     pub fn try_new(initial: TrafficSet, spec: DynamicSpec, seed: u64) -> Result<Self, SpecError> {
         spec.validate()?;
-        Ok(Self { current: initial, spec, rng: StdRng::seed_from_u64(seed), steps: 0 })
+        Ok(Self {
+            current: initial,
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            steps: 0,
+        })
     }
 
     /// The current snapshot.
@@ -99,17 +112,22 @@ impl TrafficProcess {
         self.steps += 1;
         let n = self.current.traffics.len();
         for t in &mut self.current.traffics {
-            let f = self.rng.gen_range(1.0 - self.spec.jitter..=1.0 + self.spec.jitter);
+            let f = self
+                .rng
+                .gen_range(1.0 - self.spec.jitter..=1.0 + self.spec.jitter);
             t.volume = (t.volume * f).max(self.spec.floor);
         }
-        if n >= 2 && self.rng.gen_bool(self.spec.shift_probability.clamp(0.0, 1.0)) {
+        if n >= 2
+            && self
+                .rng
+                .gen_bool(self.spec.shift_probability.clamp(0.0, 1.0))
+        {
             // Drastic shift: promote one traffic, deflate another.
             let up = self.rng.gen_range(0..n);
             let down = self.rng.gen_range(0..n);
             self.current.traffics[up].volume *= self.spec.shift_boost;
             self.current.traffics[down].volume =
-                (self.current.traffics[down].volume / self.spec.shift_boost)
-                    .max(self.spec.floor);
+                (self.current.traffics[down].volume / self.spec.shift_boost).max(self.spec.floor);
         }
         &self.current
     }
@@ -139,8 +157,11 @@ mod tests {
     #[test]
     fn paths_never_change() {
         let initial = start();
-        let edges_before: Vec<_> =
-            initial.traffics.iter().map(|t| t.path.edges().to_vec()).collect();
+        let edges_before: Vec<_> = initial
+            .traffics
+            .iter()
+            .map(|t| t.path.edges().to_vec())
+            .collect();
         let mut p = TrafficProcess::new(initial, DynamicSpec::default(), 3);
         for _ in 0..20 {
             p.step();
@@ -163,7 +184,10 @@ mod tests {
 
     #[test]
     fn shifts_eventually_move_mass() {
-        let spec = DynamicSpec { shift_probability: 1.0, ..Default::default() };
+        let spec = DynamicSpec {
+            shift_probability: 1.0,
+            ..Default::default()
+        };
         let initial = start();
         let before = initial.total_volume();
         let mut p = TrafficProcess::new(initial, spec, 5);
@@ -171,28 +195,52 @@ mod tests {
             p.step();
         }
         let after = p.current().total_volume();
-        assert!((after - before).abs() > before * 0.05, "mass should have shifted");
+        assert!(
+            (after - before).abs() > before * 0.05,
+            "mass should have shifted"
+        );
     }
 
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(DynamicSpec::default().validate().is_ok());
-        let bad = DynamicSpec { shift_probability: 1.5, ..Default::default() };
+        let bad = DynamicSpec {
+            shift_probability: 1.5,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "shift_probability");
-        let bad = DynamicSpec { shift_probability: f64::NAN, ..Default::default() };
+        let bad = DynamicSpec {
+            shift_probability: f64::NAN,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "shift_probability");
-        let bad = DynamicSpec { jitter: -0.1, ..Default::default() };
+        let bad = DynamicSpec {
+            jitter: -0.1,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "jitter");
-        let bad = DynamicSpec { jitter: 1.0, ..Default::default() };
+        let bad = DynamicSpec {
+            jitter: 1.0,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "jitter");
-        let bad = DynamicSpec { shift_boost: 0.5, ..Default::default() };
+        let bad = DynamicSpec {
+            shift_boost: 0.5,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "shift_boost");
-        let bad = DynamicSpec { floor: f64::NEG_INFINITY, ..Default::default() };
+        let bad = DynamicSpec {
+            floor: f64::NEG_INFINITY,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "floor");
 
         assert!(TrafficProcess::try_new(
             start(),
-            DynamicSpec { shift_probability: 2.0, ..Default::default() },
+            DynamicSpec {
+                shift_probability: 2.0,
+                ..Default::default()
+            },
             1
         )
         .is_err());
@@ -203,7 +251,10 @@ mod tests {
     fn new_panics_on_invalid_spec() {
         TrafficProcess::new(
             start(),
-            DynamicSpec { shift_probability: f64::NAN, ..Default::default() },
+            DynamicSpec {
+                shift_probability: f64::NAN,
+                ..Default::default()
+            },
             1,
         );
     }

@@ -53,7 +53,10 @@ pub struct SpecError {
 
 impl SpecError {
     pub(crate) fn new(field: &'static str, message: impl Into<String>) -> Self {
-        SpecError { field, message: message.into() }
+        SpecError {
+            field,
+            message: message.into(),
+        }
     }
 }
 
@@ -68,17 +71,15 @@ impl std::error::Error for SpecError {}
 /// Checks that `v` is finite and inside `[lo, hi]` (both bounds are
 /// rendered in the message, so callers pass human-readable bounds —
 /// use [`check_positive`] / [`check_min`] for open or unbounded ranges).
-pub(crate) fn check_range(
-    field: &'static str,
-    v: f64,
-    lo: f64,
-    hi: f64,
-) -> Result<(), SpecError> {
+pub(crate) fn check_range(field: &'static str, v: f64, lo: f64, hi: f64) -> Result<(), SpecError> {
     if !v.is_finite() {
         return Err(SpecError::new(field, format!("must be finite, got {v}")));
     }
     if v < lo || v > hi {
-        return Err(SpecError::new(field, format!("must be in [{lo}, {hi}], got {v}")));
+        return Err(SpecError::new(
+            field,
+            format!("must be in [{lo}, {hi}], got {v}"),
+        ));
     }
     Ok(())
 }
@@ -90,7 +91,10 @@ pub(crate) fn check_positive(field: &'static str, v: f64, hi: f64) -> Result<(),
         return Err(SpecError::new(field, format!("must be finite, got {v}")));
     }
     if v <= 0.0 || v > hi {
-        return Err(SpecError::new(field, format!("must be in (0, {hi}], got {v}")));
+        return Err(SpecError::new(
+            field,
+            format!("must be in (0, {hi}], got {v}"),
+        ));
     }
     Ok(())
 }
@@ -98,7 +102,10 @@ pub(crate) fn check_positive(field: &'static str, v: f64, hi: f64) -> Result<(),
 /// Checks that `v` is finite and strictly positive (no upper bound).
 pub(crate) fn check_positive_finite(field: &'static str, v: f64) -> Result<(), SpecError> {
     if !v.is_finite() || v <= 0.0 {
-        return Err(SpecError::new(field, format!("must be positive and finite, got {v}")));
+        return Err(SpecError::new(
+            field,
+            format!("must be positive and finite, got {v}"),
+        ));
     }
     Ok(())
 }
@@ -109,7 +116,10 @@ pub(crate) fn check_min(field: &'static str, v: f64, lo: f64) -> Result<(), Spec
         return Err(SpecError::new(field, format!("must be finite, got {v}")));
     }
     if v < lo {
-        return Err(SpecError::new(field, format!("must be at least {lo}, got {v}")));
+        return Err(SpecError::new(
+            field,
+            format!("must be at least {lo}, got {v}"),
+        ));
     }
     Ok(())
 }
@@ -186,7 +196,10 @@ impl FamilySpec {
     /// density `0.6`).
     pub fn waxman(routers: usize, endpoints: usize) -> Self {
         FamilySpec {
-            kind: FamilyKind::Waxman { alpha: 0.9, beta: 0.35 },
+            kind: FamilyKind::Waxman {
+                alpha: 0.9,
+                beta: 0.35,
+            },
             routers,
             endpoints,
             density: 0.6,
@@ -208,7 +221,10 @@ impl FamilySpec {
     /// 50% dual-homing, density `0.6`).
     pub fn hier_isp(routers: usize, endpoints: usize) -> Self {
         FamilySpec {
-            kind: FamilyKind::HierIsp { backbone_fraction: 0.2, dual_home_probability: 0.5 },
+            kind: FamilyKind::HierIsp {
+                backbone_fraction: 0.2,
+                dual_home_probability: 0.5,
+            },
             routers,
             endpoints,
             density: 0.6,
@@ -258,7 +274,10 @@ impl FamilySpec {
                     ));
                 }
             }
-            FamilyKind::HierIsp { backbone_fraction, dual_home_probability } => {
+            FamilyKind::HierIsp {
+                backbone_fraction,
+                dual_home_probability,
+            } => {
                 if !backbone_fraction.is_finite()
                     || backbone_fraction <= 0.0
                     || backbone_fraction >= 1.0
@@ -283,11 +302,20 @@ impl FamilySpec {
 
         // Phase 1: the router-level edge list (family-specific).
         let edges: Vec<(usize, usize)> = match self.kind {
-            FamilyKind::Waxman { alpha, beta } => waxman_edges(n, alpha, beta, self.density, &mut rng),
-            FamilyKind::BarabasiAlbert { attach } => ba_edges(n, attach, self.density, &mut rng),
-            FamilyKind::HierIsp { backbone_fraction, dual_home_probability } => {
-                hier_edges(n, backbone_fraction, dual_home_probability, self.density, &mut rng)
+            FamilyKind::Waxman { alpha, beta } => {
+                waxman_edges(n, alpha, beta, self.density, &mut rng)
             }
+            FamilyKind::BarabasiAlbert { attach } => ba_edges(n, attach, self.density, &mut rng),
+            FamilyKind::HierIsp {
+                backbone_fraction,
+                dual_home_probability,
+            } => hier_edges(
+                n,
+                backbone_fraction,
+                dual_home_probability,
+                self.density,
+                &mut rng,
+            ),
         };
 
         // Phase 2: role assignment. The hierarchy is structural for
@@ -301,7 +329,9 @@ impl FamilySpec {
         }
         let mut is_backbone = vec![false; n];
         match self.kind {
-            FamilyKind::HierIsp { backbone_fraction, .. } => {
+            FamilyKind::HierIsp {
+                backbone_fraction, ..
+            } => {
                 let nb = hier_backbone_count(n, backbone_fraction);
                 for flag in is_backbone.iter_mut().take(nb) {
                     *flag = true;
@@ -323,21 +353,30 @@ impl FamilySpec {
         let mut roles = Vec::with_capacity(n + self.endpoints);
         let ids: Vec<NodeId> = (0..n)
             .map(|i| {
-                roles.push(if is_backbone[i] { NodeRole::Backbone } else { NodeRole::Access });
+                roles.push(if is_backbone[i] {
+                    NodeRole::Backbone
+                } else {
+                    NodeRole::Access
+                });
                 b.add_node(format!("r{i}"))
             })
             .collect();
         for &(u, v) in &edges {
             b.add_edge(ids[u], ids[v], 1.0);
         }
-        let backbone: Vec<NodeId> =
-            (0..n).filter(|&i| is_backbone[i]).map(|i| ids[i]).collect();
-        let access: Vec<NodeId> =
-            (0..n).filter(|&i| !is_backbone[i]).map(|i| ids[i]).collect();
+        let backbone: Vec<NodeId> = (0..n).filter(|&i| is_backbone[i]).map(|i| ids[i]).collect();
+        let access: Vec<NodeId> = (0..n)
+            .filter(|&i| !is_backbone[i])
+            .map(|i| ids[i])
+            .collect();
 
         let peers = (self.endpoints / 6).max(1);
         let customers = self.endpoints - peers;
-        let customer_hosts: &[NodeId] = if access.is_empty() { &backbone } else { &access };
+        let customer_hosts: &[NodeId] = if access.is_empty() {
+            &backbone
+        } else {
+            &access
+        };
         let mut endpoints = Vec::with_capacity(self.endpoints);
         for i in 0..customers {
             roles.push(NodeRole::Customer);
@@ -355,8 +394,17 @@ impl FamilySpec {
         }
 
         let graph = b.build();
-        debug_assert!(bfs::is_connected(&graph), "family instances must be connected");
-        Ok(Pop { graph, roles, backbone, access, endpoints })
+        debug_assert!(
+            bfs::is_connected(&graph),
+            "family instances must be connected"
+        );
+        Ok(Pop {
+            graph,
+            roles,
+            backbone,
+            access,
+            endpoints,
+        })
     }
 }
 
@@ -376,7 +424,10 @@ struct EdgeAccum {
 
 impl EdgeAccum {
     fn new(n: usize) -> Self {
-        EdgeAccum { adj: vec![vec![false; n]; n], edges: Vec::new() }
+        EdgeAccum {
+            adj: vec![vec![false; n]; n],
+            edges: Vec::new(),
+        }
     }
 
     fn contains(&self, u: usize, v: usize) -> bool {
@@ -384,7 +435,10 @@ impl EdgeAccum {
     }
 
     fn add(&mut self, u: usize, v: usize) {
-        debug_assert!(u != v && !self.adj[u][v], "generators never add duplicate links");
+        debug_assert!(
+            u != v && !self.adj[u][v],
+            "generators never add duplicate links"
+        );
         self.adj[u][v] = true;
         self.adj[v][u] = true;
         self.edges.push((u, v));
@@ -552,8 +606,14 @@ impl fmt::Display for FamilySpec {
         match self.kind {
             FamilyKind::Waxman { alpha, beta } => write!(f, " alpha={alpha} beta={beta}"),
             FamilyKind::BarabasiAlbert { attach } => write!(f, " attach={attach}"),
-            FamilyKind::HierIsp { backbone_fraction, dual_home_probability } => {
-                write!(f, " backbone={backbone_fraction} dualhome={dual_home_probability}")
+            FamilyKind::HierIsp {
+                backbone_fraction,
+                dual_home_probability,
+            } => {
+                write!(
+                    f,
+                    " backbone={backbone_fraction} dualhome={dual_home_probability}"
+                )
             }
         }
     }
@@ -573,7 +633,10 @@ impl FromStr for FamilySpec {
             .next()
             .ok_or_else(|| SpecError::new("family", "empty spec".to_string()))?;
         let mut spec = FamilySpec::canonical(family, 10, 6).ok_or_else(|| {
-            SpecError::new("family", format!("unknown family {family:?} (waxman|ba|hier)"))
+            SpecError::new(
+                "family",
+                format!("unknown family {family:?} (waxman|ba|hier)"),
+            )
         })?;
         let mut seen: Vec<String> = Vec::new();
         for tok in tokens {
@@ -598,15 +661,20 @@ impl FromStr for FamilySpec {
                 ("density", _) => spec.density = f64_of("density")?,
                 ("alpha", FamilyKind::Waxman { alpha, .. }) => *alpha = f64_of("alpha")?,
                 ("beta", FamilyKind::Waxman { beta, .. }) => *beta = f64_of("beta")?,
-                ("attach", FamilyKind::BarabasiAlbert { attach }) => {
-                    *attach = usize_of("attach")?
-                }
-                ("backbone", FamilyKind::HierIsp { backbone_fraction, .. }) => {
-                    *backbone_fraction = f64_of("backbone")?
-                }
-                ("dualhome", FamilyKind::HierIsp { dual_home_probability, .. }) => {
-                    *dual_home_probability = f64_of("dualhome")?
-                }
+                ("attach", FamilyKind::BarabasiAlbert { attach }) => *attach = usize_of("attach")?,
+                (
+                    "backbone",
+                    FamilyKind::HierIsp {
+                        backbone_fraction, ..
+                    },
+                ) => *backbone_fraction = f64_of("backbone")?,
+                (
+                    "dualhome",
+                    FamilyKind::HierIsp {
+                        dual_home_probability,
+                        ..
+                    },
+                ) => *dual_home_probability = f64_of("dualhome")?,
                 _ => {
                     return Err(SpecError::new(
                         "spec",
@@ -627,7 +695,10 @@ impl FromStr for FamilySpec {
 pub fn emit_document(spec: &FamilySpec, seed: u64) -> Result<String, SpecError> {
     let pop = spec.build(seed)?;
     let ts = crate::traffic::GravitySpec::default().generate(&pop, seed);
-    Ok(format!("# family: {spec}\n# seed: {seed}\n{}", crate::fileio::serialize(&pop, &ts)))
+    Ok(format!(
+        "# family: {spec}\n# seed: {seed}\n{}",
+        crate::fileio::serialize(&pop, &ts)
+    ))
 }
 
 #[cfg(test)]
@@ -682,7 +753,11 @@ mod tests {
                     })
                     .collect()
             };
-            assert_eq!(ends(&a), ends(&b), "{spec}: same seed must rebuild the same graph");
+            assert_eq!(
+                ends(&a),
+                ends(&b),
+                "{spec}: same seed must rebuild the same graph"
+            );
             let c = spec.build(8).unwrap();
             assert!(
                 ends(&a) != ends(&c) || a.graph.edge_count() != c.graph.edge_count(),
@@ -700,7 +775,10 @@ mod tests {
             dense.density = 1.0;
             let lo = sparse.build(3).unwrap().graph.edge_count();
             let hi = dense.build(3).unwrap().graph.edge_count();
-            assert!(hi > lo, "{family}: density 1.0 ({hi}) must out-link 0.15 ({lo})");
+            assert!(
+                hi > lo,
+                "{family}: density 1.0 ({hi}) must out-link 0.15 ({lo})"
+            );
         }
     }
 
@@ -740,11 +818,23 @@ mod tests {
         // attached afterwards), so compare router-only neighbor counts:
         // every backbone router must out-rank every access router.
         let router_degree = |v: netgraph::NodeId| {
-            pop.graph.neighbors(v).iter().filter(|&&(_, u)| pop.is_router(u)).count()
+            pop.graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&(_, u)| pop.is_router(u))
+                .count()
         };
-        let min_bb = pop.backbone.iter().map(|&v| router_degree(v)).min().unwrap();
+        let min_bb = pop
+            .backbone
+            .iter()
+            .map(|&v| router_degree(v))
+            .min()
+            .unwrap();
         let max_ac = pop.access.iter().map(|&v| router_degree(v)).max().unwrap();
-        assert!(min_bb >= max_ac, "backbone must be the hub set ({min_bb} vs {max_ac})");
+        assert!(
+            min_bb >= max_ac,
+            "backbone must be the hub set ({min_bb} vs {max_ac})"
+        );
     }
 
     #[test]
@@ -764,9 +854,15 @@ mod tests {
         assert_eq!(s.validate().unwrap_err().field, "endpoints");
 
         let mut s = FamilySpec::waxman(10, 6);
-        s.kind = FamilyKind::Waxman { alpha: f64::INFINITY, beta: 0.3 };
+        s.kind = FamilyKind::Waxman {
+            alpha: f64::INFINITY,
+            beta: 0.3,
+        };
         assert_eq!(s.validate().unwrap_err().field, "alpha");
-        s.kind = FamilyKind::Waxman { alpha: 0.9, beta: -0.1 };
+        s.kind = FamilyKind::Waxman {
+            alpha: 0.9,
+            beta: -0.1,
+        };
         assert_eq!(s.validate().unwrap_err().field, "beta");
 
         let mut s = FamilySpec::barabasi_albert(10, 6);
@@ -776,9 +872,15 @@ mod tests {
         assert_eq!(s.validate().unwrap_err().field, "attach");
 
         let mut s = FamilySpec::hier_isp(10, 6);
-        s.kind = FamilyKind::HierIsp { backbone_fraction: 1.0, dual_home_probability: 0.5 };
+        s.kind = FamilyKind::HierIsp {
+            backbone_fraction: 1.0,
+            dual_home_probability: 0.5,
+        };
         assert_eq!(s.validate().unwrap_err().field, "backbone");
-        s.kind = FamilyKind::HierIsp { backbone_fraction: 0.2, dual_home_probability: 1.1 };
+        s.kind = FamilyKind::HierIsp {
+            backbone_fraction: 0.2,
+            dual_home_probability: 1.1,
+        };
         assert_eq!(s.validate().unwrap_err().field, "dualhome");
 
         // build() refuses before touching the RNG.
@@ -794,8 +896,9 @@ mod tests {
             let back: FamilySpec = line.parse().expect("display form must parse");
             assert_eq!(back, spec, "{line}");
         }
-        let custom: FamilySpec =
-            "waxman routers=12 endpoints=5 density=0.4 alpha=0.7 beta=0.2".parse().unwrap();
+        let custom: FamilySpec = "waxman routers=12 endpoints=5 density=0.4 alpha=0.7 beta=0.2"
+            .parse()
+            .unwrap();
         assert_eq!(custom.routers, 12);
         assert_eq!(custom.endpoints, 5);
         assert!(matches!(custom.kind, FamilyKind::Waxman { alpha, beta }
@@ -808,9 +911,17 @@ mod tests {
         assert!("erdos routers=10".parse::<FamilySpec>().is_err());
         assert!("waxman routers".parse::<FamilySpec>().is_err());
         assert!("waxman routers=ten".parse::<FamilySpec>().is_err());
-        assert!("waxman attach=2".parse::<FamilySpec>().is_err(), "wrong family's key");
-        assert!("ba routers=4 attach=9".parse::<FamilySpec>().is_err(), "fails validation");
-        let e = "waxman density=0.2 density=0.9".parse::<FamilySpec>().unwrap_err();
+        assert!(
+            "waxman attach=2".parse::<FamilySpec>().is_err(),
+            "wrong family's key"
+        );
+        assert!(
+            "ba routers=4 attach=9".parse::<FamilySpec>().is_err(),
+            "fails validation"
+        );
+        let e = "waxman density=0.2 density=0.9"
+            .parse::<FamilySpec>()
+            .unwrap_err();
         assert!(e.message.contains("duplicate key"), "{e}");
     }
 

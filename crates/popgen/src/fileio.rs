@@ -41,7 +41,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError { line, message: message.into() }
+    ParseError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a document into a [`Pop`] and its [`TrafficSet`].
@@ -108,7 +111,10 @@ pub fn parse(text: &str) -> Result<(Pop, TrafficSet), ParseError> {
                     .parse()
                     .map_err(|_| err(lineno, format!("bad volume {:?}", fields[3])))?;
                 if !(v.is_finite() && v >= 0.0) {
-                    return Err(err(lineno, format!("volume must be finite and >= 0, got {v}")));
+                    return Err(err(
+                        lineno,
+                        format!("volume must be finite and >= 0, got {v}"),
+                    ));
                 }
                 if s == d {
                     return Err(err(lineno, "traffic source equals destination"));
@@ -130,7 +136,13 @@ pub fn parse(text: &str) -> Result<(Pop, TrafficSet), ParseError> {
             NodeRole::Customer | NodeRole::Peer => endpoints.push(n),
         }
     }
-    let pop = Pop { graph, roles, backbone, access, endpoints };
+    let pop = Pop {
+        graph,
+        roles,
+        backbone,
+        access,
+        endpoints,
+    };
 
     // Route demands on shortest paths; group by source for efficiency.
     let mut traffics = Vec::with_capacity(demands.len());
@@ -147,7 +159,12 @@ pub fn parse(text: &str) -> Result<(Pop, TrafficSet), ParseError> {
         let path = tree
             .path_to(&pop.graph, d)
             .map_err(|e| err(0, format!("unroutable traffic: {e}")))?;
-        traffics.push(Traffic { src: s, dst: d, volume: v, path });
+        traffics.push(Traffic {
+            src: s,
+            dst: d,
+            volume: v,
+            path,
+        });
     }
 
     Ok((pop, TrafficSet { traffics }))

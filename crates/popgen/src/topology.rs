@@ -47,37 +47,79 @@ impl PopSpec {
     /// tests and for the fixed-charge `PPME` MILP, whose loose LP bound
     /// makes 27-binary instances expensive to *prove* optimal.
     pub fn small() -> Self {
-        Self { backbone: 2, access: 3, chords: 0, dual_homed: 2, customers: 5, peers: 1 }
+        Self {
+            backbone: 2,
+            access: 3,
+            chords: 0,
+            dual_homed: 2,
+            customers: 5,
+            peers: 1,
+        }
     }
 
     /// The paper's 10-router POP: 10 routers, 27 links, 12 traffic
     /// endpoints hence `12 × 11 = 132` traffics (Figure 7).
     pub fn paper_10() -> Self {
-        Self { backbone: 3, access: 7, chords: 0, dual_homed: 5, customers: 10, peers: 2 }
+        Self {
+            backbone: 3,
+            access: 7,
+            chords: 0,
+            dual_homed: 5,
+            customers: 10,
+            peers: 2,
+        }
     }
 
     /// The paper's 15-router POP: 15 routers, 71 links, 45 traffic
     /// endpoints hence `45 × 44 = 1980` traffics (Figure 8).
     pub fn paper_15() -> Self {
-        Self { backbone: 5, access: 10, chords: 1, dual_homed: 10, customers: 40, peers: 5 }
+        Self {
+            backbone: 5,
+            access: 10,
+            chords: 1,
+            dual_homed: 10,
+            customers: 40,
+            peers: 5,
+        }
     }
 
     /// A 29-router POP for the active-monitoring experiment of Figure 10
     /// (the paper does not report its link count).
     pub fn paper_29() -> Self {
-        Self { backbone: 7, access: 22, chords: 3, dual_homed: 15, customers: 30, peers: 5 }
+        Self {
+            backbone: 7,
+            access: 22,
+            chords: 3,
+            dual_homed: 15,
+            customers: 30,
+            peers: 5,
+        }
     }
 
     /// An 80-router POP for the active-monitoring experiment of Figure 11.
     pub fn paper_80() -> Self {
-        Self { backbone: 16, access: 64, chords: 8, dual_homed: 40, customers: 60, peers: 10 }
+        Self {
+            backbone: 16,
+            access: 64,
+            chords: 8,
+            dual_homed: 40,
+            customers: 60,
+            peers: 10,
+        }
     }
 
     /// A 150-router POP — the paper's Section 7 closes with "we are also
     /// currently testing our solution on larger POPs, with at least 150
     /// routers"; this preset backs the `xp_scale_150` experiment.
     pub fn large_150() -> Self {
-        Self { backbone: 25, access: 125, chords: 12, dual_homed: 80, customers: 90, peers: 15 }
+        Self {
+            backbone: 25,
+            access: 125,
+            chords: 12,
+            dual_homed: 80,
+            customers: 90,
+            peers: 15,
+        }
     }
 
     /// Total number of routers (backbone + access).
@@ -98,8 +140,14 @@ impl PopSpec {
     /// `access > 0` is required (customers need access routers).
     pub fn build(&self) -> Pop {
         assert!(self.backbone >= 1, "need at least one backbone router");
-        assert!(self.dual_homed <= self.access, "dual_homed exceeds access count");
-        assert!(self.customers == 0 || self.access > 0, "customers need access routers");
+        assert!(
+            self.dual_homed <= self.access,
+            "dual_homed exceeds access count"
+        );
+        assert!(
+            self.customers == 0 || self.access > 0,
+            "customers need access routers"
+        );
 
         let mut b = GraphBuilder::new();
         let mut roles = Vec::new();
@@ -169,7 +217,13 @@ impl PopSpec {
 
         let graph = b.build();
         debug_assert!(bfs::is_connected(&graph), "generated POP must be connected");
-        Pop { graph, roles, backbone: bb, access: ac, endpoints }
+        Pop {
+            graph,
+            roles,
+            backbone: bb,
+            access: ac,
+            endpoints,
+        }
     }
 }
 
@@ -193,7 +247,11 @@ impl Pop {
     /// All routers (backbone + access) — the candidate beacon locations of
     /// the active-monitoring problem.
     pub fn routers(&self) -> Vec<NodeId> {
-        self.backbone.iter().chain(self.access.iter()).copied().collect()
+        self.backbone
+            .iter()
+            .chain(self.access.iter())
+            .copied()
+            .collect()
     }
 
     /// Role of a node.
@@ -268,9 +326,12 @@ mod tests {
 
     #[test]
     fn generated_pops_are_connected() {
-        for spec in
-            [PopSpec::paper_10(), PopSpec::paper_15(), PopSpec::paper_29(), PopSpec::paper_80()]
-        {
+        for spec in [
+            PopSpec::paper_10(),
+            PopSpec::paper_15(),
+            PopSpec::paper_29(),
+            PopSpec::paper_80(),
+        ] {
             assert!(netgraph::bfs::is_connected(&spec.build().graph));
         }
     }
@@ -291,7 +352,11 @@ mod tests {
     fn endpoints_have_degree_one() {
         let pop = PopSpec::paper_15().build();
         for &e in &pop.endpoints {
-            assert_eq!(pop.graph.degree(e), 1, "virtual endpoints hang off one link");
+            assert_eq!(
+                pop.graph.degree(e),
+                1,
+                "virtual endpoints hang off one link"
+            );
         }
     }
 
@@ -305,20 +370,35 @@ mod tests {
         assert_eq!(sub.edge_count(), 15);
         assert!(netgraph::bfs::is_connected(&sub));
         for (new_idx, &old) in map.iter().enumerate() {
-            assert_eq!(sub.label(netgraph::NodeId(new_idx as u32)), pop.graph.label(old));
+            assert_eq!(
+                sub.label(netgraph::NodeId(new_idx as u32)),
+                pop.graph.label(old)
+            );
         }
     }
 
     #[test]
     fn tiny_pop_edge_cases() {
-        let spec =
-            PopSpec { backbone: 1, access: 1, chords: 0, dual_homed: 0, customers: 2, peers: 1 };
+        let spec = PopSpec {
+            backbone: 1,
+            access: 1,
+            chords: 0,
+            dual_homed: 0,
+            customers: 2,
+            peers: 1,
+        };
         let pop = spec.build();
         assert_eq!(pop.router_count(), 2);
         assert!(netgraph::bfs::is_connected(&pop.graph));
 
-        let two_bb =
-            PopSpec { backbone: 2, access: 0, chords: 0, dual_homed: 0, customers: 0, peers: 2 };
+        let two_bb = PopSpec {
+            backbone: 2,
+            access: 0,
+            chords: 0,
+            dual_homed: 0,
+            customers: 0,
+            peers: 2,
+        };
         let pop2 = two_bb.build();
         assert_eq!(pop2.graph.edge_count(), 3); // bb link + 2 peer links
     }
@@ -326,7 +406,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "dual_homed exceeds access")]
     fn invalid_spec_panics() {
-        PopSpec { backbone: 2, access: 1, chords: 0, dual_homed: 3, customers: 0, peers: 0 }
-            .build();
+        PopSpec {
+            backbone: 2,
+            access: 1,
+            chords: 0,
+            dual_homed: 3,
+            customers: 0,
+            peers: 0,
+        }
+        .build();
     }
 }

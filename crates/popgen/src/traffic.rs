@@ -61,7 +61,11 @@ pub struct TrafficSpec {
 
 impl Default for TrafficSpec {
     fn default() -> Self {
-        Self { base_range: (1.0, 5.0), preferred_pairs: 6, boost_range: (10.0, 30.0) }
+        Self {
+            base_range: (1.0, 5.0),
+            preferred_pairs: 6,
+            boost_range: (10.0, 30.0),
+        }
     }
 }
 
@@ -121,8 +125,7 @@ impl TrafficSpec {
         // Preferred pairs: a seeded pick of ordered pairs boosted hard.
         let mut boosted = 0usize;
         let mut guard = 0usize;
-        while boosted < self.preferred_pairs && n >= 2 && guard < 100 * self.preferred_pairs + 100
-        {
+        while boosted < self.preferred_pairs && n >= 2 && guard < 100 * self.preferred_pairs + 100 {
             guard += 1;
             let i = rng.gen_range(0..n);
             let j = rng.gen_range(0..n);
@@ -143,7 +146,12 @@ impl TrafficSpec {
                     continue;
                 }
                 let path = tree.path_to(&pop.graph, d).expect("connected POP");
-                traffics.push(Traffic { src: s, dst: d, volume: volume[i][j], path });
+                traffics.push(Traffic {
+                    src: s,
+                    dst: d,
+                    volume: volume[i][j],
+                    path,
+                });
             }
         }
         TrafficSet { traffics }
@@ -164,9 +172,17 @@ impl TrafficSpec {
                 // Shares 1, 1/2, 1/4, ... renormalized.
                 let raw: Vec<f64> = (0..paths.len()).map(|i| 0.5f64.powi(i as i32)).collect();
                 let norm: f64 = raw.iter().sum();
-                let routes =
-                    paths.into_iter().zip(raw).map(|(p, w)| (p, w / norm)).collect::<Vec<_>>();
-                MultiTraffic { src: t.src, dst: t.dst, volume: t.volume, routes }
+                let routes = paths
+                    .into_iter()
+                    .zip(raw)
+                    .map(|(p, w)| (p, w / norm))
+                    .collect::<Vec<_>>();
+                MultiTraffic {
+                    src: t.src,
+                    dst: t.dst,
+                    volume: t.volume,
+                    routes,
+                }
             })
             .collect()
     }
@@ -196,7 +212,11 @@ pub struct GravitySpec {
 
 impl Default for GravitySpec {
     fn default() -> Self {
-        Self { total_volume: 1000.0, mass_range: (1.0, 10.0), skew: 1.0 }
+        Self {
+            total_volume: 1000.0,
+            mass_range: (1.0, 10.0),
+            skew: 1.0,
+        }
     }
 }
 
@@ -239,7 +259,10 @@ impl GravitySpec {
         let n = eps.len();
 
         let masses: Vec<f64> = (0..n)
-            .map(|_| rng.gen_range(self.mass_range.0..=self.mass_range.1).powf(self.skew))
+            .map(|_| {
+                rng.gen_range(self.mass_range.0..=self.mass_range.1)
+                    .powf(self.skew)
+            })
             .collect();
         // Off-diagonal mass-product normalizer, accumulated in the same
         // i-major order the emission loop uses so volumes are exactly the
@@ -266,7 +289,12 @@ impl GravitySpec {
                 } else {
                     0.0
                 };
-                traffics.push(Traffic { src: s, dst: d, volume, path });
+                traffics.push(Traffic {
+                    src: s,
+                    dst: d,
+                    volume,
+                    path,
+                });
             }
         }
         TrafficSet { traffics }
@@ -321,8 +349,14 @@ mod tests {
     #[test]
     fn preferred_pairs_skew_the_distribution() {
         let pop = PopSpec::paper_10().build();
-        let uniform = TrafficSpec { preferred_pairs: 0, ..Default::default() };
-        let skewed = TrafficSpec { preferred_pairs: 8, ..Default::default() };
+        let uniform = TrafficSpec {
+            preferred_pairs: 0,
+            ..Default::default()
+        };
+        let skewed = TrafficSpec {
+            preferred_pairs: 8,
+            ..Default::default()
+        };
         let u = uniform.generate(&pop, 5);
         let s = skewed.generate(&pop, 5);
         let max_u = u.traffics.iter().map(|t| t.volume).fold(0.0, f64::max);
@@ -337,8 +371,11 @@ mod tests {
         let ts = TrafficSpec::default().generate(&pop, 11);
         let loads = ts.edge_loads(&pop.graph);
         let total_load: f64 = loads.iter().sum();
-        let expected: f64 =
-            ts.traffics.iter().map(|t| t.volume * t.path.len() as f64).sum();
+        let expected: f64 = ts
+            .traffics
+            .iter()
+            .map(|t| t.volume * t.path.len() as f64)
+            .sum();
         assert!((total_load - expected).abs() < 1e-6);
     }
 
@@ -382,31 +419,61 @@ mod tests {
             ts.traffics.iter().map(|t| t.volume.to_bits()).collect()
         };
         assert_eq!(volumes(&a), volumes(&b), "same seed, same matrix");
-        assert_ne!(volumes(&a), volumes(&spec.generate(&pop, 6)), "seeds differ");
+        assert_ne!(
+            volumes(&a),
+            volumes(&spec.generate(&pop, 6)),
+            "seeds differ"
+        );
     }
 
     #[test]
     fn gravity_skew_concentrates_volume() {
         let pop = PopSpec::paper_10().build();
-        let flat = GravitySpec { skew: 1.0, ..Default::default() }.generate(&pop, 2);
-        let skewed = GravitySpec { skew: 3.0, ..Default::default() }.generate(&pop, 2);
+        let flat = GravitySpec {
+            skew: 1.0,
+            ..Default::default()
+        }
+        .generate(&pop, 2);
+        let skewed = GravitySpec {
+            skew: 3.0,
+            ..Default::default()
+        }
+        .generate(&pop, 2);
         let max = |ts: &TrafficSet| ts.traffics.iter().map(|t| t.volume).fold(0.0, f64::max);
-        assert!(max(&skewed) > max(&flat), "higher skew must sharpen the heaviest pair");
+        assert!(
+            max(&skewed) > max(&flat),
+            "higher skew must sharpen the heaviest pair"
+        );
     }
 
     #[test]
     fn gravity_validation_rejects_bad_parameters() {
         let ok = GravitySpec::default();
         assert!(ok.validate().is_ok());
-        let bad = GravitySpec { total_volume: f64::NAN, ..Default::default() };
+        let bad = GravitySpec {
+            total_volume: f64::NAN,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "total_volume");
-        let bad = GravitySpec { total_volume: 0.0, ..Default::default() };
+        let bad = GravitySpec {
+            total_volume: 0.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = GravitySpec { mass_range: (0.0, 1.0), ..Default::default() };
+        let bad = GravitySpec {
+            mass_range: (0.0, 1.0),
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "mass_range");
-        let bad = GravitySpec { mass_range: (5.0, 1.0), ..Default::default() };
+        let bad = GravitySpec {
+            mass_range: (5.0, 1.0),
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "mass_range");
-        let bad = GravitySpec { skew: -1.0, ..Default::default() };
+        let bad = GravitySpec {
+            skew: -1.0,
+            ..Default::default()
+        };
         assert_eq!(bad.validate().unwrap_err().field, "skew");
     }
 }

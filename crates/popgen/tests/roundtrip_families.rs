@@ -198,7 +198,10 @@ fn family_document_with_injected_corruption_is_rejected() {
     // the parser must localize the damage.
     let doc = popgen::families::emit_document(&FamilySpec::waxman(8, 4), 1).unwrap();
     let lines: Vec<&str> = doc.lines().collect();
-    let edge_idx = lines.iter().position(|l| l.starts_with("edge ")).expect("has edges");
+    let edge_idx = lines
+        .iter()
+        .position(|l| l.starts_with("edge "))
+        .expect("has edges");
 
     let mut dangling = lines.clone();
     let owned = dangling[edge_idx].replace("edge r", "edge zz");
@@ -208,7 +211,10 @@ fn family_document_with_injected_corruption_is_rejected() {
     assert!(err.message.contains("unknown node"), "{err}");
 
     let mut duped = lines.clone();
-    let node_idx = duped.iter().position(|l| l.starts_with("node ")).expect("has nodes");
+    let node_idx = duped
+        .iter()
+        .position(|l| l.starts_with("node "))
+        .expect("has nodes");
     let dup = duped[node_idx].to_string();
     duped.insert(node_idx + 1, dup.as_str());
     let err = fileio::parse(&duped.join("\n")).expect_err("duplicate node");

@@ -33,7 +33,11 @@ pub struct Criterion {
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), sample_size: self.effective_samples(), _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.effective_samples(),
+            _parent: self,
+        }
     }
 
     pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
@@ -82,11 +86,19 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(id: &str, samples: usize, f: &mut impl FnMut(&mut Bencher)) {
-    let mut b = Bencher { iters: samples.max(1) as u64, total: Duration::ZERO, timed_iters: 0 };
+    let mut b = Bencher {
+        iters: samples.max(1) as u64,
+        total: Duration::ZERO,
+        timed_iters: 0,
+    };
     f(&mut b);
     if b.timed_iters > 0 {
         let per_iter = b.total.as_secs_f64() / b.timed_iters as f64;
-        println!("bench {id:<50} {:>12.3} µs/iter ({} iters)", per_iter * 1e6, b.timed_iters);
+        println!(
+            "bench {id:<50} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            b.timed_iters
+        );
     } else {
         println!("bench {id:<50} (no measurement)");
     }

@@ -45,7 +45,9 @@ pub mod rng {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            TestRng { s: [next(), next(), next(), next()] }
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {

@@ -39,7 +39,11 @@ fn main() {
     println!(
         "  exact ILP:                    {}{}",
         ilp.len(),
-        if ilp.proven_optimal { " (proven optimal)" } else { "" }
+        if ilp.proven_optimal {
+            " (proven optimal)"
+        } else {
+            ""
+        }
     );
     println!(
         "\nILP reduction over Thiran: {:.0}% (paper reports up to 50% on this POP)",

@@ -27,7 +27,8 @@ fn main() {
     let prob = SamplingProblem::from_multi(&pop.graph, &multi, 0.2, 0.9, setup, exploit);
 
     let sol = solve_ppme(&prob, &PpmeOptions::default()).expect("feasible");
-    prob.check_solution(&sol.installed, &sol.rates, 1e-5).expect("valid");
+    prob.check_solution(&sol.installed, &sol.rates, 1e-5)
+        .expect("valid");
     println!(
         "PPME(h=0.2, k=0.9): {} devices, setup cost {:.1}, exploitation cost {:.2}",
         sol.device_count(),
@@ -49,8 +50,15 @@ fn main() {
     // Dynamic phase: single-path snapshot traffic, evolving volumes; the
     // controller re-optimizes rates when coverage sinks below T = 0.85.
     let ts = TrafficSpec::default().generate(&pop, 7);
-    let spec = ControllerSpec { k: 0.9, h: 0.0, threshold: 0.85 };
-    let drift = DynamicSpec { shift_probability: 0.3, ..Default::default() };
+    let spec = ControllerSpec {
+        k: 0.9,
+        h: 0.0,
+        threshold: 0.85,
+    };
+    let drift = DynamicSpec {
+        shift_probability: 0.3,
+        ..Default::default()
+    };
     let mut process = TrafficProcess::new(ts, drift, 99);
     let trace = run_controller(
         &mut process,
@@ -66,8 +74,15 @@ fn main() {
         trace.reoptimizations,
         trace.steps.len()
     );
-    let dips = trace.steps.iter().filter(|s| s.coverage_before < spec.threshold).count();
-    println!("coverage dipped below T = {} at {} steps; every dip was repaired", spec.threshold, dips);
+    let dips = trace
+        .steps
+        .iter()
+        .filter(|s| s.coverage_before < spec.threshold)
+        .count();
+    println!(
+        "coverage dipped below T = {} at {} steps; every dip was repaired",
+        spec.threshold, dips
+    );
     for s in trace.steps.iter().filter(|s| s.reoptimized).take(5) {
         println!(
             "  step {:>3}: coverage {:.1}% -> {:.1}% (exploitation cost {:.2})",

@@ -21,7 +21,11 @@ fn main() {
     // 2. A non-uniform traffic matrix (seeded, reproducible): every ordered
     //    endpoint pair plus a few boosted "preferred pairs".
     let ts = TrafficSpec::default().generate(&pop, 42);
-    println!("traffic: {} flows, total volume {:.1}", ts.len(), ts.total_volume());
+    println!(
+        "traffic: {} flows, total volume {:.1}",
+        ts.len(),
+        ts.total_volume()
+    );
 
     // 3. The PPM(k) instance: cover 95% of the traffic with the fewest
     //    devices (the paper's sweet spot before the 100% cost cliff).
@@ -40,13 +44,21 @@ fn main() {
         "exact ILP:                {} devices, coverage {:.1}%{}",
         ilp.device_count(),
         100.0 * ilp.coverage_fraction(),
-        if ilp.proven_optimal { " (proven optimal)" } else { "" }
+        if ilp.proven_optimal {
+            " (proven optimal)"
+        } else {
+            ""
+        }
     );
 
     // 4. Where do the monitors go?
     for &e in &ilp.edges {
         let (u, v) = pop.graph.endpoints(popmon::netgraph::EdgeId(e as u32));
-        println!("  tap on link {} -- {}", pop.graph.label(u), pop.graph.label(v));
+        println!(
+            "  tap on link {} -- {}",
+            pop.graph.label(u),
+            pop.graph.label(v)
+        );
     }
 
     assert!(ilp.device_count() <= greedy.device_count());

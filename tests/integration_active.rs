@@ -26,7 +26,11 @@ fn figures_ordering_holds_on_all_pop_sizes() {
             let gr = place_beacons_greedy(&probes, candidates);
             let i = place_beacons_ilp(&g, &probes, candidates);
             assert!(t.covers(&probes) && gr.covers(&probes) && i.covers(&probes));
-            assert!(i.len() <= gr.len(), "{} routers, |V_B|={size}", routers.len());
+            assert!(
+                i.len() <= gr.len(),
+                "{} routers, |V_B|={size}",
+                routers.len()
+            );
             assert!(i.len() <= t.len());
             assert!(i.proven_optimal);
         }

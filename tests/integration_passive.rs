@@ -22,9 +22,15 @@ fn all_solvers_produce_feasible_solutions() {
             ("static", greedy_static(&inst, k).unwrap()),
             ("adaptive", greedy_adaptive(&inst, k).unwrap()),
             ("flow", flow_greedy_ppm(&inst, k).unwrap()),
-            ("exact", solve_ppm_exact(&inst, k, &ExactOptions::default()).unwrap()),
+            (
+                "exact",
+                solve_ppm_exact(&inst, k, &ExactOptions::default()).unwrap(),
+            ),
         ] {
-            assert!(inst.is_feasible(&sol.edges, k), "{name} infeasible at k={k}");
+            assert!(
+                inst.is_feasible(&sol.edges, k),
+                "{name} infeasible at k={k}"
+            );
         }
     }
 }
@@ -79,7 +85,10 @@ fn full_coverage_costs_strictly_more_than_95_percent_usually() {
         assert!(s100.device_count() >= s95.device_count());
         gap_total += s100.device_count() as i64 - s95.device_count() as i64;
     }
-    assert!(gap_total > 0, "covering the last 5% must cost extra devices on average");
+    assert!(
+        gap_total > 0,
+        "covering the last 5% must cost extra devices on average"
+    );
 }
 
 #[test]
@@ -107,13 +116,22 @@ fn exact_matches_brute_force_on_subsampled_instances() {
     let mut order: Vec<usize> = (0..inst.num_edges).collect();
     order.sort_by(|&a, &b| loads[b].partial_cmp(&loads[a]).unwrap());
     let keep: Vec<usize> = order.into_iter().take(12).collect();
-    let remap: std::collections::HashMap<usize, usize> =
-        keep.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+    let remap: std::collections::HashMap<usize, usize> = keep
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
     let traffics: Vec<(f64, Vec<usize>)> = inst
         .traffics
         .iter()
         .map(|(v, support)| {
-            (*v, support.iter().filter_map(|e| remap.get(e).copied()).collect())
+            (
+                *v,
+                support
+                    .iter()
+                    .filter_map(|e| remap.get(e).copied())
+                    .collect(),
+            )
         })
         .collect();
     let small = PpmInstance::new(12, traffics);

@@ -19,7 +19,8 @@ fn ppme_solution_validates_and_beats_naive_full_rate() {
     let (ci, ce) = SamplingProblem::uniform_costs(ne);
     let prob = SamplingProblem::from_multi(&pop.graph, &multi, 0.1, 0.8, ci, ce);
     let sol = solve_ppme(&prob, &PpmeOptions::default()).unwrap();
-    prob.check_solution(&sol.installed, &sol.rates, 1e-5).unwrap();
+    prob.check_solution(&sol.installed, &sol.rates, 1e-5)
+        .unwrap();
 
     // Naive alternative: same devices, all at rate 1 — must cost at least
     // as much in exploitation.
@@ -80,8 +81,15 @@ fn controller_end_to_end_on_exact_deployment() {
         installed[e] = true;
     }
 
-    let spec = ControllerSpec { k: 0.9, h: 0.0, threshold: 0.85 };
-    let drift = DynamicSpec { shift_probability: 0.3, ..Default::default() };
+    let spec = ControllerSpec {
+        k: 0.9,
+        h: 0.0,
+        threshold: 0.85,
+    };
+    let drift = DynamicSpec {
+        shift_probability: 0.3,
+        ..Default::default()
+    };
     let mut process = TrafficProcess::new(ts, drift, 21);
     let trace = run_controller(
         &mut process,
@@ -97,7 +105,11 @@ fn controller_end_to_end_on_exact_deployment() {
     // action (when feasible) restores at least k.
     for s in &trace.steps {
         if s.coverage_before >= spec.threshold {
-            assert!(!s.reoptimized, "no action above the threshold (step {})", s.step);
+            assert!(
+                !s.reoptimized,
+                "no action above the threshold (step {})",
+                s.step
+            );
         }
         if s.reoptimized {
             assert!(s.coverage_after + 1e-6 >= s.coverage_before);

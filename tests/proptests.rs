@@ -13,17 +13,14 @@ use popmon::placement::passive::{
     brute_force_ppm, greedy_adaptive, greedy_static, solve_ppm_exact, ExactOptions,
 };
 use popmon::placement::reduction::{msc_to_ppm, ppm_solution_to_msc, ppm_to_msc};
-use popmon::placement::setcover::{
-    brute_force_cover, slavik_bound, SetCoverInstance,
-};
+use popmon::placement::setcover::{brute_force_cover, slavik_bound, SetCoverInstance};
 
 /// Strategy: a random small PPM instance (≤ 8 edges, ≤ 10 traffics, every
 /// traffic crossing 1–3 edges).
 fn ppm_instances() -> impl Strategy<Value = PpmInstance> {
     (2usize..=8).prop_flat_map(|ne| {
         let traffic = (1.0f64..10.0, proptest::collection::vec(0..ne, 1..=3));
-        proptest::collection::vec(traffic, 1..=10)
-            .prop_map(move |ts| PpmInstance::new(ne, ts))
+        proptest::collection::vec(traffic, 1..=10).prop_map(move |ts| PpmInstance::new(ne, ts))
     })
 }
 
