@@ -210,12 +210,105 @@ fn bench_warm_start(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sparse LU kernels behind the simplex basis (`milp::lu`):
+/// factorization, hyper-sparse FTRAN/BTRAN, and product-form update
+/// chains, on an LP2-shaped synthetic basis (unit-diagonal spine, short
+/// sub-diagonal bands, and a dense coupling row — the shape the
+/// flow-conservation + coverage structure of the paper's programs
+/// produces at the 1000-row Figure 8 scale).
+fn bench_sparse_lu(c: &mut Criterion) {
+    let m = 1000usize;
+    let cols: Vec<Vec<(u32, f64)>> = (0..m)
+        .map(|j| {
+            let mut col = vec![(j as u32, 2.0 + (j % 5) as f64 * 0.25)];
+            for t in 1..=(j % 4) {
+                let r = j + t * 7;
+                if r < m - 1 {
+                    col.push((r as u32, 0.5 + (t as f64) * 0.125));
+                }
+            }
+            if j != m - 1 {
+                col.push((m as u32 - 1, 0.0625 + (j % 3) as f64 * 0.03125));
+            }
+            col.sort_unstable_by_key(|e| e.0);
+            col
+        })
+        .collect();
+    let refs: Vec<&[(u32, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+
+    let mut g = c.benchmark_group("sparse_lu");
+    g.bench_function("factorize_1000", |b| {
+        b.iter(|| milp::lu::Basis::factorize_sparse(m, &refs).unwrap().m())
+    });
+
+    let basis = milp::lu::Basis::factorize_sparse(m, &refs).unwrap();
+    let dense_rhs: Vec<f64> = (0..m).map(|i| ((i % 13) as f64 - 6.0) * 0.5).collect();
+    g.bench_function("ftran_dense_rhs_1000", |b| {
+        let mut scratch = Vec::new();
+        b.iter(|| {
+            let mut x = dense_rhs.clone();
+            basis.ftran(&mut x, &mut scratch);
+            x[0]
+        })
+    });
+    g.bench_function("ftran_unit_rhs_1000", |b| {
+        let mut scratch = Vec::new();
+        let mut unit = 0usize;
+        b.iter(|| {
+            let mut x = vec![0.0; m];
+            unit = (unit + 1) % m;
+            x[unit] = 1.0;
+            basis.ftran(&mut x, &mut scratch);
+            x[unit]
+        })
+    });
+    g.bench_function("btran_unit_rhs_1000", |b| {
+        let mut scratch = Vec::new();
+        let mut unit = 0usize;
+        b.iter(|| {
+            let mut x = vec![0.0; m];
+            unit = (unit + 1) % m;
+            x[unit] = 1.0;
+            basis.btran(&mut x, &mut scratch);
+            x[unit]
+        })
+    });
+
+    // A 64-pivot product-form update chain (half the MAX_ETAS cap) plus
+    // one solve per pivot — the steady-state simplex pattern.
+    g.sample_size(10);
+    g.bench_function("update_chain_64_1000", |b| {
+        b.iter(|| {
+            let mut basis = milp::lu::Basis::factorize_sparse(m, &refs).unwrap();
+            let mut scratch = Vec::new();
+            let mut acc = 0.0;
+            for k in 0..64usize {
+                let pos = (k * 131 + 7) % m;
+                let mut w = vec![0.0; m];
+                w[(k * 17) % m] = 3.0;
+                w[(k * 29 + 3) % m] = 1.0;
+                basis.ftran(&mut w, &mut scratch);
+                if w[pos].abs() > 1e-6 {
+                    basis.update(pos, &w).unwrap();
+                }
+                let mut x = vec![0.0; m];
+                x[(k * 41) % m] = 1.0;
+                basis.btran(&mut x, &mut scratch);
+                acc += x[0];
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     hotpaths,
     bench_graph_substrate,
     bench_simplex,
     bench_fig8_pipeline,
     bench_families,
-    bench_warm_start
+    bench_warm_start,
+    bench_sparse_lu
 );
 criterion_main!(hotpaths);

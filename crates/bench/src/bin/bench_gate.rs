@@ -10,6 +10,7 @@
 //! (one-line error — CI logs stay readable).
 
 use popmon_bench::gate::{compare_reports, parse_stage_rates, STABLE_STAGES};
+use popmon_bench::perf::BASELINE;
 
 fn usage() -> ! {
     eprintln!("usage: bench_gate --committed PATH --fresh PATH [--threshold PCT]");
@@ -64,14 +65,47 @@ fn main() {
     let committed_rates = read(&committed_path);
     let fresh_rates = read(&fresh_path);
 
+    // Per-stage speedup table: fresh vs committed (what the gate
+    // enforces) and both vs the frozen pre-optimization baseline (the
+    // trajectory each PR claims against), so a regression is diagnosable
+    // from the CI log alone.
     let mut gated = 0usize;
-    for stage in STABLE_STAGES {
-        let old = committed_rates.iter().find(|(n, _)| n == stage);
-        let new = fresh_rates.iter().find(|(n, _)| n == stage);
-        if let (Some((_, old)), Some((_, new))) = (old, new) {
-            gated += 1;
-            println!("gate {stage}: committed {old:.3} fresh {new:.3} cases/s");
+    println!(
+        "{:<24} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "stage", "committed c/s", "fresh c/s", "fresh/comm", "comm/base", "fresh/base"
+    );
+    let ratio = |num: f64, den: Option<f64>| -> String {
+        match den {
+            Some(d) if d > 0.0 => format!("{:.3}x", num / d),
+            _ => "-".into(),
         }
+    };
+    for stage in STABLE_STAGES {
+        let old = committed_rates
+            .iter()
+            .find(|(n, _)| n == stage)
+            .map(|&(_, r)| r);
+        let new = fresh_rates
+            .iter()
+            .find(|(n, _)| n == stage)
+            .map(|&(_, r)| r);
+        let base = BASELINE
+            .iter()
+            .find(|(n, _, _)| n == stage)
+            .map(|&(_, _, cps)| cps);
+        let (Some(old), Some(new)) = (old, new) else {
+            continue;
+        };
+        gated += 1;
+        println!(
+            "{:<24} {:>14.3} {:>14.3} {:>12} {:>12} {:>12}",
+            stage,
+            old,
+            new,
+            ratio(new, Some(old)),
+            ratio(old, base),
+            ratio(new, base),
+        );
     }
     if gated == 0 {
         fail("no stable stage is present in both reports — nothing to gate");

@@ -162,6 +162,37 @@ fn main() {
         }),
     );
 
+    // --- simplex past the paper's scale: LP2 at 20 and 25 routers -------
+    // The ROADMAP's 20-25+ router ladder; these stages exist to prove the
+    // sparse-LU simplex core scales past the Figure 8 instance.
+    let pop20 = PopSpec::scale_20().build();
+    let ts20 = TrafficSpec::default().generate(&pop20, 1);
+    let inst20 = PpmInstance::from_traffic(&pop20.graph, &ts20);
+    let merged20 = inst20.merged();
+    let (lp2_20, _) = placement::passive::build_lp2(&merged20, 0.9);
+    push(
+        &mut stages,
+        run_stage("simplex_lp2_20router", "cases = LP solves", 1, || {
+            let s = lp2_20.solve_lp().expect("LP2 relaxation solves");
+            std::hint::black_box((s.objective, s.iterations));
+            1
+        }),
+    );
+
+    let pop25 = PopSpec::scale_25().build();
+    let ts25 = TrafficSpec::default().generate(&pop25, 1);
+    let inst25 = PpmInstance::from_traffic(&pop25.graph, &ts25);
+    let merged25 = inst25.merged();
+    let (lp2_25, _) = placement::passive::build_lp2(&merged25, 0.9);
+    push(
+        &mut stages,
+        run_stage("simplex_lp2_25router", "cases = LP solves", 1, || {
+            let s = lp2_25.solve_lp().expect("LP2 relaxation solves");
+            std::hint::black_box((s.objective, s.iterations));
+            1
+        }),
+    );
+
     // --- greedy set-cover on the 1980-traffic instance ------------------
     push(
         &mut stages,

@@ -82,9 +82,22 @@ pub const BASELINE: &[(&str, f64, f64)] = &[
     ("simplex_lp2_10router", 0.003708, 1_078.75),
     // cases = LP solves (one 110-second solve, 15_633 Dantzig pivots).
     ("simplex_lp2_15router", 110.040943, 0.009088),
+    // The 20/25-router LP2 stages were added together with the sparse-LU
+    // simplex core (PR 5); their baselines are one-shot measurements of
+    // the dense-inverse core at the PR-4 head (commit beb919a) on the
+    // same container, frozen here so the sparse core's scaling claim
+    // stays checkable (87.9 s and 807.7 s per solve, respectively).
+    ("simplex_lp2_20router", 87.912, 0.011375),
+    ("simplex_lp2_25router", 807.698, 0.001238),
     ("greedy_static_15router", 0.000281, 7_115.134),
     ("mecf_bb_15router_k80", 0.848164, 1.179),
     ("fig7_sweep", 0.814868, 14.726),
+    // The three stages below ran with `speedup_vs_baseline: null` from
+    // PR 2/3 through PR 4; frozen at their committed PR-4-head
+    // BENCH_popmon.json rates so the trajectory is complete from PR 5 on.
+    ("fig7_sweep_par4", 0.129509, 92.658),
+    ("family_generate_80", 0.014380, 16_689.929),
+    ("family_placement_30", 0.282065, 21.272),
     ("fig8_point_k75", 0.370821, 2.697),
     // Captured at the PR-3 head (cold per-point MIP solves, engine grid,
     // memoized per-seed base) just before the warm-start layer landed.

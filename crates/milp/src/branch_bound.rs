@@ -77,6 +77,73 @@ struct Node {
     changes: Vec<(usize, f64, f64)>,
     /// Parent's LP basis (shared by both children) when basis reuse is on.
     basis: Option<Arc<LpWarmStart>>,
+    /// The branching that created this node: `(variable, up branch,
+    /// fractional distance moved)`, used to update that variable's
+    /// pseudocost once this node's LP solves.
+    branched: Option<(usize, bool, f64)>,
+    /// Raw (unstrengthened) parent LP objective, the reference point for
+    /// the pseudocost degradation measurement.
+    parent_obj: f64,
+}
+
+/// Observed per-unit objective degradations of branching a variable up /
+/// down, seeded with the variable's |objective coefficient| until a real
+/// observation lands. Drives the branching-score tie-break: among equally
+/// fractional candidates, prefer the variable whose *weaker* branch
+/// direction still moves the bound the most (the min rule — both
+/// children must make progress), so plunges tighten the bound faster and
+/// the best-first queue prunes earlier.
+#[derive(Debug, Clone, Copy)]
+struct PseudoCost {
+    up_sum: f64,
+    up_n: u32,
+    down_sum: f64,
+    down_n: u32,
+    prior: f64,
+}
+
+impl PseudoCost {
+    fn new(prior: f64) -> Self {
+        Self {
+            up_sum: 0.0,
+            up_n: 0,
+            down_sum: 0.0,
+            down_n: 0,
+            prior: prior.abs().max(1e-6),
+        }
+    }
+
+    fn observe(&mut self, up: bool, per_unit: f64) {
+        if up {
+            self.up_sum += per_unit;
+            self.up_n += 1;
+        } else {
+            self.down_sum += per_unit;
+            self.down_n += 1;
+        }
+    }
+
+    fn up(&self) -> f64 {
+        if self.up_n > 0 {
+            self.up_sum / self.up_n as f64
+        } else {
+            self.prior
+        }
+    }
+
+    fn down(&self) -> f64 {
+        if self.down_n > 0 {
+            self.down_sum / self.down_n as f64
+        } else {
+            self.prior
+        }
+    }
+
+    /// Branching score at the given floor/ceil distances: the guaranteed
+    /// two-sided bound degradation (min rule — both children must move).
+    fn score(&self, down_dist: f64, up_dist: f64) -> f64 {
+        (self.down() * down_dist).min(self.up() * up_dist)
+    }
 }
 
 /// Best-first ordering with depth then recency tie-breaking (deeper and
@@ -190,7 +257,15 @@ pub(crate) fn solve(
         seq,
         changes: Vec::new(),
         basis: warm.map(|w| Arc::new(w.root.clone())),
+        branched: None,
+        parent_obj: f64::NEG_INFINITY,
     });
+    // Pseudocosts over the reduced model's variables, objective-seeded.
+    let mut pseudo: Vec<PseudoCost> = root_model
+        .vars
+        .iter()
+        .map(|v| PseudoCost::new(v.cost))
+        .collect();
 
     let mut node_model = root_model.clone();
     let mut proven = true;
@@ -246,20 +321,53 @@ pub(crate) fn solve(
 
         if let Some((sol, lp_basis)) = result {
             iterations += sol.iterations;
+            // Pseudocost update: how much did branching this variable in
+            // this direction degrade the relaxation, per unit of
+            // fractional distance? (Deterministic: nodes pop in a total
+            // order, so the observation sequence is reproducible.)
+            if let Some((bj, up, delta)) = node.branched {
+                if delta > 1e-9 && node.parent_obj.is_finite() {
+                    let per_unit = ((sol.objective - node.parent_obj) / delta).max(0.0);
+                    pseudo[bj].observe(up, per_unit);
+                }
+            }
             let bound = strengthen(sol.objective);
             let prune = incumbent
                 .as_ref()
                 .is_some_and(|(best, _)| bound >= *best - 1e-9);
             if !prune {
-                // Fractionality check over integer variables.
-                let mut branch_var: Option<(usize, f64)> = None; // (var, frac distance)
+                // Branching selection: most-fractional first, with a
+                // pseudocost product-score tie-break. Pass 1 finds the
+                // best fractional distance; pass 2 scores the (frequent,
+                // in covering LPs) near-ties and keeps the historically
+                // strongest variable — lowest index on exact score ties,
+                // so the choice is deterministic and seed-stable.
+                let mut best_dist: Option<f64> = None;
                 for &j in &int_vars {
                     let x = sol.values[j];
-                    let frac = (x - x.round()).abs();
-                    if frac > INT_TOL {
+                    if (x - x.round()).abs() > INT_TOL {
                         let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
-                        if branch_var.is_none_or(|(_, d)| dist < d) {
-                            branch_var = Some((j, dist));
+                        if best_dist.is_none_or(|d| dist < d) {
+                            best_dist = Some(dist);
+                        }
+                    }
+                }
+                let mut branch_var: Option<(usize, f64)> = None; // (var, score)
+                if let Some(bd) = best_dist {
+                    for &j in &int_vars {
+                        let x = sol.values[j];
+                        if (x - x.round()).abs() <= INT_TOL {
+                            continue;
+                        }
+                        let dist = (x - x.floor() - 0.5).abs();
+                        if dist > bd + 1e-6 {
+                            continue;
+                        }
+                        let down_dist = x - x.floor();
+                        let up_dist = x.ceil() - x;
+                        let score = pseudo[j].score(down_dist, up_dist);
+                        if branch_var.is_none_or(|(_, s)| score > s) {
+                            branch_var = Some((j, score));
                         }
                     }
                 }
@@ -305,6 +413,8 @@ pub(crate) fn solve(
                             seq,
                             changes: down,
                             basis: child_basis.clone(),
+                            branched: Some((j, false, x - x.floor())),
+                            parent_obj: sol.objective,
                         });
                         seq += 1;
                         open.push(Node {
@@ -313,6 +423,8 @@ pub(crate) fn solve(
                             seq,
                             changes: up,
                             basis: child_basis,
+                            branched: Some((j, true, x.ceil() - x)),
+                            parent_obj: sol.objective,
                         });
                     }
                 }

@@ -10,6 +10,13 @@ pub enum SolverError {
         /// Number of variables in the model.
         var_count: usize,
     },
+    /// A constraint id did not belong to the model it was used with.
+    InvalidConstr {
+        /// The offending constraint index.
+        constr: usize,
+        /// Number of constraints in the model.
+        constr_count: usize,
+    },
     /// A variable was declared with `lo > hi` or non-finite/NaN data.
     InvalidBounds {
         /// Variable name.
@@ -52,6 +59,15 @@ impl fmt::Display for SolverError {
                 write!(
                     f,
                     "variable index {var} out of range (model has {var_count} variables)"
+                )
+            }
+            SolverError::InvalidConstr {
+                constr,
+                constr_count,
+            } => {
+                write!(
+                    f,
+                    "constraint index {constr} out of range (model has {constr_count} constraints)"
                 )
             }
             SolverError::InvalidBounds { name, lo, hi } => {

@@ -8,21 +8,27 @@
 //! * [`Model`] — a builder for linear programs with per-variable bounds and
 //!   integrality marks, linear constraints (`≤`, `=`, `≥`) and a
 //!   minimization or maximization objective;
-//! * a **bounded-variable revised primal simplex** with a dense explicit
-//!   basis inverse, Dantzig pricing with a Bland anti-cycling fallback and
-//!   an artificial-variable phase 1 ([`Model::solve_lp`]);
+//! * a **bounded-variable revised primal simplex** over a size-dispatched
+//!   basis backend ([`lu`]: Markowitz-ordered sparse LU with product-form
+//!   eta updates and hyper-sparse FTRAN/BTRAN at scale, a dense explicit
+//!   inverse below ~200 rows), devex pricing over a candidate list with a
+//!   Bland anti-cycling fallback, and an artificial-variable phase 1
+//!   ([`Model::solve_lp`]);
 //! * a **branch-and-bound** driver for the integer variables with
-//!   most-fractional branching, best-bound node selection with depth-first
-//!   plunging, optional integral-objective bound strengthening, a rounding
-//!   incumbent heuristic, and node/time limits ([`Model::solve_mip`]);
+//!   most-fractional branching (pseudocost-scored tie-breaking), best-bound
+//!   node selection with depth-first plunging, optional integral-objective
+//!   bound strengthening, a rounding incumbent heuristic, and node/time
+//!   limits ([`Model::solve_mip`]);
 //! * a light **presolve** (fixed-variable substitution, empty/redundant row
 //!   elimination), applied inside [`Model::solve_mip`].
 //!
-//! The solver targets the instance sizes of the paper (tens of binaries,
-//! up to a few thousand continuous variables) and favours clarity and
-//! robustness over raw speed: everything is dense `f64` with explicit
-//! tolerances, there is no `unsafe`, and every routine is unit-tested
-//! against brute force on small instances.
+//! The solver targets the instance sizes of the paper and its scale-up
+//! experiments (tens of binaries, thousands of continuous variables and
+//! rows): the constraint matrix lives in a compressed sparse-column store
+//! shared by presolve and both simplex variants, all linear algebra is
+//! sparse, there is no `unsafe`, and every routine is unit-tested against
+//! brute force (and the LU kernels against a dense inverse) on small
+//! instances.
 //!
 //! # Example
 //!
@@ -44,6 +50,7 @@
 
 mod branch_bound;
 mod error;
+pub mod lu;
 mod model;
 mod presolve;
 mod simplex;

@@ -73,6 +73,18 @@ pub(crate) struct Constraint {
     pub rhs: f64,
 }
 
+/// FNV-1a offset basis (shared by the per-column fingerprints).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Feeds one 8-byte word into an FNV-1a state.
+fn fnv_step(mut h: u64, x: u64) -> u64 {
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// A linear program / mixed-integer linear program under construction.
 ///
 /// Variables and constraints are added incrementally; [`Model::solve_lp`]
@@ -83,6 +95,18 @@ pub struct Model {
     pub(crate) sense: Sense,
     pub(crate) vars: Vec<Variable>,
     pub(crate) constrs: Vec<Constraint>,
+    /// Compressed sparse-column view of the constraint matrix: per
+    /// structural variable, its `(row, coefficient)` entries with rows
+    /// ascending. Maintained incrementally by [`Model::try_add_constr`] /
+    /// [`Model::set_constr`] so presolve and both simplex variants share
+    /// one column store instead of re-deriving it from the rows per solve.
+    pub(crate) cols: Vec<Vec<(u32, f64)>>,
+    /// Structural fingerprint per column (FNV-1a over the column's
+    /// `(row, coefficient)` entries). [`Model::set_constr`] re-hashes only
+    /// the columns it touched, and warm-start validity is judged on the
+    /// fingerprints of the *basic* columns alone — an edit to a column
+    /// outside the stored basis keeps the snapshot reusable.
+    pub(crate) col_fp: Vec<u64>,
     /// Optional warm-start solution (values for all variables) used as the
     /// initial incumbent by branch-and-bound.
     pub(crate) initial: Option<Vec<f64>>,
@@ -95,6 +119,8 @@ impl Model {
             sense,
             vars: Vec::new(),
             constrs: Vec::new(),
+            cols: Vec::new(),
+            col_fp: Vec::new(),
             initial: None,
         }
     }
@@ -152,6 +178,8 @@ impl Model {
             cost,
             integer,
         });
+        self.cols.push(Vec::new());
+        self.col_fp.push(FNV_OFFSET);
         Ok(id)
     }
 
@@ -183,6 +211,30 @@ impl Model {
                 value: rhs,
             });
         }
+        let merged = self.normalize_terms(terms, row_idx)?;
+        // Extend the column store: rows arrive in ascending order, so an
+        // append keeps each column sorted, and the column fingerprint
+        // extends its FNV chain without a re-hash.
+        for &(v, a) in &merged {
+            self.cols[v as usize].push((row_idx as u32, a));
+            self.col_fp[v as usize] = fnv_step(
+                fnv_step(self.col_fp[v as usize], row_idx as u64),
+                a.to_bits(),
+            );
+        }
+        let id = ConstrId(row_idx as u32);
+        self.constrs.push(Constraint {
+            terms: merged,
+            cmp,
+            rhs,
+        });
+        Ok(id)
+    }
+
+    /// Validates, sorts, merges, and zero-prunes a raw term list for row
+    /// `row_idx` (shared by [`Model::try_add_constr`] and
+    /// [`Model::try_set_constr`]).
+    fn normalize_terms(&self, terms: Vec<(VarId, f64)>, row_idx: usize) -> Result<Vec<(u32, f64)>> {
         let mut dense: Vec<(u32, f64)> = Vec::with_capacity(terms.len());
         for (v, a) in terms {
             if v.index() >= self.vars.len() {
@@ -212,13 +264,98 @@ impl Model {
             }
         }
         merged.retain(|&(_, a)| a != 0.0);
-        let id = ConstrId(row_idx as u32);
-        self.constrs.push(Constraint {
-            terms: merged,
-            cmp,
-            rhs,
-        });
-        Ok(id)
+        Ok(merged)
+    }
+
+    /// Overwrites the coefficients of constraint `c` (comparison and
+    /// right-hand side are kept; use [`Model::set_rhs`] for the latter).
+    ///
+    /// Only the columns named by the old or new term list are re-hashed,
+    /// so a warm start whose basis avoids those columns stays valid (see
+    /// [`crate::LpWarmStart`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown variables or non-finite coefficients; use
+    /// [`Model::try_set_constr`] for a fallible variant.
+    pub fn set_constr(&mut self, c: ConstrId, terms: Vec<(VarId, f64)>) {
+        self.try_set_constr(c, terms).expect("invalid constraint");
+    }
+
+    /// Fallible variant of [`Model::set_constr`].
+    pub fn try_set_constr(&mut self, c: ConstrId, terms: Vec<(VarId, f64)>) -> Result<()> {
+        let row = c.index();
+        if row >= self.constrs.len() {
+            return Err(SolverError::InvalidConstr {
+                constr: row,
+                constr_count: self.constrs.len(),
+            });
+        }
+        let merged = self.normalize_terms(terms, row)?;
+        let old = std::mem::replace(&mut self.constrs[row].terms, merged.clone());
+        // Touched columns: union of the old and new support.
+        let mut touched: Vec<u32> = old.iter().chain(&merged).map(|&(v, _)| v).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &v in &touched {
+            let col = &mut self.cols[v as usize];
+            // Drop the old entry for this row (columns are row-sorted).
+            if let Ok(i) = col.binary_search_by_key(&(row as u32), |e| e.0) {
+                col.remove(i);
+            }
+            // Insert the new entry, keeping the sort.
+            if let Ok(i) = merged.binary_search_by_key(&v, |e| e.0) {
+                let a = merged[i].1;
+                let at = col.partition_point(|e| e.0 < row as u32);
+                col.insert(at, (row as u32, a));
+            }
+            // Re-hash only this column.
+            let mut h = FNV_OFFSET;
+            for &(r, a) in self.cols[v as usize].iter() {
+                h = fnv_step(fnv_step(h, r as u64), a.to_bits());
+            }
+            self.col_fp[v as usize] = h;
+        }
+        Ok(())
+    }
+
+    /// Folds fixed variable `j` (value `val`) out of every row containing
+    /// it, shifting right-hand sides. Uses the column store to touch only
+    /// the rows that actually hold `j` — the presolve fast path. Returns
+    /// whether any row changed.
+    pub(crate) fn fold_out_var(&mut self, j: usize, val: f64) -> bool {
+        let entries = std::mem::take(&mut self.cols[j]);
+        if entries.is_empty() {
+            return false;
+        }
+        for &(row, a) in &entries {
+            let c = &mut self.constrs[row as usize];
+            c.rhs -= a * val;
+            if let Ok(i) = c.terms.binary_search_by_key(&(j as u32), |t| t.0) {
+                c.terms.remove(i);
+            }
+        }
+        self.col_fp[j] = FNV_OFFSET;
+        true
+    }
+
+    /// Combined structural fingerprint of the columns in `basic`
+    /// (structural columns only — slack columns are fully determined by
+    /// their row's comparison operator, which a warm-start rebuild re-reads
+    /// from the model). Order-independent, so it can be compared against a
+    /// snapshot taken from the same basic set.
+    pub(crate) fn basis_fingerprint(&self, basic: &[u32]) -> u64 {
+        let n = self.vars.len();
+        let mut h = 0u64;
+        for &c in basic {
+            if (c as usize) < n {
+                h = h.wrapping_add(fnv_step(
+                    fnv_step(FNV_OFFSET, c as u64),
+                    self.col_fp[c as usize],
+                ));
+            }
+        }
+        h
     }
 
     /// Overwrites the objective coefficient of `v`.
@@ -435,6 +572,21 @@ mod tests {
         assert!(m
             .try_add_var("x", VarKind::Continuous, f64::INFINITY, f64::INFINITY, 0.0)
             .is_err());
+    }
+
+    #[test]
+    fn try_set_constr_rejects_foreign_constr_id() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 0.0);
+        m.add_constr(vec![(x, 1.0)], Cmp::Le, 1.0);
+        let ghost = ConstrId(7);
+        assert!(matches!(
+            m.try_set_constr(ghost, vec![(x, 2.0)]),
+            Err(SolverError::InvalidConstr {
+                constr: 7,
+                constr_count: 1
+            })
+        ));
     }
 
     #[test]

@@ -94,24 +94,14 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
             }
         }
 
-        // Fold fixations into rows.
-        for (r, c) in m.constrs.iter_mut().enumerate() {
-            if !live_rows[r] {
-                continue;
-            }
-            let before = c.terms.len();
-            let mut shift = 0.0;
-            c.terms.retain(|&(v, a)| {
-                if let Some(val) = fixed[v as usize] {
-                    shift += a * val;
-                    false
-                } else {
-                    true
-                }
-            });
-            if c.terms.len() != before {
-                c.rhs -= shift;
-                changed = true;
+        // Fold fixations into rows via the model's column store: only the
+        // rows that actually contain a fixed variable are touched (the
+        // rows, right-hand sides, and per-column fingerprints all stay in
+        // sync; a second fold of the same variable is a no-op because its
+        // column is already empty).
+        for (j, f) in fixed.iter().enumerate() {
+            if let Some(val) = *f {
+                changed |= m.fold_out_var(j, val);
             }
         }
 

@@ -1,5 +1,4 @@
-//! Bounded-variable revised primal simplex with a dense explicit basis
-//! inverse.
+//! Bounded-variable revised simplex over a sparse LU-factorized basis.
 //!
 //! Design notes:
 //!
@@ -16,16 +15,24 @@
 //! * Phase 1 adds artificial columns only on rows whose slack cannot absorb
 //!   the initial residual; in the paper's programs that is typically the
 //!   single coverage row, so phase 1 is short.
-//! * Pricing is candidate-list (partial) pricing: a full Dantzig scan
-//!   refills a list of the most attractive columns, minor iterations
-//!   price only that list, and the duals are updated incrementally per
-//!   pivot (one row of the basis inverse) instead of a full O(m²) BTRAN.
-//!   Optimality is only declared after a full scan under exact duals. A
-//!   long non-improving streak switches to Bland's rule (on exact
-//!   duals), which guarantees termination on degenerate instances.
-//! * The basis inverse is refactorized periodically (Gauss-Jordan with
-//!   partial pivoting) to bound error accumulation from eta updates.
+//! * The constraint matrix is read column-wise straight from the model's
+//!   shared compressed sparse-column store ([`Model::cols`]); the tableau
+//!   only materializes the slack/artificial columns it appends.
+//! * The basis is a sparse LU factorization plus a product-form eta chain
+//!   ([`crate::lu`]): FTRAN/BTRAN cost `O(nnz)` with zero-region skipping
+//!   instead of the dense `O(m²)`, and the Gauss–Jordan `O(m³)`
+//!   refactorization is replaced by a Markowitz-ordered sparse
+//!   factorization driven by [`lu::Basis::should_refactorize`].
+//! * Pricing is **devex** layered on candidate-list (partial) pricing: a
+//!   full scan ranks eligible columns by `d²/w` under the devex reference
+//!   weights and refills a candidate list, minor iterations price only
+//!   that list, and the duals are updated incrementally per pivot (one
+//!   hyper-sparse BTRAN of `e_r`) instead of a full BTRAN. Optimality is
+//!   only declared after a full scan under exact duals. A long
+//!   non-improving streak switches to Bland's rule (on exact duals),
+//!   which guarantees termination on degenerate instances.
 
+use crate::lu;
 use crate::model::{Cmp, Model};
 use crate::{Result, Solution, SolveStatus, SolverError, FEAS_TOL};
 
@@ -35,53 +42,34 @@ use crate::{Result, Solution, SolveStatus, SolverError, FEAS_TOL};
 /// same model (changed variable bounds, right-hand sides, or objective
 /// coefficients).
 ///
-/// The snapshot is tied to the model's **structure**: the constraint
-/// matrix coefficients and the variable/constraint counts must be
-/// unchanged between capture and reuse (bounds, RHS, and costs are free to
-/// move — that is the point). A fingerprint of the coefficient matrix is
-/// checked on reuse, so a snapshot from a structurally different model is
-/// silently ignored (cold solve) rather than producing garbage arithmetic
-/// on a stale basis inverse.
+/// The snapshot stores the variable states, the basic set, and the
+/// basis factorization itself (sparse LU + eta chain — cheap to clone),
+/// so a reuse installs the factorization directly instead of rebuilding
+/// a dense inverse or refactorizing. Validity is judged per column: the snapshot
+/// records a fingerprint of the *basic* structural columns, and reuse is
+/// refused only when one of those columns' coefficients changed (or the
+/// model's shape moved). Edits to columns outside the stored basis —
+/// [`Model::set_constr`] on rows whose support is nonbasic — keep the
+/// snapshot valid, because the rebuilt tableau re-reads every coefficient
+/// from the model anyway. A refused (or singular) snapshot degrades to a
+/// cold solve, never to garbage arithmetic.
 #[derive(Debug, Clone)]
 pub struct LpWarmStart {
     /// Structural variable count of the originating model.
     n: usize,
     /// Constraint count of the originating model.
     m: usize,
-    /// Hash of the originating model's constraint coefficients
-    /// ([`structure_fingerprint`]).
-    fingerprint: u64,
+    /// Combined fingerprint of the basic structural columns
+    /// ([`Model::basis_fingerprint`]).
+    basic_fp: u64,
     /// Variable states over structurals + slacks (artificials excluded).
     state: Vec<VState>,
     /// Basic column per row.
     basic: Vec<u32>,
-    /// Dense basis inverse (column-major, `m × m`).
-    binv: Vec<f64>,
-    /// Eta updates accumulated since the last refactorization, carried so
-    /// long warm-start chains still refactorize periodically.
-    etas: usize,
-}
-
-/// FNV-1a over the constraint matrix structure: rows in order, each term's
-/// variable index and coefficient bits. Bounds, costs, and right-hand
-/// sides are deliberately excluded — perturbing them is what warm starts
-/// are *for*; changing a coefficient invalidates the stored basis inverse.
-fn structure_fingerprint(model: &Model) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |x: u64| {
-        for b in x.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    };
-    for c in &model.constrs {
-        eat(c.terms.len() as u64);
-        for &(v, a) in &c.terms {
-            eat(v as u64);
-            eat(a.to_bits());
-        }
-    }
-    h
+    /// The factorization (plus eta chain) captured with the basis, so a
+    /// reuse installs it with a clone instead of a refactorization; flat
+    /// storage keeps the clone a few `memcpy`s.
+    basis: lu::Basis,
 }
 
 /// Reduced-cost tolerance for optimality.
@@ -90,8 +78,9 @@ const COST_TOL: f64 = 1e-9;
 const PIVOT_TOL: f64 = 1e-9;
 /// Iterations without objective improvement before switching to Bland.
 const DEGEN_SWITCH: usize = 100_000;
-/// Eta updates between basis refactorizations.
-const REFRESH_EVERY: usize = 1000;
+/// Devex weight ceiling: a new reference framework starts (all weights
+/// reset to 1) when any weight outgrows it.
+const DEVEX_RESET: f64 = 1e7;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VState {
@@ -102,14 +91,20 @@ enum VState {
     FreeAtZero,
 }
 
-/// Dense-working-state LP solver over the standard form described in the
-/// module docs.
-struct Tableau {
+/// Working state of one LP solve. Structural columns are borrowed from the
+/// model's compressed sparse-column store; only slacks and artificials are
+/// materialized here.
+struct Tableau<'a> {
     m: usize,
+    /// Structural column count.
+    n: usize,
     /// Total columns: structurals + slacks + artificials.
     ncols: usize,
-    /// Sparse columns: (row, coefficient).
-    cols: Vec<Vec<(u32, f64)>>,
+    /// Structural columns, shared with the model (and with presolve).
+    struct_cols: &'a [Vec<(u32, f64)>],
+    /// Slack columns (m of them) followed by any artificials — all
+    /// single-entry, stored flat.
+    extra_cols: Vec<(u32, f64)>,
     lo: Vec<f64>,
     hi: Vec<f64>,
     /// Right-hand side per row (after slack normalization).
@@ -119,13 +114,26 @@ struct Tableau {
     basic: Vec<u32>,
     /// Value of the basic variable of each row.
     xb: Vec<f64>,
-    /// Column-major dense basis inverse: entry (r, c) at `binv[c * m + r]`.
-    binv: Vec<f64>,
+    /// Sparse LU factorization + eta chain of the basis.
+    basis: lu::Basis,
+    /// Devex reference weights per column.
+    devex: Vec<f64>,
+    /// Solve-kernel scratch (reused across FTRAN/BTRAN calls).
+    scratch: Vec<f64>,
+    /// Factorization workspace (reused across refactorizations).
+    fscratch: lu::FactorScratch,
     iterations: usize,
-    etas_since_refresh: usize,
 }
 
-impl Tableau {
+impl<'a> Tableau<'a> {
+    fn col(&self, j: usize) -> &[(u32, f64)] {
+        if j < self.n {
+            &self.struct_cols[j]
+        } else {
+            std::slice::from_ref(&self.extra_cols[j - self.n])
+        }
+    }
+
     fn nonbasic_value(&self, j: usize) -> f64 {
         match self.state[j] {
             VState::AtLower => self.lo[j],
@@ -137,7 +145,6 @@ impl Tableau {
 
     /// Recomputes basic values from scratch: `x_B = B^{-1}(rhs - A_N x_N)`.
     fn recompute_basics(&mut self) {
-        let m = self.m;
         let mut r = self.rhs.clone();
         for j in 0..self.ncols {
             if self.state[j] == VState::Basic {
@@ -145,147 +152,87 @@ impl Tableau {
             }
             let v = self.nonbasic_value(j);
             if v != 0.0 {
-                for &(row, a) in &self.cols[j] {
+                for &(row, a) in self.col(j) {
                     r[row as usize] -= a * v;
                 }
             }
         }
-        let mut xb = vec![0.0; m];
-        for c in 0..m {
-            let col = &self.binv[c * m..(c + 1) * m];
-            let rc = r[c];
-            if rc != 0.0 {
-                for i in 0..m {
-                    xb[i] += col[i] * rc;
-                }
-            }
-        }
-        self.xb = xb;
+        self.basis.ftran(&mut r, &mut self.scratch);
+        self.xb = r;
     }
 
-    /// Rebuilds the dense basis inverse from the current basic set using
-    /// Gauss-Jordan elimination with partial pivoting.
+    /// Rebuilds the basis factorization from the current basic set
+    /// (allocation-free in steady state: storage and workspace are
+    /// reused).
     fn refactorize(&mut self) -> Result<()> {
-        let m = self.m;
-        // Build B column-major, augmented with identity (also column-major).
-        let mut b = vec![0.0; m * m];
-        for (r, &col) in self.basic.iter().enumerate() {
-            let _ = r;
-            let _ = col;
+        let fact = {
+            let basis_cols: Vec<&[(u32, f64)]> = self
+                .basic
+                .iter()
+                .map(|&c| {
+                    let j = c as usize;
+                    if j < self.n {
+                        self.struct_cols[j].as_slice()
+                    } else {
+                        std::slice::from_ref(&self.extra_cols[j - self.n])
+                    }
+                })
+                .collect();
+            self.basis
+                .refactorize_with(self.m, &basis_cols, &mut self.fscratch)
+        };
+        match fact {
+            Ok(()) => {
+                self.recompute_basics();
+                Ok(())
+            }
+            // Singular basis: numerical breakdown.
+            Err(lu::Singular) => Err(SolverError::IterationLimit {
+                iterations: self.iterations,
+            }),
         }
-        for (pos, &colid) in self.basic.iter().enumerate() {
-            for &(row, a) in &self.cols[colid as usize] {
-                b[pos * m + row as usize] = a;
-            }
-        }
-        let mut inv = vec![0.0; m * m];
-        for i in 0..m {
-            inv[i * m + i] = 1.0;
-        }
-        // Gauss-Jordan on rows, operating across both matrices.
-        for piv in 0..m {
-            // Partial pivoting: find the largest |entry| in column piv.
-            let (mut best_r, mut best_v) = (piv, 0.0f64);
-            for r in piv..m {
-                let v = b[piv * m + r].abs();
-                if v > best_v {
-                    best_v = v;
-                    best_r = r;
-                }
-            }
-            if best_v < 1e-12 {
-                // Singular basis: numerical breakdown.
-                return Err(SolverError::IterationLimit {
-                    iterations: self.iterations,
-                });
-            }
-            if best_r != piv {
-                for c in 0..m {
-                    b.swap(c * m + piv, c * m + best_r);
-                    inv.swap(c * m + piv, c * m + best_r);
-                }
-            }
-            let d = b[piv * m + piv];
-            for c in 0..m {
-                b[c * m + piv] /= d;
-                inv[c * m + piv] /= d;
-            }
-            for r in 0..m {
-                if r == piv {
-                    continue;
-                }
-                let f = b[piv * m + r];
-                if f == 0.0 {
-                    continue;
-                }
-                for c in 0..m {
-                    b[c * m + r] -= f * b[c * m + piv];
-                    inv[c * m + r] -= f * inv[c * m + piv];
-                }
-            }
-        }
-        self.binv = inv;
-        self.etas_since_refresh = 0;
-        self.recompute_basics();
-        Ok(())
     }
 
-    /// `w = B^{-1} A_j` for a sparse column `j`.
-    fn ftran(&self, j: usize) -> Vec<f64> {
-        let m = self.m;
-        let mut w = vec![0.0; m];
-        for &(row, a) in &self.cols[j] {
-            let col = &self.binv[row as usize * m..(row as usize + 1) * m];
-            for i in 0..m {
-                w[i] += a * col[i];
-            }
+    /// `w = B^{-1} A_j` for a sparse column `j` (hyper-sparse FTRAN: the
+    /// entering column has a handful of nonzeros, and the triangular
+    /// solves skip the regions it never reaches).
+    fn ftran_into(&mut self, j: usize, x: &mut Vec<f64>) {
+        x.clear();
+        x.resize(self.m, 0.0);
+        for &(row, a) in self.col(j) {
+            x[row as usize] = a;
         }
-        w
+        self.basis.ftran(x, &mut self.scratch);
     }
 
-    /// `y = c_B' B^{-1}` for the given full cost vector.
-    ///
-    /// Exploits the sparsity of `c_B`: in the paper's programs only the
-    /// `x_e` device columns carry cost, so most basic columns (slacks and
-    /// `δ_t`s) contribute nothing and are skipped. This makes the exact
-    /// dual recomputation O(m · nnz(c_B)) instead of O(m²).
-    fn btran_duals(&self, cost: &[f64]) -> Vec<f64> {
-        let m = self.m;
-        let nz: Vec<(usize, f64)> = self
-            .basic
-            .iter()
-            .enumerate()
-            .filter_map(|(r, &c)| {
-                let cb = cost[c as usize];
-                if cb != 0.0 {
-                    Some((r, cb))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let mut y = vec![0.0; m];
-        for (i, yi) in y.iter_mut().enumerate() {
-            let col = &self.binv[i * m..(i + 1) * m];
-            let mut acc = 0.0;
-            for &(r, cb) in &nz {
-                acc += cb * col[r];
+    /// `y = c_B' B^{-1}` for the given full cost vector. In the paper's
+    /// programs only the `x_e` device columns carry cost, so the BTRAN
+    /// right-hand side is sparse and the solve skips most of the factors.
+    fn btran_duals_into(&mut self, cost: &[f64], cb: &mut Vec<f64>) {
+        cb.clear();
+        cb.resize(self.m, 0.0);
+        for (r, &c) in self.basic.iter().enumerate() {
+            let v = cost[c as usize];
+            if v != 0.0 {
+                cb[r] = v;
             }
-            *yi = acc;
         }
-        y
+        self.basis.btran(cb, &mut self.scratch);
     }
 
-    /// Row `r` of the basis inverse (`e_r' B^{-1}`), used by the
-    /// incremental dual update.
-    fn binv_row(&self, r: usize) -> Vec<f64> {
-        let m = self.m;
-        (0..m).map(|c| self.binv[c * m + r]).collect()
+    /// Row `r` of the basis inverse (`e_r' B^{-1}`) via a hyper-sparse
+    /// BTRAN of the unit vector; drives the incremental dual update, the
+    /// dual ratio test, and the devex weight propagation.
+    fn binv_row_into(&mut self, r: usize, e: &mut Vec<f64>) {
+        e.clear();
+        e.resize(self.m, 0.0);
+        e[r] = 1.0;
+        self.basis.btran(e, &mut self.scratch);
     }
 
     fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
         let mut d = cost[j];
-        for &(row, a) in &self.cols[j] {
+        for &(row, a) in self.col(j) {
             d -= y[row as usize] * a;
         }
         d
@@ -318,9 +265,16 @@ impl Tableau {
         }
     }
 
-    /// Full pricing pass: returns the Dantzig entering column (most
-    /// attractive reduced cost) and refills `candidates` with the best
-    /// eligible columns for the following minor iterations.
+    /// Devex pricing score: squared reduced cost over the reference
+    /// weight (an approximation of the steepest-edge criterion that costs
+    /// one multiply per column).
+    fn devex_score(&self, j: usize, d: f64) -> f64 {
+        d * d / self.devex[j]
+    }
+
+    /// Full pricing pass: returns the entering column with the best devex
+    /// score and refills `candidates` with the most attractive eligible
+    /// columns for the following minor iterations.
     fn price_full(
         &self,
         cost: &[f64],
@@ -336,7 +290,7 @@ impl Tableau {
             }
             let d = self.reduced_cost(j, cost, y);
             if self.eligible(j, d) {
-                eligible.push((d.abs(), j as u32, d));
+                eligible.push((self.devex_score(j, d), j as u32, d));
             }
         }
         if eligible.is_empty() {
@@ -354,7 +308,7 @@ impl Tableau {
     }
 
     /// Minor pricing pass: best eligible column among `candidates` only,
-    /// re-pricing them under the current duals.
+    /// re-pricing them under the current duals and devex weights.
     fn price_candidates(
         &self,
         cost: &[f64],
@@ -368,8 +322,11 @@ impl Tableau {
                 continue;
             }
             let d = self.reduced_cost(j, cost, y);
-            if self.eligible(j, d) && best.is_none_or(|(s, _, _)| d.abs() > s) {
-                best = Some((d.abs(), j, d));
+            if self.eligible(j, d) {
+                let s = self.devex_score(j, d);
+                if best.is_none_or(|(bs, _, _)| s > bs) {
+                    best = Some((s, j, d));
+                }
             }
         }
         best.map(|(_, j, d)| (j, d))
@@ -378,25 +335,30 @@ impl Tableau {
     /// Runs primal simplex iterations with the given costs until optimal.
     /// Returns `Err(Unbounded)` when a ray is found.
     ///
-    /// Pricing is candidate-list (partial) pricing over incrementally
-    /// updated duals: a full scan refills the list of the most attractive
-    /// columns, minor iterations price only that list, and the duals are
-    /// updated per pivot from one row of the basis inverse instead of a
-    /// full O(m²) BTRAN. Optimality is only ever declared after a full
-    /// scan under freshly recomputed exact duals, so the incremental
-    /// drift can cost extra iterations but never a wrong answer. After a
-    /// long non-improving streak the loop falls back to Bland's rule on
-    /// exact duals, which guarantees termination on degenerate instances.
+    /// Pricing is devex over candidate-list (partial) pricing with
+    /// incrementally updated duals: a full scan refills the list of the
+    /// most attractive columns, minor iterations price only that list,
+    /// and the duals are updated per pivot from one hyper-sparse BTRAN of
+    /// `e_r` instead of a full BTRAN. Optimality is only ever declared
+    /// after a full scan under freshly recomputed exact duals, so the
+    /// incremental drift can cost extra iterations but never a wrong
+    /// answer. After a long non-improving streak the loop falls back to
+    /// Bland's rule on exact duals, which guarantees termination on
+    /// degenerate instances.
     fn optimize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
         let m = self.m;
-        let mut best_obj = f64::INFINITY;
         let mut non_improving = 0usize;
-        let mut y = self.btran_duals(cost);
+        let mut y = Vec::new();
+        self.btran_duals_into(cost, &mut y);
         // Duals drift as incremental updates accumulate; `y_exact` tracks
-        // whether `y` was recomputed from the basis inverse since the
+        // whether `y` was recomputed from the factorization since the
         // last pivot.
         let mut y_exact = true;
         let mut candidates: Vec<u32> = Vec::new();
+        // Kernel result buffers, reused across iterations.
+        let mut w: Vec<f64> = Vec::new();
+        let mut rho: Vec<f64> = Vec::new();
+        let mut bumps: Vec<(usize, f64)> = Vec::new();
 
         loop {
             if self.iterations >= iter_limit {
@@ -405,11 +367,12 @@ impl Tableau {
                 });
             }
             self.iterations += 1;
-            if self.etas_since_refresh >= REFRESH_EVERY {
+            if self.basis.should_refactorize() {
                 self.refactorize()?;
-                y = self.btran_duals(cost);
+                // Exact duals off the fresh factorization; the candidate
+                // list survives (it is re-priced every minor iteration).
+                self.btran_duals_into(cost, &mut y);
                 y_exact = true;
-                candidates.clear();
             }
 
             let use_bland = non_improving >= DEGEN_SWITCH;
@@ -419,7 +382,7 @@ impl Tableau {
                 // Bland's rule: lowest-index eligible column under exact
                 // duals (anti-cycling needs correct signs).
                 if !y_exact {
-                    y = self.btran_duals(cost);
+                    self.btran_duals_into(cost, &mut y);
                     y_exact = true;
                 }
                 let mut found = None;
@@ -441,7 +404,7 @@ impl Tableau {
                         // Candidate list exhausted: refresh the duals if
                         // they drifted, then do a full pricing pass.
                         if !y_exact {
-                            y = self.btran_duals(cost);
+                            self.btran_duals_into(cost, &mut y);
                             y_exact = true;
                         }
                         self.price_full(cost, &y, &mut candidates)
@@ -468,70 +431,81 @@ impl Tableau {
                 VState::Basic => unreachable!(),
             };
 
-            let w = self.ftran(j);
+            self.ftran_into(j, &mut w);
 
             // Ratio test, two passes (Harris-flavoured for stability).
             // x_B(t) = x_B - sigma * t * w; the entering moves by sigma * t
-            // from its resting value, up to its opposite bound.
+            // from its resting value, up to its opposite bound. Rows where
+            // the entering column's FTRAN is zero cannot block and are
+            // skipped outright (the common case on sparse instances).
             //
             // Pass 1 finds the tightest step t_max; pass 2 picks, among the
             // rows blocking within a small tolerance of t_max, the one with
             // the largest |pivot| — accepting a microscopic pivot here is
-            // what corrupts the basis inverse on the ~1000-row instances of
-            // the paper's Figure 8.
+            // what corrupts the basis on the ~1000-row instances of the
+            // paper's Figure 8.
             let own_range = self.hi[j] - self.lo[j]; // may be +inf
             let mut t_max = if own_range.is_finite() {
                 own_range
             } else {
                 f64::INFINITY
             };
-            let row_limit = |t: &mut f64, r: usize, rate: f64, xb: f64| -> Option<(f64, bool)> {
+            // Pass 1: tightest step.
+            for (r, &wr) in w.iter().enumerate() {
+                if wr == 0.0 {
+                    continue;
+                }
+                let rate = sigma * wr;
                 let bcol = self.basic[r] as usize;
                 if rate > PIVOT_TOL {
                     let lob = self.lo[bcol];
                     if lob.is_finite() {
-                        let tr = ((xb - lob) / rate).max(0.0);
-                        if tr < *t {
-                            *t = tr;
+                        let tr = ((self.xb[r] - lob) / rate).max(0.0);
+                        if tr < t_max {
+                            t_max = tr;
                         }
-                        return Some((tr, false));
                     }
                 } else if rate < -PIVOT_TOL {
                     let hib = self.hi[bcol];
                     if hib.is_finite() {
-                        let tr = ((hib - xb) / (-rate)).max(0.0);
-                        if tr < *t {
-                            *t = tr;
+                        let tr = ((hib - self.xb[r]) / (-rate)).max(0.0);
+                        if tr < t_max {
+                            t_max = tr;
                         }
-                        return Some((tr, true));
                     }
                 }
-                None
-            };
-            // Pass 1: tightest step.
-            for r in 0..m {
-                let rate = sigma * w[r];
-                let _ = row_limit(&mut t_max, r, rate, self.xb[r]);
             }
             // Pass 2: best pivot among rows blocking near t_max.
             let tie = 1e-9 + 1e-7 * t_max.abs().min(1.0);
-            let mut leave: Option<(usize, bool, f64)> = None; // (row, hits_upper, |pivot|)
+            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+            let mut leave_mag = 0.0f64;
             if t_max.is_finite() && t_max < own_range - 1e-12 {
-                for r in 0..m {
-                    let rate = sigma * w[r];
-                    let mut dummy = f64::INFINITY;
-                    if let Some((tr, hits_upper)) = row_limit(&mut dummy, r, rate, self.xb[r]) {
-                        if tr <= t_max + tie {
-                            let mag = w[r].abs();
-                            if leave.is_none_or(|(_, _, m0)| mag > m0) {
-                                leave = Some((r, hits_upper, mag));
-                            }
+                for (r, &wr) in w.iter().enumerate() {
+                    if wr == 0.0 {
+                        continue;
+                    }
+                    let rate = sigma * wr;
+                    let bcol = self.basic[r] as usize;
+                    let blocking = if rate > PIVOT_TOL {
+                        let lob = self.lo[bcol];
+                        lob.is_finite()
+                            .then(|| (((self.xb[r] - lob) / rate).max(0.0), false))
+                    } else if rate < -PIVOT_TOL {
+                        let hib = self.hi[bcol];
+                        hib.is_finite()
+                            .then(|| (((hib - self.xb[r]) / (-rate)).max(0.0), true))
+                    } else {
+                        None
+                    };
+                    if let Some((tr, hits_upper)) = blocking {
+                        let mag = wr.abs();
+                        if tr <= t_max + tie && (leave.is_none() || mag > leave_mag) {
+                            leave = Some((r, hits_upper));
+                            leave_mag = mag;
                         }
                     }
                 }
             }
-            let leave = leave.map(|(r, h, _)| (r, h));
-
             if t_max.is_infinite() {
                 return Err(SolverError::Unbounded);
             }
@@ -573,15 +547,55 @@ impl Tableau {
                     // Incremental dual update: y' = y + (d_j / w_r) e_r'B⁻¹,
                     // with ρ = row r of the *pre-pivot* inverse.
                     let theta = dj / w[r];
-                    let rho = self.binv_row(r);
-                    self.update_binv(r, &w)?;
-                    if self.etas_since_refresh == 0 {
-                        // `update_binv` rejected a dangerous pivot and
-                        // refactorized instead; the incremental formula no
-                        // longer applies to the rebuilt inverse.
-                        y = self.btran_duals(cost);
+                    self.binv_row_into(r, &mut rho);
+
+                    // Devex weight propagation through the pivot row: the
+                    // entering column's reference weight scales onto the
+                    // candidate list (partial devex — the full nonbasic
+                    // sweep would cost a pricing pass per pivot) and onto
+                    // the leaving variable.
+                    let alpha_q = w[r];
+                    let gamma_q = self.devex[j].max(1.0);
+                    bumps.clear();
+                    for &jc32 in &candidates {
+                        let jc = jc32 as usize;
+                        if jc == j || self.state[jc] == VState::Basic {
+                            continue;
+                        }
+                        let mut alpha = 0.0;
+                        for &(row, a) in self.col(jc) {
+                            alpha += rho[row as usize] * a;
+                        }
+                        if alpha != 0.0 {
+                            let cand = (alpha / alpha_q) * (alpha / alpha_q) * gamma_q;
+                            bumps.push((jc, cand));
+                        }
+                    }
+                    // Only weights raised by this pivot can newly exceed
+                    // the reset cap, so the overflow check stays O(|bumps|)
+                    // instead of sweeping every column.
+                    let mut overflow = false;
+                    for &(jc, cand) in &bumps {
+                        if cand > self.devex[jc] {
+                            self.devex[jc] = cand;
+                            overflow |= cand > DEVEX_RESET;
+                        }
+                    }
+                    self.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+                    overflow |= self.devex[leaving] > DEVEX_RESET;
+                    if overflow {
+                        // New reference framework.
+                        for wj in self.devex.iter_mut() {
+                            *wj = 1.0;
+                        }
+                    }
+
+                    let refactorized = self.update_basis(r, &w)?;
+                    if refactorized {
+                        // The incremental formula no longer applies to the
+                        // rebuilt factorization.
+                        self.btran_duals_into(cost, &mut y);
                         y_exact = true;
-                        candidates.clear();
                     } else {
                         for (yi, &rc) in y.iter_mut().zip(&rho) {
                             *yi += theta * rc;
@@ -591,10 +605,12 @@ impl Tableau {
                 }
             }
 
-            // Degeneracy bookkeeping for the Bland switch.
-            let z = self.objective(cost);
-            if z < best_obj - 1e-10 {
-                best_obj = z;
+            // Degeneracy bookkeeping for the Bland switch: the pivot
+            // changed the objective by exactly d_j · Δx_j, so a full
+            // objective evaluation per iteration is unnecessary — only
+            // "did this pivot make progress" matters here, and degenerate
+            // pivots have t_max = 0.
+            if dj * sigma * t_max < -1e-10 {
                 non_improving = 0;
             } else {
                 non_improving += 1;
@@ -606,7 +622,8 @@ impl Tableau {
     /// Returns `None` when an artificial column is still basic (rare:
     /// degenerate phase-1 leftovers) — such a basis is not expressible over
     /// structurals + slacks alone.
-    fn capture(&self, n: usize, fingerprint: u64) -> Option<LpWarmStart> {
+    fn capture(&self, model: &Model) -> Option<LpWarmStart> {
+        let n = self.n;
         let nm = n + self.m;
         if self.basic.iter().any(|&c| (c as usize) >= nm) {
             return None;
@@ -614,11 +631,10 @@ impl Tableau {
         Some(LpWarmStart {
             n,
             m: self.m,
-            fingerprint,
+            basic_fp: model.basis_fingerprint(&self.basic),
             state: self.state[..nm].to_vec(),
             basic: self.basic.clone(),
-            binv: self.binv.clone(),
-            etas: self.etas_since_refresh,
+            basis: self.basis.clone(),
         })
     }
 
@@ -628,7 +644,7 @@ impl Tableau {
     ///
     /// Uses the bounded-variable dual ratio test with bound flips. The
     /// duals are recomputed exactly every iteration (cheap: `c_B` is
-    /// sparse in the paper's programs, see [`Tableau::btran_duals`]).
+    /// sparse in the paper's programs, so the BTRAN is hyper-sparse).
     /// Returns `Err(Infeasible)` when a violated row admits no entering
     /// column — the standard dual-simplex infeasibility certificate.
     fn dual_reoptimize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
@@ -639,6 +655,9 @@ impl Tableau {
         // below the global limit: a degenerate stall is cheaper to abandon
         // to the cold fallback than to grind through.
         let budget = iter_limit.min(self.iterations + 4 * m + 100);
+        let mut rho: Vec<f64> = Vec::new();
+        let mut y: Vec<f64> = Vec::new();
+        let mut w: Vec<f64> = Vec::new();
         loop {
             if self.iterations >= budget {
                 return Err(SolverError::IterationLimit {
@@ -646,7 +665,7 @@ impl Tableau {
                 });
             }
             self.iterations += 1;
-            if self.etas_since_refresh >= REFRESH_EVERY {
+            if self.basis.should_refactorize() {
                 self.refactorize()?;
             }
 
@@ -671,8 +690,8 @@ impl Tableau {
                 return Ok(()); // primal feasible
             };
 
-            let rho = self.binv_row(r);
-            let y = self.btran_duals(cost);
+            self.binv_row_into(r, &mut rho);
+            self.btran_duals_into(cost, &mut y);
 
             // Entering column: bounded dual ratio test. The leaving basic
             // moves toward its violated bound; xb[r] changes by
@@ -684,7 +703,7 @@ impl Tableau {
                     continue;
                 }
                 let mut alpha = 0.0;
-                for &(row, a) in &self.cols[j] {
+                for &(row, a) in self.col(j) {
                     alpha += rho[row as usize] * a;
                 }
                 if alpha.abs() <= PIVOT_TOL {
@@ -723,11 +742,11 @@ impl Tableau {
                 return Err(SolverError::Infeasible);
             };
 
-            let w = self.ftran(j);
+            self.ftran_into(j, &mut w);
             let wr = w[r];
             if wr.abs() < PIVOT_TOL {
                 // The FTRAN disagrees with the row estimate — numerically
-                // dangerous; rebuild the inverse and retry the iteration.
+                // dangerous; rebuild the factorization and retry.
                 self.refactorize()?;
                 continue;
             }
@@ -770,58 +789,47 @@ impl Tableau {
             };
             self.state[j] = VState::Basic;
             self.basic[r] = j as u32;
-            self.update_binv(r, &w)?;
+            self.update_basis(r, &w)?;
         }
     }
 
-    /// Applies the eta update for a pivot on row `r` with FTRAN column `w`.
-    fn update_binv(&mut self, r: usize, w: &[f64]) -> Result<()> {
-        let m = self.m;
-        let pivot = w[r];
-        if pivot.abs() < PIVOT_TOL {
+    /// Applies the basis change for a pivot on row `r` with FTRAN column
+    /// `w`: a product-form eta when the pivot is sound, a refactorization
+    /// otherwise. Returns whether it refactorized (the caller's
+    /// incremental dual update is then invalid).
+    fn update_basis(&mut self, r: usize, w: &[f64]) -> Result<bool> {
+        if w[r].abs() < PIVOT_TOL {
             // Numerically dangerous pivot slipped through: refactorize.
-            return self.refactorize();
+            self.refactorize()?;
+            return Ok(true);
         }
-        for c in 0..m {
-            let col = &mut self.binv[c * m..(c + 1) * m];
-            let pr = col[r];
-            if pr == 0.0 {
-                continue;
+        match self.basis.update(r, w) {
+            Ok(()) => Ok(false),
+            Err(lu::Singular) => {
+                self.refactorize()?;
+                Ok(true)
             }
-            let f = pr / pivot;
-            for i in 0..m {
-                if i != r {
-                    col[i] -= w[i] * f;
-                }
-            }
-            col[r] = f;
         }
-        self.etas_since_refresh += 1;
-        Ok(())
     }
 }
 
 /// Builds the standard form for `model`, choosing initial nonbasic values
 /// and installing artificials where needed; returns the tableau plus the
 /// set of artificial columns.
-fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
+fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
     let n = model.vars.len();
     let m = model.constrs.len();
-    let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
     let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
     let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
     let mut rhs = vec![0.0; m];
-
     for (r, c) in model.constrs.iter().enumerate() {
         rhs[r] = c.rhs;
-        for &(v, a) in &c.terms {
-            cols[v as usize].push((r as u32, a));
-        }
     }
 
     // Slacks.
+    let mut extra_cols: Vec<(u32, f64)> = Vec::with_capacity(m);
     for (r, c) in model.constrs.iter().enumerate() {
-        cols.push(vec![(r as u32, 1.0)]);
+        extra_cols.push((r as u32, 1.0));
         match c.cmp {
             Cmp::Le => {
                 lo.push(0.0);
@@ -860,14 +868,14 @@ fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
 
     // Row residuals with structurals at their resting values.
     let mut act = vec![0.0; m];
-    for j in 0..n {
-        let v = match state[j] {
+    for (j, s) in state.iter().enumerate() {
+        let v = match s {
             VState::AtLower => lo[j],
             VState::AtUpper => hi[j],
             _ => 0.0,
         };
         if v != 0.0 {
-            for &(row, a) in &cols[j] {
+            for &(row, a) in &model.cols[j] {
                 act[row as usize] += a * v;
             }
         }
@@ -908,8 +916,8 @@ fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
     // Then append the artificial columns (indices n+m..).
     let mut artificials = Vec::new();
     for (r, resid) in needs_artificial {
-        let a_col = cols.len();
-        cols.push(vec![(r as u32, resid.signum())]);
+        let a_col = n + extra_cols.len();
+        extra_cols.push((r as u32, resid.signum()));
         lo.push(0.0);
         hi.push(f64::INFINITY);
         state.push(VState::Basic);
@@ -918,57 +926,65 @@ fn build(model: &Model) -> Result<(Tableau, Vec<usize>)> {
         artificials.push(a_col);
     }
 
-    let ncols = cols.len();
-    let mut binv = vec![0.0; m * m];
-    for r in 0..m {
-        // B is diagonal: +1 for slacks, ±1 for artificials.
-        let c = basic[r] as usize;
-        let d = cols[c][0].1;
-        binv[r * m + r] = 1.0 / d;
-    }
+    let ncols = n + extra_cols.len();
+    // Initial basis: diagonal (slacks and artificials), factorizes
+    // trivially.
+    let basis = {
+        let basis_cols: Vec<&[(u32, f64)]> = basic
+            .iter()
+            .map(|&c| std::slice::from_ref(&extra_cols[c as usize - n]))
+            .collect();
+        lu::Basis::factorize(m, &basis_cols).expect("diagonal start basis cannot be singular")
+    };
 
     Ok((
         Tableau {
             m,
+            n,
             ncols,
-            cols,
+            struct_cols: &model.cols,
+            extra_cols,
             lo,
             hi,
             rhs,
             state,
             basic,
             xb,
-            binv,
+            basis,
+            devex: vec![1.0; ncols],
+            scratch: Vec::new(),
+            fscratch: lu::FactorScratch::default(),
             iterations: 0,
-            etas_since_refresh: 0,
         },
         artificials,
     ))
 }
 
 /// Rebuilds a [`Tableau`] around a warm-start basis: the standard-form
-/// columns are reconstructed from the (possibly perturbed) model, the
-/// basis and its inverse come from the snapshot, and no artificials are
-/// installed — any primal infeasibility is left for the dual simplex.
-/// Returns `None` when the snapshot's shape does not match the model.
-fn build_from_warm(model: &Model, w: &LpWarmStart, fingerprint: u64) -> Option<Tableau> {
+/// columns come from the (possibly perturbed) model and the snapshot's
+/// factorization is installed directly (no artificials — any primal
+/// infeasibility is left for the dual simplex). Returns `None` when the
+/// snapshot's shape does not match the model, when a basic column's
+/// coefficients changed since capture (per-column fingerprints), or when
+/// a due refactorization finds the stored basic set singular.
+fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart) -> Option<Tableau<'a>> {
     let n = model.vars.len();
     let m = model.constrs.len();
-    if w.n != n || w.m != m || w.state.len() != n + m || w.fingerprint != fingerprint {
+    if w.n != n || w.m != m || w.state.len() != n + m {
         return None;
     }
-    let mut cols: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    if w.basic_fp != model.basis_fingerprint(&w.basic) {
+        return None;
+    }
     let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
     let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
     let mut rhs = vec![0.0; m];
     for (r, c) in model.constrs.iter().enumerate() {
         rhs[r] = c.rhs;
-        for &(v, a) in &c.terms {
-            cols[v as usize].push((r as u32, a));
-        }
     }
+    let mut extra_cols: Vec<(u32, f64)> = Vec::with_capacity(m);
     for (r, c) in model.constrs.iter().enumerate() {
-        cols.push(vec![(r as u32, 1.0)]);
+        extra_cols.push((r as u32, 1.0));
         match c.cmp {
             Cmp::Le => {
                 lo.push(0.0);
@@ -1008,26 +1024,41 @@ fn build_from_warm(model: &Model, w: &LpWarmStart, fingerprint: u64) -> Option<T
         };
     }
 
+    // Install the carried factorization: the fingerprint guard above
+    // certifies the basic columns' coefficients are the ones it was
+    // computed from, so a clone is as good as a refactorization.
+    let basis = w.basis.clone();
+
     let mut t = Tableau {
         m,
+        n,
         ncols: n + m,
-        cols,
+        struct_cols: &model.cols,
+        extra_cols,
         lo,
         hi,
         rhs,
         state,
         basic: w.basic.clone(),
         xb: vec![0.0; m],
-        binv: w.binv.clone(),
+        basis,
+        devex: vec![1.0; n + m],
+        scratch: Vec::new(),
+        fscratch: lu::FactorScratch::default(),
         iterations: 0,
-        etas_since_refresh: w.etas,
     };
-    t.recompute_basics();
+    if t.basis.should_refactorize() {
+        // Long chains still refactorize periodically, even across
+        // snapshot hops; a singular basic set falls back to the cold path.
+        t.refactorize().ok()?;
+    } else {
+        t.recompute_basics();
+    }
     Some(t)
 }
 
 /// Extracts the structural solution from an optimal tableau.
-fn extract(model: &Model, t: &Tableau) -> Solution {
+fn extract(model: &Model, t: &Tableau<'_>) -> Solution {
     let n = model.vars.len();
     let mut values = vec![0.0; n];
     for j in 0..n {
@@ -1076,13 +1107,13 @@ fn phase2_costs(model: &Model, ncols: usize) -> Vec<f64> {
 /// from a prior basis; returns the solution plus a basis snapshot for the
 /// next link of the chain.
 ///
-/// The warm path installs the snapshot, runs the **dual simplex** to
-/// repair primal feasibility under the perturbed bounds / right-hand
-/// sides, then the primal simplex to certify optimality (and absorb any
-/// objective perturbation). Numerical trouble on the warm path falls back
-/// to the cold two-phase solve, so a stale-but-same-shape basis can cost
-/// time, never correctness — `Infeasible`/`Unbounded` are only returned
-/// off certified pivots.
+/// The warm path refactorizes the stored basic set, runs the **dual
+/// simplex** to repair primal feasibility under the perturbed bounds /
+/// right-hand sides, then the primal simplex to certify optimality (and
+/// absorb any objective perturbation). Numerical trouble on the warm path
+/// falls back to the cold two-phase solve, so a stale-but-same-shape
+/// basis can cost time, never correctness — `Infeasible`/`Unbounded` are
+/// only returned off certified pivots.
 pub(crate) fn solve_warm(
     model: &Model,
     warm: Option<&LpWarmStart>,
@@ -1090,22 +1121,17 @@ pub(crate) fn solve_warm(
     if model.constrs.is_empty() {
         return solve(model).map(|s| (s, None));
     }
-    let n = model.vars.len();
-    let fingerprint = structure_fingerprint(model);
     if let Some(w) = warm {
-        if let Some(mut t) = build_from_warm(model, w, fingerprint) {
+        if let Some(mut t) = build_from_warm(model, w) {
             let iter_limit = 200 * (t.m + t.ncols) + 20_000;
             let c2 = phase2_costs(model, t.ncols);
             let attempt = (|| -> Result<()> {
-                if t.etas_since_refresh >= REFRESH_EVERY {
-                    t.refactorize()?;
-                }
                 t.dual_reoptimize(&c2, iter_limit)?;
                 t.optimize(&c2, iter_limit)
             })();
             match attempt {
                 Ok(()) => {
-                    let basis = t.capture(n, fingerprint);
+                    let basis = t.capture(model);
                     return Ok((extract(model, &t), basis));
                 }
                 // Certified outcomes are final; anything else (iteration
@@ -1117,13 +1143,13 @@ pub(crate) fn solve_warm(
         }
     }
     let t = solve_cold(model)?;
-    let basis = t.capture(n, fingerprint);
+    let basis = t.capture(model);
     Ok((extract(model, &t), basis))
 }
 
 /// The cold two-phase solve: build with artificials, phase 1 when needed,
 /// phase 2 to optimality. Returns the final tableau.
-fn solve_cold(model: &Model) -> Result<Tableau> {
+fn solve_cold(model: &Model) -> Result<Tableau<'_>> {
     let (mut t, artificials) = build(model)?;
     let iter_limit = 200 * (t.m + t.ncols) + 20_000;
 
@@ -1397,5 +1423,64 @@ mod tests {
         // Continuous model: integrality not enforced, values pass as-is.
         m.check_feasible(&s.values, 1e-6).unwrap();
         assert!(s.objective > 0.0);
+    }
+
+    #[test]
+    fn untouched_column_edit_keeps_warm_start_valid() {
+        // min x + y + 10 z s.t. x + 2y + z >= 3, 3x + y >= 4: optimum at
+        // (1, 1, 0) with x and y basic and z parked at its lower bound.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, f64::INFINITY, 1.0);
+        let y = var(&mut m, "y", 0.0, f64::INFINITY, 1.0);
+        let z = var(&mut m, "z", 0.0, 1.0, 10.0);
+        let row0 = m.add_constr(vec![(x, 1.0), (y, 2.0), (z, 1.0)], Cmp::Ge, 3.0);
+        m.add_constr(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 4.0);
+        let (s, basis) = m.solve_lp_warm(None).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        let basis = basis.expect("optimal basis captured");
+        // Editing only z's coefficient touches no basic column: the
+        // snapshot must still install.
+        m.set_constr(row0, vec![(x, 1.0), (y, 2.0), (z, 3.0)]);
+        assert!(
+            super::build_from_warm(&m, &basis).is_some(),
+            "nonbasic-column edit must keep the warm start installable"
+        );
+        let (s2, _) = m.solve_lp_warm(Some(&basis)).unwrap();
+        let cold = m.solve_lp().unwrap();
+        assert!((s2.objective - cold.objective).abs() < 1e-9);
+        // Editing a *basic* column's coefficient must invalidate it.
+        m.set_constr(row0, vec![(x, 2.0), (y, 2.0), (z, 3.0)]);
+        assert!(
+            super::build_from_warm(&m, &basis).is_none(),
+            "basic-column edit must invalidate the snapshot"
+        );
+        // And the public API still agrees with a cold solve.
+        let (s3, _) = m.solve_lp_warm(Some(&basis)).unwrap();
+        let cold = m.solve_lp().unwrap();
+        assert!((s3.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_constr_then_solve_matches_fresh_model() {
+        // Rewriting a row must leave the model solving exactly like a
+        // freshly built one (the column store and row store stay in sync).
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, 10.0, 1.0);
+        let y = var(&mut m, "y", 0.0, 10.0, 1.0);
+        let r0 = m.add_constr(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 3.0);
+        m.add_constr(vec![(x, 3.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.set_constr(r0, vec![(x, 2.0), (y, 1.0)]);
+
+        let mut fresh = Model::new(Sense::Minimize);
+        let fx = var(&mut fresh, "x", 0.0, 10.0, 1.0);
+        let fy = var(&mut fresh, "y", 0.0, 10.0, 1.0);
+        fresh.add_constr(vec![(fx, 2.0), (fy, 1.0)], Cmp::Ge, 3.0);
+        fresh.add_constr(vec![(fx, 3.0), (fy, 1.0)], Cmp::Ge, 4.0);
+
+        let a = m.solve_lp().unwrap();
+        let b = fresh.solve_lp().unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+        assert_eq!(m.cols, fresh.cols, "column stores must match");
+        assert_eq!(m.col_fp, fresh.col_fp, "column fingerprints must match");
     }
 }

@@ -15,12 +15,18 @@
 //! A second property runs the same contract through the MIP layer:
 //! `solve_mip_warm` with node-level basis reuse against a cold
 //! `solve_mip`, over covering programs whose coverage target drifts.
+//!
+//! Perturbation kind 3 rewrites a whole row's coefficients via
+//! `Model::set_constr`: the per-column fingerprint scheme must either
+//! reuse the basis (edit missed the basic columns) or silently fall back
+//! cold — never disagree with a from-scratch solve.
 
 use milp::{Cmp, LpWarmStart, MipOptions, Model, Sense, SolverError, VarKind};
 use proptest::prelude::*;
 
-/// One chain link, decoded from a generated tuple: `kind % 3` selects
-/// rhs / bounds / cost, the remaining fields are reused per kind.
+/// One chain link, decoded from a generated tuple: `kind % 4` selects
+/// rhs / bounds / cost / row-rewrite, the remaining fields are reused per
+/// kind.
 #[derive(Debug, Clone, Copy)]
 struct Perturbation {
     kind: u32,
@@ -30,7 +36,7 @@ struct Perturbation {
 }
 
 fn apply(model: &mut Model, p: &Perturbation, nvars: usize, nrows: usize) {
-    match p.kind % 3 {
+    match p.kind % 4 {
         0 => {
             // Overwrite a row's right-hand side (scaled into a range that
             // crosses feasible and infeasible territory).
@@ -43,9 +49,20 @@ fn apply(model: &mut Model, p: &Perturbation, nvars: usize, nrows: usize) {
             let lo = p.a.min(3.0);
             model.set_bounds(v, lo, lo + p.b.max(0.25));
         }
-        _ => {
+        2 => {
             let v = model.var(p.slot % nvars);
             model.set_cost(v, p.a * 2.0 - 4.0);
+        }
+        _ => {
+            // Rewrite a row's coefficients (small integers, possibly
+            // zeroing the row): exercises the touched-column fingerprint
+            // invalidation behind warm-start reuse.
+            let id = model.constr(p.slot % nrows);
+            let v1 = model.var(p.slot % nvars);
+            let v2 = model.var((p.slot + 3) % nvars);
+            let c1 = (p.a - 2.0).round();
+            let c2 = (p.b - 1.0).round();
+            model.set_constr(id, vec![(v1, c1), (v2, c2)]);
         }
     }
 }
@@ -92,7 +109,7 @@ proptest! {
             ),
             1..=4,
         ),
-        links in proptest::collection::vec((0u32..3, 0usize..8, 0.0f64..=4.0, 0.0f64..=4.0), 1..=6),
+        links in proptest::collection::vec((0u32..4, 0usize..8, 0.0f64..=4.0, 0.0f64..=4.0), 1..=6),
     ) {
         let mut model = build(&vars, &rows);
         let nvars = vars.len();

@@ -108,6 +108,35 @@ impl PopSpec {
         }
     }
 
+    /// A 20-router POP between the paper's Figure 8 instance and the
+    /// 29-router active-monitoring POP: the first rung of the ROADMAP's
+    /// 20–25+ router ladder for the exact passive solvers (the
+    /// `simplex_lp2_20router` bench stage runs its LP2 relaxation).
+    pub fn scale_20() -> Self {
+        Self {
+            backbone: 6,
+            access: 14,
+            chords: 2,
+            dual_homed: 10,
+            customers: 44,
+            peers: 6,
+        }
+    }
+
+    /// A 25-router POP — the second rung of the 20–25+ router ladder
+    /// (`simplex_lp2_25router`); 56 traffic endpoints hence `56 × 55 =
+    /// 3080` traffics, half again past the Figure 8 scale.
+    pub fn scale_25() -> Self {
+        Self {
+            backbone: 7,
+            access: 18,
+            chords: 3,
+            dual_homed: 12,
+            customers: 50,
+            peers: 6,
+        }
+    }
+
     /// A 150-router POP — the paper's Section 7 closes with "we are also
     /// currently testing our solution on larger POPs, with at least 150
     /// routers"; this preset backs the `xp_scale_150` experiment.
