@@ -193,6 +193,35 @@ fn main() {
         }),
     );
 
+    // --- simplex robustness: the 25-router LP2 under a hostile exact
+    // power-of-two rescaling (rows and columns cycling through 2^±20).
+    // The optimum is invariant under the rescaling, so this prices the
+    // full numerical-robustness pipeline — equilibration, scale-relative
+    // tolerances, Harris ratio test, residual certification — on data it
+    // exists for, and pins its overhead in the perf trajectory.
+    let illpow_rows: Vec<i32> = (0..lp2_25.constr_count())
+        .map(|r| [0, 20, -20, 8, -14][r % 5])
+        .collect();
+    let illpow_cols: Vec<i32> = (0..lp2_25.var_count())
+        .map(|c| [12, -6, 0, -20, 17][c % 5])
+        .collect();
+    let lp2_25_ill = lp2_25.equivalently_rescaled(&illpow_rows, &illpow_cols);
+    let lp2_25_obj = lp2_25.solve_lp().expect("LP2 relaxation solves").objective;
+    push(
+        &mut stages,
+        run_stage("simplex_illcond_25router", "cases = LP solves", 1, || {
+            let s = lp2_25_ill.solve_lp().expect("rescaled LP2 solves");
+            assert!(
+                (s.objective - lp2_25_obj).abs() <= 1e-6 * (1.0 + lp2_25_obj.abs()),
+                "rescaled LP2 objective {} drifted from {}",
+                s.objective,
+                lp2_25_obj
+            );
+            std::hint::black_box(s.iterations);
+            1
+        }),
+    );
+
     // --- greedy set-cover on the 1980-traffic instance ------------------
     push(
         &mut stages,

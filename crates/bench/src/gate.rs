@@ -16,6 +16,7 @@ pub const STABLE_STAGES: &[&str] = &[
     "simplex_lp2_15router",
     "simplex_lp2_20router",
     "simplex_lp2_25router",
+    "simplex_illcond_25router",
     "mecf_bb_15router_k80",
     "fig7_sweep",
     "fig8_point_k75",

@@ -89,6 +89,13 @@ pub const BASELINE: &[(&str, f64, f64)] = &[
     // stays checkable (87.9 s and 807.7 s per solve, respectively).
     ("simplex_lp2_20router", 87.912, 0.011375),
     ("simplex_lp2_25router", 807.698, 0.001238),
+    // Frozen at its introduction (PR 6, numerical-robustness pipeline):
+    // the stage solves a hostile exact power-of-two rescaling of the
+    // 25-router LP2, which the pre-PR-6 core does not solve at all, so
+    // there is no earlier measurement to anchor to. The entry exists so
+    // the robustness overhead stays visible in the trajectory from here
+    // on (one 6.07 s solve on the reference container).
+    ("simplex_illcond_25router", 6.065802, 0.165),
     ("greedy_static_15router", 0.000281, 7_115.134),
     ("mecf_bb_15router_k80", 0.848164, 1.179),
     ("fig7_sweep", 0.814868, 14.726),

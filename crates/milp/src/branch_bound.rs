@@ -6,9 +6,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::model::{Model, Sense};
-use crate::presolve;
 use crate::simplex::LpWarmStart;
-use crate::{Result, Solution, SolveStatus, SolverError, INT_TOL};
+use crate::{presolve, tol};
+use crate::{Result, Solution, SolveStatus, SolverError};
 
 /// Tuning knobs for [`Model::solve_mip_with`].
 #[derive(Debug, Clone)]
@@ -217,7 +217,13 @@ pub(crate) fn solve(
     let integral_obj = opts
         .integral_objective
         .unwrap_or_else(|| auto_integral_objective(&root_model));
-    let strengthen = |b: f64| if integral_obj { (b - 1e-6).ceil() } else { b };
+    let strengthen = |b: f64| {
+        if integral_obj {
+            (b - tol::int_eps(b)).ceil()
+        } else {
+            b
+        }
+    };
 
     let finish = |values_reduced: Vec<f64>,
                   status: SolveStatus,
@@ -274,7 +280,7 @@ pub(crate) fn solve(
     while let Some(node) = open.pop() {
         // Global pruning against the incumbent.
         if let Some((best, _)) = &incumbent {
-            if node.bound >= *best - 1e-9 {
+            if node.bound >= *best - tol::obj_eps(*best) {
                 continue;
             }
             let denom = best.abs().max(1.0);
@@ -326,7 +332,7 @@ pub(crate) fn solve(
             // fractional distance? (Deterministic: nodes pop in a total
             // order, so the observation sequence is reproducible.)
             if let Some((bj, up, delta)) = node.branched {
-                if delta > 1e-9 && node.parent_obj.is_finite() {
+                if delta > tol::int_eps(delta) && node.parent_obj.is_finite() {
                     let per_unit = ((sol.objective - node.parent_obj) / delta).max(0.0);
                     pseudo[bj].observe(up, per_unit);
                 }
@@ -334,7 +340,7 @@ pub(crate) fn solve(
             let bound = strengthen(sol.objective);
             let prune = incumbent
                 .as_ref()
-                .is_some_and(|(best, _)| bound >= *best - 1e-9);
+                .is_some_and(|(best, _)| bound >= *best - tol::obj_eps(*best));
             if !prune {
                 // Branching selection: most-fractional first, with a
                 // pseudocost product-score tie-break. Pass 1 finds the
@@ -345,7 +351,7 @@ pub(crate) fn solve(
                 let mut best_dist: Option<f64> = None;
                 for &j in &int_vars {
                     let x = sol.values[j];
-                    if (x - x.round()).abs() > INT_TOL {
+                    if !tol::is_int(x) {
                         let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
                         if best_dist.is_none_or(|d| dist < d) {
                             best_dist = Some(dist);
@@ -356,11 +362,11 @@ pub(crate) fn solve(
                 if let Some(bd) = best_dist {
                     for &j in &int_vars {
                         let x = sol.values[j];
-                        if (x - x.round()).abs() <= INT_TOL {
+                        if tol::is_int(x) {
                             continue;
                         }
                         let dist = (x - x.floor() - 0.5).abs();
-                        if dist > bd + 1e-6 {
+                        if dist > bd + tol::INT_REL {
                             continue;
                         }
                         let down_dist = x - x.floor();
@@ -372,15 +378,50 @@ pub(crate) fn solve(
                     }
                 }
 
+                // Tolerance-integral LP optimum: snap the integer
+                // variables to exact integers and re-verify against the
+                // node's true (unscaled) bounds and rows before accepting.
+                // A value integral only to within the scale-relative
+                // tolerance can round onto an infeasible point; such a
+                // candidate must not become the incumbent.
+                let mut integral_candidate: Option<Vec<f64>> = None;
+                if branch_var.is_none() {
+                    let mut snapped = sol.values.clone();
+                    for &j in &int_vars {
+                        let v = &node_model.vars[j];
+                        snapped[j] = snapped[j].round().clamp(v.lo, v.hi);
+                    }
+                    if node_model.check_feasible(&snapped, crate::FEAS_TOL).is_ok() {
+                        integral_candidate = Some(snapped);
+                    } else if let Some(&j) = int_vars.iter().max_by(|&&a, &&b| {
+                        let fa = (sol.values[a] - sol.values[a].round()).abs();
+                        let fb = (sol.values[b] - sol.values[b].round()).abs();
+                        fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+                    }) {
+                        let x = sol.values[j];
+                        if (x - x.round()).abs() > tol::FIX_REL {
+                            // Rounding broke feasibility but there is real
+                            // fractionality left: branch on it instead.
+                            branch_var = Some((j, 0.0));
+                        } else {
+                            // Exactly integral yet infeasible on re-check —
+                            // drop the node, and stop claiming a proven
+                            // optimum since its subtree goes unexplored.
+                            proven = false;
+                        }
+                    }
+                }
+
                 match branch_var {
                     None => {
-                        // Integral LP optimum: new incumbent.
-                        let obj = node_model.objective_value(&sol.values);
-                        if incumbent
-                            .as_ref()
-                            .is_none_or(|(best, _)| obj < *best - 1e-9)
-                        {
-                            incumbent = Some((obj, sol.values.clone()));
+                        if let Some(snapped) = integral_candidate {
+                            let obj = node_model.objective_value(&snapped);
+                            if incumbent
+                                .as_ref()
+                                .is_none_or(|(best, _)| obj < *best - tol::obj_eps(*best))
+                            {
+                                incumbent = Some((obj, snapped));
+                            }
                         }
                     }
                     Some((j, _)) => {
@@ -390,7 +431,7 @@ pub(crate) fn solve(
                             let obj = node_model.objective_value(&rounded);
                             if incumbent
                                 .as_ref()
-                                .is_none_or(|(best, _)| obj < *best - 1e-9)
+                                .is_none_or(|(best, _)| obj < *best - tol::obj_eps(*best))
                             {
                                 incumbent = Some((obj, rounded));
                             }
@@ -494,7 +535,7 @@ fn round_heuristic(model: &Model, values: &[f64], int_vars: &[usize]) -> Option<
             .ok()
             .map(|_| rounded)
     };
-    snap(f64::round).or_else(|| snap(|x| (x - crate::INT_TOL).ceil()))
+    snap(f64::round).or_else(|| snap(|x| (x - tol::int_eps(x)).ceil()))
 }
 
 #[cfg(test)]

@@ -50,6 +50,16 @@ pub enum SolverError {
         /// Nodes explored before giving up.
         nodes: usize,
     },
+    /// The accuracy monitor could not certify the final solution: the
+    /// relative primal residual stayed above the certification threshold
+    /// even after refactorization and Markowitz-tolerance tightening.
+    /// Returned instead of a silently wrong answer.
+    Numerical {
+        /// The measured relative primal residual.
+        residual: f64,
+        /// The certification threshold it failed to meet.
+        tolerance: f64,
+    },
 }
 
 impl fmt::Display for SolverError {
@@ -88,6 +98,16 @@ impl fmt::Display for SolverError {
                 write!(
                     f,
                     "node limit reached after {nodes} nodes with no feasible solution found"
+                )
+            }
+            SolverError::Numerical {
+                residual,
+                tolerance,
+            } => {
+                write!(
+                    f,
+                    "solution could not be certified: relative residual {residual:.3e} \
+                     exceeds tolerance {tolerance:.3e}"
                 )
             }
         }

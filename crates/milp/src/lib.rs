@@ -53,8 +53,10 @@ mod error;
 pub mod lu;
 mod model;
 mod presolve;
+mod scaling;
 mod simplex;
 mod solution;
+pub mod tol;
 
 pub use branch_bound::{MipOptions, MipWarmStart};
 pub use error::SolverError;
@@ -65,10 +67,14 @@ pub use solution::{Solution, SolveStatus};
 /// Convenience alias used across the crate.
 pub type Result<T> = std::result::Result<T, SolverError>;
 
-/// Feasibility tolerance: a constraint is satisfied when violated by less
-/// than this amount.
-pub const FEAS_TOL: f64 = 1e-7;
+/// Feasibility tolerance at unit scale: a constraint is satisfied when
+/// violated by less than this amount. Kept as a re-export of
+/// [`tol::FEAS_REL`] for API compatibility; internal comparisons apply it
+/// relative to the magnitude of the quantity compared (see [`tol`]).
+pub const FEAS_TOL: f64 = tol::FEAS_REL;
 
-/// Integrality tolerance: a value within this distance of an integer is
-/// considered integral by the branch-and-bound.
-pub const INT_TOL: f64 = 1e-6;
+/// Integrality tolerance at unit scale: a value within this distance of an
+/// integer is considered integral by the branch-and-bound. Re-export of
+/// [`tol::INT_REL`]; internal checks use the scale-relative
+/// [`tol::is_int`].
+pub const INT_TOL: f64 = tol::INT_REL;

@@ -41,12 +41,16 @@
 /// Relative threshold for row pivoting inside a column: rows within this
 /// factor of the column's largest magnitude are eligible, and the sparsest
 /// eligible row wins. Larger values favour stability, smaller values
-/// sparsity; 0.1 is the textbook compromise.
-pub const PIVOT_REL_TOL: f64 = 0.1;
+/// sparsity; 0.1 is the textbook compromise. This is the *initial* value;
+/// [`Basis::tighten_pivot_tol`] raises it (towards partial pivoting) when
+/// the simplex's accuracy monitor flags an unacceptable residual.
+pub const PIVOT_REL_TOL: f64 = crate::tol::LU_PIVOT_REL;
 
-/// Absolute magnitude below which a pivot candidate is treated as zero
-/// (the basis is declared singular when no column entry survives).
-pub const SINGULAR_TOL: f64 = 1e-12;
+/// Relative magnitude below which a pivot candidate is treated as zero
+/// (the basis is declared singular when no column entry survives). Applied
+/// relative to the largest magnitude in the basis columns, so singularity
+/// detection is invariant under uniform rescaling of the basis.
+pub const SINGULAR_TOL: f64 = crate::tol::LU_SINGULAR_REL;
 
 /// Eta updates accepted before [`Basis::should_refactorize`] trips. Each
 /// eta adds one sparse column to every subsequent FTRAN/BTRAN, so the cap
@@ -145,18 +149,37 @@ impl SparseLu {
         scratch: &mut FactorScratch,
         reuse: SparseLu,
     ) -> Result<SparseLu, Singular> {
+        SparseLu::factorize_tol(m, basis_cols, scratch, reuse, PIVOT_REL_TOL)
+    }
+
+    /// [`SparseLu::factorize_with`] with an explicit Markowitz-style
+    /// relative pivot threshold (the fraction of the column maximum a
+    /// candidate must reach to be eligible). [`Basis`] threads its
+    /// adaptive threshold through here on every refactorization.
+    fn factorize_tol(
+        m: usize,
+        basis_cols: &[&[(u32, f64)]],
+        scratch: &mut FactorScratch,
+        reuse: SparseLu,
+        pivot_rel_tol: f64,
+    ) -> Result<SparseLu, Singular> {
         assert_eq!(basis_cols.len(), m, "basis must have one column per row");
         // Static Markowitz data: nonzeros per row across the basis.
         let row_count = &mut scratch.row_count;
         row_count.clear();
         row_count.resize(m, 0);
         let mut max_len = 0usize;
+        let mut bmax = 0.0f64;
         for col in basis_cols {
             max_len = max_len.max(col.len());
-            for &(r, _) in *col {
+            for &(r, a) in *col {
                 row_count[r as usize] += 1;
+                bmax = bmax.max(a.abs());
             }
         }
+        // Scale-relative singularity threshold: invariant under uniform
+        // rescaling of the basis columns.
+        let singular = SINGULAR_TOL * bmax.max(1.0);
         // Markowitz-flavoured column order: sparsest columns first, ties
         // by position — a counting sort (lengths are small) keeps this
         // O(m) and deterministic.
@@ -276,7 +299,7 @@ impl SparseLu {
                     vmax = v.abs();
                 }
             }
-            if vmax < SINGULAR_TOL {
+            if vmax < singular {
                 return Err(Singular);
             }
             // Threshold pivoting: sparsest eligible row, ties by magnitude
@@ -287,7 +310,7 @@ impl SparseLu {
                 if v == 0.0 || row_step[r as usize] != u32::MAX {
                     continue;
                 }
-                if v.abs() + SINGULAR_TOL < PIVOT_REL_TOL * vmax {
+                if v.abs() + singular < pivot_rel_tol * vmax {
                     continue;
                 }
                 let key = (row_count[r as usize], v.abs(), r);
@@ -451,11 +474,14 @@ impl DenseInv {
     /// Builds the dense inverse by Gauss–Jordan with partial pivoting.
     fn factorize(m: usize, basis_cols: &[&[(u32, f64)]]) -> Result<DenseInv, Singular> {
         let mut b = vec![0.0f64; m * m];
+        let mut bmax = 0.0f64;
         for (pos, col) in basis_cols.iter().enumerate() {
             for &(row, a) in *col {
                 b[pos * m + row as usize] = a;
+                bmax = bmax.max(a.abs());
             }
         }
+        let singular = SINGULAR_TOL * bmax.max(1.0);
         let mut inv = vec![0.0f64; m * m];
         for i in 0..m {
             inv[i * m + i] = 1.0;
@@ -469,7 +495,7 @@ impl DenseInv {
                     best_r = r;
                 }
             }
-            if best_v < SINGULAR_TOL {
+            if best_v < singular {
                 return Err(Singular);
             }
             if best_r != piv {
@@ -592,6 +618,10 @@ enum Repr {
 pub struct Basis {
     m: usize,
     repr: Repr,
+    /// Adaptive Markowitz-style relative pivot threshold used by sparse
+    /// refactorizations; starts at [`PIVOT_REL_TOL`] and is raised by
+    /// [`Basis::tighten_pivot_tol`] when residual certification fails.
+    pivot_rel_tol: f64,
 }
 
 impl Basis {
@@ -605,6 +635,7 @@ impl Basis {
                     inv: DenseInv::factorize(m, basis_cols)?,
                     updates: 0,
                 },
+                pivot_rel_tol: PIVOT_REL_TOL,
             })
         } else {
             Basis::factorize_sparse(m, basis_cols)
@@ -625,7 +656,28 @@ impl Basis {
                 eta_idx: Vec::new(),
                 eta_val: Vec::new(),
             })),
+            pivot_rel_tol: PIVOT_REL_TOL,
         })
+    }
+
+    /// Trades sparsity for stability: raises the relative pivot threshold
+    /// used by subsequent sparse refactorizations (×3 per call, capped at
+    /// [`crate::tol::LU_PIVOT_REL_MAX`], which is close to full partial
+    /// pivoting). Returns `false` when no further tightening is possible —
+    /// either the cap is reached or the backend is dense (whose
+    /// Gauss–Jordan factorization already does max-magnitude partial
+    /// pivoting). The simplex's accuracy monitor calls this when the
+    /// primal residual stays above tolerance after a refactorization.
+    pub fn tighten_pivot_tol(&mut self) -> bool {
+        if matches!(self.repr, Repr::Dense { .. }) {
+            return false;
+        }
+        let next = (self.pivot_rel_tol * 3.0).min(crate::tol::LU_PIVOT_REL_MAX);
+        if next <= self.pivot_rel_tol {
+            return false;
+        }
+        self.pivot_rel_tol = next;
+        true
     }
 
     /// Refactorizes this basis from `basis_cols` in place; the sparse
@@ -650,7 +702,7 @@ impl Basis {
             }
             Repr::Sparse(sb) => {
                 let donor = std::mem::replace(&mut sb.lu, SparseLu::empty());
-                sb.lu = SparseLu::factorize_with(m, basis_cols, scratch, donor)?;
+                sb.lu = SparseLu::factorize_tol(m, basis_cols, scratch, donor, self.pivot_rel_tol)?;
                 sb.eta_r.clear();
                 sb.eta_diag.clear();
                 sb.eta_ptr.clear();

@@ -73,11 +73,12 @@ pub(crate) struct Constraint {
     pub rhs: f64,
 }
 
-/// FNV-1a offset basis (shared by the per-column fingerprints).
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a offset basis (shared by the per-column fingerprints and the
+/// scaling fingerprints in [`crate::scaling`]).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Feeds one 8-byte word into an FNV-1a state.
-fn fnv_step(mut h: u64, x: u64) -> u64 {
+pub(crate) fn fnv_step(mut h: u64, x: u64) -> u64 {
     for b in x.to_le_bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -453,8 +454,13 @@ impl Model {
         self.vars.iter().zip(values).map(|(v, &x)| v.cost * x).sum()
     }
 
-    /// Checks an assignment against bounds and constraints with tolerance
-    /// `tol`; returns a description of the first violation found.
+    /// Checks an assignment against bounds and constraints with *relative*
+    /// tolerance `tol`: a bound may be exceeded by `tol · (1 + |bound|)`
+    /// and a row by `tol · (1 + |rhs| + Σ|aᵢⱼ·xⱼ|)` — the same
+    /// scale-relative contract the solver itself certifies against (see
+    /// [`crate::tol`]), so a solution accepted at unit scale stays
+    /// accepted under an exact power-of-two rescaling of the model.
+    /// Returns a description of the first violation found.
     pub fn check_feasible(&self, values: &[f64], tol: f64) -> std::result::Result<(), String> {
         if values.len() != self.vars.len() {
             return Err(format!(
@@ -465,28 +471,98 @@ impl Model {
         }
         for (i, v) in self.vars.iter().enumerate() {
             let x = values[i];
-            if x < v.lo - tol || x > v.hi + tol {
+            let eps = |b: f64| {
+                if b.is_finite() {
+                    tol * (1.0 + b.abs())
+                } else {
+                    tol
+                }
+            };
+            if x < v.lo - eps(v.lo) || x > v.hi + eps(v.hi) {
                 return Err(format!(
                     "variable {} = {x} outside [{}, {}]",
                     v.name, v.lo, v.hi
                 ));
             }
-            if v.integer && (x - x.round()).abs() > crate::INT_TOL {
+            if v.integer && !crate::tol::is_int(x) {
                 return Err(format!("variable {} = {x} not integral", v.name));
             }
         }
         for (r, c) in self.constrs.iter().enumerate() {
-            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v as usize]).sum();
+            let mut lhs = 0.0f64;
+            let mut mag = 0.0f64;
+            for &(v, a) in &c.terms {
+                let t = a * values[v as usize];
+                lhs += t;
+                mag += t.abs();
+            }
+            let eps = tol * (1.0 + c.rhs.abs() + mag);
             let ok = match c.cmp {
-                Cmp::Le => lhs <= c.rhs + tol,
-                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
-                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Le => lhs <= c.rhs + eps,
+                Cmp::Eq => (lhs - c.rhs).abs() <= eps,
+                Cmp::Ge => lhs >= c.rhs - eps,
             };
             if !ok {
                 return Err(format!("constraint {r}: lhs = {lhs} vs rhs = {}", c.rhs));
             }
         }
         Ok(())
+    }
+
+    /// Builds an *equivalent* model under a power-of-two change of
+    /// variables and row scaling: variable `j` is substituted by
+    /// `x_j = 2^col_pow[j] · y_j` and row `i` multiplied by
+    /// `2^row_pow[i]`. Powers of two are exact in binary floating point,
+    /// so the rescaled model has exactly the same optimal objective and
+    /// feasibility status as `self` — it only *looks* badly scaled.
+    ///
+    /// Integer/binary variables keep scale 1 regardless of `col_pow`
+    /// (integrality is not preserved under non-unit substitution). An
+    /// initial solution is transformed along. This is the generator behind
+    /// the ill-conditioning differential tests and the
+    /// `simplex_illcond_25router` bench stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row_pow`/`col_pow` do not match the constraint /
+    /// variable counts.
+    pub fn equivalently_rescaled(&self, row_pow: &[i32], col_pow: &[i32]) -> Model {
+        assert_eq!(row_pow.len(), self.constrs.len(), "row_pow length");
+        assert_eq!(col_pow.len(), self.vars.len(), "col_pow length");
+        let s: Vec<f64> = self
+            .vars
+            .iter()
+            .zip(col_pow)
+            .map(|(v, &p)| if v.integer { 1.0 } else { (p as f64).exp2() })
+            .collect();
+        let mut out = Model::new(self.sense);
+        for (j, v) in self.vars.iter().enumerate() {
+            let kind = if v.integer {
+                VarKind::Integer
+            } else {
+                VarKind::Continuous
+            };
+            out.add_var(
+                v.name.clone(),
+                kind,
+                v.lo / s[j],
+                v.hi / s[j],
+                v.cost * s[j],
+            );
+        }
+        for (i, c) in self.constrs.iter().enumerate() {
+            let t = (row_pow[i] as f64).exp2();
+            let terms: Vec<(VarId, f64)> = c
+                .terms
+                .iter()
+                .map(|&(v, a)| (VarId(v), a * t * s[v as usize]))
+                .collect();
+            out.add_constr(terms, c.cmp, c.rhs * t);
+        }
+        if let Some(init) = &self.initial {
+            out.initial = Some(init.iter().zip(&s).map(|(&x, &sj)| x / sj).collect());
+        }
+        out
     }
 
     /// Solves the continuous relaxation (integrality marks ignored).

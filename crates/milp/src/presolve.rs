@@ -14,7 +14,7 @@
 //!    best-case activity cannot reach it prove infeasibility.
 
 use crate::model::{Cmp, Model};
-use crate::{Result, SolverError, FEAS_TOL};
+use crate::{tol, Result, SolverError, FEAS_TOL};
 
 /// Disposition of an original variable after presolve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,10 +83,11 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
         changed = false;
         rounds += 1;
 
-        // Pass 1: detect fixed variables.
+        // Pass 1: detect fixed variables (range below the scale-relative
+        // fix epsilon counts as fixed).
         for (j, v) in m.vars.iter().enumerate() {
-            if fixed[j].is_none() && (v.hi - v.lo).abs() <= 1e-12 {
-                if v.integer && (v.lo - v.lo.round()).abs() > crate::INT_TOL {
+            if fixed[j].is_none() && (v.hi - v.lo).abs() <= tol::fix_eps(v.lo) {
+                if v.integer && !tol::is_int(v.lo) {
                     return Err(SolverError::Infeasible);
                 }
                 fixed[j] = Some(v.lo);
@@ -117,10 +118,11 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
             );
 
             if terms.is_empty() {
+                let eps = FEAS_TOL * (1.0 + rhs.abs());
                 let ok = match cmp {
-                    Cmp::Le => 0.0 <= rhs + FEAS_TOL,
-                    Cmp::Eq => rhs.abs() <= FEAS_TOL,
-                    Cmp::Ge => 0.0 >= rhs - FEAS_TOL,
+                    Cmp::Le => 0.0 <= rhs + eps,
+                    Cmp::Eq => rhs.abs() <= eps,
+                    Cmp::Ge => 0.0 >= rhs - eps,
                 };
                 if !ok {
                     return Err(SolverError::Infeasible);
@@ -139,7 +141,7 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
                 match (cmp, a > 0.0) {
                     (Cmp::Le, true) | (Cmp::Ge, false) => {
                         let b = if var.integer {
-                            (bound + crate::INT_TOL).floor()
+                            (bound + tol::int_eps(bound)).floor()
                         } else {
                             bound
                         };
@@ -149,7 +151,7 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
                     }
                     (Cmp::Ge, true) | (Cmp::Le, false) => {
                         let b = if var.integer {
-                            (bound - crate::INT_TOL).ceil()
+                            (bound - tol::int_eps(bound)).ceil()
                         } else {
                             bound
                         };
@@ -162,7 +164,7 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
                         var.hi = var.hi.min(bound);
                     }
                 }
-                if var.lo > var.hi + 1e-12 {
+                if var.lo > var.hi + tol::fix_eps(var.hi) {
                     return Err(SolverError::Infeasible);
                 }
                 live_rows[r] = false;
@@ -184,29 +186,38 @@ pub(crate) fn presolve(model: &Model) -> Result<Presolved> {
                     max_act += a * l;
                 }
             }
+            // Scale-relative row epsilon: grows with the rhs and with the
+            // largest *finite* activity magnitude the row's bounds allow
+            // (an unbounded activity must not produce an infinite epsilon,
+            // which would mark every such row redundant).
+            let amag = [min_act, max_act]
+                .into_iter()
+                .filter(|a| a.is_finite())
+                .fold(0.0f64, |acc, a| acc.max(a.abs()));
+            let eps = FEAS_TOL * (1.0 + rhs.abs() + amag);
             match cmp {
                 Cmp::Le => {
-                    if max_act <= rhs + FEAS_TOL {
+                    if max_act <= rhs + eps {
                         live_rows[r] = false;
                         changed = true;
-                    } else if min_act > rhs + FEAS_TOL {
+                    } else if min_act > rhs + eps {
                         return Err(SolverError::Infeasible);
                     }
                 }
                 Cmp::Ge => {
-                    if min_act >= rhs - FEAS_TOL {
+                    if min_act >= rhs - eps {
                         live_rows[r] = false;
                         changed = true;
-                    } else if max_act < rhs - FEAS_TOL {
+                    } else if max_act < rhs - eps {
                         return Err(SolverError::Infeasible);
                     }
                 }
                 Cmp::Eq => {
-                    if min_act > rhs + FEAS_TOL || max_act < rhs - FEAS_TOL {
+                    if min_act > rhs + eps || max_act < rhs - eps {
                         return Err(SolverError::Infeasible);
                     }
                     // Equalities are only droppable when both sides pin it.
-                    if (min_act - rhs).abs() <= FEAS_TOL && (max_act - rhs).abs() <= FEAS_TOL {
+                    if (min_act - rhs).abs() <= eps && (max_act - rhs).abs() <= eps {
                         live_rows[r] = false;
                         changed = true;
                     }

@@ -1,0 +1,220 @@
+//! Geometric-mean + equilibration scaling for the simplex core.
+//!
+//! Badly conditioned instances — coefficient magnitudes spanning many
+//! orders — push the simplex's pivot and feasibility comparisons outside
+//! the range where fixed relative tolerances are meaningful. This module
+//! computes per-row factors `r_i` and per-column factors `c_j` so the
+//! scaled matrix `a'_ij = a_ij · r_i · c_j` has entries near unit
+//! magnitude: a few geometric-mean sweeps (each sweep sets the factor so
+//! the geometric mean of the scaled row/column becomes 1) followed by one
+//! equilibration sweep (max-normalizing rows, then columns).
+//!
+//! Every factor is rounded to the nearest **power of two**, so scaling and
+//! unscaling multiply mantissas by exact values and introduce *zero*
+//! rounding error — a scaled solve of an exactly-representable model is
+//! bit-comparable to an unscaled solve of the pre-scaled model. Factors
+//! are clamped to `2^±40`.
+//!
+//! Scaling is derived from the constraint matrix alone (not costs, bounds
+//! or right-hand sides), so the rhs/bound/cost perturbations driving the
+//! warm-start sweep chains leave the scaling — and its fingerprint —
+//! unchanged, and a warm basis stays reusable across a chain. A
+//! coefficient edit changes the fingerprint and forces a cold solve.
+//!
+//! Well-scaled matrices (the common case for the paper's PPM/MECF
+//! programs) take the identity shortcut: [`compute`] returns `None` and
+//! the simplex borrows the model's column store with zero copies.
+
+use crate::model::{fnv_step, Model, FNV_OFFSET};
+
+/// Entry-magnitude spread (max/min ratio, and absolute magnitude) beyond
+/// which scaling engages, as a power of two. Below it the matrix is
+/// considered well scaled and the identity shortcut applies.
+const WELL_SCALED_POW: i32 = 16;
+
+/// Clamp for the scaling exponents: factors stay within `2^±40`.
+const MAX_POW: i32 = 40;
+
+/// Number of geometric-mean sweeps before the equilibration sweep.
+const GM_PASSES: usize = 3;
+
+/// Power-of-two row/column scaling of a model's constraint matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct Scaling {
+    /// Per-row factor `r_i` (an exact power of two).
+    pub row: Vec<f64>,
+    /// Per-structural-column factor `c_j` (an exact power of two).
+    pub col: Vec<f64>,
+    /// FNV-1a fingerprint over all exponents, carried by
+    /// [`crate::LpWarmStart`] so a warm basis is only installed into a
+    /// tableau scaled the same way it was captured from.
+    pub fp: u64,
+}
+
+/// Fingerprint representing "no scaling" (identity factors everywhere).
+pub(crate) const IDENTITY_FP: u64 = 0;
+
+/// Computes the scaling for `model`'s constraint matrix, or `None` when
+/// the matrix is already well scaled (or empty).
+pub(crate) fn compute(model: &Model) -> Option<Scaling> {
+    let m = model.constrs.len();
+    let n = model.vars.len();
+    if m == 0 || n == 0 {
+        return None;
+    }
+    // Well-scaled shortcut on the raw magnitudes.
+    let mut amax = 0.0f64;
+    let mut amin = f64::INFINITY;
+    for col in &model.cols {
+        for &(_, a) in col {
+            let v = a.abs();
+            amax = amax.max(v);
+            amin = amin.min(v);
+        }
+    }
+    if amax == 0.0 {
+        return None;
+    }
+    let spread = (amax / amin).log2();
+    let mag = amax.log2().abs().max(amin.log2().abs());
+    if spread <= WELL_SCALED_POW as f64 && mag <= WELL_SCALED_POW as f64 {
+        return None;
+    }
+
+    // Geometric-mean sweeps in log2 space over the column store (columns)
+    // and the row lists (rows).
+    let mut rlog = vec![0.0f64; m];
+    let mut clog = vec![0.0f64; n];
+    for _ in 0..GM_PASSES {
+        for (i, c) in model.constrs.iter().enumerate() {
+            if c.terms.is_empty() {
+                continue;
+            }
+            let sum: f64 = c
+                .terms
+                .iter()
+                .map(|&(v, a)| a.abs().log2() + clog[v as usize])
+                .sum();
+            rlog[i] = -sum / c.terms.len() as f64;
+        }
+        for (j, col) in model.cols.iter().enumerate() {
+            if col.is_empty() {
+                continue;
+            }
+            let sum: f64 = col
+                .iter()
+                .map(|&(r, a)| a.abs().log2() + rlog[r as usize])
+                .sum();
+            clog[j] = -sum / col.len() as f64;
+        }
+    }
+    // Equilibration sweep: max-normalize rows, then columns.
+    for (i, c) in model.constrs.iter().enumerate() {
+        let mx = c
+            .terms
+            .iter()
+            .map(|&(v, a)| a.abs().log2() + clog[v as usize] + rlog[i])
+            .fold(f64::NEG_INFINITY, f64::max);
+        if mx.is_finite() {
+            rlog[i] -= mx;
+        }
+    }
+    for (j, col) in model.cols.iter().enumerate() {
+        let mx = col
+            .iter()
+            .map(|&(r, a)| a.abs().log2() + rlog[r as usize] + clog[j])
+            .fold(f64::NEG_INFINITY, f64::max);
+        if mx.is_finite() {
+            clog[j] -= mx;
+        }
+    }
+
+    // Round to integer powers of two, clamped.
+    let rpow: Vec<i32> = rlog
+        .iter()
+        .map(|&l| (l.round() as i32).clamp(-MAX_POW, MAX_POW))
+        .collect();
+    let cpow: Vec<i32> = clog
+        .iter()
+        .map(|&l| (l.round() as i32).clamp(-MAX_POW, MAX_POW))
+        .collect();
+    if rpow.iter().all(|&p| p == 0) && cpow.iter().all(|&p| p == 0) {
+        return None;
+    }
+
+    let mut fp = FNV_OFFSET;
+    for &p in rpow.iter().chain(&cpow) {
+        fp = fnv_step(fp, p as i64 as u64);
+    }
+    // Reserve the identity fingerprint for the unscaled path.
+    if fp == IDENTITY_FP {
+        fp = 1;
+    }
+    Some(Scaling {
+        row: rpow.iter().map(|&p| (p as f64).exp2()).collect(),
+        col: cpow.iter().map(|&p| (p as f64).exp2()).collect(),
+        fp,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, Sense, VarKind};
+
+    fn toy(coeffs: &[&[f64]]) -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let n = coeffs[0].len();
+        let ids: Vec<_> = (0..n)
+            .map(|j| m.add_var(format!("x{j}"), VarKind::Continuous, 0.0, 10.0, 1.0))
+            .collect();
+        for row in coeffs {
+            let terms: Vec<_> = row
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a != 0.0)
+                .map(|(j, &a)| (ids[j], a))
+                .collect();
+            m.add_constr(terms, Cmp::Le, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn well_scaled_matrix_takes_identity_shortcut() {
+        let m = toy(&[&[1.0, 2.0], &[0.5, 3.0]]);
+        assert!(compute(&m).is_none());
+    }
+
+    #[test]
+    fn wide_magnitudes_get_pow2_factors_near_unit() {
+        let m = toy(&[&[1e8, 2e-6], &[4e8, 1e-6]]);
+        let s = compute(&m).expect("scaling should engage");
+        // All factors are exact powers of two.
+        for &f in s.row.iter().chain(&s.col) {
+            assert_eq!(f, (f.log2().round()).exp2(), "factor {f} not a pow2");
+        }
+        // Scaled entries end up within a few powers of two of 1.
+        for (i, c) in m.constrs.iter().enumerate() {
+            for &(v, a) in &c.terms {
+                let scaled = (a * s.row[i] * s.col[v as usize]).abs().log2().abs();
+                assert!(scaled <= 4.0, "scaled entry 2^{scaled} too far from 1");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_matrix_edits_only() {
+        let mut m = toy(&[&[1e8, 2e-6], &[4e8, 1e-6]]);
+        let fp0 = compute(&m).unwrap().fp;
+        // rhs edits do not change the scaling fingerprint.
+        let c0 = m.constr(0);
+        m.set_rhs(c0, 5.0);
+        assert_eq!(compute(&m).unwrap().fp, fp0);
+        // A coefficient edit does.
+        let x0 = m.var(0);
+        let x1 = m.var(1);
+        m.set_constr(c0, vec![(x0, 1e2), (x1, 2e-6)]);
+        assert_ne!(compute(&m).map(|s| s.fp).unwrap_or(IDENTITY_FP), fp0);
+    }
+}

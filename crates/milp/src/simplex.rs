@@ -32,9 +32,10 @@
 //!   non-improving streak switches to Bland's rule (on exact duals),
 //!   which guarantees termination on degenerate instances.
 
-use crate::lu;
 use crate::model::{Cmp, Model};
-use crate::{Result, Solution, SolveStatus, SolverError, FEAS_TOL};
+use crate::tol::{self, Tol};
+use crate::{lu, scaling};
+use crate::{Result, Solution, SolveStatus, SolverError};
 
 /// A reusable simplex basis snapshot: the optimal basis of a previous
 /// [`Model::solve_lp`]-family call, fed back through
@@ -70,14 +71,27 @@ pub struct LpWarmStart {
     /// reuse installs it with a clone instead of a refactorization; flat
     /// storage keeps the clone a few `memcpy`s.
     basis: lu::Basis,
+    /// Fingerprint of the equilibration scaling the snapshot was captured
+    /// under ([`scaling::Scaling::fp`], or [`scaling::IDENTITY_FP`]). A
+    /// basis is only valid in the scaled space it was optimal in, so a
+    /// snapshot is refused when the re-solve's scaling differs. Scaling is
+    /// derived from the matrix alone, so the rhs/bound/cost perturbations
+    /// of the sweep chains keep the fingerprint stable.
+    scale_fp: u64,
 }
 
-/// Reduced-cost tolerance for optimality.
-const COST_TOL: f64 = 1e-9;
-/// Minimum pivot magnitude accepted in the ratio test.
-const PIVOT_TOL: f64 = 1e-9;
 /// Iterations without objective improvement before switching to Bland.
 const DEGEN_SWITCH: usize = 100_000;
+/// Non-improving streak after which degenerate blocking bounds start
+/// being shifted (recorded, restored and re-certified at optimality).
+/// Deliberately a *last resort*, orders of magnitude above ordinary
+/// degenerate streaks: on the paper's ~1000-row LP2 instances devex
+/// pricing routinely sits at a vertex for a few hundred degenerate
+/// pivots before escaping on its own, and an eager threshold turns that
+/// pause into a shift storm — one bound expanded per stalled iteration —
+/// whose inflated corridor then feeds the ratio test bump-sized fake
+/// steps forever instead of letting the vertex resolve combinatorially.
+const SHIFT_AFTER: usize = 20_000;
 /// Devex weight ceiling: a new reference framework starts (all weights
 /// reset to 1) when any weight outgrows it.
 const DEVEX_RESET: f64 = 1e7;
@@ -89,6 +103,86 @@ enum VState {
     AtUpper,
     /// Free variable (both bounds infinite) resting at value 0.
     FreeAtZero,
+}
+
+/// Per-solve preparation: the equilibration scaling decision and the
+/// tolerance bundle derived from the (scaled) matrix magnitude. Built once
+/// at solve entry and threaded through tableau construction, extraction,
+/// and warm-start validation, so every path of one solve agrees on the
+/// scaled space and on what "zero" means in it.
+pub(crate) struct Prep {
+    scaling: Option<scaling::Scaling>,
+    /// Scaled structural columns; empty when the identity shortcut
+    /// applies and the tableau borrows the model's store with no copy.
+    scaled_cols: Vec<Vec<(u32, f64)>>,
+    tol: Tol,
+}
+
+impl Prep {
+    pub(crate) fn new(model: &Model) -> Self {
+        let scaling = scaling::compute(model);
+        let scaled_cols: Vec<Vec<(u32, f64)>> = match &scaling {
+            Some(s) => model
+                .cols
+                .iter()
+                .enumerate()
+                .map(|(j, col)| {
+                    col.iter()
+                        .map(|&(r, a)| (r, a * s.row[r as usize] * s.col[j]))
+                        .collect()
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let cols: &[Vec<(u32, f64)>] = if scaled_cols.is_empty() {
+            &model.cols
+        } else {
+            &scaled_cols
+        };
+        // Matrix magnitude over the columns the tableau will see (slack
+        // columns contribute coefficient 1, hence the implicit floor).
+        let mut amax = 1.0f64;
+        for col in cols {
+            for &(_, a) in col {
+                amax = amax.max(a.abs());
+            }
+        }
+        // Scaled phase-2 cost magnitude.
+        let mut cmax = 1.0f64;
+        for (j, v) in model.vars.iter().enumerate() {
+            let f = scaling.as_ref().map_or(1.0, |s| s.col[j]);
+            cmax = cmax.max((v.cost * f).abs());
+        }
+        Prep {
+            scaling,
+            scaled_cols,
+            tol: Tol::for_magnitudes(amax, cmax),
+        }
+    }
+
+    fn cols<'a>(&'a self, model: &'a Model) -> &'a [Vec<(u32, f64)>] {
+        if self.scaled_cols.is_empty() {
+            &model.cols
+        } else {
+            &self.scaled_cols
+        }
+    }
+
+    fn scale_fp(&self) -> u64 {
+        self.scaling.as_ref().map_or(scaling::IDENTITY_FP, |s| s.fp)
+    }
+
+    /// Column substitution factor `c_j` (`x_j = c_j · y_j`); 1 when
+    /// unscaled. An exact power of two, so applying and undoing it is
+    /// rounding-error-free.
+    fn col_factor(&self, j: usize) -> f64 {
+        self.scaling.as_ref().map_or(1.0, |s| s.col[j])
+    }
+
+    /// Row factor `r_i` multiplying row `i` and its right-hand side.
+    fn row_factor(&self, i: usize) -> f64 {
+        self.scaling.as_ref().map_or(1.0, |s| s.row[i])
+    }
 }
 
 /// Working state of one LP solve. Structural columns are borrowed from the
@@ -123,6 +217,13 @@ struct Tableau<'a> {
     /// Factorization workspace (reused across refactorizations).
     fscratch: lu::FactorScratch,
     iterations: usize,
+    /// The solve's tolerance bundle (`opt` is re-derived per cost vector
+    /// at each `optimize` entry; the rest is fixed at build time).
+    tol: Tol,
+    /// Bound shifts applied against degenerate stalls: `(col, lo, hi)`
+    /// records the *original* bounds, restored by [`Tableau::finalize`]
+    /// before the solution is certified.
+    shifted: Vec<(usize, f64, f64)>,
 }
 
 impl<'a> Tableau<'a> {
@@ -238,29 +339,60 @@ impl<'a> Tableau<'a> {
         d
     }
 
-    fn objective(&self, cost: &[f64]) -> f64 {
-        let mut z = 0.0;
-        for j in 0..self.ncols {
-            let v = if self.state[j] == VState::Basic {
-                continue;
-            } else {
-                self.nonbasic_value(j)
-            };
-            z += cost[j] * v;
+    /// Reduced cost of column `j` together with its eligibility epsilon.
+    ///
+    /// The epsilon is `OPT_REL` times the magnitude sum of the very dot
+    /// product that produced `d` — `|c_j| + Σ|y_r·a_rj|` — because that is
+    /// the scale of `d`'s rounding error. Since `|d|` can never exceed
+    /// that sum, the test `|d| > eps` is exactly "is `d` meaningful at its
+    /// own computation's scale": a column whose whole arithmetic lives at
+    /// 2^-28 is priced at 2^-28, while a zero-cost column crossing huge
+    /// duals is *not* declared improving off cancellation noise (a fixed
+    /// per-cost threshold does exactly that, and the resulting phantom
+    /// pivots stall the solve on the paper's 1000-row instances).
+    fn reduced_cost_scaled(&self, j: usize, cost: &[f64], y: &[f64]) -> (f64, f64) {
+        let mut d = cost[j];
+        let mut mag = cost[j].abs();
+        for &(row, a) in self.col(j) {
+            let t = y[row as usize] * a;
+            d -= t;
+            mag += t.abs();
         }
-        for (r, &c) in self.basic.iter().enumerate() {
-            z += cost[c as usize] * self.xb[r];
+        (d, tol::OPT_REL * mag)
+    }
+
+    /// The Harris pass-1 relaxation for a blocking basic variable: how far
+    /// past its bound row `r`'s basic column `bcol` may be pushed.
+    ///
+    /// The epsilon is `FEAS_REL` times the **blocking row's own working
+    /// scale** — the largest magnitude among the variable's finite bounds,
+    /// its current value, and the row's right-hand side. On unit-scale
+    /// data that recovers the classic ~1e-7 expansion that lets Harris
+    /// break ties across degenerate rows (a zero relaxation at a
+    /// degenerate vertex collapses the two-pass test into the textbook
+    /// min-ratio rule and iteration counts explode). On a row whose whole
+    /// scale is tiny, every term is tiny, so the relaxation cannot flip
+    /// the entering variable over a bound the row genuinely needs — which
+    /// is why there is no absolute floor and no global-magnitude term.
+    #[inline]
+    fn relax_eps(&self, r: usize, bcol: usize) -> f64 {
+        let mut s = self.xb[r].abs().max(self.rhs[r].abs());
+        if self.lo[bcol].is_finite() {
+            s = s.max(self.lo[bcol].abs());
         }
-        z
+        if self.hi[bcol].is_finite() {
+            s = s.max(self.hi[bcol].abs());
+        }
+        self.tol.feas * s
     }
 
     /// Is nonbasic column `j` an attractive entering candidate at reduced
     /// cost `d`?
-    fn eligible(&self, j: usize, d: f64) -> bool {
+    fn eligible(&self, j: usize, d: f64, eps: f64) -> bool {
         match self.state[j] {
-            VState::AtLower => d < -COST_TOL,
-            VState::AtUpper => d > COST_TOL,
-            VState::FreeAtZero => d.abs() > COST_TOL,
+            VState::AtLower => d < -eps,
+            VState::AtUpper => d > eps,
+            VState::FreeAtZero => d.abs() > eps,
             VState::Basic => false,
         }
     }
@@ -280,17 +412,19 @@ impl<'a> Tableau<'a> {
         cost: &[f64],
         y: &[f64],
         candidates: &mut Vec<u32>,
-    ) -> Option<(usize, f64)> {
+        eps_cache: &mut [f64],
+    ) -> Option<(usize, f64, f64)> {
         candidates.clear();
-        // (score, col, d) of every eligible column.
-        let mut eligible: Vec<(f64, u32, f64)> = Vec::new();
+        // (score, col, d, eps) of every eligible column.
+        let mut eligible: Vec<(f64, u32, f64, f64)> = Vec::new();
         for j in 0..self.ncols {
             if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
                 continue;
             }
-            let d = self.reduced_cost(j, cost, y);
-            if self.eligible(j, d) {
-                eligible.push((self.devex_score(j, d), j as u32, d));
+            let (d, eps) = self.reduced_cost_scaled(j, cost, y);
+            eps_cache[j] = eps;
+            if self.eligible(j, d, eps) {
+                eligible.push((self.devex_score(j, d), j as u32, d, eps));
             }
         }
         if eligible.is_empty() {
@@ -302,34 +436,43 @@ impl<'a> Tableau<'a> {
         eligible
             .sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
         eligible.truncate(k);
-        candidates.extend(eligible.iter().map(|&(_, j, _)| j));
-        let (_, j, d) = eligible[0];
-        Some((j as usize, d))
+        candidates.extend(eligible.iter().map(|&(_, j, _, _)| j));
+        let (_, j, d, eps) = eligible[0];
+        Some((j as usize, d, eps))
     }
 
     /// Minor pricing pass: best eligible column among `candidates` only,
-    /// re-pricing them under the current duals and devex weights.
+    /// re-pricing them under the current duals and devex weights. The
+    /// eligibility epsilon is the one cached by the full pass that
+    /// admitted the candidate — the duals drift only slightly between
+    /// refactorizations, the epsilon only needs order-of-magnitude
+    /// accuracy, and optimality is in any case only ever declared off a
+    /// full pass under exact duals and freshly computed epsilons. Skipping
+    /// the magnitude accumulation keeps the minor-iteration dot product —
+    /// the hottest loop in the solver — at one multiply-subtract per
+    /// nonzero.
     fn price_candidates(
         &self,
         cost: &[f64],
         y: &[f64],
         candidates: &[u32],
-    ) -> Option<(usize, f64)> {
-        let mut best: Option<(f64, usize, f64)> = None;
+        eps_cache: &[f64],
+    ) -> Option<(usize, f64, f64)> {
+        let mut best: Option<(f64, usize, f64, f64)> = None;
         for &j32 in candidates {
             let j = j32 as usize;
             if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
                 continue;
             }
-            let d = self.reduced_cost(j, cost, y);
-            if self.eligible(j, d) {
+            let (d, eps) = (self.reduced_cost(j, cost, y), eps_cache[j]);
+            if self.eligible(j, d, eps) {
                 let s = self.devex_score(j, d);
-                if best.is_none_or(|(bs, _, _)| s > bs) {
-                    best = Some((s, j, d));
+                if best.is_none_or(|(bs, _, _, _)| s > bs) {
+                    best = Some((s, j, d, eps));
                 }
             }
         }
-        best.map(|(_, j, d)| (j, d))
+        best.map(|(_, j, d, eps)| (j, d, eps))
     }
 
     /// Runs primal simplex iterations with the given costs until optimal.
@@ -347,7 +490,14 @@ impl<'a> Tableau<'a> {
     /// degenerate instances.
     fn optimize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
         let m = self.m;
+        // The optimality tolerance is kept per priced column, at the scale
+        // of each column's own reduced-cost dot product (see
+        // [`Tableau::reduced_cost_scaled`]); `tol.opt` only retains the
+        // coarse global value for components that want a single number.
+        let cmax = cost.iter().fold(1.0f64, |acc, &c| acc.max(c.abs()));
+        self.tol.opt = tol::OPT_REL * cmax;
         let mut non_improving = 0usize;
+        let mut shift_budget = (m + 16).saturating_sub(self.shifted.len());
         let mut y = Vec::new();
         self.btran_duals_into(cost, &mut y);
         // Duals drift as incremental updates accumulate; `y_exact` tracks
@@ -355,10 +505,15 @@ impl<'a> Tableau<'a> {
         // last pivot.
         let mut y_exact = true;
         let mut candidates: Vec<u32> = Vec::new();
+        let mut eps_cache: Vec<f64> = vec![0.0; self.ncols];
         // Kernel result buffers, reused across iterations.
         let mut w: Vec<f64> = Vec::new();
         let mut rho: Vec<f64> = Vec::new();
         let mut bumps: Vec<(usize, f64)> = Vec::new();
+        // Blocking rows gathered by ratio-test pass 1: (row, strict
+        // ratio, |pivot|, hits_upper). Pass 2 scans this (short) list
+        // instead of re-sweeping the dense FTRAN result.
+        let mut blockers: Vec<(u32, f64, f64, bool)> = Vec::new();
 
         loop {
             if self.iterations >= iter_limit {
@@ -378,7 +533,7 @@ impl<'a> Tableau<'a> {
             let use_bland = non_improving >= DEGEN_SWITCH;
 
             // Pricing: pick the entering column.
-            let entering: Option<(usize, f64)> = if use_bland {
+            let entering: Option<(usize, f64, f64)> = if use_bland {
                 // Bland's rule: lowest-index eligible column under exact
                 // duals (anti-cycling needs correct signs).
                 if !y_exact {
@@ -390,15 +545,15 @@ impl<'a> Tableau<'a> {
                     if self.state[j] == VState::Basic || self.lo[j] == self.hi[j] {
                         continue;
                     }
-                    let d = self.reduced_cost(j, cost, &y);
-                    if self.eligible(j, d) {
-                        found = Some((j, d));
+                    let (d, eps) = self.reduced_cost_scaled(j, cost, &y);
+                    if self.eligible(j, d, eps) {
+                        found = Some((j, d, eps));
                         break;
                     }
                 }
                 found
             } else {
-                match self.price_candidates(cost, &y, &candidates) {
+                match self.price_candidates(cost, &y, &candidates, &eps_cache) {
                     Some(e) => Some(e),
                     None => {
                         // Candidate list exhausted: refresh the duals if
@@ -407,12 +562,12 @@ impl<'a> Tableau<'a> {
                             self.btran_duals_into(cost, &mut y);
                             y_exact = true;
                         }
-                        self.price_full(cost, &y, &mut candidates)
+                        self.price_full(cost, &y, &mut candidates, &mut eps_cache)
                     }
                 }
             };
 
-            let Some((j, dj)) = entering else {
+            let Some((j, dj, eps_j)) = entering else {
                 debug_assert!(y_exact, "optimality must be certified with exact duals");
                 return Ok(()); // optimal
             };
@@ -433,184 +588,248 @@ impl<'a> Tableau<'a> {
 
             self.ftran_into(j, &mut w);
 
-            // Ratio test, two passes (Harris-flavoured for stability).
-            // x_B(t) = x_B - sigma * t * w; the entering moves by sigma * t
-            // from its resting value, up to its opposite bound. Rows where
-            // the entering column's FTRAN is zero cannot block and are
-            // skipped outright (the common case on sparse instances).
+            // Two-pass Harris ratio test. x_B(t) = x_B - sigma·t·w; the
+            // entering moves by sigma·t from its resting value, up to its
+            // opposite bound. Rows where the entering column's FTRAN is
+            // zero cannot block and are skipped outright (the common case
+            // on sparse instances).
             //
-            // Pass 1 finds the tightest step t_max; pass 2 picks, among the
-            // rows blocking within a small tolerance of t_max, the one with
-            // the largest |pivot| — accepting a microscopic pivot here is
-            // what corrupts the basis on the ~1000-row instances of the
-            // paper's Figure 8.
+            // Pass 1 computes the *relaxed* maximum step under
+            // feasibility-expanded bounds — each basic variable may
+            // overshoot its bound by its own feasibility epsilon. Pass 2
+            // computes the strict minimum ratio `t_min` and picks the
+            // leaving row as the largest-|pivot| row whose strict ratio
+            // fits inside the relaxed window; **the step taken is
+            // `t_min`**, so no basic variable is ever pushed beyond its
+            // bound — only the chosen leaving variable snaps onto its
+            // bound from a tolerance-bounded distance. Stepping to the
+            // chosen row's own (larger) ratio instead looks equivalent
+            // within the tolerance contract but is a 3× iteration-count
+            // regression on the paper's LP2 instances: every such step
+            // leaves violations behind on the rows it passed, and near a
+            // degenerate vertex the repair work regenerates itself
+            // indefinitely.
             let own_range = self.hi[j] - self.lo[j]; // may be +inf
-            let mut t_max = if own_range.is_finite() {
-                own_range
-            } else {
-                f64::INFINITY
-            };
-            // Pass 1: tightest step.
+            let mut t_rel = f64::INFINITY;
+            let mut t_min = f64::INFINITY;
+            blockers.clear();
             for (r, &wr) in w.iter().enumerate() {
                 if wr == 0.0 {
                     continue;
                 }
                 let rate = sigma * wr;
                 let bcol = self.basic[r] as usize;
-                if rate > PIVOT_TOL {
+                // The relaxation is relative to the blocking row's own
+                // working scale (see `relax_eps`), with no absolute
+                // floor: a floored epsilon lets the entering variable
+                // flip straight over a basic variable whose whole range
+                // lives below the floor — e.g. an artificial at 7e-9 on a
+                // down-scaled row — silently discarding that row's
+                // feasibility requirement.
+                if rate > self.tol.pivot {
                     let lob = self.lo[bcol];
                     if lob.is_finite() {
-                        let tr = ((self.xb[r] - lob) / rate).max(0.0);
-                        if tr < t_max {
-                            t_max = tr;
+                        let room = self.xb[r] - lob;
+                        let t = (room / rate).max(0.0);
+                        t_min = t_min.min(t);
+                        let tr = (room + self.relax_eps(r, bcol)) / rate;
+                        if tr < t_rel {
+                            t_rel = tr;
                         }
+                        blockers.push((r as u32, t, wr.abs(), false));
                     }
-                } else if rate < -PIVOT_TOL {
+                } else if rate < -self.tol.pivot {
                     let hib = self.hi[bcol];
                     if hib.is_finite() {
-                        let tr = ((hib - self.xb[r]) / (-rate)).max(0.0);
-                        if tr < t_max {
-                            t_max = tr;
+                        let room = hib - self.xb[r];
+                        let t = (room / -rate).max(0.0);
+                        t_min = t_min.min(t);
+                        let tr = (room + self.relax_eps(r, bcol)) / (-rate);
+                        if tr < t_rel {
+                            t_rel = tr;
                         }
+                        blockers.push((r as u32, t, wr.abs(), true));
                     }
                 }
             }
-            // Pass 2: best pivot among rows blocking near t_max.
-            let tie = 1e-9 + 1e-7 * t_max.abs().min(1.0);
-            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
-            let mut leave_mag = 0.0f64;
-            if t_max.is_finite() && t_max < own_range - 1e-12 {
-                for (r, &wr) in w.iter().enumerate() {
-                    if wr == 0.0 {
-                        continue;
-                    }
-                    let rate = sigma * wr;
-                    let bcol = self.basic[r] as usize;
-                    let blocking = if rate > PIVOT_TOL {
-                        let lob = self.lo[bcol];
-                        lob.is_finite()
-                            .then(|| (((self.xb[r] - lob) / rate).max(0.0), false))
-                    } else if rate < -PIVOT_TOL {
-                        let hib = self.hi[bcol];
-                        hib.is_finite()
-                            .then(|| (((hib - self.xb[r]) / (-rate)).max(0.0), true))
-                    } else {
-                        None
-                    };
-                    if let Some((tr, hits_upper)) = blocking {
-                        let mag = wr.abs();
-                        if tr <= t_max + tie && (leave.is_none() || mag > leave_mag) {
-                            leave = Some((r, hits_upper));
-                            leave_mag = mag;
-                        }
-                    }
+            t_rel = t_rel.max(0.0);
+
+            if own_range.is_finite() && own_range <= t_rel {
+                // Bound flip: the entering variable runs to its other
+                // bound without any basic variable blocking within the
+                // relaxed step.
+                for r in 0..m {
+                    self.xb[r] -= sigma * own_range * w[r];
                 }
+                self.state[j] = match self.state[j] {
+                    VState::AtLower => VState::AtUpper,
+                    VState::AtUpper => VState::AtLower,
+                    s => s, // free vars have infinite range; unreachable
+                };
+                // Progress bookkeeping is judged at the *objective's*
+                // scale (`tol.opt`), not the entering column's own
+                // epsilon: a pivot can be legitimately eligible at a
+                // 2^-40-scale dot product yet improve the objective by an
+                // amount meaningless against its magnitude — counting
+                // such creep as progress keeps the degeneracy escapes
+                // (shifts, Bland) from ever firing and the solve loops at
+                // the iteration limit.
+                if dj * sigma * own_range < -self.tol.opt.max(eps_j) {
+                    non_improving = 0;
+                } else {
+                    non_improving += 1;
+                }
+                continue;
             }
-            if t_max.is_infinite() {
+            if t_rel.is_infinite() {
                 return Err(SolverError::Unbounded);
             }
 
-            match leave {
-                None => {
-                    // Bound flip: the entering variable runs to its other
-                    // bound without any basic variable blocking.
-                    for r in 0..m {
-                        self.xb[r] -= sigma * t_max * w[r];
-                    }
-                    self.state[j] = match self.state[j] {
-                        VState::AtLower => VState::AtUpper,
-                        VState::AtUpper => VState::AtLower,
-                        s => s, // free vars have infinite range; unreachable
-                    };
+            // Pass 2: the leaving row is the largest-|pivot| row whose
+            // strict ratio fits under the relaxed bound `t_rel`. Since
+            // the step taken is `t_min`, the chosen variable snaps onto
+            // its bound from a distance of at most `(t_rel − t_min)·|w_r|`
+            // — tolerance-sized through the pass-1 relaxations. (A
+            // stricter per-row admission `(tr − t_min)·|w_r| ≤ relax_r`
+            // reads more principled but collapses the window exactly on
+            // the down-scaled rows the Harris test exists for, forcing
+            // microscopic min-ratio pivots there — measured as a hard
+            // stall on the rescaled 25-router bench and a 45% iteration
+            // inflation on the plain one.)
+            let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
+            let mut leave_mag = 0.0f64;
+            for &(r, tr, mag, hits_upper) in &blockers {
+                if tr <= t_rel && (leave.is_none() || mag > leave_mag) {
+                    leave = Some((r as usize, hits_upper));
+                    leave_mag = mag;
                 }
-                Some((r, hits_upper)) => {
-                    let leaving = self.basic[r] as usize;
-                    let enter_val = match self.state[j] {
-                        VState::AtLower => self.lo[j] + sigma * t_max,
-                        VState::AtUpper => self.hi[j] + sigma * t_max,
-                        VState::FreeAtZero => sigma * t_max,
-                        VState::Basic => unreachable!(),
-                    };
-                    for i in 0..m {
-                        if i != r {
-                            self.xb[i] -= sigma * t_max * w[i];
-                        }
-                    }
-                    self.xb[r] = enter_val;
-                    self.state[leaving] = if hits_upper {
-                        VState::AtUpper
-                    } else {
-                        VState::AtLower
-                    };
-                    self.state[j] = VState::Basic;
-                    self.basic[r] = j as u32;
-                    // Incremental dual update: y' = y + (d_j / w_r) e_r'B⁻¹,
-                    // with ρ = row r of the *pre-pivot* inverse.
-                    let theta = dj / w[r];
-                    self.binv_row_into(r, &mut rho);
+            }
+            let t_step = t_min;
+            let Some((r, hits_upper)) = leave else {
+                // Numerical corner (every relaxed-blocking row lost its
+                // strict qualification): rebuild the factorization and
+                // retry the iteration with accurate basic values.
+                self.refactorize()?;
+                self.btran_duals_into(cost, &mut y);
+                y_exact = true;
+                continue;
+            };
 
-                    // Devex weight propagation through the pivot row: the
-                    // entering column's reference weight scales onto the
-                    // candidate list (partial devex — the full nonbasic
-                    // sweep would cost a pricing pass per pivot) and onto
-                    // the leaving variable.
-                    let alpha_q = w[r];
-                    let gamma_q = self.devex[j].max(1.0);
-                    bumps.clear();
-                    for &jc32 in &candidates {
-                        let jc = jc32 as usize;
-                        if jc == j || self.state[jc] == VState::Basic {
-                            continue;
-                        }
-                        let mut alpha = 0.0;
-                        for &(row, a) in self.col(jc) {
-                            alpha += rho[row as usize] * a;
-                        }
-                        if alpha != 0.0 {
-                            let cand = (alpha / alpha_q) * (alpha / alpha_q) * gamma_q;
-                            bumps.push((jc, cand));
-                        }
-                    }
-                    // Only weights raised by this pivot can newly exceed
-                    // the reset cap, so the overflow check stays O(|bumps|)
-                    // instead of sweeping every column.
-                    let mut overflow = false;
-                    for &(jc, cand) in &bumps {
-                        if cand > self.devex[jc] {
-                            self.devex[jc] = cand;
-                            overflow |= cand > DEVEX_RESET;
-                        }
-                    }
-                    self.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
-                    overflow |= self.devex[leaving] > DEVEX_RESET;
-                    if overflow {
-                        // New reference framework.
-                        for wj in self.devex.iter_mut() {
-                            *wj = 1.0;
-                        }
-                    }
-
-                    let refactorized = self.update_basis(r, &w)?;
-                    if refactorized {
-                        // The incremental formula no longer applies to the
-                        // rebuilt factorization.
-                        self.btran_duals_into(cost, &mut y);
-                        y_exact = true;
-                    } else {
-                        for (yi, &rc) in y.iter_mut().zip(&rho) {
-                            *yi += theta * rc;
-                        }
-                        y_exact = false;
-                    }
+            // Degenerate stall: after a long non-improving streak, shift
+            // the blocking bound outward by a deterministic
+            // feasibility-sized amount instead of pivoting in place. The
+            // original bounds are recorded; `finalize` restores them and
+            // re-certifies the optimum against the true bounds.
+            if t_step <= 0.0 && non_improving >= SHIFT_AFTER && shift_budget > 0 {
+                let bcol = self.basic[r] as usize;
+                if !self.shifted.iter().any(|&(c, _, _)| c == bcol) {
+                    self.shifted.push((bcol, self.lo[bcol], self.hi[bcol]));
                 }
+                let bound = if hits_upper {
+                    self.hi[bcol]
+                } else {
+                    self.lo[bcol]
+                };
+                // Deterministic per-row variation breaks the exact ties
+                // that caused the stall in the first place.
+                let bump = self.tol.feas_eps(bound) * (1.0 + ((r * 7919) % 13) as f64);
+                if hits_upper {
+                    self.hi[bcol] += bump;
+                } else {
+                    self.lo[bcol] -= bump;
+                }
+                shift_budget -= 1;
+                non_improving += 1;
+                continue;
+            }
+
+            let leaving = self.basic[r] as usize;
+            let enter_val = match self.state[j] {
+                VState::AtLower => self.lo[j] + sigma * t_step,
+                VState::AtUpper => self.hi[j] + sigma * t_step,
+                VState::FreeAtZero => sigma * t_step,
+                VState::Basic => unreachable!(),
+            };
+            for i in 0..m {
+                if i != r {
+                    self.xb[i] -= sigma * t_step * w[i];
+                }
+            }
+            self.xb[r] = enter_val;
+            self.state[leaving] = if hits_upper {
+                VState::AtUpper
+            } else {
+                VState::AtLower
+            };
+            self.state[j] = VState::Basic;
+            self.basic[r] = j as u32;
+            // Incremental dual update: y' = y + (d_j / w_r) e_r'B⁻¹,
+            // with ρ = row r of the *pre-pivot* inverse.
+            let theta = dj / w[r];
+            self.binv_row_into(r, &mut rho);
+
+            // Devex weight propagation through the pivot row: the
+            // entering column's reference weight scales onto the
+            // candidate list (partial devex — the full nonbasic
+            // sweep would cost a pricing pass per pivot) and onto
+            // the leaving variable.
+            let alpha_q = w[r];
+            let gamma_q = self.devex[j].max(1.0);
+            bumps.clear();
+            for &jc32 in &candidates {
+                let jc = jc32 as usize;
+                if jc == j || self.state[jc] == VState::Basic {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for &(row, a) in self.col(jc) {
+                    alpha += rho[row as usize] * a;
+                }
+                if alpha != 0.0 {
+                    let cand = (alpha / alpha_q) * (alpha / alpha_q) * gamma_q;
+                    bumps.push((jc, cand));
+                }
+            }
+            // Only weights raised by this pivot can newly exceed
+            // the reset cap, so the overflow check stays O(|bumps|)
+            // instead of sweeping every column.
+            let mut overflow = false;
+            for &(jc, cand) in &bumps {
+                if cand > self.devex[jc] {
+                    self.devex[jc] = cand;
+                    overflow |= cand > DEVEX_RESET;
+                }
+            }
+            self.devex[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+            overflow |= self.devex[leaving] > DEVEX_RESET;
+            if overflow {
+                // New reference framework.
+                for wj in self.devex.iter_mut() {
+                    *wj = 1.0;
+                }
+            }
+
+            let refactorized = self.update_basis(r, &w)?;
+            if refactorized {
+                // The incremental formula no longer applies to the
+                // rebuilt factorization.
+                self.btran_duals_into(cost, &mut y);
+                y_exact = true;
+            } else {
+                for (yi, &rc) in y.iter_mut().zip(&rho) {
+                    *yi += theta * rc;
+                }
+                y_exact = false;
             }
 
             // Degeneracy bookkeeping for the Bland switch: the pivot
             // changed the objective by exactly d_j · Δx_j, so a full
             // objective evaluation per iteration is unnecessary — only
             // "did this pivot make progress" matters here, and degenerate
-            // pivots have t_max = 0.
-            if dj * sigma * t_max < -1e-10 {
+            // pivots have t_step = 0.
+            // Same objective-scale progress rule as the bound-flip branch
+            // above: eligibility is per-column, progress is global.
+            if dj * sigma * t_step < -self.tol.opt.max(eps_j) {
                 non_improving = 0;
             } else {
                 non_improving += 1;
@@ -622,7 +841,7 @@ impl<'a> Tableau<'a> {
     /// Returns `None` when an artificial column is still basic (rare:
     /// degenerate phase-1 leftovers) — such a basis is not expressible over
     /// structurals + slacks alone.
-    fn capture(&self, model: &Model) -> Option<LpWarmStart> {
+    fn capture(&self, model: &Model, prep: &Prep) -> Option<LpWarmStart> {
         let n = self.n;
         let nm = n + self.m;
         if self.basic.iter().any(|&c| (c as usize) >= nm) {
@@ -635,6 +854,7 @@ impl<'a> Tableau<'a> {
             state: self.state[..nm].to_vec(),
             basic: self.basic.clone(),
             basis: self.basis.clone(),
+            scale_fp: prep.scale_fp(),
         })
     }
 
@@ -670,16 +890,17 @@ impl<'a> Tableau<'a> {
             }
 
             // Leaving row: the basic variable with the largest bound
-            // violation; `below` records which bound it will exit at.
+            // violation (relative to its bound's feasibility epsilon);
+            // `below` records which bound it will exit at.
             let mut leave: Option<(usize, f64, bool)> = None;
             for r in 0..m {
                 let j = self.basic[r] as usize;
-                if self.xb[r] < self.lo[j] - FEAS_TOL {
+                if self.xb[r] < self.lo[j] - self.tol.feas_eps(self.lo[j]) {
                     let v = self.lo[j] - self.xb[r];
                     if leave.is_none_or(|(_, bv, _)| v > bv) {
                         leave = Some((r, v, true));
                     }
-                } else if self.xb[r] > self.hi[j] + FEAS_TOL {
+                } else if self.xb[r] > self.hi[j] + self.tol.feas_eps(self.hi[j]) {
                     let v = self.xb[r] - self.hi[j];
                     if leave.is_none_or(|(_, bv, _)| v > bv) {
                         leave = Some((r, v, false));
@@ -706,7 +927,7 @@ impl<'a> Tableau<'a> {
                 for &(row, a) in self.col(j) {
                     alpha += rho[row as usize] * a;
                 }
-                if alpha.abs() <= PIVOT_TOL {
+                if alpha.abs() <= self.tol.pivot {
                     continue;
                 }
                 // Required movement direction of the entering variable.
@@ -729,7 +950,8 @@ impl<'a> Tableau<'a> {
                 let better = match best {
                     None => true,
                     Some((br, ba, _)) => {
-                        ratio < br - 1e-12 || ((ratio - br).abs() <= 1e-12 && alpha.abs() > ba)
+                        let tie = tol::TIE_REL * (1.0 + br.abs());
+                        ratio < br - tie || ((ratio - br).abs() <= tie && alpha.abs() > ba)
                     }
                 };
                 if better {
@@ -744,7 +966,7 @@ impl<'a> Tableau<'a> {
 
             self.ftran_into(j, &mut w);
             let wr = w[r];
-            if wr.abs() < PIVOT_TOL {
+            if wr.abs() < self.tol.pivot {
                 // The FTRAN disagrees with the row estimate — numerically
                 // dangerous; rebuild the factorization and retry.
                 self.refactorize()?;
@@ -762,7 +984,7 @@ impl<'a> Tableau<'a> {
             // opposite bound before the leaving one reaches `target`. Move
             // it bound-to-bound and pick a new pivot for this row.
             let range = self.hi[j] - self.lo[j];
-            if range.is_finite() && dx.abs() > range + 1e-12 {
+            if range.is_finite() && dx.abs() > range + tol::TIE_REL * (1.0 + range) {
                 let step = range.copysign(dx);
                 for i in 0..m {
                     self.xb[i] -= w[i] * step;
@@ -798,7 +1020,7 @@ impl<'a> Tableau<'a> {
     /// otherwise. Returns whether it refactorized (the caller's
     /// incremental dual update is then invalid).
     fn update_basis(&mut self, r: usize, w: &[f64]) -> Result<bool> {
-        if w[r].abs() < PIVOT_TOL {
+        if w[r].abs() < self.tol.pivot {
             // Numerically dangerous pivot slipped through: refactorize.
             self.refactorize()?;
             return Ok(true);
@@ -811,20 +1033,245 @@ impl<'a> Tableau<'a> {
             }
         }
     }
+
+    /// Restores any bounds expanded against degenerate stalls and rebuilds
+    /// the basic values against the true bounds. Returns whether any shift
+    /// was undone.
+    fn restore_shifts(&mut self) -> bool {
+        if self.shifted.is_empty() {
+            return false;
+        }
+        for &(j, l, h) in &self.shifted {
+            self.lo[j] = l;
+            self.hi[j] = h;
+        }
+        self.shifted.clear();
+        // Nonbasic variables may have been resting on a shifted bound.
+        self.recompute_basics();
+        true
+    }
+
+    /// Whether any basic variable violates its bounds beyond the
+    /// feasibility tolerance.
+    fn primal_infeasible(&self) -> bool {
+        (0..self.m).any(|r| {
+            let j = self.basic[r] as usize;
+            self.xb[r] < self.lo[j] - self.tol.feas_eps(self.lo[j])
+                || self.xb[r] > self.hi[j] + self.tol.feas_eps(self.hi[j])
+        })
+    }
+
+    /// Post-optimality shift lifecycle: undo the recorded bound shifts,
+    /// and when that leaves a basic variable outside its true bounds,
+    /// repair with the dual simplex (the basis is dual feasible at the
+    /// shifted optimum) and re-optimize — which may shift again, hence the
+    /// bounded loop. On exit the tableau is optimal for the *original*
+    /// bounds or a typed error is returned.
+    fn finalize(&mut self, cost: &[f64], iter_limit: usize) -> Result<()> {
+        for _ in 0..4 {
+            self.restore_shifts();
+            if !self.primal_infeasible() {
+                return Ok(());
+            }
+            self.dual_reoptimize(cost, iter_limit)?;
+            self.optimize(cost, iter_limit)?;
+        }
+        self.restore_shifts();
+        if self.primal_infeasible() {
+            let mut worst = 0.0f64;
+            for r in 0..self.m {
+                let j = self.basic[r] as usize;
+                let v = (self.lo[j] - self.xb[r]).max(self.xb[r] - self.hi[j]);
+                worst = worst.max(v);
+            }
+            return Err(SolverError::Numerical {
+                residual: worst,
+                tolerance: self.tol.feas,
+            });
+        }
+        Ok(())
+    }
+
+    /// The accuracy monitor's measurement: the largest **relative** row
+    /// residual over every tableau column (artificials included):
+    /// `|Σ a_ij x_j − b_i| / (|b_i| + Σ|a_ij x_j| + guard)` with
+    /// `guard = NOISE_REL · amax · max|x_j|`.
+    ///
+    /// The denominator carries no absolute `1 +` floor — that floor hides
+    /// a 100%-violated row whose data sits entirely below 1 (a down-scaled
+    /// `−2^-29·x ≥ 2^-28` reads satisfied under any absolute cutoff). The
+    /// `guard` term replaces it with a noise floor tied to the magnitudes
+    /// actually computed: a flow-conservation row whose variables all sit
+    /// at roundoff (`act ≈ 1e-16`, `den ≈ 1e-15`) is cancellation noise
+    /// from O(1) basis solves, not a 10% violation, and the guard scales
+    /// with that O(1) solution magnitude.
+    fn residual_max(&self) -> f64 {
+        let m = self.m;
+        let mut act = vec![0.0f64; m];
+        let mut den = vec![0.0f64; m];
+        let mut xmax = 0.0f64;
+        let mut add = |col: &[(u32, f64)], v: f64| {
+            if v != 0.0 {
+                for &(row, a) in col {
+                    act[row as usize] += a * v;
+                    den[row as usize] += (a * v).abs();
+                }
+            }
+        };
+        for j in 0..self.ncols {
+            if self.state[j] == VState::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            xmax = xmax.max(v.abs());
+            add(self.col(j), v);
+        }
+        for (r, &c) in self.basic.iter().enumerate() {
+            xmax = xmax.max(self.xb[r].abs());
+            add(self.col(c as usize), self.xb[r]);
+        }
+        let guard = tol::NOISE_REL * self.tol.amax * xmax;
+        let mut worst = 0.0f64;
+        for r in 0..m {
+            let d = self.rhs[r].abs() + den[r] + guard;
+            if d > 0.0 {
+                worst = worst.max((act[r] - self.rhs[r]).abs() / d);
+            }
+        }
+        worst
+    }
+
+    /// The feasibility monitor's measurement: the largest relative row
+    /// violation over structural and slack columns only, so whatever an
+    /// artificial still absorbs counts as violation.
+    ///
+    /// The violation is judged against the row's **potential** activity
+    /// `Σ|a_rj| · max(|x_j|, |lo_j|, |hi_j|)` (finite bounds), plus the
+    /// right-hand-side magnitude and a computation-noise term. That
+    /// denominator asks the scale-free question "is this violation a
+    /// meaningful fraction of what the row's variables can express?" — a
+    /// row reading `8192·y = −2^-18` with `y ∈ [0, 2^-29]` is ~25%
+    /// violated at its own scale even though every absolute quantity
+    /// involved sits far below any fixed cutoff. A row whose variables
+    /// rest at roundoff noise from O(1) basis solves is *not* falsely
+    /// flagged: those variables' finite bounds are O(1), so the potential
+    /// activity keeps the denominator at the row's true working scale.
+    /// (No global-magnitude noise term here — on wide-scale instances it
+    /// would drown exactly the small rows this measure exists to see.)
+    fn feasibility_gap(&self) -> f64 {
+        let m = self.m;
+        let real = self.n + m;
+        // Current value of every structural and slack column.
+        let mut val = vec![0.0f64; real];
+        for (j, v) in val.iter_mut().enumerate() {
+            if self.state[j] != VState::Basic {
+                *v = self.nonbasic_value(j);
+            }
+        }
+        for (r, &c) in self.basic.iter().enumerate() {
+            if (c as usize) < real {
+                val[c as usize] = self.xb[r];
+            }
+        }
+        let mut act = vec![0.0f64; m];
+        let mut pot = vec![0.0f64; m];
+        for (j, &v) in val.iter().enumerate() {
+            let mut big = v.abs();
+            if self.lo[j].is_finite() {
+                big = big.max(self.lo[j].abs());
+            }
+            if self.hi[j].is_finite() {
+                big = big.max(self.hi[j].abs());
+            }
+            for &(row, a) in self.col(j) {
+                act[row as usize] += a * v;
+                pot[row as usize] += a.abs() * big;
+            }
+        }
+        let mut worst = 0.0f64;
+        for r in 0..m {
+            let d = self.rhs[r].abs() + pot[r];
+            if d > 0.0 {
+                worst = worst.max((act[r] - self.rhs[r]).abs() / d);
+            }
+        }
+        worst
+    }
+
+    /// Routes the final feasibility check through the monitor: a certified
+    /// optimum whose rows are violated beyond the scale-relative contract
+    /// surfaces as a typed error carrying the measured gap, never as a
+    /// silently wrong answer.
+    fn verify_feasible(&self) -> Result<()> {
+        let gap = self.feasibility_gap();
+        if gap <= self.tol.feas {
+            Ok(())
+        } else {
+            Err(SolverError::Numerical {
+                residual: gap,
+                tolerance: self.tol.feas,
+            })
+        }
+    }
+
+    /// Certifies the final solution through the accuracy monitor. A
+    /// residual above the threshold triggers a refactorization (fresh
+    /// factors, exact basic values); if that is not enough, the Markowitz
+    /// pivot tolerance is tightened and the factorization rebuilt again,
+    /// trading fill-in for stability. Only when the monitor still refuses
+    /// does the solver return a typed error — never a silently wrong
+    /// answer.
+    fn certify(&mut self) -> Result<()> {
+        let mut res = self.residual_max();
+        if res <= self.tol.residual {
+            return Ok(());
+        }
+        loop {
+            self.refactorize()?;
+            res = self.residual_max();
+            if res <= self.tol.residual {
+                return Ok(());
+            }
+            if !self.basis.tighten_pivot_tol() {
+                break;
+            }
+        }
+        Err(SolverError::Numerical {
+            residual: res,
+            tolerance: self.tol.residual,
+        })
+    }
 }
 
-/// Builds the standard form for `model`, choosing initial nonbasic values
-/// and installing artificials where needed; returns the tableau plus the
-/// set of artificial columns.
-fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
+/// Builds the standard form for `model` in `prep`'s scaled space,
+/// choosing initial nonbasic values and installing artificials where
+/// needed; returns the tableau plus the set of artificial columns.
+///
+/// Under scaling the substitution is `x_j = c_j · y_j` with row `i`
+/// multiplied by `r_i`: bounds divide by `c_j`, costs multiply by `c_j`,
+/// right-hand sides multiply by `r_i` — all exact powers of two. Slack
+/// bounds (`[0,∞)`, `(−∞,0]`, `[0,0]`) are invariant under positive
+/// scaling, so slack columns keep coefficient 1 in scaled space too.
+fn build<'a>(model: &'a Model, prep: &'a Prep) -> Result<(Tableau<'a>, Vec<usize>)> {
     let n = model.vars.len();
     let m = model.constrs.len();
-    let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
-    let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
+    let mut lo: Vec<f64> = model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v.lo / prep.col_factor(j))
+        .collect();
+    let mut hi: Vec<f64> = model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v.hi / prep.col_factor(j))
+        .collect();
     let mut rhs = vec![0.0; m];
     for (r, c) in model.constrs.iter().enumerate() {
-        rhs[r] = c.rhs;
+        rhs[r] = c.rhs * prep.row_factor(r);
     }
+    let struct_cols = prep.cols(model);
 
     // Slacks.
     let mut extra_cols: Vec<(u32, f64)> = Vec::with_capacity(m);
@@ -866,8 +1313,11 @@ fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
         state.push(s);
     }
 
-    // Row residuals with structurals at their resting values.
+    // Row residuals with structurals at their resting values; `mag`
+    // carries Σ|a_ij x_j| per row, the scale the feasibility of that
+    // residual is judged against.
     let mut act = vec![0.0; m];
+    let mut mag = vec![0.0; m];
     for (j, s) in state.iter().enumerate() {
         let v = match s {
             VState::AtLower => lo[j],
@@ -875,8 +1325,9 @@ fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
             _ => 0.0,
         };
         if v != 0.0 {
-            for &(row, a) in &model.cols[j] {
+            for &(row, a) in &struct_cols[j] {
                 act[row as usize] += a * v;
+                mag[row as usize] += (a * v).abs();
             }
         }
     }
@@ -891,7 +1342,12 @@ fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
     for r in 0..m {
         let slack = n + r;
         let need = rhs[r] - act[r]; // desired slack value
-        if need >= lo[slack] - FEAS_TOL && need <= hi[slack] + FEAS_TOL {
+                                    // Relative to the row's own data magnitude, with no absolute
+                                    // floor: a row whose rhs and activity are all ~2^-28 is *100%*
+                                    // violated by a residual of 2^-28, and silently skipping its
+                                    // artificial would skip the phase-1 feasibility verdict too.
+        let eps = prep.tol.feas * (rhs[r].abs() + mag[r]);
+        if need >= lo[slack] - eps && need <= hi[slack] + eps {
             // Slack absorbs the residual: make it basic.
             basic[r] = slack as u32;
             xb[r] = need.clamp(lo[slack], hi[slack]);
@@ -942,7 +1398,7 @@ fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
             m,
             n,
             ncols,
-            struct_cols: &model.cols,
+            struct_cols,
             extra_cols,
             lo,
             hi,
@@ -955,6 +1411,8 @@ fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
             scratch: Vec::new(),
             fscratch: lu::FactorScratch::default(),
             iterations: 0,
+            tol: prep.tol,
+            shifted: Vec::new(),
         },
         artificials,
     ))
@@ -967,7 +1425,7 @@ fn build(model: &Model) -> Result<(Tableau<'_>, Vec<usize>)> {
 /// snapshot's shape does not match the model, when a basic column's
 /// coefficients changed since capture (per-column fingerprints), or when
 /// a due refactorization finds the stored basic set singular.
-fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart) -> Option<Tableau<'a>> {
+fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart, prep: &'a Prep) -> Option<Tableau<'a>> {
     let n = model.vars.len();
     let m = model.constrs.len();
     if w.n != n || w.m != m || w.state.len() != n + m {
@@ -976,11 +1434,26 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart) -> Option<Tableau<'a>>
     if w.basic_fp != model.basis_fingerprint(&w.basic) {
         return None;
     }
-    let mut lo: Vec<f64> = model.vars.iter().map(|v| v.lo).collect();
-    let mut hi: Vec<f64> = model.vars.iter().map(|v| v.hi).collect();
+    // The stored factorization lives in the scaled space the snapshot was
+    // captured under; a differently scaled re-solve must start cold.
+    if w.scale_fp != prep.scale_fp() {
+        return None;
+    }
+    let mut lo: Vec<f64> = model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v.lo / prep.col_factor(j))
+        .collect();
+    let mut hi: Vec<f64> = model
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v.hi / prep.col_factor(j))
+        .collect();
     let mut rhs = vec![0.0; m];
     for (r, c) in model.constrs.iter().enumerate() {
-        rhs[r] = c.rhs;
+        rhs[r] = c.rhs * prep.row_factor(r);
     }
     let mut extra_cols: Vec<(u32, f64)> = Vec::with_capacity(m);
     for (r, c) in model.constrs.iter().enumerate() {
@@ -1033,7 +1506,7 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart) -> Option<Tableau<'a>>
         m,
         n,
         ncols: n + m,
-        struct_cols: &model.cols,
+        struct_cols: prep.cols(model),
         extra_cols,
         lo,
         hi,
@@ -1046,6 +1519,8 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart) -> Option<Tableau<'a>>
         scratch: Vec::new(),
         fscratch: lu::FactorScratch::default(),
         iterations: 0,
+        tol: prep.tol,
+        shifted: Vec::new(),
     };
     if t.basis.should_refactorize() {
         // Long chains still refactorize periodically, even across
@@ -1057,8 +1532,10 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart) -> Option<Tableau<'a>>
     Some(t)
 }
 
-/// Extracts the structural solution from an optimal tableau.
-fn extract(model: &Model, t: &Tableau<'_>) -> Solution {
+/// Extracts the structural solution from an optimal tableau, undoing the
+/// scaling substitution (`x_j = c_j · y_j`; the factors are exact powers
+/// of two, so unscaling is rounding-error-free).
+fn extract(model: &Model, t: &Tableau<'_>, prep: &Prep) -> Solution {
     let n = model.vars.len();
     let mut values = vec![0.0; n];
     for j in 0..n {
@@ -1072,13 +1549,22 @@ fn extract(model: &Model, t: &Tableau<'_>) -> Solution {
             values[c as usize] = t.xb[r];
         }
     }
-    // Snap almost-at-bound values for cleanliness.
+    if prep.scaling.is_some() {
+        for (j, v) in values.iter_mut().enumerate() {
+            *v *= prep.col_factor(j);
+        }
+    }
+    // Snap almost-at-bound values for cleanliness — *relative* to the
+    // value/bound magnitude, floorless: an absolute snap window moves
+    // solutions at 1e8 scale by more than the optimality gap, and on a
+    // variable whose whole range sits below the floor it teleports the
+    // value across that range.
     for (j, v) in values.iter_mut().enumerate() {
         let (l, h) = (model.vars[j].lo, model.vars[j].hi);
-        if l.is_finite() && (*v - l).abs() < 1e-9 {
+        if l.is_finite() && (*v - l).abs() < tol::snap_eps(*v, l) {
             *v = l;
         }
-        if h.is_finite() && (*v - h).abs() < 1e-9 {
+        if h.is_finite() && (*v - h).abs() < tol::snap_eps(*v, h) {
             *v = h;
         }
     }
@@ -1093,12 +1579,15 @@ fn extract(model: &Model, t: &Tableau<'_>) -> Solution {
     }
 }
 
-/// Phase-2 cost vector of `model` over `ncols` tableau columns.
-fn phase2_costs(model: &Model, ncols: usize) -> Vec<f64> {
+/// Phase-2 cost vector of `model` over `ncols` tableau columns, in
+/// `prep`'s scaled space (the substitution `x_j = c_j · y_j` multiplies
+/// cost `j` by `c_j`, keeping the objective value identical).
+fn phase2_costs(model: &Model, ncols: usize, prep: &Prep) -> Vec<f64> {
     let minimize = matches!(model.sense, crate::Sense::Minimize);
     let mut c2 = vec![0.0; ncols];
     for (j, v) in model.vars.iter().enumerate() {
-        c2[j] = if minimize { v.cost } else { -v.cost };
+        let c = v.cost * prep.col_factor(j);
+        c2[j] = if minimize { c } else { -c };
     }
     c2
 }
@@ -1121,36 +1610,53 @@ pub(crate) fn solve_warm(
     if model.constrs.is_empty() {
         return solve(model).map(|s| (s, None));
     }
+    let prep = Prep::new(model);
     if let Some(w) = warm {
-        if let Some(mut t) = build_from_warm(model, w) {
+        if let Some(mut t) = build_from_warm(model, w, &prep) {
             let iter_limit = 200 * (t.m + t.ncols) + 20_000;
-            let c2 = phase2_costs(model, t.ncols);
+            let c2 = phase2_costs(model, t.ncols, &prep);
             let attempt = (|| -> Result<()> {
                 t.dual_reoptimize(&c2, iter_limit)?;
-                t.optimize(&c2, iter_limit)
+                t.optimize(&c2, iter_limit)?;
+                t.finalize(&c2, iter_limit)?;
+                t.certify()?;
+                // The warm path skips phase 1, so it must run the same
+                // feasibility verdict the cold path applies: a repaired
+                // basis that leaves a row violated at its own scale is an
+                // uncertified answer and falls back to the cold solve.
+                t.verify_feasible()
             })();
             match attempt {
                 Ok(()) => {
-                    let basis = t.capture(model);
-                    return Ok((extract(model, &t), basis));
+                    let basis = t.capture(model, &prep);
+                    return Ok((extract(model, &t, &prep), basis));
                 }
-                // Certified outcomes are final; anything else (iteration
-                // limit, singular basis) retries cold below.
-                Err(SolverError::Infeasible) => return Err(SolverError::Infeasible),
+                // Unboundedness is certified by a ray off an exact ratio
+                // test and survives the fallback unchanged; everything
+                // else retries cold below — a warm start certifies or
+                // falls back, never returns an uncertified answer. That
+                // includes the dual simplex's `Infeasible`: its "no
+                // entering column" certificate depends on pricing
+                // tolerances, so on badly scaled chains the cold two-phase
+                // solve (whose verdict is taken scale-invariantly in model
+                // units) is the authority.
                 Err(SolverError::Unbounded) => return Err(SolverError::Unbounded),
                 Err(_) => {}
             }
         }
     }
-    let t = solve_cold(model)?;
-    let basis = t.capture(model);
-    Ok((extract(model, &t), basis))
+    let t = solve_cold(model, &prep)?;
+    let basis = t.capture(model, &prep);
+    Ok((extract(model, &t, &prep), basis))
 }
 
 /// The cold two-phase solve: build with artificials, phase 1 when needed,
-/// phase 2 to optimality. Returns the final tableau.
-fn solve_cold(model: &Model) -> Result<Tableau<'_>> {
-    let (mut t, artificials) = build(model)?;
+/// phase 2 to optimality, then the certification pipeline (shift restore,
+/// residual monitor). Returns the final tableau; a solution that cannot be
+/// certified surfaces as [`SolverError::Numerical`], never as a silently
+/// inaccurate answer.
+fn solve_cold<'a>(model: &'a Model, prep: &'a Prep) -> Result<Tableau<'a>> {
+    let (mut t, artificials) = build(model, prep)?;
     let iter_limit = 200 * (t.m + t.ncols) + 20_000;
 
     // Phase 1: minimize the artificial sum when any artificial is present.
@@ -1160,8 +1666,18 @@ fn solve_cold(model: &Model) -> Result<Tableau<'_>> {
             c1[a] = 1.0;
         }
         t.optimize(&c1, iter_limit)?;
-        let infeas = t.objective(&c1);
-        if infeas > 1e-6 {
+        // Any phase-1 bound shifts must be undone *before* the
+        // feasibility verdict — a shifted optimum could undercount the
+        // residual infeasibility.
+        t.finalize(&c1, iter_limit)?;
+        // The feasibility verdict: relative row violations over structurals
+        // and slacks only, so whatever an artificial still absorbs counts
+        // as violation. The measure is relative per row (and therefore
+        // invariant under the equilibration scaling) — the scaled-space
+        // artificial *objective* is not, since a row scaled down by 2^-k
+        // shrinks its residual below any absolute cutoff while staying
+        // violated by half its right-hand side in model units.
+        if t.feasibility_gap() > t.tol.feas {
             return Err(SolverError::Infeasible);
         }
         // Freeze artificials at zero for phase 2.
@@ -1181,8 +1697,11 @@ fn solve_cold(model: &Model) -> Result<Tableau<'_>> {
     }
 
     // Phase 2.
-    let c2 = phase2_costs(model, t.ncols);
+    let c2 = phase2_costs(model, t.ncols, prep);
     t.optimize(&c2, iter_limit)?;
+    t.finalize(&c2, iter_limit)?;
+    t.certify()?;
+    t.verify_feasible()?;
     Ok(t)
 }
 
@@ -1226,8 +1745,9 @@ pub(crate) fn solve(model: &Model) -> Result<Solution> {
         });
     }
 
-    let t = solve_cold(model)?;
-    Ok(extract(model, &t))
+    let prep = Prep::new(model);
+    let t = solve_cold(model, &prep)?;
+    Ok(extract(model, &t, &prep))
 }
 
 #[cfg(test)]
@@ -1441,8 +1961,9 @@ mod tests {
         // Editing only z's coefficient touches no basic column: the
         // snapshot must still install.
         m.set_constr(row0, vec![(x, 1.0), (y, 2.0), (z, 3.0)]);
+        let prep = super::Prep::new(&m);
         assert!(
-            super::build_from_warm(&m, &basis).is_some(),
+            super::build_from_warm(&m, &basis, &prep).is_some(),
             "nonbasic-column edit must keep the warm start installable"
         );
         let (s2, _) = m.solve_lp_warm(Some(&basis)).unwrap();
@@ -1450,8 +1971,9 @@ mod tests {
         assert!((s2.objective - cold.objective).abs() < 1e-9);
         // Editing a *basic* column's coefficient must invalidate it.
         m.set_constr(row0, vec![(x, 2.0), (y, 2.0), (z, 3.0)]);
+        let prep = super::Prep::new(&m);
         assert!(
-            super::build_from_warm(&m, &basis).is_none(),
+            super::build_from_warm(&m, &basis, &prep).is_none(),
             "basic-column edit must invalidate the snapshot"
         );
         // And the public API still agrees with a cold solve.

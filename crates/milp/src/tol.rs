@@ -1,0 +1,209 @@
+//! The single home of every numerical tolerance in the crate.
+//!
+//! The solver used to compare against scattered absolute constants
+//! (`1e-6`, `1e-9`, `1e-12`) — a latent-wrong-answer bug class the moment
+//! cost ranges widen or bounds reach `1e8`. This module defines the
+//! *taxonomy* instead: every threshold is a **relative** constant, and the
+//! few places that need an absolute epsilon derive it from the magnitude
+//! of the quantity being compared (`eps = REL * (1 + |x|)` style) or from
+//! the magnitude of the prepared matrix via [`Tol`].
+//!
+//! Taxonomy (see DESIGN.md "Numerical contract"):
+//!
+//! * **feasibility** ([`FEAS_REL`]) — how far outside a bound a value may
+//!   sit and still count as feasible; always applied per-bound through
+//!   [`Tol::feas_eps`].
+//! * **optimality** ([`OPT_REL`]) — reduced-cost / objective-improvement
+//!   threshold, relative to the objective's magnitude.
+//! * **pivot** ([`PIVOT_REL`]) — minimum admissible pivot magnitude in the
+//!   ratio test and basis updates, relative to the matrix magnitude.
+//! * **drop/snap** ([`DROP_REL`]) — when an extracted value is close
+//!   enough to a finite bound to be snapped onto it exactly.
+//! * **integrality** ([`INT_REL`]) — when a value counts as integral,
+//!   relative to its own magnitude.
+//! * **residual** ([`RESIDUAL_REL`]) — the certification threshold for the
+//!   relative primal residual `|a·x − b| / (1 + |b| + Σ|a_ij·x_j|)`; being
+//!   a *relative* residual it is scale-free and needs no magnitude factor.
+
+/// Relative feasibility tolerance: a value within `FEAS_REL * (1 + |bound|)`
+/// of a bound counts as within it.
+pub const FEAS_REL: f64 = 1e-7;
+
+/// Relative optimality (reduced-cost) tolerance, scaled by the magnitude
+/// of the phase costs actually priced.
+pub const OPT_REL: f64 = 1e-9;
+
+/// Relative pivot-admissibility tolerance, scaled by the magnitude of the
+/// prepared constraint matrix.
+pub const PIVOT_REL: f64 = 1e-9;
+
+/// Relative snap tolerance: extracted values within
+/// `DROP_REL * (1 + |bound|)` of a finite bound are returned exactly on it.
+pub const DROP_REL: f64 = 1e-9;
+
+/// Relative integrality tolerance: `x` is integral when
+/// `|x - round(x)| <= INT_REL * max(1, |x|)`.
+pub const INT_REL: f64 = 1e-6;
+
+/// Certification threshold for the relative primal residual. The residual
+/// is normalized per row by `1 + |rhs| + Σ|a_ij x_j|`, so this constant is
+/// dimensionless and scale-free.
+pub const RESIDUAL_REL: f64 = 1e-8;
+
+/// When `hi - lo` is below `FIX_REL * (1 + |lo|)` the variable counts as
+/// fixed (presolve).
+pub const FIX_REL: f64 = 1e-12;
+
+/// Assumed relative accuracy floor of computed solution values: a row
+/// residual below `NOISE_REL * amax * max|x|` is indistinguishable from
+/// the roundoff of the basis solves that produced `x` and must not fail a
+/// relative residual check. This floor scales with the data actually
+/// involved (matrix and solution magnitude) — unlike an absolute `1 +`
+/// floor, it does not blind the check on instances whose whole data sits
+/// below 1.
+pub const NOISE_REL: f64 = 1e-5;
+
+/// Relative tie-breaking epsilon for ratio comparisons (dual ratio test,
+/// bound-flip overshoot detection): separates genuinely equal ratios from
+/// rounding noise without affecting well-separated ones.
+pub const TIE_REL: f64 = 1e-12;
+
+/// Initial Markowitz-style relative pivot threshold for the sparse LU:
+/// a pivot candidate must reach this fraction of the column max.
+pub const LU_PIVOT_REL: f64 = 0.1;
+
+/// Upper cap for the adaptive Markowitz threshold: the accuracy monitor
+/// tightens towards (partial-pivoting-like) stability but never beyond.
+pub const LU_PIVOT_REL_MAX: f64 = 0.9;
+
+/// Relative singularity threshold for LU pivots: a pivot below
+/// `LU_SINGULAR_REL * max(1, matrix magnitude)` means a singular basis.
+pub const LU_SINGULAR_REL: f64 = 1e-12;
+
+/// The per-solve tolerance bundle, derived once from the magnitude of the
+/// (scaled) matrix and phase costs at solve entry and threaded through the
+/// simplex. All fields are *absolute* epsilons, correct for that solve.
+#[derive(Debug, Clone, Copy)]
+pub struct Tol {
+    /// `max(1, max |a_ij|)` over the prepared (scaled) matrix.
+    pub amax: f64,
+    /// Base feasibility epsilon; apply per-bound via [`Tol::feas_eps`].
+    pub feas: f64,
+    /// Reduced-cost threshold for the current pricing pass.
+    pub opt: f64,
+    /// Minimum admissible pivot magnitude.
+    pub pivot: f64,
+    /// Relative-residual certification threshold.
+    pub residual: f64,
+}
+
+impl Tol {
+    /// Builds the bundle from the prepared matrix magnitude `amax`
+    /// (max |a_ij| including slack columns) and the magnitude of the
+    /// costs currently priced, `cmax`.
+    pub fn for_magnitudes(amax: f64, cmax: f64) -> Self {
+        let amax = amax.max(1.0);
+        let cmax = cmax.max(1.0);
+        Tol {
+            amax,
+            feas: FEAS_REL,
+            opt: OPT_REL * cmax,
+            pivot: PIVOT_REL * amax,
+            residual: RESIDUAL_REL,
+        }
+    }
+
+    /// The absolute feasibility epsilon for a comparison against `bound`.
+    #[inline]
+    pub fn feas_eps(&self, bound: f64) -> f64 {
+        if bound.is_finite() {
+            self.feas * (1.0 + bound.abs())
+        } else {
+            self.feas
+        }
+    }
+}
+
+impl Default for Tol {
+    fn default() -> Self {
+        Tol::for_magnitudes(1.0, 1.0)
+    }
+}
+
+/// Absolute integrality epsilon for a value of magnitude `x`.
+#[inline]
+pub fn int_eps(x: f64) -> f64 {
+    INT_REL * x.abs().max(1.0)
+}
+
+/// Whether `x` counts as integral at its own scale.
+#[inline]
+pub fn is_int(x: f64) -> bool {
+    (x - x.round()).abs() <= int_eps(x)
+}
+
+/// Absolute objective-comparison epsilon at objective magnitude `v`:
+/// used for incumbent acceptance, pruning, and bound strengthening.
+#[inline]
+pub fn obj_eps(v: f64) -> f64 {
+    OPT_REL * v.abs().max(1.0)
+}
+
+/// Absolute snap epsilon for clamping an extracted `value` onto `bound`:
+/// relative to the larger of the two magnitudes, with no absolute floor.
+/// A floored window is a wrong-answer bug on small-scale variables — a
+/// variable resting at 0 whose bound is 2^-30 sits "within 1e-9" of that
+/// bound, and snapping it there is a 100% move at the variable's own
+/// scale (a full unit once unscaled).
+#[inline]
+pub fn snap_eps(value: f64, bound: f64) -> f64 {
+    DROP_REL * value.abs().max(bound.abs())
+}
+
+/// Absolute fixed-variable epsilon at lower bound `lo` (presolve).
+#[inline]
+pub fn fix_eps(lo: f64) -> f64 {
+    FIX_REL * (1.0 + lo.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feas_eps_grows_with_bound_magnitude() {
+        let t = Tol::default();
+        assert!((t.feas_eps(0.0) - FEAS_REL).abs() < 1e-18);
+        assert!(t.feas_eps(1e8) > 1.0e1 * FEAS_REL * 1e6);
+        assert!(t.feas_eps(f64::INFINITY) == FEAS_REL);
+    }
+
+    #[test]
+    fn integrality_is_scale_relative() {
+        // 1e-7 off at unit scale: integral.
+        assert!(is_int(3.0 + 1e-7));
+        // Same absolute slack at 1e9 scale: still integral (relative).
+        assert!(is_int(1e9 + 1.0e2));
+        // Clearly fractional stays fractional.
+        assert!(!is_int(3.5));
+    }
+
+    #[test]
+    fn snap_eps_is_relative_and_floorless() {
+        assert!(snap_eps(1e8 - 0.01, 1e8) > 1e-2);
+        assert!(snap_eps(1e8 - 0.01, 1e8) < 1.0);
+        // No absolute floor: a value at 0 never reaches a tiny bound.
+        let b = 2f64.powi(-30);
+        assert!(snap_eps(0.0, b) < b);
+    }
+
+    #[test]
+    fn tol_scales_with_matrix_magnitude() {
+        let small = Tol::for_magnitudes(1.0, 1.0);
+        let big = Tol::for_magnitudes(1e6, 1e4);
+        assert!(big.pivot > small.pivot);
+        assert!(big.opt > small.opt);
+        // The relative residual threshold is scale-free.
+        assert!(big.residual == small.residual);
+    }
+}

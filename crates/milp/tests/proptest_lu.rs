@@ -90,6 +90,109 @@ fn refs(cols: &[Vec<(u32, f64)>]) -> Vec<&[(u32, f64)]> {
     cols.iter().map(|c| c.as_slice()).collect()
 }
 
+/// Integer sibling of [`build_cols`] for the exact-rational property:
+/// a strong entry on a permuted diagonal plus small integer extras, dense
+/// row-major. Every entry is a small integer so the rational reference
+/// stays within `i128`.
+fn build_int_dense(
+    m: usize,
+    perm_seed: u64,
+    diags: &[i64],
+    extras: &[(usize, usize, i64)],
+) -> Vec<Vec<i64>> {
+    let mut perm: Vec<usize> = (0..m).collect();
+    let mut state = perm_seed | 1;
+    for i in (1..m).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        perm.swap(i, j);
+    }
+    let mut a = vec![vec![0i64; m]; m];
+    for (j, row) in perm.iter().enumerate() {
+        a[*row][j] = 4 + diags[j % diags.len()].abs();
+    }
+    for &(cj, rr, v) in extras {
+        let (j, r) = (cj % m, rr % m);
+        if r != perm[j] && v != 0 && a[r][j] == 0 {
+            a[r][j] = v;
+        }
+    }
+    a
+}
+
+/// Exact rational Gauss elimination over `i128` fractions (gcd-reduced,
+/// overflow-checked). Returns `None` for singular systems or draws whose
+/// intermediate fractions overflow — both are rejected, not failures.
+fn rational_solve(a: &[Vec<i64>], b: &[i64], transpose: bool) -> Option<Vec<f64>> {
+    fn gcd(mut a: i128, mut b: i128) -> i128 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a.abs().max(1)
+    }
+    #[derive(Clone, Copy)]
+    struct Q(i128, i128); // numerator / positive denominator
+    impl Q {
+        fn new(n: i128, d: i128) -> Option<Q> {
+            if d == 0 {
+                return None;
+            }
+            let g = gcd(n, d);
+            let s = if d < 0 { -1 } else { 1 };
+            Some(Q(s * n / g, s * d / g))
+        }
+        fn sub_mul(self, f: Q, x: Q) -> Option<Q> {
+            // self − f·x, reducing f·x first to keep magnitudes down.
+            let g1 = gcd(f.0, x.1);
+            let g2 = gcd(x.0, f.1);
+            let pn = (f.0 / g1).checked_mul(x.0 / g2)?;
+            let pd = (f.1 / g2).checked_mul(x.1 / g1)?;
+            let n = self
+                .0
+                .checked_mul(pd)?
+                .checked_sub(pn.checked_mul(self.1)?)?;
+            Q::new(n, self.1.checked_mul(pd)?)
+        }
+        fn div(self, o: Q) -> Option<Q> {
+            if o.0 == 0 {
+                return None;
+            }
+            Q::new(self.0.checked_mul(o.1)?, self.1.checked_mul(o.0)?)
+        }
+    }
+    let m = a.len();
+    let mut w: Vec<Vec<Q>> = (0..m)
+        .map(|r| {
+            (0..m)
+                .map(|c| Q(if transpose { a[c][r] } else { a[r][c] } as i128, 1))
+                .collect()
+        })
+        .collect();
+    let mut rhs: Vec<Q> = b.iter().map(|&v| Q(v as i128, 1)).collect();
+    for p in 0..m {
+        let piv = (p..m).find(|&r| w[r][p].0 != 0)?;
+        w.swap(p, piv);
+        rhs.swap(p, piv);
+        let d = w[p][p];
+        for c in p..m {
+            w[p][c] = w[p][c].div(d)?;
+        }
+        rhs[p] = rhs[p].div(d)?;
+        for r in 0..m {
+            if r != p && w[r][p].0 != 0 {
+                let f = w[r][p];
+                for c in p..m {
+                    w[r][c] = w[r][c].sub_mul(f, w[p][c])?;
+                }
+                rhs[r] = rhs[r].sub_mul(f, rhs[p])?;
+            }
+        }
+    }
+    Some(rhs.iter().map(|q| q.0 as f64 / q.1 as f64).collect())
+}
+
 fn assert_close_tol(got: &[f64], want: &[f64], what: &str, tol: f64) {
     let scale = want.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
@@ -211,6 +314,94 @@ proptest! {
         // Not an assertion (short chains legitimately stay under the cap),
         // but keep the flag observable for shrunk failure output.
         let _ = crossed_boundary;
+    }
+
+    /// Ill-conditioned bases: an exact power-of-two row/column rescaling
+    /// (entry magnitudes spanning ~8 orders) of a small *integer* basis,
+    /// solved against an exact rational reference of the unscaled system.
+    /// The scaled solution relates to the unscaled one by exact powers of
+    /// two, so each component can be checked at **its own scale** — a
+    /// global max-magnitude comparison would silently pass garbage in the
+    /// small components, which is exactly where relative-threshold
+    /// pivoting (Markowitz tolerance relative to the column max) earns
+    /// its keep. The pow range stays within ±7 because the kernel's
+    /// singularity verdict is deliberately relative to the *whole-matrix*
+    /// magnitude (post-elimination cancellation noise lives at that
+    /// scale); spreads beyond it are the equilibration layer's job, which
+    /// runs before the LU ever sees a simplex basis.
+    #[test]
+    fn pow2_rescaled_basis_matches_rational_reference(
+        m in 2usize..=8,
+        perm_seed in 0u64..u64::MAX,
+        diags in proptest::collection::vec(1i64..=8, 1..8),
+        extras in proptest::collection::vec((0usize..8, 0usize..8, -3i64..=3), 0..24),
+        rpow in proptest::collection::vec(-7i32..=7, 8),
+        cpow in proptest::collection::vec(-7i32..=7, 8),
+        b in proptest::collection::vec(-9i64..=9, 8),
+    ) {
+        let dense = build_int_dense(m, perm_seed, &diags, &extras);
+        // Exact rational reference of the integer system; reject the rare
+        // singular or i128-overflowing draw, and (via the condition proxy
+        // below) draws whose base is nearly singular — there *both* sides
+        // of the comparison lose digits, just different ones.
+        let exact = match (
+            rational_solve(&dense, &b[..m], false),
+            rational_solve(&dense, &b[..m], true),
+        ) {
+            (Some(x), Some(y)) => {
+                let xmax = x.iter().chain(&y).fold(0.0f64, |a, &v| a.max(v.abs()));
+                if xmax <= 1e4 { Some((x, y, xmax)) } else { None }
+            }
+            _ => None,
+        };
+        let Some((x_exact, y_exact, xmax)) = exact else {
+            continue;
+        };
+
+        // Scaled sparse basis: a'_rj = a_rj · 2^(rpow[r] + cpow[j]).
+        let cols: Vec<Vec<(u32, f64)>> = (0..m)
+            .map(|j| {
+                (0..m)
+                    .filter(|&r| dense[r][j] != 0)
+                    .map(|r| {
+                        let s = ((rpow[r] + cpow[j]) as f64).exp2();
+                        (r as u32, dense[r][j] as f64 * s)
+                    })
+                    .collect()
+            })
+            .collect();
+        let lu = SparseLu::factorize(m, &refs(&cols)).expect("exactly rescaled nonsingular basis");
+        let mut scratch = Vec::new();
+
+        // FTRAN: A'x' = b' with b'_r = b_r·2^rpow[r] has the exact
+        // solution x'_j = x_j·2^-cpow[j].
+        let mut x: Vec<f64> = (0..m).map(|r| b[r] as f64 * (rpow[r] as f64).exp2()).collect();
+        lu.ftran(&mut x, &mut scratch);
+        for j in 0..m {
+            let scale = (-cpow[j] as f64).exp2();
+            let want = x_exact[j] * scale;
+            prop_assert!(
+                (x[j] - want).abs() <= 1e-8 * xmax.max(1.0) * scale,
+                "ftran[{j}]: {} vs exact {want} (cpow {})",
+                x[j],
+                cpow[j]
+            );
+        }
+
+        // BTRAN: A'ᵀy' = b'' with b''_j = b_j·2^cpow[j] has the exact
+        // solution y'_r = y_r·2^-rpow[r].
+        let mut y: Vec<f64> = (0..m).map(|j| b[j] as f64 * (cpow[j] as f64).exp2()).collect();
+        lu.btran(&mut y, &mut scratch);
+        for r in 0..m {
+            let scale = (-rpow[r] as f64).exp2();
+            let want = y_exact[r] * scale;
+            prop_assert!(
+                (y[r] - want).abs() <= 1e-8 * xmax.max(1.0) * scale,
+                "btran[{r}]: {} vs exact {want} (rpow {})",
+                y[r],
+                rpow[r]
+            );
+        }
     }
 
     /// Hyper-sparse right-hand sides (unit vectors) solve exactly like

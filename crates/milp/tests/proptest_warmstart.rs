@@ -150,6 +150,92 @@ proptest! {
         }
     }
 
+    /// A warm basis captured at one scaling must survive an exact
+    /// power-of-two rescaling of the whole model: the scaling fingerprint
+    /// in [`LpWarmStart`] either certifies reuse or the solve falls back
+    /// cold — in both cases the answer matches a from-scratch solve of
+    /// the rescaled twin (the objective is invariant under the rescaling,
+    /// so the two must agree to relative tolerance). A follow-up bound
+    /// perturbation then chains a second warm solve *within* the rescaled
+    /// space.
+    #[test]
+    fn warm_survives_pow2_rescaling(
+        vars in proptest::collection::vec((1.0f64..=8.0, -4.0f64..=4.0), 2..=5),
+        rows in proptest::collection::vec(
+            (
+                proptest::collection::vec((0usize..8, -3i32..=3), 1..=4),
+                0u32..3,
+                -6.0f64..=12.0,
+            ),
+            1..=4,
+        ),
+        rpow in proptest::collection::vec(-24i32..=24, 4),
+        cpow in proptest::collection::vec(-24i32..=24, 5),
+        link in (0u32..4, 0usize..8, 0.0f64..=4.0, 0.0f64..=4.0),
+    ) {
+        let model = build(&vars, &rows);
+        let mut basis: Option<LpWarmStart> = None;
+        if let Ok((_, b)) = model.solve_lp_warm(None) {
+            basis = b;
+        }
+        let mut scaled = model.equivalently_rescaled(&rpow[..rows.len()], &cpow[..vars.len()]);
+        let warm = scaled.solve_lp_warm(basis.as_ref());
+        let cold = scaled.solve_lp();
+        let chained = match (warm, cold) {
+            (Ok((w, b)), Ok(c)) => {
+                prop_assert!(
+                    (w.objective - c.objective).abs() <= 1e-6 * (1.0 + c.objective.abs()),
+                    "cross-scale warm {} vs cold {}",
+                    w.objective,
+                    c.objective
+                );
+                b
+            }
+            (Err(SolverError::Infeasible), Err(SolverError::Infeasible)) => None,
+            (w, c) => panic!("cross-scale warm {w:?} disagrees with cold {c:?}"),
+        };
+        // Chain a perturbation in the rescaled space — expressed *at the
+        // row's / variable's own scale* so the perturbed model stays an
+        // exact rescaling of a unit-scale model (an O(1) edit on a 2^-24
+        // row would instead create a mixed-scale instance outside any
+        // solver's precision contract). The carried basis fingerprints
+        // refer to the rescaled model now, so reuse is legal and must
+        // still match a cold solve.
+        let p = Perturbation { kind: link.0, slot: link.1, a: link.2, b: link.3 };
+        match p.kind % 3 {
+            0 => {
+                let r = p.slot % rows.len();
+                let id = scaled.constr(r);
+                scaled.set_rhs(id, (p.a * 3.0 - 6.0) * (rpow[r] as f64).exp2());
+            }
+            1 => {
+                let j = p.slot % vars.len();
+                let v = scaled.var(j);
+                let s = (-cpow[j] as f64).exp2();
+                let lo = p.a.min(3.0);
+                scaled.set_bounds(v, lo * s, (lo + p.b.max(0.25)) * s);
+            }
+            _ => {
+                let j = p.slot % vars.len();
+                let v = scaled.var(j);
+                scaled.set_cost(v, (p.a * 2.0 - 4.0) * (cpow[j] as f64).exp2());
+            }
+        }
+        match (scaled.solve_lp_warm(chained.as_ref()), scaled.solve_lp()) {
+            (Ok((w, _)), Ok(c)) => {
+                prop_assert!(
+                    (w.objective - c.objective).abs() <= 1e-6 * (1.0 + c.objective.abs()),
+                    "in-scale warm {} vs cold {} after {:?}",
+                    w.objective,
+                    c.objective,
+                    p
+                );
+            }
+            (Err(SolverError::Infeasible), Err(SolverError::Infeasible)) => {}
+            (w, c) => panic!("in-scale warm {w:?} disagrees with cold {c:?} after {p:?}"),
+        }
+    }
+
     /// MIP chains: a binary covering program whose coverage right-hand
     /// side drifts along the chain. Warm roots + node basis reuse must
     /// reproduce the cold proven optimum at every link.
