@@ -98,6 +98,13 @@ pub const BASELINE: &[(&str, f64, f64)] = &[
     ("simplex_illcond_25router", 6.065802, 0.165),
     ("greedy_static_15router", 0.000281, 7_115.134),
     ("mecf_bb_15router_k80", 0.848164, 1.179),
+    // Scaling-ladder stages, frozen at their introduction (PR 7, enriched
+    // MIP search + incremental redundancy pruning): the 50/100-router
+    // presets did not exist before, so the entry anchors the trajectory
+    // from here on. Both stages run a fixed node budget (25k / 15k), so
+    // the rate is a deterministic node-throughput measurement.
+    ("exact_scale_50", 2.401, 0.417),
+    ("exact_scale_100", 3.033, 0.330),
     ("fig7_sweep", 0.814868, 14.726),
     // The three stages below ran with `speedup_vs_baseline: null` from
     // PR 2/3 through PR 4; frozen at their committed PR-4-head

@@ -1,14 +1,43 @@
 //! Branch-and-bound driver on top of the simplex, enforcing integrality.
+//!
+//! The search is best-first over a **batch-synchronous node pool**: up to
+//! [`MipOptions::node_batch`] open nodes are popped per round, their LP
+//! relaxations solved (in parallel over [`MipOptions::threads`] workers
+//! pulling from an atomic cursor), and the results merged *sequentially in
+//! pop order* — incumbent updates, pseudocost observations, cut rows, and
+//! child insertion all happen in the merge, so the search tree is a pure
+//! function of the options and never of the thread count. Determinism is
+//! keyed to `node_batch` alone: any `threads` value (including 0 = auto)
+//! replays the identical node sequence, incumbent trajectory, and final
+//! solution bit-for-bit.
+//!
+//! The relaxation is tightened with **cutting planes** (see [`crate::cuts`]):
+//! [`MipOptions::cut_rounds`] violated rounds at the root and one round at
+//! nodes no deeper than [`MipOptions::node_cut_depth`]. Cut rows are
+//! appended with [`Model::add_constr`] and the LP re-solved from the
+//! previous basis — the warm-start row-extension path makes each re-solve
+//! a short dual repair of just the violated rows instead of a cold solve.
+//!
+//! Branching is **reliability branching**: candidates are scored by the
+//! two-sided pseudocost rule, but a direction with fewer than
+//! [`MipOptions::reliability`] real observations is not trusted — the
+//! candidate is strong-branched (its child LP actually solved) and the
+//! measured degradation recorded, seeding the pseudocosts with truth
+//! before the cheap estimates take over.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::model::{Model, Sense};
+use crate::model::{fnv_step, Cmp, Model, Sense, FNV_OFFSET};
 use crate::simplex::LpWarmStart;
-use crate::{presolve, tol};
+use crate::{cuts, presolve, tol};
 use crate::{Result, Solution, SolveStatus, SolverError};
+
+/// Cut rows accepted per separation round (most violated first).
+const CUTS_PER_ROUND: usize = 16;
 
 /// Tuning knobs for [`Model::solve_mip_with`].
 #[derive(Debug, Clone)]
@@ -35,6 +64,30 @@ pub struct MipOptions {
     /// incumbent may then legitimately differ between the two settings.
     /// Proven-optimal runs return the same objective either way.
     pub warm_basis: bool,
+    /// Rounds of cutting planes separated at the root (0 disables cuts).
+    /// Each round appends the violated rows and re-solves the root LP from
+    /// its previous basis.
+    pub cut_rounds: usize,
+    /// Additionally separate one round of cuts at interior nodes of depth
+    /// at most this (0 = root only). The rows are globally valid, so they
+    /// tighten every later node, not just the separating one.
+    pub node_cut_depth: usize,
+    /// Reliability threshold η: a pseudocost direction with fewer than η
+    /// real observations is distrusted, and the candidate is
+    /// strong-branched (child LP solved) instead. 0 disables strong
+    /// branching and trusts the cost-seeded pseudocosts immediately.
+    pub reliability: u32,
+    /// Maximum branching candidates strong-branched per node.
+    pub strong_cands: usize,
+    /// Worker threads for the batch LP solves. 0 resolves `POPMON_THREADS`
+    /// and falls back to the machine's parallelism. The value never
+    /// affects results — only wall-clock.
+    pub threads: usize,
+    /// Nodes popped and LP-solved per batch. Results merge sequentially in
+    /// pop order, so the search is a function of this value alone and is
+    /// byte-identical at any thread count. 1 reproduces the classic
+    /// one-node-at-a-time search.
+    pub node_batch: usize,
 }
 
 impl Default for MipOptions {
@@ -46,8 +99,28 @@ impl Default for MipOptions {
             integral_objective: None,
             presolve: true,
             warm_basis: false,
+            cut_rounds: 4,
+            node_cut_depth: 0,
+            reliability: 4,
+            strong_cands: 8,
+            threads: 1,
+            node_batch: 1,
         }
     }
+}
+
+/// Resolves the worker count: an explicit request wins; 0 consults
+/// `POPMON_THREADS` (the workspace-wide thread knob) and falls back to the
+/// machine's available parallelism.
+fn resolve_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    std::env::var("POPMON_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Cross-solve warm-start state returned by [`Model::solve_mip_warm`]: the
@@ -57,7 +130,8 @@ impl Default for MipOptions {
 /// fingerprint check — presolve may fix different variables (and thus
 /// emit structurally different reduced models) at different chain points,
 /// and such a stale basis is silently ignored in favor of a cold root
-/// solve rather than trusted.
+/// solve rather than trusted. The captured basis predates this solve's own
+/// cut rows, so the next link's un-cut model accepts it.
 #[derive(Debug, Clone)]
 pub struct MipWarmStart {
     root: LpWarmStart,
@@ -88,11 +162,10 @@ struct Node {
 
 /// Observed per-unit objective degradations of branching a variable up /
 /// down, seeded with the variable's |objective coefficient| until a real
-/// observation lands. Drives the branching-score tie-break: among equally
-/// fractional candidates, prefer the variable whose *weaker* branch
-/// direction still moves the bound the most (the min rule — both
-/// children must make progress), so plunges tighten the bound faster and
-/// the best-first queue prunes earlier.
+/// observation lands. Drives the branching score: prefer the variable
+/// whose *weaker* branch direction still moves the bound the most (the
+/// min rule — both children must make progress), so plunges tighten the
+/// bound faster and the best-first queue prunes earlier.
 #[derive(Debug, Clone, Copy)]
 struct PseudoCost {
     up_sum: f64,
@@ -178,6 +251,93 @@ fn auto_integral_objective(model: &Model) -> bool {
         .all(|v| v.cost == 0.0 || (v.integer && v.cost.fract() == 0.0))
 }
 
+/// Whether a node with lower bound `bound` is closed by the incumbent:
+/// either the bound cannot improve on the incumbent at the objective's own
+/// scale, or the remaining gap is within the requested tolerance. The gap
+/// goes through [`tol::rel_gap`] — scale-relative with a magnitude-safe
+/// denominator — so `best ≈ 0`, negative objectives, and unbounded node
+/// bounds all prune correctly.
+fn closed_by(incumbent: &Option<(f64, Vec<f64>)>, bound: f64, rel_gap: f64) -> bool {
+    incumbent.as_ref().is_some_and(|(best, _)| {
+        bound >= *best - tol::obj_eps(*best) || tol::rel_gap(*best, bound) <= rel_gap
+    })
+}
+
+/// Structural fingerprint of a cut row, for duplicate suppression across
+/// separation sites (a node solved before a sibling's cut landed can
+/// re-separate the identical row).
+fn cut_fp(cut: &cuts::Cut) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &(v, c) in &cut.terms {
+        h = fnv_step(h, v.index() as u64);
+        h = fnv_step(h, c.to_bits());
+    }
+    h = fnv_step(h, cut.rhs.to_bits());
+    fnv_step(
+        h,
+        match cut.cmp {
+            Cmp::Le => 0,
+            Cmp::Eq => 1,
+            Cmp::Ge => 2,
+        },
+    )
+}
+
+/// Appends the not-yet-seen cuts to both the root and the node model
+/// (kept row-identical for the whole search); returns how many landed.
+fn append_cuts(
+    root_model: &mut Model,
+    node_model: &mut Model,
+    found: &[cuts::Cut],
+    seen: &mut HashSet<u64>,
+) -> usize {
+    let mut added = 0;
+    for cut in found {
+        if !seen.insert(cut_fp(cut)) {
+            continue;
+        }
+        root_model.add_constr(cut.terms.clone(), cut.cmp, cut.rhs);
+        node_model.add_constr(cut.terms.clone(), cut.cmp, cut.rhs);
+        added += 1;
+    }
+    added
+}
+
+/// A node's solved relaxation: the LP solution plus the basis snapshot
+/// (present only when the node went through the warm-capable path).
+struct NodeLp {
+    sol: Solution,
+    basis: Option<LpWarmStart>,
+}
+
+/// `Ok(None)` = LP infeasible (node closed); `Err` = numerical failure.
+type LpOutcome = Result<Option<NodeLp>>;
+
+/// Solves one node's relaxation on `model` (a row-identical copy of
+/// `root`), applying and then restoring the node's bound overrides. Pure
+/// in (model rows, node) — workers call it on private clones, the serial
+/// path on the shared node model, with identical results.
+fn solve_node_lp(model: &mut Model, root: &Model, node: &Node, warm_path: bool) -> LpOutcome {
+    for &(j, lo, hi) in &node.changes {
+        model.vars[j].lo = lo;
+        model.vars[j].hi = hi;
+    }
+    // The root always routes through the warm-capable path so chains can
+    // seed it and its basis can seed the next chain link; interior nodes
+    // reuse the parent basis only when `warm_basis` is on.
+    let lp = if warm_path || node.depth == 0 {
+        model.solve_lp_warm(node.basis.as_deref())
+    } else {
+        model.solve_lp().map(|s| (s, None))
+    };
+    restore(model, root, &node.changes);
+    match lp {
+        Ok((sol, basis)) => Ok(Some(NodeLp { sol, basis })),
+        Err(SolverError::Infeasible) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
 /// Entry point used by [`Model::solve_mip`] and friends. `warm` seeds the
 /// root LP basis from a previous solve of a perturbed sibling model; the
 /// returned [`MipWarmStart`] carries this solve's root basis onward (or
@@ -204,7 +364,7 @@ pub(crate) fn solve(
     } else {
         presolve::identity(&work)
     };
-    let root_model = pre.model.clone();
+    let mut root_model = pre.model.clone();
 
     let int_vars: Vec<usize> = root_model
         .vars
@@ -276,203 +436,349 @@ pub(crate) fn solve(
     let mut node_model = root_model.clone();
     let mut proven = true;
     let mut root_basis_out: Option<MipWarmStart> = None;
+    let mut seen_cuts: HashSet<u64> = HashSet::new();
+    let nthreads = resolve_threads(opts.threads).max(1);
+    let node_batch = opts.node_batch.max(1);
 
-    while let Some(node) = open.pop() {
-        // Global pruning against the incumbent.
-        if let Some((best, _)) = &incumbent {
-            if node.bound >= *best - tol::obj_eps(*best) {
+    loop {
+        // Collect the next batch (pruning against the incumbent at pop
+        // time; the merge re-checks after within-batch improvements).
+        let mut batch: Vec<Node> = Vec::new();
+        while batch.len() < node_batch {
+            let Some(node) = open.pop() else { break };
+            if closed_by(&incumbent, node.bound, opts.rel_gap) {
                 continue;
             }
-            let denom = best.abs().max(1.0);
-            if (best - node.bound.max(f64::MIN)) / denom <= opts.rel_gap {
-                continue;
-            }
+            batch.push(node);
         }
-        if nodes_explored >= opts.max_nodes || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
+        if batch.is_empty() {
+            break;
+        }
+        if nodes_explored + batch.len() > opts.max_nodes
+            || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
         {
+            // Return the collected nodes so the final gap sees their bounds.
+            for node in batch {
+                open.push(node);
+            }
             proven = false;
             break;
         }
-        nodes_explored += 1;
+        nodes_explored += batch.len();
 
-        // Apply this node's bound changes.
-        for &(j, lo, hi) in &node.changes {
-            node_model.vars[j].lo = lo;
-            node_model.vars[j].hi = hi;
-        }
-
-        // The root always routes through the warm-capable path so chains
-        // can seed it and its basis can seed the next chain link; interior
-        // nodes reuse the parent basis only when `warm_basis` is on.
-        let lp = if opts.warm_basis || node.depth == 0 {
-            node_model.solve_lp_warm(node.basis.as_deref())
-        } else {
-            node_model.solve_lp().map(|s| (s, None))
-        };
-
-        let result = match lp {
-            Ok((sol, basis)) => {
-                if node.depth == 0 {
-                    root_basis_out = basis.clone().map(|root| MipWarmStart { root });
+        // Solve the batch relaxations — in parallel when both the batch
+        // and the worker pool are larger than one. Workers pull node
+        // indices from an atomic cursor and run on private model clones;
+        // results are reassembled in batch order, so the merge below is
+        // oblivious to how the work was scheduled.
+        let lps: Vec<LpOutcome> = if nthreads > 1 && batch.len() > 1 {
+            let cursor = AtomicUsize::new(0);
+            let mut slots: Vec<Option<LpOutcome>> = (0..batch.len()).map(|_| None).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..nthreads.min(batch.len()))
+                    .map(|_| {
+                        let cursor = &cursor;
+                        let batch = &batch;
+                        let root = &root_model;
+                        let warm_path = opts.warm_basis;
+                        s.spawn(move || {
+                            let mut local = root.clone();
+                            let mut out: Vec<(usize, LpOutcome)> = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                                if i >= batch.len() {
+                                    break;
+                                }
+                                out.push((
+                                    i,
+                                    solve_node_lp(&mut local, root, &batch[i], warm_path),
+                                ));
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, r) in h.join().expect("node LP worker panicked") {
+                        slots[i] = Some(r);
+                    }
                 }
-                Some((sol, basis))
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("every batch slot solved"))
+                .collect()
+        } else {
+            let mut v = Vec::with_capacity(batch.len());
+            for node in &batch {
+                v.push(solve_node_lp(
+                    &mut node_model,
+                    &root_model,
+                    node,
+                    opts.warm_basis,
+                ));
             }
-            Err(SolverError::Infeasible) => None,
-            Err(e) => {
-                // Restore bounds before propagating unexpected errors.
-                restore(&mut node_model, &root_model, &node.changes);
-                return Err(e);
-            }
+            v
         };
 
-        if let Some((sol, lp_basis)) = result {
+        // Sequential merge in pop order: everything order-sensitive
+        // (incumbent, pseudocosts, cuts, child insertion) happens here.
+        for (node, lp) in batch.iter().zip(lps) {
+            let Some(NodeLp { mut sol, mut basis }) = lp? else {
+                continue; // node LP infeasible: closed
+            };
             iterations += sol.iterations;
+
             // Pseudocost update: how much did branching this variable in
             // this direction degrade the relaxation, per unit of
-            // fractional distance? (Deterministic: nodes pop in a total
-            // order, so the observation sequence is reproducible.)
+            // fractional distance? (Deterministic: the merge runs in a
+            // total order, so the observation sequence is reproducible.)
             if let Some((bj, up, delta)) = node.branched {
                 if delta > tol::int_eps(delta) && node.parent_obj.is_finite() {
                     let per_unit = ((sol.objective - node.parent_obj) / delta).max(0.0);
                     pseudo[bj].observe(up, per_unit);
                 }
             }
-            let bound = strengthen(sol.objective);
-            let prune = incumbent
-                .as_ref()
-                .is_some_and(|(best, _)| bound >= *best - tol::obj_eps(*best));
-            if !prune {
-                // Branching selection: most-fractional first, with a
-                // pseudocost product-score tie-break. Pass 1 finds the
-                // best fractional distance; pass 2 scores the (frequent,
-                // in covering LPs) near-ties and keeps the historically
-                // strongest variable — lowest index on exact score ties,
-                // so the choice is deterministic and seed-stable.
-                let mut best_dist: Option<f64> = None;
-                for &j in &int_vars {
-                    let x = sol.values[j];
-                    if !tol::is_int(x) {
-                        let dist = (x - x.floor() - 0.5).abs(); // 0 = most fractional
-                        if best_dist.is_none_or(|d| dist < d) {
-                            best_dist = Some(dist);
-                        }
-                    }
-                }
-                let mut branch_var: Option<(usize, f64)> = None; // (var, score)
-                if let Some(bd) = best_dist {
-                    for &j in &int_vars {
-                        let x = sol.values[j];
-                        if tol::is_int(x) {
-                            continue;
-                        }
-                        let dist = (x - x.floor() - 0.5).abs();
-                        if dist > bd + tol::INT_REL {
-                            continue;
-                        }
-                        let down_dist = x - x.floor();
-                        let up_dist = x.ceil() - x;
-                        let score = pseudo[j].score(down_dist, up_dist);
-                        if branch_var.is_none_or(|(_, s)| score > s) {
-                            branch_var = Some((j, score));
-                        }
-                    }
-                }
 
-                // Tolerance-integral LP optimum: snap the integer
-                // variables to exact integers and re-verify against the
-                // node's true (unscaled) bounds and rows before accepting.
-                // A value integral only to within the scale-relative
-                // tolerance can round onto an infeasible point; such a
-                // candidate must not become the incumbent.
-                let mut integral_candidate: Option<Vec<f64>> = None;
-                if branch_var.is_none() {
-                    let mut snapped = sol.values.clone();
-                    for &j in &int_vars {
-                        let v = &node_model.vars[j];
-                        snapped[j] = snapped[j].round().clamp(v.lo, v.hi);
+            // Root: capture the chain warm-start first (pre-cut, so the
+            // next chain link's un-cut model accepts it), then tighten
+            // the relaxation with rounds of cutting planes, re-solving
+            // from the previous basis via the row-extension warm path.
+            if node.depth == 0 {
+                root_basis_out = basis.clone().map(|root| MipWarmStart { root });
+                let mut infeasible_by_cuts = false;
+                for _ in 0..opts.cut_rounds {
+                    let found = cuts::separate(&root_model, &sol.values, CUTS_PER_ROUND);
+                    if append_cuts(&mut root_model, &mut node_model, &found, &mut seen_cuts) == 0 {
+                        break;
                     }
-                    if node_model.check_feasible(&snapped, crate::FEAS_TOL).is_ok() {
-                        integral_candidate = Some(snapped);
-                    } else if let Some(&j) = int_vars.iter().max_by(|&&a, &&b| {
-                        let fa = (sol.values[a] - sol.values[a].round()).abs();
-                        let fb = (sol.values[b] - sol.values[b].round()).abs();
-                        fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
-                    }) {
-                        let x = sol.values[j];
-                        if (x - x.round()).abs() > tol::FIX_REL {
-                            // Rounding broke feasibility but there is real
-                            // fractionality left: branch on it instead.
-                            branch_var = Some((j, 0.0));
-                        } else {
-                            // Exactly integral yet infeasible on re-check —
-                            // drop the node, and stop claiming a proven
-                            // optimum since its subtree goes unexplored.
-                            proven = false;
+                    match node_model.solve_lp_warm(basis.as_ref()) {
+                        Ok((s2, b2)) => {
+                            iterations += s2.iterations;
+                            sol = s2;
+                            basis = b2;
                         }
+                        // Valid cuts only exclude integer-infeasible
+                        // regions: an infeasible cut relaxation proves
+                        // the MIP itself has no integer point.
+                        Err(SolverError::Infeasible) => {
+                            infeasible_by_cuts = true;
+                            break;
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
+                if infeasible_by_cuts {
+                    continue;
+                }
+            }
 
-                match branch_var {
-                    None => {
-                        if let Some(snapped) = integral_candidate {
-                            let obj = node_model.objective_value(&snapped);
-                            if incumbent
-                                .as_ref()
-                                .is_none_or(|(best, _)| obj < *best - tol::obj_eps(*best))
-                            {
-                                incumbent = Some((obj, snapped));
-                            }
-                        }
+            let mut bound = strengthen(sol.objective);
+            if closed_by(&incumbent, bound, opts.rel_gap) {
+                continue;
+            }
+
+            // Shallow interior nodes: one violated round of globally valid
+            // cuts, re-solved under this node's bounds.
+            if node.depth > 0 && node.depth <= opts.node_cut_depth {
+                let found = cuts::separate(&root_model, &sol.values, CUTS_PER_ROUND);
+                if append_cuts(&mut root_model, &mut node_model, &found, &mut seen_cuts) > 0 {
+                    for &(j, lo, hi) in &node.changes {
+                        node_model.vars[j].lo = lo;
+                        node_model.vars[j].hi = hi;
                     }
-                    Some((j, _)) => {
-                        // Try a cheap rounding heuristic for an incumbent.
-                        if let Some(rounded) = round_heuristic(&node_model, &sol.values, &int_vars)
-                        {
-                            let obj = node_model.objective_value(&rounded);
-                            if incumbent
-                                .as_ref()
-                                .is_none_or(|(best, _)| obj < *best - tol::obj_eps(*best))
-                            {
-                                incumbent = Some((obj, rounded));
-                            }
+                    let lp2 = node_model.solve_lp_warm(basis.as_ref());
+                    restore(&mut node_model, &root_model, &node.changes);
+                    match lp2 {
+                        Ok((s2, b2)) => {
+                            iterations += s2.iterations;
+                            sol = s2;
+                            basis = b2;
                         }
-                        let x = sol.values[j];
-                        let (lo, hi) = (node_model.vars[j].lo, node_model.vars[j].hi);
-                        let mut down = node.changes.clone();
-                        down.push((j, lo, x.floor()));
-                        let mut up = node.changes.clone();
-                        up.push((j, x.ceil(), hi));
-                        let child_basis = if opts.warm_basis {
-                            lp_basis.map(Arc::new)
-                        } else {
-                            None
-                        };
-                        seq += 1;
-                        open.push(Node {
-                            bound,
-                            depth: node.depth + 1,
-                            seq,
-                            changes: down,
-                            basis: child_basis.clone(),
-                            branched: Some((j, false, x - x.floor())),
-                            parent_obj: sol.objective,
-                        });
-                        seq += 1;
-                        open.push(Node {
-                            bound,
-                            depth: node.depth + 1,
-                            seq,
-                            changes: up,
-                            basis: child_basis,
-                            branched: Some((j, true, x.ceil() - x)),
-                            parent_obj: sol.objective,
-                        });
+                        // Only this subtree is proven empty.
+                        Err(SolverError::Infeasible) => continue,
+                        Err(e) => return Err(e),
+                    }
+                    bound = strengthen(sol.objective);
+                    if closed_by(&incumbent, bound, opts.rel_gap) {
+                        continue;
                     }
                 }
             }
-        }
 
-        restore(&mut node_model, &root_model, &node.changes);
+            // ---- expansion, under this node's bounds ----
+            for &(j, lo, hi) in &node.changes {
+                node_model.vars[j].lo = lo;
+                node_model.vars[j].hi = hi;
+            }
+
+            // Fractional branching candidates with floor/ceil distances.
+            let mut cands: Vec<(usize, f64, f64)> = Vec::new();
+            for &j in &int_vars {
+                let x = sol.values[j];
+                if !tol::is_int(x) {
+                    cands.push((j, x - x.floor(), x.ceil() - x));
+                }
+            }
+
+            let lp_arc = basis.map(Arc::new);
+
+            // Reliability branching: strong-branch the top-ranked
+            // candidates whose pseudocosts are not yet trusted, feeding
+            // the measured degradations back into the estimates. An
+            // infeasible probe direction makes its variable the forced
+            // choice — branching there closes one child instantly.
+            let mut forced: Option<usize> = None;
+            if opts.reliability > 0 && !cands.is_empty() {
+                let mut order: Vec<usize> = (0..cands.len()).collect();
+                order.sort_by(|&a, &b| cand_cmp(&pseudo, &cands[a], &cands[b]));
+                'probing: for &ci in order.iter().take(opts.strong_cands) {
+                    let (j, dd, ud) = cands[ci];
+                    for up in [false, true] {
+                        let (obs, dist) = if up {
+                            (pseudo[j].up_n, ud)
+                        } else {
+                            (pseudo[j].down_n, dd)
+                        };
+                        if obs >= opts.reliability {
+                            continue;
+                        }
+                        let x = sol.values[j];
+                        let (plo, phi) = (node_model.vars[j].lo, node_model.vars[j].hi);
+                        if up {
+                            node_model.vars[j].lo = x.ceil();
+                        } else {
+                            node_model.vars[j].hi = x.floor();
+                        }
+                        let probe = if let Some(w) = lp_arc.as_deref() {
+                            node_model.solve_lp_warm(Some(w)).map(|(s, _)| s)
+                        } else {
+                            node_model.solve_lp()
+                        };
+                        node_model.vars[j].lo = plo;
+                        node_model.vars[j].hi = phi;
+                        match probe {
+                            Ok(ps) => {
+                                iterations += ps.iterations;
+                                pseudo[j]
+                                    .observe(up, ((ps.objective - sol.objective) / dist).max(0.0));
+                            }
+                            Err(SolverError::Infeasible) => {
+                                forced = Some(j);
+                                break 'probing;
+                            }
+                            // Numerical trouble in a probe is advisory
+                            // only — skip the observation.
+                            Err(_) => {}
+                        }
+                    }
+                }
+            }
+
+            let mut branch_var: Option<usize> = forced;
+            if branch_var.is_none() && !cands.is_empty() {
+                let mut best = 0usize;
+                for ci in 1..cands.len() {
+                    if cand_cmp(&pseudo, &cands[ci], &cands[best]) == Ordering::Less {
+                        best = ci;
+                    }
+                }
+                branch_var = Some(cands[best].0);
+            }
+
+            // Tolerance-integral LP optimum: snap the integer variables to
+            // exact integers and re-verify against the node's true
+            // (unscaled) bounds and rows before accepting. A value
+            // integral only to within the scale-relative tolerance can
+            // round onto an infeasible point; such a candidate must not
+            // become the incumbent.
+            let mut integral_candidate: Option<Vec<f64>> = None;
+            if branch_var.is_none() {
+                let mut snapped = sol.values.clone();
+                for &j in &int_vars {
+                    let v = &node_model.vars[j];
+                    snapped[j] = snapped[j].round().clamp(v.lo, v.hi);
+                }
+                if node_model.check_feasible(&snapped, crate::FEAS_TOL).is_ok() {
+                    integral_candidate = Some(snapped);
+                } else if let Some(&j) = int_vars.iter().max_by(|&&a, &&b| {
+                    let fa = (sol.values[a] - sol.values[a].round()).abs();
+                    let fb = (sol.values[b] - sol.values[b].round()).abs();
+                    fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+                }) {
+                    let x = sol.values[j];
+                    if (x - x.round()).abs() > tol::FIX_REL {
+                        // Rounding broke feasibility but there is real
+                        // fractionality left: branch on it instead.
+                        branch_var = Some(j);
+                    } else {
+                        // Exactly integral yet infeasible on re-check —
+                        // drop the node, and stop claiming a proven
+                        // optimum since its subtree goes unexplored.
+                        proven = false;
+                    }
+                }
+            }
+
+            match branch_var {
+                None => {
+                    if let Some(snapped) = integral_candidate {
+                        let obj = node_model.objective_value(&snapped);
+                        if incumbent
+                            .as_ref()
+                            .is_none_or(|(best, _)| obj < *best - tol::obj_eps(*best))
+                        {
+                            incumbent = Some((obj, snapped));
+                        }
+                    }
+                }
+                Some(j) => {
+                    // Try a cheap rounding heuristic for an incumbent.
+                    if let Some(rounded) = round_heuristic(&node_model, &sol.values, &int_vars) {
+                        let obj = node_model.objective_value(&rounded);
+                        if incumbent
+                            .as_ref()
+                            .is_none_or(|(best, _)| obj < *best - tol::obj_eps(*best))
+                        {
+                            incumbent = Some((obj, rounded));
+                        }
+                    }
+                    let x = sol.values[j];
+                    let (lo, hi) = (node_model.vars[j].lo, node_model.vars[j].hi);
+                    let mut down = node.changes.clone();
+                    down.push((j, lo, x.floor()));
+                    let mut up = node.changes.clone();
+                    up.push((j, x.ceil(), hi));
+                    let child_basis = if opts.warm_basis {
+                        lp_arc.clone()
+                    } else {
+                        None
+                    };
+                    seq += 1;
+                    open.push(Node {
+                        bound,
+                        depth: node.depth + 1,
+                        seq,
+                        changes: down,
+                        basis: child_basis.clone(),
+                        branched: Some((j, false, x - x.floor())),
+                        parent_obj: sol.objective,
+                    });
+                    seq += 1;
+                    open.push(Node {
+                        bound,
+                        depth: node.depth + 1,
+                        seq,
+                        changes: up,
+                        basis: child_basis,
+                        branched: Some((j, true, x.ceil() - x)),
+                        parent_obj: sol.objective,
+                    });
+                }
+            }
+
+            restore(&mut node_model, &root_model, &node.changes);
+        }
     }
 
     let best_open_bound = open.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
@@ -482,8 +788,7 @@ pub(crate) fn solve(
             let gap = if proven && open.is_empty() {
                 0.0
             } else {
-                let denom = obj.abs().max(1.0);
-                ((obj - best_open_bound.min(obj)) / denom).max(0.0)
+                tol::rel_gap(obj, best_open_bound.min(obj))
             };
             let status = if gap <= opts.rel_gap || (proven && open.is_empty()) {
                 SolveStatus::Optimal
@@ -510,6 +815,22 @@ pub(crate) fn solve(
             }
         }
     }
+}
+
+/// Candidate ordering for branching: higher pseudocost score first, then
+/// most fractional (distance of the fractional part to ½), then lowest
+/// index — a deterministic total order.
+fn cand_cmp(pseudo: &[PseudoCost], a: &(usize, f64, f64), b: &(usize, f64, f64)) -> Ordering {
+    let sa = pseudo[a.0].score(a.1, a.2);
+    let sb = pseudo[b.0].score(b.1, b.2);
+    sb.partial_cmp(&sa)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| {
+            let fa = (a.1 - 0.5).abs();
+            let fb = (b.1 - 0.5).abs();
+            fa.partial_cmp(&fb).unwrap_or(Ordering::Equal)
+        })
+        .then_with(|| a.0.cmp(&b.0))
 }
 
 fn restore(node_model: &mut Model, root: &Model, changes: &[(usize, f64, f64)]) {
@@ -541,6 +862,19 @@ fn round_heuristic(model: &Model, values: &[f64], int_vars: &[usize]) -> Option<
 #[cfg(test)]
 mod tests {
     use crate::{Cmp, MipOptions, Model, Sense, SolveStatus, SolverError, VarKind};
+
+    /// The plain search: no cuts, no strong branching, serial single-node
+    /// batches — the baseline the enriched default engine must agree with.
+    fn plain() -> MipOptions {
+        MipOptions {
+            cut_rounds: 0,
+            node_cut_depth: 0,
+            reliability: 0,
+            threads: 1,
+            node_batch: 1,
+            ..Default::default()
+        }
+    }
 
     #[test]
     fn knapsack_small() {
@@ -719,5 +1053,102 @@ mod tests {
             })
             .unwrap();
         assert!((with.objective - without.objective).abs() < 1e-6);
+    }
+
+    /// A small set-cover family used by the engine-agreement tests below.
+    fn cover_instance(n: usize, stride: usize) -> Model {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n)
+            .map(|i| {
+                m.add_var(
+                    format!("x{i}"),
+                    VarKind::Binary,
+                    0.0,
+                    1.0,
+                    1.0 + (i % 3) as f64,
+                )
+            })
+            .collect();
+        for i in 0..n {
+            let terms = vec![
+                (vars[i], 1.0),
+                (vars[(i + stride) % n], 1.0),
+                (vars[(i + 2 * stride + 1) % n], 1.0),
+            ];
+            m.add_constr(terms, Cmp::Ge, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn enriched_engine_agrees_with_plain_search() {
+        // Cuts + reliability branching + batching must not change proven
+        // optima — only how fast the proof goes.
+        for (n, stride) in [(8, 2), (11, 3), (13, 4)] {
+            let m = cover_instance(n, stride);
+            let plain = m.solve_mip_with(&plain()).unwrap();
+            let rich = m
+                .solve_mip_with(&MipOptions {
+                    cut_rounds: 4,
+                    node_cut_depth: 2,
+                    reliability: 2,
+                    node_batch: 4,
+                    threads: 2,
+                    warm_basis: true,
+                    ..Default::default()
+                })
+                .unwrap();
+            assert_eq!(plain.status, SolveStatus::Optimal);
+            assert_eq!(rich.status, SolveStatus::Optimal);
+            assert!(
+                (plain.objective - rich.objective).abs() < 1e-6,
+                "n={n}: plain {} vs rich {}",
+                plain.objective,
+                rich.objective
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_pool_is_deterministic_across_thread_counts() {
+        // Same node_batch, different thread counts: identical node count,
+        // objective, and values — the pool's determinism contract.
+        let m = cover_instance(13, 4);
+        let solve_with_threads = |threads: usize| {
+            m.solve_mip_with(&MipOptions {
+                node_batch: 4,
+                threads,
+                warm_basis: true,
+                ..Default::default()
+            })
+            .unwrap()
+        };
+        let one = solve_with_threads(1);
+        let four = solve_with_threads(4);
+        assert_eq!(one.nodes, four.nodes);
+        assert_eq!(one.iterations, four.iterations);
+        assert!((one.objective - four.objective).abs() == 0.0);
+        assert_eq!(one.values, four.values);
+    }
+
+    #[test]
+    fn zero_and_negative_objectives_prune_correctly() {
+        // Optimal objective exactly 0 (the old relative-gap denominator's
+        // worst case) and a negative-objective variant: both must close.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Binary, 0.0, 1.0, 1.0);
+        let y = m.add_var("y", VarKind::Binary, 0.0, 1.0, -1.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 1.0);
+        let s = m.solve_mip().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!((s.objective - (-1.0)).abs() < 1e-9);
+
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", VarKind::Binary, 0.0, 1.0, 1.0);
+        let b = m.add_var("b", VarKind::Binary, 0.0, 1.0, -1.0);
+        m.add_constr(vec![(a, 1.0), (b, -1.0)], Cmp::Ge, 0.0);
+        let s = m.solve_mip().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        assert!(s.objective.abs() < 1e-9, "obj = {}", s.objective);
     }
 }

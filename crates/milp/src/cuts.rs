@@ -1,0 +1,432 @@
+//! Cutting-plane separation for the branch-and-bound search.
+//!
+//! Two families, both separated from the model structure alone (no
+//! callback interface — the search calls [`separate`] with the current
+//! LP point and appends the returned rows via `Model::add_constr`):
+//!
+//! * **Knapsack cover cuts** from `Σ a_j x_j ≤ b` rows whose support is
+//!   all-binary with positive coefficients (the budget/cardinality rows
+//!   of the placement MIPs and the knapsack rows of the test zoo): a
+//!   minimal cover `C` (`Σ_{j∈C} a_j > b`) yields `Σ_{j∈C} x_j ≤ |C|−1`,
+//!   extended by every variable at least as heavy as the heaviest cover
+//!   member.
+//! * **Flow-cover cardinality cuts** from the MECF/LP2 structure:
+//!   variable-upper-bound rows `Σ_{e∈p_t} x_e − δ_t ≥ 0` (δ_t ∈ [0,1])
+//!   linked by a coverage row `Σ_t v_t δ_t ≥ b`. Each edge carries
+//!   `load(e) = Σ_{t: e∈p_t} v_t`; any integer-feasible point satisfies
+//!   `Σ_e load(e)·x_e ≥ b`, so at least `r` devices are needed, where
+//!   `r` is the minimal number of top loads summing to `b` — the
+//!   cardinality cut `Σ_{e∈E} x_e ≥ r`. Per heavy edge `e` the lifted
+//!   variant `Σ_{f≠e} x_f ≥ r_{−e} − (r_{−e} − r + 1)·x_e` encodes the
+//!   stricter requirement `r_{−e}` that holds once `e` is forbidden
+//!   (valid by the same top-load argument applied to `E∖{e}`, and equal
+//!   to the cardinality bound `r − 1` on the remaining edges when
+//!   `x_e = 1`).
+//!
+//! Separation is *violation-driven*: a cut is returned only when the
+//! current LP point violates it by more than [`MIN_VIOLATION`], so
+//! re-separating after the cut was added (and the LP re-solved) can
+//! never emit a duplicate — the re-solved point satisfies it.
+
+use crate::model::{Cmp, Model, VarId};
+use crate::tol;
+
+/// Minimum violation (in row units, normalized by `max(1, |rhs|)`) for a
+/// cut to be worth adding. Below this the dual simplex would repair it in
+/// a pivot or two while every later node pays the extra row forever.
+const MIN_VIOLATION: f64 = 1e-4;
+
+/// Maximum lifted per-edge variants emitted per coverage row and round.
+const MAX_LIFTED: usize = 8;
+
+/// One separated cut, in the same terms as `Model::add_constr`.
+#[derive(Debug, Clone)]
+pub(crate) struct Cut {
+    pub terms: Vec<(VarId, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+    /// Normalized violation at the separating LP point (larger = deeper).
+    pub violation: f64,
+}
+
+/// Separates all supported cut families at LP point `x`, most violated
+/// first, truncated to `max_cuts`.
+pub(crate) fn separate(model: &Model, x: &[f64], max_cuts: usize) -> Vec<Cut> {
+    let mut cuts = Vec::new();
+    cover_cuts(model, x, &mut cuts);
+    flow_cover_cuts(model, x, &mut cuts);
+    cuts.sort_by(|a, b| {
+        b.violation
+            .partial_cmp(&a.violation)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    cuts.truncate(max_cuts);
+    cuts
+}
+
+fn is_binary(model: &Model, j: usize) -> bool {
+    let v = &model.vars[j];
+    v.integer && v.lo == 0.0 && v.hi == 1.0
+}
+
+/// Knapsack cover separation over all-binary positive `≤` rows.
+fn cover_cuts(model: &Model, x: &[f64], out: &mut Vec<Cut>) {
+    'rows: for c in &model.constrs {
+        if c.cmp != Cmp::Le || c.rhs <= 0.0 || c.terms.len() < 2 {
+            continue;
+        }
+        for &(j, a) in &c.terms {
+            if a <= 0.0 || !is_binary(model, j as usize) {
+                continue 'rows;
+            }
+        }
+        // Greedy cover: take items by descending x* (ties: heavier
+        // weight) until the weights exceed the capacity.
+        let mut items: Vec<(u32, f64)> = c.terms.clone();
+        items.sort_by(|&(i, ai), &(j, aj)| {
+            let (xi, xj) = (x[i as usize], x[j as usize]);
+            xj.partial_cmp(&xi)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(aj.partial_cmp(&ai).unwrap_or(std::cmp::Ordering::Equal))
+                .then(i.cmp(&j))
+        });
+        let mut cover: Vec<(u32, f64)> = Vec::new();
+        let mut wsum = 0.0;
+        for &(j, a) in &items {
+            cover.push((j, a));
+            wsum += a;
+            if wsum > c.rhs + tol::FEAS_REL * (1.0 + c.rhs) {
+                break;
+            }
+        }
+        if wsum <= c.rhs + tol::FEAS_REL * (1.0 + c.rhs) {
+            continue; // the whole row fits: no cover exists
+        }
+        // Minimalize: drop members (lightest x* first — the tail of the
+        // greedy order) while the remainder still overflows.
+        let mut keep = vec![true; cover.len()];
+        for i in (0..cover.len()).rev() {
+            if wsum - cover[i].1 > c.rhs + tol::FEAS_REL * (1.0 + c.rhs) {
+                keep[i] = false;
+                wsum -= cover[i].1;
+            }
+        }
+        let cover: Vec<(u32, f64)> = cover
+            .into_iter()
+            .zip(keep)
+            .filter(|&(_, k)| k)
+            .map(|(t, _)| t)
+            .collect();
+        let lhs: f64 = cover.iter().map(|&(j, _)| x[j as usize]).sum();
+        let rhs = cover.len() as f64 - 1.0;
+        let violation = (lhs - rhs) / rhs.abs().max(1.0);
+        if violation <= MIN_VIOLATION {
+            continue;
+        }
+        // Extension: every variable of the row at least as heavy as the
+        // heaviest cover member joins the left-hand side (it alone
+        // completes any |C|−1 members into an overflow).
+        let amax = cover.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
+        let in_cover: Vec<u32> = cover.iter().map(|&(j, _)| j).collect();
+        let mut terms: Vec<(VarId, f64)> = cover.iter().map(|&(j, _)| (VarId(j), 1.0)).collect();
+        for &(j, a) in &c.terms {
+            if a >= amax && !in_cover.contains(&j) {
+                terms.push((VarId(j), 1.0));
+            }
+        }
+        out.push(Cut {
+            terms,
+            cmp: Cmp::Le,
+            rhs,
+            violation,
+        });
+    }
+}
+
+/// A detected variable-upper-bound row: `Σ_{e∈S} x_e − δ ≥ 0` scaled by
+/// any positive factor, with `δ` continuous in `[0,1]`.
+struct Vub {
+    support: Vec<u32>,
+}
+
+/// Flow-cover (cardinality) separation over VUB-linked coverage rows.
+fn flow_cover_cuts(model: &Model, x: &[f64], out: &mut Vec<Cut>) {
+    // Pass 1: find the VUB rows, keyed by their δ variable.
+    let nv = model.vars.len();
+    let mut vub: Vec<Option<Vub>> = (0..nv).map(|_| None).collect();
+    'rows: for c in &model.constrs {
+        if c.cmp != Cmp::Ge || c.rhs != 0.0 || c.terms.is_empty() {
+            continue;
+        }
+        let mut delta: Option<(u32, f64)> = None;
+        let mut support: Vec<(u32, f64)> = Vec::new();
+        for &(j, a) in &c.terms {
+            if a < 0.0 {
+                if delta.is_some() {
+                    continue 'rows;
+                }
+                delta = Some((j, -a));
+            } else {
+                support.push((j, a));
+            }
+        }
+        let Some((d, mag)) = delta else { continue };
+        let dv = &model.vars[d as usize];
+        if dv.integer || dv.lo != 0.0 || dv.hi != 1.0 {
+            continue;
+        }
+        for &(j, a) in &support {
+            if (a - mag).abs() > tol::FEAS_REL * mag || !is_binary(model, j as usize) {
+                continue 'rows;
+            }
+        }
+        vub[d as usize] = Some(Vub {
+            support: support.into_iter().map(|(j, _)| j).collect(),
+        });
+    }
+
+    // Pass 2: coverage rows — all-positive Ge rows over VUB deltas.
+    'cov: for c in &model.constrs {
+        if c.cmp != Cmp::Ge || c.rhs <= 0.0 || c.terms.len() < 2 {
+            continue;
+        }
+        for &(d, v) in &c.terms {
+            if v <= 0.0 || vub[d as usize].is_none() {
+                continue 'cov;
+            }
+        }
+        // Edge loads under this coverage row.
+        let mut load: Vec<f64> = vec![0.0; nv];
+        for &(d, v) in &c.terms {
+            for &e in &vub[d as usize].as_ref().unwrap().support {
+                load[e as usize] += v;
+            }
+        }
+        let edges: Vec<u32> = (0..nv as u32).filter(|&e| load[e as usize] > 0.0).collect();
+        if edges.is_empty() {
+            continue;
+        }
+        let mut by_load: Vec<u32> = edges.clone();
+        by_load.sort_by(|&a, &b| {
+            load[b as usize]
+                .partial_cmp(&load[a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        // r = minimal number of top loads reaching the target. The
+        // feasibility slack mirrors the row-residual contract: a load sum
+        // within tolerance of the target counts as covering it.
+        let slack = tol::FEAS_REL * (1.0 + c.rhs);
+        let min_count = |loads: &mut dyn Iterator<Item = f64>| -> Option<usize> {
+            let mut acc = 0.0;
+            for (n, l) in loads.enumerate() {
+                acc += l;
+                if acc + slack >= c.rhs {
+                    return Some(n + 1);
+                }
+            }
+            None
+        };
+        let Some(r) = min_count(&mut by_load.iter().map(|&e| load[e as usize])) else {
+            continue; // even all edges cannot cover: the MIP is infeasible
+        };
+        let xsum: f64 = edges.iter().map(|&e| x[e as usize]).sum();
+        let violation = (r as f64 - xsum) / (r as f64).max(1.0);
+        if violation > MIN_VIOLATION {
+            out.push(Cut {
+                terms: edges.iter().map(|&e| (VarId(e), 1.0)).collect(),
+                cmp: Cmp::Ge,
+                rhs: r as f64,
+                violation,
+            });
+        }
+        // Lifted per-edge variants for the heaviest edges: forbidding a
+        // heavy edge raises the requirement on the rest to r_{−e}.
+        for &e in by_load.iter().take(MAX_LIFTED.min(r)) {
+            let Some(r_minus) = min_count(
+                &mut by_load
+                    .iter()
+                    .filter(|&&f| f != e)
+                    .map(|&f| load[f as usize]),
+            ) else {
+                continue; // e is indispensable; presolve territory
+            };
+            if r_minus <= r {
+                continue; // identical to (or weaker than) the cardinality cut
+            }
+            // Σ_{f≠e} x_f + (r_{−e} − r + 1)·x_e ≥ r_{−e}: at x_e = 0 the
+            // rest must reach r_{−e}; at x_e = 1 the requirement relaxes
+            // to r − 1, the cardinality bound on the remaining edges.
+            let coef = r_minus as f64 - r as f64 + 1.0;
+            let lhs: f64 = edges
+                .iter()
+                .filter(|&&f| f != e)
+                .map(|&f| x[f as usize])
+                .sum::<f64>()
+                + coef * x[e as usize];
+            let violation = (r_minus as f64 - lhs) / (r_minus as f64).max(1.0);
+            if violation <= MIN_VIOLATION {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = edges
+                .iter()
+                .filter(|&&f| f != e)
+                .map(|&f| (VarId(f), 1.0))
+                .collect();
+            terms.push((VarId(e), coef));
+            out.push(Cut {
+                terms,
+                cmp: Cmp::Ge,
+                rhs: r_minus as f64,
+                violation,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sense, VarKind};
+
+    #[test]
+    fn cover_cut_separates_fractional_knapsack() {
+        // 3a + 4b + 2c ≤ 6; LP point (1, 0.75, 1) violates the cover
+        // {a, b}: x_a + x_b ≤ 1.
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", VarKind::Binary, 0.0, 1.0, 10.0);
+        let b = m.add_var("b", VarKind::Binary, 0.0, 1.0, 13.0);
+        let c = m.add_var("c", VarKind::Binary, 0.0, 1.0, 7.0);
+        m.add_constr(vec![(a, 3.0), (b, 4.0), (c, 2.0)], Cmp::Le, 6.0);
+        let cuts = separate(&m, &[1.0, 0.75, 1.0], 16);
+        assert!(!cuts.is_empty());
+        let cut = &cuts[0];
+        assert_eq!(cut.cmp, Cmp::Le);
+        // The separating point must violate the returned cut.
+        let lhs: f64 = cut
+            .terms
+            .iter()
+            .map(|&(v, c)| c * [1.0, 0.75, 1.0][v.index()])
+            .sum();
+        assert!(lhs > cut.rhs + 1e-6);
+        // A feasible integer point must satisfy it (validity spot check).
+        for point in [[1.0, 0.0, 1.0], [0.0, 1.0, 1.0], [0.0, 0.0, 0.0]] {
+            let lhs: f64 = cut.terms.iter().map(|&(v, c)| c * point[v.index()]).sum();
+            assert!(lhs <= cut.rhs + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cardinality_cut_from_lp2_structure() {
+        // Two edges with load 10 each, target 15: r = 2, but the LP can
+        // sit at x = (0.75, 0.75). The cardinality cut x_0 + x_1 ≥ 2
+        // must be separated at that point.
+        let mut m = Model::new(Sense::Minimize);
+        let x0 = m.add_var("x0", VarKind::Binary, 0.0, 1.0, 1.0);
+        let x1 = m.add_var("x1", VarKind::Binary, 0.0, 1.0, 1.0);
+        let d0 = m.add_var("d0", VarKind::Continuous, 0.0, 1.0, 0.0);
+        let d1 = m.add_var("d1", VarKind::Continuous, 0.0, 1.0, 0.0);
+        m.add_constr(vec![(x0, 1.0), (d0, -1.0)], Cmp::Ge, 0.0);
+        m.add_constr(vec![(x1, 1.0), (d1, -1.0)], Cmp::Ge, 0.0);
+        m.add_constr(vec![(d0, 10.0), (d1, 10.0)], Cmp::Ge, 15.0);
+        let cuts = separate(&m, &[0.75, 0.75, 0.75, 0.75], 16);
+        let card = cuts
+            .iter()
+            .find(|c| c.cmp == Cmp::Ge && c.rhs == 2.0 && c.terms.len() == 2)
+            .expect("cardinality cut separated");
+        assert!(card.terms.iter().all(|&(_, c)| c == 1.0));
+    }
+
+    #[test]
+    fn satisfied_point_separates_nothing() {
+        let mut m = Model::new(Sense::Minimize);
+        let x0 = m.add_var("x0", VarKind::Binary, 0.0, 1.0, 1.0);
+        let x1 = m.add_var("x1", VarKind::Binary, 0.0, 1.0, 1.0);
+        let d0 = m.add_var("d0", VarKind::Continuous, 0.0, 1.0, 0.0);
+        m.add_constr(vec![(x0, 1.0), (x1, 1.0), (d0, -1.0)], Cmp::Ge, 0.0);
+        m.add_constr(vec![(d0, 10.0)], Cmp::Ge, 5.0);
+        // Integral and feasible: no family may fire.
+        assert!(separate(&m, &[1.0, 0.0, 1.0], 16).is_empty());
+    }
+
+    /// Builds the LP2 shape (per-edge VUB + one coverage row) for unit
+    /// tests: one binary and one delta per "edge", coverage `Σ load·δ ≥ b`.
+    fn lp2_shape(loads: &[f64], b: f64) -> Model {
+        let n = loads.len();
+        let mut m = Model::new(Sense::Minimize);
+        let xs: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Binary, 0.0, 1.0, 1.0))
+            .collect();
+        let ds: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("d{i}"), VarKind::Continuous, 0.0, 1.0, 0.0))
+            .collect();
+        for i in 0..n {
+            m.add_constr(vec![(xs[i], 1.0), (ds[i], -1.0)], Cmp::Ge, 0.0);
+        }
+        let cov: Vec<_> = ds.iter().zip(loads).map(|(&d, &l)| (d, l)).collect();
+        m.add_constr(cov, Cmp::Ge, b);
+        m
+    }
+
+    /// Checks `cut` at an integer point over the first `n` (binary) vars.
+    fn holds_at(cut: &Cut, point: &[f64]) -> bool {
+        let lhs: f64 = cut
+            .terms
+            .iter()
+            .map(|&(v, c)| {
+                let j = v.index();
+                c * if j < point.len() { point[j] } else { 0.0 }
+            })
+            .sum();
+        match cut.cmp {
+            Cmp::Ge => lhs >= cut.rhs - 1e-9,
+            Cmp::Le => lhs <= cut.rhs + 1e-9,
+            Cmp::Eq => (lhs - cut.rhs).abs() < 1e-9,
+        }
+    }
+
+    #[test]
+    fn indispensable_edge_is_skipped_not_cut() {
+        // Loads 10, 6, 5, target 15: without edge 0 even {1,2} only reach
+        // 11 < 15 — edge 0 is indispensable and the lifted loop must skip
+        // it rather than emit an unsatisfiable row. Every returned cut
+        // must hold at every feasible integer cover.
+        let m = lp2_shape(&[10.0, 6.0, 5.0], 15.0);
+        let cuts = separate(&m, &[0.5, 0.5, 0.5, 0.5, 0.5, 0.5], 16);
+        assert!(!cuts.is_empty(), "cardinality cut expected");
+        for point in [[1.0, 1.0, 0.0], [1.0, 0.0, 1.0], [1.0, 1.0, 1.0]] {
+            for cut in &cuts {
+                assert!(holds_at(cut, &point), "cut {cut:?} at {point:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lifted_cut_fires_and_is_valid_on_enumerated_covers() {
+        // Loads 8, 5, 4, 3, target 12: r = 2 ({8,5}); without edge 0 the
+        // requirement rises to r_{−0} = 3 ({5,4,3}), so the lifted cut
+        // x1 + x2 + x3 + 2·x0 ≥ 3 exists and cuts off points that lean on
+        // a fractional heavy edge.
+        let m = lp2_shape(&[8.0, 5.0, 4.0, 3.0], 12.0);
+        let x = [0.9, 0.1, 0.3, 0.1, 0.9, 0.1, 0.3, 0.1];
+        let cuts = separate(&m, &x, 16);
+        let lifted = cuts
+            .iter()
+            .find(|c| c.cmp == Cmp::Ge && c.rhs == 3.0 && c.terms.iter().any(|&(_, co)| co == 2.0))
+            .expect("lifted cut separated");
+        // Exhaustive validity over the feasible covers of this instance.
+        let loads = [8.0, 5.0, 4.0, 3.0];
+        for mask in 0u32..16 {
+            let point: Vec<f64> = (0..4).map(|i| ((mask >> i) & 1) as f64).collect();
+            let covered: f64 = loads.iter().zip(&point).map(|(l, p)| l * p).sum();
+            if covered + 1e-9 < 12.0 {
+                continue; // infeasible point: cuts owe it nothing
+            }
+            for cut in &cuts {
+                assert!(holds_at(cut, &point), "cut {cut:?} at {point:?}");
+            }
+        }
+        // The separating point must violate the cut it produced.
+        assert!(!holds_at(lifted, &[0.9, 0.1, 0.3, 0.1]));
+    }
+}

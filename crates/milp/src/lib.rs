@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 mod branch_bound;
+mod cuts;
 mod error;
 pub mod lu;
 mod model;

@@ -224,6 +224,10 @@ struct Tableau<'a> {
     /// records the *original* bounds, restored by [`Tableau::finalize`]
     /// before the solution is certified.
     shifted: Vec<(usize, f64, f64)>,
+    /// Per-column matrix magnitude `max_i |a_ij|` over the prepared
+    /// (scaled) column, the per-column pricing floor scale. See
+    /// [`Tableau::reduced_cost_scaled`].
+    colmax: Vec<f64>,
 }
 
 impl<'a> Tableau<'a> {
@@ -345,11 +349,22 @@ impl<'a> Tableau<'a> {
     /// product that produced `d` — `|c_j| + Σ|y_r·a_rj|` — because that is
     /// the scale of `d`'s rounding error. Since `|d|` can never exceed
     /// that sum, the test `|d| > eps` is exactly "is `d` meaningful at its
-    /// own computation's scale": a column whose whole arithmetic lives at
-    /// 2^-28 is priced at 2^-28, while a zero-cost column crossing huge
-    /// duals is *not* declared improving off cancellation noise (a fixed
-    /// per-cost threshold does exactly that, and the resulting phantom
-    /// pivots stall the solve on the paper's 1000-row instances).
+    /// own computation's scale": a zero-cost column crossing huge duals is
+    /// *not* declared improving off cancellation noise (a fixed per-cost
+    /// threshold does exactly that, and the resulting phantom pivots stall
+    /// the solve on the paper's 1000-row instances). The magnitude is
+    /// floored at the column's own matrix magnitude `colmax_j` — the
+    /// per-column analogue of the global pivot threshold `tol.pivot`.
+    /// Under an exact column rescaling the cost, the coefficients and
+    /// the reduced cost of a column all scale together, so this floor
+    /// keeps eligibility scale-invariant; what it rejects is a reduced
+    /// cost that is sub-`OPT_REL` *at the column's own working scale*,
+    /// whose pivots move the objective by certification-invisible
+    /// amounts. Admitting such columns is pure churn, measured at +24%
+    /// iterations on the 20-router LP2 stage. (A global floor — per-cost
+    /// or unit — is the wrong shape: it blinds pricing on columns whose
+    /// whole working scale legitimately sits below it, which is a wrong
+    /// answer on the rescaled rational-reference suite.)
     fn reduced_cost_scaled(&self, j: usize, cost: &[f64], y: &[f64]) -> (f64, f64) {
         let mut d = cost[j];
         let mut mag = cost[j].abs();
@@ -358,32 +373,7 @@ impl<'a> Tableau<'a> {
             d -= t;
             mag += t.abs();
         }
-        (d, tol::OPT_REL * mag)
-    }
-
-    /// The Harris pass-1 relaxation for a blocking basic variable: how far
-    /// past its bound row `r`'s basic column `bcol` may be pushed.
-    ///
-    /// The epsilon is `FEAS_REL` times the **blocking row's own working
-    /// scale** — the largest magnitude among the variable's finite bounds,
-    /// its current value, and the row's right-hand side. On unit-scale
-    /// data that recovers the classic ~1e-7 expansion that lets Harris
-    /// break ties across degenerate rows (a zero relaxation at a
-    /// degenerate vertex collapses the two-pass test into the textbook
-    /// min-ratio rule and iteration counts explode). On a row whose whole
-    /// scale is tiny, every term is tiny, so the relaxation cannot flip
-    /// the entering variable over a bound the row genuinely needs — which
-    /// is why there is no absolute floor and no global-magnitude term.
-    #[inline]
-    fn relax_eps(&self, r: usize, bcol: usize) -> f64 {
-        let mut s = self.xb[r].abs().max(self.rhs[r].abs());
-        if self.lo[bcol].is_finite() {
-            s = s.max(self.lo[bcol].abs());
-        }
-        if self.hi[bcol].is_finite() {
-            s = s.max(self.hi[bcol].abs());
-        }
-        self.tol.feas * s
+        (d, tol::OPT_REL * mag.max(self.colmax[j]))
     }
 
     /// Is nonbasic column `j` an attractive entering candidate at reduced
@@ -496,6 +486,11 @@ impl<'a> Tableau<'a> {
         // coarse global value for components that want a single number.
         let cmax = cost.iter().fold(1.0f64, |acc, &c| acc.max(c.abs()));
         self.tol.opt = tol::OPT_REL * cmax;
+        if self.colmax.len() != self.ncols {
+            self.colmax = (0..self.ncols)
+                .map(|j| self.col(j).iter().fold(0.0f64, |a, &(_, v)| a.max(v.abs())))
+                .collect();
+        }
         let mut non_improving = 0usize;
         let mut shift_budget = (m + 16).saturating_sub(self.shifted.len());
         let mut y = Vec::new();
@@ -594,23 +589,29 @@ impl<'a> Tableau<'a> {
             // zero cannot block and are skipped outright (the common case
             // on sparse instances).
             //
-            // Pass 1 computes the *relaxed* maximum step under
-            // feasibility-expanded bounds — each basic variable may
-            // overshoot its bound by its own feasibility epsilon. Pass 2
-            // computes the strict minimum ratio `t_min` and picks the
-            // leaving row as the largest-|pivot| row whose strict ratio
-            // fits inside the relaxed window; **the step taken is
-            // `t_min`**, so no basic variable is ever pushed beyond its
-            // bound — only the chosen leaving variable snaps onto its
-            // bound from a tolerance-bounded distance. Stepping to the
-            // chosen row's own (larger) ratio instead looks equivalent
-            // within the tolerance contract but is a 3× iteration-count
-            // regression on the paper's LP2 instances: every such step
-            // leaves violations behind on the rows it passed, and near a
-            // degenerate vertex the repair work regenerates itself
-            // indefinitely.
+            // Pass 1 computes the strict minimum ratio `t_min` over the
+            // admissible blocking rows. Pass 2 picks the leaving row as
+            // the largest-|pivot| row whose strict ratio sits inside a
+            // tie band just above `t_min` — near-degenerate ties are
+            // where a textbook min-ratio rule is forced onto microscopic
+            // pivots that corrupt the basis on the ~1000-row instances of
+            // the paper's Figure 8. The band is
+            // `OPT_REL + FEAS_REL · min(t_min, 1)`: a feasibility-relative
+            // fraction of the step actually taken (capped at unit step so
+            // long free rides don't widen it), seeded by `OPT_REL` so
+            // exactly-degenerate ties (t_min = 0) still group. **The step
+            // taken is `t_min`**, so no basic variable is ever pushed
+            // beyond its bound — only the chosen leaving variable snaps
+            // onto its bound from a band-bounded distance of at most
+            // `tie · |rate|`, feasibility-sized by construction. A wider
+            // admission window (every row within its own feasibility
+            // relaxation of `t_min`) was measured at +24% iterations on
+            // the 20-router LP2 stage: it admits far-off rows whose large
+            // pivots win the magnitude contest, and the resulting pivot
+            // trajectory wanders — the band keeps selection local to the
+            // tie while the equilibration scaling (PR 6) keeps ratio
+            // space well-conditioned enough for a band of this shape.
             let own_range = self.hi[j] - self.lo[j]; // may be +inf
-            let mut t_rel = f64::INFINITY;
             let mut t_min = f64::INFINITY;
             blockers.clear();
             for (r, &wr) in w.iter().enumerate() {
@@ -619,45 +620,26 @@ impl<'a> Tableau<'a> {
                 }
                 let rate = sigma * wr;
                 let bcol = self.basic[r] as usize;
-                // The relaxation is relative to the blocking row's own
-                // working scale (see `relax_eps`), with no absolute
-                // floor: a floored epsilon lets the entering variable
-                // flip straight over a basic variable whose whole range
-                // lives below the floor — e.g. an artificial at 7e-9 on a
-                // down-scaled row — silently discarding that row's
-                // feasibility requirement.
                 if rate > self.tol.pivot {
                     let lob = self.lo[bcol];
                     if lob.is_finite() {
-                        let room = self.xb[r] - lob;
-                        let t = (room / rate).max(0.0);
+                        let t = ((self.xb[r] - lob) / rate).max(0.0);
                         t_min = t_min.min(t);
-                        let tr = (room + self.relax_eps(r, bcol)) / rate;
-                        if tr < t_rel {
-                            t_rel = tr;
-                        }
                         blockers.push((r as u32, t, wr.abs(), false));
                     }
                 } else if rate < -self.tol.pivot {
                     let hib = self.hi[bcol];
                     if hib.is_finite() {
-                        let room = hib - self.xb[r];
-                        let t = (room / -rate).max(0.0);
+                        let t = ((hib - self.xb[r]) / (-rate)).max(0.0);
                         t_min = t_min.min(t);
-                        let tr = (room + self.relax_eps(r, bcol)) / (-rate);
-                        if tr < t_rel {
-                            t_rel = tr;
-                        }
                         blockers.push((r as u32, t, wr.abs(), true));
                     }
                 }
             }
-            t_rel = t_rel.max(0.0);
 
-            if own_range.is_finite() && own_range <= t_rel {
+            if own_range.is_finite() && own_range <= t_min + tol::TIE_REL * (1.0 + own_range) {
                 // Bound flip: the entering variable runs to its other
-                // bound without any basic variable blocking within the
-                // relaxed step.
+                // bound before any basic variable strictly blocks.
                 for r in 0..m {
                     self.xb[r] -= sigma * own_range * w[r];
                 }
@@ -681,25 +663,16 @@ impl<'a> Tableau<'a> {
                 }
                 continue;
             }
-            if t_rel.is_infinite() {
+            if t_min.is_infinite() {
                 return Err(SolverError::Unbounded);
             }
 
-            // Pass 2: the leaving row is the largest-|pivot| row whose
-            // strict ratio fits under the relaxed bound `t_rel`. Since
-            // the step taken is `t_min`, the chosen variable snaps onto
-            // its bound from a distance of at most `(t_rel − t_min)·|w_r|`
-            // — tolerance-sized through the pass-1 relaxations. (A
-            // stricter per-row admission `(tr − t_min)·|w_r| ≤ relax_r`
-            // reads more principled but collapses the window exactly on
-            // the down-scaled rows the Harris test exists for, forcing
-            // microscopic min-ratio pivots there — measured as a hard
-            // stall on the rescaled 25-router bench and a 45% iteration
-            // inflation on the plain one.)
+            // Pass 2: largest |pivot| within the tie band above t_min.
+            let tie = tol::OPT_REL + tol::FEAS_REL * t_min.min(1.0);
             let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
             let mut leave_mag = 0.0f64;
-            for &(r, tr, mag, hits_upper) in &blockers {
-                if tr <= t_rel && (leave.is_none() || mag > leave_mag) {
+            for &(r, t, mag, hits_upper) in &blockers {
+                if t <= t_min + tie && mag > leave_mag {
                     leave = Some((r as usize, hits_upper));
                     leave_mag = mag;
                 }
@@ -1413,6 +1386,7 @@ fn build<'a>(model: &'a Model, prep: &'a Prep) -> Result<(Tableau<'a>, Vec<usize
             iterations: 0,
             tol: prep.tol,
             shifted: Vec::new(),
+            colmax: Vec::new(),
         },
         artificials,
     ))
@@ -1421,23 +1395,39 @@ fn build<'a>(model: &'a Model, prep: &'a Prep) -> Result<(Tableau<'a>, Vec<usize
 /// Rebuilds a [`Tableau`] around a warm-start basis: the standard-form
 /// columns come from the (possibly perturbed) model and the snapshot's
 /// factorization is installed directly (no artificials — any primal
-/// infeasibility is left for the dual simplex). Returns `None` when the
-/// snapshot's shape does not match the model, when a basic column's
-/// coefficients changed since capture (per-column fingerprints), or when
-/// a due refactorization finds the stored basic set singular.
+/// infeasibility is left for the dual simplex). A snapshot with fewer
+/// rows than the model is accepted as a *row extension* (cut rows added
+/// since capture; new slacks enter basic and the basis is refactorized).
+/// Returns `None` when the snapshot's shape neither matches nor extends,
+/// when a basic column's coefficients changed since capture (per-column
+/// fingerprints), or when refactorization finds the basic set singular.
 fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart, prep: &'a Prep) -> Option<Tableau<'a>> {
     let n = model.vars.len();
     let m = model.constrs.len();
-    if w.n != n || w.m != m || w.state.len() != n + m {
-        return None;
-    }
-    if w.basic_fp != model.basis_fingerprint(&w.basic) {
-        return None;
-    }
-    // The stored factorization lives in the scaled space the snapshot was
-    // captured under; a differently scaled re-solve must start cold.
-    if w.scale_fp != prep.scale_fp() {
-        return None;
+    // Row extension: a snapshot with *fewer* rows than the model (cut rows
+    // appended since capture) is still a usable start. The old basic set
+    // plus the new rows' slacks is block lower triangular over the
+    // extended matrix — nonsingular whenever the old basis was — and with
+    // zero-cost slacks the old duals extend with 0 on the new rows, so
+    // reduced costs are unchanged: the start is dual feasible and only the
+    // violated cut rows are primal infeasible, exactly what the dual
+    // simplex repairs. The stored factorization and its fingerprints are
+    // *not* trusted on this path (cut coefficients landed in structural
+    // columns, so `col_fp` legitimately moved): the basis is refactorized
+    // from the current columns below.
+    let extend = w.n == n && w.m < m && w.state.len() == n + w.m && w.basic.len() == w.m;
+    if !extend {
+        if w.n != n || w.m != m || w.state.len() != n + m {
+            return None;
+        }
+        if w.basic_fp != model.basis_fingerprint(&w.basic) {
+            return None;
+        }
+        // The stored factorization lives in the scaled space the snapshot
+        // was captured under; a differently scaled re-solve starts cold.
+        if w.scale_fp != prep.scale_fp() {
+            return None;
+        }
     }
     let mut lo: Vec<f64> = model
         .vars
@@ -1476,8 +1466,17 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart, prep: &'a Prep) -> Opt
 
     // Repair nonbasic resting states against the (possibly moved) bounds:
     // a variable parked at a bound that no longer exists must rest
-    // somewhere expressible.
+    // somewhere expressible. On the extension path the new rows' slacks
+    // (stored after the structural block, so appending keeps the layout)
+    // enter basic, completing the block-triangular basis.
     let mut state = w.state.clone();
+    let mut basic = w.basic.clone();
+    if extend {
+        for r in w.m..m {
+            state.push(VState::Basic);
+            basic.push((n + r) as u32);
+        }
+    }
     for j in 0..n + m {
         if state[j] == VState::Basic {
             continue;
@@ -1512,7 +1511,7 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart, prep: &'a Prep) -> Opt
         hi,
         rhs,
         state,
-        basic: w.basic.clone(),
+        basic,
         xb: vec![0.0; m],
         basis,
         devex: vec![1.0; n + m],
@@ -1521,10 +1520,13 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart, prep: &'a Prep) -> Opt
         iterations: 0,
         tol: prep.tol,
         shifted: Vec::new(),
+        colmax: Vec::new(),
     };
-    if t.basis.should_refactorize() {
+    if extend || t.basis.should_refactorize() {
         // Long chains still refactorize periodically, even across
-        // snapshot hops; a singular basic set falls back to the cold path.
+        // snapshot hops; the extension path *always* refactorizes (the
+        // carried factor has the wrong dimension). A singular basic set
+        // falls back to the cold path.
         t.refactorize().ok()?;
     } else {
         t.recompute_basics();
@@ -1943,6 +1945,37 @@ mod tests {
         // Continuous model: integrality not enforced, values pass as-is.
         m.check_feasible(&s.values, 1e-6).unwrap();
         assert!(s.objective > 0.0);
+    }
+
+    #[test]
+    fn warm_start_extends_across_added_rows() {
+        // Solve, then append a violated cut-style row: the old snapshot
+        // has fewer rows than the model and must install via the
+        // row-extension path (new slack basic, refactorize), with the
+        // dual simplex repairing just the new row.
+        let mut m = Model::new(Sense::Minimize);
+        let x = var(&mut m, "x", 0.0, 10.0, 1.0);
+        let y = var(&mut m, "y", 0.0, 10.0, 2.0);
+        m.add_constr(vec![(x, 1.0), (y, 1.0)], Cmp::Ge, 2.0);
+        let (s, basis) = m.solve_lp_warm(None).unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-9); // x = 2, y = 0
+        let basis = basis.expect("optimal basis captured");
+        // New row x + 2y >= 4 is violated at (2, 0).
+        m.add_constr(vec![(x, 1.0), (y, 2.0)], Cmp::Ge, 4.0);
+        let prep = super::Prep::new(&m);
+        assert!(
+            super::build_from_warm(&m, &basis, &prep).is_some(),
+            "row-extended snapshot must install"
+        );
+        let (warm_sol, _) = m.solve_lp_warm(Some(&basis)).unwrap();
+        let cold = m.solve_lp().unwrap();
+        assert!(
+            (warm_sol.objective - cold.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm_sol.objective,
+            cold.objective
+        );
+        m.check_feasible(&warm_sol.values, 1e-7).unwrap();
     }
 
     #[test]

@@ -166,6 +166,27 @@ pub fn fix_eps(lo: f64) -> f64 {
     FIX_REL * (1.0 + lo.abs())
 }
 
+/// Relative optimality gap between an incumbent objective `best` and a
+/// dual bound `bound` (minimization: `bound ≤ best` when both are exact).
+///
+/// The denominator is `max(|best|, |bound|, 1)` — relative to the larger
+/// magnitude so the gap is symmetric in sign conventions, with a unit
+/// floor so `best ≈ 0` (common once an objective offset cancels) does not
+/// divide by ~0 and report a huge gap for roundoff noise. Negative
+/// differences (bound numerically above the incumbent) clamp to 0; a
+/// non-finite bound means "no bound" and reports an infinite gap. This is
+/// the single gap definition used by branch-and-bound pruning and final
+/// gap reporting — the inline `(best − bound.max(f64::MIN)) / |best|`
+/// form it replaces underflowed to a meaningless ratio for `best < 0`
+/// and unbounded-below node bounds.
+#[inline]
+pub fn rel_gap(best: f64, bound: f64) -> f64 {
+    if !bound.is_finite() {
+        return f64::INFINITY;
+    }
+    ((best - bound) / best.abs().max(bound.abs()).max(1.0)).max(0.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +216,22 @@ mod tests {
         // No absolute floor: a value at 0 never reaches a tiny bound.
         let b = 2f64.powi(-30);
         assert!(snap_eps(0.0, b) < b);
+    }
+
+    #[test]
+    fn rel_gap_is_scale_relative_and_sign_safe() {
+        // Plain positive case: 1% gap at unit scale.
+        assert!((rel_gap(1.0, 0.99) - 0.01).abs() < 1e-12);
+        // best ≈ 0 with a small absolute slack: the unit floor keeps the
+        // gap small instead of dividing by ~0.
+        assert!(rel_gap(1e-12, -1e-10) < 1e-9);
+        // Negative objectives: gap measured against the larger magnitude.
+        assert!((rel_gap(-100.0, -101.0) - 1.0 / 101.0).abs() < 1e-12);
+        // Bound numerically above the incumbent clamps to zero.
+        assert_eq!(rel_gap(5.0, 5.0 + 1e-9), 0.0);
+        // Unbounded-below node bound: no finite gap claim.
+        assert_eq!(rel_gap(1.0, f64::NEG_INFINITY), f64::INFINITY);
+        assert_eq!(rel_gap(1.0, f64::NAN), f64::INFINITY);
     }
 
     #[test]

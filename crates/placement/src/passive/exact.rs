@@ -137,6 +137,12 @@ pub fn solve_ppm_mecf(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Option
     solve_with(inst, k, opts, Formulation::Lp1)
 }
 
+/// Nodes evaluated per batch-synchronous round of the MIP search. A fixed
+/// constant (not a function of the worker count) so the branch-and-bound
+/// trajectory — and therefore every solution and CSV derived from it — is
+/// identical whether the node LPs run on 1 thread or 16.
+const EXACT_NODE_BATCH: usize = 8;
+
 /// Which of the paper's two MIP formulations to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Formulation {
@@ -181,6 +187,12 @@ fn solve_with(
         integral_objective: Some(true),
         // Node LPs differ from their parent by one bound: reuse the basis.
         warm_basis: true,
+        // Solve node LPs in parallel (POPMON_THREADS-aware). The batch
+        // size is a FIXED constant, never derived from the thread count:
+        // search decisions depend only on the batch, so CSV and golden
+        // outputs stay byte-identical at any `threads` setting.
+        threads: 0,
+        node_batch: EXACT_NODE_BATCH,
         ..Default::default()
     };
     let sol = match model.solve_mip_with(&mip_opts) {

@@ -50,6 +50,15 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
     let loads = mon.edge_loads();
     let ne = merged.num_edges;
 
+    // Edge → traffics index, built once: the incremental redundancy prune
+    // walks it at every incumbent instead of recomputing coverage.
+    let mut edge_traffics: Vec<Vec<u32>> = vec![Vec::new(); ne];
+    for (t, (_, support)) in merged.traffics.iter().enumerate() {
+        for &e in support {
+            edge_traffics[e].push(t as u32);
+        }
+    }
+
     // Initial incumbent from the greedy pair.
     let mut incumbent: Option<Vec<usize>> = match (greedy_static(inst, k), greedy_adaptive(inst, k))
     {
@@ -74,6 +83,12 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
     let mut proven = true;
     let start = std::time::Instant::now();
 
+    // Scratch buffers reused across every node's flow bound: the bound is
+    // called once per node, and per-node allocation of the item list and
+    // the per-edge flow table dominated small-instance profiles.
+    let mut items: Vec<(f64, f64, usize)> = Vec::with_capacity(merged.traffics.len());
+    let mut with_flow: Vec<(bool, f64)> = vec![(false, 0.0); ne];
+
     while let Some(frame) = stack.pop() {
         if nodes >= opts.max_nodes || opts.time_limit.is_some_and(|l| start.elapsed() >= l) {
             proven = false;
@@ -87,10 +102,17 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
         }
 
         // Flow bound for this node.
-        let Some((bound_frac, flow_edges, routed)) = flow_bound(&mon, &loads, &frame.state, target)
-        else {
+        let Some((bound_frac, routed)) = flow_bound(
+            &mon,
+            &loads,
+            &frame.state,
+            target,
+            &mut items,
+            &mut with_flow,
+        ) else {
             continue; // target unreachable under these fixings
         };
+        let flow_edges = &with_flow;
         let bound = frame.installed + (bound_frac - 1e-9).ceil().max(0.0) as usize;
         if bound >= best {
             continue;
@@ -102,7 +124,7 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
             let mut cover: Vec<usize> = (0..ne)
                 .filter(|&e| frame.state[e] == EdgeState::Installed || flow_edges[e].0)
                 .collect();
-            prune_redundant(&merged, &mut cover, target);
+            prune_redundant(&merged, &loads, &edge_traffics, &mut cover, target);
             if cover.len() < best {
                 incumbent = Some(cover);
             }
@@ -166,26 +188,28 @@ pub fn solve_ppm_mecf_bb(inst: &PpmInstance, k: f64, opts: &ExactOptions) -> Opt
 /// node instead of a full flow solve. (The equivalence is unit-tested
 /// against [`mcmf::mincost::min_cost_flow`] below.)
 ///
-/// Result of [`flow_bound`]: the fractional device bound over free edges,
-/// a `(carries flow, flow amount)` pair per free edge, and the routed
-/// volume.
-type FlowBound = (f64, Vec<(bool, f64)>, f64);
-
-/// Returns the flow bound triple; `None` when the target cannot be routed.
+/// Returns the fractional device bound over free edges and the routed
+/// volume, filling `with_flow` with a `(carries flow, flow amount)` pair
+/// per edge; `None` when the target cannot be routed. `items` and
+/// `with_flow` are caller-owned scratch buffers reused across nodes.
 fn flow_bound(
     mon: &MonitoringInstance,
     loads: &[f64],
     state: &[EdgeState],
     target: f64,
-) -> Option<FlowBound> {
+    items: &mut Vec<(f64, f64, usize)>,
+    with_flow: &mut Vec<(bool, f64)>,
+) -> Option<(f64, f64)> {
     let ne = mon.num_edges;
+    with_flow.clear();
+    with_flow.resize(ne, (false, 0.0));
     if target <= 1e-12 {
-        return Some((0.0, vec![(false, 0.0); ne], 0.0));
+        return Some((0.0, 0.0));
     }
 
     // Cheapest allowed edge per traffic; ties prefer the heavier load so
     // flow consolidates onto fewer edges (better incumbents).
-    let mut items: Vec<(f64, f64, usize)> = Vec::with_capacity(mon.traffics.len());
+    items.clear();
     for (v, support) in &mon.traffics {
         let mut best: Option<(f64, usize)> = None;
         for &e in support {
@@ -222,10 +246,9 @@ fn flow_bound(
 
     // Fractional knapsack: cheapest unit costs first.
     items.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
-    let mut with_flow = vec![(false, 0.0); ne];
     let mut routed = 0.0f64;
     let mut cost = 0.0f64;
-    for (c, v, e) in items {
+    for &(c, v, e) in items.iter() {
         if routed + 1e-12 >= target {
             break;
         }
@@ -237,13 +260,40 @@ fn flow_bound(
             with_flow[e].1 += take;
         }
     }
-    Some((cost, with_flow, routed))
+    Some((cost, routed))
 }
 
 /// Drops redundant edges from a cover, greedily, preferring to drop
 /// low-load edges first; keeps the cover feasible for `target`.
-fn prune_redundant(inst: &PpmInstance, cover: &mut Vec<usize>, target: f64) {
-    let loads = inst.edge_loads();
+///
+/// Incremental: per-traffic cover counts plus the `edge_traffics` index
+/// turn each trial drop into a walk over that edge's own traffics instead
+/// of a full coverage recomputation — `O(Σ_{e∈cover} |traffics(e)|)` per
+/// incumbent instead of `O(|cover| · Σ_t |p_t|)`, and this runs at nearly
+/// every node of the search.
+fn prune_redundant(
+    inst: &PpmInstance,
+    loads: &[f64],
+    edge_traffics: &[Vec<u32>],
+    cover: &mut Vec<usize>,
+    target: f64,
+) {
+    // How many cover edges each traffic currently routes through, and the
+    // total volume covered (traffics with count ≥ 1).
+    let mut cnt = vec![0u32; inst.traffics.len()];
+    for &e in cover.iter() {
+        for &t in &edge_traffics[e] {
+            cnt[t as usize] += 1;
+        }
+    }
+    let mut covered: f64 = inst
+        .traffics
+        .iter()
+        .zip(&cnt)
+        .filter(|&(_, &c)| c > 0)
+        .map(|((v, _), _)| *v)
+        .sum();
+
     let mut order: Vec<usize> = (0..cover.len()).collect();
     order.sort_by(|&i, &j| {
         loads[cover[i]]
@@ -252,15 +302,19 @@ fn prune_redundant(inst: &PpmInstance, cover: &mut Vec<usize>, target: f64) {
     });
     let mut keep: Vec<bool> = vec![true; cover.len()];
     for &i in &order {
-        keep[i] = false;
-        let candidate: Vec<usize> = cover
+        let e = cover[i];
+        // Volume lost if e is dropped: traffics covered only by e.
+        let loss: f64 = edge_traffics[e]
             .iter()
-            .enumerate()
-            .filter(|&(j, _)| keep[j])
-            .map(|(_, &e)| e)
-            .collect();
-        if inst.coverage(&candidate) + 1e-9 < target {
-            keep[i] = true;
+            .filter(|&&t| cnt[t as usize] == 1)
+            .map(|&t| inst.traffics[t as usize].0)
+            .sum();
+        if covered - loss + 1e-9 >= target {
+            keep[i] = false;
+            covered -= loss;
+            for &t in &edge_traffics[e] {
+                cnt[t as usize] -= 1;
+            }
         }
     }
     *cover = cover
@@ -338,10 +392,13 @@ mod tests {
         let mon = inst.to_monitoring();
         let loads = mon.edge_loads();
         let state = vec![EdgeState::Free; mon.num_edges];
+        let mut items = Vec::new();
+        let mut with_flow = Vec::new();
         for k in [0.3, 0.6, 0.9] {
             let target = k * inst.total_volume();
-            let (analytic, _, routed) =
-                flow_bound(&mon, &loads, &state, target).expect("coverable");
+            let (analytic, routed) =
+                flow_bound(&mon, &loads, &state, target, &mut items, &mut with_flow)
+                    .expect("coverable");
             assert!((routed - target).abs() < 1e-6);
             // Real min-cost flow with 1/load costs.
             let costs: Vec<f64> = loads

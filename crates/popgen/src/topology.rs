@@ -137,6 +137,38 @@ impl PopSpec {
         }
     }
 
+    /// A 50-router POP — the third rung of the scaling ladder, double the
+    /// `scale_25` rung: 66 traffic endpoints hence `66 × 65 = 4290`
+    /// traffics. Backs the gated `simplex_lp2_50router` /
+    /// `exact_scale_50` bench stages that price the enriched MIP search
+    /// (cuts + reliability branching + parallel node pool) past the
+    /// paper's own instances.
+    pub fn scale_50() -> Self {
+        Self {
+            backbone: 12,
+            access: 38,
+            chords: 5,
+            dual_homed: 24,
+            customers: 58,
+            peers: 8,
+        }
+    }
+
+    /// A 100-router POP — the fourth rung, between `scale_50` and the
+    /// paper's closing 150-router claim. Exercised ungated (the exact
+    /// solve is minutes-scale); `PopSpec::large_150` remains the
+    /// generation-only end point.
+    pub fn scale_100() -> Self {
+        Self {
+            backbone: 18,
+            access: 82,
+            chords: 9,
+            dual_homed: 52,
+            customers: 72,
+            peers: 12,
+        }
+    }
+
     /// A 150-router POP — the paper's Section 7 closes with "we are also
     /// currently testing our solution on larger POPs, with at least 150
     /// routers"; this preset backs the `xp_scale_150` experiment.
@@ -354,12 +386,28 @@ mod tests {
     }
 
     #[test]
+    fn scale_ladder_router_counts_and_traffic_growth() {
+        assert_eq!(PopSpec::scale_20().build().router_count(), 20);
+        assert_eq!(PopSpec::scale_25().build().router_count(), 25);
+        let p50 = PopSpec::scale_50().build();
+        assert_eq!(p50.router_count(), 50);
+        let eps50 = p50.endpoints.len();
+        assert_eq!(eps50 * (eps50 - 1), 4290, "4290 traffics at rung 50");
+        let p100 = PopSpec::scale_100().build();
+        assert_eq!(p100.router_count(), 100);
+        // Strictly growing endpoint counts keep the ladder meaningful.
+        assert!(p100.endpoints.len() > eps50);
+    }
+
+    #[test]
     fn generated_pops_are_connected() {
         for spec in [
             PopSpec::paper_10(),
             PopSpec::paper_15(),
             PopSpec::paper_29(),
             PopSpec::paper_80(),
+            PopSpec::scale_50(),
+            PopSpec::scale_100(),
         ] {
             assert!(netgraph::bfs::is_connected(&spec.build().graph));
         }
