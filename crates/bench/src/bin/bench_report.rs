@@ -468,6 +468,73 @@ fn main() {
         ),
     );
 
+    // --- popmond: warm what-if chain on the 15-router preset ------------
+    // A resident service instance answers a fixed what-if script — link
+    // failures/restores interleaved with small demand scalings (net
+    // factor 1.0 per traffic, so every iteration replays the same state
+    // sequence), each with an embedded exact re-solve at k = 0.3 —
+    // through its warm DeltaInstance chain. The frozen baseline is the
+    // same script answered statelessly (per query: rebuild the instance
+    // from its spec, replay the session mutations, build and solve a
+    // fresh model), so `speedup_vs_baseline` is the resident service's
+    // incremental-repair advantage over a batch process per query.
+    let whatif_script: Vec<String> = {
+        let resolve = r#""resolve":{"method":"exact","k":0.3}"#;
+        let fail = |e: usize| {
+            format!(r#"{{"op":"whatif","id":"bench","action":"fail_link","link":{e},{resolve}}}"#)
+        };
+        let restore = |e: usize| {
+            format!(
+                r#"{{"op":"whatif","id":"bench","action":"restore_link","link":{e},{resolve}}}"#
+            )
+        };
+        let scale = |t: usize, f: f64| {
+            format!(
+                r#"{{"op":"whatif","id":"bench","action":"scale_demand","traffic":{t},"factor":{f},{resolve}}}"#
+            )
+        };
+        vec![
+            fail(2),
+            scale(0, 1.25),
+            restore(2),
+            scale(3, 0.8),
+            fail(12),
+            scale(0, 0.8),
+            restore(12),
+            scale(3, 1.25),
+            fail(9),
+            scale(5, 1.25),
+            restore(9),
+            scale(5, 0.8),
+        ]
+    };
+    let service = popmond::Service::new(popmond::ServiceConfig::default());
+    let loaded = service
+        .handle_line(r#"{"op":"load_spec","id":"bench","spec":"paper_15","seed":1}"#)
+        .text;
+    assert!(loaded.contains("\"ok\":true"), "{loaded}");
+    // Prime the warm chain so the measured loop is pure incremental work.
+    let primed = service
+        .handle_line(r#"{"op":"solve","id":"bench","method":"exact","k":0.3}"#)
+        .text;
+    assert!(primed.contains("\"ok\":true"), "{primed}");
+    push(
+        &mut stages,
+        run_stage(
+            "popmond_whatif_chain",
+            "cases = warm what-if re-solves (paper_15, k = 0.3)",
+            1,
+            || {
+                for req in &whatif_script {
+                    let resp = service.handle_line(req).text;
+                    debug_assert!(resp.contains("\"ok\":true"), "{resp}");
+                    std::hint::black_box(&resp);
+                }
+                whatif_script.len() as u64
+            },
+        ),
+    );
+
     let report = BenchReport {
         mode: if smoke { "smoke" } else { "full" },
         threads: Engine::from_env().threads(),

@@ -29,13 +29,27 @@ use placement::sampling::{solve_ppme, SamplingProblem};
 use popgen::{fileio, Pop, PopSpec, TrafficSet, TrafficSpec};
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().collect();
+    let mut argv: Vec<String> = std::env::args().collect();
     let usage = || {
         eprintln!(
             "usage: popmon_cli <passive|sampling|active|inspect> <topology-file> [args] \
-             | popmon_cli generate [routers] | popmon_cli family <spec> [seed]"
+             | popmon_cli generate [routers] | popmon_cli family <spec> [seed] \
+             (document-emitting commands accept --out PATH)"
         );
         ExitCode::from(2)
+    };
+    // `--out PATH` may appear anywhere; strip it before positional parsing.
+    let out: Option<String> = match argv.iter().position(|a| a == "--out") {
+        None => None,
+        Some(i) if i + 1 < argv.len() => {
+            let path = argv.remove(i + 1);
+            argv.remove(i);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("error: --out needs a path");
+            return usage();
+        }
     };
     let Some(cmd) = argv.get(1) else {
         return usage();
@@ -63,10 +77,7 @@ fn main() -> ExitCode {
                 }
             };
             match popgen::families::emit_document(&spec, seed) {
-                Ok(doc) => {
-                    print!("{doc}");
-                    ExitCode::SUCCESS
-                }
+                Ok(doc) => emit(&doc, out.as_deref()),
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
@@ -85,8 +96,7 @@ fn main() -> ExitCode {
             };
             let pop = spec.build();
             let ts = TrafficSpec::default().generate(&pop, 42);
-            print!("{}", fileio::serialize(&pop, &ts));
-            ExitCode::SUCCESS
+            emit(&fileio::serialize(&pop, &ts), out.as_deref())
         }
         "passive" | "sampling" | "active" | "inspect" => {
             let Some(path) = argv.get(2) else {
@@ -114,11 +124,24 @@ fn main() -> ExitCode {
                     parse_f64(&argv, 3, 0.9),
                     parse_f64(&argv, 4, 0.0),
                 ),
-                "inspect" => inspect(&pop, &ts),
+                "inspect" => inspect(&pop, &ts, out.as_deref()),
                 _ => active(&pop),
             }
         }
         _ => usage(),
+    }
+}
+
+/// Routes document output through the experiment binaries' fallible
+/// emitter: an unwritable `--out` path (or a closed stdout pipe) is a
+/// one-line error and exit code 1, never a panic.
+fn emit(text: &str, out: Option<&str>) -> ExitCode {
+    match popmon_bench::try_emit_text(text, out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
@@ -210,7 +233,8 @@ fn sampling(pop: &Pop, ts: &TrafficSet, k: f64, h: f64) -> ExitCode {
 /// Summarizes a topology document: tier sizes, link stats, traffic mass,
 /// and how hard the monitoring problem it encodes is (load concentration,
 /// uncoverable share). CSV `metric,value` rows for scripting.
-fn inspect(pop: &Pop, ts: &TrafficSet) -> ExitCode {
+fn inspect(pop: &Pop, ts: &TrafficSet, out: Option<&str>) -> ExitCode {
+    use std::fmt::Write as _;
     let g = &pop.graph;
     let inst = PpmInstance::from_traffic(g, ts);
     let router_degrees: Vec<usize> = pop
@@ -228,21 +252,27 @@ fn inspect(pop: &Pop, ts: &TrafficSet) -> ExitCode {
     let loads = inst.edge_loads();
     let total = inst.total_volume();
     let top_load = loads.iter().cloned().fold(0.0, f64::max);
-    println!("metric,value");
-    println!("backbone_routers,{}", pop.backbone.len());
-    println!("access_routers,{}", pop.access.len());
-    println!("endpoints,{}", pop.endpoints.len());
-    println!("links,{}", g.edge_count());
-    println!("router_degree_mean,{mean_deg:.2}");
-    println!("router_degree_max,{max_deg}");
-    println!("traffics,{}", ts.len());
-    println!("total_volume,{total:.3}");
-    println!(
+    let mut doc = String::new();
+    let _ = writeln!(doc, "metric,value");
+    let _ = writeln!(doc, "backbone_routers,{}", pop.backbone.len());
+    let _ = writeln!(doc, "access_routers,{}", pop.access.len());
+    let _ = writeln!(doc, "endpoints,{}", pop.endpoints.len());
+    let _ = writeln!(doc, "links,{}", g.edge_count());
+    let _ = writeln!(doc, "router_degree_mean,{mean_deg:.2}");
+    let _ = writeln!(doc, "router_degree_max,{max_deg}");
+    let _ = writeln!(doc, "traffics,{}", ts.len());
+    let _ = writeln!(doc, "total_volume,{total:.3}");
+    let _ = writeln!(
+        doc,
         "top_link_load_fraction,{:.4}",
         if total > 0.0 { top_load / total } else { 0.0 }
     );
-    println!("max_coverage_fraction,{:.4}", inst.max_coverage_fraction());
-    ExitCode::SUCCESS
+    let _ = writeln!(
+        doc,
+        "max_coverage_fraction,{:.4}",
+        inst.max_coverage_fraction()
+    );
+    emit(&doc, out)
 }
 
 fn active(pop: &Pop) -> ExitCode {

@@ -23,6 +23,7 @@ pub const STABLE_STAGES: &[&str] = &[
     "fig8_point_k75",
     "xp_incremental_sweep",
     "family_placement_30",
+    "popmond_whatif_chain",
 ];
 
 /// One regression found by [`compare_reports`].

@@ -100,19 +100,32 @@ pub fn parse_args(default_seeds: u64) -> Args {
     }
 }
 
+/// Fallible core of [`emit_text`]: writes to stdout when `out` is
+/// `None`, else to the path in one write. Returns a one-line message on
+/// failure — including a closed stdout pipe, which `print!` would turn
+/// into a panic with a backtrace.
+pub fn try_emit_text(text: &str, out: Option<&str>) -> Result<(), String> {
+    use std::io::Write;
+    match out {
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            stdout
+                .write_all(text.as_bytes())
+                .and_then(|()| stdout.flush())
+                .map_err(|e| format!("cannot write to stdout: {e}"))
+        }
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+    }
+}
+
 /// Emits experiment output: to stdout when `out` is `None`, else to the
 /// given path in one write. On an unwritable path the process exits with
 /// code 1 and a one-line error — never a panic/backtrace, so CI logs stay
 /// readable.
 pub fn emit_text(text: &str, out: Option<&str>) {
-    match out {
-        None => print!("{text}"),
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, text) {
-                eprintln!("error: cannot write {path}: {e}");
-                std::process::exit(1);
-            }
-        }
+    if let Err(e) = try_emit_text(text, out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -196,6 +209,19 @@ mod tests {
         let (v, secs) = timed(|| 42);
         assert_eq!(v, 42);
         assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn try_emit_text_reports_unwritable_paths_instead_of_panicking() {
+        let e = try_emit_text("row\n", Some("/nonexistent-dir/out.csv")).unwrap_err();
+        assert!(e.contains("/nonexistent-dir/out.csv"), "{e}");
+        assert!(!e.contains('\n'), "one-line error, got {e:?}");
+
+        let path = std::env::temp_dir().join("popmon_try_emit_text_test.csv");
+        let path_str = path.to_str().unwrap();
+        try_emit_text("metric,value\n", Some(path_str)).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "metric,value\n");
+        let _ = std::fs::remove_file(&path);
     }
 
     fn argv(parts: &[&str]) -> Vec<String> {

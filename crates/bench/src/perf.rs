@@ -116,6 +116,15 @@ pub const BASELINE: &[(&str, f64, f64)] = &[
     // Captured at the PR-3 head (cold per-point MIP solves, engine grid,
     // memoized per-seed base) just before the warm-start layer landed.
     ("xp_incremental_sweep", 0.382488, 20.916),
+    // Frozen at its introduction (PR 8, the popmond resident service):
+    // the same 12-request what-if script answered statelessly — per
+    // query, rebuild the paper_15/seed-1 instance from its spec, replay
+    // the session's mutations, then build and solve a fresh exact model
+    // at k = 0.3 — i.e. a batch process per query, which is what the
+    // resident warm DeltaInstance chain replaces (60.0 s for one script
+    // pass on the reference container; the failed-link states dominate,
+    // where a cold solve has no warm vertex to prune from).
+    ("popmond_whatif_chain", 60.025598, 0.200),
 ];
 
 /// A full benchmark run, ready to serialize.

@@ -24,7 +24,9 @@
 //! [`solve_ppm_exact`]/[`solve_incremental`]/[`solve_budget`] on the
 //! seed-0 sweeps).
 
-use milp::{MipOptions, MipWarmStart, Model, SolveStatus, VarId};
+use std::collections::HashMap;
+
+use milp::{ConstrId, MipOptions, MipWarmStart, Model, SolveStatus, VarId};
 use netgraph::delta::RoutePlan;
 use netgraph::{EdgeId, Graph, NodeId};
 use popgen::TrafficSet;
@@ -42,16 +44,30 @@ use crate::passive::{
 struct Routing {
     graph: Graph,
     plan: RoutePlan,
+    /// For each current traffic, the plan pair that routes it — `None`
+    /// for flows added later with an explicit support, which are not
+    /// endpoint-routed and never re-route. Aligned with
+    /// `DeltaInstance::traffics` across flow insertions and removals.
+    pair_of: Vec<Option<usize>>,
 }
 
 /// A cached exact model: rebuilt when the instance structure changes,
-/// re-targeted and warm-started along a grid otherwise.
+/// re-targeted and warm-started along a grid otherwise. Volume-only and
+/// bound-only deltas are *repaired in place* (see the mutation methods),
+/// so the warm chain survives what-if streams, not just `k` grids.
 #[derive(Debug)]
 struct ModelCache {
     merged: PpmInstance,
     model: Model,
     xs: Vec<VarId>,
     warm: Option<MipWarmStart>,
+    /// The coverage-target (exact) or budget row — stored at build time so
+    /// in-place repairs never have to rediscover it.
+    target_row: ConstrId,
+    /// Exact cache only: the merged identical-support groups in model row
+    /// order, each with the `δ` variable that carries the group's volume
+    /// in the coverage row. Empty for the budget cache.
+    groups: Vec<(Vec<usize>, VarId)>,
 }
 
 /// A `PPM` instance under a chain of deltas (see the module docs).
@@ -103,12 +119,14 @@ impl DeltaInstance {
             .enumerate()
             .map(|(i, t)| (t.volume, support_of(&plan, i)))
             .collect();
+        let pair_of = (0..pairs.len()).map(Some).collect();
         DeltaInstance {
             num_edges: graph.edge_count(),
             traffics,
             routing: Some(Routing {
                 graph: graph.clone(),
                 plan,
+                pair_of,
             }),
             ..Default::default()
         }
@@ -125,7 +143,27 @@ impl DeltaInstance {
         self.traffics.len()
     }
 
+    /// Number of links in the instance.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The pre-installed device set (sorted, deduplicated).
+    pub fn installed(&self) -> &[usize] {
+        &self.installed
+    }
+
+    /// The currently failed links (sorted).
+    pub fn disabled(&self) -> &[usize] {
+        &self.disabled
+    }
+
     /// Adds a flow and returns its index.
+    ///
+    /// When the support matches an existing identical-support group of the
+    /// cached exact model (or is uncoverable), the model is repaired in
+    /// place — one coverage-row update — and the warm chain survives; a
+    /// genuinely new support drops the cache.
     ///
     /// # Panics
     ///
@@ -145,18 +183,31 @@ impl DeltaInstance {
                 self.num_edges
             );
         }
-        self.invalidate();
+        self.budget_cache = None;
+        if let Some(routing) = self.routing.as_mut() {
+            // Explicit-support flows are not endpoint-routed: they keep
+            // their support verbatim across link toggles.
+            routing.pair_of.push(None);
+        }
         self.traffics.push((volume, support));
+        self.refresh_exact_volumes();
         self.traffics.len() - 1
     }
 
     /// Removes flow `t` (indices above `t` shift down, as in `Vec::remove`).
+    /// A volume-only repair on the cached exact model: the warm chain
+    /// survives (the emptied group's coverage weight drops, its row stays).
     pub fn remove_flow(&mut self, t: usize) {
-        self.invalidate();
+        self.budget_cache = None;
+        if let Some(routing) = self.routing.as_mut() {
+            routing.pair_of.remove(t);
+        }
         self.traffics.remove(t);
+        self.refresh_exact_volumes();
     }
 
-    /// Scales the demand of flow `t` by `factor`.
+    /// Scales the demand of flow `t` by `factor`. A volume-only repair on
+    /// the cached exact model: the warm chain survives.
     ///
     /// # Panics
     ///
@@ -167,12 +218,15 @@ impl DeltaInstance {
             v.is_finite() && v >= 0.0,
             "scaled volume must be finite and >= 0, got {v}"
         );
-        self.invalidate();
+        self.budget_cache = None;
         self.traffics[t].0 = v;
+        self.refresh_exact_volumes();
     }
 
     /// Replaces the pre-installed device set (edges fixed to 1 at zero
-    /// cost — [`solve_incremental`]'s sunk-cost semantics).
+    /// cost — [`solve_incremental`]'s sunk-cost semantics). A bound/cost
+    /// repair on the cached exact model: only the edges whose status
+    /// changed are touched and the warm chain survives.
     ///
     /// # Panics
     ///
@@ -181,10 +235,19 @@ impl DeltaInstance {
         for &e in installed {
             assert!(e < self.num_edges, "installed edge {e} out of range");
         }
-        self.invalidate();
-        self.installed = installed.to_vec();
-        self.installed.sort_unstable();
-        self.installed.dedup();
+        let mut new: Vec<usize> = installed.to_vec();
+        new.sort_unstable();
+        new.dedup();
+        let old = std::mem::replace(&mut self.installed, new);
+        // The budget model bakes the installed set into its structure.
+        self.budget_cache = None;
+        if let Some(cache) = self.exact_cache.as_mut() {
+            for &e in old.iter().chain(&self.installed) {
+                if old.binary_search(&e).is_ok() != self.installed.binary_search(&e).is_ok() {
+                    sync_exact_edge(cache, &self.installed, &self.disabled, e);
+                }
+            }
+        }
     }
 
     /// Fails link `e`: no device may sit on it — even a pre-installed one
@@ -196,26 +259,46 @@ impl DeltaInstance {
     /// actually re-routed — the delta-aware savings are `traffic_count()`
     /// minus that.
     ///
+    /// When nothing re-routes (unrouted chains, or no traffic crossed the
+    /// link), this is a pure bound repair on the cached exact model —
+    /// `x_e` fixed to 0 — and the next solve is an incremental dual-simplex
+    /// re-optimization, not a cold rebuild.
+    ///
     /// # Panics
     ///
     /// Panics on an out-of-range edge.
     pub fn fail_link(&mut self, e: usize) -> usize {
         assert!(e < self.num_edges, "link {e} out of range");
-        self.invalidate();
         if !self.disabled.contains(&e) {
             self.disabled.push(e);
             self.disabled.sort_unstable();
         }
-        self.reroute()
+        let rerouted = self.reroute();
+        self.budget_cache = None;
+        if rerouted > 0 {
+            // Supports changed: the merged group structure is stale.
+            self.exact_cache = None;
+        } else if let Some(cache) = self.exact_cache.as_mut() {
+            sync_exact_edge(cache, &self.installed, &self.disabled, e);
+        }
+        rerouted
     }
 
     /// Restores a previously failed link (an *improving* change: in
     /// routed mode every traffic is re-routed from scratch). Returns the
-    /// number of re-routed traffics.
+    /// number of re-routed traffics. Like [`DeltaInstance::fail_link`],
+    /// a re-route-free restore keeps the warm chain alive.
     pub fn restore_link(&mut self, e: usize) -> usize {
-        self.invalidate();
+        assert!(e < self.num_edges, "link {e} out of range");
         self.disabled.retain(|&d| d != e);
-        self.reroute()
+        let rerouted = self.reroute();
+        self.budget_cache = None;
+        if rerouted > 0 {
+            self.exact_cache = None;
+        } else if let Some(cache) = self.exact_cache.as_mut() {
+            sync_exact_edge(cache, &self.installed, &self.disabled, e);
+        }
+        rerouted
     }
 
     /// Re-routes against the current failure set; no-op without routing.
@@ -230,14 +313,54 @@ impl DeltaInstance {
             .expect("pairs stay valid");
         routing.plan = plan;
         for (i, t) in self.traffics.iter_mut().enumerate() {
-            t.1 = support_of(&routing.plan, i);
+            if let Some(p) = routing.pair_of[i] {
+                t.1 = support_of(&routing.plan, p);
+            }
         }
         recomputed
     }
 
-    fn invalidate(&mut self) {
-        self.exact_cache = None;
-        self.budget_cache = None;
+    /// After a volume-only delta, repairs the cached exact model's
+    /// coverage row in place: the identical-support groups are unchanged,
+    /// only their summed volumes moved, so one [`milp::Model::set_constr`]
+    /// on the stored target row brings the model back in sync and the warm
+    /// basis survives. Drops the cache instead when some traffic's support
+    /// no longer maps onto the cached groups (the structural case).
+    fn refresh_exact_volumes(&mut self) {
+        let Some(mut cache) = self.exact_cache.take() else {
+            return;
+        };
+        let index: HashMap<&[usize], usize> = cache
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(g, (s, _))| (s.as_slice(), g))
+            .collect();
+        // Re-derive each group's volume exactly as `PpmInstance::merged`
+        // would: skip zero-volume/uncoverable traffics, sum the rest in
+        // original traffic order (merge_traffics stable-sorts, so within a
+        // group the summation order — hence the float — is identical).
+        let mut vols = vec![0.0f64; cache.groups.len()];
+        for (v, s) in &self.traffics {
+            if *v <= 0.0 || s.is_empty() {
+                continue;
+            }
+            match index.get(s.as_slice()) {
+                Some(&g) => vols[g] += v,
+                None => return, // new support group: cache stays dropped
+            }
+        }
+        let terms: Vec<(VarId, f64)> = cache
+            .groups
+            .iter()
+            .zip(&vols)
+            .map(|((_, d), &v)| (*d, v))
+            .collect();
+        cache.model.set_constr(cache.target_row, terms);
+        for (g, &v) in vols.iter().enumerate() {
+            cache.merged.traffics[g].0 = v;
+        }
+        self.exact_cache = Some(cache);
     }
 
     /// Exact minimum-device `PPM(k)` on the current state, warm-started
@@ -264,16 +387,27 @@ impl DeltaInstance {
             for &e in &self.disabled {
                 model.fix_var(xs[e], 0.0);
             }
+            let target_row = model.constr(model.constr_count() - 1);
+            // δ variables sit right after the x block, one per merged
+            // group in group order (build_lp2_target's layout).
+            let groups = merged
+                .traffics
+                .iter()
+                .enumerate()
+                .map(|(g, (_, s))| (s.clone(), model.var(xs.len() + g)))
+                .collect();
             self.exact_cache = Some(ModelCache {
                 merged,
                 model,
                 xs,
                 warm: None,
+                target_row,
+                groups,
             });
         }
         let plain = self.installed.is_empty() && self.disabled.is_empty();
         let cache = self.exact_cache.as_mut().expect("built above");
-        let target_row = cache.model.constr(cache.model.constr_count() - 1);
+        let target_row = cache.target_row;
         cache.model.set_rhs(target_row, target);
         if plain && opts.warm_start {
             install_greedy_incumbent(&mut cache.model, &cache.xs, &inst, &cache.merged, k);
@@ -325,15 +459,18 @@ impl DeltaInstance {
             for &e in &self.disabled {
                 model.fix_var(xs[e], 0.0);
             }
+            let target_row = model.constr(model.constr_count() - 1);
             self.budget_cache = Some(ModelCache {
                 merged,
                 model,
                 xs,
                 warm: None,
+                target_row,
+                groups: Vec::new(),
             });
         }
         let cache = self.budget_cache.as_mut().expect("built above");
-        let budget_row = cache.model.constr(cache.model.constr_count() - 1);
+        let budget_row = cache.target_row;
         cache.model.set_rhs(budget_row, budget as f64);
         let mip_opts = MipOptions {
             max_nodes: opts.max_nodes,
@@ -366,6 +503,26 @@ impl DeltaInstance {
         let before = self.instance().coverage(&self.installed);
         let after = self.solve_budget(extra, opts).coverage;
         (after - before).max(0.0)
+    }
+}
+
+/// Re-syncs `x_e`'s bounds and cost in a cached exact model after edge `e`
+/// changed installed/disabled status — reproducing exactly the state a
+/// cold rebuild would set up: installed devices are fixed to 1 at zero
+/// cost, failure beats installation (fixed to 0, cost as the rebuild
+/// leaves it), free edges are binary at unit cost.
+fn sync_exact_edge(cache: &mut ModelCache, installed: &[usize], disabled: &[usize], e: usize) {
+    let x = cache.xs[e];
+    let installed = installed.binary_search(&e).is_ok();
+    if disabled.binary_search(&e).is_ok() {
+        cache.model.set_cost(x, if installed { 0.0 } else { 1.0 });
+        cache.model.fix_var(x, 0.0);
+    } else if installed {
+        cache.model.set_cost(x, 0.0);
+        cache.model.fix_var(x, 1.0);
+    } else {
+        cache.model.set_cost(x, 1.0);
+        cache.model.set_bounds(x, 0.0, 1.0);
     }
 }
 
@@ -495,6 +652,166 @@ mod tests {
     }
 
     #[test]
+    fn volume_deltas_keep_the_warm_chain_alive() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        let _ = delta.solve_exact(1.0, &opts).unwrap();
+        assert!(delta.exact_cache.is_some());
+
+        // Scale, re-add an existing support group, remove — all volume-only
+        // repairs: the cached model must survive every one of them.
+        delta.scale_demand(0, 2.5);
+        assert!(delta.exact_cache.is_some(), "scale must repair in place");
+        let support = delta.traffics[1].1.clone();
+        let t = delta.add_flow(1.5, support);
+        assert!(
+            delta.exact_cache.is_some(),
+            "existing-group add_flow must repair in place"
+        );
+        delta.remove_flow(t);
+        assert!(delta.exact_cache.is_some(), "remove must repair in place");
+
+        // And the repaired model answers exactly like a cold solve.
+        let chained = delta.solve_exact(0.9, &opts).unwrap();
+        let fresh = solve_ppm_exact(&delta.instance(), 0.9, &opts).unwrap();
+        assert_eq!(chained.device_count(), fresh.device_count());
+        assert!(delta.instance().is_feasible(&chained.edges, 0.9));
+
+        // A genuinely new support group is structural: cache dropped.
+        delta.add_flow(1.0, vec![0, 3]);
+        assert!(
+            delta.exact_cache.is_none(),
+            "new support group must drop the cache"
+        );
+        let chained = delta.solve_exact(0.9, &opts).unwrap();
+        let fresh = solve_ppm_exact(&delta.instance(), 0.9, &opts).unwrap();
+        assert_eq!(chained.device_count(), fresh.device_count());
+    }
+
+    #[test]
+    fn unrouted_link_toggles_keep_the_warm_chain_alive() {
+        let inst = fixture_figure3();
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        let _ = delta.solve_exact(1.0, &opts).unwrap();
+
+        // Unrouted fail/restore never re-routes: pure bound repairs.
+        delta.fail_link(1);
+        assert!(delta.exact_cache.is_some(), "fail must repair in place");
+        let a = delta.solve_exact(1.0, &opts).unwrap();
+        let fresh = solve_ppm_exact(&delta.instance(), 1.0, &opts).unwrap();
+        // solve_ppm_exact has no disabled set; compare against the chained
+        // invariant instead: feasible, link excluded, optimal.
+        assert!(!a.edges.contains(&1));
+        assert!(delta.instance().is_feasible(&a.edges, 1.0));
+        assert!(a.device_count() >= fresh.device_count());
+
+        delta.restore_link(1);
+        assert!(delta.exact_cache.is_some(), "restore must repair in place");
+        let b = delta.solve_exact(1.0, &opts).unwrap();
+        let cold = solve_ppm_exact(&delta.instance(), 1.0, &opts).unwrap();
+        assert_eq!(b.device_count(), cold.device_count());
+
+        // set_installed is a cost/bound repair on the changed edges only.
+        delta.set_installed(&[0]);
+        assert!(
+            delta.exact_cache.is_some(),
+            "set_installed must repair in place"
+        );
+        let c = delta.solve_exact(1.0, &opts).unwrap();
+        let cold = solve_incremental(&delta.instance(), 1.0, &[0], &opts).unwrap();
+        assert_eq!(c.device_count(), cold.device_count());
+        assert!(c.edges.contains(&0));
+        delta.set_installed(&[]);
+        let d = delta.solve_exact(1.0, &opts).unwrap();
+        let cold = solve_ppm_exact(&delta.instance(), 1.0, &opts).unwrap();
+        assert_eq!(d.device_count(), cold.device_count());
+    }
+
+    #[test]
+    fn long_mixed_chain_tracks_cold_solves_exactly() {
+        use popgen::{PopSpec, TrafficSpec};
+
+        let pop = PopSpec::small().build();
+        let inst = {
+            let ts = TrafficSpec::default().generate(&pop, 7);
+            PpmInstance::from_traffic(&pop.graph, &ts)
+        };
+        let mut delta = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        let k = 0.8;
+        let _ = delta.solve_exact(k, &opts);
+
+        // A what-if stream: every answer must equal the cold solve on the
+        // materialized instance (the service's determinism contract).
+        let m = inst.num_edges;
+        type Mutation = Box<dyn Fn(&mut DeltaInstance)>;
+        let script: Vec<Mutation> = vec![
+            Box::new(|d| {
+                d.fail_link(0);
+            }),
+            Box::new(|d| d.scale_demand(2, 1.75)),
+            Box::new(move |d| {
+                d.fail_link(m - 1);
+            }),
+            Box::new(|d| {
+                d.restore_link(0);
+            }),
+            Box::new(|d| d.set_installed(&[1, 3])),
+            Box::new(|d| d.scale_demand(0, 0.25)),
+            Box::new(move |d| {
+                d.restore_link(m - 1);
+            }),
+            Box::new(|d| d.set_installed(&[])),
+        ];
+        for (step, mutate) in script.iter().enumerate() {
+            mutate(&mut delta);
+            let chained = delta.solve_exact(k, &opts);
+            // The cold reference replays the same mutation prefix on a
+            // fresh chain, so its first solve builds the model from
+            // scratch — the service-vs-batch contract in miniature.
+            let mut replay = DeltaInstance::from_instance(&inst);
+            for m in &script[..=step] {
+                m(&mut replay);
+            }
+            let cold = replay.solve_exact(k, &opts);
+            // Warm and cold may land on different optimal vertices, so the
+            // contract is the optimum value plus feasibility — byte-equal
+            // placements are only promised for identical call sequences
+            // (the service-vs-batch harness checks that stronger form).
+            match (chained, cold) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.device_count(), b.device_count(), "step {step}");
+                    let snapshot = delta.instance();
+                    assert!(snapshot.is_feasible(&a.edges, k), "step {step}");
+                    assert!(snapshot.is_feasible(&b.edges, k), "step {step}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("step {step}: chained {a:?} vs cold {b:?}"),
+            }
+            // Solver-independent anchor where the one-shot API applies.
+            if delta.disabled.is_empty() {
+                let snapshot = delta.instance();
+                let installed = delta.installed.clone();
+                let one_shot = if installed.is_empty() {
+                    solve_ppm_exact(&snapshot, k, &opts)
+                } else {
+                    solve_incremental(&snapshot, k, &installed, &opts)
+                };
+                if let Some(b) = one_shot {
+                    let a = delta.solve_exact(k, &opts).unwrap();
+                    assert_eq!(a.device_count(), b.device_count(), "step {step}");
+                }
+            }
+        }
+        assert!(
+            delta.exact_cache.is_some(),
+            "the whole unrouted chain must ride one cached model"
+        );
+    }
+
+    #[test]
     fn routed_mode_reroutes_only_crossing_traffics() {
         use popgen::{PopSpec, TrafficSpec};
 
@@ -550,5 +867,65 @@ mod tests {
             };
             assert_eq!(after.traffics[i].1, want, "traffic {i}");
         }
+    }
+
+    #[test]
+    fn routed_flow_churn_keeps_pair_alignment() {
+        use popgen::{PopSpec, TrafficSpec};
+
+        let pop = PopSpec::small().build();
+        let ts = TrafficSpec::default().generate(&pop, 3);
+        let mut delta = DeltaInstance::from_traffic(&pop.graph, &ts);
+        assert!(delta.traffic_count() >= 3, "fixture too small for churn");
+
+        // Remove a middle flow, then add one with an explicit support;
+        // the surviving endpoint-routed traffics must keep re-routing
+        // against their own pairs (this used to index the route plan
+        // with post-churn traffic indices).
+        delta.remove_flow(1);
+        let added = delta.add_flow(4.0, vec![0, 1]);
+        let mut endpoints: Vec<_> = ts.traffics.iter().map(|t| (t.src, t.dst)).collect();
+        endpoints.remove(1);
+
+        let heavy = delta.instance().traffics[0].1[0];
+        delta.fail_link(heavy);
+        let after = delta.instance();
+        assert_eq!(
+            after.traffics[added].1,
+            vec![0, 1],
+            "explicit-support flows never re-route"
+        );
+        let banned = [netgraph::EdgeId(heavy as u32)];
+        let ground_truth = |src, dst, banned: &[netgraph::EdgeId]| -> Vec<usize> {
+            match netgraph::dijkstra::shortest_path_avoiding(&pop.graph, src, dst, &[], banned) {
+                Ok(p) => {
+                    let mut s: Vec<usize> = p.edges().iter().map(|e| e.index()).collect();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                }
+                Err(_) => Vec::new(),
+            }
+        };
+        for (i, &(src, dst)) in endpoints.iter().enumerate() {
+            assert_eq!(
+                after.traffics[i].1,
+                ground_truth(src, dst, &banned),
+                "routed traffic {i} after churn + failure"
+            );
+        }
+
+        // Restoring is an improving change (full recompute): alignment
+        // must survive that path too.
+        delta.restore_link(heavy);
+        let restored = delta.instance();
+        for (i, &(src, dst)) in endpoints.iter().enumerate() {
+            assert_eq!(
+                restored.traffics[i].1,
+                ground_truth(src, dst, &[]),
+                "routed traffic {i} after restore"
+            );
+        }
+        assert_eq!(restored.traffics[added].1, vec![0, 1]);
     }
 }

@@ -35,7 +35,9 @@ pub struct PpmSolution {
 }
 
 impl PpmSolution {
-    pub(crate) fn from_edges(inst: &PpmInstance, mut edges: Vec<usize>, proven: bool) -> Self {
+    /// Builds a solution from a device set, computing its coverage on
+    /// `inst` (sorts and deduplicates the edges).
+    pub fn from_edges(inst: &PpmInstance, mut edges: Vec<usize>, proven: bool) -> Self {
         edges.sort_unstable();
         edges.dedup();
         let coverage = inst.coverage(&edges);

@@ -1,0 +1,210 @@
+//! popload — a seeded closed-loop load generator for popmond.
+//!
+//! ```text
+//! popload --addr HOST:PORT [--seeds N] [--concurrency N] [--requests N]
+//! ```
+//!
+//! Spawns `--concurrency` worker threads that drain a shared budget of
+//! `--requests` total requests. Each worker owns a private set of seeded
+//! [`Session`]s (instance ids namespaced per worker so workers never
+//! contend on the same warm chain), sends one request at a time over its
+//! own connection, and checks every response line: `ok:true` or a typed
+//! error object counts as served; anything else (connection drop,
+//! non-JSON reply) fails the run. Exits 0 with a throughput report, or 1
+//! on the first unexpected response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use popmond::json;
+use popmond::workload::{Session, SessionSpec};
+
+fn usage() -> ! {
+    eprintln!("usage: popload --addr HOST:PORT [--seeds N] [--concurrency N] [--requests N]");
+    std::process::exit(2);
+}
+
+struct Config {
+    addr: String,
+    seeds: usize,
+    concurrency: usize,
+    requests: usize,
+}
+
+fn parse_args() -> Config {
+    let mut addr = None;
+    let mut seeds = 4usize;
+    let mut concurrency = 4usize;
+    let mut requests = 400usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--seeds" => match value("--seeds").parse() {
+                Ok(n) if n > 0 => seeds = n,
+                _ => usage(),
+            },
+            "--concurrency" => match value("--concurrency").parse() {
+                Ok(n) if n > 0 => concurrency = n,
+                _ => usage(),
+            },
+            "--requests" => match value("--requests").parse() {
+                Ok(n) if n > 0 => requests = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("error: --addr is required");
+        usage();
+    };
+    Config {
+        addr,
+        seeds,
+        concurrency,
+        requests,
+    }
+}
+
+/// One worker: owns its sessions and one connection, pulls from the
+/// shared request budget until it is exhausted.
+fn run_worker(
+    worker: usize,
+    config: &Config,
+    budget: &AtomicUsize,
+    errors: &AtomicU64,
+) -> Result<(), String> {
+    let stream = TcpStream::connect(&config.addr)
+        .map_err(|e| format!("worker {worker}: connect {} failed: {e}", config.addr))?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("worker {worker}: clone stream failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+
+    // Private instance ids per worker: no cross-worker contention on a
+    // single warm chain, so throughput scales with concurrency.
+    let mut sessions: Vec<Session> = (0..config.seeds)
+        .map(|i| {
+            let seed = 1 + (worker * config.seeds + i) as u64;
+            Session::new(SessionSpec {
+                id: format!("w{worker}s{i}"),
+                spec: "small".to_string(),
+                instance_seed: seed,
+                request_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
+                routed: false,
+            })
+        })
+        .collect();
+    let mut loaded = vec![false; sessions.len()];
+    let mut turn = 0usize;
+
+    while budget
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
+        .is_ok()
+    {
+        let idx = turn % sessions.len();
+        turn += 1;
+        let line = sessions[idx].next_line();
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| format!("worker {worker}: write failed: {e}"))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| format!("worker {worker}: read failed: {e}"))?;
+        if n == 0 {
+            return Err(format!("worker {worker}: server closed the connection"));
+        }
+        let doc = json::parse(response.trim_end())
+            .map_err(|e| format!("worker {worker}: non-JSON response ({e}): {response}"))?;
+        match doc.get("ok").and_then(json::Value::as_bool) {
+            Some(true) => {
+                if !loaded[idx] {
+                    loaded[idx] = true;
+                    let links = doc.get("links").and_then(json::Value::as_u64).unwrap_or(0);
+                    let traffics = doc
+                        .get("traffics")
+                        .and_then(json::Value::as_u64)
+                        .unwrap_or(0);
+                    sessions[idx].observe_load(links as usize, traffics as usize);
+                }
+            }
+            Some(false) => {
+                // Typed errors are a legal protocol outcome, but this
+                // generator only emits well-formed in-range requests, so
+                // any error points at a server bug — count and report.
+                errors.fetch_add(1, Ordering::Relaxed);
+                return Err(format!(
+                    "worker {worker}: server rejected a well-formed request: {line} -> {response}"
+                ));
+            }
+            None => {
+                return Err(format!(
+                    "worker {worker}: response without ok field: {response}"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let config = Arc::new(parse_args());
+    let budget = Arc::new(AtomicUsize::new(config.requests));
+    let errors = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let workers: Vec<_> = (0..config.concurrency)
+        .map(|w| {
+            let config = config.clone();
+            let budget = budget.clone();
+            let errors = errors.clone();
+            std::thread::spawn(move || run_worker(w, &config, &budget, &errors))
+        })
+        .collect();
+
+    let mut failed = false;
+    for w in workers {
+        match w.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => {
+                eprintln!("error: {msg}");
+                failed = true;
+            }
+            Err(_) => {
+                eprintln!("error: worker panicked");
+                failed = true;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let served = config.requests - budget.load(Ordering::SeqCst);
+    println!(
+        "popload: {served} requests, {} workers, {} sessions/worker, {elapsed:.3}s, {:.0} req/s",
+        config.concurrency,
+        config.seeds,
+        served as f64 / elapsed.max(1e-9)
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,71 @@
+//! The popmond daemon binary.
+//!
+//! ```text
+//! popmond [--addr HOST:PORT] [--threads N] [--max-instances N]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:7700`), prints one
+//! `listening on <addr>` line to stdout, and serves until a client sends
+//! `{"op":"shutdown"}`. `--threads` defaults to `POPMON_THREADS` or 4.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use popmond::{spawn, ServerConfig, Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: popmond [--addr HOST:PORT] [--threads N] [--max-instances N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut server_config = ServerConfig::from_env();
+    let mut service_config = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--threads" => match value("--threads").parse() {
+                Ok(n) if n > 0 => server_config.threads = n,
+                _ => usage(),
+            },
+            "--max-instances" => match value("--max-instances").parse() {
+                Ok(n) if n > 0 => service_config.max_instances = n,
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+
+    let service = Arc::new(Service::new(service_config));
+    let handle = match spawn(&addr, service.clone(), server_config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+
+    // Blocks until a client sends {"op":"shutdown"}; wait() joins the
+    // accept loop and every connection thread.
+    handle.wait();
+    println!(
+        "served {} requests across {} instances",
+        service.request_count(),
+        service.instance_count()
+    );
+    ExitCode::SUCCESS
+}

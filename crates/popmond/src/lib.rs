@@ -1,0 +1,26 @@
+//! popmond — a resident placement service over warm delta chains.
+//!
+//! The daemon keeps [`placement::DeltaInstance`]s alive between requests
+//! so what-if queries (link failures, demand scaling, flow churn) are
+//! answered by incremental dual-simplex repairs instead of cold solves.
+//! The wire protocol is line-delimited JSON over TCP — hand-rolled in
+//! [`json`] because the workspace is offline and vendors no network or
+//! serialization dependencies.
+//!
+//! The layering is deliberate: [`state::Service::handle_line`] is the
+//! single request entry point, and [`server`] is a thin TCP transport
+//! around it. Tests and benches drive `handle_line` directly, which is
+//! what makes the service-vs-batch differential harness byte-exact — the
+//! transport cannot introduce behavior of its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod state;
+pub mod workload;
+
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use state::{Reply, Service, ServiceConfig};

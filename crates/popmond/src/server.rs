@@ -1,0 +1,300 @@
+//! The TCP transport: a hand-rolled threaded line server around
+//! [`Service`].
+//!
+//! One thread per connection reads newline-delimited requests and writes
+//! one response line each; a counted semaphore caps how many requests are
+//! *processed* concurrently (`threads` permits — the knob the concurrency
+//! determinism tests sweep), independent of how many connections are
+//! open. Reads use short timeouts so every connection thread observes the
+//! stop flag and the whole server joins cleanly after `shutdown`.
+//!
+//! Oversized lines (> [`protocol::MAX_LINE`] bytes before a newline) are
+//! answered immediately with a typed `oversized_line` error, the rest of
+//! the line is drained, and the connection stays usable — a client bug
+//! never wedges the transport.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol;
+use crate::state::Service;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent request-processing permits (not a connection cap).
+    pub threads: usize,
+}
+
+impl ServerConfig {
+    /// Reads `POPMON_THREADS` (like the scenario engine), defaulting to 4.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("POPMON_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(4);
+        ServerConfig { threads }
+    }
+}
+
+/// A counted semaphore (the workspace has no external concurrency deps).
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut p = self.permits.lock().expect("semaphore poisoned");
+        while *p == 0 {
+            p = self.cv.wait(p).expect("semaphore poisoned");
+        }
+        *p -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("semaphore poisoned") += 1;
+        self.cv.notify_one();
+    }
+}
+
+/// A running server; dropping (or calling [`ServerHandle::shutdown`])
+/// stops it and joins every thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl ServerHandle {
+    /// The bound address (use for ephemeral-port servers).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process inspection in tests/benches).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Signals stop and joins the accept loop (which joins connections).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the server stops on its own — i.e. a client sends
+    /// `{"op":"shutdown"}` — then joins every thread.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serves
+/// `service` until a `shutdown` request or [`ServerHandle::shutdown`].
+pub fn spawn(
+    addr: &str,
+    service: Arc<Service>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let semaphore = Arc::new(Semaphore::new(config.threads.max(1)));
+
+    let accept_stop = stop.clone();
+    let accept_service = service.clone();
+    let accept_thread = std::thread::spawn(move || {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !accept_stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let service = accept_service.clone();
+                    let stop = accept_stop.clone();
+                    let semaphore = semaphore.clone();
+                    connections.push(std::thread::spawn(move || {
+                        serve_connection(stream, &service, &stop, &semaphore);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+            connections.retain(|c| !c.is_finished());
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+    });
+
+    Ok(ServerHandle {
+        addr: bound,
+        stop,
+        accept_thread: Some(accept_thread),
+        service,
+    })
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+    semaphore: &Semaphore,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_nodelay(true);
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 8192];
+    // When a line exceeds MAX_LINE we answer once, then drain to the
+    // next newline without buffering.
+    let mut draining = false;
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=nl).collect();
+            if draining {
+                draining = false;
+                continue;
+            }
+            let text = String::from_utf8_lossy(&line[..nl]);
+            let trimmed = text.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            semaphore.acquire();
+            let reply = service.handle_line(trimmed);
+            semaphore.release();
+            let mut out = reply.text.into_bytes();
+            out.push(b'\n');
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+            if reply.shutdown {
+                stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        if !draining && pending.len() > protocol::MAX_LINE {
+            let err = crate::protocol::Error::new(
+                "oversized_line",
+                format!("request exceeds the {} byte line limit", protocol::MAX_LINE),
+            );
+            let mut out = err.to_json().into_bytes();
+            out.push(b'\n');
+            if stream.write_all(&out).is_err() {
+                return;
+            }
+            pending.clear();
+            draining = true;
+        }
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => {
+                if draining {
+                    // Keep only what follows the terminating newline.
+                    if let Some(nl) = chunk[..n].iter().position(|&b| b == b'\n') {
+                        pending.extend_from_slice(&chunk[nl + 1..n]);
+                        draining = false;
+                    }
+                } else {
+                    pending.extend_from_slice(&chunk[..n]);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::ServiceConfig;
+    use std::io::{BufRead, BufReader};
+
+    fn start(threads: usize) -> (ServerHandle, SocketAddr) {
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let handle =
+            spawn("127.0.0.1:0", service, ServerConfig { threads }).expect("bind ephemeral port");
+        let addr = handle.addr();
+        (handle, addr)
+    }
+
+    fn connect(addr: SocketAddr) -> TcpStream {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+        stream.write_all(req.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let (handle, addr) = start(2);
+        let mut stream = connect(addr);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let r = roundtrip(
+            &mut stream,
+            &mut reader,
+            r#"{"op":"load_spec","id":"s","spec":"small","seed":1}"#,
+        );
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let r = roundtrip(&mut stream, &mut reader, r#"{"op":"stats"}"#);
+        assert!(r.contains("\"instances\":1"), "{r}");
+        let r = roundtrip(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
+        assert!(r.contains("\"op\":\"shutdown\""), "{r}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn empty_lines_are_skipped_and_connection_survives_errors() {
+        let (handle, addr) = start(1);
+        let mut stream = connect(addr);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(b"\n  \n").unwrap();
+        let r = roundtrip(&mut stream, &mut reader, "not json at all");
+        assert!(r.contains("\"code\":\"parse\""), "{r}");
+        let r = roundtrip(&mut stream, &mut reader, r#"{"op":"list"}"#);
+        assert!(r.contains("\"instances\":[]"), "{r}");
+        handle.shutdown();
+    }
+}

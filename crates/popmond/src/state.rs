@@ -1,0 +1,963 @@
+//! The resident service: sharded instance cache, warm delta chains, and
+//! per-instance solve coalescing.
+//!
+//! [`Service`] is the whole daemon behind one thread-safe entry point,
+//! [`Service::handle_line`]: the TCP layer ([`crate::server`]) is a thin
+//! transport around it, and the differential test harness drives the same
+//! entry point directly — so "service response" and "batch replay
+//! response" are produced by the same code over *different solver state*
+//! (a long-lived warm chain vs a freshly built one), which is exactly the
+//! equivalence under test.
+//!
+//! ## Cache layout
+//!
+//! Instances live in a 16-way sharded `id → Arc<Slot>` map (hash-sharded
+//! like `engine::Memo`, first insert wins). Each slot holds the immutable
+//! topology plus a mutex-guarded [`SlotState`]: the instance's
+//! [`DeltaInstance`] warm chain, a version counter bumped by every
+//! mutation, and a per-version solve memo. A solve locks the slot, so
+//! identical concurrent queries serialize onto one solver run: the first
+//! computes and stores, the rest hit the memo — that is the coalescing
+//! contract, and it is deterministic because the memo key covers the full
+//! canonical query and the instance version.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use engine::Memo;
+use placement::active::{compute_probes, place_beacons_greedy, place_beacons_ilp};
+use placement::delta::DeltaInstance;
+use placement::instance::PpmInstance;
+use placement::passive::{greedy_static, ExactOptions, PpmSolution};
+use popgen::{fileio, FamilySpec, GravitySpec, Pop, PopSpec, TrafficSet, TrafficSpec};
+
+use crate::json::Value;
+use crate::protocol::{self, Error, Method, Mode, Page, Request, SolveQuery, WhatIf};
+
+/// Number of instance-cache shards (mirrors `engine::Memo`).
+const SHARDS: usize = 16;
+
+/// FNV-1a over a version prefix plus a text key — the solve-memo key.
+fn fnv64(version: u64, text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in version.to_le_bytes().into_iter().chain(text.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn shard_of(id: &str) -> usize {
+    (fnv64(0, id) % SHARDS as u64) as usize
+}
+
+/// Immutable facts about a loaded instance.
+struct SlotMeta {
+    pop: Pop,
+    routed: bool,
+    /// Where the instance came from (`"document"` or the spec line).
+    origin: String,
+}
+
+/// The mutable half of a slot, guarded by one mutex: the warm chain and
+/// its coalescing memo.
+struct SlotState {
+    delta: DeltaInstance,
+    /// Bumped by every mutation; part of every solve-memo key.
+    version: u64,
+    mutations: u64,
+    /// Solver invocations actually performed.
+    solves: u64,
+    /// Responses served from the per-version memo instead of a solve.
+    coalesced: u64,
+    /// Per-version solve cache; replaced on every mutation.
+    memo: Memo,
+    /// Active-monitoring cache: the router topology never mutates, so
+    /// this one survives version bumps.
+    apm_memo: Memo,
+}
+
+struct Slot {
+    meta: SlotMeta,
+    state: Mutex<SlotState>,
+}
+
+/// The outcome of one solver run, cached for coalescing and paged at
+/// response-format time.
+enum SolveOutcome {
+    /// The coverage target is unreachable on the current instance.
+    Unreachable,
+    /// A passive (tap) placement.
+    Ppm {
+        edges: Vec<usize>,
+        coverage: f64,
+        total_volume: f64,
+        proven: bool,
+    },
+    /// An active (beacon) placement on the router subgraph.
+    Apm {
+        beacons: Vec<usize>,
+        probes: usize,
+        covered_links: usize,
+        router_links: usize,
+        proven: bool,
+    },
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Hard cap on resident instances; loads beyond it get `cache_full`.
+    pub max_instances: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { max_instances: 256 }
+    }
+}
+
+/// One response line plus the shutdown signal.
+pub struct Reply {
+    /// The JSON response, newline excluded.
+    pub text: String,
+    /// `true` after a `shutdown` request: the transport should stop.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    fn ok(text: String) -> Self {
+        Reply {
+            text,
+            shutdown: false,
+        }
+    }
+}
+
+/// The resident placement service (see the module docs).
+pub struct Service {
+    shards: [Mutex<HashMap<String, Arc<Slot>>>; SHARDS],
+    config: ServiceConfig,
+    requests: AtomicU64,
+}
+
+impl Service {
+    /// Creates an empty service.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            config,
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Handles one request line and produces one response line. Never
+    /// panics on untrusted input: malformed requests become typed errors,
+    /// and validation happens before any state is touched.
+    pub fn handle_line(&self, line: &str) -> Reply {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if line.len() > protocol::MAX_LINE {
+            return Reply::ok(
+                Error::new(
+                    "oversized_line",
+                    format!(
+                        "request of {} bytes exceeds the {} byte limit",
+                        line.len(),
+                        protocol::MAX_LINE
+                    ),
+                )
+                .to_json(),
+            );
+        }
+        let request = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(e) => return Reply::ok(e.to_json()),
+        };
+        match request {
+            Request::Load { id, doc, routed } => Reply::ok(self.load_document(id, &doc, routed)),
+            Request::LoadSpec {
+                id,
+                spec,
+                seed,
+                routed,
+            } => Reply::ok(self.load_spec(id, &spec, seed, routed)),
+            Request::Solve { id, query, page } => Reply::ok(self.solve(&id, &query, page)),
+            Request::WhatIf {
+                id,
+                action,
+                resolve,
+                page,
+            } => Reply::ok(self.whatif(&id, &action, resolve.as_ref(), page)),
+            Request::Inspect { id } => Reply::ok(self.inspect(&id)),
+            Request::List => Reply::ok(self.list()),
+            Request::Stats => Reply::ok(self.stats()),
+            Request::Evict { id } => Reply::ok(self.evict(&id)),
+            Request::Shutdown => Reply {
+                text: Value::Obj(vec![
+                    ("ok".into(), Value::Bool(true)),
+                    ("op".into(), Value::Str("shutdown".into())),
+                ])
+                .to_json(),
+                shutdown: true,
+            },
+        }
+    }
+
+    /// Total requests handled (all connections).
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of resident instances.
+    pub fn instance_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    // ---- loads ----------------------------------------------------------
+
+    fn load_document(&self, id: String, doc: &str, routed: bool) -> String {
+        let (pop, ts) = match fileio::parse(doc) {
+            Ok(x) => x,
+            Err(e) => return Error::new("bad_document", e.to_string()).to_json(),
+        };
+        self.insert(id, pop, ts, routed, "document".to_string())
+    }
+
+    fn load_spec(&self, id: String, spec: &str, seed: u64, routed: bool) -> String {
+        let preset = |s: PopSpec| {
+            let pop = s.build();
+            let ts = TrafficSpec::default().generate(&pop, seed);
+            (pop, ts)
+        };
+        let (pop, ts) = match spec {
+            "small" => preset(PopSpec::small()),
+            "paper_10" => preset(PopSpec::paper_10()),
+            "paper_15" => preset(PopSpec::paper_15()),
+            "paper_29" => preset(PopSpec::paper_29()),
+            "paper_80" => preset(PopSpec::paper_80()),
+            "scale_20" => preset(PopSpec::scale_20()),
+            "scale_25" => preset(PopSpec::scale_25()),
+            "scale_50" => preset(PopSpec::scale_50()),
+            "scale_100" => preset(PopSpec::scale_100()),
+            "large_150" => preset(PopSpec::large_150()),
+            line => {
+                let family: FamilySpec = match line.parse() {
+                    Ok(f) => f,
+                    Err(e) => return Error::new("bad_spec", e.to_string()).to_json(),
+                };
+                let pop = match family.build(seed) {
+                    Ok(p) => p,
+                    Err(e) => return Error::new("bad_spec", e.to_string()).to_json(),
+                };
+                let ts = GravitySpec::default().generate(&pop, seed);
+                (pop, ts)
+            }
+        };
+        self.insert(id, pop, ts, routed, spec.to_string())
+    }
+
+    /// First-insert-wins slot creation (like `engine::Memo`): the instance
+    /// is built outside the shard lock, and a concurrent load of the same
+    /// id keeps whichever slot landed first — both callers get a response
+    /// describing the stored slot.
+    fn insert(&self, id: String, pop: Pop, ts: TrafficSet, routed: bool, origin: String) -> String {
+        let delta = if routed {
+            DeltaInstance::from_traffic(&pop.graph, &ts)
+        } else {
+            DeltaInstance::from_instance(&PpmInstance::from_traffic(&pop.graph, &ts))
+        };
+        let slot = Arc::new(Slot {
+            meta: SlotMeta {
+                pop,
+                routed,
+                origin,
+            },
+            state: Mutex::new(SlotState {
+                delta,
+                version: 0,
+                mutations: 0,
+                solves: 0,
+                coalesced: 0,
+                memo: Memo::new(),
+                apm_memo: Memo::new(),
+            }),
+        });
+        // Count before taking the shard lock (instance_count locks every
+        // shard in turn). The cap is a soft guard against unbounded
+        // resident instances; a racing load may land one slot over.
+        let count = self.instance_count();
+        let (stored, created) = {
+            let mut shard = self.shards[shard_of(&id)].lock().expect("shard poisoned");
+            match shard.get(&id) {
+                Some(existing) => (existing.clone(), false),
+                None => {
+                    if count >= self.config.max_instances {
+                        return Error::new(
+                            "cache_full",
+                            format!(
+                                "instance cache holds {count} of {} slots",
+                                self.config.max_instances
+                            ),
+                        )
+                        .to_json();
+                    }
+                    shard.insert(id.clone(), slot.clone());
+                    (slot, true)
+                }
+            }
+        };
+        let state = stored.state.lock().expect("slot poisoned");
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("load".into())),
+            ("id".into(), Value::Str(id)),
+            ("created".into(), Value::Bool(created)),
+            ("routed".into(), Value::Bool(stored.meta.routed)),
+            (
+                "links".into(),
+                Value::Num(stored.meta.pop.graph.edge_count() as f64),
+            ),
+            (
+                "routers".into(),
+                Value::Num(stored.meta.pop.routers().len() as f64),
+            ),
+            (
+                "traffics".into(),
+                Value::Num(state.delta.traffic_count() as f64),
+            ),
+            ("version".into(), Value::Num(state.version as f64)),
+        ])
+        .to_json()
+    }
+
+    fn get(&self, id: &str) -> Result<Arc<Slot>, Error> {
+        self.shards[shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .get(id)
+            .cloned()
+            .ok_or_else(|| Error::new("no_such_instance", format!("no instance {id:?}")))
+    }
+
+    // ---- solves ---------------------------------------------------------
+
+    fn solve(&self, id: &str, query: &SolveQuery, page: Page) -> String {
+        let slot = match self.get(id) {
+            Ok(s) => s,
+            Err(e) => return e.to_json(),
+        };
+        let mut state = slot.state.lock().expect("slot poisoned");
+        let outcome = run_solve(&slot.meta, &mut state, query);
+        let mut fields = vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("solve".into())),
+            ("id".into(), Value::Str(id.to_string())),
+        ];
+        fields.extend(solve_fields(&state, query, &outcome, page));
+        Value::Obj(fields).to_json()
+    }
+
+    fn whatif(
+        &self,
+        id: &str,
+        action: &WhatIf,
+        resolve: Option<&SolveQuery>,
+        page: Page,
+    ) -> String {
+        let slot = match self.get(id) {
+            Ok(s) => s,
+            Err(e) => return e.to_json(),
+        };
+        let mut state = slot.state.lock().expect("slot poisoned");
+        // Validate ranges against the live instance *before* mutating, so
+        // a rejected request cannot poison the chain.
+        let num_edges = state.delta.num_edges();
+        let check_link = |e: usize| -> Result<(), Error> {
+            if e < num_edges {
+                Ok(())
+            } else {
+                Err(Error::new(
+                    "bad_index",
+                    format!("link {e} out of range (instance has {num_edges} links)"),
+                ))
+            }
+        };
+        let check_traffic = |t: usize, count: usize| -> Result<(), Error> {
+            if t < count {
+                Ok(())
+            } else {
+                Err(Error::new(
+                    "bad_index",
+                    format!("traffic {t} out of range (instance has {count} traffics)"),
+                ))
+            }
+        };
+        let checked: Result<(), Error> = match action {
+            WhatIf::FailLink(e) | WhatIf::RestoreLink(e) => check_link(*e),
+            WhatIf::ScaleDemand { t, .. } | WhatIf::RemoveFlow(t) => {
+                check_traffic(*t, state.delta.traffic_count())
+            }
+            WhatIf::AddFlow { support, .. } => support.iter().try_for_each(|&e| check_link(e)),
+            WhatIf::SetInstalled(installed) => installed.iter().try_for_each(|&e| check_link(e)),
+        };
+        if let Err(e) = checked {
+            return e.to_json();
+        }
+        let (name, rerouted) = match action {
+            WhatIf::FailLink(e) => ("fail_link", state.delta.fail_link(*e)),
+            WhatIf::RestoreLink(e) => ("restore_link", state.delta.restore_link(*e)),
+            WhatIf::ScaleDemand { t, factor } => {
+                state.delta.scale_demand(*t, *factor);
+                ("scale_demand", 0)
+            }
+            WhatIf::AddFlow { volume, support } => {
+                state.delta.add_flow(*volume, support.clone());
+                ("add_flow", 0)
+            }
+            WhatIf::RemoveFlow(t) => {
+                state.delta.remove_flow(*t);
+                ("remove_flow", 0)
+            }
+            WhatIf::SetInstalled(installed) => {
+                state.delta.set_installed(installed);
+                ("set_installed", 0)
+            }
+        };
+        state.version += 1;
+        state.mutations += 1;
+        state.memo = Memo::new();
+        let mut fields = vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("whatif".into())),
+            ("id".into(), Value::Str(id.to_string())),
+            ("action".into(), Value::Str(name.into())),
+            ("version".into(), Value::Num(state.version as f64)),
+            ("rerouted".into(), Value::Num(rerouted as f64)),
+            (
+                "traffics".into(),
+                Value::Num(state.delta.traffic_count() as f64),
+            ),
+        ];
+        if let Some(query) = resolve {
+            let outcome = run_solve(&slot.meta, &mut state, query);
+            fields.push((
+                "resolve".into(),
+                Value::Obj(solve_fields(&state, query, &outcome, page)),
+            ));
+        }
+        Value::Obj(fields).to_json()
+    }
+
+    // ---- introspection --------------------------------------------------
+
+    fn inspect(&self, id: &str) -> String {
+        let slot = match self.get(id) {
+            Ok(s) => s,
+            Err(e) => return e.to_json(),
+        };
+        let state = slot.state.lock().expect("slot poisoned");
+        let inst = state.delta.instance();
+        let pop = &slot.meta.pop;
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("inspect".into())),
+            ("id".into(), Value::Str(id.to_string())),
+            ("origin".into(), Value::Str(slot.meta.origin.clone())),
+            ("routed".into(), Value::Bool(slot.meta.routed)),
+            ("routers".into(), Value::Num(pop.routers().len() as f64)),
+            ("endpoints".into(), Value::Num(pop.endpoints.len() as f64)),
+            ("links".into(), Value::Num(pop.graph.edge_count() as f64)),
+            ("traffics".into(), Value::Num(inst.traffics.len() as f64)),
+            ("total_volume".into(), Value::Num(inst.total_volume())),
+            (
+                "max_coverage_fraction".into(),
+                Value::Num(inst.max_coverage_fraction()),
+            ),
+            ("version".into(), Value::Num(state.version as f64)),
+            ("mutations".into(), Value::Num(state.mutations as f64)),
+            ("solves".into(), Value::Num(state.solves as f64)),
+            ("coalesced".into(), Value::Num(state.coalesced as f64)),
+            (
+                "installed".into(),
+                Value::Arr(
+                    state
+                        .delta
+                        .installed()
+                        .iter()
+                        .map(|&e| Value::Num(e as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "disabled".into(),
+                Value::Arr(
+                    state
+                        .delta
+                        .disabled()
+                        .iter()
+                        .map(|&e| Value::Num(e as f64))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+
+    fn list(&self) -> String {
+        let mut rows: Vec<(String, Arc<Slot>)> = Vec::new();
+        for shard in &self.shards {
+            for (id, slot) in shard.lock().expect("shard poisoned").iter() {
+                rows.push((id.clone(), slot.clone()));
+            }
+        }
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let instances: Vec<Value> = rows
+            .into_iter()
+            .map(|(id, slot)| {
+                let state = slot.state.lock().expect("slot poisoned");
+                Value::Obj(vec![
+                    ("id".into(), Value::Str(id)),
+                    ("routed".into(), Value::Bool(slot.meta.routed)),
+                    (
+                        "links".into(),
+                        Value::Num(slot.meta.pop.graph.edge_count() as f64),
+                    ),
+                    (
+                        "traffics".into(),
+                        Value::Num(state.delta.traffic_count() as f64),
+                    ),
+                    ("version".into(), Value::Num(state.version as f64)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("list".into())),
+            ("instances".into(), Value::Arr(instances)),
+        ])
+        .to_json()
+    }
+
+    fn stats(&self) -> String {
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("stats".into())),
+            ("instances".into(), Value::Num(self.instance_count() as f64)),
+            ("requests".into(), Value::Num(self.request_count() as f64)),
+        ])
+        .to_json()
+    }
+
+    fn evict(&self, id: &str) -> String {
+        let existed = self.shards[shard_of(id)]
+            .lock()
+            .expect("shard poisoned")
+            .remove(id)
+            .is_some();
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("evict".into())),
+            ("id".into(), Value::Str(id.to_string())),
+            ("existed".into(), Value::Bool(existed)),
+        ])
+        .to_json()
+    }
+}
+
+/// Runs (or coalesces) one solve under the slot lock. The memo key covers
+/// the canonical query and the instance version, so a repeat of a query
+/// already answered at this version returns the stored outcome — the
+/// coalescing path — and a mutation (version bump) naturally misses.
+fn run_solve(meta: &SlotMeta, state: &mut SlotState, query: &SolveQuery) -> Arc<SolveOutcome> {
+    let key_text = protocol::query_key(query);
+    let (domain, key) = match query.mode {
+        Mode::Ppm => ("solve", fnv64(state.version, &key_text)),
+        // The router topology never mutates, so APM answers survive
+        // version bumps in their own memo.
+        Mode::Apm => ("apm", fnv64(0, &key_text)),
+    };
+    let memo = match query.mode {
+        Mode::Ppm => &state.memo,
+        Mode::Apm => &state.apm_memo,
+    };
+    if let Some(hit) = memo.get::<SolveOutcome>(domain, key) {
+        state.coalesced += 1;
+        return hit;
+    }
+    state.solves += 1;
+    let outcome = match query.mode {
+        Mode::Ppm => solve_ppm(state, query),
+        Mode::Apm => solve_apm(meta, query),
+    };
+    let memo = match query.mode {
+        Mode::Ppm => &state.memo,
+        Mode::Apm => &state.apm_memo,
+    };
+    memo.get_or_compute(domain, key, || outcome)
+}
+
+fn solve_ppm(state: &mut SlotState, query: &SolveQuery) -> SolveOutcome {
+    match query.method {
+        Method::Exact => {
+            let opts = ExactOptions {
+                max_nodes: query.max_nodes,
+                ..Default::default()
+            };
+            match state.delta.solve_exact(query.k, &opts) {
+                Some(sol) => SolveOutcome::Ppm {
+                    edges: sol.edges.clone(),
+                    coverage: sol.coverage,
+                    total_volume: sol.total_volume,
+                    proven: sol.proven_optimal,
+                },
+                None => SolveOutcome::Unreachable,
+            }
+        }
+        Method::Greedy => {
+            let inst = state.delta.instance();
+            match greedy_constrained(
+                &inst,
+                state.delta.installed(),
+                state.delta.disabled(),
+                query.k,
+            ) {
+                Some(sol) => SolveOutcome::Ppm {
+                    edges: sol.edges.clone(),
+                    coverage: sol.coverage,
+                    total_volume: sol.total_volume,
+                    proven: false,
+                },
+                None => SolveOutcome::Unreachable,
+            }
+        }
+    }
+}
+
+/// The paper's decreasing-load greedy, lifted to the service's constraint
+/// set: pre-installed devices contribute their coverage for free (dead
+/// ones on failed links do not — failure beats installation, matching
+/// `DeltaInstance::solve_exact`), failed links can never host a device,
+/// and the greedy covers the residual target on the masked instance.
+fn greedy_constrained(
+    inst: &PpmInstance,
+    installed: &[usize],
+    disabled: &[usize],
+    k: f64,
+) -> Option<PpmSolution> {
+    if installed.is_empty() && disabled.is_empty() {
+        return greedy_static(inst, k);
+    }
+    let live: Vec<usize> = installed
+        .iter()
+        .copied()
+        .filter(|e| disabled.binary_search(e).is_err())
+        .collect();
+    let target = k * inst.total_volume();
+    let base = inst.coverage(&live);
+    if base + 1e-9 >= target {
+        return Some(PpmSolution::from_edges(inst, live, false));
+    }
+    // Residual instance: traffics already covered by the live installed
+    // set drop out; the rest lose their failed links (a support that
+    // empties becomes uncoverable, as in routed failures).
+    let residual: Vec<(f64, Vec<usize>)> = inst
+        .traffics
+        .iter()
+        .filter(|(_, s)| !s.iter().any(|e| live.binary_search(e).is_ok()))
+        .map(|(v, s)| {
+            (
+                *v,
+                s.iter()
+                    .copied()
+                    .filter(|e| disabled.binary_search(e).is_err())
+                    .collect(),
+            )
+        })
+        .collect();
+    let masked = PpmInstance::new(inst.num_edges, residual);
+    let sub_total = masked.total_volume();
+    if sub_total <= 0.0 {
+        return None;
+    }
+    let k_residual = ((target - base) / sub_total).min(1.0);
+    let picked = greedy_static(&masked, k_residual)?;
+    let mut edges = live;
+    edges.extend(&picked.edges);
+    edges.sort_unstable();
+    edges.dedup();
+    Some(PpmSolution::from_edges(inst, edges, false))
+}
+
+fn solve_apm(meta: &SlotMeta, query: &SolveQuery) -> SolveOutcome {
+    let (graph, _) = meta.pop.router_subgraph();
+    let candidates: Vec<_> = graph.nodes().collect();
+    let probes = compute_probes(&graph, &candidates);
+    let placement = match query.method {
+        Method::Greedy => place_beacons_greedy(&probes, &candidates),
+        Method::Exact => place_beacons_ilp(&graph, &probes, &candidates),
+    };
+    SolveOutcome::Apm {
+        beacons: placement.beacons.iter().map(|b| b.index()).collect(),
+        probes: probes.len(),
+        covered_links: probes.covered.iter().filter(|&&c| c).count(),
+        router_links: graph.edge_count(),
+        proven: placement.proven_optimal,
+    }
+}
+
+/// Formats a solve outcome into response fields, applying pagination to
+/// the placement list (the full outcome stays cached; only the view is
+/// windowed).
+fn solve_fields(
+    state: &SlotState,
+    query: &SolveQuery,
+    outcome: &SolveOutcome,
+    page: Page,
+) -> Vec<(String, Value)> {
+    let mut fields = vec![
+        (
+            "mode".into(),
+            Value::Str(
+                match query.mode {
+                    Mode::Ppm => "ppm",
+                    Mode::Apm => "apm",
+                }
+                .into(),
+            ),
+        ),
+        (
+            "method".into(),
+            Value::Str(
+                match query.method {
+                    Method::Greedy => "greedy",
+                    Method::Exact => "exact",
+                }
+                .into(),
+            ),
+        ),
+        ("version".into(), Value::Num(state.version as f64)),
+    ];
+    if query.mode == Mode::Ppm {
+        fields.push(("k".into(), Value::Num(query.k)));
+    }
+    let paged = |items: &[usize]| -> (Value, Value, Value, Value) {
+        let pages = items.len().div_ceil(page.page_size).max(1);
+        let start = page.page.saturating_mul(page.page_size).min(items.len());
+        let end = (start + page.page_size).min(items.len());
+        (
+            Value::Num(items.len() as f64),
+            Value::Num(page.page as f64),
+            Value::Num(pages as f64),
+            Value::Arr(
+                items[start..end]
+                    .iter()
+                    .map(|&e| Value::Num(e as f64))
+                    .collect(),
+            ),
+        )
+    };
+    match outcome {
+        SolveOutcome::Unreachable => {
+            fields.push(("feasible".into(), Value::Bool(false)));
+        }
+        SolveOutcome::Ppm {
+            edges,
+            coverage,
+            total_volume,
+            proven,
+        } => {
+            let (count, pg, pages, placement) = paged(edges);
+            fields.push(("feasible".into(), Value::Bool(true)));
+            fields.push(("devices".into(), count));
+            fields.push(("page".into(), pg));
+            fields.push(("pages".into(), pages));
+            fields.push(("placement".into(), placement));
+            fields.push(("coverage".into(), Value::Num(*coverage)));
+            fields.push(("total_volume".into(), Value::Num(*total_volume)));
+            fields.push(("proven_optimal".into(), Value::Bool(*proven)));
+        }
+        SolveOutcome::Apm {
+            beacons,
+            probes,
+            covered_links,
+            router_links,
+            proven,
+        } => {
+            let (count, pg, pages, placement) = paged(beacons);
+            fields.push(("feasible".into(), Value::Bool(true)));
+            fields.push(("beacons".into(), count));
+            fields.push(("page".into(), pg));
+            fields.push(("pages".into(), pages));
+            fields.push(("placement".into(), placement));
+            fields.push(("probes".into(), Value::Num(*probes as f64)));
+            fields.push(("covered_links".into(), Value::Num(*covered_links as f64)));
+            fields.push(("router_links".into(), Value::Num(*router_links as f64)));
+            fields.push(("proven_optimal".into(), Value::Bool(*proven)));
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig::default())
+    }
+
+    fn line(s: &Service, req: &str) -> Value {
+        let reply = s.handle_line(req);
+        crate::json::parse(&reply.text).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn load_solve_and_coalesce() {
+        let s = service();
+        let r = line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":1}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("created").unwrap().as_bool(), Some(true));
+
+        let a = s.handle_line(r#"{"op":"solve","id":"a","k":0.8}"#).text;
+        let b = s.handle_line(r#"{"op":"solve","id":"a","k":0.8}"#).text;
+        assert_eq!(a, b, "repeat query must coalesce onto the same bytes");
+        let ins = line(&s, r#"{"op":"inspect","id":"a"}"#);
+        assert_eq!(ins.get("solves").unwrap().as_f64(), Some(1.0));
+        assert_eq!(ins.get("coalesced").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn whatif_bumps_version_and_resolves() {
+        let s = service();
+        line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":1}"#);
+        let r = line(
+            &s,
+            r#"{"op":"whatif","id":"a","action":"fail_link","link":0,"resolve":{"k":0.7}}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("version").unwrap().as_f64(), Some(1.0));
+        let resolve = r.get("resolve").unwrap();
+        assert_eq!(resolve.get("version").unwrap().as_f64(), Some(1.0));
+        // The failed link never hosts a device.
+        if resolve.get("feasible").unwrap().as_bool() == Some(true) {
+            let placement = resolve.get("placement").unwrap().as_arr().unwrap();
+            assert!(placement.iter().all(|v| v.as_f64() != Some(0.0)));
+        }
+    }
+
+    #[test]
+    fn typed_errors_leave_state_untouched() {
+        let s = service();
+        line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":1}"#);
+        let before = s.handle_line(r#"{"op":"inspect","id":"a"}"#).text;
+        for (req, code) in [
+            (r#"{"op":"solve","id":"nope","k":0.5}"#, "no_such_instance"),
+            (
+                r#"{"op":"whatif","id":"a","action":"fail_link","link":9999}"#,
+                "bad_index",
+            ),
+            (
+                r#"{"op":"whatif","id":"a","action":"remove_flow","traffic":9999}"#,
+                "bad_index",
+            ),
+            (
+                r#"{"op":"load_spec","id":"b","spec":"nonsense family"}"#,
+                "bad_spec",
+            ),
+            (r#"{"op":"load","id":"c","doc":"garbage"}"#, "bad_document"),
+        ] {
+            let r = line(&s, req);
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(false), "{req}");
+            assert_eq!(
+                r.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(code),
+                "{req}"
+            );
+        }
+        let after = s.handle_line(r#"{"op":"inspect","id":"a"}"#).text;
+        assert_eq!(before, after, "failed requests must not mutate the slot");
+    }
+
+    #[test]
+    fn greedy_constrained_respects_failures_and_installed() {
+        let s = service();
+        line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":3}"#);
+        line(
+            &s,
+            r#"{"op":"whatif","id":"a","action":"fail_link","link":2}"#,
+        );
+        line(
+            &s,
+            r#"{"op":"whatif","id":"a","action":"set_installed","installed":[1]}"#,
+        );
+        let r = line(&s, r#"{"op":"solve","id":"a","method":"greedy","k":0.6}"#);
+        if r.get("feasible").unwrap().as_bool() == Some(true) {
+            let placement = r.get("placement").unwrap().as_arr().unwrap();
+            assert!(
+                placement.iter().all(|v| v.as_f64() != Some(2.0)),
+                "greedy must not place on the failed link"
+            );
+            assert!(
+                placement.iter().any(|v| v.as_f64() == Some(1.0)),
+                "greedy must keep the installed device"
+            );
+        }
+    }
+
+    #[test]
+    fn pagination_windows_the_placement() {
+        let s = service();
+        line(
+            &s,
+            r#"{"op":"load_spec","id":"a","spec":"paper_10","seed":1}"#,
+        );
+        let full = line(&s, r#"{"op":"solve","id":"a","k":1.0}"#);
+        let n = full.get("devices").unwrap().as_u64().unwrap() as usize;
+        assert!(n >= 2, "paper_10 at k=1 needs several devices, got {n}");
+        let mut seen = Vec::new();
+        let mut page = 0;
+        loop {
+            let r = line(
+                &s,
+                &format!(r#"{{"op":"solve","id":"a","k":1.0,"page":{page},"page_size":1}}"#),
+            );
+            assert_eq!(r.get("pages").unwrap().as_u64(), Some(n as u64));
+            let items = r.get("placement").unwrap().as_arr().unwrap().to_vec();
+            if page >= n {
+                assert!(items.is_empty());
+                break;
+            }
+            assert_eq!(items.len(), 1);
+            seen.push(items[0].as_u64().unwrap() as usize);
+            page += 1;
+        }
+        let all: Vec<usize> = full
+            .get("placement")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap() as usize)
+            .collect();
+        assert_eq!(seen, all, "page walk must reconstruct the full placement");
+    }
+
+    #[test]
+    fn evict_and_cache_cap() {
+        let s = Service::new(ServiceConfig { max_instances: 1 });
+        line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":1}"#);
+        let r = line(&s, r#"{"op":"load_spec","id":"b","spec":"small","seed":1}"#);
+        assert_eq!(
+            r.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("cache_full")
+        );
+        let r = line(&s, r#"{"op":"evict","id":"a"}"#);
+        assert_eq!(r.get("existed").unwrap().as_bool(), Some(true));
+        let r = line(&s, r#"{"op":"load_spec","id":"b","spec":"small","seed":1}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,264 @@
+//! Seeded workload generation for the load generator and the
+//! differential tests.
+//!
+//! A [`Session`] deterministically emits a stream of request lines
+//! (solve / what-if mutations / inspect) for one instance id. The
+//! generator tracks enough state (traffic count, disabled links) to keep
+//! every generated request in-range, so a seeded session replayed against
+//! two servers produces the identical transcript — the property the
+//! service-vs-batch and concurrency tests assert.
+
+use crate::protocol::MAX_MAX_NODES;
+
+/// xorshift64* — the same tiny PRNG family the popgen generators use.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeds the generator (zero is remapped to a fixed odd constant).
+    pub fn new(seed: u64) -> Self {
+        Rng(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n` (n must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The shape of one generated session.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Instance id the session operates on.
+    pub id: String,
+    /// Generator preset loaded at session start (e.g. `"small"`).
+    pub spec: String,
+    /// Seed for the instance generator.
+    pub instance_seed: u64,
+    /// Seed for the request stream.
+    pub request_seed: u64,
+    /// Whether the instance tracks routes (routed link failures reroute).
+    pub routed: bool,
+}
+
+/// Deterministic request-line generator for one session.
+#[derive(Debug, Clone)]
+pub struct Session {
+    spec: SessionSpec,
+    rng: Rng,
+    emitted_load: bool,
+    traffics: usize,
+    links: usize,
+    disabled: Vec<usize>,
+    added: u64,
+}
+
+impl Session {
+    /// Creates a session; `links`/`traffics` must match the instance the
+    /// `spec` preset generates (the caller learns them from the load
+    /// response, or passes conservative values — all generated indices
+    /// stay below these bounds).
+    pub fn new(spec: SessionSpec) -> Self {
+        let rng = Rng::new(spec.request_seed);
+        Session {
+            spec,
+            rng,
+            emitted_load: false,
+            traffics: 0,
+            links: 0,
+            disabled: Vec::new(),
+            added: 0,
+        }
+    }
+
+    /// The session's instance id.
+    pub fn id(&self) -> &str {
+        &self.spec.id
+    }
+
+    /// Records the instance dimensions from the `load` response so later
+    /// requests stay in-range. Must be called once after the first line.
+    pub fn observe_load(&mut self, links: usize, traffics: usize) {
+        self.links = links;
+        self.traffics = traffics;
+    }
+
+    /// Emits the next request line. The first line is always the
+    /// `load_spec`; afterwards the mix is roughly 45% solve, 45% what-if
+    /// (with an embedded re-solve half the time), 10% inspect.
+    pub fn next_line(&mut self) -> String {
+        if !self.emitted_load {
+            self.emitted_load = true;
+            return format!(
+                r#"{{"op":"load_spec","id":"{}","spec":"{}","seed":{},"routed":{}}}"#,
+                self.spec.id, self.spec.spec, self.spec.instance_seed, self.spec.routed
+            );
+        }
+        let roll = self.rng.below(20);
+        if roll < 9 {
+            self.solve_line()
+        } else if roll < 18 {
+            self.whatif_line()
+        } else {
+            format!(r#"{{"op":"inspect","id":"{}"}}"#, self.spec.id)
+        }
+    }
+
+    /// Query fields, flat — solves embed them on the request object,
+    /// what-ifs wrap them in a `"resolve"` object.
+    fn solve_query(&mut self) -> String {
+        // Quantized k keeps cache keys repeatable across sessions.
+        let k = 0.5 + 0.1 * self.rng.below(6) as f64;
+        let method = if self.rng.below(4) == 0 {
+            "greedy"
+        } else {
+            "exact"
+        };
+        format!(r#""mode":"ppm","method":"{method}","k":{k},"max_nodes":{MAX_MAX_NODES}"#)
+    }
+
+    fn solve_line(&mut self) -> String {
+        let q = self.solve_query();
+        format!(r#"{{"op":"solve","id":"{}",{q}}}"#, self.spec.id)
+    }
+
+    fn whatif_line(&mut self) -> String {
+        let id = self.spec.id.clone();
+        let resolve = if self.rng.below(2) == 0 {
+            let q = self.solve_query();
+            format!(r#","resolve":{{{q}}}"#)
+        } else {
+            String::new()
+        };
+        // Pick an action that is currently legal.
+        let action = loop {
+            match self.rng.below(6) {
+                0 if self.links > 1 && self.disabled.len() < self.links / 2 => {
+                    let e = self.rng.below(self.links);
+                    if !self.disabled.contains(&e) {
+                        self.disabled.push(e);
+                        break format!(r#""action":"fail_link","link":{e}"#);
+                    }
+                }
+                1 if !self.disabled.is_empty() => {
+                    let i = self.rng.below(self.disabled.len());
+                    let e = self.disabled.swap_remove(i);
+                    break format!(r#""action":"restore_link","link":{e}"#);
+                }
+                2 if self.traffics > 0 => {
+                    let t = self.rng.below(self.traffics);
+                    let factor = 0.5 + 0.125 * self.rng.below(13) as f64;
+                    break format!(r#""action":"scale_demand","traffic":{t},"factor":{factor}"#);
+                }
+                3 if self.links > 0 => {
+                    self.added += 1;
+                    let volume = 1.0 + self.rng.below(40) as f64;
+                    let mut support: Vec<usize> = (0..1 + self.rng.below(3))
+                        .map(|_| self.rng.below(self.links))
+                        .collect();
+                    support.sort_unstable();
+                    support.dedup();
+                    let support = support
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    self.traffics += 1;
+                    break format!(
+                        r#""action":"add_flow","volume":{volume},"support":[{support}]"#
+                    );
+                }
+                4 if self.traffics > 1 => {
+                    // Keep at least one traffic so solves stay meaningful.
+                    let t = self.rng.below(self.traffics);
+                    self.traffics -= 1;
+                    break format!(r#""action":"remove_flow","traffic":{t}"#);
+                }
+                5 if self.links > 0 => {
+                    let mut installed: Vec<usize> = (0..self.rng.below(4))
+                        .map(|_| self.rng.below(self.links))
+                        .collect();
+                    installed.sort_unstable();
+                    installed.dedup();
+                    let installed = installed
+                        .iter()
+                        .map(|e| e.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    break format!(r#""action":"set_installed","installed":[{installed}]"#);
+                }
+                _ => {}
+            }
+        };
+        format!(r#"{{"op":"whatif","id":"{id}",{action}{resolve}}}"#)
+    }
+}
+
+/// Builds the standard seeded session set used by tests and `popload`:
+/// session `i` gets id `"s<i>"`, preset `"small"`, instance seed
+/// `base_seed + i`, request seed derived by splitmix-style mixing.
+pub fn standard_sessions(base_seed: u64, count: usize, routed: bool) -> Vec<Session> {
+    (0..count)
+        .map(|i| {
+            let mut mix = base_seed
+                .wrapping_add(i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            mix ^= mix >> 29;
+            Session::new(SessionSpec {
+                id: format!("s{i}"),
+                spec: "small".to_string(),
+                instance_seed: base_seed + i as u64,
+                request_seed: mix | 1,
+                routed,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let mut a = standard_sessions(7, 2, false);
+        let mut b = standard_sessions(7, 2, false);
+        for (sa, sb) in a.iter_mut().zip(b.iter_mut()) {
+            assert_eq!(sa.next_line(), sb.next_line());
+            sa.observe_load(12, 9);
+            sb.observe_load(12, 9);
+            for _ in 0..50 {
+                assert_eq!(sa.next_line(), sb.next_line());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_lines_parse_as_requests() {
+        let mut s = standard_sessions(3, 1, true).remove(0);
+        let first = s.next_line();
+        assert!(crate::protocol::parse_request(&first).is_ok(), "{first}");
+        s.observe_load(10, 8);
+        for _ in 0..200 {
+            let line = s.next_line();
+            assert!(
+                crate::protocol::parse_request(&line).is_ok(),
+                "generated line failed to parse: {line}"
+            );
+        }
+    }
+}
