@@ -18,9 +18,13 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use engine::Engine;
 use netgraph::NodeId;
+use placement::delta::DeltaInstance;
 use placement::instance::PpmInstance;
 use placement::passive::{greedy_static, solve_ppm_mecf_bb, ExactOptions};
-use popgen::{FamilySpec, GravitySpec, PopSpec, TrafficSpec};
+use placement::resilience::{score_ensemble, score_ensemble_cold};
+use popgen::{
+    DynamicSpec, FailureModel, FailureSpec, FamilySpec, GravitySpec, PopSpec, TrafficSpec,
+};
 use popmon_bench::perf::{run_stage, BenchReport, StageResult};
 use popmon_bench::scenarios::FamilyPoint;
 
@@ -531,6 +535,42 @@ fn main() {
                     std::hint::black_box(&resp);
                 }
                 whatif_script.len() as u64
+            },
+        ),
+    );
+
+    // --- resilience: a 1000-scenario SRLG ensemble through one warm
+    // DeltaInstance chain on the paper_15 preset. The frozen baseline is
+    // the cold path — an independent PpmInstance rebuilt per scenario —
+    // on identical inputs, so `speedup_vs_baseline` prices the warm
+    // chain's incremental fail/scale/score/restore walk. The warm result
+    // is asserted bitwise-equal to the cold reference before anything is
+    // timed (the exactness contract of `placement::resilience`).
+    let rmodel = FailureModel::try_new(&pop15, &FailureSpec::default()).expect("valid spec");
+    let rdyn = DynamicSpec::default();
+    let ensemble = rmodel
+        .sample_scenarios(inst15.traffics.len(), Some(&rdyn), 1000, 7)
+        .expect("valid sampling request");
+    let rplacement = greedy_static(&inst15, 0.9).expect("coverable").edges;
+    let cold_ref =
+        score_ensemble_cold(&inst15, &[], &rplacement, &ensemble).expect("validated inputs");
+    let mut rchain = DeltaInstance::from_instance(&inst15);
+    push(
+        &mut stages,
+        run_stage(
+            "resilience_ensemble_1k",
+            "cases = scenarios scored (paper_15, 1000-scenario warm chain)",
+            iters * 5,
+            || {
+                let warm =
+                    score_ensemble(&mut rchain, &rplacement, &ensemble).expect("validated inputs");
+                assert_eq!(
+                    warm.expected_coverage.to_bits(),
+                    cold_ref.expected_coverage.to_bits(),
+                    "warm chain drifted from the cold reference"
+                );
+                std::hint::black_box(warm.p99_tail);
+                ensemble.len() as u64
             },
         ),
     );

@@ -24,6 +24,7 @@ pub const STABLE_STAGES: &[&str] = &[
     "xp_incremental_sweep",
     "family_placement_30",
     "popmond_whatif_chain",
+    "resilience_ensemble_1k",
 ];
 
 /// One regression found by [`compare_reports`].

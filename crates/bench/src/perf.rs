@@ -125,6 +125,14 @@ pub const BASELINE: &[(&str, f64, f64)] = &[
     // pass on the reference container; the failed-link states dominate,
     // where a cold solve has no warm vertex to prune from).
     ("popmond_whatif_chain", 60.025598, 0.200),
+    // Frozen at its introduction (PR 9, Monte-Carlo resilience
+    // campaigns): the same 1000-scenario SRLG ensemble on paper_15
+    // scored through `score_ensemble_cold` — an independent PpmInstance
+    // rebuilt per scenario — which is what the warm DeltaInstance chain
+    // (incremental fail/scale/score/restore, integer hit counters)
+    // replaces. One cold pass over the ensemble took 0.154 s on the
+    // reference container; the stage's warm rate is gated against this.
+    ("resilience_ensemble_1k", 0.153618, 6_509.667),
 ];
 
 /// A full benchmark run, ready to serialize.

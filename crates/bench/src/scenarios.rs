@@ -28,9 +28,13 @@ use placement::passive::{
     flow_greedy_ppm, greedy_adaptive, greedy_static, solve_ppm_exact, solve_ppm_mecf_bb,
     ExactOptions,
 };
+use placement::resilience::{greedy_expected, score_ensemble};
 use placement::sampling::{solve_ppme, PpmeOptions, SamplingProblem};
+use placement::solve::{SolveOutcome, SolveRequest};
 use popgen::dynamic::{DynamicSpec, TrafficProcess};
-use popgen::{FamilySpec, GravitySpec, MultiTraffic, Pop, TrafficSet, TrafficSpec};
+use popgen::{
+    FailureModel, FailureSpec, FamilySpec, GravitySpec, MultiTraffic, Pop, TrafficSet, TrafficSpec,
+};
 
 use crate::{mean, stddev, timed};
 
@@ -895,6 +899,160 @@ pub fn active_report(
                 col(|r| r.greedy),
                 col(|r| r.ilp),
                 col(|r| r.probes),
+            )
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// xp_resilience: Monte-Carlo failure ensembles, deterministic vs. stochastic
+// ---------------------------------------------------------------------------
+
+/// One point of the resilience sweep: a topology family crossed with an
+/// instance size and an SRLG failure intensity (percent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResiliencePoint {
+    /// Family name (`"waxman"`, `"ba"`, `"hier"`).
+    pub family: &'static str,
+    /// Router count of the generated instances.
+    pub routers: usize,
+    /// Failure intensity in percent: the per-scenario SRLG group rate is
+    /// `rate_pct/100`, the independent per-link rate a quarter of that.
+    pub rate_pct: u32,
+}
+
+/// The failure model at a sweep point's intensity: a handful of SRLG
+/// groups whose joint failure rate dominates, plus a weaker independent
+/// per-link fault process. Churn stays off so every scenario difference
+/// comes from the intensity knob.
+pub fn resilience_failure_spec(rate_pct: u32) -> FailureSpec {
+    let rate = rate_pct as f64 / 100.0;
+    let spec = FailureSpec {
+        groups: 4,
+        group_rate: rate,
+        link_rate: rate / 4.0,
+        churn: 0.0,
+    };
+    spec.validate()
+        .expect("sweep intensities map to valid specs");
+    spec
+}
+
+/// The resilience campaign sweep: for every `family × size × intensity`
+/// point, a seeded ensemble of SRLG failure scenarios with diurnal demand
+/// perturbation, scored for two rival placements of equal device count —
+///
+/// * **det** — the deterministic exact `PPM(0.9)` optimum, solved once
+///   per `(family, size, seed)` through the unified
+///   [`SolveRequest`]/[`SolveOutcome`] API, blind to failures; and
+/// * **sto** — [`greedy_expected`], which sees the sampled ensemble and
+///   maximizes *expected* coverage with the same device budget.
+///
+/// Each seed walks its whole point list through **one warm
+/// [`DeltaInstance`] chain** per `(family, size)` group (points are
+/// ordered intensity-innermost): both placements are scored by
+/// [`score_ensemble`], which hands the chain back in its entry state, so
+/// the deterministic base placement and the chain survive to the next
+/// intensity. Every column is deterministic — the CSV is byte-identical
+/// at any `POPMON_THREADS`.
+pub fn resilience_report(
+    engine: &Engine,
+    points: &[ResiliencePoint],
+    seeds: u64,
+    scenarios_per_point: usize,
+) -> ScenarioReport {
+    // Per-(family, size) state carried across the intensity grid: the
+    // instance, its warm chain, and the deterministic optimum.
+    struct GroupState {
+        key: (&'static str, usize),
+        pop: Pop,
+        inst: PpmInstance,
+        chain: DeltaInstance,
+        det: Vec<usize>,
+    }
+    let spec = ScenarioSpec::new("xp_resilience", points.to_vec()).with_seeds(seeds);
+    engine.run_chain_report(
+        &spec,
+        "family,routers,rate_pct,devices,det_expected,det_p99,det_worst,sto_expected,sto_p99,sto_worst",
+        |c: ChainCase<'_, ResiliencePoint>| {
+            let req = SolveRequest::ppm(0.9)
+                .exact()
+                .with_exact_options(&family_exact_options());
+            let dspec = DynamicSpec::default();
+            let mut state: Option<GroupState> = None;
+            c.points
+                .iter()
+                .map(|p| {
+                    let key = (p.family, p.routers);
+                    if state.as_ref().map(|s| s.key) != Some(key) {
+                        let fam = family_spec(&FamilyPoint {
+                            family: p.family,
+                            routers: p.routers,
+                            density_pct: 70,
+                        });
+                        let pop = fam.build(c.seed).expect("validated spec");
+                        let ts = GravitySpec::default().generate(&pop, c.seed);
+                        let inst = PpmInstance::from_traffic(&pop.graph, &ts);
+                        let mut chain = DeltaInstance::from_instance(&inst);
+                        let det = match chain.solve(&req).expect("request validated above") {
+                            SolveOutcome::Ppm(sol) => sol.edges,
+                            _ => unreachable!("family flows all cross >= 1 link"),
+                        };
+                        state = Some(GroupState {
+                            key,
+                            pop,
+                            inst,
+                            chain,
+                            det,
+                        });
+                    }
+                    let s = state.as_mut().expect("state set above");
+                    let model =
+                        FailureModel::try_new(&s.pop, &resilience_failure_spec(p.rate_pct))
+                            .expect("valid spec");
+                    let sample_seed = c.seed.wrapping_mul(1009).wrapping_add(p.rate_pct as u64);
+                    let ensemble = model
+                        .sample_scenarios(
+                            s.inst.traffics.len(),
+                            Some(&dspec),
+                            scenarios_per_point,
+                            sample_seed,
+                        )
+                        .expect("valid sampling request");
+                    let det_score =
+                        score_ensemble(&mut s.chain, &s.det, &ensemble).expect("validated inputs");
+                    let sto = greedy_expected(&s.inst, &[], &ensemble, s.det.len())
+                        .expect("validated inputs");
+                    let sto_score =
+                        score_ensemble(&mut s.chain, &sto, &ensemble).expect("validated inputs");
+                    [
+                        s.det.len() as f64,
+                        det_score.expected_coverage,
+                        det_score.p99_tail,
+                        det_score.worst_case,
+                        sto_score.expected_coverage,
+                        sto_score.p99_tail,
+                        sto_score.worst_case,
+                    ]
+                })
+                .collect()
+        },
+        |p, rs| {
+            // `+ 0.0` maps the scorer's exact `-0.0` (the empty covered
+            // sum) to `+0.0` so the CSV never renders a negative zero.
+            let col = |i: usize| mean(&rs.iter().map(|r| r[i]).collect::<Vec<_>>()) + 0.0;
+            format!(
+                "{},{},{},{:.2},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                p.family,
+                p.routers,
+                p.rate_pct,
+                col(0),
+                col(1),
+                col(2),
+                col(3),
+                col(4),
+                col(5),
+                col(6),
             )
         },
     )

@@ -205,6 +205,29 @@ fn topology_families_parallel_matches_serial() {
 }
 
 #[test]
+fn resilience_parallel_matches_serial() {
+    use popmon_bench::scenarios::ResiliencePoint;
+    // Two families x two intensities: per-seed chains walk a family's
+    // whole intensity group through one warm DeltaInstance, so a
+    // thread-count-dependent chain split would surface here.
+    let mut points = Vec::new();
+    for family in ["waxman", "ba"] {
+        for rate_pct in [5u32, 30] {
+            points.push(ResiliencePoint {
+                family,
+                routers: 10,
+                rate_pct,
+            });
+        }
+    }
+    let serial = scenarios::resilience_report(&Engine::serial(), &points, 2, 24);
+    let parallel = scenarios::resilience_report(&Engine::with_threads(4), &points, 2, 24);
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+    assert_eq!(serial.rows.len(), points.len());
+    assert!(serial.header.starts_with("family,"));
+}
+
+#[test]
 fn pipeline_stages_parallel_match_serial_values() {
     use popgen::TrafficSpec;
     let pop = PopSpec::paper_10().build();

@@ -36,6 +36,7 @@ use crate::passive::{
     build_budget_model, build_lp2_target, install_greedy_incumbent, BudgetSolution, ExactOptions,
     PpmSolution,
 };
+use crate::solve::{PlacementError, SolveOutcome, SolveRequest};
 
 /// Routed backing for link toggles: the graph and the delta-aware route
 /// plan under the current failures (the failure set itself lives in
@@ -111,8 +112,16 @@ impl DeltaInstance {
     ///
     /// Panics when `ts` references nodes outside `graph`.
     pub fn from_traffic(graph: &Graph, ts: &TrafficSet) -> Self {
+        Self::try_from_traffic(graph, ts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DeltaInstance::from_traffic`]: a typed error
+    /// instead of a panic when `ts` references nodes outside `graph`.
+    pub fn try_from_traffic(graph: &Graph, ts: &TrafficSet) -> Result<Self, PlacementError> {
         let pairs: Vec<(NodeId, NodeId)> = ts.traffics.iter().map(|t| (t.src, t.dst)).collect();
-        let plan = RoutePlan::compute(graph, &pairs, 1, &[]).expect("traffic endpoints in graph");
+        let plan = RoutePlan::compute(graph, &pairs, 1, &[]).map_err(|e| {
+            PlacementError::new("traffic", format!("endpoints outside the graph: {e}"))
+        })?;
         let traffics = ts
             .traffics
             .iter()
@@ -120,7 +129,7 @@ impl DeltaInstance {
             .map(|(i, t)| (t.volume, support_of(&plan, i)))
             .collect();
         let pair_of = (0..pairs.len()).map(Some).collect();
-        DeltaInstance {
+        Ok(DeltaInstance {
             num_edges: graph.edge_count(),
             traffics,
             routing: Some(Routing {
@@ -129,7 +138,7 @@ impl DeltaInstance {
                 pair_of,
             }),
             ..Default::default()
-        }
+        })
     }
 
     /// Materializes the current instance (the exact state the chained
@@ -156,6 +165,23 @@ impl DeltaInstance {
     /// The currently failed links (sorted).
     pub fn disabled(&self) -> &[usize] {
         &self.disabled
+    }
+
+    /// `true` for routed chains (built by [`DeltaInstance::from_traffic`]),
+    /// where link toggles re-route the crossing traffics. Unrouted chains
+    /// keep every support fixed, which is what lets the resilience scorer
+    /// track coverage incrementally.
+    pub fn is_routed(&self) -> bool {
+        self.routing.is_some()
+    }
+
+    /// The current demand volume of flow `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range flow index.
+    pub fn demand(&self, t: usize) -> f64 {
+        self.traffics[t].0
     }
 
     /// Adds a flow and returns its index.
@@ -220,6 +246,26 @@ impl DeltaInstance {
         );
         self.budget_cache = None;
         self.traffics[t].0 = v;
+        self.refresh_exact_volumes();
+    }
+
+    /// Sets the demand of flow `t` to an absolute `volume`. The exact-reset
+    /// sibling of [`DeltaInstance::scale_demand`]: scaling back by `1/f`
+    /// does not round-trip in floating point, so chains that must restore a
+    /// bit-exact base state (the resilience scorer between scenarios) set
+    /// the recorded base volume instead. A volume-only repair on the cached
+    /// exact model: the warm chain survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the volume is negative or not finite.
+    pub fn set_demand(&mut self, t: usize, volume: f64) {
+        assert!(
+            volume.is_finite() && volume >= 0.0,
+            "volume must be finite and >= 0, got {volume}"
+        );
+        self.budget_cache = None;
+        self.traffics[t].0 = volume;
         self.refresh_exact_volumes();
     }
 
@@ -367,11 +413,26 @@ impl DeltaInstance {
     /// from the previous solve of this chain. Identical results to
     /// [`solve_ppm_exact`] (no installed devices) / [`solve_incremental`]
     /// (with them); `None` when the target is unreachable.
+    ///
+    /// Deprecated shim: new code should build a
+    /// [`SolveRequest`](crate::solve::SolveRequest) and call
+    /// [`DeltaInstance::solve`] — this method now routes through it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` lies outside `[0, 1]`.
     pub fn solve_exact(&mut self, k: f64, opts: &ExactOptions) -> Option<PpmSolution> {
-        assert!(
-            k.is_finite() && (0.0..=1.0 + 1e-12).contains(&k),
-            "monitoring fraction k must lie in [0, 1], got {k}"
-        );
+        let req = SolveRequest::ppm(k).with_exact_options(opts);
+        match self.solve(&req).unwrap_or_else(|e| panic!("{e}")) {
+            SolveOutcome::Ppm(sol) => Some(sol),
+            SolveOutcome::Unreachable => None,
+            other => unreachable!("PPM request produced {other:?}"),
+        }
+    }
+
+    /// The exact-solve kernel behind [`DeltaInstance::solve`] (`k` already
+    /// validated by the request).
+    pub(crate) fn solve_exact_core(&mut self, k: f64, opts: &ExactOptions) -> Option<PpmSolution> {
         let inst = self.instance();
         let target = k * inst.total_volume();
         if target > inst.max_coverage_fraction() * inst.total_volume() + 1e-9 {
@@ -448,7 +509,25 @@ impl DeltaInstance {
     /// Maximum-coverage placement of at most `budget` new devices on top
     /// of the installed set, warm-started along the chain. Identical
     /// results to [`solve_budget`].
+    ///
+    /// Deprecated shim: new code should build a
+    /// [`SolveRequest::budget`](crate::solve::SolveRequest::budget) request
+    /// and call [`DeltaInstance::solve`] — this method now routes through
+    /// it.
     pub fn solve_budget(&mut self, budget: usize, opts: &ExactOptions) -> BudgetSolution {
+        let req = SolveRequest::budget(budget).with_exact_options(opts);
+        match self.solve(&req).unwrap_or_else(|e| panic!("{e}")) {
+            SolveOutcome::Budget(sol) => sol,
+            other => unreachable!("budget request produced {other:?}"),
+        }
+    }
+
+    /// The budget-solve kernel behind [`DeltaInstance::solve`].
+    pub(crate) fn solve_budget_core(
+        &mut self,
+        budget: usize,
+        opts: &ExactOptions,
+    ) -> BudgetSolution {
         let inst = self.instance();
         if self.budget_cache.is_none() {
             let merged = inst.merged();
@@ -503,6 +582,126 @@ impl DeltaInstance {
         let before = self.instance().coverage(&self.installed);
         let after = self.solve_budget(extra, opts).coverage;
         (after - before).max(0.0)
+    }
+
+    // --- Fallible mutation surface -------------------------------------
+    //
+    // Typed-error (`PlacementError`) forms of the panicking mutations
+    // above, for callers that forward untrusted input (the `popmond`
+    // service maps these straight onto its wire errors). Each validates
+    // first and mutates nothing on rejection.
+
+    /// Checks that link `e` exists.
+    fn check_link(&self, e: usize) -> Result<(), PlacementError> {
+        if e >= self.num_edges {
+            return Err(PlacementError::new(
+                "link",
+                format!(
+                    "link {e} out of range (instance has {} links)",
+                    self.num_edges
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks that flow `t` exists.
+    fn check_traffic(&self, t: usize) -> Result<(), PlacementError> {
+        if t >= self.traffics.len() {
+            return Err(PlacementError::new(
+                "traffic",
+                format!(
+                    "traffic {t} out of range (instance has {} traffics)",
+                    self.traffics.len()
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fallible [`DeltaInstance::fail_link`].
+    pub fn try_fail_link(&mut self, e: usize) -> Result<usize, PlacementError> {
+        self.check_link(e)?;
+        Ok(self.fail_link(e))
+    }
+
+    /// Fallible [`DeltaInstance::restore_link`].
+    pub fn try_restore_link(&mut self, e: usize) -> Result<usize, PlacementError> {
+        self.check_link(e)?;
+        Ok(self.restore_link(e))
+    }
+
+    /// Fallible [`DeltaInstance::scale_demand`].
+    pub fn try_scale_demand(&mut self, t: usize, factor: f64) -> Result<(), PlacementError> {
+        self.check_traffic(t)?;
+        let v = self.traffics[t].0 * factor;
+        if !v.is_finite() || v < 0.0 {
+            return Err(PlacementError::new(
+                "factor",
+                format!("scaled volume must be finite and >= 0, got {v}"),
+            ));
+        }
+        self.scale_demand(t, factor);
+        Ok(())
+    }
+
+    /// Fallible [`DeltaInstance::set_demand`].
+    pub fn try_set_demand(&mut self, t: usize, volume: f64) -> Result<(), PlacementError> {
+        self.check_traffic(t)?;
+        if !volume.is_finite() || volume < 0.0 {
+            return Err(PlacementError::new(
+                "volume",
+                format!("volume must be finite and >= 0, got {volume}"),
+            ));
+        }
+        self.set_demand(t, volume);
+        Ok(())
+    }
+
+    /// Fallible [`DeltaInstance::add_flow`].
+    pub fn try_add_flow(
+        &mut self,
+        volume: f64,
+        support: Vec<usize>,
+    ) -> Result<usize, PlacementError> {
+        if !volume.is_finite() || volume < 0.0 {
+            return Err(PlacementError::new(
+                "volume",
+                format!("volume must be finite and >= 0, got {volume}"),
+            ));
+        }
+        if let Some(&e) = support.iter().find(|&&e| e >= self.num_edges) {
+            return Err(PlacementError::new(
+                "support",
+                format!(
+                    "link {e} out of range (instance has {} links)",
+                    self.num_edges
+                ),
+            ));
+        }
+        Ok(self.add_flow(volume, support))
+    }
+
+    /// Fallible [`DeltaInstance::remove_flow`].
+    pub fn try_remove_flow(&mut self, t: usize) -> Result<(), PlacementError> {
+        self.check_traffic(t)?;
+        self.remove_flow(t);
+        Ok(())
+    }
+
+    /// Fallible [`DeltaInstance::set_installed`].
+    pub fn try_set_installed(&mut self, installed: &[usize]) -> Result<(), PlacementError> {
+        if let Some(&e) = installed.iter().find(|&&e| e >= self.num_edges) {
+            return Err(PlacementError::new(
+                "installed",
+                format!(
+                    "link {e} out of range (instance has {} links)",
+                    self.num_edges
+                ),
+            ));
+        }
+        self.set_installed(installed);
+        Ok(())
     }
 }
 

@@ -31,7 +31,13 @@
 //!   the monitored ratio for a fixed deployment;
 //! * [`delta`] — sweep grids as chains of deltas: one mutable instance
 //!   whose exact solves are warm-started point to point (LP basis reuse)
-//!   and whose link failures re-route only the crossing traffics.
+//!   and whose link failures re-route only the crossing traffics;
+//! * [`solve`] — the unified solve API: one typed
+//!   [`SolveRequest`](solve::SolveRequest) → [`SolveOutcome`](solve::SolveOutcome)
+//!   pair shared by the batch, delta-chain, and service entry points;
+//! * [`resilience`] — Monte-Carlo resilience campaigns: a fixed placement
+//!   scored over a sampled failure ensemble through one warm delta chain,
+//!   plus the stochastic-aware greedy on expected coverage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,9 +50,13 @@ pub mod dynamic;
 pub mod instance;
 pub mod passive;
 pub mod reduction;
+pub mod resilience;
 pub mod sampling;
 pub mod setcover;
+pub mod solve;
 
 pub use delta::DeltaInstance;
 pub use instance::PpmInstance;
 pub use passive::PpmSolution;
+pub use resilience::{EnsembleScore, ScenarioScore};
+pub use solve::{ApmSolution, Objective, PlacementError, SolveMethod, SolveOutcome, SolveRequest};

@@ -21,7 +21,7 @@ pub use variants::{expected_gain, solve_budget, solve_incremental, BudgetSolutio
 use crate::instance::PpmInstance;
 
 /// A solution to `PPM(k)`: the selected monitor links plus bookkeeping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PpmSolution {
     /// Selected edge indices, sorted.
     pub edges: Vec<usize>,

@@ -16,7 +16,7 @@ use crate::instance::PpmInstance;
 use crate::passive::{build_lp2_target, ExactOptions, PpmSolution};
 
 /// Solution of the budget-constrained maximum-coverage problem.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetSolution {
     /// All selected edges (including the pre-installed ones).
     pub edges: Vec<usize>,

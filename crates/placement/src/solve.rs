@@ -1,0 +1,524 @@
+//! The unified solve API: one typed request/outcome pair for every
+//! placement entry point.
+//!
+//! The solver surface grew three call-signature dialects — the batch
+//! functions ([`solve_ppm_exact`], [`greedy_static`], [`solve_budget`]),
+//! the chained methods on [`DeltaInstance`], and the `popmond` service's
+//! wire queries. [`SolveRequest`] → [`SolveOutcome`] unifies them: the
+//! request carries the objective (`PPM(k)` or `APM`), the method (greedy
+//! or exact), and the solver knobs that used to ride [`ExactOptions`];
+//! the outcome is one enum over the existing solution types. Validation
+//! ([`SolveRequest::validate`]) happens once, with typed
+//! [`PlacementError`]s, before any solver state is touched.
+//!
+//! The pre-existing entry points remain as thin shims over this module
+//! (or as the kernels it dispatches to) so solver behavior — and every
+//! golden row derived from it — is byte-identical; prefer the unified API
+//! in new code. See DESIGN.md § "The solve API" for the deprecation path.
+
+use std::fmt;
+use std::time::Duration;
+
+use netgraph::{Graph, NodeId};
+
+use crate::active::{compute_probes, place_beacons_greedy, place_beacons_ilp};
+use crate::delta::DeltaInstance;
+use crate::instance::PpmInstance;
+use crate::passive::{
+    greedy_static, solve_budget, solve_ppm_exact, BudgetSolution, ExactOptions, PpmSolution,
+};
+
+/// Typed validation error for placement requests and mutations — the
+/// `placement`-side counterpart of `popgen::SpecError`: a stable field
+/// name plus a human-readable reason, rendered as one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementError {
+    /// The offending parameter.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub message: String,
+}
+
+impl PlacementError {
+    pub(crate) fn new(field: &'static str, message: impl Into<String>) -> Self {
+        PlacementError {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+/// What a solve optimizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Passive monitoring: minimum devices covering fraction `k` of the
+    /// traffic (`PPM(k)`), or maximum coverage under a device budget when
+    /// [`SolveRequest::device_budget`] is set (ignores `k`).
+    Ppm {
+        /// Coverage fraction target, `∈ [0, 1]`.
+        k: f64,
+    },
+    /// Active monitoring: beacon placement on a router graph.
+    Apm,
+}
+
+/// Which solver family answers the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// The paper's greedy (PPM: decreasing-load greedy; APM: improved
+    /// greedy beacon placement). Never proven optimal.
+    Greedy,
+    /// Exact MIP/ILP under the request's node budget.
+    Exact,
+}
+
+/// A validated solve request: objective, method, and the solver knobs
+/// that previously rode [`ExactOptions`] (defaults match it exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// What to optimize.
+    pub objective: Objective,
+    /// Greedy or exact.
+    pub method: SolveMethod,
+    /// Branch-and-bound node budget for exact solves (≥ 1).
+    pub node_budget: usize,
+    /// `Some(b)`: maximum-coverage placement of at most `b` new devices
+    /// (the budget variant) instead of minimum devices at target `k`.
+    /// Exact PPM only.
+    pub device_budget: Option<usize>,
+    /// Optional wall-clock bound for exact solves (forfeits proven
+    /// optimality on expiry; keep `None` in deterministic reports).
+    pub time_limit: Option<Duration>,
+    /// Relative MIP gap for exact solves.
+    pub rel_gap: f64,
+    /// Install a greedy incumbent before exact solves (plain instances).
+    pub warm_start: bool,
+}
+
+impl SolveRequest {
+    fn with_objective(objective: Objective) -> Self {
+        let defaults = ExactOptions::default();
+        SolveRequest {
+            objective,
+            method: SolveMethod::Exact,
+            node_budget: defaults.max_nodes,
+            device_budget: None,
+            time_limit: defaults.time_limit,
+            rel_gap: defaults.rel_gap,
+            warm_start: defaults.warm_start,
+        }
+    }
+
+    /// An exact `PPM(k)` request with default knobs.
+    pub fn ppm(k: f64) -> Self {
+        Self::with_objective(Objective::Ppm { k })
+    }
+
+    /// An exact budget request: maximum coverage with at most `budget`
+    /// new devices (`k` is ignored by budget solves).
+    pub fn budget(budget: usize) -> Self {
+        let mut req = Self::ppm(1.0);
+        req.device_budget = Some(budget);
+        req
+    }
+
+    /// An exact `APM` request with default knobs.
+    pub fn apm() -> Self {
+        Self::with_objective(Objective::Apm)
+    }
+
+    /// Switches the request to the greedy method.
+    pub fn greedy(mut self) -> Self {
+        self.method = SolveMethod::Greedy;
+        self
+    }
+
+    /// Switches the request to the exact method.
+    pub fn exact(mut self) -> Self {
+        self.method = SolveMethod::Exact;
+        self
+    }
+
+    /// Sets the branch-and-bound node budget.
+    pub fn with_node_budget(mut self, node_budget: usize) -> Self {
+        self.node_budget = node_budget;
+        self
+    }
+
+    /// Copies every solver knob from an [`ExactOptions`] (the bridge the
+    /// deprecated shims use; [`SolveRequest::exact_options`] inverts it).
+    pub fn with_exact_options(mut self, opts: &ExactOptions) -> Self {
+        self.node_budget = opts.max_nodes;
+        self.time_limit = opts.time_limit;
+        self.rel_gap = opts.rel_gap;
+        self.warm_start = opts.warm_start;
+        self
+    }
+
+    /// The request's knobs as the kernel-level [`ExactOptions`].
+    pub fn exact_options(&self) -> ExactOptions {
+        ExactOptions {
+            max_nodes: self.node_budget,
+            time_limit: self.time_limit,
+            rel_gap: self.rel_gap,
+            warm_start: self.warm_start,
+        }
+    }
+
+    /// Validates the request with typed errors (the same bounds the
+    /// solvers assert, minus any instance-dependent checks).
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        if let Objective::Ppm { k } = self.objective {
+            // Mirrors the solver tolerance: sweeps may land a float hair
+            // above 1.
+            if !k.is_finite() || !(0.0..=1.0 + 1e-12).contains(&k) {
+                return Err(PlacementError::new(
+                    "k",
+                    format!("monitoring fraction must lie in [0, 1], got {k}"),
+                ));
+            }
+        }
+        if self.node_budget == 0 {
+            return Err(PlacementError::new(
+                "node_budget",
+                "must be at least 1".to_string(),
+            ));
+        }
+        if !self.rel_gap.is_finite() || self.rel_gap < 0.0 {
+            return Err(PlacementError::new(
+                "rel_gap",
+                format!("must be finite and >= 0, got {}", self.rel_gap),
+            ));
+        }
+        if self.device_budget.is_some() {
+            if self.objective == Objective::Apm {
+                return Err(PlacementError::new(
+                    "device_budget",
+                    "budget solves are PPM-only".to_string(),
+                ));
+            }
+            if self.method == SolveMethod::Greedy {
+                return Err(PlacementError::new(
+                    "device_budget",
+                    "budget solves use the exact method".to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An active (beacon) placement on a router graph, with the probe-phase
+/// counters the service reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApmSolution {
+    /// Beacon node indices (in the solved graph's numbering), ascending.
+    pub beacons: Vec<usize>,
+    /// Number of probes in the computed probe set.
+    pub probes: usize,
+    /// Links the probe set covers.
+    pub covered_links: usize,
+    /// Links in the solved (router) graph.
+    pub router_links: usize,
+    /// `true` when the ILP proved optimality (greedy never does).
+    pub proven_optimal: bool,
+}
+
+/// The outcome of a unified solve: one enum over the existing solution
+/// types, plus the explicit infeasible case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveOutcome {
+    /// The coverage target is unreachable on this instance.
+    Unreachable,
+    /// A passive (tap) placement.
+    Ppm(PpmSolution),
+    /// A budget-constrained maximum-coverage placement.
+    Budget(BudgetSolution),
+    /// An active (beacon) placement.
+    Apm(ApmSolution),
+}
+
+/// Solves a one-shot PPM request on a static instance, dispatching to the
+/// batch kernels ([`solve_ppm_exact`] / [`greedy_static`] /
+/// [`solve_budget`]). APM requests are rejected here — they need a router
+/// graph, not an edge-support instance; use [`solve_apm`].
+pub fn solve_instance(
+    inst: &PpmInstance,
+    req: &SolveRequest,
+) -> Result<SolveOutcome, PlacementError> {
+    req.validate()?;
+    let Objective::Ppm { k } = req.objective else {
+        return Err(PlacementError::new(
+            "objective",
+            "APM solves need a router graph; use solve_apm".to_string(),
+        ));
+    };
+    if let Some(budget) = req.device_budget {
+        return Ok(SolveOutcome::Budget(solve_budget(
+            inst,
+            budget,
+            &[],
+            &req.exact_options(),
+        )));
+    }
+    let sol = match req.method {
+        SolveMethod::Exact => solve_ppm_exact(inst, k, &req.exact_options()),
+        SolveMethod::Greedy => greedy_static(inst, k),
+    };
+    Ok(match sol {
+        Some(s) => SolveOutcome::Ppm(s),
+        None => SolveOutcome::Unreachable,
+    })
+}
+
+/// Solves an APM request on a (router) graph: probe computation followed
+/// by greedy or ILP beacon placement, every node a candidate.
+pub fn solve_apm(graph: &Graph, req: &SolveRequest) -> Result<SolveOutcome, PlacementError> {
+    req.validate()?;
+    if req.objective != Objective::Apm {
+        return Err(PlacementError::new(
+            "objective",
+            "solve_apm answers APM requests only".to_string(),
+        ));
+    }
+    let candidates: Vec<NodeId> = graph.nodes().collect();
+    let probes = compute_probes(graph, &candidates);
+    let placement = match req.method {
+        SolveMethod::Greedy => place_beacons_greedy(&probes, &candidates),
+        SolveMethod::Exact => place_beacons_ilp(graph, &probes, &candidates),
+    };
+    Ok(SolveOutcome::Apm(ApmSolution {
+        beacons: placement.beacons.iter().map(|b| b.index()).collect(),
+        probes: probes.len(),
+        covered_links: probes.covered.iter().filter(|&&c| c).count(),
+        router_links: graph.edge_count(),
+        proven_optimal: placement.proven_optimal,
+    }))
+}
+
+/// The paper's decreasing-load greedy, lifted to a constrained state:
+/// pre-installed devices contribute their coverage for free (dead ones on
+/// failed links do not — failure beats installation, matching
+/// [`DeltaInstance::solve_exact`]), failed links can never host a device,
+/// and the greedy covers the residual target on the masked instance.
+/// `installed` and `disabled` must be sorted.
+pub fn greedy_constrained(
+    inst: &PpmInstance,
+    installed: &[usize],
+    disabled: &[usize],
+    k: f64,
+) -> Option<PpmSolution> {
+    if installed.is_empty() && disabled.is_empty() {
+        return greedy_static(inst, k);
+    }
+    let live: Vec<usize> = installed
+        .iter()
+        .copied()
+        .filter(|e| disabled.binary_search(e).is_err())
+        .collect();
+    let target = k * inst.total_volume();
+    let base = inst.coverage(&live);
+    if base + 1e-9 >= target {
+        return Some(PpmSolution::from_edges(inst, live, false));
+    }
+    // Residual instance: traffics already covered by the live installed
+    // set drop out; the rest lose their failed links (a support that
+    // empties becomes uncoverable, as in routed failures).
+    let residual: Vec<(f64, Vec<usize>)> = inst
+        .traffics
+        .iter()
+        .filter(|(_, s)| !s.iter().any(|e| live.binary_search(e).is_ok()))
+        .map(|(v, s)| {
+            (
+                *v,
+                s.iter()
+                    .copied()
+                    .filter(|e| disabled.binary_search(e).is_err())
+                    .collect(),
+            )
+        })
+        .collect();
+    let masked = PpmInstance::new(inst.num_edges, residual);
+    let sub_total = masked.total_volume();
+    if sub_total <= 0.0 {
+        return None;
+    }
+    let k_residual = ((target - base) / sub_total).min(1.0);
+    let picked = greedy_static(&masked, k_residual)?;
+    let mut edges = live;
+    edges.extend(&picked.edges);
+    edges.sort_unstable();
+    edges.dedup();
+    Some(PpmSolution::from_edges(inst, edges, false))
+}
+
+impl DeltaInstance {
+    /// Solves a unified request on the chain's current state — the one
+    /// dispatch the deprecated [`DeltaInstance::solve_exact`] /
+    /// [`DeltaInstance::solve_budget`] shims and the `popmond` service
+    /// route through. Exact solves ride the warm chain; greedy solves run
+    /// [`greedy_constrained`] on the materialized instance. APM requests
+    /// are rejected (they need a router graph; use [`solve_apm`]).
+    pub fn solve(&mut self, req: &SolveRequest) -> Result<SolveOutcome, PlacementError> {
+        req.validate()?;
+        let Objective::Ppm { k } = req.objective else {
+            return Err(PlacementError::new(
+                "objective",
+                "APM solves need a router graph; use solve_apm".to_string(),
+            ));
+        };
+        if let Some(budget) = req.device_budget {
+            return Ok(SolveOutcome::Budget(
+                self.solve_budget_core(budget, &req.exact_options()),
+            ));
+        }
+        let sol = match req.method {
+            SolveMethod::Exact => self.solve_exact_core(k, &req.exact_options()),
+            SolveMethod::Greedy => {
+                let inst = self.instance();
+                greedy_constrained(&inst, self.installed(), self.disabled(), k)
+            }
+        };
+        Ok(match sol {
+            Some(s) => SolveOutcome::Ppm(s),
+            None => SolveOutcome::Unreachable,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure3() -> PpmInstance {
+        PpmInstance::new(
+            5,
+            vec![
+                (2.0, vec![0, 1]),
+                (2.0, vec![0, 2]),
+                (1.0, vec![1, 3]),
+                (1.0, vec![2, 4]),
+            ],
+        )
+    }
+
+    #[test]
+    fn unified_request_matches_the_kernels() {
+        let inst = figure3();
+        let opts = ExactOptions::default();
+        for k in [0.5, 0.75, 1.0] {
+            let unified = solve_instance(&inst, &SolveRequest::ppm(k)).unwrap();
+            let kernel = solve_ppm_exact(&inst, k, &opts).unwrap();
+            let SolveOutcome::Ppm(sol) = unified else {
+                panic!("expected a PPM outcome");
+            };
+            assert_eq!(sol.device_count(), kernel.device_count(), "k = {k}");
+
+            let unified = solve_instance(&inst, &SolveRequest::ppm(k).greedy()).unwrap();
+            let kernel = greedy_static(&inst, k).unwrap();
+            let SolveOutcome::Ppm(sol) = unified else {
+                panic!("expected a PPM outcome");
+            };
+            assert_eq!(sol.edges, kernel.edges, "k = {k}");
+        }
+        for b in 0..=3 {
+            let unified = solve_instance(&inst, &SolveRequest::budget(b)).unwrap();
+            let kernel = solve_budget(&inst, b, &[], &opts);
+            let SolveOutcome::Budget(sol) = unified else {
+                panic!("expected a budget outcome");
+            };
+            assert_eq!(sol.coverage.to_bits(), kernel.coverage.to_bits(), "b = {b}");
+        }
+    }
+
+    #[test]
+    fn delta_solve_matches_the_shims() {
+        let inst = figure3();
+        let mut a = DeltaInstance::from_instance(&inst);
+        let mut b = DeltaInstance::from_instance(&inst);
+        let opts = ExactOptions::default();
+        for k in [0.5, 1.0] {
+            let via_request = a.solve(&SolveRequest::ppm(k)).unwrap();
+            let via_shim = b.solve_exact(k, &opts).unwrap();
+            let SolveOutcome::Ppm(sol) = via_request else {
+                panic!("expected a PPM outcome");
+            };
+            assert_eq!(sol.device_count(), via_shim.device_count(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        for (req, field) in [
+            (SolveRequest::ppm(1.5), "k"),
+            (SolveRequest::ppm(f64::NAN), "k"),
+            (SolveRequest::ppm(0.5).with_node_budget(0), "node_budget"),
+            (SolveRequest::budget(2).greedy(), "device_budget"),
+            (
+                {
+                    let mut r = SolveRequest::apm();
+                    r.device_budget = Some(1);
+                    r
+                },
+                "device_budget",
+            ),
+        ] {
+            assert_eq!(req.validate().unwrap_err().field, field, "{req:?}");
+        }
+        let inst = figure3();
+        assert_eq!(
+            solve_instance(&inst, &SolveRequest::apm())
+                .unwrap_err()
+                .field,
+            "objective"
+        );
+    }
+
+    #[test]
+    fn exact_options_round_trip() {
+        let opts = ExactOptions {
+            max_nodes: 123,
+            time_limit: Some(Duration::from_millis(7)),
+            warm_start: false,
+            rel_gap: 0.25,
+        };
+        let req = SolveRequest::ppm(0.5).with_exact_options(&opts);
+        let back = req.exact_options();
+        assert_eq!(back.max_nodes, opts.max_nodes);
+        assert_eq!(back.time_limit, opts.time_limit);
+        assert_eq!(back.warm_start, opts.warm_start);
+        assert_eq!(back.rel_gap, opts.rel_gap);
+    }
+
+    #[test]
+    fn apm_solves_on_a_small_graph() {
+        use netgraph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let nodes = b.add_nodes("r", 4);
+        b.add_edge(nodes[0], nodes[1], 1.0);
+        b.add_edge(nodes[1], nodes[2], 1.0);
+        b.add_edge(nodes[2], nodes[3], 1.0);
+        let graph = b.build();
+        for req in [SolveRequest::apm(), SolveRequest::apm().greedy()] {
+            let SolveOutcome::Apm(sol) = solve_apm(&graph, &req).unwrap() else {
+                panic!("expected an APM outcome");
+            };
+            assert!(!sol.beacons.is_empty());
+            assert_eq!(sol.router_links, 3);
+        }
+        assert_eq!(
+            solve_apm(&graph, &SolveRequest::ppm(0.5))
+                .unwrap_err()
+                .field,
+            "objective"
+        );
+    }
+}

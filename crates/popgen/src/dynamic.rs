@@ -8,14 +8,22 @@
 //! *shift event* re-boosts a fresh pair while deflating an old one —
 //! modelling the drastic changes that force the controller to re-optimize.
 
+use std::fmt;
+use std::str::FromStr;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::families::{check_min, check_range, SpecError};
 use crate::traffic::TrafficSet;
 
-/// Parameters of the traffic evolution process.
-#[derive(Debug, Clone)]
+/// Parameters of the traffic evolution process, serialized to/from the
+/// one-line form
+///
+/// ```text
+/// dynamic jitter=0.1 shift_probability=0.15 shift_boost=20 floor=0.1
+/// ```
+#[derive(Debug, Clone, PartialEq)]
 pub struct DynamicSpec {
     /// Per-step multiplicative jitter: volumes are scaled by a uniform
     /// factor in `[1 - jitter, 1 + jitter]`.
@@ -58,6 +66,67 @@ impl DynamicSpec {
         check_min("shift_boost", self.shift_boost, 1.0)?;
         check_min("floor", self.floor, 0.0)?;
         Ok(())
+    }
+}
+
+impl fmt::Display for DynamicSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dynamic jitter={} shift_probability={} shift_boost={} floor={}",
+            self.jitter, self.shift_probability, self.shift_boost, self.floor
+        )
+    }
+}
+
+impl FromStr for DynamicSpec {
+    type Err = SpecError;
+
+    /// Parses the one-line form emitted by [`fmt::Display`]: the literal
+    /// process name `dynamic` followed by `key=value` fields. Missing
+    /// fields keep the defaults; unknown keys and malformed values are
+    /// rejected with a typed error, and the result is
+    /// [`DynamicSpec::validate`]d before it is returned.
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let mut tokens = s.split_whitespace();
+        let model = tokens
+            .next()
+            .ok_or_else(|| SpecError::new("dynamic", "empty spec".to_string()))?;
+        if model != "dynamic" {
+            return Err(SpecError::new(
+                "dynamic",
+                format!("unknown traffic process {model:?} (dynamic)"),
+            ));
+        }
+        let mut spec = DynamicSpec::default();
+        let mut seen: Vec<String> = Vec::new();
+        for tok in tokens {
+            let (key, raw) = tok.split_once('=').ok_or_else(|| {
+                SpecError::new("spec", format!("expected key=value, got {tok:?}"))
+            })?;
+            if seen.iter().any(|k| k == key) {
+                return Err(SpecError::new("spec", format!("duplicate key {key:?}")));
+            }
+            seen.push(key.to_string());
+            let f64_of = |field: &'static str| -> Result<f64, SpecError> {
+                raw.parse::<f64>()
+                    .map_err(|_| SpecError::new(field, format!("bad number {raw:?}")))
+            };
+            match key {
+                "jitter" => spec.jitter = f64_of("jitter")?,
+                "shift_probability" => spec.shift_probability = f64_of("shift_probability")?,
+                "shift_boost" => spec.shift_boost = f64_of("shift_boost")?,
+                "floor" => spec.floor = f64_of("floor")?,
+                _ => {
+                    return Err(SpecError::new(
+                        "spec",
+                        format!("unknown key {key:?} for traffic process \"dynamic\""),
+                    ))
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
     }
 }
 
@@ -199,6 +268,39 @@ mod tests {
             (after - before).abs() > before * 0.05,
             "mass should have shifted"
         );
+    }
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        for spec in [
+            DynamicSpec::default(),
+            DynamicSpec {
+                jitter: 0.25,
+                shift_probability: 0.5,
+                shift_boost: 4.0,
+                floor: 0.0,
+            },
+        ] {
+            let line = spec.to_string();
+            let back: DynamicSpec = line.parse().expect("round-trip");
+            assert_eq!(back, spec, "{line}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_bad_specs() {
+        for (line, field) in [
+            ("", "dynamic"),
+            ("static jitter=0", "dynamic"),
+            ("dynamic jitter=2", "jitter"),
+            ("dynamic shift_boost=nope", "shift_boost"),
+            ("dynamic floor=0.1 floor=0.2", "spec"),
+            ("dynamic wibble=1", "spec"),
+            ("dynamic jitter", "spec"),
+        ] {
+            let err = line.parse::<DynamicSpec>().unwrap_err();
+            assert_eq!(err.field, field, "{line:?}");
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   ([`GravitySpec`]), and the multi-routed traffics of Section 5;
 //! * [`dynamic`] — the evolving-traffic process driving the Section 5.4
 //!   threshold controller experiments;
+//! * [`failure`] — seeded failure ensembles: SRLG shared-risk link groups,
+//!   independent link faults, node churn, and diurnal demand perturbation
+//!   riding [`DynamicSpec`], for the resilience campaigns;
 //! * [`fileio`] — a small text format so externally measured topologies
 //!   (e.g. real Rocketfuel maps) can be substituted for the generator.
 
@@ -33,11 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod dynamic;
+pub mod failure;
 pub mod families;
 pub mod fileio;
 pub mod topology;
 pub mod traffic;
 
+pub use dynamic::DynamicSpec;
+pub use failure::{FailureModel, FailureSpec, Scenario};
 pub use families::{FamilyKind, FamilySpec, SpecError};
 pub use topology::{NodeRole, Pop, PopSpec};
 pub use traffic::{GravitySpec, MultiTraffic, Traffic, TrafficSet, TrafficSpec};

@@ -160,10 +160,32 @@ impl TrafficSpec {
     /// Generates multi-routed traffics (Section 5): up to `max_routes`
     /// shortest loopless routes per pair, with geometrically decaying
     /// shares renormalized to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_routes` is 0; use
+    /// [`TrafficSpec::try_generate_multi`] to surface the typed error.
     pub fn generate_multi(&self, pop: &Pop, seed: u64, max_routes: usize) -> Vec<MultiTraffic> {
-        assert!(max_routes >= 1, "need at least one route per traffic");
+        self.try_generate_multi(pop, seed, max_routes)
+            .unwrap_or_else(|e| panic!("invalid multi-route request: {e}"))
+    }
+
+    /// Fallible variant of [`TrafficSpec::generate_multi`]: rejects a zero
+    /// `max_routes` with a typed [`SpecError`] instead of panicking.
+    pub fn try_generate_multi(
+        &self,
+        pop: &Pop,
+        seed: u64,
+        max_routes: usize,
+    ) -> Result<Vec<MultiTraffic>, SpecError> {
+        if max_routes == 0 {
+            return Err(SpecError::new(
+                "max_routes",
+                "need at least one route per traffic".to_string(),
+            ));
+        }
         let single = self.generate(pop, seed);
-        single
+        Ok(single
             .traffics
             .into_iter()
             .map(|t| {
@@ -184,7 +206,7 @@ impl TrafficSpec {
                     routes,
                 }
             })
-            .collect()
+            .collect())
     }
 }
 
@@ -247,13 +269,17 @@ impl GravitySpec {
     ///
     /// # Panics
     ///
-    /// Panics when the spec is invalid (see [`GravitySpec::validate`];
-    /// library callers that cannot guarantee validity should validate
-    /// first and surface the typed error).
+    /// Panics when the spec is invalid (see [`GravitySpec::validate`]);
+    /// use [`GravitySpec::try_generate`] to surface the typed error.
     pub fn generate(&self, pop: &Pop, seed: u64) -> TrafficSet {
-        if let Err(e) = self.validate() {
-            panic!("invalid GravitySpec: {e}");
-        }
+        self.try_generate(pop, seed)
+            .unwrap_or_else(|e| panic!("invalid GravitySpec: {e}"))
+    }
+
+    /// Fallible variant of [`GravitySpec::generate`]: validates the spec
+    /// and returns the typed [`SpecError`] instead of panicking.
+    pub fn try_generate(&self, pop: &Pop, seed: u64) -> Result<TrafficSet, SpecError> {
+        self.validate()?;
         let mut rng = StdRng::seed_from_u64(seed);
         let eps = &pop.endpoints;
         let n = eps.len();
@@ -297,7 +323,7 @@ impl GravitySpec {
                 });
             }
         }
-        TrafficSet { traffics }
+        Ok(TrafficSet { traffics })
     }
 }
 

@@ -27,6 +27,9 @@ pub const DEFAULT_MAX_NODES: usize = 50_000;
 /// Largest accepted per-request node budget.
 pub const MAX_MAX_NODES: usize = 5_000_000;
 
+/// Largest accepted ensemble size for a `score_ensemble` request.
+pub const MAX_SCENARIOS: usize = 4096;
+
 /// A typed protocol error: a short machine-readable code plus a
 /// human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +180,26 @@ pub enum Request {
         /// Optional embedded re-solve after the mutation.
         resolve: Option<SolveQuery>,
         /// Pagination for the embedded solve.
+        page: Page,
+    },
+    /// Score a fixed placement over a seeded failure ensemble sampled on
+    /// the instance's topology, walking every scenario through the
+    /// resident delta chain (the chain comes back in its entry state).
+    ScoreEnsemble {
+        /// Instance id.
+        id: String,
+        /// `FailureSpec` line (`"srlg groups=8 group_rate=0.05 …"`).
+        failure: String,
+        /// Optional `DynamicSpec` line enabling demand perturbation
+        /// (`"dynamic jitter=0.1 …"`).
+        dynamic: Option<String>,
+        /// Ensemble size, `∈ [1, MAX_SCENARIOS]`.
+        scenarios: usize,
+        /// Sampling seed.
+        seed: u64,
+        /// Placement to score; defaults to the instance's installed set.
+        placement: Option<Vec<usize>>,
+        /// Pagination for the per-scenario rows.
         page: Page,
     },
     /// Summarize an instance (topology, traffic, chain counters).
@@ -388,6 +411,38 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
                 page: parse_page(&v)?,
             })
         }
+        "score_ensemble" => {
+            let scenarios = req_index(&v, "scenarios")?;
+            if scenarios == 0 || scenarios > MAX_SCENARIOS {
+                return Err(bad(format!(
+                    "scenarios must be in [1, {MAX_SCENARIOS}], got {scenarios}"
+                )));
+            }
+            Ok(Request::ScoreEnsemble {
+                id: req_str(&v, "id")?,
+                failure: req_str(&v, "failure")?,
+                dynamic: match v.get("dynamic") {
+                    None => None,
+                    Some(d) => Some(
+                        d.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("field \"dynamic\" must be a string"))?,
+                    ),
+                },
+                scenarios,
+                seed: match v.get("seed") {
+                    None => 0,
+                    Some(s) => s
+                        .as_u64()
+                        .ok_or_else(|| bad("field \"seed\" must be a non-negative integer"))?,
+                },
+                placement: match v.get("placement") {
+                    None => None,
+                    Some(_) => Some(index_list(&v, "placement")?),
+                },
+                page: parse_page(&v)?,
+            })
+        }
         "inspect" => Ok(Request::Inspect {
             id: req_str(&v, "id")?,
         }),
@@ -502,6 +557,68 @@ mod tests {
                 assert_eq!(resolve.unwrap().k, 0.9);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_score_ensemble_request() {
+        let r = parse_request(
+            r#"{"op":"score_ensemble","id":"x","failure":"srlg groups=4","dynamic":"dynamic jitter=0.2","scenarios":100,"seed":7,"placement":[0,3],"page_size":16}"#,
+        )
+        .unwrap();
+        match r {
+            Request::ScoreEnsemble {
+                id,
+                failure,
+                dynamic,
+                scenarios,
+                seed,
+                placement,
+                page,
+            } => {
+                assert_eq!(id, "x");
+                assert_eq!(failure, "srlg groups=4");
+                assert_eq!(dynamic.as_deref(), Some("dynamic jitter=0.2"));
+                assert_eq!(scenarios, 100);
+                assert_eq!(seed, 7);
+                assert_eq!(placement, Some(vec![0, 3]));
+                assert_eq!(
+                    page,
+                    Page {
+                        page: 0,
+                        page_size: 16
+                    }
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults: no dynamic, seed 0, installed-set placement.
+        let r = parse_request(r#"{"op":"score_ensemble","id":"x","failure":"srlg","scenarios":1}"#)
+            .unwrap();
+        match r {
+            Request::ScoreEnsemble {
+                dynamic,
+                seed,
+                placement,
+                ..
+            } => {
+                assert_eq!(dynamic, None);
+                assert_eq!(seed, 0);
+                assert_eq!(placement, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        for line in [
+            r#"{"op":"score_ensemble","id":"x","failure":"srlg","scenarios":0}"#,
+            r#"{"op":"score_ensemble","id":"x","failure":"srlg","scenarios":5000}"#,
+            r#"{"op":"score_ensemble","id":"x","scenarios":1}"#,
+            r#"{"op":"score_ensemble","id":"x","failure":"srlg","scenarios":1,"dynamic":7}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().code,
+                "bad_request",
+                "{line}"
+            );
         }
     }
 

@@ -26,11 +26,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use engine::Memo;
-use placement::active::{compute_probes, place_beacons_greedy, place_beacons_ilp};
 use placement::delta::DeltaInstance;
 use placement::instance::PpmInstance;
-use placement::passive::{greedy_static, ExactOptions, PpmSolution};
-use popgen::{fileio, FamilySpec, GravitySpec, Pop, PopSpec, TrafficSet, TrafficSpec};
+use placement::resilience::score_ensemble;
+use placement::solve::{self, PlacementError, SolveOutcome, SolveRequest};
+use popgen::{
+    fileio, DynamicSpec, FailureModel, FailureSpec, FamilySpec, GravitySpec, Pop, PopSpec,
+    SpecError, TrafficSet, TrafficSpec,
+};
 
 use crate::json::Value;
 use crate::protocol::{self, Error, Method, Mode, Page, Request, SolveQuery, WhatIf};
@@ -50,6 +53,25 @@ fn fnv64(version: u64, text: &str) -> u64 {
 
 fn shard_of(id: &str) -> usize {
     (fnv64(0, id) % SHARDS as u64) as usize
+}
+
+/// Maps a typed `popgen` spec error onto the wire's one-line error
+/// contract (keeping the field/reason structure instead of re-stringifying
+/// an opaque blob).
+fn spec_error(e: SpecError) -> Error {
+    Error::new("bad_spec", format!("invalid {}: {}", e.field, e.message))
+}
+
+/// Maps a typed `placement` error onto the wire's one-line error contract:
+/// index-shaped fields keep the `bad_index` code (and their messages are
+/// byte-identical to the ones this service always emitted); everything
+/// else is a `bad_request`.
+fn map_placement_error(e: PlacementError) -> Error {
+    let code = match e.field {
+        "link" | "traffic" | "support" | "installed" | "placement" => "bad_index",
+        _ => "bad_request",
+    };
+    Error::new(code, e.message)
 }
 
 /// Immutable facts about a loaded instance.
@@ -81,28 +103,6 @@ struct SlotState {
 struct Slot {
     meta: SlotMeta,
     state: Mutex<SlotState>,
-}
-
-/// The outcome of one solver run, cached for coalescing and paged at
-/// response-format time.
-enum SolveOutcome {
-    /// The coverage target is unreachable on the current instance.
-    Unreachable,
-    /// A passive (tap) placement.
-    Ppm {
-        edges: Vec<usize>,
-        coverage: f64,
-        total_volume: f64,
-        proven: bool,
-    },
-    /// An active (beacon) placement on the router subgraph.
-    Apm {
-        beacons: Vec<usize>,
-        probes: usize,
-        covered_links: usize,
-        router_links: usize,
-        proven: bool,
-    },
 }
 
 /// Service configuration.
@@ -189,6 +189,23 @@ impl Service {
                 resolve,
                 page,
             } => Reply::ok(self.whatif(&id, &action, resolve.as_ref(), page)),
+            Request::ScoreEnsemble {
+                id,
+                failure,
+                dynamic,
+                scenarios,
+                seed,
+                placement,
+                page,
+            } => Reply::ok(self.score_ensemble(
+                &id,
+                &failure,
+                dynamic.as_deref(),
+                scenarios,
+                seed,
+                placement,
+                page,
+            )),
             Request::Inspect { id } => Reply::ok(self.inspect(&id)),
             Request::List => Reply::ok(self.list()),
             Request::Stats => Reply::ok(self.stats()),
@@ -247,11 +264,11 @@ impl Service {
             line => {
                 let family: FamilySpec = match line.parse() {
                     Ok(f) => f,
-                    Err(e) => return Error::new("bad_spec", e.to_string()).to_json(),
+                    Err(e) => return spec_error(e).to_json(),
                 };
                 let pop = match family.build(seed) {
                     Ok(p) => p,
-                    Err(e) => return Error::new("bad_spec", e.to_string()).to_json(),
+                    Err(e) => return spec_error(e).to_json(),
                 };
                 let ts = GravitySpec::default().generate(&pop, seed);
                 (pop, ts)
@@ -373,59 +390,32 @@ impl Service {
             Err(e) => return e.to_json(),
         };
         let mut state = slot.state.lock().expect("slot poisoned");
-        // Validate ranges against the live instance *before* mutating, so
-        // a rejected request cannot poison the chain.
-        let num_edges = state.delta.num_edges();
-        let check_link = |e: usize| -> Result<(), Error> {
-            if e < num_edges {
-                Ok(())
-            } else {
-                Err(Error::new(
-                    "bad_index",
-                    format!("link {e} out of range (instance has {num_edges} links)"),
-                ))
-            }
+        // The fallible `DeltaInstance` mutators validate against the live
+        // instance *before* mutating, so a rejected request cannot poison
+        // the chain; their typed errors map onto the wire contract.
+        let applied: Result<(&str, usize), PlacementError> = match action {
+            WhatIf::FailLink(e) => state.delta.try_fail_link(*e).map(|r| ("fail_link", r)),
+            WhatIf::RestoreLink(e) => state
+                .delta
+                .try_restore_link(*e)
+                .map(|r| ("restore_link", r)),
+            WhatIf::ScaleDemand { t, factor } => state
+                .delta
+                .try_scale_demand(*t, *factor)
+                .map(|()| ("scale_demand", 0)),
+            WhatIf::AddFlow { volume, support } => state
+                .delta
+                .try_add_flow(*volume, support.clone())
+                .map(|_| ("add_flow", 0)),
+            WhatIf::RemoveFlow(t) => state.delta.try_remove_flow(*t).map(|()| ("remove_flow", 0)),
+            WhatIf::SetInstalled(installed) => state
+                .delta
+                .try_set_installed(installed)
+                .map(|()| ("set_installed", 0)),
         };
-        let check_traffic = |t: usize, count: usize| -> Result<(), Error> {
-            if t < count {
-                Ok(())
-            } else {
-                Err(Error::new(
-                    "bad_index",
-                    format!("traffic {t} out of range (instance has {count} traffics)"),
-                ))
-            }
-        };
-        let checked: Result<(), Error> = match action {
-            WhatIf::FailLink(e) | WhatIf::RestoreLink(e) => check_link(*e),
-            WhatIf::ScaleDemand { t, .. } | WhatIf::RemoveFlow(t) => {
-                check_traffic(*t, state.delta.traffic_count())
-            }
-            WhatIf::AddFlow { support, .. } => support.iter().try_for_each(|&e| check_link(e)),
-            WhatIf::SetInstalled(installed) => installed.iter().try_for_each(|&e| check_link(e)),
-        };
-        if let Err(e) = checked {
-            return e.to_json();
-        }
-        let (name, rerouted) = match action {
-            WhatIf::FailLink(e) => ("fail_link", state.delta.fail_link(*e)),
-            WhatIf::RestoreLink(e) => ("restore_link", state.delta.restore_link(*e)),
-            WhatIf::ScaleDemand { t, factor } => {
-                state.delta.scale_demand(*t, *factor);
-                ("scale_demand", 0)
-            }
-            WhatIf::AddFlow { volume, support } => {
-                state.delta.add_flow(*volume, support.clone());
-                ("add_flow", 0)
-            }
-            WhatIf::RemoveFlow(t) => {
-                state.delta.remove_flow(*t);
-                ("remove_flow", 0)
-            }
-            WhatIf::SetInstalled(installed) => {
-                state.delta.set_installed(installed);
-                ("set_installed", 0)
-            }
+        let (name, rerouted) = match applied {
+            Ok(x) => x,
+            Err(e) => return map_placement_error(e).to_json(),
         };
         state.version += 1;
         state.mutations += 1;
@@ -450,6 +440,92 @@ impl Service {
             ));
         }
         Value::Obj(fields).to_json()
+    }
+
+    // ---- resilience -----------------------------------------------------
+
+    /// Scores a placement over a seeded failure ensemble through the
+    /// slot's resident delta chain. The chain is mutated scenario by
+    /// scenario and restored to its entry state before the lock drops, so
+    /// the instance version does not change and cached solves stay valid.
+    #[allow(clippy::too_many_arguments)]
+    fn score_ensemble(
+        &self,
+        id: &str,
+        failure: &str,
+        dynamic: Option<&str>,
+        scenarios: usize,
+        seed: u64,
+        placement: Option<Vec<usize>>,
+        page: Page,
+    ) -> String {
+        let slot = match self.get(id) {
+            Ok(s) => s,
+            Err(e) => return e.to_json(),
+        };
+        let fspec: FailureSpec = match failure.parse() {
+            Ok(f) => f,
+            Err(e) => return spec_error(e).to_json(),
+        };
+        let dspec: Option<DynamicSpec> = match dynamic {
+            None => None,
+            Some(line) => match line.parse() {
+                Ok(d) => Some(d),
+                Err(e) => return spec_error(e).to_json(),
+            },
+        };
+        let model = match FailureModel::try_new(&slot.meta.pop, &fspec) {
+            Ok(m) => m,
+            Err(e) => return spec_error(e).to_json(),
+        };
+        let mut state = slot.state.lock().expect("slot poisoned");
+        let ensemble = match model.sample_scenarios(
+            state.delta.traffic_count(),
+            dspec.as_ref(),
+            scenarios,
+            seed,
+        ) {
+            Ok(s) => s,
+            Err(e) => return spec_error(e).to_json(),
+        };
+        let mut placed = placement.unwrap_or_else(|| state.delta.installed().to_vec());
+        placed.sort_unstable();
+        placed.dedup();
+        let score = match score_ensemble(&mut state.delta, &placed, &ensemble) {
+            Ok(s) => s,
+            Err(e) => return map_placement_error(e).to_json(),
+        };
+        let n = score.per_scenario.len();
+        let pages = n.div_ceil(page.page_size).max(1);
+        let start = page.page.saturating_mul(page.page_size).min(n);
+        let end = (start + page.page_size).min(n);
+        let rows: Vec<Value> = score.per_scenario[start..end]
+            .iter()
+            .map(|s| {
+                Value::Obj(vec![
+                    ("coverage".into(), Value::Num(s.coverage)),
+                    ("live_devices".into(), Value::Num(s.live_devices as f64)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("score_ensemble".into())),
+            ("id".into(), Value::Str(id.to_string())),
+            ("version".into(), Value::Num(state.version as f64)),
+            ("scenarios".into(), Value::Num(n as f64)),
+            ("devices".into(), Value::Num(placed.len() as f64)),
+            (
+                "expected_coverage".into(),
+                Value::Num(score.expected_coverage),
+            ),
+            ("p99_tail".into(), Value::Num(score.p99_tail)),
+            ("worst_case".into(), Value::Num(score.worst_case)),
+            ("page".into(), Value::Num(page.page as f64)),
+            ("pages".into(), Value::Num(pages as f64)),
+            ("rows".into(), Value::Arr(rows)),
+        ])
+        .to_json()
     }
 
     // ---- introspection --------------------------------------------------
@@ -600,113 +676,29 @@ fn run_solve(meta: &SlotMeta, state: &mut SlotState, query: &SolveQuery) -> Arc<
     memo.get_or_compute(domain, key, || outcome)
 }
 
-fn solve_ppm(state: &mut SlotState, query: &SolveQuery) -> SolveOutcome {
-    match query.method {
-        Method::Exact => {
-            let opts = ExactOptions {
-                max_nodes: query.max_nodes,
-                ..Default::default()
-            };
-            match state.delta.solve_exact(query.k, &opts) {
-                Some(sol) => SolveOutcome::Ppm {
-                    edges: sol.edges.clone(),
-                    coverage: sol.coverage,
-                    total_volume: sol.total_volume,
-                    proven: sol.proven_optimal,
-                },
-                None => SolveOutcome::Unreachable,
-            }
-        }
-        Method::Greedy => {
-            let inst = state.delta.instance();
-            match greedy_constrained(
-                &inst,
-                state.delta.installed(),
-                state.delta.disabled(),
-                query.k,
-            ) {
-                Some(sol) => SolveOutcome::Ppm {
-                    edges: sol.edges.clone(),
-                    coverage: sol.coverage,
-                    total_volume: sol.total_volume,
-                    proven: false,
-                },
-                None => SolveOutcome::Unreachable,
-            }
-        }
+/// Bridges a wire query's method onto the unified request.
+fn with_method(req: SolveRequest, method: Method) -> SolveRequest {
+    match method {
+        Method::Greedy => req.greedy(),
+        Method::Exact => req.exact(),
     }
 }
 
-/// The paper's decreasing-load greedy, lifted to the service's constraint
-/// set: pre-installed devices contribute their coverage for free (dead
-/// ones on failed links do not — failure beats installation, matching
-/// `DeltaInstance::solve_exact`), failed links can never host a device,
-/// and the greedy covers the residual target on the masked instance.
-fn greedy_constrained(
-    inst: &PpmInstance,
-    installed: &[usize],
-    disabled: &[usize],
-    k: f64,
-) -> Option<PpmSolution> {
-    if installed.is_empty() && disabled.is_empty() {
-        return greedy_static(inst, k);
-    }
-    let live: Vec<usize> = installed
-        .iter()
-        .copied()
-        .filter(|e| disabled.binary_search(e).is_err())
-        .collect();
-    let target = k * inst.total_volume();
-    let base = inst.coverage(&live);
-    if base + 1e-9 >= target {
-        return Some(PpmSolution::from_edges(inst, live, false));
-    }
-    // Residual instance: traffics already covered by the live installed
-    // set drop out; the rest lose their failed links (a support that
-    // empties becomes uncoverable, as in routed failures).
-    let residual: Vec<(f64, Vec<usize>)> = inst
-        .traffics
-        .iter()
-        .filter(|(_, s)| !s.iter().any(|e| live.binary_search(e).is_ok()))
-        .map(|(v, s)| {
-            (
-                *v,
-                s.iter()
-                    .copied()
-                    .filter(|e| disabled.binary_search(e).is_err())
-                    .collect(),
-            )
-        })
-        .collect();
-    let masked = PpmInstance::new(inst.num_edges, residual);
-    let sub_total = masked.total_volume();
-    if sub_total <= 0.0 {
-        return None;
-    }
-    let k_residual = ((target - base) / sub_total).min(1.0);
-    let picked = greedy_static(&masked, k_residual)?;
-    let mut edges = live;
-    edges.extend(&picked.edges);
-    edges.sort_unstable();
-    edges.dedup();
-    Some(PpmSolution::from_edges(inst, edges, false))
+fn solve_ppm(state: &mut SlotState, query: &SolveQuery) -> SolveOutcome {
+    let req = with_method(
+        SolveRequest::ppm(query.k).with_node_budget(query.max_nodes),
+        query.method,
+    );
+    state
+        .delta
+        .solve(&req)
+        .expect("protocol-validated queries are solver-valid")
 }
 
 fn solve_apm(meta: &SlotMeta, query: &SolveQuery) -> SolveOutcome {
     let (graph, _) = meta.pop.router_subgraph();
-    let candidates: Vec<_> = graph.nodes().collect();
-    let probes = compute_probes(&graph, &candidates);
-    let placement = match query.method {
-        Method::Greedy => place_beacons_greedy(&probes, &candidates),
-        Method::Exact => place_beacons_ilp(&graph, &probes, &candidates),
-    };
-    SolveOutcome::Apm {
-        beacons: placement.beacons.iter().map(|b| b.index()).collect(),
-        probes: probes.len(),
-        covered_links: probes.covered.iter().filter(|&&c| c).count(),
-        router_links: graph.edge_count(),
-        proven: placement.proven_optimal,
-    }
+    let req = with_method(SolveRequest::apm(), query.method);
+    solve::solve_apm(&graph, &req).expect("APM requests carry no instance-dependent knobs")
 }
 
 /// Formats a solve outcome into response fields, applying pagination to
@@ -760,43 +752,53 @@ fn solve_fields(
             ),
         )
     };
-    match outcome {
-        SolveOutcome::Unreachable => {
-            fields.push(("feasible".into(), Value::Bool(false)));
-        }
-        SolveOutcome::Ppm {
-            edges,
-            coverage,
-            total_volume,
-            proven,
-        } => {
+    // A PPM-shaped arm shared by target solves and (internal) budget
+    // solves: identical field set, identical order.
+    let ppm_shaped =
+        |fields: &mut Vec<(String, Value)>, edges: &[usize], coverage: f64, total: f64, proven| {
             let (count, pg, pages, placement) = paged(edges);
             fields.push(("feasible".into(), Value::Bool(true)));
             fields.push(("devices".into(), count));
             fields.push(("page".into(), pg));
             fields.push(("pages".into(), pages));
             fields.push(("placement".into(), placement));
-            fields.push(("coverage".into(), Value::Num(*coverage)));
-            fields.push(("total_volume".into(), Value::Num(*total_volume)));
-            fields.push(("proven_optimal".into(), Value::Bool(*proven)));
+            fields.push(("coverage".into(), Value::Num(coverage)));
+            fields.push(("total_volume".into(), Value::Num(total)));
+            fields.push(("proven_optimal".into(), Value::Bool(proven)));
+        };
+    match outcome {
+        SolveOutcome::Unreachable => {
+            fields.push(("feasible".into(), Value::Bool(false)));
         }
-        SolveOutcome::Apm {
-            beacons,
-            probes,
-            covered_links,
-            router_links,
-            proven,
-        } => {
-            let (count, pg, pages, placement) = paged(beacons);
+        SolveOutcome::Ppm(sol) => {
+            ppm_shaped(
+                &mut fields,
+                &sol.edges,
+                sol.coverage,
+                sol.total_volume,
+                sol.proven_optimal,
+            );
+        }
+        SolveOutcome::Budget(sol) => {
+            ppm_shaped(
+                &mut fields,
+                &sol.edges,
+                sol.coverage,
+                sol.total_volume,
+                sol.proven_optimal,
+            );
+        }
+        SolveOutcome::Apm(sol) => {
+            let (count, pg, pages, placement) = paged(&sol.beacons);
             fields.push(("feasible".into(), Value::Bool(true)));
             fields.push(("beacons".into(), count));
             fields.push(("page".into(), pg));
             fields.push(("pages".into(), pages));
             fields.push(("placement".into(), placement));
-            fields.push(("probes".into(), Value::Num(*probes as f64)));
-            fields.push(("covered_links".into(), Value::Num(*covered_links as f64)));
-            fields.push(("router_links".into(), Value::Num(*router_links as f64)));
-            fields.push(("proven_optimal".into(), Value::Bool(*proven)));
+            fields.push(("probes".into(), Value::Num(sol.probes as f64)));
+            fields.push(("covered_links".into(), Value::Num(sol.covered_links as f64)));
+            fields.push(("router_links".into(), Value::Num(sol.router_links as f64)));
+            fields.push(("proven_optimal".into(), Value::Bool(sol.proven_optimal)));
         }
     }
     fields
@@ -944,6 +946,81 @@ mod tests {
             .map(|v| v.as_u64().unwrap() as usize)
             .collect();
         assert_eq!(seen, all, "page walk must reconstruct the full placement");
+    }
+
+    #[test]
+    fn score_ensemble_is_seeded_and_leaves_the_chain_intact() {
+        let s = service();
+        line(
+            &s,
+            r#"{"op":"load_spec","id":"a","spec":"paper_10","seed":1}"#,
+        );
+        let before = s.handle_line(r#"{"op":"inspect","id":"a"}"#).text;
+        let req = r#"{"op":"score_ensemble","id":"a","failure":"srlg groups=4 group_rate=0.3 link_rate=0.05","dynamic":"dynamic","scenarios":20,"seed":7,"placement":[0,1,2]}"#;
+        let a = s.handle_line(req).text;
+        let b = s.handle_line(req).text;
+        assert_eq!(a, b, "same spec and seed must reproduce the ensemble");
+        let r = crate::json::parse(&a).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("scenarios").unwrap().as_f64(), Some(20.0));
+        assert_eq!(r.get("devices").unwrap().as_f64(), Some(3.0));
+        assert_eq!(r.get("rows").unwrap().as_arr().unwrap().len(), 20);
+        let expected = r.get("expected_coverage").unwrap().as_f64().unwrap();
+        let worst = r.get("worst_case").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&expected) && worst <= expected + 1e-12);
+        // The campaign mutates the chain scenario by scenario but must
+        // hand it back untouched: same version, same inspect bytes.
+        let after = s.handle_line(r#"{"op":"inspect","id":"a"}"#).text;
+        assert_eq!(before, after, "a campaign must not leak chain state");
+        // A different seed yields a different ensemble (same shape).
+        let c = s
+            .handle_line(
+                r#"{"op":"score_ensemble","id":"a","failure":"srlg groups=4 group_rate=0.3 link_rate=0.05","dynamic":"dynamic","scenarios":20,"seed":8,"placement":[0,1,2]}"#,
+            )
+            .text;
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn score_ensemble_pages_rows_and_rejects_bad_specs() {
+        let s = service();
+        line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":1}"#);
+        // Default placement: the installed set (empty here) — worst case
+        // covers nothing unless total volume is zero under failures.
+        let r = line(
+            &s,
+            r#"{"op":"score_ensemble","id":"a","failure":"srlg","scenarios":5,"page_size":2}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("devices").unwrap().as_f64(), Some(0.0));
+        assert_eq!(r.get("pages").unwrap().as_f64(), Some(3.0));
+        assert_eq!(r.get("rows").unwrap().as_arr().unwrap().len(), 2);
+        for (req, code) in [
+            (
+                r#"{"op":"score_ensemble","id":"nope","failure":"srlg","scenarios":1}"#,
+                "no_such_instance",
+            ),
+            (
+                r#"{"op":"score_ensemble","id":"a","failure":"srlg groups=0","scenarios":1}"#,
+                "bad_spec",
+            ),
+            (
+                r#"{"op":"score_ensemble","id":"a","failure":"srlg","dynamic":"dynamic jitter=7","scenarios":1}"#,
+                "bad_spec",
+            ),
+            (
+                r#"{"op":"score_ensemble","id":"a","failure":"srlg","scenarios":1,"placement":[9999]}"#,
+                "bad_index",
+            ),
+        ] {
+            let r = line(&s, req);
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(false), "{req}");
+            assert_eq!(
+                r.get("error").unwrap().get("code").unwrap().as_str(),
+                Some(code),
+                "{req}"
+            );
+        }
     }
 
     #[test]

@@ -98,8 +98,9 @@ impl Session {
     }
 
     /// Emits the next request line. The first line is always the
-    /// `load_spec`; afterwards the mix is roughly 45% solve, 45% what-if
-    /// (with an embedded re-solve half the time), 10% inspect.
+    /// `load_spec`; afterwards the mix is roughly 45% solve, 40% what-if
+    /// (with an embedded re-solve half the time), 5% resilience campaigns
+    /// (`score_ensemble`), 10% inspect.
     pub fn next_line(&mut self) -> String {
         if !self.emitted_load {
             self.emitted_load = true;
@@ -111,8 +112,10 @@ impl Session {
         let roll = self.rng.below(20);
         if roll < 9 {
             self.solve_line()
-        } else if roll < 18 {
+        } else if roll < 17 {
             self.whatif_line()
+        } else if roll == 17 {
+            self.score_line()
         } else {
             format!(r#"{{"op":"inspect","id":"{}"}}"#, self.spec.id)
         }
@@ -134,6 +137,27 @@ impl Session {
     fn solve_line(&mut self) -> String {
         let q = self.solve_query();
         format!(r#"{{"op":"solve","id":"{}",{q}}}"#, self.spec.id)
+    }
+
+    /// A resilience campaign with quantized, always-valid spec parameters
+    /// (rates stay well inside [0, 1]); the placement is omitted so the
+    /// campaign scores the instance's installed set, which is always
+    /// in-range.
+    fn score_line(&mut self) -> String {
+        let groups = 2 + self.rng.below(6);
+        let group_rate = 0.05 * self.rng.below(7) as f64;
+        let link_rate = 0.02 * self.rng.below(5) as f64;
+        let dynamic = if self.rng.below(2) == 0 {
+            r#","dynamic":"dynamic""#
+        } else {
+            ""
+        };
+        let scenarios = 1 + self.rng.below(12);
+        let seed = self.rng.below(1000);
+        format!(
+            r#"{{"op":"score_ensemble","id":"{}","failure":"srlg groups={groups} group_rate={group_rate} link_rate={link_rate}"{dynamic},"scenarios":{scenarios},"seed":{seed}}}"#,
+            self.spec.id
+        )
     }
 
     fn whatif_line(&mut self) -> String {
