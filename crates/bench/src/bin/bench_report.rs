@@ -307,6 +307,44 @@ fn main() {
         ),
     );
 
+    // --- anytime degradation: time-to-first-answer on the 100-router
+    // rung under a starved work budget. The same instance as
+    // `exact_scale_100`, but the solve carries a fixed deterministic
+    // budget far below the full search's cost, so the stage prices what
+    // a popmond client actually waits for when its budget trips: the
+    // root relaxation plus the first incumbent (or the greedy fallback),
+    // never the full tree. Work units make the trip point — and hence
+    // the rate — reproducible, which is what lets this stage be gated
+    // while `exact_scale_100` (incumbent-luck node counts) is not.
+    push(
+        &mut stages,
+        run_stage(
+            "degraded_solve_scale_100",
+            "cases = degraded anytime solves (100-router, 2k-unit budget)",
+            iters,
+            || {
+                let req = placement::solve::SolveRequest::ppm(0.8)
+                    .exact()
+                    .with_work_budget(2_000);
+                let out = placement::solve::solve_instance(&inst100, &req).expect("valid request");
+                let placement::solve::SolveOutcome::Degraded {
+                    partial,
+                    work_spent,
+                    ..
+                } = &out
+                else {
+                    panic!("a 2k-unit budget must trip on the 100-router instance");
+                };
+                assert!(
+                    matches!(**partial, placement::solve::SolveOutcome::Ppm(_)),
+                    "the degraded solve must still carry an answer"
+                );
+                std::hint::black_box(*work_spent);
+                1
+            },
+        ),
+    );
+
     // --- end-to-end fig7 sweep (6 k-points x 2 seeds, greedy + ILP) -----
     // Engine-backed with the per-seed instance memoized; serial so the
     // number measures the algorithms (the baseline entry is the pre-PR

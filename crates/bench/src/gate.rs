@@ -19,6 +19,7 @@ pub const STABLE_STAGES: &[&str] = &[
     "simplex_illcond_25router",
     "mecf_bb_15router_k80",
     "exact_scale_50",
+    "degraded_solve_scale_100",
     "fig7_sweep",
     "fig8_point_k75",
     "xp_incremental_sweep",

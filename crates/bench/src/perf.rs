@@ -105,6 +105,14 @@ pub const BASELINE: &[(&str, f64, f64)] = &[
     // the rate is a deterministic node-throughput measurement.
     ("exact_scale_50", 2.401, 0.417),
     ("exact_scale_100", 3.033, 0.330),
+    // Frozen at its introduction (PR 10, anytime work budgets): the stage
+    // did not exist before budgeted solves did, so the entry anchors the
+    // trajectory from here on — one 2k-unit degraded solve on the
+    // 100-router instance took 0.272 s (3.681 solves/s over the 2-iter
+    // smoke run) on the reference container. The rate is deterministic in
+    // work units, which is why this stage is gate-stable while the full
+    // `exact_scale_100` search (incumbent-luck node counts) is not.
+    ("degraded_solve_scale_100", 0.543381, 3.681),
     ("fig7_sweep", 0.814868, 14.726),
     // The three stages below ran with `speedup_vs_baseline: null` from
     // PR 2/3 through PR 4; frozen at their committed PR-4-head

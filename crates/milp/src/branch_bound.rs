@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::model::{fnv_step, Cmp, Model, Sense, FNV_OFFSET};
-use crate::simplex::LpWarmStart;
+use crate::simplex::{self, LpWarmStart};
 use crate::{cuts, presolve, tol};
 use crate::{Result, Solution, SolveStatus, SolverError};
 
@@ -88,6 +88,18 @@ pub struct MipOptions {
     /// byte-identical at any thread count. 1 reproduces the classic
     /// one-node-at-a-time search.
     pub node_batch: usize,
+    /// Cooperative **work budget** in deterministic work units (simplex
+    /// iterations + basis refactorizations + branch-and-bound nodes).
+    /// Unlike [`MipOptions::time_limit`], exhaustion is a pure function of
+    /// the search trajectory — identical budgets produce bitwise-identical
+    /// results at any thread count — and the anytime entry point
+    /// ([`Model::solve_mip_anytime`]) returns the best incumbent and dual
+    /// bound found instead of an error. `None` (the default) disables the
+    /// budget entirely; the unbudgeted code path is untouched, so existing
+    /// results stay byte-identical. The budget can be overshot by a
+    /// bounded, deterministic amount (the simplex checks every 64th
+    /// iteration, and in-flight batch members run to completion).
+    pub work_budget: Option<u64>,
 }
 
 impl Default for MipOptions {
@@ -105,7 +117,57 @@ impl Default for MipOptions {
             strong_cands: 8,
             threads: 1,
             node_batch: 1,
+            work_budget: None,
         }
+    }
+}
+
+/// Result of an anytime MIP solve ([`Model::solve_mip_anytime`]).
+///
+/// The **anytime contract**: for a minimization model,
+/// `bound ≤ optimal ≤ incumbent.objective` whenever an incumbent exists
+/// (for maximization the inequalities flip — `bound` is then an upper
+/// bound). Both sides tighten monotonically with larger budgets, and a
+/// budget at least as large as the uninterrupted solve's
+/// [`Solution::work`] reproduces that solve bitwise.
+#[derive(Debug, Clone)]
+pub enum MipOutcome {
+    /// The search ran to its natural end under the budget: a proven
+    /// optimum, or a limit-terminated feasible solution exactly as the
+    /// non-anytime API would have returned it.
+    Complete(Solution),
+    /// The work budget tripped mid-search. The best incumbent found so
+    /// far (if any) and the sharpest dual bound proven are preserved —
+    /// an interrupted solve still yields an answer with a quality
+    /// certificate, never just an error.
+    Interrupted {
+        /// Best integer-feasible solution found before interruption, with
+        /// its [`Solution::gap`] measured against `bound`. `None` when
+        /// the budget tripped before any incumbent landed.
+        incumbent: Option<Solution>,
+        /// Dual bound in the model's own sense: no integer solution can
+        /// beat it (minimization: `optimal ≥ bound`). `-inf`/`+inf` when
+        /// even the root relaxation was interrupted.
+        bound: f64,
+        /// Work units actually spent (may overshoot the budget by the
+        /// documented bounded amount).
+        work_spent: u64,
+    },
+}
+
+impl MipOutcome {
+    /// The solution carried by this outcome: the complete solution, or
+    /// the interrupted incumbent when one exists.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            MipOutcome::Complete(s) => Some(s),
+            MipOutcome::Interrupted { incumbent, .. } => incumbent.as_ref(),
+        }
+    }
+
+    /// Whether the search ended on its own terms (no budget trip).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, MipOutcome::Complete(_))
     }
 }
 
@@ -311,13 +373,29 @@ struct NodeLp {
 }
 
 /// `Ok(None)` = LP infeasible (node closed); `Err` = numerical failure.
-type LpOutcome = Result<Option<NodeLp>>;
+/// The `u64` is the work the LP call performed **whatever** the outcome —
+/// infeasible and failed relaxations burn real pivots too, and the
+/// anytime ledger must count them or a budget equal to a solve's own
+/// reported [`Solution::work`] could trip inside work the report never
+/// showed, breaking the reproduction guarantee.
+type LpOutcome = (Result<Option<NodeLp>>, u64);
 
 /// Solves one node's relaxation on `model` (a row-identical copy of
 /// `root`), applying and then restoring the node's bound overrides. Pure
-/// in (model rows, node) — workers call it on private clones, the serial
-/// path on the shared node model, with identical results.
-fn solve_node_lp(model: &mut Model, root: &Model, node: &Node, warm_path: bool) -> LpOutcome {
+/// in (model rows, node, lp_budget) — workers call it on private clones,
+/// the serial path on the shared node model, with identical results.
+///
+/// `lp_budget` is the work budget remaining at the owning batch's start —
+/// identical for every node in the batch regardless of scheduling, which
+/// is what keeps a budget trip deterministic across thread counts. A trip
+/// surfaces as `Err(Interrupted)` and is handled by the merge.
+fn solve_node_lp(
+    model: &mut Model,
+    root: &Model,
+    node: &Node,
+    warm_path: bool,
+    lp_budget: Option<u64>,
+) -> LpOutcome {
     for &(j, lo, hi) in &node.changes {
         model.vars[j].lo = lo;
         model.vars[j].hi = hi;
@@ -325,28 +403,65 @@ fn solve_node_lp(model: &mut Model, root: &Model, node: &Node, warm_path: bool) 
     // The root always routes through the warm-capable path so chains can
     // seed it and its basis can seed the next chain link; interior nodes
     // reuse the parent basis only when `warm_basis` is on.
+    let mut work = 0u64;
     let lp = if warm_path || node.depth == 0 {
-        model.solve_lp_warm(node.basis.as_deref())
+        simplex::solve_warm_budgeted(model, node.basis.as_deref(), lp_budget, &mut work)
     } else {
-        model.solve_lp().map(|s| (s, None))
+        simplex::solve_budgeted(model, lp_budget, &mut work).map(|s| (s, None))
     };
     restore(model, root, &node.changes);
-    match lp {
+    let outcome = match lp {
         Ok((sol, basis)) => Ok(Some(NodeLp { sol, basis })),
         Err(SolverError::Infeasible) => Ok(None),
         Err(e) => Err(e),
-    }
+    };
+    (outcome, work)
 }
 
 /// Entry point used by [`Model::solve_mip`] and friends. `warm` seeds the
 /// root LP basis from a previous solve of a perturbed sibling model; the
 /// returned [`MipWarmStart`] carries this solve's root basis onward (or
 /// `None` when the root LP never produced a reusable basis).
+///
+/// Flattens a budget interruption into the legacy surface: an interrupted
+/// search with an incumbent reports it as a [`SolveStatus::Feasible`]
+/// solution with its gap (the same shape a node-limit stop produces), and
+/// one without an incumbent surfaces [`SolverError::Interrupted`]. Use
+/// [`solve_outcome`] / [`Model::solve_mip_anytime`] for the typed form.
 pub(crate) fn solve(
     model: &Model,
     opts: &MipOptions,
     warm: Option<&MipWarmStart>,
 ) -> Result<(Solution, Option<MipWarmStart>)> {
+    match solve_outcome(model, opts, warm)? {
+        (MipOutcome::Complete(sol), w) => Ok((sol, w)),
+        (
+            MipOutcome::Interrupted {
+                incumbent: Some(sol),
+                ..
+            },
+            w,
+        ) => Ok((sol, w)),
+        (
+            MipOutcome::Interrupted {
+                incumbent: None,
+                work_spent,
+                ..
+            },
+            _,
+        ) => Err(SolverError::Interrupted { work_spent }),
+    }
+}
+
+/// The full anytime search. See [`MipOutcome`] for the contract; with
+/// [`MipOptions::work_budget`] unset this never returns
+/// [`MipOutcome::Interrupted`] and is byte-identical to the pre-anytime
+/// search.
+pub(crate) fn solve_outcome(
+    model: &Model,
+    opts: &MipOptions,
+    warm: Option<&MipWarmStart>,
+) -> Result<(MipOutcome, Option<MipWarmStart>)> {
     // Work on a minimization copy to keep bound logic single-signed.
     let maximize = matches!(model.sense, Sense::Maximize);
     let mut work = model.clone();
@@ -389,7 +504,8 @@ pub(crate) fn solve(
                   status: SolveStatus,
                   gap: f64,
                   iterations: usize,
-                  nodes: usize|
+                  nodes: usize,
+                  work: u64|
      -> Solution {
         let values = pre.expand(&values_reduced);
         let objective = model.objective_value(&values);
@@ -400,6 +516,7 @@ pub(crate) fn solve(
             gap,
             iterations,
             nodes,
+            work,
         }
     };
 
@@ -415,6 +532,14 @@ pub(crate) fn solve(
     let start = Instant::now();
     let mut iterations = 0usize;
     let mut nodes_explored = 0usize;
+    // Deterministic work-unit ledger: every node charged at batch accept,
+    // every LP call's true cost — successful, infeasible, tripped, or
+    // failed — charged in merge order. A pure function of the search
+    // trajectory, so budget trips replay bitwise at any thread count; and
+    // complete (no outcome uncounted), so feeding a finished solve's own
+    // `Solution::work` back as the budget reproduces it without a trip.
+    let mut work_spent = 0u64;
+    let mut interrupted = false;
     let mut open = BinaryHeap::new();
     let mut seq = 0usize;
     open.push(Node {
@@ -454,7 +579,9 @@ pub(crate) fn solve(
         if batch.is_empty() {
             break;
         }
-        if nodes_explored + batch.len() > opts.max_nodes
+        let work_tripped = opts.work_budget.is_some_and(|b| work_spent >= b);
+        if work_tripped
+            || nodes_explored + batch.len() > opts.max_nodes
             || opts.time_limit.is_some_and(|l| start.elapsed() >= l)
         {
             // Return the collected nodes so the final gap sees their bounds.
@@ -462,9 +589,16 @@ pub(crate) fn solve(
                 open.push(node);
             }
             proven = false;
+            interrupted |= work_tripped;
             break;
         }
         nodes_explored += batch.len();
+        work_spent += batch.len() as u64;
+        // Per-node LP budget: the work remaining *at batch start*. Fixed
+        // for the whole batch so every member sees the same number no
+        // matter which worker picks it up — the thread-count invariance
+        // of a trip hinges on exactly this.
+        let lp_budget = opts.work_budget.map(|b| b.saturating_sub(work_spent));
 
         // Solve the batch relaxations — in parallel when both the batch
         // and the worker pool are larger than one. Workers pull node
@@ -491,7 +625,9 @@ pub(crate) fn solve(
                                 }
                                 out.push((
                                     i,
-                                    solve_node_lp(&mut local, root, &batch[i], warm_path),
+                                    solve_node_lp(
+                                        &mut local, root, &batch[i], warm_path, lp_budget,
+                                    ),
                                 ));
                             }
                             out
@@ -516,6 +652,7 @@ pub(crate) fn solve(
                     &root_model,
                     node,
                     opts.warm_basis,
+                    lp_budget,
                 ));
             }
             v
@@ -523,7 +660,25 @@ pub(crate) fn solve(
 
         // Sequential merge in pop order: everything order-sensitive
         // (incumbent, pseudocosts, cuts, child insertion) happens here.
-        for (node, lp) in batch.iter().zip(lps) {
+        for (node, (lp, lp_work)) in batch.iter().zip(lps) {
+            // Charge the LP's true cost first, whatever its outcome — an
+            // infeasible node's closing certificate burns pivots that the
+            // ledger must see, or a rerun with this solve's own reported
+            // work as its budget would trip inside the uncounted work.
+            work_spent += lp_work;
+            // A node LP that tripped the batch's budget goes back on the
+            // queue (its bound must count in the final dual bound); the
+            // rest of the batch still merges — their LPs are solved,
+            // discarding them would waste the work — and the search stops
+            // at the end of this merge.
+            let lp = match lp {
+                Err(SolverError::Interrupted { .. }) => {
+                    interrupted = true;
+                    open.push(node.clone());
+                    continue;
+                }
+                other => other,
+            };
             let Some(NodeLp { mut sol, mut basis }) = lp? else {
                 continue; // node LP infeasible: closed
             };
@@ -547,12 +702,21 @@ pub(crate) fn solve(
             if node.depth == 0 {
                 root_basis_out = basis.clone().map(|root| MipWarmStart { root });
                 let mut infeasible_by_cuts = false;
+                let mut tripped_in_cuts = false;
                 for _ in 0..opts.cut_rounds {
                     let found = cuts::separate(&root_model, &sol.values, CUTS_PER_ROUND);
                     if append_cuts(&mut root_model, &mut node_model, &found, &mut seen_cuts) == 0 {
                         break;
                     }
-                    match node_model.solve_lp_warm(basis.as_ref()) {
+                    let mut cut_work = 0u64;
+                    let lp2 = simplex::solve_warm_budgeted(
+                        &node_model,
+                        basis.as_ref(),
+                        lp_budget,
+                        &mut cut_work,
+                    );
+                    work_spent += cut_work;
+                    match lp2 {
                         Ok((s2, b2)) => {
                             iterations += s2.iterations;
                             sol = s2;
@@ -565,10 +729,29 @@ pub(crate) fn solve(
                             infeasible_by_cuts = true;
                             break;
                         }
+                        // Budget tripped inside a separation re-solve.
+                        Err(SolverError::Interrupted { .. }) => {
+                            tripped_in_cuts = true;
+                            break;
+                        }
                         Err(e) => return Err(e),
                     }
                 }
                 if infeasible_by_cuts {
+                    continue;
+                }
+                if tripped_in_cuts {
+                    // Terminal by design: expanding this node from a
+                    // partially tightened relaxation would put the search
+                    // on a different trajectory than a larger budget —
+                    // the anytime monotonicity guarantee (bigger budgets
+                    // never worsen the incumbent) requires every trip to
+                    // stop the search at a shared-prefix point. The last
+                    // fully solved relaxation is still a valid bound.
+                    let mut back = node.clone();
+                    back.bound = strengthen(sol.objective);
+                    open.push(back);
+                    interrupted = true;
                     continue;
                 }
             }
@@ -587,8 +770,15 @@ pub(crate) fn solve(
                         node_model.vars[j].lo = lo;
                         node_model.vars[j].hi = hi;
                     }
-                    let lp2 = node_model.solve_lp_warm(basis.as_ref());
+                    let mut cut_work = 0u64;
+                    let lp2 = simplex::solve_warm_budgeted(
+                        &node_model,
+                        basis.as_ref(),
+                        lp_budget,
+                        &mut cut_work,
+                    );
                     restore(&mut node_model, &root_model, &node.changes);
+                    work_spent += cut_work;
                     match lp2 {
                         Ok((s2, b2)) => {
                             iterations += s2.iterations;
@@ -597,6 +787,17 @@ pub(crate) fn solve(
                         }
                         // Only this subtree is proven empty.
                         Err(SolverError::Infeasible) => continue,
+                        // Budget trip mid-tightening: terminal (see the
+                        // root-cut trip above) — the pre-cut relaxation
+                        // is untouched and still a valid bound for the
+                        // requeued node.
+                        Err(SolverError::Interrupted { .. }) => {
+                            let mut back = node.clone();
+                            back.bound = bound;
+                            open.push(back);
+                            interrupted = true;
+                            continue;
+                        }
                         Err(e) => return Err(e),
                     }
                     bound = strengthen(sol.objective);
@@ -629,6 +830,7 @@ pub(crate) fn solve(
             // infeasible probe direction makes its variable the forced
             // choice — branching there closes one child instantly.
             let mut forced: Option<usize> = None;
+            let mut probe_tripped = false;
             if opts.reliability > 0 && !cands.is_empty() {
                 let mut order: Vec<usize> = (0..cands.len()).collect();
                 order.sort_by(|&a, &b| cand_cmp(&pseudo, &cands[a], &cands[b]));
@@ -650,13 +852,21 @@ pub(crate) fn solve(
                         } else {
                             node_model.vars[j].hi = x.floor();
                         }
+                        let mut probe_work = 0u64;
                         let probe = if let Some(w) = lp_arc.as_deref() {
-                            node_model.solve_lp_warm(Some(w)).map(|(s, _)| s)
+                            simplex::solve_warm_budgeted(
+                                &node_model,
+                                Some(w),
+                                lp_budget,
+                                &mut probe_work,
+                            )
+                            .map(|(s, _)| s)
                         } else {
-                            node_model.solve_lp()
+                            simplex::solve_budgeted(&node_model, lp_budget, &mut probe_work)
                         };
                         node_model.vars[j].lo = plo;
                         node_model.vars[j].hi = phi;
+                        work_spent += probe_work;
                         match probe {
                             Ok(ps) => {
                                 iterations += ps.iterations;
@@ -667,12 +877,30 @@ pub(crate) fn solve(
                                 forced = Some(j);
                                 break 'probing;
                             }
+                            // Budget trip inside a probe: end the search
+                            // at this shared-prefix point (see the
+                            // root-cut trip) — branching from half-made
+                            // pseudocost observations would diverge from
+                            // the larger-budget trajectory.
+                            Err(SolverError::Interrupted { .. }) => {
+                                probe_tripped = true;
+                                break 'probing;
+                            }
                             // Numerical trouble in a probe is advisory
-                            // only — skip the observation.
+                            // only — skip the observation (its work is
+                            // still on the ledger).
                             Err(_) => {}
                         }
                     }
                 }
+            }
+            if probe_tripped {
+                restore(&mut node_model, &root_model, &node.changes);
+                let mut back = node.clone();
+                back.bound = bound;
+                open.push(back);
+                interrupted = true;
+                continue;
             }
 
             let mut branch_var: Option<usize> = forced;
@@ -779,9 +1007,49 @@ pub(crate) fn solve(
 
             restore(&mut node_model, &root_model, &node.changes);
         }
+
+        if interrupted {
+            // A node LP tripped the budget mid-batch: its node is back on
+            // the queue (so the dual bound below sees it) and the search
+            // ends here deterministically.
+            proven = false;
+            break;
+        }
     }
 
     let best_open_bound = open.peek().map(|n| n.bound).unwrap_or(f64::INFINITY);
+
+    if interrupted {
+        // Anytime surface: best incumbent + sharpest dual bound proven.
+        // The dual bound is the least open-node bound, capped by the
+        // incumbent (open nodes at or above the incumbent would have been
+        // pruned at pop time); the root node re-queued with its -inf
+        // bound correctly reports "nothing proven yet".
+        let bound_min = match &incumbent {
+            Some((obj, _)) => best_open_bound.min(*obj),
+            None => best_open_bound,
+        };
+        let bound = if maximize { -bound_min } else { bound_min };
+        let incumbent_sol = incumbent.map(|(obj, values)| {
+            let gap = tol::rel_gap(obj, bound_min.min(obj));
+            finish(
+                values,
+                SolveStatus::Feasible,
+                gap,
+                iterations,
+                nodes_explored,
+                work_spent,
+            )
+        });
+        return Ok((
+            MipOutcome::Interrupted {
+                incumbent: incumbent_sol,
+                bound,
+                work_spent,
+            },
+            root_basis_out,
+        ));
+    }
 
     match incumbent {
         Some((obj, values)) => {
@@ -801,7 +1069,14 @@ pub(crate) fn solve(
                 gap
             };
             Ok((
-                finish(values, status, gap, iterations, nodes_explored),
+                MipOutcome::Complete(finish(
+                    values,
+                    status,
+                    gap,
+                    iterations,
+                    nodes_explored,
+                    work_spent,
+                )),
                 root_basis_out,
             ))
         }

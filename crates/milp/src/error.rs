@@ -50,6 +50,17 @@ pub enum SolverError {
         /// Nodes explored before giving up.
         nodes: usize,
     },
+    /// A cooperative work budget (see [`crate::MipOptions::work_budget`])
+    /// was exhausted mid-solve. This is an *internal* control-flow signal:
+    /// the anytime entry points ([`crate::Model::solve_mip_anytime`])
+    /// intercept it and return [`crate::MipOutcome::Interrupted`] carrying
+    /// the best incumbent and dual bound instead, so callers only observe
+    /// this variant from the raw LP interfaces.
+    Interrupted {
+        /// Deterministic work units (simplex iterations + refactorizations
+        /// + branch-and-bound nodes) spent before the budget tripped.
+        work_spent: u64,
+    },
     /// The accuracy monitor could not certify the final solution: the
     /// relative primal residual stayed above the certification threshold
     /// even after refactorization and Markowitz-tolerance tightening.
@@ -99,6 +110,9 @@ impl fmt::Display for SolverError {
                     f,
                     "node limit reached after {nodes} nodes with no feasible solution found"
                 )
+            }
+            SolverError::Interrupted { work_spent } => {
+                write!(f, "work budget exhausted after {work_spent} work units")
             }
             SolverError::Numerical {
                 residual,

@@ -59,7 +59,7 @@ mod simplex;
 mod solution;
 pub mod tol;
 
-pub use branch_bound::{MipOptions, MipWarmStart};
+pub use branch_bound::{MipOptions, MipOutcome, MipWarmStart};
 pub use error::SolverError;
 pub use model::{Cmp, ConstrId, Model, Sense, VarId, VarKind};
 pub use simplex::LpWarmStart;

@@ -1,4 +1,4 @@
-use crate::branch_bound::{self, MipOptions, MipWarmStart};
+use crate::branch_bound::{self, MipOptions, MipOutcome, MipWarmStart};
 use crate::simplex::LpWarmStart;
 use crate::{simplex, Result, Solution, SolverError};
 
@@ -612,6 +612,21 @@ impl Model {
         warm: Option<&MipWarmStart>,
     ) -> Result<(Solution, Option<MipWarmStart>)> {
         branch_bound::solve(self, opts, warm)
+    }
+
+    /// Solves the mixed-integer program under the anytime contract: when
+    /// [`MipOptions::work_budget`] trips mid-search this returns
+    /// [`MipOutcome::Interrupted`] carrying the best incumbent found and the
+    /// sharpest dual bound proven, instead of an error. With no budget (or a
+    /// budget at least as large as the uninterrupted solve's
+    /// [`Solution::work`]) the result is [`MipOutcome::Complete`] and is
+    /// bitwise identical to [`Model::solve_mip_warm`].
+    pub fn solve_mip_anytime(
+        &self,
+        opts: &MipOptions,
+        warm: Option<&MipWarmStart>,
+    ) -> Result<(MipOutcome, Option<MipWarmStart>)> {
+        branch_bound::solve_outcome(self, opts, warm)
     }
 }
 

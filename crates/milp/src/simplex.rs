@@ -95,6 +95,13 @@ const SHIFT_AFTER: usize = 20_000;
 /// Devex weight ceiling: a new reference framework starts (all weights
 /// reset to 1) when any weight outgrows it.
 const DEVEX_RESET: f64 = 1e7;
+/// The work-budget comparison runs only on iterations whose count masks
+/// to zero (every 64th), so the anytime machinery costs one `&`/branch
+/// per iteration on the hot path instead of a guaranteed compare — the
+/// budget can be overshot by at most 63 iterations, which is inside the
+/// deterministic contract (the overshoot depends only on the iteration
+/// count, never on wall clock or thread count).
+const WORK_CHECK_MASK: usize = 63;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum VState {
@@ -217,6 +224,23 @@ struct Tableau<'a> {
     /// Factorization workspace (reused across refactorizations).
     fscratch: lu::FactorScratch,
     iterations: usize,
+    /// Basis refactorizations performed (each is a work unit: a
+    /// refactorization costs a multiple of an ordinary iteration, and
+    /// counting it keeps the work measure monotone through the
+    /// numerical-recovery paths that refactorize without pivoting).
+    refactorizations: u64,
+    /// Cooperative work budget: the solve returns
+    /// [`SolverError::Interrupted`] once `work_base + iterations +
+    /// refactorizations` *exceeds* this (strict, so a budget exactly
+    /// equal to a solve's total work lets it finish — the anytime
+    /// reproduction guarantee hinges on that boundary). `u64::MAX`
+    /// disables the check's trip (the comparison itself stays, amortized
+    /// over [`WORK_CHECK_MASK`]-sized iteration blocks).
+    work_budget: u64,
+    /// Work already charged before this tableau was built (a failed warm
+    /// attempt, or earlier branch-and-bound nodes), so budget comparisons
+    /// and reported totals stay cumulative across fallbacks.
+    work_base: u64,
     /// The solve's tolerance bundle (`opt` is re-derived per cost vector
     /// at each `optimize` entry; the rest is fixed at build time).
     tol: Tol,
@@ -266,10 +290,32 @@ impl<'a> Tableau<'a> {
         self.xb = r;
     }
 
+    /// Cumulative deterministic work units charged to this solve so far:
+    /// simplex iterations plus refactorizations, on top of whatever the
+    /// caller already spent (`work_base`).
+    fn work_spent(&self) -> u64 {
+        self.work_base + self.iterations as u64 + self.refactorizations
+    }
+
+    /// Loop-head budget trip, shared by the primal and dual loops. Only
+    /// iterations masking to zero pay the comparison (see
+    /// [`WORK_CHECK_MASK`]). Strictly greater-than: a solve that lands
+    /// exactly on its budget completes, so handing a solve its own
+    /// measured work back as the budget reproduces it bitwise.
+    fn work_exhausted(&self) -> Result<()> {
+        if self.iterations & WORK_CHECK_MASK == 0 && self.work_spent() > self.work_budget {
+            return Err(SolverError::Interrupted {
+                work_spent: self.work_spent(),
+            });
+        }
+        Ok(())
+    }
+
     /// Rebuilds the basis factorization from the current basic set
     /// (allocation-free in steady state: storage and workspace are
     /// reused).
     fn refactorize(&mut self) -> Result<()> {
+        self.refactorizations += 1;
         let fact = {
             let basis_cols: Vec<&[(u32, f64)]> = self
                 .basic
@@ -516,6 +562,7 @@ impl<'a> Tableau<'a> {
                     iterations: self.iterations,
                 });
             }
+            self.work_exhausted()?;
             self.iterations += 1;
             if self.basis.should_refactorize() {
                 self.refactorize()?;
@@ -857,6 +904,7 @@ impl<'a> Tableau<'a> {
                     iterations: self.iterations,
                 });
             }
+            self.work_exhausted()?;
             self.iterations += 1;
             if self.basis.should_refactorize() {
                 self.refactorize()?;
@@ -1384,6 +1432,9 @@ fn build<'a>(model: &'a Model, prep: &'a Prep) -> Result<(Tableau<'a>, Vec<usize
             scratch: Vec::new(),
             fscratch: lu::FactorScratch::default(),
             iterations: 0,
+            refactorizations: 0,
+            work_budget: u64::MAX,
+            work_base: 0,
             tol: prep.tol,
             shifted: Vec::new(),
             colmax: Vec::new(),
@@ -1518,6 +1569,9 @@ fn build_from_warm<'a>(model: &'a Model, w: &LpWarmStart, prep: &'a Prep) -> Opt
         scratch: Vec::new(),
         fscratch: lu::FactorScratch::default(),
         iterations: 0,
+        refactorizations: 0,
+        work_budget: u64::MAX,
+        work_base: 0,
         tol: prep.tol,
         shifted: Vec::new(),
         colmax: Vec::new(),
@@ -1578,6 +1632,7 @@ fn extract(model: &Model, t: &Tableau<'_>, prep: &Prep) -> Solution {
         gap: 0.0,
         iterations: t.iterations,
         nodes: 1,
+        work: t.work_spent(),
     }
 }
 
@@ -1609,12 +1664,39 @@ pub(crate) fn solve_warm(
     model: &Model,
     warm: Option<&LpWarmStart>,
 ) -> Result<(Solution, Option<LpWarmStart>)> {
+    solve_warm_budgeted(model, warm, None, &mut 0)
+}
+
+/// [`solve_warm`] under an optional cooperative work budget (simplex
+/// iterations + refactorizations). When the budget trips mid-solve the
+/// call returns [`SolverError::Interrupted`] carrying the cumulative work
+/// spent — including any work burned by a failed warm attempt before the
+/// cold fallback, so the reported number is the true cost of the call.
+/// `None` is exactly [`solve_warm`].
+///
+/// `work_out` receives the work this call performed **whatever** the
+/// outcome — success, infeasibility, a budget trip, or a numerical
+/// failure. Infeasible relaxations burn real pivots too: a MIP-level work
+/// ledger that only counted successful solves would under-report, and a
+/// budget equal to a solve's own reported work could then trip inside
+/// work the report never showed. (On success `work_out` equals the
+/// returned [`Solution::work`].)
+pub(crate) fn solve_warm_budgeted(
+    model: &Model,
+    warm: Option<&LpWarmStart>,
+    work_budget: Option<u64>,
+    work_out: &mut u64,
+) -> Result<(Solution, Option<LpWarmStart>)> {
+    *work_out = 0;
     if model.constrs.is_empty() {
         return solve(model).map(|s| (s, None));
     }
     let prep = Prep::new(model);
+    let budget = work_budget.unwrap_or(u64::MAX);
+    let mut warm_work = 0u64;
     if let Some(w) = warm {
         if let Some(mut t) = build_from_warm(model, w, &prep) {
+            t.work_budget = budget;
             let iter_limit = 200 * (t.m + t.ncols) + 20_000;
             let c2 = phase2_costs(model, t.ncols, &prep);
             let attempt = (|| -> Result<()> {
@@ -1630,6 +1712,7 @@ pub(crate) fn solve_warm(
             })();
             match attempt {
                 Ok(()) => {
+                    *work_out = t.work_spent();
                     let basis = t.capture(model, &prep);
                     return Ok((extract(model, &t, &prep), basis));
                 }
@@ -1641,13 +1724,20 @@ pub(crate) fn solve_warm(
                 // entering column" certificate depends on pricing
                 // tolerances, so on badly scaled chains the cold two-phase
                 // solve (whose verdict is taken scale-invariantly in model
-                // units) is the authority.
-                Err(SolverError::Unbounded) => return Err(SolverError::Unbounded),
+                // units) is the authority. A budget trip also propagates:
+                // falling back cold would burn work *past* the budget.
+                Err(e @ (SolverError::Unbounded | SolverError::Interrupted { .. })) => {
+                    *work_out = t.work_spent();
+                    return Err(e);
+                }
                 Err(_) => {}
             }
+            // Charge the abandoned warm attempt to the cold fallback.
+            warm_work = t.work_spent();
+            *work_out = warm_work;
         }
     }
-    let t = solve_cold(model, &prep)?;
+    let t = solve_cold_budgeted(model, &prep, budget, warm_work, work_out)?;
     let basis = t.capture(model, &prep);
     Ok((extract(model, &t, &prep), basis))
 }
@@ -1656,59 +1746,87 @@ pub(crate) fn solve_warm(
 /// phase 2 to optimality, then the certification pipeline (shift restore,
 /// residual monitor). Returns the final tableau; a solution that cannot be
 /// certified surfaces as [`SolverError::Numerical`], never as a silently
-/// inaccurate answer.
-fn solve_cold<'a>(model: &'a Model, prep: &'a Prep) -> Result<Tableau<'a>> {
+/// inaccurate answer. `work_out` receives the work performed (on top of
+/// `work_base`) on **every** exit path, error or not — infeasibility
+/// verdicts cost pivots too, and the MIP ledger counts them.
+fn solve_cold_budgeted<'a>(
+    model: &'a Model,
+    prep: &'a Prep,
+    work_budget: u64,
+    work_base: u64,
+    work_out: &mut u64,
+) -> Result<Tableau<'a>> {
     let (mut t, artificials) = build(model, prep)?;
+    t.work_budget = work_budget;
+    t.work_base = work_base;
     let iter_limit = 200 * (t.m + t.ncols) + 20_000;
 
-    // Phase 1: minimize the artificial sum when any artificial is present.
-    if !artificials.is_empty() {
-        let mut c1 = vec![0.0; t.ncols];
-        for &a in &artificials {
-            c1[a] = 1.0;
-        }
-        t.optimize(&c1, iter_limit)?;
-        // Any phase-1 bound shifts must be undone *before* the
-        // feasibility verdict — a shifted optimum could undercount the
-        // residual infeasibility.
-        t.finalize(&c1, iter_limit)?;
-        // The feasibility verdict: relative row violations over structurals
-        // and slacks only, so whatever an artificial still absorbs counts
-        // as violation. The measure is relative per row (and therefore
-        // invariant under the equilibration scaling) — the scaled-space
-        // artificial *objective* is not, since a row scaled down by 2^-k
-        // shrinks its residual below any absolute cutoff while staying
-        // violated by half its right-hand side in model units.
-        if t.feasibility_gap() > t.tol.feas {
-            return Err(SolverError::Infeasible);
-        }
-        // Freeze artificials at zero for phase 2.
-        for &a in &artificials {
-            t.lo[a] = 0.0;
-            t.hi[a] = 0.0;
-            if t.state[a] != VState::Basic {
-                t.state[a] = VState::AtLower;
+    let run = (|| -> Result<()> {
+        // Phase 1: minimize the artificial sum when any artificial is
+        // present.
+        if !artificials.is_empty() {
+            let mut c1 = vec![0.0; t.ncols];
+            for &a in &artificials {
+                c1[a] = 1.0;
+            }
+            t.optimize(&c1, iter_limit)?;
+            // Any phase-1 bound shifts must be undone *before* the
+            // feasibility verdict — a shifted optimum could undercount the
+            // residual infeasibility.
+            t.finalize(&c1, iter_limit)?;
+            // The feasibility verdict: relative row violations over
+            // structurals and slacks only, so whatever an artificial still
+            // absorbs counts as violation. The measure is relative per row
+            // (and therefore invariant under the equilibration scaling) —
+            // the scaled-space artificial *objective* is not, since a row
+            // scaled down by 2^-k shrinks its residual below any absolute
+            // cutoff while staying violated by half its right-hand side in
+            // model units.
+            if t.feasibility_gap() > t.tol.feas {
+                return Err(SolverError::Infeasible);
+            }
+            // Freeze artificials at zero for phase 2.
+            for &a in &artificials {
+                t.lo[a] = 0.0;
+                t.hi[a] = 0.0;
+                if t.state[a] != VState::Basic {
+                    t.state[a] = VState::AtLower;
+                }
+            }
+            // Clamp any residual basic artificial values.
+            for r in 0..t.m {
+                if artificials.contains(&(t.basic[r] as usize)) {
+                    t.xb[r] = 0.0;
+                }
             }
         }
-        // Clamp any residual basic artificial values.
-        for r in 0..t.m {
-            if artificials.contains(&(t.basic[r] as usize)) {
-                t.xb[r] = 0.0;
-            }
-        }
-    }
 
-    // Phase 2.
-    let c2 = phase2_costs(model, t.ncols, prep);
-    t.optimize(&c2, iter_limit)?;
-    t.finalize(&c2, iter_limit)?;
-    t.certify()?;
-    t.verify_feasible()?;
+        // Phase 2.
+        let c2 = phase2_costs(model, t.ncols, prep);
+        t.optimize(&c2, iter_limit)?;
+        t.finalize(&c2, iter_limit)?;
+        t.certify()?;
+        t.verify_feasible()
+    })();
+    *work_out = t.work_spent();
+    run?;
     Ok(t)
 }
 
 /// Solves the continuous relaxation of `model`.
 pub(crate) fn solve(model: &Model) -> Result<Solution> {
+    solve_budgeted(model, None, &mut 0)
+}
+
+/// [`solve`] under an optional cooperative work budget; `None` is exactly
+/// [`solve`]. `work_out` receives the work performed on every exit path
+/// (see [`solve_warm_budgeted`]).
+pub(crate) fn solve_budgeted(
+    model: &Model,
+    work_budget: Option<u64>,
+    work_out: &mut u64,
+) -> Result<Solution> {
+    *work_out = 0;
     // Degenerate case: no constraints — every variable sits at its best bound.
     if model.constrs.is_empty() {
         let minimize = matches!(model.sense, crate::Sense::Minimize);
@@ -1744,11 +1862,12 @@ pub(crate) fn solve(model: &Model) -> Result<Solution> {
             gap: 0.0,
             iterations: 0,
             nodes: 1,
+            work: 0,
         });
     }
 
     let prep = Prep::new(model);
-    let t = solve_cold(model, &prep)?;
+    let t = solve_cold_budgeted(model, &prep, work_budget.unwrap_or(u64::MAX), 0, work_out)?;
     Ok(extract(model, &t, &prep))
 }
 

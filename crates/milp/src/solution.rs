@@ -27,6 +27,12 @@ pub struct Solution {
     pub iterations: usize,
     /// Branch-and-bound nodes explored (1 for pure LPs).
     pub nodes: usize,
+    /// Deterministic work units spent producing this solution: simplex
+    /// iterations + basis refactorizations (+ branch-and-bound nodes for
+    /// MIP solves). This is the unit [`crate::MipOptions::work_budget`]
+    /// meters, so `work` from an uninterrupted solve is a sufficient
+    /// budget to reproduce it bitwise.
+    pub work: u64,
 }
 
 impl Solution {

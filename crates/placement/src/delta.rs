@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use milp::{ConstrId, MipOptions, MipWarmStart, Model, SolveStatus, VarId};
+use milp::{ConstrId, MipOptions, MipOutcome, MipWarmStart, Model, SolveStatus, VarId};
 use netgraph::delta::RoutePlan;
 use netgraph::{EdgeId, Graph, NodeId};
 use popgen::TrafficSet;
@@ -36,7 +36,7 @@ use crate::passive::{
     build_budget_model, build_lp2_target, install_greedy_incumbent, BudgetSolution, ExactOptions,
     PpmSolution,
 };
-use crate::solve::{PlacementError, SolveOutcome, SolveRequest};
+use crate::solve::{Anytime, PlacementError, SolveOutcome, SolveRequest};
 
 /// Routed backing for link toggles: the graph and the delta-aware route
 /// plan under the current failures (the failure set itself lives in
@@ -423,7 +423,14 @@ impl DeltaInstance {
     /// Panics when `k` lies outside `[0, 1]`.
     pub fn solve_exact(&mut self, k: f64, opts: &ExactOptions) -> Option<PpmSolution> {
         let req = SolveRequest::ppm(k).with_exact_options(opts);
-        match self.solve(&req).unwrap_or_else(|e| panic!("{e}")) {
+        let outcome = self.solve(&req).unwrap_or_else(|e| panic!("{e}"));
+        // Legacy surface: a degraded anytime answer collapses to its
+        // partial placement (the unified API keeps the record).
+        let outcome = match outcome {
+            SolveOutcome::Degraded { partial, .. } => *partial,
+            other => other,
+        };
+        match outcome {
             SolveOutcome::Ppm(sol) => Some(sol),
             SolveOutcome::Unreachable => None,
             other => unreachable!("PPM request produced {other:?}"),
@@ -432,11 +439,15 @@ impl DeltaInstance {
 
     /// The exact-solve kernel behind [`DeltaInstance::solve`] (`k` already
     /// validated by the request).
-    pub(crate) fn solve_exact_core(&mut self, k: f64, opts: &ExactOptions) -> Option<PpmSolution> {
+    pub(crate) fn solve_exact_core(
+        &mut self,
+        k: f64,
+        opts: &ExactOptions,
+    ) -> Anytime<Option<PpmSolution>> {
         let inst = self.instance();
         let target = k * inst.total_volume();
         if target > inst.max_coverage_fraction() * inst.total_volume() + 1e-9 {
-            return None;
+            return Anytime::Done(None);
         }
         if self.exact_cache.is_none() {
             let merged = inst.merged();
@@ -486,24 +497,43 @@ impl DeltaInstance {
             },
             integral_objective: Some(true),
             warm_basis: true,
+            work_budget: opts.work_budget,
             ..Default::default()
         };
-        let (sol, warm) = match cache.model.solve_mip_warm(&mip_opts, cache.warm.as_ref()) {
+        let (outcome, warm) = match cache
+            .model
+            .solve_mip_anytime(&mip_opts, cache.warm.as_ref())
+        {
             Ok(out) => out,
-            Err(milp::SolverError::Infeasible) => return None,
+            Err(milp::SolverError::Infeasible) => return Anytime::Done(None),
             Err(e) => panic!("MIP solver failed unexpectedly: {e}"),
         };
         if warm.is_some() {
             cache.warm = warm;
         }
-        let edges: Vec<usize> = (0..self.num_edges)
-            .filter(|&e| sol.is_one(cache.xs[e], 1e-4))
-            .collect();
-        Some(PpmSolution::from_edges(
-            &inst,
-            edges,
-            sol.status == SolveStatus::Optimal,
-        ))
+        let num_edges = self.num_edges;
+        let extract = |sol: &milp::Solution| -> Vec<usize> {
+            (0..num_edges)
+                .filter(|&e| sol.is_one(cache.xs[e], 1e-4))
+                .collect()
+        };
+        match outcome {
+            MipOutcome::Complete(sol) => Anytime::Done(Some(PpmSolution::from_edges(
+                &inst,
+                extract(&sol),
+                sol.status == SolveStatus::Optimal,
+            ))),
+            MipOutcome::Interrupted {
+                incumbent,
+                bound,
+                work_spent,
+            } => Anytime::Cut {
+                incumbent: incumbent
+                    .map(|sol| Some(PpmSolution::from_edges(&inst, extract(&sol), false))),
+                bound,
+                work_spent,
+            },
+        }
     }
 
     /// Maximum-coverage placement of at most `budget` new devices on top
@@ -516,7 +546,12 @@ impl DeltaInstance {
     /// it.
     pub fn solve_budget(&mut self, budget: usize, opts: &ExactOptions) -> BudgetSolution {
         let req = SolveRequest::budget(budget).with_exact_options(opts);
-        match self.solve(&req).unwrap_or_else(|e| panic!("{e}")) {
+        let outcome = self.solve(&req).unwrap_or_else(|e| panic!("{e}"));
+        let outcome = match outcome {
+            SolveOutcome::Degraded { partial, .. } => *partial,
+            other => other,
+        };
+        match outcome {
             SolveOutcome::Budget(sol) => sol,
             other => unreachable!("budget request produced {other:?}"),
         }
@@ -527,7 +562,7 @@ impl DeltaInstance {
         &mut self,
         budget: usize,
         opts: &ExactOptions,
-    ) -> BudgetSolution {
+    ) -> Anytime<BudgetSolution> {
         let inst = self.instance();
         if self.budget_cache.is_none() {
             let merged = inst.merged();
@@ -555,24 +590,43 @@ impl DeltaInstance {
             max_nodes: opts.max_nodes,
             time_limit: opts.time_limit,
             warm_basis: true,
+            work_budget: opts.work_budget,
             ..Default::default()
         };
-        let (sol, warm) = cache
+        let (outcome, warm) = cache
             .model
-            .solve_mip_warm(&mip_opts, cache.warm.as_ref())
+            .solve_mip_anytime(&mip_opts, cache.warm.as_ref())
             .expect("budget problem is always feasible");
         if warm.is_some() {
             cache.warm = warm;
         }
-        let edges: Vec<usize> = (0..self.num_edges)
-            .filter(|&e| sol.is_one(cache.xs[e], 1e-4))
-            .collect();
-        let coverage = inst.coverage(&edges);
-        BudgetSolution {
-            edges,
-            coverage,
-            total_volume: inst.total_volume(),
-            proven_optimal: sol.status == SolveStatus::Optimal,
+        let num_edges = self.num_edges;
+        let to_budget_solution = |sol: &milp::Solution, proven: bool| -> BudgetSolution {
+            let edges: Vec<usize> = (0..num_edges)
+                .filter(|&e| sol.is_one(cache.xs[e], 1e-4))
+                .collect();
+            let coverage = inst.coverage(&edges);
+            BudgetSolution {
+                edges,
+                coverage,
+                total_volume: inst.total_volume(),
+                proven_optimal: proven,
+            }
+        };
+        match outcome {
+            MipOutcome::Complete(sol) => {
+                let proven = sol.status == SolveStatus::Optimal;
+                Anytime::Done(to_budget_solution(&sol, proven))
+            }
+            MipOutcome::Interrupted {
+                incumbent,
+                bound,
+                work_spent,
+            } => Anytime::Cut {
+                incumbent: incumbent.map(|sol| to_budget_solution(&sol, false)),
+                bound,
+                work_spent,
+            },
         }
     }
 

@@ -59,4 +59,6 @@ pub use delta::DeltaInstance;
 pub use instance::PpmInstance;
 pub use passive::PpmSolution;
 pub use resilience::{EnsembleScore, ScenarioScore};
-pub use solve::{ApmSolution, Objective, PlacementError, SolveMethod, SolveOutcome, SolveRequest};
+pub use solve::{
+    ApmSolution, DegradeReason, Objective, PlacementError, SolveMethod, SolveOutcome, SolveRequest,
+};

@@ -12,10 +12,11 @@
 //! row count on symmetric-routing instances), then warm-starts the MIP with
 //! the best greedy solution so branch-and-bound prunes from the start.
 
-use milp::{Cmp, MipOptions, Model, Sense, SolveStatus, VarId, VarKind};
+use milp::{Cmp, MipOptions, MipOutcome, Model, Sense, SolveStatus, VarId, VarKind};
 
 use crate::instance::PpmInstance;
 use crate::passive::{greedy_adaptive, greedy_static, PpmSolution};
+use crate::solve::Anytime;
 
 /// Options for the exact solvers.
 #[derive(Debug, Clone)]
@@ -30,6 +31,15 @@ pub struct ExactOptions {
     /// (default: prove optimality). Useful for the fixed-charge `PPME`
     /// MILP whose LP bound is loose.
     pub rel_gap: f64,
+    /// Deterministic work budget (simplex iterations + refactorizations +
+    /// branch-and-bound nodes; see [`milp::MipOptions::work_budget`]) for
+    /// anytime solves. `None` (the default) solves to the legacy limits
+    /// and is byte-identical to the pre-budget behavior. When set, the
+    /// legacy kernels degrade silently to the best incumbent (or the
+    /// paper's greedy when the search had none); route through the
+    /// unified [`crate::solve::SolveRequest`] API to observe the
+    /// degradation record ([`crate::solve::SolveOutcome::Degraded`]).
+    pub work_budget: Option<u64>,
 }
 
 impl Default for ExactOptions {
@@ -39,6 +49,7 @@ impl Default for ExactOptions {
             time_limit: None,
             warm_start: true,
             rel_gap: 1e-9,
+            work_budget: None,
         }
     }
 }
@@ -158,6 +169,32 @@ fn solve_with(
     opts: &ExactOptions,
     formulation: Formulation,
 ) -> Option<PpmSolution> {
+    match solve_with_anytime(inst, k, opts, formulation) {
+        Anytime::Done(sol) => sol,
+        // Legacy surface under a budget: degrade silently to the best
+        // answer available (the unified API reports the record instead).
+        Anytime::Cut { incumbent, .. } => incumbent
+            .flatten()
+            .or_else(|| crate::solve::greedy_constrained(inst, &[], &[], k)),
+    }
+}
+
+/// The one-shot exact LP2 kernel under the anytime contract, for the
+/// unified dispatcher ([`crate::solve::solve_instance`]).
+pub(crate) fn solve_ppm_exact_anytime(
+    inst: &PpmInstance,
+    k: f64,
+    opts: &ExactOptions,
+) -> Anytime<Option<PpmSolution>> {
+    solve_with_anytime(inst, k, opts, Formulation::Lp2)
+}
+
+fn solve_with_anytime(
+    inst: &PpmInstance,
+    k: f64,
+    opts: &ExactOptions,
+    formulation: Formulation,
+) -> Anytime<Option<PpmSolution>> {
     assert!(
         k.is_finite() && (0.0..=1.0 + 1e-12).contains(&k),
         "monitoring fraction k must lie in [0, 1], got {k}"
@@ -167,7 +204,7 @@ fn solve_with(
     // weaken with them.
     let target = k * inst.total_volume();
     if target > inst.max_coverage_fraction() * inst.total_volume() + 1e-9 {
-        return None;
+        return Anytime::Done(None);
     }
     let merged = inst.merged();
     let (mut model, xs) = match formulation {
@@ -193,25 +230,42 @@ fn solve_with(
         // outputs stay byte-identical at any `threads` setting.
         threads: 0,
         node_batch: EXACT_NODE_BATCH,
+        work_budget: opts.work_budget,
         ..Default::default()
     };
-    let sol = match model.solve_mip_with(&mip_opts) {
-        Ok(s) => s,
-        Err(milp::SolverError::Infeasible) => return None,
+    let extract = |sol: &milp::Solution| -> Vec<usize> {
+        (0..merged.num_edges)
+            .filter(|&e| sol.is_one(xs[e], 1e-4))
+            .collect()
+    };
+    let outcome = match model.solve_mip_anytime(&mip_opts, None) {
+        Ok((out, _)) => out,
+        Err(milp::SolverError::Infeasible) => return Anytime::Done(None),
         Err(e) => panic!("MIP solver failed unexpectedly: {e}"),
     };
-    let edges: Vec<usize> = (0..merged.num_edges)
-        .filter(|&e| sol.is_one(xs[e], 1e-4))
-        .collect();
-    let proven = sol.status == SolveStatus::Optimal;
-    let solution = PpmSolution::from_edges(inst, edges, proven);
-    debug_assert!(
-        inst.is_feasible(&solution.edges, k),
-        "exact solver produced an infeasible selection: coverage {} < {}",
-        solution.coverage,
-        target
-    );
-    Some(solution)
+    match outcome {
+        MipOutcome::Complete(sol) => {
+            let proven = sol.status == SolveStatus::Optimal;
+            let solution = PpmSolution::from_edges(inst, extract(&sol), proven);
+            debug_assert!(
+                inst.is_feasible(&solution.edges, k),
+                "exact solver produced an infeasible selection: coverage {} < {}",
+                solution.coverage,
+                target
+            );
+            Anytime::Done(Some(solution))
+        }
+        MipOutcome::Interrupted {
+            incumbent,
+            bound,
+            work_spent,
+        } => Anytime::Cut {
+            incumbent: incumbent
+                .map(|sol| Some(PpmSolution::from_edges(inst, extract(&sol), false))),
+            bound,
+            work_spent,
+        },
+    }
 }
 
 /// Seeds `model` with the better of the two greedy solutions on the

@@ -10,10 +10,11 @@
 //!   or a set of new devices": the budget problem on top of an installed
 //!   base, reported as the coverage delta.
 
-use milp::{Cmp, MipOptions, Model, Sense, SolveStatus, VarId, VarKind};
+use milp::{Cmp, MipOptions, MipOutcome, Model, Sense, SolveStatus, VarId, VarKind};
 
 use crate::instance::PpmInstance;
 use crate::passive::{build_lp2_target, ExactOptions, PpmSolution};
+use crate::solve::Anytime;
 
 /// Solution of the budget-constrained maximum-coverage problem.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,6 +119,24 @@ pub fn solve_budget(
     installed: &[usize],
     opts: &ExactOptions,
 ) -> BudgetSolution {
+    match solve_budget_anytime(inst, budget, installed, opts) {
+        Anytime::Done(sol) => sol,
+        // Legacy surface under a budget: degrade silently (the unified
+        // API reports the degradation record instead).
+        Anytime::Cut { incumbent, .. } => {
+            incumbent.unwrap_or_else(|| crate::solve::greedy_budget(inst, budget, installed, &[]))
+        }
+    }
+}
+
+/// The one-shot budget kernel under the anytime contract, for the unified
+/// dispatcher ([`crate::solve::solve_instance`]).
+pub(crate) fn solve_budget_anytime(
+    inst: &PpmInstance,
+    budget: usize,
+    installed: &[usize],
+    opts: &ExactOptions,
+) -> Anytime<BudgetSolution> {
     let merged = inst.merged();
     let (mut model, xs) = build_budget_model(&merged, installed);
     let budget_row = model.constr(model.constr_count() - 1);
@@ -127,20 +146,38 @@ pub fn solve_budget(
         max_nodes: opts.max_nodes,
         time_limit: opts.time_limit,
         warm_basis: true,
+        work_budget: opts.work_budget,
         ..Default::default()
     };
-    let sol = model
-        .solve_mip_with(&mip_opts)
+    let to_budget_solution = |sol: &milp::Solution, proven: bool| -> BudgetSolution {
+        let edges: Vec<usize> = (0..merged.num_edges)
+            .filter(|&e| sol.is_one(xs[e], 1e-4))
+            .collect();
+        let coverage = inst.coverage(&edges);
+        BudgetSolution {
+            edges,
+            coverage,
+            total_volume: inst.total_volume(),
+            proven_optimal: proven,
+        }
+    };
+    let (outcome, _) = model
+        .solve_mip_anytime(&mip_opts, None)
         .expect("budget problem is always feasible");
-    let edges: Vec<usize> = (0..merged.num_edges)
-        .filter(|&e| sol.is_one(xs[e], 1e-4))
-        .collect();
-    let coverage = inst.coverage(&edges);
-    BudgetSolution {
-        edges,
-        coverage,
-        total_volume: inst.total_volume(),
-        proven_optimal: sol.status == SolveStatus::Optimal,
+    match outcome {
+        MipOutcome::Complete(sol) => {
+            let proven = sol.status == SolveStatus::Optimal;
+            Anytime::Done(to_budget_solution(&sol, proven))
+        }
+        MipOutcome::Interrupted {
+            incumbent,
+            bound,
+            work_spent,
+        } => Anytime::Cut {
+            incumbent: incumbent.map(|sol| to_budget_solution(&sol, false)),
+            bound,
+            work_spent,
+        },
     }
 }
 

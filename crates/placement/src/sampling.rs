@@ -399,6 +399,7 @@ fn full_cover_incumbent(prob: &SamplingProblem, opts: &PpmeOptions) -> Option<Ve
         time_limit: Some(std::time::Duration::from_secs(10)),
         warm_start: true,
         rel_gap: opts.rel_gap.max(1e-9),
+        work_budget: None,
     };
     let cover = crate::passive::solve_ppm_exact(&inst, 1.0, &inner)
         .or_else(|| crate::passive::greedy_adaptive(&inst, 1.0))?;

@@ -2,7 +2,8 @@
 //! placement entry point.
 //!
 //! The solver surface grew three call-signature dialects — the batch
-//! functions ([`solve_ppm_exact`], [`greedy_static`], [`solve_budget`]),
+//! functions ([`solve_ppm_exact`](crate::passive::solve_ppm_exact),
+//! [`greedy_static`], [`solve_budget`](crate::passive::solve_budget)),
 //! the chained methods on [`DeltaInstance`], and the `popmond` service's
 //! wire queries. [`SolveRequest`] → [`SolveOutcome`] unifies them: the
 //! request carries the objective (`PPM(k)` or `APM`), the method (greedy
@@ -25,7 +26,8 @@ use crate::active::{compute_probes, place_beacons_greedy, place_beacons_ilp};
 use crate::delta::DeltaInstance;
 use crate::instance::PpmInstance;
 use crate::passive::{
-    greedy_static, solve_budget, solve_ppm_exact, BudgetSolution, ExactOptions, PpmSolution,
+    greedy_static, solve_budget_anytime, solve_ppm_exact_anytime, BudgetSolution, ExactOptions,
+    PpmSolution,
 };
 
 /// Typed validation error for placement requests and mutations — the
@@ -101,6 +103,14 @@ pub struct SolveRequest {
     pub rel_gap: f64,
     /// Install a greedy incumbent before exact solves (plain instances).
     pub warm_start: bool,
+    /// Deterministic work budget for exact solves (simplex iterations +
+    /// refactorizations + branch-and-bound nodes). `None` (the default)
+    /// runs to the legacy limits, byte-identical to the pre-budget
+    /// behavior; `Some(units)` makes the solve *anytime*: when the budget
+    /// trips, the dispatcher returns [`SolveOutcome::Degraded`] carrying
+    /// the partial exact answer (or a greedy fallback) instead of
+    /// blocking until branch-and-bound finishes.
+    pub work_budget: Option<u64>,
 }
 
 impl SolveRequest {
@@ -114,6 +124,7 @@ impl SolveRequest {
             time_limit: defaults.time_limit,
             rel_gap: defaults.rel_gap,
             warm_start: defaults.warm_start,
+            work_budget: defaults.work_budget,
         }
     }
 
@@ -153,6 +164,14 @@ impl SolveRequest {
         self
     }
 
+    /// Caps the exact solve at `units` deterministic work units (see
+    /// [`SolveRequest::work_budget`]): the solve becomes *anytime* and may
+    /// return [`SolveOutcome::Degraded`].
+    pub fn with_work_budget(mut self, units: u64) -> Self {
+        self.work_budget = Some(units);
+        self
+    }
+
     /// Copies every solver knob from an [`ExactOptions`] (the bridge the
     /// deprecated shims use; [`SolveRequest::exact_options`] inverts it).
     pub fn with_exact_options(mut self, opts: &ExactOptions) -> Self {
@@ -160,6 +179,7 @@ impl SolveRequest {
         self.time_limit = opts.time_limit;
         self.rel_gap = opts.rel_gap;
         self.warm_start = opts.warm_start;
+        self.work_budget = opts.work_budget;
         self
     }
 
@@ -170,6 +190,7 @@ impl SolveRequest {
             time_limit: self.time_limit,
             rel_gap: self.rel_gap,
             warm_start: self.warm_start,
+            work_budget: self.work_budget,
         }
     }
 
@@ -232,6 +253,29 @@ pub struct ApmSolution {
     pub proven_optimal: bool,
 }
 
+/// Why a budget-tripped solve came back [`SolveOutcome::Degraded`] with
+/// the answer it did — the degradation reason that rides the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// Branch-and-bound was interrupted holding an incumbent: the partial
+    /// exact answer is returned (feasible, optimality unproven).
+    PartialExact,
+    /// The budget tripped before any incumbent existed: the paper's
+    /// greedy supplied the answer instead.
+    GreedyFallback,
+}
+
+impl DegradeReason {
+    /// Stable wire token for the reason (`partial_exact` /
+    /// `greedy_fallback`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::PartialExact => "partial_exact",
+            DegradeReason::GreedyFallback => "greedy_fallback",
+        }
+    }
+}
+
 /// The outcome of a unified solve: one enum over the existing solution
 /// types, plus the explicit infeasible case.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,6 +288,105 @@ pub enum SolveOutcome {
     Budget(BudgetSolution),
     /// An active (beacon) placement.
     Apm(ApmSolution),
+    /// An anytime solve whose work budget tripped before proven
+    /// optimality: the best answer available plus the anytime record
+    /// (`bound ≤ optimal ≤ partial` in the solve's objective sense).
+    Degraded {
+        /// The degraded answer — a [`SolveOutcome::Ppm`],
+        /// [`SolveOutcome::Budget`], or [`SolveOutcome::Unreachable`]
+        /// (when even the greedy fallback cannot reach the target); never
+        /// itself `Degraded`.
+        partial: Box<SolveOutcome>,
+        /// Where the answer came from.
+        reason: DegradeReason,
+        /// Deterministic work units spent when the budget tripped.
+        work_spent: u64,
+        /// Dual bound proven before interruption, in the solve's own
+        /// objective sense (a lower bound on the device count for PPM, an
+        /// upper bound on the coverage for budget solves). Infinite when
+        /// the budget tripped before the root relaxation finished.
+        bound: f64,
+    },
+}
+
+/// Kernel-level anytime result: the finished answer, or the record of a
+/// work-budget interruption with whatever incumbent survived. Mapped onto
+/// [`SolveOutcome::Degraded`] by the unified dispatchers.
+#[derive(Debug, Clone)]
+pub(crate) enum Anytime<T> {
+    /// The solve ran to its normal end (no budget, or it never tripped).
+    Done(T),
+    /// The work budget tripped mid-search.
+    Cut {
+        /// Best incumbent at interruption, if any.
+        incumbent: Option<T>,
+        /// Dual bound proven so far, in the solve's objective sense.
+        bound: f64,
+        /// Work units spent when the budget tripped.
+        work_spent: u64,
+    },
+}
+
+/// Maps a PPM kernel attempt onto the outcome surface, running `fallback`
+/// (the paper's greedy on the same constrained state) when the budget
+/// tripped before any incumbent existed.
+fn ppm_outcome(
+    attempt: Anytime<Option<PpmSolution>>,
+    fallback: impl FnOnce() -> Option<PpmSolution>,
+) -> SolveOutcome {
+    match attempt {
+        Anytime::Done(Some(s)) => SolveOutcome::Ppm(s),
+        Anytime::Done(None) => SolveOutcome::Unreachable,
+        Anytime::Cut {
+            incumbent,
+            bound,
+            work_spent,
+        } => {
+            let (partial, reason) = match incumbent.flatten() {
+                Some(s) => (SolveOutcome::Ppm(s), DegradeReason::PartialExact),
+                None => match fallback() {
+                    Some(g) => (SolveOutcome::Ppm(g), DegradeReason::GreedyFallback),
+                    None => (SolveOutcome::Unreachable, DegradeReason::GreedyFallback),
+                },
+            };
+            SolveOutcome::Degraded {
+                partial: Box::new(partial),
+                reason,
+                work_spent,
+                bound,
+            }
+        }
+    }
+}
+
+/// [`ppm_outcome`]'s sibling for budget solves (the greedy fallback always
+/// produces a placement — the budget problem is feasible by construction).
+fn budget_outcome(
+    attempt: Anytime<BudgetSolution>,
+    fallback: impl FnOnce() -> BudgetSolution,
+) -> SolveOutcome {
+    match attempt {
+        Anytime::Done(s) => SolveOutcome::Budget(s),
+        Anytime::Cut {
+            incumbent,
+            bound,
+            work_spent,
+        } => {
+            let (partial, reason) = match incumbent {
+                Some(s) => (SolveOutcome::Budget(s), DegradeReason::PartialExact),
+                None => (
+                    SolveOutcome::Budget(fallback()),
+                    DegradeReason::GreedyFallback,
+                ),
+            };
+            SolveOutcome::Degraded {
+                partial: Box::new(partial),
+                reason,
+                work_spent,
+                bound,
+            }
+        }
+    }
 }
 
 /// Solves a one-shot PPM request on a static instance, dispatching to the
@@ -262,21 +405,18 @@ pub fn solve_instance(
         ));
     };
     if let Some(budget) = req.device_budget {
-        return Ok(SolveOutcome::Budget(solve_budget(
-            inst,
-            budget,
-            &[],
-            &req.exact_options(),
-        )));
+        return Ok(budget_outcome(
+            solve_budget_anytime(inst, budget, &[], &req.exact_options()),
+            || greedy_budget(inst, budget, &[], &[]),
+        ));
     }
-    let sol = match req.method {
-        SolveMethod::Exact => solve_ppm_exact(inst, k, &req.exact_options()),
-        SolveMethod::Greedy => greedy_static(inst, k),
+    let attempt = match req.method {
+        SolveMethod::Exact => solve_ppm_exact_anytime(inst, k, &req.exact_options()),
+        SolveMethod::Greedy => Anytime::Done(greedy_static(inst, k)),
     };
-    Ok(match sol {
-        Some(s) => SolveOutcome::Ppm(s),
-        None => SolveOutcome::Unreachable,
-    })
+    Ok(ppm_outcome(attempt, || {
+        greedy_constrained(inst, &[], &[], k)
+    }))
 }
 
 /// Solves an APM request on a (router) graph: probe computation followed
@@ -360,6 +500,50 @@ pub fn greedy_constrained(
     Some(PpmSolution::from_edges(inst, edges, false))
 }
 
+/// The greedy counterpart of the budget MIP, used as the degradation
+/// fallback: live installed devices contribute their coverage for free
+/// (failure beats installation), then up to `budget` new devices are
+/// added one at a time by best marginal coverage gain, skipping failed
+/// links. Never proven optimal. `installed` and `disabled` must be
+/// sorted.
+pub fn greedy_budget(
+    inst: &PpmInstance,
+    budget: usize,
+    installed: &[usize],
+    disabled: &[usize],
+) -> BudgetSolution {
+    let mut edges: Vec<usize> = installed
+        .iter()
+        .copied()
+        .filter(|e| disabled.binary_search(e).is_err())
+        .collect();
+    let mut coverage = inst.coverage(&edges);
+    for _ in 0..budget {
+        let mut best: Option<(usize, f64)> = None;
+        for e in 0..inst.num_edges {
+            if disabled.binary_search(&e).is_ok() || edges.contains(&e) {
+                continue;
+            }
+            let mut trial = edges.clone();
+            trial.push(e);
+            let gain = inst.coverage(&trial) - coverage;
+            if gain > best.map_or(0.0, |(_, g)| g) {
+                best = Some((e, gain));
+            }
+        }
+        let Some((e, gain)) = best else { break };
+        edges.push(e);
+        coverage += gain;
+    }
+    edges.sort_unstable();
+    BudgetSolution {
+        coverage: inst.coverage(&edges),
+        total_volume: inst.total_volume(),
+        proven_optimal: false,
+        edges,
+    }
+}
+
 impl DeltaInstance {
     /// Solves a unified request on the chain's current state — the one
     /// dispatch the deprecated [`DeltaInstance::solve_exact`] /
@@ -367,6 +551,11 @@ impl DeltaInstance {
     /// route through. Exact solves ride the warm chain; greedy solves run
     /// [`greedy_constrained`] on the materialized instance. APM requests
     /// are rejected (they need a router graph; use [`solve_apm`]).
+    ///
+    /// With [`SolveRequest::work_budget`] set the exact solves are
+    /// *anytime*: a tripped budget yields [`SolveOutcome::Degraded`] with
+    /// the incumbent or a [`greedy_constrained`] / [`greedy_budget`]
+    /// fallback on the same constrained state.
     pub fn solve(&mut self, req: &SolveRequest) -> Result<SolveOutcome, PlacementError> {
         req.validate()?;
         let Objective::Ppm { k } = req.objective else {
@@ -376,27 +565,33 @@ impl DeltaInstance {
             ));
         };
         if let Some(budget) = req.device_budget {
-            return Ok(SolveOutcome::Budget(
-                self.solve_budget_core(budget, &req.exact_options()),
-            ));
+            let attempt = self.solve_budget_core(budget, &req.exact_options());
+            return Ok(budget_outcome(attempt, || {
+                greedy_budget(&self.instance(), budget, self.installed(), self.disabled())
+            }));
         }
-        let sol = match req.method {
+        let attempt = match req.method {
             SolveMethod::Exact => self.solve_exact_core(k, &req.exact_options()),
             SolveMethod::Greedy => {
                 let inst = self.instance();
-                greedy_constrained(&inst, self.installed(), self.disabled(), k)
+                Anytime::Done(greedy_constrained(
+                    &inst,
+                    self.installed(),
+                    self.disabled(),
+                    k,
+                ))
             }
         };
-        Ok(match sol {
-            Some(s) => SolveOutcome::Ppm(s),
-            None => SolveOutcome::Unreachable,
-        })
+        Ok(ppm_outcome(attempt, || {
+            greedy_constrained(&self.instance(), self.installed(), self.disabled(), k)
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::passive::{solve_budget, solve_ppm_exact};
 
     fn figure3() -> PpmInstance {
         PpmInstance::new(
@@ -489,6 +684,7 @@ mod tests {
             time_limit: Some(Duration::from_millis(7)),
             warm_start: false,
             rel_gap: 0.25,
+            work_budget: Some(4_096),
         };
         let req = SolveRequest::ppm(0.5).with_exact_options(&opts);
         let back = req.exact_options();
@@ -496,6 +692,11 @@ mod tests {
         assert_eq!(back.time_limit, opts.time_limit);
         assert_eq!(back.warm_start, opts.warm_start);
         assert_eq!(back.rel_gap, opts.rel_gap);
+        assert_eq!(back.work_budget, opts.work_budget);
+        assert_eq!(
+            SolveRequest::ppm(0.5).with_work_budget(64).work_budget,
+            Some(64)
+        );
     }
 
     #[test]

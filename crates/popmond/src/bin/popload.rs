@@ -2,29 +2,43 @@
 //!
 //! ```text
 //! popload --addr HOST:PORT [--seeds N] [--concurrency N] [--requests N]
+//!         [--chaos-rate P]
 //! ```
 //!
 //! Spawns `--concurrency` worker threads that drain a shared budget of
 //! `--requests` total requests. Each worker owns a private set of seeded
 //! [`Session`]s (instance ids namespaced per worker so workers never
 //! contend on the same warm chain), sends one request at a time over its
-//! own connection, and checks every response line: `ok:true` or a typed
-//! error object counts as served; anything else (connection drop,
-//! non-JSON reply) fails the run. Exits 0 with a throughput report, or 1
-//! on the first unexpected response.
+//! own connection, and checks every response line: `ok:true` counts as
+//! served; a typed `overloaded` shed is retried with seeded
+//! exponential-backoff-plus-jitter; anything else (connection drop,
+//! non-JSON reply, an unexpected typed error) fails the run. Exits 0
+//! with a throughput report, or 1 on the first unexpected response.
+//!
+//! `--chaos-rate P` additionally injects a seeded client-side fault
+//! before a request with probability `P`: a torn line, a mid-write
+//! disconnect (the worker reconnects), or a duplicated request — the
+//! [`ChaosFault::CLIENT_MIX`] subset of the chaos suite's taxonomy. The
+//! server must keep answering in type through all of them.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use popmond::json;
-use popmond::workload::{Session, SessionSpec};
+use popmond::workload::{ChaosFault, Rng, Session, SessionSpec};
+
+/// Give up on a request after this many `overloaded` sheds in a row.
+const MAX_RETRIES: u32 = 6;
 
 fn usage() -> ! {
-    eprintln!("usage: popload --addr HOST:PORT [--seeds N] [--concurrency N] [--requests N]");
+    eprintln!(
+        "usage: popload --addr HOST:PORT [--seeds N] [--concurrency N] [--requests N] \
+         [--chaos-rate P]"
+    );
     std::process::exit(2);
 }
 
@@ -33,6 +47,7 @@ struct Config {
     seeds: usize,
     concurrency: usize,
     requests: usize,
+    chaos_rate: f64,
 }
 
 fn parse_args() -> Config {
@@ -40,6 +55,7 @@ fn parse_args() -> Config {
     let mut seeds = 4usize;
     let mut concurrency = 4usize;
     let mut requests = 400usize;
+    let mut chaos_rate = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -62,6 +78,10 @@ fn parse_args() -> Config {
                 Ok(n) if n > 0 => requests = n,
                 _ => usage(),
             },
+            "--chaos-rate" => match value("--chaos-rate").parse::<f64>() {
+                Ok(p) if (0.0..=1.0).contains(&p) => chaos_rate = p,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument {other:?}");
@@ -78,6 +98,96 @@ fn parse_args() -> Config {
         seeds,
         concurrency,
         requests,
+        chaos_rate,
+    }
+}
+
+/// One worker's connection pair (writer + buffered reader).
+struct Conn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn connect(worker: usize, addr: &str) -> Result<Conn, String> {
+    let stream = TcpStream::connect(addr)
+        .map_err(|e| format!("worker {worker}: connect {addr} failed: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let writer = stream
+        .try_clone()
+        .map_err(|e| format!("worker {worker}: clone stream failed: {e}"))?;
+    Ok(Conn {
+        writer,
+        reader: BufReader::new(stream),
+    })
+}
+
+/// Sends one line and reads one parsed response.
+fn exchange(worker: usize, conn: &mut Conn, line: &str) -> Result<json::Value, String> {
+    conn.writer
+        .write_all(line.as_bytes())
+        .and_then(|()| conn.writer.write_all(b"\n"))
+        .map_err(|e| format!("worker {worker}: write failed: {e}"))?;
+    let mut response = String::new();
+    let n = conn
+        .reader
+        .read_line(&mut response)
+        .map_err(|e| format!("worker {worker}: read failed: {e}"))?;
+    if n == 0 {
+        return Err(format!("worker {worker}: server closed the connection"));
+    }
+    json::parse(response.trim_end())
+        .map_err(|e| format!("worker {worker}: non-JSON response ({e}): {response}"))
+}
+
+/// Injects one seeded client-side fault. The fault's target is always a
+/// benign idempotent request (`health`) so the session streams — whose
+/// generators track mutation state — stay in lock-step with the server.
+fn inject_fault(
+    worker: usize,
+    fault: ChaosFault,
+    conn: &mut Conn,
+    addr: &str,
+) -> Result<(), String> {
+    match fault {
+        ChaosFault::TornLine => {
+            // A torn prefix plus newline must earn a typed parse error.
+            conn.writer
+                .write_all(b"{\"op\":\"heal\n")
+                .map_err(|e| format!("worker {worker}: torn write failed: {e}"))?;
+            let mut response = String::new();
+            let n = conn
+                .reader
+                .read_line(&mut response)
+                .map_err(|e| format!("worker {worker}: read failed: {e}"))?;
+            if n == 0 {
+                return Err(format!("worker {worker}: server closed on a torn line"));
+            }
+            let doc = json::parse(response.trim_end())
+                .map_err(|e| format!("worker {worker}: non-JSON torn-line reply ({e})"))?;
+            if doc.get("ok").and_then(json::Value::as_bool) != Some(false) {
+                return Err(format!(
+                    "worker {worker}: torn line was not rejected: {response}"
+                ));
+            }
+            Ok(())
+        }
+        ChaosFault::Disconnect | ChaosFault::SlowLoris | ChaosFault::ResetMidSolve => {
+            // Client mix only sends Disconnect; the arm covers the whole
+            // enum so the harness's faults stay usable here too. A
+            // partial write with no newline must simply be dropped.
+            let _ = conn.writer.write_all(b"{\"op\":\"hea");
+            *conn = connect(worker, addr)?;
+            Ok(())
+        }
+        ChaosFault::Duplicate => {
+            for _ in 0..2 {
+                let doc = exchange(worker, conn, r#"{"op":"health"}"#)?;
+                if doc.get("ok").and_then(json::Value::as_bool) != Some(true) {
+                    return Err(format!("worker {worker}: health probe rejected"));
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -88,14 +198,13 @@ fn run_worker(
     config: &Config,
     budget: &AtomicUsize,
     errors: &AtomicU64,
+    chaos_events: &AtomicU64,
+    retries: &AtomicU64,
 ) -> Result<(), String> {
-    let stream = TcpStream::connect(&config.addr)
-        .map_err(|e| format!("worker {worker}: connect {} failed: {e}", config.addr))?;
-    let _ = stream.set_nodelay(true);
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("worker {worker}: clone stream failed: {e}"))?;
-    let mut reader = BufReader::new(stream);
+    let mut conn = connect(worker, &config.addr)?;
+    // The fault/jitter stream is seeded per worker — a rerun of the same
+    // flags injects the same faults at the same points.
+    let mut rng = Rng::new(0xC0FF_EE00 + worker as u64);
 
     // Private instance ids per worker: no cross-worker contention on a
     // single warm chain, so throughput scales with concurrency.
@@ -118,48 +227,64 @@ fn run_worker(
         .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| b.checked_sub(1))
         .is_ok()
     {
+        if config.chaos_rate > 0.0 && rng.below(1_000_000) < (config.chaos_rate * 1e6) as usize {
+            let fault = ChaosFault::sample(&mut rng, &ChaosFault::CLIENT_MIX);
+            inject_fault(worker, fault, &mut conn, &config.addr)?;
+            chaos_events.fetch_add(1, Ordering::Relaxed);
+        }
         let idx = turn % sessions.len();
         turn += 1;
         let line = sessions[idx].next_line();
-        writer
-            .write_all(line.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .map_err(|e| format!("worker {worker}: write failed: {e}"))?;
-        let mut response = String::new();
-        let n = reader
-            .read_line(&mut response)
-            .map_err(|e| format!("worker {worker}: read failed: {e}"))?;
-        if n == 0 {
-            return Err(format!("worker {worker}: server closed the connection"));
-        }
-        let doc = json::parse(response.trim_end())
-            .map_err(|e| format!("worker {worker}: non-JSON response ({e}): {response}"))?;
-        match doc.get("ok").and_then(json::Value::as_bool) {
-            Some(true) => {
-                if !loaded[idx] {
-                    loaded[idx] = true;
-                    let links = doc.get("links").and_then(json::Value::as_u64).unwrap_or(0);
-                    let traffics = doc
-                        .get("traffics")
-                        .and_then(json::Value::as_u64)
-                        .unwrap_or(0);
-                    sessions[idx].observe_load(links as usize, traffics as usize);
+        let mut attempt = 0u32;
+        let doc = loop {
+            let doc = exchange(worker, &mut conn, &line)?;
+            match doc.get("ok").and_then(json::Value::as_bool) {
+                Some(true) => break doc,
+                Some(false) => {
+                    let code = doc
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(json::Value::as_str)
+                        .unwrap_or("");
+                    if code == "overloaded" && attempt < MAX_RETRIES {
+                        // Seeded exponential backoff with jitter around
+                        // the server's own retry hint.
+                        let hint = doc
+                            .get("error")
+                            .and_then(|e| e.get("retry_after_ms"))
+                            .and_then(json::Value::as_u64)
+                            .unwrap_or(50);
+                        let backoff = hint << attempt.min(5);
+                        let jitter = rng.next_u64() % (hint / 2 + 1);
+                        std::thread::sleep(Duration::from_millis(backoff + jitter));
+                        attempt += 1;
+                        retries.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // Any other typed error points at a server bug: this
+                    // generator only emits well-formed in-range requests.
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!(
+                        "worker {worker}: server rejected a well-formed request: {line} -> {}",
+                        doc.to_json()
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "worker {worker}: response without ok field: {}",
+                        doc.to_json()
+                    ))
                 }
             }
-            Some(false) => {
-                // Typed errors are a legal protocol outcome, but this
-                // generator only emits well-formed in-range requests, so
-                // any error points at a server bug — count and report.
-                errors.fetch_add(1, Ordering::Relaxed);
-                return Err(format!(
-                    "worker {worker}: server rejected a well-formed request: {line} -> {response}"
-                ));
-            }
-            None => {
-                return Err(format!(
-                    "worker {worker}: response without ok field: {response}"
-                ))
-            }
+        };
+        if !loaded[idx] {
+            loaded[idx] = true;
+            let links = doc.get("links").and_then(json::Value::as_u64).unwrap_or(0);
+            let traffics = doc
+                .get("traffics")
+                .and_then(json::Value::as_u64)
+                .unwrap_or(0);
+            sessions[idx].observe_load(links as usize, traffics as usize);
         }
     }
     Ok(())
@@ -169,6 +294,8 @@ fn main() -> ExitCode {
     let config = Arc::new(parse_args());
     let budget = Arc::new(AtomicUsize::new(config.requests));
     let errors = Arc::new(AtomicU64::new(0));
+    let chaos_events = Arc::new(AtomicU64::new(0));
+    let retries = Arc::new(AtomicU64::new(0));
     let start = Instant::now();
 
     let workers: Vec<_> = (0..config.concurrency)
@@ -176,7 +303,11 @@ fn main() -> ExitCode {
             let config = config.clone();
             let budget = budget.clone();
             let errors = errors.clone();
-            std::thread::spawn(move || run_worker(w, &config, &budget, &errors))
+            let chaos_events = chaos_events.clone();
+            let retries = retries.clone();
+            std::thread::spawn(move || {
+                run_worker(w, &config, &budget, &errors, &chaos_events, &retries)
+            })
         })
         .collect();
 
@@ -196,12 +327,23 @@ fn main() -> ExitCode {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let served = config.requests - budget.load(Ordering::SeqCst);
-    println!(
+    let mut report = format!(
         "popload: {served} requests, {} workers, {} sessions/worker, {elapsed:.3}s, {:.0} req/s",
         config.concurrency,
         config.seeds,
         served as f64 / elapsed.max(1e-9)
     );
+    if config.chaos_rate > 0.0 {
+        report.push_str(&format!(
+            ", {} chaos events",
+            chaos_events.load(Ordering::Relaxed)
+        ));
+    }
+    let shed_retries = retries.load(Ordering::Relaxed);
+    if shed_retries > 0 {
+        report.push_str(&format!(", {shed_retries} overload retries"));
+    }
+    println!("{report}");
     if failed {
         ExitCode::FAILURE
     } else {

@@ -1,12 +1,15 @@
 //! The popmond daemon binary.
 //!
 //! ```text
-//! popmond [--addr HOST:PORT] [--threads N] [--max-instances N]
+//! popmond [--addr HOST:PORT] [--threads N] [--queue N] [--max-instances N]
 //! ```
 //!
 //! Binds the address (default `127.0.0.1:7700`), prints one
 //! `listening on <addr>` line to stdout, and serves until a client sends
-//! `{"op":"shutdown"}`. `--threads` defaults to `POPMON_THREADS` or 4.
+//! `{"op":"shutdown"}`. `--threads` defaults to `POPMON_THREADS` or 4;
+//! `--queue` caps how many requests may wait for a processing slot
+//! before the server sheds with a typed `overloaded` error (defaults to
+//! `POPMON_QUEUE` or 16 waiters per thread).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -14,7 +17,7 @@ use std::sync::Arc;
 use popmond::{spawn, ServerConfig, Service, ServiceConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: popmond [--addr HOST:PORT] [--threads N] [--max-instances N]");
+    eprintln!("usage: popmond [--addr HOST:PORT] [--threads N] [--queue N] [--max-instances N]");
     std::process::exit(2);
 }
 
@@ -36,6 +39,10 @@ fn main() -> ExitCode {
             "--threads" => match value("--threads").parse() {
                 Ok(n) if n > 0 => server_config.threads = n,
                 _ => usage(),
+            },
+            "--queue" => match value("--queue").parse() {
+                Ok(n) => server_config.queue = n,
+                Err(_) => usage(),
             },
             "--max-instances" => match value("--max-instances").parse() {
                 Ok(n) if n > 0 => service_config.max_instances = n,

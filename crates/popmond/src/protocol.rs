@@ -30,6 +30,18 @@ pub const MAX_MAX_NODES: usize = 5_000_000;
 /// Largest accepted ensemble size for a `score_ensemble` request.
 pub const MAX_SCENARIOS: usize = 4096;
 
+/// Deterministic deadline calibration: work units granted per millisecond
+/// of a requested `deadline_ms`. This is a *fixed constant*, not a
+/// measured rate — a deadline-shaped request maps to exactly the same
+/// [`SolveQuery::effective_budget`] on every machine and run, so service
+/// behavior under deadlines stays reproducible in tests. The value is
+/// sized so that single-digit-millisecond deadlines already admit the
+/// root relaxation on the paper-scale instances.
+pub const WORK_UNITS_PER_MS: u64 = 2_000;
+
+/// Back-off hint (milliseconds) attached to `overloaded` shed errors.
+pub const RETRY_AFTER_MS: u64 = 50;
+
 /// A typed protocol error: a short machine-readable code plus a
 /// human-readable message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +50,8 @@ pub struct Error {
     pub code: &'static str,
     /// Human-readable detail.
     pub message: String,
+    /// Client back-off hint, only set on `overloaded` shed errors.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Error {
@@ -46,20 +60,35 @@ impl Error {
         Error {
             code,
             message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Builds the `overloaded` shed error with its back-off hint: every
+    /// request-processing slot is busy and the waiting queue is at its
+    /// cap, so the request was refused *without* touching any state.
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        Error {
+            code: "overloaded",
+            message: format!(
+                "all request slots busy and the queue is full; retry in {retry_after_ms} ms"
+            ),
+            retry_after_ms: Some(retry_after_ms),
         }
     }
 
     /// Serializes to the one-line error response.
     pub fn to_json(&self) -> String {
+        let mut inner = vec![
+            ("code".into(), Value::Str(self.code.into())),
+            ("message".into(), Value::Str(self.message.clone())),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            inner.push(("retry_after_ms".into(), Value::Num(ms as f64)));
+        }
         Value::Obj(vec![
             ("ok".into(), Value::Bool(false)),
-            (
-                "error".into(),
-                Value::Obj(vec![
-                    ("code".into(), Value::Str(self.code.into())),
-                    ("message".into(), Value::Str(self.message.clone())),
-                ]),
-            ),
+            ("error".into(), Value::Obj(inner)),
         ])
         .to_json()
     }
@@ -97,6 +126,28 @@ pub struct SolveQuery {
     pub k: f64,
     /// Branch-and-bound node budget for exact solves.
     pub max_nodes: usize,
+    /// Optional anytime work budget (deterministic solver work units);
+    /// exhausting it degrades the solve instead of failing it.
+    pub budget: Option<u64>,
+    /// Optional wall-clock deadline, mapped onto a work budget through
+    /// [`WORK_UNITS_PER_MS`] — a *deterministic* proxy, never a timer.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SolveQuery {
+    /// The work budget the solver actually runs under: the explicit
+    /// `budget`, the deadline mapped through [`WORK_UNITS_PER_MS`], or
+    /// the tighter of the two when both are set. `None` means unbounded —
+    /// the byte-identical legacy behavior.
+    pub fn effective_budget(&self) -> Option<u64> {
+        let from_deadline = self
+            .deadline_ms
+            .map(|ms| ms.saturating_mul(WORK_UNITS_PER_MS).max(1));
+        match (self.budget, from_deadline) {
+            (Some(b), Some(d)) => Some(b.min(d)),
+            (b, d) => b.or(d),
+        }
+    }
 }
 
 /// Pagination of the placement list in a solve response.
@@ -211,6 +262,9 @@ pub enum Request {
     List,
     /// Global service counters.
     Stats,
+    /// Liveness/readiness probe: cheap, touches no instance state, and
+    /// never sheds (the transport answers it even under overload).
+    Health,
     /// Drop an instance from the cache.
     Evict {
         /// Instance id.
@@ -330,11 +384,22 @@ fn parse_query(v: &Value) -> Result<SolveQuery, Error> {
             "max_nodes must be in [1, {MAX_MAX_NODES}], got {max_nodes}"
         )));
     }
+    let opt_u64_min1 = |key: &str| -> Result<Option<u64>, Error> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(x) => match x.as_u64() {
+                Some(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(bad(format!("field {key:?} must be a positive integer"))),
+            },
+        }
+    };
     Ok(SolveQuery {
         mode,
         method,
         k,
         max_nodes,
+        budget: opt_u64_min1("budget")?,
+        deadline_ms: opt_u64_min1("deadline_ms")?,
     })
 }
 
@@ -448,6 +513,7 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
         }),
         "list" => Ok(Request::List),
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
         "evict" => Ok(Request::Evict {
             id: req_str(&v, "id")?,
         }),
@@ -458,9 +524,12 @@ pub fn parse_request(line: &str) -> Result<Request, Error> {
 
 /// Canonical cache-key text for a solve query: every field pinned, so two
 /// requests that differ only in spelling (defaulted vs explicit fields)
-/// coalesce onto the same cached outcome.
+/// coalesce onto the same cached outcome. The anytime fields are
+/// appended *only when set*, so keys for unbudgeted queries are
+/// byte-identical to the ones this service has always produced (existing
+/// memo behavior and golden transcripts are untouched).
 pub fn query_key(q: &SolveQuery) -> String {
-    format!(
+    let mut key = format!(
         "mode={};method={};k={};max_nodes={}",
         match q.mode {
             Mode::Ppm => "ppm",
@@ -472,7 +541,14 @@ pub fn query_key(q: &SolveQuery) -> String {
         },
         q.k.to_bits(),
         q.max_nodes
-    )
+    );
+    if let Some(b) = q.budget {
+        key.push_str(&format!(";budget={b}"));
+    }
+    if let Some(d) = q.deadline_ms {
+        key.push_str(&format!(";deadline_ms={d}"));
+    }
+    key
 }
 
 #[cfg(test)]
@@ -631,5 +707,66 @@ mod tests {
             r#"{"ok":false,"error":{"code":"bad_index","message":"link 99 out of range"}}"#
         );
         assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn overloaded_error_carries_the_retry_hint() {
+        let s = Error::overloaded(50).to_json();
+        assert!(s.contains(r#""code":"overloaded""#), "{s}");
+        assert!(s.contains(r#""retry_after_ms":50"#), "{s}");
+        assert!(!s.contains('\n'));
+    }
+
+    #[test]
+    fn parses_budget_and_deadline_and_keeps_unset_keys_identical() {
+        let q = |line: &str| -> SolveQuery {
+            match parse_request(line).unwrap() {
+                Request::Solve { query, .. } => query,
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        let plain = q(r#"{"op":"solve","id":"x","k":0.8}"#);
+        assert_eq!(plain.effective_budget(), None);
+        // Unset anytime fields leave the cache key byte-identical to the
+        // historical four-field form.
+        assert!(
+            !query_key(&plain).contains("budget"),
+            "{}",
+            query_key(&plain)
+        );
+
+        let b = q(r#"{"op":"solve","id":"x","k":0.8,"budget":4096}"#);
+        assert_eq!(b.effective_budget(), Some(4096));
+        assert!(query_key(&b).ends_with(";budget=4096"));
+        assert_ne!(query_key(&plain), query_key(&b));
+
+        // A deadline maps through the fixed calibration constant, and the
+        // tighter of budget/deadline wins.
+        let d = q(r#"{"op":"solve","id":"x","k":0.8,"deadline_ms":3}"#);
+        assert_eq!(d.effective_budget(), Some(3 * WORK_UNITS_PER_MS));
+        let both = q(r#"{"op":"solve","id":"x","k":0.8,"budget":10,"deadline_ms":3}"#);
+        assert_eq!(both.effective_budget(), Some(10));
+        assert!(query_key(&both).ends_with(";budget=10;deadline_ms=3"));
+
+        for line in [
+            r#"{"op":"solve","id":"x","k":0.8,"budget":0}"#,
+            r#"{"op":"solve","id":"x","k":0.8,"budget":-4}"#,
+            r#"{"op":"solve","id":"x","k":0.8,"deadline_ms":0}"#,
+            r#"{"op":"solve","id":"x","k":0.8,"deadline_ms":1.5}"#,
+        ] {
+            assert_eq!(
+                parse_request(line).unwrap_err().code,
+                "bad_request",
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_health() {
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health
+        );
     }
 }

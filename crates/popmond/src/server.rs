@@ -8,6 +8,15 @@
 //! open. Reads use short timeouts so every connection thread observes the
 //! stop flag and the whole server joins cleanly after `shutdown`.
 //!
+//! The accept loop *blocks* in `accept()` — no sleep-polling — and is
+//! woken for shutdown by a loopback self-connect, so an idle server burns
+//! no CPU. Slot waits are real [`Condvar`] waits with a bounded queue:
+//! when every permit is busy and [`ServerConfig::queue`] requests are
+//! already waiting, further requests are *shed* with a typed `overloaded`
+//! error carrying a `retry_after_ms` back-off hint instead of queueing
+//! without bound (`health` requests bypass the slots entirely so probes
+//! still answer under overload).
+//!
 //! Oversized lines (> [`protocol::MAX_LINE`] bytes before a newline) are
 //! answered immediately with a typed `oversized_line` error, the rest of
 //! the line is drained, and the connection stays usable — a client bug
@@ -28,44 +37,93 @@ use crate::state::Service;
 pub struct ServerConfig {
     /// Concurrent request-processing permits (not a connection cap).
     pub threads: usize,
+    /// Overload cap: how many requests may *wait* for a permit before
+    /// further requests are shed with a typed `overloaded` error.
+    pub queue: usize,
 }
 
 impl ServerConfig {
-    /// Reads `POPMON_THREADS` (like the scenario engine), defaulting to 4.
+    /// Reads `POPMON_THREADS` (like the scenario engine), defaulting to
+    /// 4, and `POPMON_QUEUE` for the shed threshold, defaulting to
+    /// 16 waiters per permit — deep enough that well-behaved closed-loop
+    /// clients never see a shed.
     pub fn from_env() -> Self {
-        let threads = std::env::var("POPMON_THREADS")
+        let threads: usize = std::env::var("POPMON_THREADS")
             .ok()
             .and_then(|s| s.parse().ok())
             .filter(|&n| n > 0)
             .unwrap_or(4);
-        ServerConfig { threads }
+        let queue = std::env::var("POPMON_QUEUE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(threads.saturating_mul(16));
+        ServerConfig { threads, queue }
     }
 }
 
-/// A counted semaphore (the workspace has no external concurrency deps).
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            queue: 64,
+        }
+    }
+}
+
+/// A counted semaphore with a bounded waiting queue (the workspace has
+/// no external concurrency deps). Waiters block on a real [`Condvar`] —
+/// never a sleep-poll — and a caller that would push the waiting count
+/// past the cap is refused immediately instead of queueing.
 struct Semaphore {
-    permits: Mutex<usize>,
+    state: Mutex<SemState>,
     cv: Condvar,
+}
+
+struct SemState {
+    permits: usize,
+    waiting: usize,
+}
+
+/// The outcome of a bounded slot acquisition.
+enum Acquired {
+    /// A permit is held; the caller must [`Semaphore::release`] it.
+    Permit,
+    /// The waiting queue was full; nothing is held.
+    Shed,
 }
 
 impl Semaphore {
     fn new(permits: usize) -> Self {
         Semaphore {
-            permits: Mutex::new(permits),
+            state: Mutex::new(SemState {
+                permits,
+                waiting: 0,
+            }),
             cv: Condvar::new(),
         }
     }
 
-    fn acquire(&self) {
-        let mut p = self.permits.lock().expect("semaphore poisoned");
-        while *p == 0 {
-            p = self.cv.wait(p).expect("semaphore poisoned");
+    /// Takes a permit, blocking on the condvar while all are busy —
+    /// unless `queue_cap` requests are already waiting, in which case the
+    /// caller is shed without blocking.
+    fn acquire_or_shed(&self, queue_cap: usize) -> Acquired {
+        let mut s = self.state.lock().expect("semaphore poisoned");
+        if s.permits == 0 {
+            if s.waiting >= queue_cap {
+                return Acquired::Shed;
+            }
+            s.waiting += 1;
+            while s.permits == 0 {
+                s = self.cv.wait(s).expect("semaphore poisoned");
+            }
+            s.waiting -= 1;
         }
-        *p -= 1;
+        s.permits -= 1;
+        Acquired::Permit
     }
 
     fn release(&self) {
-        *self.permits.lock().expect("semaphore poisoned") += 1;
+        self.state.lock().expect("semaphore poisoned").permits += 1;
         self.cv.notify_one();
     }
 }
@@ -105,10 +163,18 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        wake_accept(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
     }
+}
+
+/// Wakes the (blocking) accept loop with a throwaway loopback connection
+/// so it observes the stop flag — the replacement for sleep-polling a
+/// nonblocking listener.
+fn wake_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
 }
 
 impl Drop for ServerHandle {
@@ -125,28 +191,31 @@ pub fn spawn(
     config: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
-    listener.set_nonblocking(true)?;
     let bound = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let semaphore = Arc::new(Semaphore::new(config.threads.max(1)));
+    let queue_cap = config.queue;
 
     let accept_stop = stop.clone();
     let accept_service = service.clone();
     let accept_thread = std::thread::spawn(move || {
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        // Blocking accept: an idle server parks in the kernel until a
+        // connection (or the shutdown self-connect) arrives.
         while !accept_stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break; // the wake-up connection itself
+                    }
                     let service = accept_service.clone();
                     let stop = accept_stop.clone();
                     let semaphore = semaphore.clone();
                     connections.push(std::thread::spawn(move || {
-                        serve_connection(stream, &service, &stop, &semaphore);
+                        serve_connection(stream, &service, &stop, &semaphore, queue_cap, bound);
                     }));
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(2));
-                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(_) => break,
             }
             connections.retain(|c| !c.is_finished());
@@ -169,6 +238,8 @@ fn serve_connection(
     service: &Service,
     stop: &AtomicBool,
     semaphore: &Semaphore,
+    queue_cap: usize,
+    local_addr: SocketAddr,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let _ = stream.set_nodelay(true);
@@ -190,9 +261,30 @@ fn serve_connection(
             if trimmed.is_empty() {
                 continue;
             }
-            semaphore.acquire();
-            let reply = service.handle_line(trimmed);
-            semaphore.release();
+            let reply = match semaphore.acquire_or_shed(queue_cap) {
+                Acquired::Permit => {
+                    let reply = service.handle_line(trimmed);
+                    semaphore.release();
+                    reply
+                }
+                // Shed path: nothing was processed and no state touched.
+                // Health probes are exempt — they are O(shards) cheap and
+                // must keep answering while the solver slots are saturated.
+                Acquired::Shed => {
+                    if matches!(
+                        crate::protocol::parse_request(trimmed),
+                        Ok(crate::protocol::Request::Health)
+                    ) {
+                        service.handle_line(trimmed)
+                    } else {
+                        crate::state::Reply {
+                            text: crate::protocol::Error::overloaded(protocol::RETRY_AFTER_MS)
+                                .to_json(),
+                            shutdown: false,
+                        }
+                    }
+                }
+            };
             let mut out = reply.text.into_bytes();
             out.push(b'\n');
             if stream.write_all(&out).is_err() {
@@ -200,6 +292,9 @@ fn serve_connection(
             }
             if reply.shutdown {
                 stop.store(true, Ordering::SeqCst);
+                // The accept loop is parked in accept(); wake it so the
+                // whole server joins promptly.
+                wake_accept(local_addr);
                 return;
             }
         }
@@ -247,8 +342,11 @@ mod tests {
 
     fn start(threads: usize) -> (ServerHandle, SocketAddr) {
         let service = Arc::new(Service::new(ServiceConfig::default()));
-        let handle =
-            spawn("127.0.0.1:0", service, ServerConfig { threads }).expect("bind ephemeral port");
+        let config = ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        };
+        let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
         let addr = handle.addr();
         (handle, addr)
     }
@@ -282,6 +380,112 @@ mod tests {
         assert!(r.contains("\"instances\":1"), "{r}");
         let r = roundtrip(&mut stream, &mut reader, r#"{"op":"shutdown"}"#);
         assert!(r.contains("\"op\":\"shutdown\""), "{r}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn semaphore_wakes_waiters_under_contention_and_sheds_past_the_cap() {
+        // One permit, held by the test: waiters must park on the condvar
+        // (no spinning to observe) and wake exactly when released.
+        let sem = Arc::new(Semaphore::new(1));
+        assert!(matches!(sem.acquire_or_shed(4), Acquired::Permit));
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let sem = sem.clone();
+                std::thread::spawn(move || match sem.acquire_or_shed(4) {
+                    Acquired::Permit => {
+                        sem.release();
+                        true
+                    }
+                    Acquired::Shed => false,
+                })
+            })
+            .collect();
+        // Give the waiters time to enqueue, then check the shed path: a
+        // zero-cap caller must be refused immediately, not blocked.
+        while sem.state.lock().unwrap().waiting < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(matches!(sem.acquire_or_shed(0), Acquired::Shed));
+        assert!(matches!(sem.acquire_or_shed(3), Acquired::Shed));
+        // Release the held permit: every queued waiter must drain.
+        sem.release();
+        for w in waiters {
+            assert!(w.join().unwrap(), "queued waiter must get a permit");
+        }
+        let s = sem.state.lock().unwrap();
+        assert_eq!(s.permits, 1);
+        assert_eq!(s.waiting, 0);
+    }
+
+    #[test]
+    fn single_permit_serves_a_connection_burst() {
+        // threads=1: every request funnels through one permit; a burst of
+        // parallel connections exercises condvar wake-up under contention
+        // end to end (a lost wakeup would hang this test).
+        let (handle, addr) = start(1);
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = connect(addr);
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    for _ in 0..5 {
+                        let r = roundtrip(&mut stream, &mut reader, r#"{"op":"stats"}"#);
+                        assert!(r.contains("\"ok\":true"), "client {i}: {r}");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client thread panicked");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn zero_queue_sheds_with_a_typed_overloaded_error() {
+        // queue=0 means "never wait": with the single permit pinned by a
+        // slow in-flight request, a concurrent request must be shed with
+        // the typed error (and a health probe must still answer).
+        let service = Arc::new(Service::new(ServiceConfig::default()));
+        let config = ServerConfig {
+            threads: 1,
+            queue: 0,
+        };
+        let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
+        let addr = handle.addr();
+        let mut a = connect(addr);
+        let mut ra = BufReader::new(a.try_clone().unwrap());
+        let r = roundtrip(
+            &mut a,
+            &mut ra,
+            r#"{"op":"load_spec","id":"big","spec":"small","seed":1}"#,
+        );
+        assert!(r.contains("\"ok\":true"), "{r}");
+        // Fire a long-but-bounded resilience campaign without reading its
+        // response, so the permit stays busy while the second connection
+        // races it (a campaign's cost is linear in scenarios — no search
+        // blow-up, unlike a big exact solve).
+        a.write_all(
+            b"{\"op\":\"score_ensemble\",\"id\":\"big\",\"failure\":\"srlg groups=6 group_rate=0.4 link_rate=0.1\",\"dynamic\":\"dynamic\",\"scenarios\":4096,\"seed\":1}\n",
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let mut b = connect(addr);
+        let mut rb = BufReader::new(b.try_clone().unwrap());
+        let r = roundtrip(&mut b, &mut rb, r#"{"op":"stats"}"#);
+        // Either the solve already finished (fast machine) or the request
+        // was shed: both are legal, but a shed must be the typed error.
+        if r.contains("\"ok\":false") {
+            assert!(r.contains("\"code\":\"overloaded\""), "{r}");
+            assert!(r.contains("\"retry_after_ms\":"), "{r}");
+            // Health bypasses the slots even while saturated.
+            let h = roundtrip(&mut b, &mut rb, r#"{"op":"health"}"#);
+            assert!(h.contains("\"status\":\"ok\""), "{h}");
+        }
+        let mut line = String::new();
+        ra.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
         handle.shutdown();
     }
 

@@ -209,6 +209,7 @@ impl Service {
             Request::Inspect { id } => Reply::ok(self.inspect(&id)),
             Request::List => Reply::ok(self.list()),
             Request::Stats => Reply::ok(self.stats()),
+            Request::Health => Reply::ok(self.health()),
             Request::Evict { id } => Reply::ok(self.evict(&id)),
             Request::Shutdown => Reply {
                 text: Value::Obj(vec![
@@ -628,6 +629,21 @@ impl Service {
         .to_json()
     }
 
+    fn health(&self) -> String {
+        Value::Obj(vec![
+            ("ok".into(), Value::Bool(true)),
+            ("op".into(), Value::Str("health".into())),
+            ("status".into(), Value::Str("ok".into())),
+            ("instances".into(), Value::Num(self.instance_count() as f64)),
+            (
+                "max_instances".into(),
+                Value::Num(self.config.max_instances as f64),
+            ),
+            ("requests".into(), Value::Num(self.request_count() as f64)),
+        ])
+        .to_json()
+    }
+
     fn evict(&self, id: &str) -> String {
         let existed = self.shards[shard_of(id)]
             .lock()
@@ -685,10 +701,16 @@ fn with_method(req: SolveRequest, method: Method) -> SolveRequest {
 }
 
 fn solve_ppm(state: &mut SlotState, query: &SolveQuery) -> SolveOutcome {
-    let req = with_method(
+    let mut req = with_method(
         SolveRequest::ppm(query.k).with_node_budget(query.max_nodes),
         query.method,
     );
+    // An anytime budget (explicit, or mapped from a deadline) turns the
+    // exact solve into a degradable one; unset budgets leave the request
+    // — and hence the whole solve trajectory — byte-identical to before.
+    if let Some(units) = query.effective_budget() {
+        req = req.with_work_budget(units);
+    }
     state
         .delta
         .solve(&req)
@@ -736,6 +758,34 @@ fn solve_fields(
     if query.mode == Mode::Ppm {
         fields.push(("k".into(), Value::Num(query.k)));
     }
+    match outcome {
+        SolveOutcome::Degraded {
+            partial,
+            reason,
+            work_spent,
+            bound,
+        } => {
+            // The partial answer is formatted exactly like a complete one
+            // (same fields, same order), then the degradation record is
+            // appended — a client that ignores the extra fields sees a
+            // plain answer; one that reads them gets the anytime contract
+            // (`bound ≤ optimal ≤ answer` in the solve's objective sense).
+            outcome_fields(&mut fields, partial, page);
+            fields.push(("degraded".into(), Value::Bool(true)));
+            fields.push(("degrade_reason".into(), Value::Str(reason.as_str().into())));
+            fields.push(("work_spent".into(), Value::Num(*work_spent as f64)));
+            // A non-finite bound (budget tripped before the root
+            // relaxation finished) renders as `null`.
+            fields.push(("bound".into(), Value::Num(*bound)));
+        }
+        other => outcome_fields(&mut fields, other, page),
+    }
+    fields
+}
+
+/// The non-degraded outcome arms of [`solve_fields`] (a `Degraded`
+/// outcome formats its partial answer through here first).
+fn outcome_fields(fields: &mut Vec<(String, Value)>, outcome: &SolveOutcome, page: Page) {
     let paged = |items: &[usize]| -> (Value, Value, Value, Value) {
         let pages = items.len().div_ceil(page.page_size).max(1);
         let start = page.page.saturating_mul(page.page_size).min(items.len());
@@ -772,7 +822,7 @@ fn solve_fields(
         }
         SolveOutcome::Ppm(sol) => {
             ppm_shaped(
-                &mut fields,
+                fields,
                 &sol.edges,
                 sol.coverage,
                 sol.total_volume,
@@ -781,7 +831,7 @@ fn solve_fields(
         }
         SolveOutcome::Budget(sol) => {
             ppm_shaped(
-                &mut fields,
+                fields,
                 &sol.edges,
                 sol.coverage,
                 sol.total_volume,
@@ -800,8 +850,10 @@ fn solve_fields(
             fields.push(("router_links".into(), Value::Num(sol.router_links as f64)));
             fields.push(("proven_optimal".into(), Value::Bool(sol.proven_optimal)));
         }
+        // A partial answer is documented never to be `Degraded` itself;
+        // recursing keeps this total without panicking on the invariant.
+        SolveOutcome::Degraded { partial, .. } => outcome_fields(fields, partial, page),
     }
-    fields
 }
 
 #[cfg(test)]
@@ -1021,6 +1073,56 @@ mod tests {
                 "{req}"
             );
         }
+    }
+
+    #[test]
+    fn budgeted_solve_degrades_and_coalesces_deterministically() {
+        let s = service();
+        line(
+            &s,
+            r#"{"op":"load_spec","id":"a","spec":"paper_10","seed":1}"#,
+        );
+        // A one-unit budget trips at the first work check: either a
+        // partial exact answer or the greedy fallback answers, and the
+        // degradation record is on the wire.
+        let req = r#"{"op":"solve","id":"a","method":"exact","k":0.9,"budget":1}"#;
+        let a = s.handle_line(req).text;
+        let b = s.handle_line(req).text;
+        assert_eq!(a, b, "budgeted repeats must coalesce onto the same bytes");
+        let r = crate::json::parse(&a).unwrap();
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("degraded").unwrap().as_bool(), Some(true));
+        let reason = r.get("degrade_reason").unwrap().as_str().unwrap();
+        assert!(
+            reason == "partial_exact" || reason == "greedy_fallback",
+            "{reason}"
+        );
+        assert!(r.get("work_spent").unwrap().as_u64().unwrap() >= 1);
+        // A deadline-shaped request degrades through the same machinery.
+        let r = line(
+            &s,
+            r#"{"op":"solve","id":"a","method":"exact","k":0.9,"deadline_ms":1}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        // An unbudgeted solve of the same query carries no degradation
+        // fields at all — the legacy response shape is untouched.
+        let r = line(&s, r#"{"op":"solve","id":"a","method":"exact","k":0.9}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert!(r.get("degraded").is_none());
+        assert!(r.get("work_spent").is_none());
+    }
+
+    #[test]
+    fn health_reports_liveness_without_touching_instances() {
+        let s = service();
+        let r = line(&s, r#"{"op":"health"}"#);
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(r.get("instances").unwrap().as_f64(), Some(0.0));
+        line(&s, r#"{"op":"load_spec","id":"a","spec":"small","seed":1}"#);
+        let r = line(&s, r#"{"op":"health"}"#);
+        assert_eq!(r.get("instances").unwrap().as_f64(), Some(1.0));
+        assert_eq!(r.get("max_instances").unwrap().as_f64(), Some(256.0));
     }
 
     #[test]

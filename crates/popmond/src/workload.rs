@@ -40,6 +40,52 @@ impl Rng {
     }
 }
 
+/// One client-side fault the chaos harness and `popload --chaos-rate`
+/// can inject. The taxonomy is shared so the load generator's fault mix
+/// is a strict subset of the one the chaos suite proves the server
+/// survives (see `DESIGN.md` § "The degradation contract").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosFault {
+    /// Send a torn request prefix terminated by a newline; the server
+    /// must answer with a typed `parse` error and stay usable.
+    TornLine,
+    /// Drop the connection after a partial write (no newline); the torn
+    /// bytes must never be interpreted as a request.
+    Disconnect,
+    /// Send the same request twice back-to-back; both must be answered.
+    Duplicate,
+    /// Dribble a request a few bytes at a time (slow-loris); slow writers
+    /// must not wedge other connections.
+    SlowLoris,
+    /// Reset the connection while a solve is in flight; the server-side
+    /// write fails but the daemon must not panic or leak a slot.
+    ResetMidSolve,
+}
+
+impl ChaosFault {
+    /// The faults `popload --chaos-rate` injects: the ones a well-behaved
+    /// closed-loop client can recover from on its own connection.
+    pub const CLIENT_MIX: [ChaosFault; 3] = [
+        ChaosFault::TornLine,
+        ChaosFault::Disconnect,
+        ChaosFault::Duplicate,
+    ];
+
+    /// The full taxonomy the chaos harness drives.
+    pub const ALL: [ChaosFault; 5] = [
+        ChaosFault::TornLine,
+        ChaosFault::Disconnect,
+        ChaosFault::Duplicate,
+        ChaosFault::SlowLoris,
+        ChaosFault::ResetMidSolve,
+    ];
+
+    /// Draws one fault uniformly from `mix` (seeded, hence replayable).
+    pub fn sample(rng: &mut Rng, mix: &[ChaosFault]) -> ChaosFault {
+        mix[rng.below(mix.len())]
+    }
+}
+
 /// The shape of one generated session.
 #[derive(Debug, Clone)]
 pub struct SessionSpec {
@@ -256,6 +302,22 @@ pub fn standard_sessions(base_seed: u64, count: usize, routed: bool) -> Vec<Sess
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chaos_faults_sample_deterministically_from_the_mix() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..64 {
+            let fa = ChaosFault::sample(&mut a, &ChaosFault::ALL);
+            assert_eq!(fa, ChaosFault::sample(&mut b, &ChaosFault::ALL));
+            assert!(ChaosFault::ALL.contains(&fa));
+        }
+        let mut c = Rng::new(7);
+        for _ in 0..64 {
+            let f = ChaosFault::sample(&mut c, &ChaosFault::CLIENT_MIX);
+            assert!(ChaosFault::CLIENT_MIX.contains(&f));
+        }
+    }
 
     #[test]
     fn sessions_are_deterministic() {

@@ -1,0 +1,288 @@
+//! Seeded fault-injection harness for the popmond daemon.
+//!
+//! A storm of chaos connections drives every fault in the
+//! [`ChaosFault`] taxonomy — torn lines, mid-request disconnects,
+//! slow-loris partial writes, connections reset while a solve is in
+//! flight, and evict/reload races — against a live server while one
+//! well-behaved session keeps issuing real requests on a disjoint set of
+//! instance ids. The contract under fire:
+//!
+//! 1. every line the good session (or any surviving chaos connection)
+//!    reads is well-formed JSON with a boolean `ok` — typed errors are
+//!    fine, garbage and wedged connections are not;
+//! 2. after the storm the daemon still answers `health` and `stats`;
+//! 3. the good session's transcript replays **byte-identically** through
+//!    a fresh in-process [`Service`] — chaos traffic on other ids must
+//!    not leak into per-slot state (the service-vs-batch contract,
+//!    re-proven under fire);
+//! 4. shutdown racing a burst of pipelined writes never panics the
+//!    daemon or leaves a connection wedged: readers see complete JSON
+//!    lines and then clean EOF.
+//!
+//! Every fault draw, session stream, and jitter comes from a seeded
+//! xorshift [`Rng`], so a failing storm replays exactly.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use popmond::json::{self, Value};
+use popmond::workload::{standard_sessions, ChaosFault, Rng};
+use popmond::{spawn, ServerConfig, Service, ServiceConfig};
+
+const CHAOS_WORKERS: usize = 4;
+const CHAOS_ITERS: usize = 24;
+const GOOD_SESSIONS: usize = 3;
+const GOOD_STEPS: usize = 12;
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let writer = TcpStream::connect(addr).expect("connect");
+    writer.set_nodelay(true).unwrap();
+    let reader = BufReader::new(writer.try_clone().unwrap());
+    (writer, reader)
+}
+
+/// Sends one line and requires a well-formed typed response: JSON with a
+/// boolean `ok`. Returns the parsed document and the raw line.
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    req: &str,
+) -> (Value, String) {
+    writer.write_all(req.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).unwrap();
+    assert!(n > 0, "server closed the connection mid-exchange on {req}");
+    let raw = line.trim_end().to_string();
+    let doc = json::parse(&raw).unwrap_or_else(|e| panic!("non-JSON response ({e}): {raw}"));
+    assert!(
+        doc.get("ok").and_then(Value::as_bool).is_some(),
+        "response without boolean ok: {raw}"
+    );
+    (doc, raw)
+}
+
+/// One chaos worker: owns ids `c<worker>*` and hammers the server with
+/// the full fault taxonomy interleaved with well-formed requests (loads,
+/// budget-starved solves that exercise the degraded path, evicts).
+fn chaos_worker(addr: std::net::SocketAddr, worker: usize) {
+    let mut rng = Rng::new(0xBAD_5EED ^ (worker as u64) << 8);
+    let id = format!("c{worker}");
+    let (mut writer, mut reader) = connect(addr);
+
+    for iter in 0..CHAOS_ITERS {
+        match ChaosFault::sample(&mut rng, &ChaosFault::ALL) {
+            ChaosFault::TornLine => {
+                let torn = format!(r#"{{"op":"solve","id":"{id}""#);
+                let (doc, raw) = exchange(&mut writer, &mut reader, &torn);
+                assert_eq!(
+                    doc.get("ok").and_then(Value::as_bool),
+                    Some(false),
+                    "torn line must earn a typed error: {raw}"
+                );
+            }
+            ChaosFault::Disconnect => {
+                // Partial write, no newline, then drop: the torn bytes
+                // must never be interpreted as a request.
+                let _ = writer.write_all(br#"{"op":"solve","id":""#);
+                let fresh = connect(addr);
+                writer = fresh.0;
+                reader = fresh.1;
+            }
+            ChaosFault::Duplicate => {
+                let req = format!(r#"{{"op":"inspect","id":"{id}"}}"#);
+                // Both copies answered in order, each typed (ok:false
+                // unknown_id is legal if the id was just evicted).
+                exchange(&mut writer, &mut reader, &req);
+                exchange(&mut writer, &mut reader, &req);
+            }
+            ChaosFault::SlowLoris => {
+                // Dribble a valid request a few bytes at a time; the
+                // server must wait for the newline without wedging
+                // anyone else, then answer normally.
+                let req = b"{\"op\":\"health\"}\n";
+                for chunk in req.chunks(3) {
+                    writer.write_all(chunk).unwrap();
+                    writer.flush().unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                let mut line = String::new();
+                assert!(reader.read_line(&mut line).unwrap() > 0);
+                let doc = json::parse(line.trim_end()).expect("slow-loris reply is JSON");
+                assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true));
+            }
+            ChaosFault::ResetMidSolve => {
+                // Fire a real solve on a throwaway connection and drop
+                // it without reading: the server-side write fails after
+                // the solve completes, which must not panic the daemon
+                // or leak the processing slot.
+                let (mut w, _r) = connect(addr);
+                let req = format!(
+                    r#"{{"op":"load_spec","id":"{id}r","spec":"small","seed":{}}}"#,
+                    worker + 50
+                );
+                w.write_all(req.as_bytes()).unwrap();
+                w.write_all(b"\n").unwrap();
+                let solve = format!(r#"{{"op":"solve","id":"{id}r","method":"exact","k":0.9}}"#);
+                w.write_all(solve.as_bytes()).unwrap();
+                w.write_all(b"\n").unwrap();
+                drop(w);
+            }
+        }
+
+        // Interleave well-formed traffic on the worker's own ids so the
+        // faults race real per-slot work: load, budget-starved solve
+        // (degraded path), and an evict that races other workers' reads.
+        match iter % 4 {
+            0 => {
+                let req = format!(
+                    r#"{{"op":"load_spec","id":"{id}","spec":"small","seed":{}}}"#,
+                    worker + 1
+                );
+                let (doc, raw) = exchange(&mut writer, &mut reader, &req);
+                assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{raw}");
+            }
+            1 => {
+                let req =
+                    format!(r#"{{"op":"solve","id":"{id}","method":"exact","k":0.9,"budget":1}}"#);
+                // Typed either way: ok:true (possibly degraded) if the
+                // slot is loaded, unknown_id if a racing evict won.
+                exchange(&mut writer, &mut reader, &req);
+            }
+            2 => {
+                let (doc, raw) = exchange(&mut writer, &mut reader, r#"{"op":"health"}"#);
+                assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{raw}");
+            }
+            _ => {
+                let req = format!(r#"{{"op":"evict","id":"{id}"}}"#);
+                exchange(&mut writer, &mut reader, &req);
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_storm_leaves_the_service_consistent() {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let config = ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    // One well-behaved connection records a transcript on ids (s0, s1,
+    // ...) disjoint from every chaos id (c0, c0r, ...).
+    let mut transcript: Vec<(String, String)> = Vec::new();
+    std::thread::scope(|scope| {
+        for worker in 0..CHAOS_WORKERS {
+            scope.spawn(move || chaos_worker(addr, worker));
+        }
+
+        let (mut writer, mut reader) = connect(addr);
+        for mut session in standard_sessions(4242, GOOD_SESSIONS, false) {
+            let load = session.next_line();
+            let (doc, raw) = exchange(&mut writer, &mut reader, &load);
+            assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{raw}");
+            let links = doc.get("links").and_then(Value::as_u64).unwrap() as usize;
+            let traffics = doc.get("traffics").and_then(Value::as_u64).unwrap() as usize;
+            session.observe_load(links, traffics);
+            transcript.push((load, raw));
+            for _ in 0..GOOD_STEPS {
+                let line = session.next_line();
+                let (doc, raw) = exchange(&mut writer, &mut reader, &line);
+                assert_eq!(
+                    doc.get("ok").and_then(Value::as_bool),
+                    Some(true),
+                    "a well-formed in-range request failed under chaos: {line} -> {raw}"
+                );
+                transcript.push((line, raw));
+            }
+        }
+    });
+
+    // The storm is over: the daemon must still be fully responsive.
+    let (mut writer, mut reader) = connect(addr);
+    let (doc, raw) = exchange(&mut writer, &mut reader, r#"{"op":"health"}"#);
+    assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{raw}");
+    assert_eq!(
+        doc.get("status").and_then(Value::as_str),
+        Some("ok"),
+        "{raw}"
+    );
+    let (doc, raw) = exchange(&mut writer, &mut reader, r#"{"op":"stats"}"#);
+    assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{raw}");
+    handle.shutdown();
+
+    // Byte-identical replay: chaos traffic lived on other ids, so a
+    // fresh batch service must reproduce the good transcript exactly.
+    let batch = Service::new(ServiceConfig::default());
+    for (req, expected) in &transcript {
+        let got = batch.handle_line(req).text;
+        assert_eq!(
+            &got, expected,
+            "chaos traffic leaked into per-slot state; replay diverged on: {req}"
+        );
+    }
+}
+
+#[test]
+fn shutdown_races_pipelined_writers_without_wedging() {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    let config = ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    std::thread::scope(|scope| {
+        for worker in 0..3 {
+            scope.spawn(move || {
+                let (mut writer, mut reader) = connect(addr);
+                // Pipeline a burst without reading, so responses are in
+                // flight when the shutdown lands.
+                let load = format!(
+                    r#"{{"op":"load_spec","id":"p{worker}","spec":"small","seed":{}}}"#,
+                    worker + 1
+                );
+                writer.write_all(load.as_bytes()).unwrap();
+                writer.write_all(b"\n").unwrap();
+                for _ in 0..8 {
+                    let req =
+                        format!(r#"{{"op":"solve","id":"p{worker}","method":"greedy","k":0.8}}"#);
+                    if writer.write_all(req.as_bytes()).is_err() || writer.write_all(b"\n").is_err()
+                    {
+                        break; // shutdown won the race before the write
+                    }
+                }
+                // Every line that does arrive must be complete JSON;
+                // EOF at any point afterwards is a clean outcome.
+                let mut buf = String::new();
+                let _ = reader.read_to_string(&mut buf);
+                for line in buf.lines() {
+                    let doc = json::parse(line)
+                        .unwrap_or_else(|e| panic!("torn response during shutdown ({e}): {line}"));
+                    assert!(
+                        doc.get("ok").and_then(Value::as_bool).is_some(),
+                        "untyped response during shutdown: {line}"
+                    );
+                }
+            });
+        }
+
+        scope.spawn(move || {
+            // Let the writers land a few requests, then pull the plug.
+            std::thread::sleep(Duration::from_millis(5));
+            let (mut writer, mut reader) = connect(addr);
+            let (doc, raw) = exchange(&mut writer, &mut reader, r#"{"op":"shutdown"}"#);
+            assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(true), "{raw}");
+        });
+    });
+
+    // Joins the accept loop and every connection thread; a wedged slot
+    // or leaked thread would hang the test here.
+    handle.wait();
+}

@@ -36,8 +36,11 @@ type Transcript = Vec<(String, String)>;
 /// returns one transcript per session, keyed by session index.
 fn run(threads: usize) -> Vec<Transcript> {
     let service = Arc::new(Service::new(ServiceConfig::default()));
-    let handle =
-        spawn("127.0.0.1:0", service, ServerConfig { threads }).expect("bind ephemeral port");
+    let config = ServerConfig {
+        threads,
+        ..ServerConfig::default()
+    };
+    let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
     let addr = handle.addr();
 
     let mut sessions = standard_sessions(500, CLIENTS * SESSIONS_PER_CLIENT, false);

@@ -112,8 +112,11 @@ fn corpus() -> Vec<(String, &'static str)> {
 #[test]
 fn every_bad_request_gets_a_typed_error_and_state_survives() {
     let service = Arc::new(Service::new(ServiceConfig::default()));
-    let handle =
-        spawn("127.0.0.1:0", service, ServerConfig { threads: 2 }).expect("bind ephemeral port");
+    let config = ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
     let mut writer = TcpStream::connect(handle.addr()).unwrap();
     writer.set_nodelay(true).unwrap();
     let mut reader = BufReader::new(writer.try_clone().unwrap());
@@ -176,8 +179,11 @@ fn every_bad_request_gets_a_typed_error_and_state_survives() {
 #[test]
 fn transport_oversized_line_is_drained_not_fatal() {
     let service = Arc::new(Service::new(ServiceConfig::default()));
-    let handle =
-        spawn("127.0.0.1:0", service, ServerConfig { threads: 1 }).expect("bind ephemeral port");
+    let config = ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    };
+    let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
     let mut writer = TcpStream::connect(handle.addr()).unwrap();
     writer.set_nodelay(true).unwrap();
     let mut reader = BufReader::new(writer.try_clone().unwrap());

@@ -69,8 +69,11 @@ fn roundtrip(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &st
 
 fn run_sessions(routed: bool, count: usize, base_seed: u64) {
     let service = Arc::new(Service::new(ServiceConfig::default()));
-    let handle =
-        spawn("127.0.0.1:0", service, ServerConfig { threads: 2 }).expect("bind ephemeral port");
+    let config = ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    };
+    let handle = spawn("127.0.0.1:0", service, config).expect("bind ephemeral port");
     let mut writer = TcpStream::connect(handle.addr()).unwrap();
     writer.set_nodelay(true).unwrap();
     let mut reader = BufReader::new(writer.try_clone().unwrap());
